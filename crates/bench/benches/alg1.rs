@@ -1,0 +1,34 @@
+//! Algorithm 1 (optimal no-redistribution schedule) scaling.
+//!
+//! The paper's claim (§6.2) is that schedule computation is negligible next
+//! to simulated executions of several days; this bench quantifies the
+//! initial-allocation cost up to the paper's largest configuration
+//! (n = 1000, p = 5000).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use redistrib_bench::fault_calc;
+use redistrib_core::optimal_schedule;
+
+fn bench_alg1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alg1");
+    group.sample_size(20);
+    for (n, p) in [(10usize, 100u32), (100, 1000), (100, 5000), (1000, 5000)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_p{p}")),
+            &(n, p),
+            |b, &(n, p)| {
+                b.iter_batched(
+                    || fault_calc(n, p, 42),
+                    |mut calc| black_box(optimal_schedule(&mut calc, p).unwrap()),
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_alg1);
+criterion_main!(benches);

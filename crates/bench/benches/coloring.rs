@@ -1,0 +1,35 @@
+//! König edge coloring of redistribution transfer graphs, versus the
+//! closed-form round count it validates (Eqs. 7/9).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use redistrib_graph::{color_bipartite, rounds_closed_form, transfer_graph};
+
+fn bench_coloring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edge_coloring");
+    for (j, k) in [(4u32, 6u32), (16, 48), (64, 192), (128, 512)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{j}to{k}")),
+            &(j, k),
+            |b, &(j, k)| {
+                let g = transfer_graph(j, k);
+                b.iter(|| black_box(color_bipartite(black_box(&g)).num_colors));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_closed_form(c: &mut Criterion) {
+    c.bench_function("rounds_closed_form", |b| {
+        let mut j = 1u32;
+        b.iter(|| {
+            j = j % 256 + 1;
+            black_box(rounds_closed_form(black_box(j), black_box(300 - j)))
+        });
+    });
+}
+
+criterion_group!(benches, bench_coloring, bench_closed_form);
+criterion_main!(benches);

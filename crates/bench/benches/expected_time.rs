@@ -1,0 +1,71 @@
+//! Cost of the expected-time formulas (Eqs. 1–4) — the innermost kernel of
+//! every scheduling decision.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use redistrib_bench::{fault_calc, paper_platform, paper_workload};
+use redistrib_model::{AllocParams, PeriodRule};
+
+fn bench_alloc_params(c: &mut Criterion) {
+    let workload = paper_workload(1, 3);
+    let platform = paper_platform(1000);
+    let t_ff = workload.fault_free_time(0, 10);
+    c.bench_function("alloc_params_compute", |b| {
+        b.iter(|| {
+            black_box(AllocParams::compute(
+                black_box(&workload.tasks[0]),
+                &platform,
+                t_ff,
+                10,
+                PeriodRule::Young,
+            ))
+        });
+    });
+}
+
+fn bench_expected_time_eval(c: &mut Criterion) {
+    let workload = paper_workload(1, 3);
+    let platform = paper_platform(1000);
+    let t_ff = workload.fault_free_time(0, 10);
+    let params = AllocParams::compute(&workload.tasks[0], &platform, t_ff, 10, PeriodRule::Young);
+    c.bench_function("expected_time_eval", |b| {
+        let mut alpha = 0.0;
+        b.iter(|| {
+            alpha = if alpha >= 1.0 { 0.01 } else { alpha + 0.01 };
+            black_box(params.expected_time(black_box(alpha)))
+        });
+    });
+}
+
+fn bench_cached_remaining(c: &mut Criterion) {
+    c.bench_function("timecalc_remaining_cached", |b| {
+        let mut calc = fault_calc(100, 1000, 3);
+        // Warm the cache.
+        for j in (2..=64u32).step_by(2) {
+            calc.remaining(50, j, 1.0);
+        }
+        let mut j = 2;
+        b.iter(|| {
+            j = if j >= 64 { 2 } else { j + 2 };
+            black_box(calc.remaining(50, j, 0.7))
+        });
+    });
+}
+
+fn bench_improvable_scan(c: &mut Criterion) {
+    c.bench_function("improvable_up_to_p5000", |b| {
+        let mut calc = fault_calc(100, 5000, 3);
+        let cur = calc.remaining(0, 2, 1.0);
+        b.iter(|| black_box(calc.improvable_up_to(0, 2, cur, 5000, 1.0)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_alloc_params,
+    bench_expected_time_eval,
+    bench_cached_remaining,
+    bench_improvable_scan
+);
+criterion_main!(benches);

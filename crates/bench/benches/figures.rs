@@ -1,0 +1,28 @@
+//! End-to-end figure pipelines in quick mode — one bench per paper figure,
+//! so regressions anywhere in the stack (model, engine, heuristics,
+//! harness) show up as figure-regeneration slowdowns.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use redistrib_experiments::figures::{run_figure, FigOpts, ALL_FIGURES};
+
+fn bench_quick_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures_quick");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(4));
+    for id in ALL_FIGURES {
+        group.bench_with_input(BenchmarkId::from_parameter(id), &id, |b, &id| {
+            let opts = FigOpts { runs: Some(2), ..FigOpts::quick() };
+            b.iter(|| {
+                let report = run_figure(id, &opts).unwrap().unwrap();
+                black_box(report.tables.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_quick_figures);
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! Per-decision cost of the redistribution heuristics.
+//!
+//! §6.2 claims all four heuristics run "within a few seconds" per event
+//! even at scale, making their overhead negligible against executions
+//! spanning days. We measure one fault-policy invocation (IteratedGreedy
+//! vs ShortestTasksFirst) and one end-policy invocation (EndLocal vs
+//! EndGreedy) on paper-scale packs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use redistrib_bench::fault_calc;
+use redistrib_core::policies::{
+    EndGreedy, EndLocal, EndPolicy, FaultPolicy, IteratedGreedy, ShortestTasksFirst,
+};
+use redistrib_core::{optimal_schedule, HeuristicCtx, PackState};
+use redistrib_model::TimeCalc;
+use redistrib_sim::trace::TraceLog;
+
+/// Builds a mid-flight state: Algorithm 1 allocation, all anchors at 0,
+/// task 0 faulty at `now` (rolled back, recovery charged).
+fn fixture(n: usize, p: u32) -> (TimeCalc, PackState, f64) {
+    let mut calc = fault_calc(n, p, 7);
+    let sigma = optimal_schedule(&mut calc, p).expect("feasible");
+    let mut state = PackState::new(p, &sigma);
+    for (i, &s) in sigma.iter().enumerate() {
+        let tu = calc.remaining(i, s, 1.0);
+        state.runtime_mut(i).t_u = tu;
+    }
+    let now = state.runtime(0).t_u * 0.3;
+    // Fault bookkeeping on task 0 (as the engine does).
+    let j = state.sigma(0);
+    let elapsed = now;
+    let retained = calc.progress_faulty(0, j, elapsed);
+    let anchor = now + calc.downtime() + calc.recovery_time(0, j);
+    {
+        let rt = state.runtime_mut(0);
+        rt.alpha -= retained;
+        rt.t_last_r = anchor;
+    }
+    let rem = calc.remaining(0, j, state.runtime(0).alpha);
+    state.runtime_mut(0).t_u = anchor + rem;
+    (calc, state, now)
+}
+
+fn bench_fault_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault_policy");
+    group.sample_size(20);
+    for (n, p) in [(100usize, 1000u32), (100, 5000), (1000, 5000)] {
+        for (name, policy) in [
+            ("IteratedGreedy", &IteratedGreedy as &dyn FaultPolicy),
+            ("ShortestTasksFirst", &ShortestTasksFirst as &dyn FaultPolicy),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("n{n}_p{p}")),
+                &(n, p),
+                |b, &(n, p)| {
+                    b.iter_batched(
+                        || fixture(n, p),
+                        |(mut calc, mut state, now)| {
+                            let eligible: Vec<usize> =
+                                state.active_tasks().filter(|&i| i != 0).collect();
+                            let mut trace = TraceLog::disabled();
+                            let mut count = 0;
+                            let mut ctx = HeuristicCtx {
+                                calc: &mut calc,
+                                state: &mut state,
+                                trace: &mut trace,
+                                now,
+                                eligible: &eligible,
+                                pseudocode_fault_bias: false,
+                                redistributions: &mut count,
+                            };
+                            policy.on_fault(&mut ctx, 0);
+                            black_box(count)
+                        },
+                        criterion::BatchSize::LargeInput,
+                    );
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_end_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_policy");
+    group.sample_size(20);
+    for (n, p) in [(100usize, 1000u32), (1000, 5000)] {
+        for (name, policy) in [
+            ("EndLocal", &EndLocal as &dyn EndPolicy),
+            ("EndGreedy", &EndGreedy as &dyn EndPolicy),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("n{n}_p{p}")),
+                &(n, p),
+                |b, &(n, p)| {
+                    b.iter_batched(
+                        || {
+                            let (calc, mut state, _) = fixture(n, p);
+                            // Complete task 0 so its processors are free.
+                            state.complete(0, 1.0);
+                            (calc, state)
+                        },
+                        |(mut calc, mut state)| {
+                            let now = 1.0;
+                            let eligible: Vec<usize> = state.active_tasks().collect();
+                            let mut trace = TraceLog::disabled();
+                            let mut count = 0;
+                            let mut ctx = HeuristicCtx {
+                                calc: &mut calc,
+                                state: &mut state,
+                                trace: &mut trace,
+                                now,
+                                eligible: &eligible,
+                                pseudocode_fault_bias: false,
+                                redistributions: &mut count,
+                            };
+                            policy.on_task_end(&mut ctx);
+                            black_box(count)
+                        },
+                        criterion::BatchSize::LargeInput,
+                    );
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fault_policies, bench_end_policies);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Shared fixtures for the `redistrib` benchmark suite.
+
+#![warn(clippy::all)]
+
+use std::sync::Arc;
+
+use redistrib_model::{PaperModel, Platform, TaskSpec, TimeCalc, Workload};
+use redistrib_sim::rng::Xoshiro256;
+use redistrib_sim::units;
+
+/// Builds a paper-style workload of `n` tasks with sizes in
+/// `[1.5e6, 2.5e6]`, deterministic in `seed`.
+#[must_use]
+pub fn paper_workload(n: usize, seed: u64) -> Workload {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let tasks = (0..n)
+        .map(|_| TaskSpec::new(rng.uniform(1.5e6, 2.5e6)))
+        .collect();
+    Workload::new(tasks, Arc::new(PaperModel::default()))
+}
+
+/// A platform with the paper's default per-processor MTBF (100 years).
+#[must_use]
+pub fn paper_platform(p: u32) -> Platform {
+    Platform::with_mtbf(p, units::years(100.0))
+}
+
+/// A platform with a configurable MTBF in years.
+#[must_use]
+pub fn platform_with_mtbf(p: u32, mtbf_years: f64) -> Platform {
+    Platform::with_mtbf(p, units::years(mtbf_years))
+}
+
+/// Fault-aware calculator at paper defaults.
+#[must_use]
+pub fn fault_calc(n: usize, p: u32, seed: u64) -> TimeCalc {
+    TimeCalc::new(paper_workload(n, seed), paper_platform(p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let mut calc = fault_calc(10, 100, 1);
+        assert_eq!(calc.num_tasks(), 10);
+        assert!(calc.remaining(0, 4, 1.0) > 0.0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Error types of the scheduling engine.
+
+use std::fmt;
+
+/// Errors raised while building or executing a schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// The platform is too small: buddy checkpointing requires at least two
+    /// processors per task.
+    InsufficientProcessors {
+        /// Minimum processors required (`2n`).
+        needed: u32,
+        /// Processors available (`p`).
+        available: u32,
+    },
+    /// The engine processed more events than its safety limit — indicative
+    /// of a configuration where failures arrive faster than recoveries
+    /// complete.
+    EventLimitExceeded {
+        /// The configured limit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ScheduleError::InsufficientProcessors { needed, available } => write!(
+                f,
+                "insufficient processors: the pack needs at least {needed} \
+                 (two per task, buddy checkpointing), platform has {available}"
+            ),
+            ScheduleError::EventLimitExceeded { limit } => {
+                write!(f, "simulation exceeded the event safety limit ({limit})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = ScheduleError::InsufficientProcessors { needed: 200, available: 64 };
+        let msg = e.to_string();
+        assert!(msg.contains("200") && msg.contains("64"));
+        let e = ScheduleError::EventLimitExceeded { limit: 10 };
+        assert!(e.to_string().contains("10"));
+    }
+}

@@ -1,0 +1,371 @@
+//! Brute-force optimal solvers for small instances.
+//!
+//! Two solvers:
+//!
+//! * [`optimal_no_redistribution`] — exhaustive search over all even
+//!   allocations, the ground truth for Algorithm 1 (Theorem 1 says the
+//!   greedy is optimal; tests verify it against this);
+//! * [`optimal_with_end_redistribution`] — exhaustive search over schedules
+//!   that may redistribute processors whenever a task completes (the
+//!   NP-complete problem of Theorem 2, §4.2), optionally with
+//!   redistribution costs. Exponential; intended for `n ≤ 4` and small `p`,
+//!   to measure how far the heuristics sit from optimal.
+//!
+//! Both solvers work on fault-free or fault-aware [`TimeCalc`]s (the latter
+//! optimizes the *expected* makespan at `α = 1`).
+
+use redistrib_model::TimeCalc;
+
+use crate::error::ScheduleError;
+
+/// Exhaustive optimum of the no-redistribution problem: even allocations
+/// `σ(i) ≥ 2`, `Σσ ≤ p`, minimizing `max_i remaining(i, σ(i), 1)`.
+///
+/// Returns `(sigma, makespan)`.
+///
+/// # Errors
+/// [`ScheduleError::InsufficientProcessors`] if `p < 2n`.
+///
+/// # Panics
+/// Panics if the instance is too large to enumerate (`n > 8`).
+pub fn optimal_no_redistribution(
+    calc: &mut TimeCalc,
+    p: u32,
+) -> Result<(Vec<u32>, f64), ScheduleError> {
+    let n = calc.num_tasks();
+    assert!(n <= 8, "exhaustive search limited to 8 tasks, got {n}");
+    if p < 2 * n as u32 {
+        return Err(ScheduleError::InsufficientProcessors { needed: 2 * n as u32, available: p });
+    }
+
+    let mut sigma = vec![2u32; n];
+    let mut best_sigma = sigma.clone();
+    let mut best = f64::INFINITY;
+    search_alloc(calc, p, 0, &mut sigma, 0.0, &mut best, &mut best_sigma);
+    Ok((best_sigma, best))
+}
+
+/// Depth-first enumeration of even allocations with a running max.
+fn search_alloc(
+    calc: &mut TimeCalc,
+    p: u32,
+    i: usize,
+    sigma: &mut Vec<u32>,
+    current_max: f64,
+    best: &mut f64,
+    best_sigma: &mut Vec<u32>,
+) {
+    let n = sigma.len();
+    if i == n {
+        if current_max < *best {
+            *best = current_max;
+            best_sigma.clone_from(sigma);
+        }
+        return;
+    }
+    let used: u32 = sigma[..i].iter().sum();
+    let reserve = 2 * (n - i - 1) as u32; // two procs for each later task
+    let max_here = p - used - reserve;
+    let mut s = 2;
+    while s <= max_here {
+        sigma[i] = s;
+        let t = calc.remaining(i, s, 1.0);
+        let new_max = current_max.max(t);
+        // Prune: the makespan only grows along the path.
+        if new_max < *best {
+            search_alloc(calc, p, i + 1, sigma, new_max, best, best_sigma);
+        }
+        s += 2;
+    }
+    sigma[i] = 2;
+}
+
+/// One redistribution decision point in an optimal end-redistribution
+/// schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExactSchedule {
+    /// Initial allocation.
+    pub initial: Vec<u32>,
+    /// Optimal makespan.
+    pub makespan: f64,
+}
+
+/// Exhaustive optimum when processors may be redistributed *each time a task
+/// completes* (fault-free; the Theorem 2 setting). `with_costs` charges
+/// `RC^{j→k}` per move (Eq. 9) plus the post-redistribution checkpoint when
+/// the calculator is fault-aware.
+///
+/// The search enumerates initial even allocations and, recursively, all even
+/// reallocations of the remaining tasks at each completion time. Complexity
+/// is super-exponential — keep `n ≤ 3` and `p ≤ 12`.
+///
+/// # Errors
+/// [`ScheduleError::InsufficientProcessors`] if `p < 2n`.
+///
+/// # Panics
+/// Panics if the instance is too large (`n > 3` or `p > 16`).
+pub fn optimal_with_end_redistribution(
+    calc: &mut TimeCalc,
+    p: u32,
+    with_costs: bool,
+) -> Result<ExactSchedule, ScheduleError> {
+    let n = calc.num_tasks();
+    assert!(n <= 3 && p <= 16, "exhaustive redistribution search limited to n ≤ 3, p ≤ 16");
+    if p < 2 * n as u32 {
+        return Err(ScheduleError::InsufficientProcessors { needed: 2 * n as u32, available: p });
+    }
+
+    // Enumerate initial allocations; for each, simulate recursively.
+    let mut best = f64::INFINITY;
+    let mut best_initial = vec![2u32; n];
+    let mut allocations = Vec::new();
+    enumerate_even_allocations(n, p, &mut vec![2u32; n], 0, &mut allocations);
+    for alloc in &allocations {
+        // State per task: (alpha, sigma, anchor_time).
+        let state: Vec<TaskState> = alloc
+            .iter()
+            .map(|&s| TaskState { alpha: 1.0, sigma: s, anchor: 0.0 })
+            .collect();
+        let mk = best_completion(calc, p, state, 0.0, with_costs, best);
+        if mk < best {
+            best = mk;
+            best_initial.clone_from_slice(alloc);
+        }
+    }
+    Ok(ExactSchedule { initial: best_initial, makespan: best })
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TaskState {
+    alpha: f64,
+    sigma: u32,
+    anchor: f64,
+}
+
+/// Minimal completion time from a state where every remaining task `i` has
+/// `alpha` work left, `sigma` processors, and resumed at `anchor`.
+fn best_completion(
+    calc: &mut TimeCalc,
+    p: u32,
+    state: Vec<TaskState>,
+    now: f64,
+    with_costs: bool,
+    upper_bound: f64,
+) -> f64 {
+    // Finish times with the current allocation.
+    let finish: Vec<(usize, f64)> = state
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.alpha > 0.0)
+        .map(|(i, s)| (i, s.anchor + calc.remaining(i, s.sigma, s.alpha)))
+        .collect();
+    if finish.is_empty() {
+        return now;
+    }
+    let (first, t_first) = finish
+        .iter()
+        .copied()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        .expect("non-empty");
+    if finish.len() == 1 {
+        return t_first;
+    }
+    if t_first >= upper_bound {
+        return f64::INFINITY; // prune: already no better
+    }
+
+    // Task `first` completes at t_first; its processors free up. Enumerate
+    // all even top-ups of the remaining tasks.
+    let remaining: Vec<usize> = finish.iter().map(|&(i, _)| i).filter(|&i| i != first).collect();
+    let used: u32 = remaining.iter().map(|&i| state[i].sigma).sum();
+    let free = p - used;
+
+    let mut best = f64::INFINITY;
+    let mut extras = vec![0u32; remaining.len()];
+    enumerate_extras(free, 0, &mut extras, &mut |extras: &[u32]| {
+        let mut next = Vec::with_capacity(remaining.len());
+        let mut padded = vec![TaskState { alpha: 0.0, sigma: 0, anchor: 0.0 }; state.len()];
+        for (slot, &i) in remaining.iter().enumerate() {
+            let s = state[i];
+            let new_sigma = s.sigma + extras[slot];
+            // Work progressed from the task's anchor to t_first at its old
+            // allocation (fault-free accounting, as in §3.3.1).
+            let elapsed = t_first - s.anchor;
+            let progress = elapsed / calc.fault_free_time(i, s.sigma);
+            let alpha_t = (s.alpha - progress).max(0.0);
+            let (anchor, alpha) = if new_sigma == s.sigma {
+                (s.anchor, s.alpha) // untouched: keeps running
+            } else {
+                let cost = if with_costs {
+                    calc.rc_cost(i, s.sigma, new_sigma)
+                        + calc.checkpoint_cost(i, new_sigma)
+                } else {
+                    0.0
+                };
+                (t_first + cost, alpha_t)
+            };
+            padded[i] = TaskState { alpha, sigma: new_sigma, anchor };
+            next.push(i);
+        }
+        let mk = best_completion(calc, p, padded, t_first, with_costs, best.min(upper_bound));
+        if mk < best {
+            best = mk;
+        }
+    });
+    best
+}
+
+/// Enumerates all even allocations `σ(i) ≥ 2` with `Σσ ≤ p`.
+fn enumerate_even_allocations(
+    n: usize,
+    p: u32,
+    sigma: &mut Vec<u32>,
+    i: usize,
+    out: &mut Vec<Vec<u32>>,
+) {
+    if i == n {
+        out.push(sigma.clone());
+        return;
+    }
+    let used: u32 = sigma[..i].iter().sum();
+    let reserve = 2 * (n - i - 1) as u32;
+    let mut s = 2;
+    while used + s + reserve <= p {
+        sigma[i] = s;
+        enumerate_even_allocations(n, p, sigma, i + 1, out);
+        s += 2;
+    }
+    sigma[i] = 2;
+}
+
+/// Enumerates all even distributions of at most `free` processors over the
+/// slots (including giving nothing).
+fn enumerate_extras(free: u32, slot: usize, extras: &mut Vec<u32>, f: &mut impl FnMut(&[u32])) {
+    if slot == extras.len() {
+        f(extras);
+        return;
+    }
+    let used: u32 = extras[..slot].iter().sum();
+    let mut e = 0;
+    while used + e <= free {
+        extras[slot] = e;
+        enumerate_extras(free, slot + 1, extras, f);
+        e += 2;
+    }
+    extras[slot] = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimal::optimal_schedule;
+    use redistrib_model::{PaperModel, Platform, TaskSpec, TimeCalc, Workload};
+    use redistrib_sim::units;
+    use std::sync::Arc;
+
+    fn calc(sizes: &[f64], p: u32, fault_aware: bool) -> TimeCalc {
+        let w = Workload::new(
+            sizes.iter().map(|&m| TaskSpec::new(m)).collect(),
+            Arc::new(PaperModel::default()),
+        );
+        let platform = Platform::with_mtbf(p, units::years(100.0));
+        if fault_aware {
+            TimeCalc::new(w, platform)
+        } else {
+            TimeCalc::fault_free(w, platform)
+        }
+    }
+
+    #[test]
+    fn brute_force_matches_greedy_fault_free() {
+        for (sizes, p) in [
+            (vec![2.0e6, 1.5e6], 10u32),
+            (vec![2.0e6, 1.5e6, 1.8e6], 12),
+            (vec![2.4e6, 1.5e6, 1.9e6, 2.1e6], 16),
+        ] {
+            let mut c = calc(&sizes, p, false);
+            let sigma = optimal_schedule(&mut c, p).unwrap();
+            let greedy_mk = sigma
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| c.remaining(i, s, 1.0))
+                .fold(0.0, f64::max);
+            let (_, exact_mk) = optimal_no_redistribution(&mut c, p).unwrap();
+            assert!(
+                (greedy_mk - exact_mk).abs() / exact_mk < 1e-9,
+                "p={p}: greedy {greedy_mk} vs exact {exact_mk}"
+            );
+        }
+    }
+
+    #[test]
+    fn brute_force_matches_greedy_fault_aware() {
+        // Theorem 1 extends to the expected times t^R.
+        let sizes = vec![2.2e6, 1.6e6, 1.9e6];
+        let p = 14;
+        let mut c = calc(&sizes, p, true);
+        let sigma = optimal_schedule(&mut c, p).unwrap();
+        let greedy_mk = sigma
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| c.remaining(i, s, 1.0))
+            .fold(0.0, f64::max);
+        let (_, exact_mk) = optimal_no_redistribution(&mut c, p).unwrap();
+        assert!((greedy_mk - exact_mk).abs() / exact_mk < 1e-9);
+    }
+
+    #[test]
+    fn redistribution_optimum_no_worse_than_static() {
+        let sizes = vec![2.0e6, 1.4e6];
+        let p = 8;
+        let mut c = calc(&sizes, p, false);
+        let (_, static_mk) = optimal_no_redistribution(&mut c, p).unwrap();
+        let dynamic = optimal_with_end_redistribution(&mut c, p, false).unwrap();
+        assert!(
+            dynamic.makespan <= static_mk * (1.0 + 1e-9),
+            "dynamic {} vs static {static_mk}",
+            dynamic.makespan
+        );
+    }
+
+    #[test]
+    fn free_redistribution_beats_static_on_skewed_pack() {
+        // One long and one short task: once the short one ends, the long one
+        // should absorb its processors, strictly beating any static split.
+        let sizes = vec![2.4e6, 1.5e6];
+        let p = 6;
+        let mut c = calc(&sizes, p, false);
+        let (_, static_mk) = optimal_no_redistribution(&mut c, p).unwrap();
+        let dynamic = optimal_with_end_redistribution(&mut c, p, false).unwrap();
+        assert!(
+            dynamic.makespan < static_mk * 0.999,
+            "dynamic {} should clearly beat static {static_mk}",
+            dynamic.makespan
+        );
+    }
+
+    #[test]
+    fn costs_only_increase_optimal_makespan() {
+        let sizes = vec![2.0e6, 1.5e6];
+        let p = 8;
+        let mut c = calc(&sizes, p, false);
+        let free = optimal_with_end_redistribution(&mut c, p, false).unwrap();
+        let costed = optimal_with_end_redistribution(&mut c, p, true).unwrap();
+        assert!(costed.makespan >= free.makespan * (1.0 - 1e-12));
+    }
+
+    #[test]
+    fn single_task_trivial() {
+        let mut c = calc(&[2.0e6], 6, false);
+        let (sigma, mk) = optimal_no_redistribution(&mut c, 6).unwrap();
+        assert_eq!(sigma, vec![6]);
+        assert!((mk - c.remaining(0, 6, 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn insufficient_processors() {
+        let mut c = calc(&[2.0e6, 2.0e6], 2, false);
+        assert!(optimal_no_redistribution(&mut c, 2).is_err());
+        assert!(optimal_with_end_redistribution(&mut c, 2, false).is_err());
+    }
+}

@@ -1,0 +1,161 @@
+//! A lazy-deletion max-heap over `(value, index)` pairs.
+//!
+//! The greedy loops of Algorithms 1, 3 and 5 repeatedly need "the task with
+//! the longest expected finish time", with values that change as processors
+//! are granted. A `BinaryHeap` with stale-entry skipping gives `O(log n)`
+//! per operation: updates push a fresh entry, and `peek_max` discards
+//! entries whose value no longer matches the authoritative `current` array.
+//!
+//! Ties break toward the lowest index, matching the deterministic list
+//! order used throughout (`head(L)` on equal times is the earliest task).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    val: f64,
+    idx: usize,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.val == other.val && self.idx == other.idx
+    }
+}
+impl Eq for Entry {}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max by value; ties prefer the lowest index (so reverse idx).
+        self.val
+            .partial_cmp(&other.val)
+            .expect("heap values are finite")
+            .then_with(|| other.idx.cmp(&self.idx))
+    }
+}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Max-heap with O(log n) updates via lazy deletion.
+#[derive(Debug, Clone)]
+pub struct LazyMaxHeap {
+    heap: BinaryHeap<Entry>,
+    current: Vec<f64>,
+}
+
+impl LazyMaxHeap {
+    /// Builds a heap over `values` (index `i` carries `values[i]`).
+    ///
+    /// # Panics
+    /// Panics if any value is not finite.
+    #[must_use]
+    pub fn new(values: &[f64]) -> Self {
+        assert!(values.iter().all(|v| v.is_finite()), "values must be finite");
+        let heap = values
+            .iter()
+            .enumerate()
+            .map(|(idx, &val)| Entry { val, idx })
+            .collect();
+        Self { heap, current: values.to_vec() }
+    }
+
+    /// Sets `idx`'s value and reinserts it.
+    ///
+    /// # Panics
+    /// Panics if `val` is not finite.
+    pub fn update(&mut self, idx: usize, val: f64) {
+        assert!(val.is_finite(), "values must be finite");
+        self.current[idx] = val;
+        self.heap.push(Entry { val, idx });
+    }
+
+    /// Removes `idx` from consideration.
+    pub fn remove(&mut self, idx: usize) {
+        self.current[idx] = f64::NAN; // never matches a heap entry again
+    }
+
+    /// Returns the `(index, value)` with the maximum value without removing
+    /// it, discarding stale entries along the way. `None` when empty.
+    pub fn peek_max(&mut self) -> Option<(usize, f64)> {
+        while let Some(top) = self.heap.peek() {
+            if self.current[top.idx] == top.val {
+                return Some((top.idx, top.val));
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Current value of `idx` (NaN if removed).
+    #[must_use]
+    pub fn value(&self, idx: usize) -> f64 {
+        self.current[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peek_returns_max() {
+        let mut h = LazyMaxHeap::new(&[3.0, 9.0, 5.0]);
+        assert_eq!(h.peek_max(), Some((1, 9.0)));
+        // Peek does not remove.
+        assert_eq!(h.peek_max(), Some((1, 9.0)));
+    }
+
+    #[test]
+    fn update_moves_entries() {
+        let mut h = LazyMaxHeap::new(&[3.0, 9.0, 5.0]);
+        h.update(1, 1.0);
+        assert_eq!(h.peek_max(), Some((2, 5.0)));
+        h.update(0, 50.0);
+        assert_eq!(h.peek_max(), Some((0, 50.0)));
+    }
+
+    #[test]
+    fn remove_skips_entries() {
+        let mut h = LazyMaxHeap::new(&[3.0, 9.0, 5.0]);
+        h.remove(1);
+        assert_eq!(h.peek_max(), Some((2, 5.0)));
+        h.remove(2);
+        assert_eq!(h.peek_max(), Some((0, 3.0)));
+        h.remove(0);
+        assert_eq!(h.peek_max(), None);
+    }
+
+    #[test]
+    fn ties_break_to_lowest_index() {
+        let mut h = LazyMaxHeap::new(&[7.0, 7.0, 7.0]);
+        assert_eq!(h.peek_max(), Some((0, 7.0)));
+        h.remove(0);
+        assert_eq!(h.peek_max(), Some((1, 7.0)));
+    }
+
+    #[test]
+    fn stale_entries_do_not_resurrect() {
+        let mut h = LazyMaxHeap::new(&[10.0, 1.0]);
+        h.update(0, 0.5);
+        h.update(0, 0.7);
+        assert_eq!(h.peek_max(), Some((1, 1.0)));
+        h.remove(1);
+        assert_eq!(h.peek_max(), Some((0, 0.7)));
+    }
+
+    #[test]
+    fn empty_heap() {
+        let mut h = LazyMaxHeap::new(&[]);
+        assert_eq!(h.peek_max(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan_values() {
+        let _ = LazyMaxHeap::new(&[f64::NAN]);
+    }
+}

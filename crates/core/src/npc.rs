@@ -1,0 +1,397 @@
+//! The Theorem 2 reduction, as an executable gadget.
+//!
+//! §4.2 proves that minimizing the makespan *with* redistributions is
+//! NP-complete in the strong sense (even fault-free, with zero
+//! redistribution cost) by reduction from 3-partition. This module builds
+//! the reduction's scheduling instance from a 3-partition instance,
+//! simulates the intended schedule, and brute-forces small instances — so
+//! the construction's yes/no equivalence can be *executed*, not just read:
+//!
+//! * a 3-partition solution yields a schedule of makespan exactly
+//!   `D = max_i a_i + 1`;
+//! * any unbalanced partition yields `D + (S_k − B)/4 > D` for its heaviest
+//!   triple `k`.
+
+/// A 3-partition instance: `3m` positive integers with `B/4 < a_i < B/2`
+/// and `Σ a_i = m·B`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreePartition {
+    /// The target triple sum `B`.
+    pub b: u64,
+    /// The `3m` items.
+    pub items: Vec<u64>,
+}
+
+impl ThreePartition {
+    /// Validates and builds an instance.
+    ///
+    /// # Panics
+    /// Panics if the item count is not a positive multiple of 3, if any item
+    /// violates `B/4 < a_i < B/2` (strict, so every group of sum `B` has
+    /// exactly three items), or if the total is not `m·B`.
+    #[must_use]
+    pub fn new(b: u64, items: Vec<u64>) -> Self {
+        assert!(!items.is_empty() && items.len().is_multiple_of(3), "need 3m items");
+        let m = (items.len() / 3) as u64;
+        for &a in &items {
+            assert!(4 * a > b && 4 * a < 2 * b, "item {a} outside (B/4, B/2) for B={b}");
+        }
+        assert_eq!(items.iter().sum::<u64>(), m * b, "items must sum to m·B");
+        Self { b, items }
+    }
+
+    /// Number of triples `m`.
+    #[must_use]
+    pub fn m(&self) -> usize {
+        self.items.len() / 3
+    }
+
+    /// The deadline `D = max_i a_i + 1` of the reduction.
+    #[must_use]
+    pub fn deadline(&self) -> f64 {
+        (*self.items.iter().max().expect("non-empty") + 1) as f64
+    }
+}
+
+/// One task of the reduction's scheduling instance, with its malleable
+/// fault-free profile `t(j)`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GadgetTask {
+    /// Small task `i ≤ 3m`: `t(1) = a_i`, `t(j) = 3a_i/4` for `j > 1`
+    /// (strictly more work on several processors).
+    Small {
+        /// The 3-partition item `a_i`.
+        a: u64,
+    },
+    /// Large task: `t(j) = (4D−B)/j` for `j ≤ 4` (conserved work `4D−B`),
+    /// `t(j) = 2(4D−B)/9` for `j > 4` (strictly more work).
+    Large {
+        /// The conserved work `4D − B`.
+        work: f64,
+    },
+}
+
+impl GadgetTask {
+    /// Fault-free execution time on `j ≥ 1` processors.
+    ///
+    /// # Panics
+    /// Panics if `j == 0`.
+    #[must_use]
+    pub fn time(&self, j: u32) -> f64 {
+        assert!(j >= 1, "at least one processor");
+        match *self {
+            GadgetTask::Small { a } => {
+                if j == 1 {
+                    a as f64
+                } else {
+                    0.75 * a as f64
+                }
+            }
+            GadgetTask::Large { work } => {
+                if j <= 4 {
+                    work / f64::from(j)
+                } else {
+                    2.0 * work / 9.0
+                }
+            }
+        }
+    }
+
+    /// The work `j·t(j)`.
+    #[must_use]
+    pub fn work(&self, j: u32) -> f64 {
+        f64::from(j) * self.time(j)
+    }
+}
+
+/// Builds the `4m` tasks of instance `I₂` from a 3-partition instance
+/// (small tasks first, then the `m` identical large tasks).
+#[must_use]
+pub fn build_tasks(inst: &ThreePartition) -> Vec<GadgetTask> {
+    let d = inst.deadline();
+    let work = 4.0 * d - inst.b as f64;
+    inst.items
+        .iter()
+        .map(|&a| GadgetTask::Small { a })
+        .chain(std::iter::repeat_with(move || GadgetTask::Large { work }).take(inst.m()))
+        .collect()
+}
+
+/// Finish time of a malleable task whose processor count changes over time:
+/// `profile` is the task, `phases` the `(start_time, procs)` steps in
+/// increasing time starting at 0. The task completes when the accumulated
+/// fraction `Σ Δt/t(j)` reaches 1.
+///
+/// # Panics
+/// Panics if `phases` is empty, does not start at 0, or the task never
+/// finishes with the final processor count.
+#[must_use]
+pub fn malleable_finish(profile: &GadgetTask, phases: &[(f64, u32)]) -> f64 {
+    assert!(!phases.is_empty() && phases[0].0 == 0.0, "phases must start at t = 0");
+    let mut fraction = 0.0;
+    for (idx, &(start, procs)) in phases.iter().enumerate() {
+        let rate = 1.0 / profile.time(procs);
+        match phases.get(idx + 1) {
+            Some(&(next_start, _)) => {
+                debug_assert!(next_start >= start, "phases must be sorted");
+                let span = next_start - start;
+                if fraction + rate * span >= 1.0 {
+                    return start + (1.0 - fraction) / rate;
+                }
+                fraction += rate * span;
+            }
+            None => {
+                return start + (1.0 - fraction) / rate;
+            }
+        }
+    }
+    unreachable!("loop returns on the final phase");
+}
+
+/// Makespan of the reduction's intended schedule for a given partition of
+/// `{0, …, 3m−1}` into triples: every task starts on one processor; when a
+/// small task of triple `k` finishes, its processor joins large task `k`.
+///
+/// # Panics
+/// Panics if `partition` is not a permutation of the small-task indices in
+/// triples.
+#[must_use]
+pub fn makespan_for_partition(inst: &ThreePartition, partition: &[[usize; 3]]) -> f64 {
+    assert_eq!(partition.len(), inst.m(), "need m triples");
+    let mut seen = vec![false; inst.items.len()];
+    for triple in partition {
+        for &i in triple {
+            assert!(!seen[i], "index {i} reused");
+            seen[i] = true;
+        }
+    }
+    assert!(seen.iter().all(|&s| s), "all small tasks must be covered");
+
+    let d = inst.deadline();
+    let work = 4.0 * d - inst.b as f64;
+    let mut makespan: f64 = 0.0;
+    for triple in partition {
+        // Small tasks run alone on one processor: finish at a_i < D.
+        let mut ends: Vec<f64> = triple.iter().map(|&i| inst.items[i] as f64).collect();
+        ends.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        for &e in &ends {
+            makespan = makespan.max(e);
+        }
+        // The large task starts on 1 processor and gains one per completion.
+        let large = GadgetTask::Large { work };
+        let phases = [
+            (0.0, 1u32),
+            (ends[0], 2),
+            (ends[1], 3),
+            (ends[2], 4),
+        ];
+        makespan = makespan.max(malleable_finish(&large, &phases));
+    }
+    makespan
+}
+
+/// Brute-force search for a perfect 3-partition (each triple sums to `B`).
+/// Exponential; intended for `m ≤ 4`.
+#[must_use]
+pub fn find_partition(inst: &ThreePartition) -> Option<Vec<[usize; 3]>> {
+    let n = inst.items.len();
+    let mut used = vec![false; n];
+    let mut triples = Vec::with_capacity(inst.m());
+    if search(inst, &mut used, &mut triples) {
+        Some(triples)
+    } else {
+        None
+    }
+}
+
+fn search(inst: &ThreePartition, used: &mut [bool], triples: &mut Vec<[usize; 3]>) -> bool {
+    let n = inst.items.len();
+    // Lowest unused index anchors the next triple (canonical form kills
+    // permutation symmetry).
+    let Some(first) = (0..n).find(|&i| !used[i]) else {
+        return true;
+    };
+    used[first] = true;
+    for second in first + 1..n {
+        if used[second] || inst.items[first] + inst.items[second] >= inst.b {
+            continue;
+        }
+        used[second] = true;
+        for third in second + 1..n {
+            if used[third]
+                || inst.items[first] + inst.items[second] + inst.items[third] != inst.b
+            {
+                continue;
+            }
+            used[third] = true;
+            triples.push([first, second, third]);
+            if search(inst, used, triples) {
+                return true;
+            }
+            triples.pop();
+            used[third] = false;
+        }
+        used[second] = false;
+    }
+    used[first] = false;
+    false
+}
+
+/// Decision procedure for small instances: does a schedule of makespan `D`
+/// exist? Equivalent (Theorem 2) to the 3-partition question.
+#[must_use]
+pub fn has_deadline_schedule(inst: &ThreePartition) -> bool {
+    find_partition(inst).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// m = 2, B = 100, solvable: {33, 33, 34} and {26, 35, 39}.
+    fn yes_instance() -> ThreePartition {
+        ThreePartition::new(100, vec![33, 33, 34, 26, 35, 39])
+    }
+
+    /// m = 2, B = 100, all items odd ⇒ every triple sum is odd ≠ 100.
+    fn no_instance() -> ThreePartition {
+        ThreePartition::new(100, vec![27, 29, 31, 37, 39, 37])
+    }
+
+    #[test]
+    fn instance_validation() {
+        let inst = yes_instance();
+        assert_eq!(inst.m(), 2);
+        assert_eq!(inst.deadline(), 40.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (B/4, B/2)")]
+    fn rejects_out_of_range_items() {
+        let _ = ThreePartition::new(100, vec![25, 40, 35, 30, 40, 30]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to m·B")]
+    fn rejects_bad_total() {
+        let _ = ThreePartition::new(100, vec![33, 33, 33, 26, 35, 39]);
+    }
+
+    #[test]
+    fn task_profiles_match_reduction() {
+        let inst = yes_instance();
+        let tasks = build_tasks(&inst);
+        assert_eq!(tasks.len(), 8);
+        // Small task: t(1) = a, t(j>1) = 3a/4, work strictly increasing.
+        assert_eq!(tasks[0].time(1), 33.0);
+        assert_eq!(tasks[0].time(2), 24.75);
+        assert!(tasks[0].work(2) > tasks[0].work(1));
+        // Large task: work conserved up to 4 procs, inflated beyond.
+        let d = inst.deadline();
+        let w = 4.0 * d - 100.0;
+        assert_eq!(tasks[6].time(1), w);
+        assert_eq!(tasks[6].time(4), w / 4.0);
+        assert!((tasks[6].work(4) - w).abs() < 1e-12);
+        assert!(tasks[6].work(5) > w);
+    }
+
+    #[test]
+    fn times_non_increasing_work_non_decreasing() {
+        let inst = yes_instance();
+        for task in build_tasks(&inst) {
+            let mut last_t = f64::INFINITY;
+            let mut last_w = 0.0;
+            for j in 1..=8 {
+                let t = task.time(j);
+                let w = task.work(j);
+                assert!(t <= last_t + 1e-12, "time increased at j={j}");
+                assert!(w >= last_w - 1e-12, "work decreased at j={j}");
+                last_t = t;
+                last_w = w;
+            }
+        }
+    }
+
+    #[test]
+    fn malleable_finish_constant_profile() {
+        let task = GadgetTask::Large { work: 60.0 };
+        // 1 processor throughout: finishes at 60.
+        assert!((malleable_finish(&task, &[(0.0, 1)]) - 60.0).abs() < 1e-12);
+        // 4 processors throughout: 15.
+        assert!((malleable_finish(&task, &[(0.0, 4)]) - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn malleable_finish_with_growth() {
+        // Work 60; 1 proc for 10 units (10 done), then 2 procs: remaining 50
+        // at rate 2 → 25 more; finish at 35.
+        let task = GadgetTask::Large { work: 60.0 };
+        let finish = malleable_finish(&task, &[(0.0, 1), (10.0, 2)]);
+        assert!((finish - 35.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn yes_instance_achieves_deadline() {
+        let inst = yes_instance();
+        let partition = find_partition(&inst).expect("solvable");
+        let makespan = makespan_for_partition(&inst, &partition);
+        // Perfect partition ⇒ every large task ends exactly at D.
+        assert!(
+            (makespan - inst.deadline()).abs() < 1e-9,
+            "makespan {makespan} vs D {}",
+            inst.deadline()
+        );
+    }
+
+    #[test]
+    fn closed_form_for_unbalanced_partition() {
+        // Finish of triple k is D + (S_k − B)/4.
+        let inst = yes_instance();
+        let unbalanced = [[0usize, 1, 3], [2, 4, 5]]; // sums 92 and 108
+        let makespan = makespan_for_partition(&inst, &unbalanced);
+        let d = inst.deadline();
+        assert!(
+            (makespan - (d + 8.0 / 4.0)).abs() < 1e-9,
+            "makespan {makespan}, expected {}",
+            d + 2.0
+        );
+        assert!(makespan > d);
+    }
+
+    #[test]
+    fn no_instance_misses_deadline() {
+        let inst = no_instance();
+        assert!(!has_deadline_schedule(&inst));
+        // Every partition of a no-instance exceeds D.
+        let d = inst.deadline();
+        let indices = [[0usize, 1, 2], [3, 4, 5]];
+        assert!(makespan_for_partition(&inst, &indices) > d);
+    }
+
+    #[test]
+    fn decision_matches_partition_existence() {
+        assert!(has_deadline_schedule(&yes_instance()));
+        assert!(!has_deadline_schedule(&no_instance()));
+    }
+
+    #[test]
+    fn larger_yes_instance() {
+        // m = 3, B = 90: triples {29, 30, 31} × 3 shuffled.
+        let inst = ThreePartition::new(90, vec![29, 31, 29, 30, 31, 30, 30, 29, 31]);
+        let partition = find_partition(&inst).expect("solvable");
+        assert_eq!(partition.len(), 3);
+        for triple in &partition {
+            let sum: u64 = triple.iter().map(|&i| inst.items[i]).sum();
+            assert_eq!(sum, 90);
+        }
+        let makespan = makespan_for_partition(&inst, &partition);
+        assert!((makespan - inst.deadline()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "reused")]
+    fn partition_validation_catches_duplicates() {
+        let inst = yes_instance();
+        let _ = makespan_for_partition(&inst, &[[0, 0, 1], [2, 3, 4]]);
+    }
+}

@@ -1,0 +1,200 @@
+//! Algorithm 1: optimal schedule without redistribution.
+//!
+//! Greedy processor allocation (Theorem 1): start every task at two
+//! processors (buddy checkpointing), then repeatedly give two more to the
+//! task with the longest (effective, Eq. 6) expected execution time, as long
+//! as that task can still strictly improve with the processors that remain.
+//! If the longest task cannot improve, no allocation can reduce the pack's
+//! makespan, and remaining processors are deliberately kept free for later
+//! redistributions (line 9 of Algorithm 1).
+//!
+//! The same routine serves the fault-free setting (Figs. 5–6): with a
+//! fault-free [`TimeCalc`] the expected times degenerate to the plain
+//! `t_{i,j}`, recovering Optimal-1-Pack-Schedule of [Aupy et al. 2015]
+//! restricted to even allocations.
+
+use redistrib_model::TimeCalc;
+
+use crate::error::ScheduleError;
+
+/// Computes the optimal no-redistribution allocation `σ` for `p` processors.
+///
+/// Expected times are evaluated at full work (`α = 1`). The returned vector
+/// has one even entry ≥ 2 per task and sums to at most `p`.
+///
+/// ```
+/// use redistrib_core::optimal_schedule;
+/// use redistrib_model::{PaperModel, Platform, TaskSpec, TimeCalc, Workload};
+/// use std::sync::Arc;
+///
+/// let workload = Workload::new(
+///     vec![TaskSpec::new(2.5e6), TaskSpec::new(1.5e6)],
+///     Arc::new(PaperModel::default()),
+/// );
+/// let mut calc = TimeCalc::new(workload, Platform::new(16));
+/// let sigma = optimal_schedule(&mut calc, 16).unwrap();
+/// assert_eq!(sigma.iter().sum::<u32>(), 16);
+/// assert!(sigma[0] > sigma[1], "the bigger task gets more processors");
+/// ```
+///
+/// # Errors
+/// Returns [`ScheduleError::InsufficientProcessors`] if `p < 2n`.
+pub fn optimal_schedule(calc: &mut TimeCalc, p: u32) -> Result<Vec<u32>, ScheduleError> {
+    let n = calc.num_tasks();
+    let needed = 2 * n as u32;
+    if p < needed {
+        return Err(ScheduleError::InsufficientProcessors { needed, available: p });
+    }
+
+    let mut sigma = vec![2u32; n];
+    // Effective (Eq. 6) expected times: running minima over the allocations
+    // visited so far, so a temporarily non-improving +2 step cannot raise
+    // the stored value.
+    let mut val: Vec<f64> = (0..n).map(|i| calc.remaining(i, 2, 1.0)).collect();
+    let mut available = p - needed;
+
+    while available >= 2 {
+        // Head of the list: the task with the longest effective time
+        // (ties toward the lowest id, matching the deterministic list
+        // ordering of the paper's pseudocode).
+        let head = argmax(&val);
+        let pmax = sigma[head] + available;
+        if calc.improvable_up_to(head, sigma[head], val[head], pmax, 1.0) {
+            sigma[head] += 2;
+            available -= 2;
+            let raw = calc.remaining(head, sigma[head], 1.0);
+            val[head] = val[head].min(raw);
+        } else {
+            // The longest task cannot improve: keep the rest available.
+            available = 0;
+        }
+    }
+    Ok(sigma)
+}
+
+/// Index of the maximum value (first one on ties).
+fn argmax(values: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &v) in values.iter().enumerate().skip(1) {
+        if v > values[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redistrib_model::{PaperModel, Platform, TaskSpec, TimeCalc, Workload};
+    use redistrib_sim::units;
+    use std::sync::Arc;
+
+    fn workload(sizes: &[f64]) -> Workload {
+        Workload::new(
+            sizes.iter().map(|&m| TaskSpec::new(m)).collect(),
+            Arc::new(PaperModel::default()),
+        )
+    }
+
+    fn fault_calc(sizes: &[f64], p: u32) -> TimeCalc {
+        TimeCalc::new(workload(sizes), Platform::with_mtbf(p, units::years(100.0)))
+    }
+
+    #[test]
+    fn rejects_small_platform() {
+        let mut calc = fault_calc(&[2e6, 2e6], 3);
+        assert_eq!(
+            optimal_schedule(&mut calc, 3),
+            Err(ScheduleError::InsufficientProcessors { needed: 4, available: 3 })
+        );
+    }
+
+    #[test]
+    fn minimal_platform_gives_two_each() {
+        let mut calc = fault_calc(&[2e6, 1e6, 1.5e6], 6);
+        assert_eq!(optimal_schedule(&mut calc, 6).unwrap(), vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn allocations_even_and_within_p() {
+        let mut calc = fault_calc(&[2.5e6, 1.5e6, 2e6, 1.8e6], 64);
+        let sigma = optimal_schedule(&mut calc, 64).unwrap();
+        assert!(sigma.iter().all(|&s| s >= 2 && s % 2 == 0));
+        assert!(sigma.iter().sum::<u32>() <= 64);
+    }
+
+    #[test]
+    fn larger_tasks_get_more_processors() {
+        let mut calc = fault_calc(&[2.5e6, 1.5e6], 40);
+        let sigma = optimal_schedule(&mut calc, 40).unwrap();
+        assert!(
+            sigma[0] >= sigma[1],
+            "bigger task should not get fewer procs: {sigma:?}"
+        );
+    }
+
+    #[test]
+    fn uses_all_processors_while_improvable() {
+        // At these scales every +2 improves, so the greedy exhausts p.
+        let mut calc = fault_calc(&[2e6, 2e6], 32);
+        let sigma = optimal_schedule(&mut calc, 32).unwrap();
+        assert_eq!(sigma.iter().sum::<u32>(), 32);
+    }
+
+    #[test]
+    fn balances_identical_tasks() {
+        let mut calc = fault_calc(&[2e6, 2e6, 2e6, 2e6], 48);
+        let sigma = optimal_schedule(&mut calc, 48).unwrap();
+        let min = *sigma.iter().min().unwrap();
+        let max = *sigma.iter().max().unwrap();
+        assert!(max - min <= 2, "identical tasks should balance: {sigma:?}");
+    }
+
+    #[test]
+    fn minimizes_makespan_vs_brute_force() {
+        // Exhaustively verify optimality on a small instance.
+        let sizes = [2.2e6, 1.6e6, 1.9e6];
+        let p = 14u32;
+        let mut calc = fault_calc(&sizes, p);
+        let sigma = optimal_schedule(&mut calc, p).unwrap();
+        let greedy_makespan = sigma
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| calc.remaining(i, s, 1.0))
+            .fold(0.0, f64::max);
+
+        let mut best = f64::INFINITY;
+        for s0 in (2..=p - 4).step_by(2) {
+            for s1 in (2..=p - s0 - 2).step_by(2) {
+                for s2 in (2..=p - s0 - s1).step_by(2) {
+                    let mk = calc
+                        .remaining(0, s0, 1.0)
+                        .max(calc.remaining(1, s1, 1.0))
+                        .max(calc.remaining(2, s2, 1.0));
+                    best = best.min(mk);
+                }
+            }
+        }
+        assert!(
+            (greedy_makespan - best).abs() / best < 1e-9,
+            "greedy {greedy_makespan} vs brute-force {best}"
+        );
+    }
+
+    #[test]
+    fn fault_free_mode_matches_plain_times() {
+        let w = workload(&[2e6, 1e6]);
+        let mut calc = TimeCalc::fault_free(w, Platform::new(16));
+        let sigma = optimal_schedule(&mut calc, 16).unwrap();
+        assert_eq!(sigma.iter().sum::<u32>(), 16);
+        assert!(sigma[0] > sigma[1]);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = optimal_schedule(&mut fault_calc(&[2e6, 1.3e6, 1.9e6], 30), 30).unwrap();
+        let b = optimal_schedule(&mut fault_calc(&[2e6, 1.3e6, 1.9e6], 30), 30).unwrap();
+        assert_eq!(a, b);
+    }
+}

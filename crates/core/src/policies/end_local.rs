@@ -1,0 +1,229 @@
+//! Algorithm 3: `EndLocal` — local redistribution of released processors.
+//!
+//! When a task ends, repeatedly consider the (eligible) task with the
+//! longest expected finish time: if giving it some of the free processors
+//! would strictly improve its finish time — redistribution cost and the
+//! post-redistribution checkpoint included — grant it two processors and
+//! reconsider; a task that cannot improve drops out of consideration. (The
+//! pseudocode's outer loop lacks an emptiness guard on the candidate list;
+//! we add it, see DESIGN.md.)
+
+use crate::ctx::{HeuristicCtx, Plan};
+
+use super::EndPolicy;
+
+/// `EndLocal` policy (Algorithm 3).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EndLocal;
+
+impl EndPolicy for EndLocal {
+    fn on_task_end(&self, ctx: &mut HeuristicCtx<'_>) {
+        let mut k = ctx.state.free_count();
+        if k < 2 || ctx.eligible.is_empty() {
+            return;
+        }
+
+        // Per-candidate planning state.
+        struct Entry {
+            task: usize,
+            sigma_init: u32,
+            sigma: u32,
+            alpha_t: f64,
+            t_u: f64,
+        }
+        let mut entries: Vec<Entry> = ctx
+            .eligible
+            .iter()
+            .map(|&i| Entry {
+                task: i,
+                sigma_init: ctx.state.sigma(i),
+                sigma: ctx.state.sigma(i),
+                alpha_t: 0.0, // filled below (needs &mut ctx)
+                t_u: ctx.state.runtime(i).t_u,
+            })
+            .collect();
+        for e in &mut entries {
+            e.alpha_t = ctx.alpha_current(e.task);
+        }
+
+        // Working list ordered by planned finish time (lazy max-heap; a
+        // dropped task leaves the list for good).
+        let mut list =
+            crate::heap::LazyMaxHeap::new(&entries.iter().map(|e| e.t_u).collect::<Vec<_>>());
+
+        while k >= 2 {
+            // Head of L: longest planned finish time.
+            let Some((head, t_u)) = list.peek_max() else {
+                break;
+            };
+            let (task, sigma_init, sigma, alpha_t) = {
+                let e = &entries[head];
+                (e.task, e.sigma_init, e.sigma, e.alpha_t)
+            };
+
+            // First strictly improving extension σ(i)+q, q = 2, 4, …, k.
+            let mut improvable = false;
+            let mut q = 2;
+            while q <= k {
+                let te = ctx.candidate_finish(task, sigma_init, sigma + q, alpha_t, false);
+                if te < t_u {
+                    improvable = true;
+                    break;
+                }
+                q += 2;
+            }
+
+            if improvable {
+                entries[head].sigma += 2;
+                k -= 2;
+                let new_tu = ctx.candidate_finish(task, sigma_init, sigma + 2, alpha_t, false);
+                entries[head].t_u = new_tu;
+                list.update(head, new_tu);
+            } else {
+                list.remove(head);
+            }
+        }
+
+        let plans: Vec<Plan> = entries
+            .iter()
+            .filter(|e| e.sigma != e.sigma_init)
+            .map(|e| Plan {
+                task: e.task,
+                sigma_init: e.sigma_init,
+                sigma_new: e.sigma,
+                alpha_t: e.alpha_t,
+                faulty: false,
+            })
+            .collect();
+        ctx.commit(&plans);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::PackState;
+    use redistrib_model::{PaperModel, Platform, TaskSpec, TimeCalc, Workload};
+    use redistrib_sim::trace::TraceLog;
+    use redistrib_sim::units;
+    use std::sync::Arc;
+
+    /// Two running tasks on 4 procs each, 4 free (as if a third task ended).
+    fn fixture(p: u32) -> (TimeCalc, PackState) {
+        let workload = Workload::new(
+            vec![TaskSpec::new(2.2e6), TaskSpec::new(1.6e6)],
+            Arc::new(PaperModel::default()),
+        );
+        let mut calc = TimeCalc::new(workload, Platform::with_mtbf(p, units::years(100.0)));
+        let mut state = PackState::new(p, &[4, 4]);
+        for i in 0..2 {
+            let tu = calc.remaining(i, 4, 1.0);
+            state.runtime_mut(i).t_u = tu;
+        }
+        (calc, state)
+    }
+
+    fn run_policy(calc: &mut TimeCalc, state: &mut PackState, now: f64) -> u64 {
+        let mut trace = TraceLog::disabled();
+        let mut count = 0;
+        let eligible: Vec<usize> = state.active_tasks().collect();
+        let mut ctx = HeuristicCtx {
+            calc,
+            state,
+            trace: &mut trace,
+            now,
+            eligible: &eligible,
+            pseudocode_fault_bias: false,
+            redistributions: &mut count,
+        };
+        EndLocal.on_task_end(&mut ctx);
+        count
+    }
+
+    #[test]
+    fn distributes_free_processors() {
+        let (mut calc, mut state) = fixture(12);
+        let tu_before_0 = state.runtime(0).t_u;
+        let count = run_policy(&mut calc, &mut state, 1000.0);
+        assert!(count > 0, "free processors should be granted");
+        assert_eq!(state.free_count(), 0, "both tasks improvable at this scale");
+        assert!(state.runtime(0).t_u < tu_before_0, "longest task improves");
+        assert!(state.check_invariants());
+    }
+
+    #[test]
+    fn longest_task_served_first() {
+        let (mut calc, mut state) = fixture(10); // one free pair only
+        let count = run_policy(&mut calc, &mut state, 1000.0);
+        assert_eq!(count, 1);
+        // Task 0 is bigger, hence the longest; it should get the pair.
+        assert_eq!(state.sigma(0), 6);
+        assert_eq!(state.sigma(1), 4);
+    }
+
+    #[test]
+    fn no_free_processors_is_noop() {
+        let (mut calc, mut state) = fixture(8);
+        let count = run_policy(&mut calc, &mut state, 1000.0);
+        assert_eq!(count, 0);
+        assert_eq!(state.sigma(0), 4);
+        assert_eq!(state.sigma(1), 4);
+    }
+
+    #[test]
+    fn never_shrinks_tasks() {
+        let (mut calc, mut state) = fixture(16);
+        run_policy(&mut calc, &mut state, 1000.0);
+        assert!(state.sigma(0) >= 4);
+        assert!(state.sigma(1) >= 4);
+    }
+
+    #[test]
+    fn anchors_move_for_changed_tasks_only() {
+        let (mut calc, mut state) = fixture(10);
+        run_policy(&mut calc, &mut state, 1000.0);
+        // Task 0 changed: anchor after now. Task 1 unchanged: anchor still 0.
+        assert!(state.runtime(0).t_last_r > 1000.0);
+        assert_eq!(state.runtime(1).t_last_r, 0.0);
+    }
+
+    #[test]
+    fn respects_eligibility() {
+        let (mut calc, mut state) = fixture(12);
+        let mut trace = TraceLog::disabled();
+        let mut count = 0;
+        // Only task 1 is eligible; task 0 must not change.
+        let eligible = vec![1usize];
+        let mut ctx = HeuristicCtx {
+            calc: &mut calc,
+            state: &mut state,
+            trace: &mut trace,
+            now: 1000.0,
+            eligible: &eligible,
+            pseudocode_fault_bias: false,
+            redistributions: &mut count,
+        };
+        EndLocal.on_task_end(&mut ctx);
+        assert_eq!(state.sigma(0), 4);
+        assert!(state.sigma(1) > 4);
+    }
+
+    #[test]
+    fn improvement_is_strict_with_costs() {
+        // With an enormous data size, the redistribution cost dominates any
+        // gain, so EndLocal must decline.
+        let workload = Workload::new(
+            vec![TaskSpec::with_ckpt_unit(3.0e6, 1e-9)],
+            // Almost sequential: extra processors barely help.
+            Arc::new(PaperModel::new(0.99)),
+        );
+        let mut calc = TimeCalc::new(workload, Platform::with_mtbf(8, units::years(100.0)));
+        let mut state = PackState::new(8, &[2]);
+        let tu = calc.remaining(0, 2, 1.0);
+        state.runtime_mut(0).t_u = tu;
+        // Nearly finished: the residual gain cannot repay the data movement.
+        let count = run_policy(&mut calc, &mut state, tu * 0.999);
+        assert_eq!(count, 0, "non-beneficial redistribution must be declined");
+        assert_eq!(state.sigma(0), 2);
+    }
+}

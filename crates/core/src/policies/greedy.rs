@@ -1,0 +1,292 @@
+//! Algorithm 5 (`IteratedGreedy`) and its task-end variant (`EndGreedy`).
+//!
+//! Both rebuild a complete schedule from scratch, like Algorithm 1, but
+//! accounting for the cost of moving each task away from its current
+//! allocation: every participating task is virtually reset to two
+//! processors, then the task with the longest planned finish time greedily
+//! receives pairs while it can strictly improve. A candidate equal to the
+//! task's *current* allocation is free (the task simply continues); any
+//! other candidate pays `RC^{σ_init→k}` plus the post-redistribution
+//! checkpoint — and, for the faulty task, downtime and recovery (§3.3.2
+//! text; the literal pseudocode omits the latter, see
+//! `pseudocode_fault_bias`).
+
+use redistrib_model::TaskId;
+
+use crate::ctx::{HeuristicCtx, Plan};
+
+use super::{EndPolicy, FaultPolicy};
+
+/// Rebuilds the schedule greedily over the eligible tasks (plus the faulty
+/// task, if any). Shared implementation of [`IteratedGreedy`] and
+/// [`EndGreedy`].
+pub fn greedy_rebuild(ctx: &mut HeuristicCtx<'_>, faulty: Option<TaskId>) {
+    struct Entry {
+        task: usize,
+        sigma_init: u32,
+        sigma: u32,
+        alpha_t: f64,
+        t_u: f64,
+        faulty: bool,
+    }
+
+    let mut entries: Vec<Entry> = Vec::with_capacity(ctx.eligible.len() + 1);
+    for &i in ctx.eligible {
+        entries.push(Entry {
+            task: i,
+            sigma_init: ctx.state.sigma(i),
+            sigma: 0,
+            alpha_t: 0.0,
+            t_u: 0.0,
+            faulty: false,
+        });
+    }
+    if let Some(f) = faulty {
+        entries.push(Entry {
+            task: f,
+            sigma_init: ctx.state.sigma(f),
+            sigma: 0,
+            alpha_t: ctx.state.runtime(f).alpha,
+            t_u: 0.0,
+            faulty: true,
+        });
+    }
+    if entries.is_empty() {
+        return;
+    }
+
+    // Plan every participant at two processors. Non-participating active
+    // tasks keep their allocation, so the plannable pool is everything else.
+    let participating: u32 = entries.iter().map(|e| e.sigma_init).sum();
+    let mut available = ctx.state.free_count() + participating - 2 * entries.len() as u32;
+    for e in &mut entries {
+        if !e.faulty {
+            e.alpha_t = ctx.alpha_current(e.task);
+        }
+        e.sigma = 2;
+        e.t_u = ctx.candidate_finish(e.task, e.sigma_init, 2, e.alpha_t, e.faulty);
+    }
+
+    let mut list =
+        crate::heap::LazyMaxHeap::new(&entries.iter().map(|e| e.t_u).collect::<Vec<_>>());
+    while available >= 2 {
+        // Longest planned finish time first.
+        let (head, t_u) = list.peek_max().expect("entries non-empty");
+        let (task, sigma_init, sigma, alpha_t, is_faulty) = {
+            let e = &entries[head];
+            (e.task, e.sigma_init, e.sigma, e.alpha_t, e.faulty)
+        };
+
+        // First strictly improving candidate in (σ, σ + available].
+        let pmax = sigma + available;
+        let mut improvable = false;
+        let mut cand = sigma + 2;
+        while cand <= pmax {
+            let te = ctx.candidate_finish(task, sigma_init, cand, alpha_t, is_faulty);
+            if te < t_u {
+                improvable = true;
+                break;
+            }
+            cand += 2;
+        }
+
+        if improvable {
+            entries[head].sigma += 2;
+            available -= 2;
+            let new_tu = ctx.candidate_finish(task, sigma_init, sigma + 2, alpha_t, is_faulty);
+            entries[head].t_u = new_tu;
+            list.update(head, new_tu);
+        } else {
+            // The longest task cannot improve: stop allocating entirely
+            // (Algorithm 5 line 30).
+            break;
+        }
+    }
+
+    let plans: Vec<Plan> = entries
+        .iter()
+        .filter(|e| e.sigma != e.sigma_init)
+        .map(|e| Plan {
+            task: e.task,
+            sigma_init: e.sigma_init,
+            sigma_new: e.sigma,
+            alpha_t: e.alpha_t,
+            faulty: e.faulty,
+        })
+        .collect();
+    ctx.commit(&plans);
+}
+
+/// `IteratedGreedy` fault policy (Algorithm 5): on each failure where the
+/// faulty task became the longest, rebuild the whole schedule greedily,
+/// redistribution costs included.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IteratedGreedy;
+
+impl FaultPolicy for IteratedGreedy {
+    fn on_fault(&self, ctx: &mut HeuristicCtx<'_>, faulty: TaskId) {
+        greedy_rebuild(ctx, Some(faulty));
+    }
+}
+
+/// `EndGreedy` end policy: when a task ends, rebuild the whole schedule
+/// greedily instead of only handing out the released processors (§5.2).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EndGreedy;
+
+impl EndPolicy for EndGreedy {
+    fn on_task_end(&self, ctx: &mut HeuristicCtx<'_>) {
+        greedy_rebuild(ctx, None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::PackState;
+    use redistrib_model::{PaperModel, Platform, TaskSpec, TimeCalc, Workload};
+    use redistrib_sim::trace::TraceLog;
+    use redistrib_sim::units;
+    use std::sync::Arc;
+
+    fn fixture(sizes: &[f64], sigmas: &[u32], p: u32) -> (TimeCalc, PackState) {
+        let workload = Workload::new(
+            sizes.iter().map(|&m| TaskSpec::new(m)).collect(),
+            Arc::new(PaperModel::default()),
+        );
+        let mut calc = TimeCalc::new(workload, Platform::with_mtbf(p, units::years(100.0)));
+        let mut state = PackState::new(p, sigmas);
+        for (i, &s) in sigmas.iter().enumerate() {
+            let tu = calc.remaining(i, s, 1.0);
+            state.runtime_mut(i).t_u = tu;
+        }
+        (calc, state)
+    }
+
+    fn run_greedy(
+        calc: &mut TimeCalc,
+        state: &mut PackState,
+        now: f64,
+        faulty: Option<TaskId>,
+    ) -> u64 {
+        let mut trace = TraceLog::disabled();
+        let mut count = 0;
+        let eligible: Vec<usize> = state
+            .active_tasks()
+            .filter(|&i| Some(i) != faulty)
+            .collect();
+        let mut ctx = HeuristicCtx {
+            calc,
+            state,
+            trace: &mut trace,
+            now,
+            eligible: &eligible,
+            pseudocode_fault_bias: false,
+            redistributions: &mut count,
+        };
+        greedy_rebuild(&mut ctx, faulty);
+        count
+    }
+
+    #[test]
+    fn end_variant_absorbs_free_processors() {
+        // Two tasks on 4+4 of 16 processors; 8 free.
+        let (mut calc, mut state) = fixture(&[2.2e6, 1.6e6], &[4, 4], 16);
+        let mk_before = state.makespan_estimate();
+        run_greedy(&mut calc, &mut state, 1000.0, None);
+        assert_eq!(state.free_count(), 0, "all pairs absorbed at this scale");
+        assert!(state.makespan_estimate() < mk_before);
+        assert!(state.check_invariants());
+    }
+
+    #[test]
+    fn rebalances_between_tasks() {
+        // Task 0 is much larger but starts tiny: the rebuild must shift
+        // processors away from the over-provisioned task 1.
+        let (mut calc, mut state) = fixture(&[2.4e6, 1.5e6], &[2, 10], 12);
+        let mk_before = state.makespan_estimate();
+        let count = run_greedy(&mut calc, &mut state, 5000.0, None);
+        assert!(count >= 2, "both tasks should move");
+        assert!(state.sigma(0) > 2, "large task must gain");
+        assert!(state.sigma(1) < 10, "small task must shed");
+        assert!(state.makespan_estimate() < mk_before);
+        assert!(state.check_invariants());
+    }
+
+    #[test]
+    fn faulty_task_prioritized() {
+        let (mut calc, mut state) = fixture(&[2.0e6, 2.0e6], &[4, 4], 12);
+        // Simulate the engine's fault bookkeeping on task 0: it lost work.
+        let t = 2000.0;
+        let j = state.sigma(0);
+        let d = calc.platform().downtime;
+        let r = calc.recovery_time(0, j);
+        {
+            let rt = state.runtime_mut(0);
+            rt.alpha = 1.0; // rolled back to start (no checkpoint yet)
+            rt.t_last_r = t + d + r;
+        }
+        let anchor = state.runtime(0).t_last_r;
+        let rem = calc.remaining(0, j, 1.0);
+        state.runtime_mut(0).t_u = anchor + rem;
+        run_greedy(&mut calc, &mut state, t, Some(0));
+        assert!(
+            state.sigma(0) >= state.sigma(1),
+            "faulty longest task should not end with fewer procs: {} vs {}",
+            state.sigma(0),
+            state.sigma(1)
+        );
+        assert!(state.check_invariants());
+    }
+
+    #[test]
+    fn same_allocation_pays_nothing() {
+        // A balanced plan should leave allocations unchanged and commit no
+        // redistribution.
+        let (mut calc, mut state) = fixture(&[2.0e6, 2.0e6], &[8, 8], 16);
+        let count = run_greedy(&mut calc, &mut state, 0.0, None);
+        assert_eq!(count, 0, "already-optimal schedule must not be touched");
+        assert_eq!(state.sigma(0), 8);
+        assert_eq!(state.sigma(1), 8);
+    }
+
+    #[test]
+    fn empty_eligible_is_noop() {
+        let (mut calc, mut state) = fixture(&[2.0e6], &[4], 8);
+        let mut trace = TraceLog::disabled();
+        let mut count = 0;
+        let eligible: Vec<usize> = vec![];
+        let mut ctx = HeuristicCtx {
+            calc: &mut calc,
+            state: &mut state,
+            trace: &mut trace,
+            now: 10.0,
+            eligible: &eligible,
+            pseudocode_fault_bias: false,
+            redistributions: &mut count,
+        };
+        greedy_rebuild(&mut ctx, None);
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn ineligible_tasks_keep_processors() {
+        let (mut calc, mut state) = fixture(&[2.0e6, 2.0e6, 2.0e6], &[4, 4, 4], 16);
+        let mut trace = TraceLog::disabled();
+        let mut count = 0;
+        // Task 2 mid-redistribution: not eligible.
+        let eligible = vec![0usize, 1];
+        let mut ctx = HeuristicCtx {
+            calc: &mut calc,
+            state: &mut state,
+            trace: &mut trace,
+            now: 1000.0,
+            eligible: &eligible,
+            pseudocode_fault_bias: false,
+            redistributions: &mut count,
+        };
+        greedy_rebuild(&mut ctx, None);
+        assert_eq!(state.sigma(2), 4, "ineligible task must be untouched");
+        assert!(state.check_invariants());
+    }
+}

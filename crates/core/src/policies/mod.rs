@@ -1,0 +1,160 @@
+//! Redistribution policies (§5 of the paper).
+//!
+//! Two decision points exist: when a task *ends* (its processors become
+//! available) and when a *failure* makes the struck task the longest one.
+//! The paper evaluates two policies for each point:
+//!
+//! | decision point | local | global |
+//! |----------------|-------|--------|
+//! | task end       | [`EndLocal`] (Algorithm 3) | [`EndGreedy`] |
+//! | failure        | [`ShortestTasksFirst`] (Algorithm 4) | [`IteratedGreedy`] (Algorithm 5) |
+//!
+//! plus the no-redistribution baselines. [`Heuristic`] enumerates the
+//! combinations used in the evaluation (§6).
+
+mod end_local;
+mod greedy;
+mod stf;
+
+pub use end_local::EndLocal;
+pub use greedy::{greedy_rebuild, EndGreedy, IteratedGreedy};
+pub use stf::ShortestTasksFirst;
+
+use redistrib_model::TaskId;
+
+use crate::ctx::HeuristicCtx;
+
+/// Policy applied when a task ends and releases processors.
+pub trait EndPolicy: std::fmt::Debug + Sync {
+    /// Redistributes the free processors (the ended task's processors are
+    /// already back in the pool when this is called).
+    fn on_task_end(&self, ctx: &mut HeuristicCtx<'_>);
+}
+
+/// Policy applied when a failure strikes and the faulty task has become the
+/// longest of the pack.
+pub trait FaultPolicy: std::fmt::Debug + Sync {
+    /// Rebalances processors toward the faulty task `faulty`.
+    ///
+    /// On entry the engine has already rolled the faulty task back to its
+    /// last checkpoint (`α_f` updated) and charged downtime + recovery
+    /// (`tlastR_f = t + D + R`, `t^U_f = tlastR_f + remaining`).
+    fn on_fault(&self, ctx: &mut HeuristicCtx<'_>, faulty: TaskId);
+}
+
+/// End policy that never redistributes (the paper's baseline).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoEndRedistribution;
+
+impl EndPolicy for NoEndRedistribution {
+    fn on_task_end(&self, _ctx: &mut HeuristicCtx<'_>) {}
+}
+
+/// Fault policy that never redistributes: the faulty task recovers in place
+/// (the paper's baseline).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFaultRedistribution;
+
+impl FaultPolicy for NoFaultRedistribution {
+    fn on_fault(&self, _ctx: &mut HeuristicCtx<'_>, _faulty: TaskId) {}
+}
+
+/// The heuristic combinations evaluated in §6 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Heuristic {
+    /// No redistribution at all (normalization baseline).
+    NoRedistribution,
+    /// `IteratedGreedy-EndGreedy`: global rebuild at both decision points.
+    IteratedGreedyEndGreedy,
+    /// `IteratedGreedy-EndLocal`: global rebuild on faults, local
+    /// allocation at task ends.
+    IteratedGreedyEndLocal,
+    /// `ShortestTasksFirst-EndGreedy`.
+    ShortestTasksFirstEndGreedy,
+    /// `ShortestTasksFirst-EndLocal`: local decisions only.
+    ShortestTasksFirstEndLocal,
+    /// Redistribute at task ends only, with local decisions (the fault-free
+    /// reference configuration, "With RC (local decisions)").
+    EndLocalOnly,
+    /// Redistribute at task ends only, rebuilding greedily ("With RC
+    /// (greedy)").
+    EndGreedyOnly,
+}
+
+impl Heuristic {
+    /// The four fault-context combinations of the paper's figures, in their
+    /// legend order.
+    pub const FAULT_COMBINATIONS: [Heuristic; 4] = [
+        Heuristic::IteratedGreedyEndGreedy,
+        Heuristic::IteratedGreedyEndLocal,
+        Heuristic::ShortestTasksFirstEndGreedy,
+        Heuristic::ShortestTasksFirstEndLocal,
+    ];
+
+    /// Display name matching the paper's legends.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Heuristic::NoRedistribution => "NoRedistribution",
+            Heuristic::IteratedGreedyEndGreedy => "IteratedGreedy-EndGreedy",
+            Heuristic::IteratedGreedyEndLocal => "IteratedGreedy-EndLocal",
+            Heuristic::ShortestTasksFirstEndGreedy => "ShortestTasksFirst-EndGreedy",
+            Heuristic::ShortestTasksFirstEndLocal => "ShortestTasksFirst-EndLocal",
+            Heuristic::EndLocalOnly => "EndLocal",
+            Heuristic::EndGreedyOnly => "EndGreedy",
+        }
+    }
+
+    /// Instantiates the end policy of this combination.
+    #[must_use]
+    pub fn end_policy(self) -> Box<dyn EndPolicy> {
+        match self {
+            Heuristic::NoRedistribution => Box::new(NoEndRedistribution),
+            Heuristic::IteratedGreedyEndGreedy
+            | Heuristic::ShortestTasksFirstEndGreedy
+            | Heuristic::EndGreedyOnly => Box::new(EndGreedy),
+            Heuristic::IteratedGreedyEndLocal
+            | Heuristic::ShortestTasksFirstEndLocal
+            | Heuristic::EndLocalOnly => Box::new(EndLocal),
+        }
+    }
+
+    /// Instantiates the fault policy of this combination.
+    #[must_use]
+    pub fn fault_policy(self) -> Box<dyn FaultPolicy> {
+        match self {
+            Heuristic::NoRedistribution
+            | Heuristic::EndLocalOnly
+            | Heuristic::EndGreedyOnly => Box::new(NoFaultRedistribution),
+            Heuristic::IteratedGreedyEndGreedy | Heuristic::IteratedGreedyEndLocal => {
+                Box::new(IteratedGreedy)
+            }
+            Heuristic::ShortestTasksFirstEndGreedy
+            | Heuristic::ShortestTasksFirstEndLocal => Box::new(ShortestTasksFirst),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper_legends() {
+        assert_eq!(Heuristic::IteratedGreedyEndGreedy.name(), "IteratedGreedy-EndGreedy");
+        assert_eq!(
+            Heuristic::ShortestTasksFirstEndLocal.name(),
+            "ShortestTasksFirst-EndLocal"
+        );
+    }
+
+    #[test]
+    fn combinations_build_policies() {
+        for h in Heuristic::FAULT_COMBINATIONS {
+            let _ = h.end_policy();
+            let _ = h.fault_policy();
+        }
+        let _ = Heuristic::NoRedistribution.end_policy();
+        let _ = Heuristic::EndLocalOnly.fault_policy();
+    }
+}

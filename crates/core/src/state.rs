@@ -1,0 +1,424 @@
+//! Runtime state of a pack under execution: per-task bookkeeping and the
+//! explicit processor-to-task assignment.
+//!
+//! The paper reasons about allocation *sizes* `σ(i)`; the simulator also
+//! tracks *which* physical processors belong to each task, because faults
+//! strike processor ids (§3.1: the MTBF of a task on `j` processors is
+//! `µ/j`, which emerges mechanically from per-processor fault streams).
+//! Processor moves are deterministic — lowest free ids are assigned first,
+//! highest owned ids are released first — so runs are exactly reproducible.
+
+use std::collections::BTreeSet;
+
+use redistrib_model::TaskId;
+use redistrib_sim::stddev_population;
+
+/// Per-task runtime bookkeeping (Table 1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskRuntime {
+    /// Remaining fraction of work `α_i ∈ [0, 1]`.
+    pub alpha: f64,
+    /// Anchor `tlastR_i`: time of the last redistribution or failure (plus
+    /// its overheads); work accounting restarts from a period boundary here.
+    pub t_last_r: f64,
+    /// Current expected finish time `t^U_i` (absolute).
+    pub t_u: f64,
+    /// Whether the task has completed.
+    pub done: bool,
+    /// Completion time (meaningful once `done`).
+    pub completion_time: f64,
+}
+
+impl TaskRuntime {
+    fn initial() -> Self {
+        Self { alpha: 1.0, t_last_r: 0.0, t_u: 0.0, done: false, completion_time: 0.0 }
+    }
+}
+
+/// Mutable state of a pack: task runtimes plus the processor assignment.
+#[derive(Debug, Clone)]
+pub struct PackState {
+    runtimes: Vec<TaskRuntime>,
+    /// `proc_owner[k]` is the task currently running on processor `k`.
+    proc_owner: Vec<Option<TaskId>>,
+    /// Ascending processor ids owned by each task.
+    task_procs: Vec<Vec<u32>>,
+    /// Free processors.
+    free: BTreeSet<u32>,
+}
+
+impl PackState {
+    /// Creates the state for `p` processors with the given initial
+    /// allocation sizes (task `0` receives the lowest ids, and so on).
+    ///
+    /// # Panics
+    /// Panics if the allocations exceed `p`.
+    #[must_use]
+    pub fn new(p: u32, sigmas: &[u32]) -> Self {
+        let total: u32 = sigmas.iter().sum();
+        assert!(total <= p, "allocations ({total}) exceed platform size ({p})");
+        let mut proc_owner = vec![None; p as usize];
+        let mut task_procs = Vec::with_capacity(sigmas.len());
+        let mut next = 0u32;
+        for (i, &s) in sigmas.iter().enumerate() {
+            let procs: Vec<u32> = (next..next + s).collect();
+            for &k in &procs {
+                proc_owner[k as usize] = Some(i);
+            }
+            next += s;
+            task_procs.push(procs);
+        }
+        let free: BTreeSet<u32> = (next..p).collect();
+        Self {
+            runtimes: vec![TaskRuntime::initial(); sigmas.len()],
+            proc_owner,
+            task_procs,
+            free,
+        }
+    }
+
+    /// Number of tasks.
+    #[must_use]
+    pub fn num_tasks(&self) -> usize {
+        self.runtimes.len()
+    }
+
+    /// Platform size `p`.
+    #[must_use]
+    pub fn num_procs(&self) -> u32 {
+        self.proc_owner.len() as u32
+    }
+
+    /// Immutable access to a task's runtime record.
+    #[must_use]
+    pub fn runtime(&self, i: TaskId) -> &TaskRuntime {
+        &self.runtimes[i]
+    }
+
+    /// Mutable access to a task's runtime record.
+    pub fn runtime_mut(&mut self, i: TaskId) -> &mut TaskRuntime {
+        &mut self.runtimes[i]
+    }
+
+    /// Current allocation size `σ(i)`.
+    #[must_use]
+    pub fn sigma(&self, i: TaskId) -> u32 {
+        self.task_procs[i].len() as u32
+    }
+
+    /// The task currently running on processor `k`, if any.
+    #[must_use]
+    pub fn owner(&self, proc: u32) -> Option<TaskId> {
+        self.proc_owner[proc as usize]
+    }
+
+    /// Number of free processors.
+    #[must_use]
+    pub fn free_count(&self) -> u32 {
+        self.free.len() as u32
+    }
+
+    /// Grows task `i` by `by` processors, taking the lowest free ids.
+    ///
+    /// # Panics
+    /// Panics if fewer than `by` processors are free or the task is done.
+    pub fn grow(&mut self, i: TaskId, by: u32) {
+        assert!(!self.runtimes[i].done, "cannot grow a completed task");
+        assert!(
+            self.free.len() >= by as usize,
+            "not enough free processors: need {by}, have {}",
+            self.free.len()
+        );
+        for _ in 0..by {
+            let k = *self.free.iter().next().expect("free set non-empty");
+            self.free.remove(&k);
+            self.proc_owner[k as usize] = Some(i);
+            self.task_procs[i].push(k);
+        }
+        self.task_procs[i].sort_unstable();
+    }
+
+    /// Shrinks task `i` by `by` processors, releasing its highest ids.
+    ///
+    /// # Panics
+    /// Panics if the task owns fewer than `by` processors.
+    pub fn shrink(&mut self, i: TaskId, by: u32) {
+        assert!(
+            self.task_procs[i].len() >= by as usize,
+            "cannot shrink task {i} by {by}: owns {}",
+            self.task_procs[i].len()
+        );
+        for _ in 0..by {
+            let k = self.task_procs[i].pop().expect("non-empty");
+            self.proc_owner[k as usize] = None;
+            self.free.insert(k);
+        }
+    }
+
+    /// Sets task `i`'s allocation to exactly `new_sigma` processors.
+    pub fn set_sigma(&mut self, i: TaskId, new_sigma: u32) {
+        let cur = self.sigma(i);
+        match new_sigma.cmp(&cur) {
+            std::cmp::Ordering::Greater => self.grow(i, new_sigma - cur),
+            std::cmp::Ordering::Less => self.shrink(i, cur - new_sigma),
+            std::cmp::Ordering::Equal => {}
+        }
+    }
+
+    /// Marks task `i` completed at `time` and releases all its processors.
+    pub fn complete(&mut self, i: TaskId, time: f64) {
+        debug_assert!(!self.runtimes[i].done, "task {i} completed twice");
+        let cur = self.sigma(i);
+        self.shrink(i, cur);
+        let rt = &mut self.runtimes[i];
+        rt.done = true;
+        rt.alpha = 0.0;
+        rt.completion_time = time;
+    }
+
+    /// Iterates over the ids of tasks still running.
+    pub fn active_tasks(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.runtimes
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !r.done)
+            .map(|(i, _)| i)
+    }
+
+    /// Number of tasks still running.
+    #[must_use]
+    pub fn active_count(&self) -> usize {
+        self.runtimes.iter().filter(|r| !r.done).count()
+    }
+
+    /// The active task with the latest expected finish time, if any
+    /// (ties broken toward the lowest id).
+    #[must_use]
+    pub fn longest_active(&self) -> Option<(TaskId, f64)> {
+        let mut best: Option<(TaskId, f64)> = None;
+        for i in self.active_tasks() {
+            let tu = self.runtimes[i].t_u;
+            if best.is_none_or(|(_, b)| tu > b) {
+                best = Some((i, tu));
+            }
+        }
+        best
+    }
+
+    /// The active task with the earliest expected finish time, if any.
+    #[must_use]
+    pub fn earliest_active(&self) -> Option<(TaskId, f64)> {
+        let mut best: Option<(TaskId, f64)> = None;
+        for i in self.active_tasks() {
+            let tu = self.runtimes[i].t_u;
+            if best.is_none_or(|(_, b)| tu < b) {
+                best = Some((i, tu));
+            }
+        }
+        best
+    }
+
+    /// Current makespan estimate: the maximum of completed tasks'
+    /// completion times and active tasks' expected finish times (Fig. 9a).
+    #[must_use]
+    pub fn makespan_estimate(&self) -> f64 {
+        self.runtimes
+            .iter()
+            .map(|r| if r.done { r.completion_time } else { r.t_u })
+            .fold(0.0, f64::max)
+    }
+
+    /// Population standard deviation of active tasks' allocation sizes
+    /// (Fig. 9b).
+    #[must_use]
+    pub fn alloc_stddev(&self) -> f64 {
+        let sizes: Vec<f64> = self
+            .active_tasks()
+            .map(|i| f64::from(self.sigma(i)))
+            .collect();
+        stddev_population(&sizes)
+    }
+
+    /// Debug invariant: ownership tables are mutually consistent and
+    /// every allocation is even.
+    #[must_use]
+    pub fn check_invariants(&self) -> bool {
+        let mut counted = 0usize;
+        for (i, procs) in self.task_procs.iter().enumerate() {
+            if self.runtimes[i].done && !procs.is_empty() {
+                return false;
+            }
+            if !procs.is_empty() && procs.len() % 2 != 0 {
+                return false;
+            }
+            counted += procs.len();
+            let mut last = None;
+            for &k in procs {
+                if self.proc_owner[k as usize] != Some(i) {
+                    return false;
+                }
+                if let Some(prev) = last {
+                    if k <= prev {
+                        return false;
+                    }
+                }
+                last = Some(k);
+            }
+        }
+        for &k in &self.free {
+            if self.proc_owner[k as usize].is_some() {
+                return false;
+            }
+        }
+        counted + self.free.len() == self.proc_owner.len()
+            && self.proc_owner.iter().filter(|o| o.is_some()).count() == counted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> PackState {
+        PackState::new(10, &[2, 4, 2])
+    }
+
+    #[test]
+    fn initial_assignment_is_contiguous() {
+        let s = state();
+        assert_eq!(s.sigma(0), 2);
+        assert_eq!(s.sigma(1), 4);
+        assert_eq!(s.sigma(2), 2);
+        assert_eq!(s.free_count(), 2);
+        assert_eq!(s.owner(0), Some(0));
+        assert_eq!(s.owner(2), Some(1));
+        assert_eq!(s.owner(6), Some(2));
+        assert_eq!(s.owner(8), None);
+        assert!(s.check_invariants());
+    }
+
+    #[test]
+    fn grow_takes_lowest_free_ids() {
+        let mut s = state();
+        s.grow(0, 2);
+        assert_eq!(s.sigma(0), 4);
+        assert_eq!(s.owner(8), Some(0));
+        assert_eq!(s.owner(9), Some(0));
+        assert_eq!(s.free_count(), 0);
+        assert!(s.check_invariants());
+    }
+
+    #[test]
+    fn shrink_releases_highest_ids() {
+        let mut s = state();
+        s.shrink(1, 2);
+        assert_eq!(s.sigma(1), 2);
+        assert_eq!(s.owner(4), None);
+        assert_eq!(s.owner(5), None);
+        assert_eq!(s.free_count(), 4);
+        assert!(s.check_invariants());
+    }
+
+    #[test]
+    fn moves_are_deterministic() {
+        let mut a = state();
+        let mut b = state();
+        for s in [&mut a, &mut b] {
+            s.shrink(1, 2);
+            s.grow(2, 2);
+            s.set_sigma(0, 4);
+        }
+        for k in 0..10 {
+            assert_eq!(a.owner(k), b.owner(k));
+        }
+    }
+
+    #[test]
+    fn set_sigma_both_directions() {
+        let mut s = state();
+        s.set_sigma(1, 2);
+        assert_eq!(s.sigma(1), 2);
+        s.set_sigma(1, 6);
+        assert_eq!(s.sigma(1), 6);
+        s.set_sigma(1, 6);
+        assert_eq!(s.sigma(1), 6);
+        assert!(s.check_invariants());
+    }
+
+    #[test]
+    fn complete_releases_everything() {
+        let mut s = state();
+        s.runtime_mut(1).t_u = 5.0;
+        s.complete(1, 5.0);
+        assert!(s.runtime(1).done);
+        assert_eq!(s.runtime(1).completion_time, 5.0);
+        assert_eq!(s.runtime(1).alpha, 0.0);
+        assert_eq!(s.sigma(1), 0);
+        assert_eq!(s.free_count(), 6);
+        assert_eq!(s.active_count(), 2);
+        assert!(s.check_invariants());
+    }
+
+    #[test]
+    fn longest_and_earliest() {
+        let mut s = state();
+        s.runtime_mut(0).t_u = 10.0;
+        s.runtime_mut(1).t_u = 30.0;
+        s.runtime_mut(2).t_u = 20.0;
+        assert_eq!(s.longest_active(), Some((1, 30.0)));
+        assert_eq!(s.earliest_active(), Some((0, 10.0)));
+        s.complete(1, 30.0);
+        assert_eq!(s.longest_active(), Some((2, 20.0)));
+    }
+
+    #[test]
+    fn longest_tie_breaks_to_lowest_id() {
+        let mut s = state();
+        for i in 0..3 {
+            s.runtime_mut(i).t_u = 7.0;
+        }
+        assert_eq!(s.longest_active(), Some((0, 7.0)));
+    }
+
+    #[test]
+    fn makespan_estimate_mixes_done_and_active() {
+        let mut s = state();
+        s.runtime_mut(0).t_u = 10.0;
+        s.runtime_mut(1).t_u = 30.0;
+        s.runtime_mut(2).t_u = 20.0;
+        s.complete(1, 31.5);
+        assert_eq!(s.makespan_estimate(), 31.5);
+        s.runtime_mut(0).t_u = 40.0;
+        assert_eq!(s.makespan_estimate(), 40.0);
+    }
+
+    #[test]
+    fn alloc_stddev_over_active_only() {
+        let mut s = state();
+        // σ = [2, 4, 2]: mean 8/3, population stddev = sqrt(8/9).
+        let expected = (8.0f64 / 9.0).sqrt();
+        assert!((s.alloc_stddev() - expected).abs() < 1e-12);
+        s.complete(1, 1.0);
+        assert_eq!(s.alloc_stddev(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed platform size")]
+    fn rejects_over_allocation() {
+        let _ = PackState::new(4, &[2, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not enough free processors")]
+    fn grow_rejects_when_pool_empty() {
+        let mut s = state();
+        s.grow(0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot shrink")]
+    fn shrink_rejects_underflow() {
+        let mut s = state();
+        s.shrink(0, 4);
+    }
+}

@@ -1,0 +1,189 @@
+//! Command-line entry point regenerating the paper's tables and figures.
+//!
+//! ```text
+//! experiments <figN|all|table1> [--quick] [--runs N] [--seed S] [--out DIR]
+//! ```
+//!
+//! Markdown renders to stdout; with `--out DIR`, CSV and gnuplot data files
+//! are written alongside (`DIR/figN_panelK.{csv,dat}`).
+
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use redistrib_experiments::extensions;
+use redistrib_experiments::figures::{run_figure, FigOpts, FigureReport, ALL_FIGURES};
+use redistrib_experiments::params::table1;
+use redistrib_experiments::plot::{render, PlotSize};
+use redistrib_experiments::table::Table;
+
+struct Args {
+    targets: Vec<String>,
+    opts: FigOpts,
+    out: Option<PathBuf>,
+    plot: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut targets = Vec::new();
+    let mut opts = FigOpts::default();
+    let mut out = None;
+    let mut plot = false;
+    let mut it = env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--plot" => plot = true,
+            "--runs" => {
+                let v = it.next().ok_or("--runs needs a value")?;
+                opts.runs = Some(v.parse().map_err(|_| format!("bad --runs value: {v}"))?);
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                opts.seed = v.parse().map_err(|_| format!("bad --seed value: {v}"))?;
+            }
+            "--out" => {
+                let v = it.next().ok_or("--out needs a directory")?;
+                out = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => return Err(usage()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other}\n{}", usage()));
+            }
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        return Err(usage());
+    }
+    Ok(Args { targets, opts, out, plot })
+}
+
+fn usage() -> String {
+    format!(
+        "usage: experiments <target…> [--quick] [--plot] [--runs N] [--seed S] [--out DIR]\n\
+         targets: table1, all, {}, validation, ablation, gap, profiles, silent",
+        ALL_FIGURES.join(", ")
+    )
+}
+
+fn emit(report: &FigureReport, out: Option<&PathBuf>, plot: bool) -> std::io::Result<()> {
+    println!("## {} ({})\n", report.title, report.id);
+    for (k, table) in report.tables.iter().enumerate() {
+        println!("{}", table.to_markdown());
+        if plot {
+            if let Some(chart) = render(table, PlotSize::default()) {
+                println!("{chart}");
+            }
+        }
+        if let Some(dir) = out {
+            fs::create_dir_all(dir)?;
+            let stem = if report.tables.len() > 1 {
+                format!("{}_panel{}", report.id, (b'a' + k as u8) as char)
+            } else {
+                report.id.to_string()
+            };
+            fs::write(dir.join(format!("{stem}.csv")), table.to_csv())?;
+            fs::write(dir.join(format!("{stem}.dat")), table.to_gnuplot())?;
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut targets: Vec<String> = Vec::new();
+    for t in &args.targets {
+        if t == "all" {
+            targets.extend(ALL_FIGURES.iter().map(ToString::to_string));
+            targets.push("table1".into());
+        } else {
+            targets.push(t.clone());
+        }
+    }
+
+    for target in targets {
+        let extension: Option<Result<Table, _>> = match target.as_str() {
+            "validation" => Some(Ok(extensions::validation_table(
+                if args.opts.quick { 100 } else { 2000 },
+                args.opts.seed,
+            ))),
+            "ablation" => Some(extensions::ablation_table(
+                args.opts.resolve_runs_public(),
+                args.opts.seed,
+            )),
+            "gap" => Some(extensions::gap_table(
+                if args.opts.quick { 4 } else { 12 },
+                args.opts.seed,
+            )),
+            "profiles" => Some(extensions::profiles_table(args.opts.seed)),
+            "silent" => Some(Ok(extensions::silent_table(
+                if args.opts.quick { 100 } else { 1000 },
+                args.opts.seed,
+            ))),
+            _ => None,
+        };
+        if let Some(result) = extension {
+            match result {
+                Ok(t) => {
+                    println!("{}", t.to_markdown());
+                    if let Some(dir) = &args.out {
+                        if let Err(e) = fs::create_dir_all(dir).and_then(|()| {
+                            fs::write(dir.join(format!("{target}.csv")), t.to_csv())
+                        }) {
+                            eprintln!("error writing {target}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error running {target}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            continue;
+        }
+        if target == "table1" {
+            let t = table1();
+            println!("{}", t.to_markdown());
+            if let Some(dir) = &args.out {
+                if let Err(e) = fs::create_dir_all(dir)
+                    .and_then(|()| fs::write(dir.join("table1.csv"), t.to_csv()))
+                {
+                    eprintln!("error writing table1: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            continue;
+        }
+        eprintln!(
+            "running {target} ({} mode)…",
+            if args.opts.quick { "quick" } else { "full" }
+        );
+        match run_figure(&target, &args.opts) {
+            Ok(Some(report)) => {
+                if let Err(e) = emit(&report, args.out.as_ref(), args.plot) {
+                    eprintln!("error writing {target}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            Ok(None) => {
+                eprintln!("unknown target {target}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("error running {target}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,376 @@
+//! Extension experiments beyond the paper's figures (all flagged as such
+//! in DESIGN.md §6):
+//!
+//! * [`validation_table`] — Monte-Carlo validation of the expected-time
+//!   formula (Eq. 4) against a physical single-task simulation;
+//! * [`ablation_table`] — sensitivity of the headline result to the
+//!   pseudocode ambiguities we had to resolve (end semantics, faulty-task
+//!   cost bias, checkpoint-period rule) and to the fault law (Weibull);
+//! * [`gap_table`] — optimality gap of the heuristics on instances small
+//!   enough for the exact end-redistribution solver (§4.2's NP-complete
+//!   problem, solved by brute force).
+
+use std::sync::Arc;
+
+use redistrib_core::exact::optimal_with_end_redistribution;
+use redistrib_core::{run, EngineConfig, FaultConfig, Heuristic, ScheduleError};
+use redistrib_model::montecarlo::validate_expected_time;
+use redistrib_model::silent::{validate_silent, SilentConfig, SilentParams};
+use redistrib_model::{
+    AllocParams, EndSemantics, PaperModel, PeriodRule, Platform, SpeedupModel, TaskSpec,
+    TimeCalc, Workload,
+};
+use redistrib_sim::dist::FaultLaw;
+use redistrib_sim::stats::Welford;
+use redistrib_sim::units;
+
+use crate::table::{fmt_num, fmt_ratio, Table};
+use crate::workload::{generate, WorkloadParams};
+
+/// Eq. 4 validation: predicted vs. measured completion time across
+/// allocations, MTBFs and work fractions.
+#[must_use]
+pub fn validation_table(runs: u32, seed: u64) -> Table {
+    let mut table = Table::new(
+        "Extension — Monte-Carlo validation of Eq. 4 (task of size 2e6, c = 1)",
+        vec![
+            "j (procs)".into(),
+            "MTBF (years)".into(),
+            "α".into(),
+            "predicted t^R (s)".into(),
+            "measured mean (s)".into(),
+            "rel. error (%)".into(),
+        ],
+    );
+    let task = TaskSpec::new(2.0e6);
+    let model = PaperModel::default();
+    for &(j, mtbf, alpha) in &[
+        (10u32, 100.0, 1.0),
+        (10, 100.0, 0.5),
+        (50, 100.0, 1.0),
+        (10, 20.0, 1.0),
+        (50, 20.0, 1.0),
+        (100, 5.0, 1.0),
+    ] {
+        let platform = Platform::with_mtbf(5000, units::years(mtbf));
+        let t_ff = model.time(task.size, j);
+        let params = AllocParams::compute(&task, &platform, t_ff, j, PeriodRule::Young);
+        let v = validate_expected_time(&params, platform.downtime, alpha, runs, seed);
+        table.push_row(vec![
+            j.to_string(),
+            fmt_num(mtbf),
+            fmt_num(alpha),
+            fmt_num(v.predicted),
+            fmt_num(v.measured_mean),
+            format!("{:+.2}", 100.0 * v.relative_error),
+        ]);
+    }
+    table
+}
+
+/// One engine configuration of the ablation study.
+struct AblationArm {
+    name: &'static str,
+    end_semantics: EndSemantics,
+    period_rule: PeriodRule,
+    bias: bool,
+    law: fn(f64) -> FaultLaw,
+}
+
+/// Ablation study: normalized IG-EL makespan under each resolved-ambiguity
+/// variant, same workloads and fault seeds.
+///
+/// # Errors
+/// Propagates engine errors.
+pub fn ablation_table(runs: usize, seed: u64) -> Result<Table, ScheduleError> {
+    let arms = [
+        AblationArm {
+            name: "paper defaults (Expected, Young, text §3.3.2)",
+            end_semantics: EndSemantics::Expected,
+            period_rule: PeriodRule::Young,
+            bias: false,
+            law: |mtbf| FaultLaw::Exponential { mtbf },
+        },
+        AblationArm {
+            name: "pseudocode fault bias (Alg. 4/5 literal)",
+            end_semantics: EndSemantics::Expected,
+            period_rule: PeriodRule::Young,
+            bias: true,
+            law: |mtbf| FaultLaw::Exponential { mtbf },
+        },
+        AblationArm {
+            name: "fault-free-projection end semantics",
+            end_semantics: EndSemantics::FaultFreeProjection,
+            period_rule: PeriodRule::Young,
+            bias: false,
+            law: |mtbf| FaultLaw::Exponential { mtbf },
+        },
+        AblationArm {
+            name: "Daly checkpoint period",
+            end_semantics: EndSemantics::Expected,
+            period_rule: PeriodRule::Daly,
+            bias: false,
+            law: |mtbf| FaultLaw::Exponential { mtbf },
+        },
+        AblationArm {
+            name: "Weibull faults (shape 0.7)",
+            end_semantics: EndSemantics::Expected,
+            period_rule: PeriodRule::Young,
+            bias: false,
+            law: |mtbf| FaultLaw::Weibull { shape: 0.7, mtbf },
+        },
+    ];
+
+    let wl = WorkloadParams { m_inf: 2.0e5, m_sup: 5.0e5, ..WorkloadParams::paper_default(20) };
+    let platform = Platform::with_mtbf(200, units::years(3.0));
+    let heuristic = Heuristic::IteratedGreedyEndLocal;
+
+    let mut table = Table::new(
+        "Extension — ablation of resolved ambiguities (n = 20, p = 200, MTBF 3 y, IG-EL)",
+        vec![
+            "variant".into(),
+            "normalized makespan".into(),
+            "mean faults".into(),
+            "mean redistributions".into(),
+        ],
+    );
+    for arm in &arms {
+        let mut ratio = Welford::new();
+        let mut faults = Welford::new();
+        let mut rcs = Welford::new();
+        for r in 0..runs {
+            let (wseed, fseed) = crate::runner::run_seeds(seed, r);
+            let workload = generate(&wl, wseed);
+            let base = run_arm(&workload, platform, arm, fseed, Heuristic::NoRedistribution)?;
+            let out = run_arm(&workload, platform, arm, fseed, heuristic)?;
+            ratio.push(out.makespan / base.makespan);
+            faults.push(out.handled_faults as f64);
+            rcs.push(out.redistributions as f64);
+        }
+        table.push_row(vec![
+            arm.name.into(),
+            fmt_ratio(ratio.mean()),
+            fmt_num(faults.mean()),
+            fmt_num(rcs.mean()),
+        ]);
+    }
+    Ok(table)
+}
+
+fn run_arm(
+    workload: &Workload,
+    platform: Platform,
+    arm: &AblationArm,
+    fault_seed: u64,
+    heuristic: Heuristic,
+) -> Result<redistrib_core::RunOutcome, ScheduleError> {
+    let mut calc = TimeCalc::new(workload.clone(), platform)
+        .with_end_semantics(arm.end_semantics)
+        .with_period_rule(arm.period_rule);
+    let cfg = EngineConfig {
+        faults: Some(FaultConfig { seed: fault_seed, law: (arm.law)(platform.proc_mtbf) }),
+        pseudocode_fault_bias: arm.bias,
+        ..EngineConfig::fault_free()
+    };
+    run(&mut calc, &*heuristic.end_policy(), &*heuristic.fault_policy(), &cfg)
+}
+
+/// Optimality gap: fault-free heuristic makespans vs. the exact
+/// end-redistribution optimum on 3-task instances (the NP-complete problem
+/// of Theorem 2 is brute-forced).
+///
+/// # Errors
+/// Propagates engine errors.
+pub fn gap_table(instances: usize, seed: u64) -> Result<Table, ScheduleError> {
+    let mut table = Table::new(
+        "Extension — optimality gap on small instances (n = 3, p = 10, fault-free)",
+        vec![
+            "instance".into(),
+            "exact optimum (s)".into(),
+            "EndLocal / opt".into(),
+            "EndGreedy / opt".into(),
+            "no-RC / opt".into(),
+        ],
+    );
+    let p = 10u32;
+    for k in 0..instances {
+        let (wseed, _) = crate::runner::run_seeds(seed, k);
+        let wl = WorkloadParams {
+            n: 3,
+            m_inf: 1.0e5,
+            m_sup: 5.0e5,
+            ..WorkloadParams::paper_default(3)
+        };
+        let workload = generate(&wl, wseed);
+        let platform = Platform::new(p);
+        let mut calc = TimeCalc::fault_free(workload.clone(), platform);
+        let exact = optimal_with_end_redistribution(&mut calc, p, true)?;
+
+        let mut row = vec![format!("#{k}"), fmt_num(exact.makespan)];
+        for h in [Heuristic::EndLocalOnly, Heuristic::EndGreedyOnly, Heuristic::NoRedistribution]
+        {
+            let mut calc = TimeCalc::fault_free(workload.clone(), platform);
+            let out = run(
+                &mut calc,
+                &*h.end_policy(),
+                &*h.fault_policy(),
+                &EngineConfig::fault_free(),
+            )?;
+            row.push(fmt_ratio(out.makespan / exact.makespan));
+        }
+        table.push_row(row);
+    }
+    Ok(table)
+}
+
+
+/// Silent-error study (§7 future work): expected-time inflation and
+/// threshold shift for one task across silent-error rates, with Monte-Carlo
+/// cross-checks of the closed form.
+#[must_use]
+pub fn silent_table(runs: u32, seed: u64) -> Table {
+    let mut table = Table::new(
+        "Extension — silent errors with verification (task 2e6, fail-stop MTBF 50 y, v = 0.05)",
+        vec![
+            "silent MTBF (years)".into(),
+            "best j".into(),
+            "t^R at best j (s)".into(),
+            "inflation vs fail-stop only".into(),
+            "MC rel. error (%)".into(),
+        ],
+    );
+    let task = TaskSpec::new(2.0e6);
+    let model = PaperModel::default();
+    let platform = Platform::with_mtbf(5000, units::years(50.0));
+
+    let params_for = |j: u32, silent_mtbf_years: f64| -> SilentParams {
+        let t_ff = model.time(task.size, j);
+        let base = AllocParams::compute(&task, &platform, t_ff, j, PeriodRule::Young);
+        let lam = if silent_mtbf_years == 0.0 {
+            0.0
+        } else {
+            1.0 / units::years(silent_mtbf_years)
+        };
+        SilentParams::new(base, &SilentConfig::new(lam, 0.05), task.size, j, platform.downtime)
+    };
+    let best = |silent_mtbf_years: f64| -> (u32, f64) {
+        let mut best = (2u32, f64::INFINITY);
+        for j in (2..=400).step_by(2) {
+            let t = params_for(j, silent_mtbf_years).expected_time(1.0);
+            if t < best.1 {
+                best = (j, t);
+            }
+        }
+        best
+    };
+
+    let (_, baseline_t) = best(0.0);
+    for &silent_mtbf in &[0.0, 100.0, 20.0, 5.0] {
+        let (j, t) = best(silent_mtbf);
+        let err = if silent_mtbf == 0.0 {
+            0.0
+        } else {
+            100.0 * validate_silent(&params_for(j, silent_mtbf), 1.0, runs, seed).relative_error
+        };
+        table.push_row(vec![
+            if silent_mtbf == 0.0 { "∞ (fail-stop only)".into() } else { fmt_num(silent_mtbf) },
+            j.to_string(),
+            fmt_num(t),
+            fmt_ratio(t / baseline_t),
+            format!("{err:+.2}"),
+        ]);
+    }
+    table
+}
+
+/// A tiny speedup-model comparison: the same pack under Eq. 10, Amdahl and
+/// power-law profiles, showing the API is profile-agnostic.
+///
+/// # Errors
+/// Propagates engine errors.
+pub fn profiles_table(seed: u64) -> Result<Table, ScheduleError> {
+    let mut table = Table::new(
+        "Extension — speedup-profile sweep (n = 12, p = 96, MTBF 3 y, IG-EL vs no-RC)",
+        vec!["profile".into(), "normalized makespan".into()],
+    );
+    let profiles: Vec<(&str, Arc<dyn SpeedupModel>)> = vec![
+        ("paper Eq. 10 (f = 0.08)", Arc::new(PaperModel::default())),
+        ("Amdahl (f = 0.08)", Arc::new(redistrib_model::Amdahl::new(0.08))),
+        ("power law (e = 0.8)", Arc::new(redistrib_model::PowerLaw::new(0.8))),
+    ];
+    let platform = Platform::with_mtbf(96, units::years(3.0));
+    for (name, model) in profiles {
+        let mut rng = redistrib_sim::rng::Xoshiro256::seed_from_u64(seed);
+        let tasks: Vec<TaskSpec> =
+            (0..12).map(|_| TaskSpec::new(rng.uniform(2.0e5, 5.0e5))).collect();
+        let workload = Workload::new(tasks, model);
+        let cfg = EngineConfig::with_faults(seed, platform.proc_mtbf);
+        let mut base_calc = TimeCalc::new(workload.clone(), platform);
+        let h0 = Heuristic::NoRedistribution;
+        let base = run(&mut base_calc, &*h0.end_policy(), &*h0.fault_policy(), &cfg)?;
+        let h = Heuristic::IteratedGreedyEndLocal;
+        let mut calc = TimeCalc::new(workload, platform);
+        let out = run(&mut calc, &*h.end_policy(), &*h.fault_policy(), &cfg)?;
+        table.push_row(vec![name.into(), fmt_ratio(out.makespan / base.makespan)]);
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_table_small() {
+        let t = validation_table(60, 3);
+        assert_eq!(t.rows.len(), 6);
+        // Every relative error within ±10 % at these sample sizes.
+        for row in &t.rows {
+            let err: f64 = row[5].parse().unwrap();
+            assert!(err.abs() < 10.0, "row {row:?}");
+        }
+    }
+
+    #[test]
+    fn ablation_table_runs() {
+        let t = ablation_table(3, 5).unwrap();
+        assert_eq!(t.rows.len(), 5);
+        // The paper-default arm shows a gain.
+        let default_ratio: f64 = t.rows[0][1].parse().unwrap();
+        assert!(default_ratio < 1.05, "default ratio {default_ratio}");
+    }
+
+    #[test]
+    fn gap_table_heuristics_close_to_optimal() {
+        let t = gap_table(4, 11).unwrap();
+        assert_eq!(t.rows.len(), 4);
+        for row in &t.rows {
+            let local: f64 = row[2].parse().unwrap();
+            let greedy: f64 = row[3].parse().unwrap();
+            let norc: f64 = row[4].parse().unwrap();
+            assert!(local >= 1.0 - 1e-9 && greedy >= 1.0 - 1e-9 && norc >= 1.0 - 1e-9);
+            assert!(local < 1.5 && greedy < 1.5, "heuristics should be near-optimal");
+            assert!(norc >= local - 1e-9, "redistribution should not lose to no-RC");
+        }
+    }
+
+    #[test]
+    fn silent_table_shape() {
+        let t = silent_table(60, 9);
+        assert_eq!(t.rows.len(), 4);
+        // Inflation grows as the silent MTBF shrinks.
+        let infl: Vec<f64> = t.rows.iter().map(|r| r[3].parse().unwrap()).collect();
+        assert!(infl.windows(2).all(|w| w[1] >= w[0] - 1e-9), "{infl:?}");
+        // MC errors small.
+        for row in &t.rows[1..] {
+            let e: f64 = row[4].parse().unwrap();
+            assert!(e.abs() < 12.0, "row {row:?}");
+        }
+    }
+
+    #[test]
+    fn profiles_table_runs() {
+        let t = profiles_table(7).unwrap();
+        assert_eq!(t.rows.len(), 3);
+    }
+}

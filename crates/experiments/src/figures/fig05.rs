@@ -1,0 +1,93 @@
+//! Figure 5: performance of redistribution in a **fault-free** context,
+//! `n = 100` tasks, `p ∈ [200, 2000]`, `msup = 2.5e6`.
+//!
+//! Two panels: (a) `minf = 1.5e6` (near-homogeneous sizes) and
+//! (b) `minf = 1500` (heterogeneous). Curves: without redistribution
+//! (baseline, 1.0), with RC rebuilt greedily (`EndGreedy`), with RC by
+//! local decisions (`EndLocal`).
+//!
+//! Paper shape: ≥ 20 % gain below ~500 processors, shrinking as `p` grows
+//! (every task eventually has all the processors it can use); larger gain
+//! in the heterogeneous panel.
+
+use redistrib_core::ScheduleError;
+
+use crate::runner::{PointConfig, Variant};
+use crate::workload::WorkloadParams;
+
+use super::{fault_free_figure_variants, sweep_table, FigOpts, FigureReport};
+
+/// Runs the Figure 5 harness.
+///
+/// # Errors
+/// Propagates engine errors.
+pub fn run(opts: &FigOpts) -> Result<FigureReport, ScheduleError> {
+    let runs = opts.resolve_runs();
+    let (n, ps, m_scale) = if opts.quick {
+        (12usize, vec![24u32, 48, 96, 192], 0.1)
+    } else {
+        (100usize, (1..=10).map(|k| k * 200).collect(), 1.0)
+    };
+
+    let mut tables = Vec::new();
+    for (panel, heterogeneous) in [("a", false), ("b", true)] {
+        let points: Vec<(String, PointConfig)> = ps
+            .iter()
+            .map(|&p| {
+                let mut wl = if heterogeneous {
+                    WorkloadParams::heterogeneous(n)
+                } else {
+                    WorkloadParams::paper_default(n)
+                };
+                wl.m_inf *= m_scale;
+                wl.m_sup *= m_scale;
+                let cfg = PointConfig {
+                    workload: wl,
+                    p,
+                    runs,
+                    base_seed: opts.seed,
+                    ..PointConfig::paper_default(n, p)
+                };
+                (p.to_string(), cfg)
+            })
+            .collect();
+        let minf = if heterogeneous { "1500" } else { "1.5e6" };
+        tables.push(sweep_table(
+            &format!("Figure 5{panel} — fault-free redistribution, n = {n}, minf = {minf}"),
+            "p",
+            &points,
+            Variant::FaultFreeNoRc,
+            &fault_free_figure_variants(),
+        )?);
+    }
+    Ok(FigureReport {
+        id: "fig5",
+        title: "Performance of redistribution in a fault-free context (n = 100)".into(),
+        tables,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_produces_two_panels_with_gains() {
+        let report = run(&FigOpts::quick()).unwrap();
+        assert_eq!(report.tables.len(), 2);
+        for table in &report.tables {
+            assert_eq!(table.rows.len(), 4);
+            for row in &table.rows {
+                // Baseline column is 1.0; RC columns must not exceed it.
+                assert_eq!(row[1], "1.000");
+                let greedy: f64 = row[2].parse().unwrap();
+                let local: f64 = row[3].parse().unwrap();
+                assert!(greedy <= 1.0 + 1e-9);
+                assert!(local <= 1.0 + 1e-9);
+            }
+        }
+        // At the smallest p, redistribution should show a visible gain.
+        let first_local: f64 = report.tables[0].rows[0][3].parse().unwrap();
+        assert!(first_local < 1.0, "expected a gain at small p, got {first_local}");
+    }
+}

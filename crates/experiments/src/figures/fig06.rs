@@ -1,0 +1,73 @@
+//! Figure 6: fault-free redistribution with `n = 1000` tasks,
+//! `p ∈ [2000, 5000]` — the large-scale companion of Figure 5, with the
+//! same two panels and curves.
+
+use redistrib_core::ScheduleError;
+
+use crate::runner::{PointConfig, Variant};
+use crate::workload::WorkloadParams;
+
+use super::{fault_free_figure_variants, sweep_table, FigOpts, FigureReport};
+
+/// Runs the Figure 6 harness.
+///
+/// # Errors
+/// Propagates engine errors.
+pub fn run(opts: &FigOpts) -> Result<FigureReport, ScheduleError> {
+    let runs = opts.resolve_runs();
+    let (n, ps, m_scale) = if opts.quick {
+        (40usize, vec![80u32, 120, 160, 200], 0.1)
+    } else {
+        (1000usize, (4..=10).map(|k| k * 500).collect(), 1.0)
+    };
+
+    let mut tables = Vec::new();
+    for (panel, heterogeneous) in [("a", false), ("b", true)] {
+        let points: Vec<(String, PointConfig)> = ps
+            .iter()
+            .map(|&p| {
+                let mut wl = if heterogeneous {
+                    WorkloadParams::heterogeneous(n)
+                } else {
+                    WorkloadParams::paper_default(n)
+                };
+                wl.m_inf *= m_scale;
+                wl.m_sup *= m_scale;
+                let cfg = PointConfig {
+                    workload: wl,
+                    p,
+                    runs,
+                    base_seed: opts.seed,
+                    ..PointConfig::paper_default(n, p)
+                };
+                (p.to_string(), cfg)
+            })
+            .collect();
+        let minf = if heterogeneous { "1500" } else { "1.5e6" };
+        tables.push(sweep_table(
+            &format!("Figure 6{panel} — fault-free redistribution, n = {n}, minf = {minf}"),
+            "p",
+            &points,
+            Variant::FaultFreeNoRc,
+            &fault_free_figure_variants(),
+        )?);
+    }
+    Ok(FigureReport {
+        id: "fig6",
+        title: "Performance of redistribution in a fault-free context (n = 1000)".into(),
+        tables,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_runs_and_gains() {
+        let report = run(&FigOpts::quick()).unwrap();
+        assert_eq!(report.tables.len(), 2);
+        let local_first: f64 = report.tables[0].rows[0][3].parse().unwrap();
+        assert!(local_first <= 1.0 + 1e-9);
+    }
+}

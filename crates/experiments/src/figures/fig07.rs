@@ -1,0 +1,83 @@
+//! Figure 7: impact of the number of tasks `n` with `p = 5000` processors.
+//!
+//! Fault context (per-processor MTBF 100 years), `n ∈ [100, 1000]`. Curves:
+//! the no-redistribution baseline (1.0), the four heuristic combinations,
+//! and the fault-free-with-RC reference.
+//!
+//! Paper shape: more tasks ⇒ more flexibility ⇒ bigger gains (> 40 % at
+//! `n = 1000`); IteratedGreedy beats ShortestTasksFirst; EndGreedy helps
+//! STF but changes little for IG.
+
+use redistrib_core::ScheduleError;
+
+use crate::runner::{PointConfig, Variant};
+use crate::workload::WorkloadParams;
+
+use super::{fault_figure_variants, sweep_table, FigOpts, FigureReport};
+
+/// Runs the Figure 7 harness.
+///
+/// # Errors
+/// Propagates engine errors.
+pub fn run(opts: &FigOpts) -> Result<FigureReport, ScheduleError> {
+    let runs = opts.resolve_runs();
+    let (p, ns, m_scale, mtbf_years) = if opts.quick {
+        // Quick mode drops the MTBF so the fault policies actually fire.
+        (120u32, vec![6usize, 12, 24, 48], 0.1, 3.0)
+    } else {
+        (5000u32, (1..=10).map(|k| k * 100).collect(), 1.0, 100.0)
+    };
+
+    let points: Vec<(String, PointConfig)> = ns
+        .iter()
+        .map(|&n| {
+            let mut wl = WorkloadParams::paper_default(n);
+            wl.m_inf *= m_scale;
+            wl.m_sup *= m_scale;
+            let cfg = PointConfig {
+                workload: wl,
+                runs,
+                mtbf_years,
+                base_seed: opts.seed,
+                ..PointConfig::paper_default(n, p)
+            };
+            (n.to_string(), cfg)
+        })
+        .collect();
+
+    let table = sweep_table(
+        &format!("Figure 7 — impact of n with p = {p} processors"),
+        "n",
+        &points,
+        Variant::FaultNoRc,
+        &fault_figure_variants(),
+    )?;
+    Ok(FigureReport {
+        id: "fig7",
+        title: format!("Impact of n with p = {p} processors"),
+        tables: vec![table],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_shape() {
+        let report = run(&FigOpts::quick()).unwrap();
+        let table = &report.tables[0];
+        assert_eq!(table.headers.len(), 7);
+        assert_eq!(table.rows.len(), 4);
+        for row in &table.rows {
+            assert_eq!(row[1], "1.000", "baseline normalizes to 1");
+            // The fault-free reference must be at least as good as every
+            // fault-context heuristic on average.
+            let ff: f64 = row[6].parse().unwrap();
+            for cell in &row[2..=5] {
+                let h: f64 = cell.parse().unwrap();
+                assert!(h >= ff - 0.05, "heuristic below fault-free reference");
+            }
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Figure 8: impact of the number of processors `p` with `n = 100` tasks.
+//!
+//! Fault context, `p ∈ [200, 5000]`. Paper shape: gains shrink as `p`
+//! grows (each task saturates its speedup profile) but stay ≥ 10 %; the
+//! per-task MTBF `µ/j` also shrinks with larger allocations, increasing the
+//! number of failures.
+
+use redistrib_core::ScheduleError;
+
+use crate::runner::{PointConfig, Variant};
+use crate::workload::WorkloadParams;
+
+use super::{fault_figure_variants, sweep_table, FigOpts, FigureReport};
+
+/// Runs the Figure 8 harness.
+///
+/// # Errors
+/// Propagates engine errors.
+pub fn run(opts: &FigOpts) -> Result<FigureReport, ScheduleError> {
+    let runs = opts.resolve_runs();
+    let (n, ps, m_scale, mtbf_years) = if opts.quick {
+        // Quick mode drops the MTBF so the fault policies actually fire.
+        (12usize, vec![24u32, 60, 120, 240], 0.1, 3.0)
+    } else {
+        (
+            100usize,
+            vec![200u32, 500, 1000, 1500, 2000, 2500, 3000, 3500, 4000, 4500, 5000],
+            1.0,
+            100.0,
+        )
+    };
+
+    let points: Vec<(String, PointConfig)> = ps
+        .iter()
+        .map(|&p| {
+            let mut wl = WorkloadParams::paper_default(n);
+            wl.m_inf *= m_scale;
+            wl.m_sup *= m_scale;
+            let cfg = PointConfig {
+                workload: wl,
+                runs,
+                mtbf_years,
+                base_seed: opts.seed,
+                ..PointConfig::paper_default(n, p)
+            };
+            (p.to_string(), cfg)
+        })
+        .collect();
+
+    let table = sweep_table(
+        &format!("Figure 8 — impact of p with n = {n} tasks"),
+        "p",
+        &points,
+        Variant::FaultNoRc,
+        &fault_figure_variants(),
+    )?;
+    Ok(FigureReport {
+        id: "fig8",
+        title: format!("Impact of p with n = {n} tasks"),
+        tables: vec![table],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_shape() {
+        let report = run(&FigOpts::quick()).unwrap();
+        let table = &report.tables[0];
+        assert_eq!(table.rows.len(), 4);
+        // Gains at the smallest p should be visible for IG-EL.
+        let igel_small: f64 = table.rows[0][3].parse().unwrap();
+        assert!(igel_small <= 1.02, "IG-EL at small p: {igel_small}");
+    }
+}

@@ -1,0 +1,99 @@
+//! Figure 9: heuristic behavior along a **single execution**
+//! (`n = 100`, `p = 1000`, per-processor MTBF 50 years).
+//!
+//! After each handled failure the engine snapshots (a) the current
+//! estimated makespan `max_i t^U_i` and (b) the population standard
+//! deviation of per-task allocation sizes. The paper contrasts
+//! no-redistribution, IteratedGreedy and ShortestTasksFirst on the same
+//! fault trace: IG yields the lowest makespan and the largest allocation
+//! spread (it concentrates processors on the longest task quickly).
+
+use redistrib_core::{Heuristic, ScheduleError};
+use redistrib_model::Platform;
+use redistrib_sim::units;
+
+use crate::runner::{execute_variant, run_seeds, Variant};
+use crate::table::{fmt_num, Table};
+use crate::workload::{generate, WorkloadParams};
+
+use super::{FigOpts, FigureReport};
+
+/// Runs the Figure 9 harness (one execution per series, shared trace).
+///
+/// # Errors
+/// Propagates engine errors.
+pub fn run(opts: &FigOpts) -> Result<FigureReport, ScheduleError> {
+    let (n, p, mtbf_years, m_scale) = if opts.quick {
+        (12usize, 60u32, 1.0, 0.1)
+    } else {
+        (100usize, 1000u32, 50.0, 1.0)
+    };
+    let mut wl = WorkloadParams::paper_default(n);
+    wl.m_inf *= m_scale;
+    wl.m_sup *= m_scale;
+
+    let (workload_seed, fault_seed) = run_seeds(opts.seed, 0);
+    let workload = generate(&wl, workload_seed);
+    let platform = Platform::with_mtbf(p, units::years(mtbf_years));
+
+    let series = [
+        ("No redistribution", Variant::FaultNoRc),
+        ("Iterated greedy", Variant::Fault(Heuristic::IteratedGreedyEndLocal)),
+        ("Shortest tasks first", Variant::Fault(Heuristic::ShortestTasksFirstEndLocal)),
+    ];
+
+    let mut makespan_table = Table::new(
+        format!("Figure 9a — estimated makespan at each handled failure (n = {n}, p = {p}, MTBF {mtbf_years} y)"),
+        vec!["series".into(), "fault date (s)".into(), "makespan (s)".into()],
+    );
+    let mut stddev_table = Table::new(
+        format!("Figure 9b — allocation standard deviation at each handled failure (n = {n}, p = {p}, MTBF {mtbf_years} y)"),
+        vec!["series".into(), "fault date (s)".into(), "#processors stddev".into()],
+    );
+
+    for (label, variant) in series {
+        let out = execute_variant(variant, &workload, platform, fault_seed, true)?;
+        for (time, makespan, stddev) in out.trace.makespan_series() {
+            makespan_table.push_row(vec![label.into(), fmt_num(time), fmt_num(makespan)]);
+            stddev_table.push_row(vec![label.into(), fmt_num(time), fmt_num(stddev)]);
+        }
+    }
+
+    Ok(FigureReport {
+        id: "fig9",
+        title: format!("Heuristic behaviors on a single execution (n = {n}, p = {p})"),
+        tables: vec![makespan_table, stddev_table],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_produces_series() {
+        let report = run(&FigOpts::quick()).unwrap();
+        assert_eq!(report.tables.len(), 2);
+        let mk = &report.tables[0];
+        assert!(!mk.rows.is_empty(), "need at least one handled fault");
+        // All three series present.
+        for label in ["No redistribution", "Iterated greedy", "Shortest tasks first"] {
+            assert!(
+                mk.rows.iter().any(|r| r[0] == label),
+                "missing series {label}"
+            );
+        }
+    }
+
+    #[test]
+    fn stddev_zero_without_redistribution_until_first_end() {
+        let report = run(&FigOpts::quick()).unwrap();
+        let sd = &report.tables[1];
+        // The no-redistribution series only changes its allocation spread
+        // when tasks end; it exists and is finite.
+        for row in sd.rows.iter().filter(|r| r[0] == "No redistribution") {
+            let v: f64 = row[2].parse().unwrap();
+            assert!(v.is_finite() && v >= 0.0);
+        }
+    }
+}

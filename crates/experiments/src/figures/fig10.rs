@@ -1,0 +1,96 @@
+//! Figure 10: impact of the per-processor MTBF with `n = 100`, `p = 1000`.
+//!
+//! MTBF sweep from 5 to 125 years. Paper shape: gains shrink as the MTBF
+//! drops (more failures, less stable schedules); below ~10 years
+//! ShortestTasksFirst overtakes IteratedGreedy, whose aggressive
+//! concentration of processors backfires (a task on many processors has a
+//! tiny MTBF).
+
+use redistrib_core::ScheduleError;
+
+use crate::runner::{PointConfig, Variant};
+use crate::table::Table;
+use crate::workload::WorkloadParams;
+
+use super::{fault_figure_variants, sweep_table, FigOpts, FigureReport};
+
+/// The paper's sweep grid (years).
+pub const FULL_MTBF_GRID: [f64; 13] =
+    [5.0, 15.0, 25.0, 35.0, 45.0, 55.0, 65.0, 75.0, 85.0, 95.0, 105.0, 115.0, 125.0];
+
+/// Quick-mode grid (years).
+pub const QUICK_MTBF_GRID: [f64; 3] = [2.0, 10.0, 50.0];
+
+/// Builds the MTBF sweep table for the given platform and checkpoint unit
+/// cost (shared by Figures 10, 11 and 13).
+///
+/// # Errors
+/// Propagates engine errors.
+pub fn mtbf_sweep(
+    title: &str,
+    n: usize,
+    p: u32,
+    ckpt_unit: f64,
+    m_scale: f64,
+    opts: &FigOpts,
+) -> Result<Table, ScheduleError> {
+    let runs = opts.resolve_runs();
+    let grid: &[f64] = if opts.quick { &QUICK_MTBF_GRID } else { &FULL_MTBF_GRID };
+    let points: Vec<(String, PointConfig)> = grid
+        .iter()
+        .map(|&mtbf| {
+            let mut wl = WorkloadParams::paper_default(n);
+            wl.m_inf *= m_scale;
+            wl.m_sup *= m_scale;
+            wl.ckpt_unit = ckpt_unit;
+            let cfg = PointConfig {
+                workload: wl,
+                mtbf_years: mtbf,
+                runs,
+                base_seed: opts.seed,
+                ..PointConfig::paper_default(n, p)
+            };
+            (format!("{mtbf}"), cfg)
+        })
+        .collect();
+    sweep_table(title, "MTBF (years)", &points, Variant::FaultNoRc, &fault_figure_variants())
+}
+
+/// Runs the Figure 10 harness.
+///
+/// # Errors
+/// Propagates engine errors.
+pub fn run(opts: &FigOpts) -> Result<FigureReport, ScheduleError> {
+    let (n, p, m_scale) = if opts.quick { (10usize, 60u32, 0.1) } else { (100, 1000, 1.0) };
+    let table = mtbf_sweep(
+        &format!("Figure 10 — impact of MTBF with n = {n}, p = {p}"),
+        n,
+        p,
+        1.0,
+        m_scale,
+        opts,
+    )?;
+    Ok(FigureReport {
+        id: "fig10",
+        title: format!("Impact of MTBF with n = {n} and p = {p}"),
+        tables: vec![table],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_runs() {
+        let report = run(&FigOpts::quick()).unwrap();
+        let table = &report.tables[0];
+        assert_eq!(table.rows.len(), QUICK_MTBF_GRID.len());
+        for row in &table.rows {
+            assert_eq!(row[1], "1.000");
+            // Fault-free reference is the floor of every curve.
+            let ff: f64 = row[6].parse().unwrap();
+            assert!(ff <= 1.0 + 1e-9);
+        }
+    }
+}

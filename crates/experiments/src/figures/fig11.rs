@@ -1,0 +1,39 @@
+//! Figure 11: impact of the per-processor MTBF with `n = 100`, `p = 5000`
+//! (the large-platform companion of Figure 10).
+
+use redistrib_core::ScheduleError;
+
+use super::{fig10::mtbf_sweep, FigOpts, FigureReport};
+
+/// Runs the Figure 11 harness.
+///
+/// # Errors
+/// Propagates engine errors.
+pub fn run(opts: &FigOpts) -> Result<FigureReport, ScheduleError> {
+    let (n, p, m_scale) = if opts.quick { (10usize, 240u32, 0.1) } else { (100, 5000, 1.0) };
+    let table = mtbf_sweep(
+        &format!("Figure 11 — impact of MTBF with n = {n}, p = {p}"),
+        n,
+        p,
+        1.0,
+        m_scale,
+        opts,
+    )?;
+    Ok(FigureReport {
+        id: "fig11",
+        title: format!("Impact of MTBF with n = {n} and p = {p}"),
+        tables: vec![table],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_runs() {
+        let report = run(&FigOpts::quick()).unwrap();
+        assert_eq!(report.tables.len(), 1);
+        assert!(!report.tables[0].rows.is_empty());
+    }
+}

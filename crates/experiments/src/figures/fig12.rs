@@ -1,0 +1,75 @@
+//! Figure 12: impact of the checkpointing cost with `n = 100`, `p = 1000`.
+//!
+//! The per-data-unit checkpoint time `c` sweeps the decades from 0.01 to 1
+//! (log axis in the paper). Paper shape: cheaper checkpoints shrink the
+//! time lost per failure, closing the gap between the fault context and the
+//! fault-free reference.
+
+use redistrib_core::ScheduleError;
+
+use crate::runner::{PointConfig, Variant};
+use crate::workload::WorkloadParams;
+
+use super::{fault_figure_variants, sweep_table, FigOpts, FigureReport};
+
+/// Runs the Figure 12 harness.
+///
+/// # Errors
+/// Propagates engine errors.
+pub fn run(opts: &FigOpts) -> Result<FigureReport, ScheduleError> {
+    let runs = opts.resolve_runs();
+    let (n, p, m_scale, grid): (usize, u32, f64, Vec<f64>) = if opts.quick {
+        (10, 60, 0.1, vec![0.01, 1.0])
+    } else {
+        (100, 1000, 1.0, vec![0.01, 0.03, 0.1, 0.3, 1.0])
+    };
+    // Shorter MTBF than the 100-year default so the checkpoint cost has
+    // failures to matter for (the paper's figure shows a visible spread).
+    let mtbf_years = if opts.quick { 5.0 } else { 50.0 };
+
+    let points: Vec<(String, PointConfig)> = grid
+        .iter()
+        .map(|&c| {
+            let mut wl = WorkloadParams::paper_default(n);
+            wl.m_inf *= m_scale;
+            wl.m_sup *= m_scale;
+            wl.ckpt_unit = c;
+            let cfg = PointConfig {
+                workload: wl,
+                mtbf_years,
+                runs,
+                base_seed: opts.seed,
+                ..PointConfig::paper_default(n, p)
+            };
+            (format!("{c}"), cfg)
+        })
+        .collect();
+
+    let table = sweep_table(
+        &format!("Figure 12 — impact of checkpointing cost (n = {n}, p = {p}, MTBF {mtbf_years} y)"),
+        "c (checkpoint cost per data unit)",
+        &points,
+        Variant::FaultNoRc,
+        &fault_figure_variants(),
+    )?;
+    Ok(FigureReport {
+        id: "fig12",
+        title: format!("Impact of checkpointing cost with n = {n} and p = {p}"),
+        tables: vec![table],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_runs() {
+        let report = run(&FigOpts::quick()).unwrap();
+        let table = &report.tables[0];
+        assert_eq!(table.rows.len(), 2);
+        for row in &table.rows {
+            assert_eq!(row[1], "1.000");
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Figure 13: MTBF sweeps at three checkpointing costs
+//! (`c ∈ {1, 0.1, 0.01}`), `n = 100`, `p = 1000`.
+//!
+//! Paper shape: with cheap checkpoints the curves flatten — little work is
+//! lost per failure, so even low MTBFs stay close to the fault-free
+//! reference.
+
+use redistrib_core::ScheduleError;
+
+use super::{fig10::mtbf_sweep, FigOpts, FigureReport};
+
+/// Runs the Figure 13 harness.
+///
+/// # Errors
+/// Propagates engine errors.
+pub fn run(opts: &FigOpts) -> Result<FigureReport, ScheduleError> {
+    let (n, p, m_scale) = if opts.quick { (10usize, 60u32, 0.1) } else { (100, 1000, 1.0) };
+    let costs: &[f64] = if opts.quick { &[1.0, 0.01] } else { &[1.0, 0.1, 0.01] };
+
+    let mut tables = Vec::new();
+    for (panel, &c) in ["a", "b", "c"].iter().zip(costs) {
+        tables.push(mtbf_sweep(
+            &format!("Figure 13{panel} — MTBF sweep with checkpoint cost c = {c} (n = {n}, p = {p})"),
+            n,
+            p,
+            c,
+            m_scale,
+            opts,
+        )?);
+    }
+    Ok(FigureReport {
+        id: "fig13",
+        title: format!("Impact of checkpointing cost across MTBFs (n = {n}, p = {p})"),
+        tables,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_has_one_panel_per_cost() {
+        let report = run(&FigOpts::quick()).unwrap();
+        assert_eq!(report.tables.len(), 2);
+    }
+}

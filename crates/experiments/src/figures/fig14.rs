@@ -1,0 +1,82 @@
+//! Figure 14: impact of the sequential fraction `f` (`0 ≤ f ≤ 0.5`),
+//! `n = 100`, `p = 1000`.
+//!
+//! Paper shape: the more parallel the tasks (small `f`), the more effective
+//! redistribution is; at `f = 0.5` extra processors barely help and every
+//! curve converges toward the baseline.
+
+use redistrib_core::ScheduleError;
+
+use crate::runner::{PointConfig, Variant};
+use crate::workload::WorkloadParams;
+
+use super::{fault_figure_variants, sweep_table, FigOpts, FigureReport};
+
+/// Runs the Figure 14 harness.
+///
+/// # Errors
+/// Propagates engine errors.
+pub fn run(opts: &FigOpts) -> Result<FigureReport, ScheduleError> {
+    let runs = opts.resolve_runs();
+    let (n, p, m_scale, grid): (usize, u32, f64, Vec<f64>) = if opts.quick {
+        (10, 60, 0.1, vec![0.0, 0.25, 0.5])
+    } else {
+        (100, 1000, 1.0, vec![0.0, 0.1, 0.2, 0.3, 0.4, 0.5])
+    };
+
+    let points: Vec<(String, PointConfig)> = grid
+        .iter()
+        .map(|&f| {
+            let mut wl = WorkloadParams::paper_default(n);
+            wl.m_inf *= m_scale;
+            wl.m_sup *= m_scale;
+            wl.seq_fraction = f;
+            let cfg = PointConfig {
+                workload: wl,
+                runs,
+                base_seed: opts.seed,
+                ..PointConfig::paper_default(n, p)
+            };
+            (format!("{f}"), cfg)
+        })
+        .collect();
+
+    let table = sweep_table(
+        &format!("Figure 14 — impact of the sequential fraction (n = {n}, p = {p})"),
+        "f (sequential fraction)",
+        &points,
+        Variant::FaultNoRc,
+        &fault_figure_variants(),
+    )?;
+    Ok(FigureReport {
+        id: "fig14",
+        title: format!("Impact of the sequential fraction of time with n = {n} and p = {p}"),
+        tables: vec![table],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_runs() {
+        let report = run(&FigOpts::quick()).unwrap();
+        let table = &report.tables[0];
+        assert_eq!(table.rows.len(), 3);
+    }
+
+    #[test]
+    fn parallel_tasks_gain_more() {
+        let report = run(&FigOpts::quick()).unwrap();
+        let table = &report.tables[0];
+        // IG-EL column: the gain at f = 0 should be at least as large as at
+        // f = 0.5 (redistribution helps parallel tasks more).
+        let first: f64 = table.rows[0][3].parse().unwrap();
+        let last: f64 = table.rows[table.rows.len() - 1][3].parse().unwrap();
+        assert!(
+            first <= last + 0.1,
+            "gain should not shrink as tasks get more parallel: {first} vs {last}"
+        );
+    }
+}

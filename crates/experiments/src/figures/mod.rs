@@ -1,0 +1,171 @@
+//! One harness per figure of the paper's evaluation (§6.2).
+//!
+//! Every harness regenerates the figure's data series as [`Table`]s:
+//! normalized makespans (baseline = 1.0) per sweep value, one column per
+//! curve of the paper's plot. `quick: true` shrinks the instance sizes and
+//! run counts so the whole suite executes in seconds (shape-preserving
+//! smoke configuration; the full configuration matches the paper's
+//! parameters).
+
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+
+use redistrib_core::{Heuristic, ScheduleError};
+
+use crate::runner::{run_point, PointConfig, Variant};
+use crate::table::{fmt_ratio, Table};
+
+/// A regenerated figure: id, caption and one table per panel.
+#[derive(Debug, Clone)]
+pub struct FigureReport {
+    /// Figure identifier (`fig5`, `fig9a`, …).
+    pub id: &'static str,
+    /// Caption.
+    pub title: String,
+    /// One table per panel.
+    pub tables: Vec<Table>,
+}
+
+/// Options shared by all harnesses.
+#[derive(Debug, Clone, Copy)]
+pub struct FigOpts {
+    /// Shrink sizes and run counts for a fast, shape-preserving pass.
+    pub quick: bool,
+    /// Override the number of runs per point (default: 50 full, 3 quick).
+    pub runs: Option<usize>,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for FigOpts {
+    fn default() -> Self {
+        Self { quick: false, runs: None, seed: 0xC0_5CED }
+    }
+}
+
+impl FigOpts {
+    /// Quick-mode options.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self { quick: true, ..Self::default() }
+    }
+
+    pub(crate) fn resolve_runs(&self) -> usize {
+        self.runs.unwrap_or(if self.quick { 3 } else { 50 })
+    }
+
+    /// Number of runs per point after applying quick/override rules.
+    #[must_use]
+    pub fn resolve_runs_public(&self) -> usize {
+        self.resolve_runs()
+    }
+}
+
+/// The six curves of the fault-context figures (Figs. 7, 8, 10–14), in the
+/// paper's legend order.
+#[must_use]
+pub fn fault_figure_variants() -> Vec<Variant> {
+    vec![
+        Variant::FaultNoRc,
+        Variant::Fault(Heuristic::IteratedGreedyEndGreedy),
+        Variant::Fault(Heuristic::IteratedGreedyEndLocal),
+        Variant::Fault(Heuristic::ShortestTasksFirstEndGreedy),
+        Variant::Fault(Heuristic::ShortestTasksFirstEndLocal),
+        Variant::FaultFree(Heuristic::EndLocalOnly),
+    ]
+}
+
+/// The three curves of the fault-free figures (Figs. 5–6).
+#[must_use]
+pub fn fault_free_figure_variants() -> Vec<Variant> {
+    vec![
+        Variant::FaultFreeNoRc,
+        Variant::FaultFree(Heuristic::EndGreedyOnly),
+        Variant::FaultFree(Heuristic::EndLocalOnly),
+    ]
+}
+
+/// Runs a one-dimensional sweep and formats the normalized table.
+///
+/// `points` pairs each x-axis label with its fully resolved configuration.
+///
+/// # Errors
+/// Propagates the first engine error.
+pub fn sweep_table(
+    title: &str,
+    x_label: &str,
+    points: &[(String, PointConfig)],
+    baseline: Variant,
+    variants: &[Variant],
+) -> Result<Table, ScheduleError> {
+    let mut headers = vec![x_label.to_string()];
+    headers.extend(variants.iter().map(|v| v.label()));
+    let mut table = Table::new(title, headers);
+    for (x, cfg) in points {
+        let stats = run_point(cfg, baseline, variants)?;
+        let mut row = vec![x.clone()];
+        row.extend(stats.iter().map(|s| fmt_ratio(s.mean_ratio)));
+        table.push_row(row);
+    }
+    Ok(table)
+}
+
+/// Dispatches a figure harness by id (`fig5` … `fig14`).
+///
+/// # Errors
+/// Propagates engine errors.
+pub fn run_figure(id: &str, opts: &FigOpts) -> Result<Option<FigureReport>, ScheduleError> {
+    Ok(Some(match id {
+        "fig5" => fig05::run(opts)?,
+        "fig6" => fig06::run(opts)?,
+        "fig7" => fig07::run(opts)?,
+        "fig8" => fig08::run(opts)?,
+        "fig9" => fig09::run(opts)?,
+        "fig10" => fig10::run(opts)?,
+        "fig11" => fig11::run(opts)?,
+        "fig12" => fig12::run(opts)?,
+        "fig13" => fig13::run(opts)?,
+        "fig14" => fig14::run(opts)?,
+        _ => return Ok(None),
+    }))
+}
+
+/// All figure ids, in paper order.
+pub const ALL_FIGURES: [&str; 10] = [
+    "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_in_legend_order() {
+        let v = fault_figure_variants();
+        assert_eq!(v.len(), 6);
+        assert_eq!(v[0], Variant::FaultNoRc);
+        assert_eq!(v[5], Variant::FaultFree(Heuristic::EndLocalOnly));
+        assert_eq!(fault_free_figure_variants().len(), 3);
+    }
+
+    #[test]
+    fn unknown_figure_id() {
+        assert!(run_figure("fig99", &FigOpts::quick()).unwrap().is_none());
+    }
+
+    #[test]
+    fn quick_opts_resolve_runs() {
+        assert_eq!(FigOpts::quick().resolve_runs(), 3);
+        assert_eq!(FigOpts::default().resolve_runs(), 50);
+        let custom = FigOpts { runs: Some(7), ..FigOpts::quick() };
+        assert_eq!(custom.resolve_runs(), 7);
+    }
+}

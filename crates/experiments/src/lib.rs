@@ -1,0 +1,38 @@
+//! # redistrib-experiments
+//!
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (§6):
+//!
+//! * [`workload`] — the §6.1 workload generator;
+//! * [`runner`] — multi-run execution with per-run normalization by the
+//!   no-redistribution baseline, parallelized across runs;
+//! * [`figures`] — one harness per figure (Figs. 5–14), each with a full
+//!   (paper-parameter) and a quick (shape-preserving) configuration;
+//! * [`extensions`] — beyond-the-paper experiments: Eq. 4 Monte-Carlo
+//!   validation, ambiguity ablations, optimality gaps, profile sweeps;
+//! * [`params`] — Table 1 (notation and defaults);
+//! * [`plot`] — ASCII line charts for the terminal;
+//! * [`table`] — markdown/CSV/gnuplot rendering.
+//!
+//! The `experiments` binary exposes all of this on the command line:
+//!
+//! ```text
+//! experiments all --quick --out results/
+//! experiments fig7 --runs 50
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod extensions;
+pub mod figures;
+pub mod params;
+pub mod plot;
+pub mod runner;
+pub mod table;
+pub mod workload;
+
+pub use figures::{run_figure, FigOpts, FigureReport, ALL_FIGURES};
+pub use runner::{run_point, PointConfig, Variant, VariantStats};
+pub use table::Table;
+pub use workload::{generate, WorkloadParams};

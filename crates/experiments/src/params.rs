@@ -1,0 +1,47 @@
+//! Table 1 of the paper: notation and default simulation parameters.
+
+use crate::table::Table;
+
+/// Renders the notation table (Table 1) together with the default values
+/// used by the simulation harness (§6.1).
+#[must_use]
+pub fn table1() -> Table {
+    let mut t = Table::new(
+        "Table 1 — notation and simulation defaults",
+        vec!["symbol".into(), "meaning".into(), "default".into()],
+    );
+    let rows: [(&str, &str, &str); 14] = [
+        ("n", "number of tasks in the pack", "100"),
+        ("p", "total number of processors", "1000"),
+        ("µ", "MTBF of one processor", "100 years"),
+        ("λ", "exponential fault rate, 1/µ", "derived"),
+        ("D", "downtime after a failure", "60 s"),
+        ("m_i", "data size of task T_i", "U[1.5e6, 2.5e6]"),
+        ("t_{i,j}", "fault-free time of T_i on j processors", "Eq. 10, f = 0.08"),
+        ("c", "checkpoint time per data unit", "1"),
+        ("C_{i,j}", "checkpoint cost, c·m_i/j", "derived"),
+        ("R_{i,j}", "recovery cost, = C_{i,j}", "derived"),
+        ("τ_{i,j}", "checkpoint period (Young)", "Eq. 1"),
+        ("σ(i)", "processors allocated to T_i (even)", "Algorithm 1"),
+        ("α_i", "remaining fraction of work of T_i", "1 at start"),
+        ("x", "runs averaged per configuration", "50"),
+    ];
+    for (s, m, d) in rows {
+        t.push_row(vec![s.into(), m.into(), d.into()]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_renders() {
+        let t = table1();
+        assert_eq!(t.rows.len(), 14);
+        let md = t.to_markdown();
+        assert!(md.contains("MTBF of one processor"));
+        assert!(md.contains("Eq. 10"));
+    }
+}

@@ -1,0 +1,193 @@
+//! Terminal line charts for result tables.
+//!
+//! Renders a [`Table`] whose first column is a numeric sweep variable and
+//! whose remaining columns are series, as a fixed-size character grid with
+//! one glyph per series — a terminal stand-in for the paper's plots.
+
+use crate::table::Table;
+
+/// Glyphs assigned to series, in column order.
+const GLYPHS: [char; 8] = ['o', '+', 'x', '*', '#', '@', '%', '&'];
+
+/// Chart dimensions.
+#[derive(Debug, Clone, Copy)]
+pub struct PlotSize {
+    /// Grid width in characters (data area).
+    pub width: usize,
+    /// Grid height in characters (data area).
+    pub height: usize,
+}
+
+impl Default for PlotSize {
+    fn default() -> Self {
+        Self { width: 64, height: 16 }
+    }
+}
+
+/// Renders the table as an ASCII chart.
+///
+/// Non-numeric cells are skipped. Returns `None` when the table has fewer
+/// than two numeric rows or no series column.
+#[must_use]
+pub fn render(table: &Table, size: PlotSize) -> Option<String> {
+    let series_count = table.headers.len().checked_sub(1)?;
+    if series_count == 0 {
+        return None;
+    }
+
+    // Parse rows: x plus one optional y per series.
+    let mut xs: Vec<f64> = Vec::new();
+    let mut ys: Vec<Vec<Option<f64>>> = vec![Vec::new(); series_count];
+    for row in &table.rows {
+        let Ok(x) = row[0].parse::<f64>() else { continue };
+        xs.push(x);
+        for (s, cell) in row[1..].iter().enumerate() {
+            ys[s].push(cell.parse::<f64>().ok());
+        }
+    }
+    if xs.len() < 2 {
+        return None;
+    }
+
+    let (x_min, x_max) = min_max(xs.iter().copied())?;
+    let (y_min, y_max) = min_max(ys.iter().flatten().filter_map(|v| *v))?;
+    let y_pad = ((y_max - y_min) * 0.05).max(1e-12);
+    let (y_lo, y_hi) = (y_min - y_pad, y_max + y_pad);
+
+    let mut grid = vec![vec![' '; size.width]; size.height];
+    for (s, series) in ys.iter().enumerate() {
+        let glyph = GLYPHS[s % GLYPHS.len()];
+        for (&x, y) in xs.iter().zip(series) {
+            let Some(y) = *y else { continue };
+            let col = scale(x, x_min, x_max, size.width);
+            let row = size.height - 1 - scale(y, y_lo, y_hi, size.height);
+            grid[row][col] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("{}\n", table.title));
+    for (r, line) in grid.iter().enumerate() {
+        let label = if r == 0 {
+            format!("{y_hi:>9.3}")
+        } else if r == size.height - 1 {
+            format!("{y_lo:>9.3}")
+        } else {
+            " ".repeat(9)
+        };
+        out.push_str(&label);
+        out.push_str(" |");
+        out.extend(line.iter());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(9));
+    out.push_str(" +");
+    out.push_str(&"-".repeat(size.width));
+    out.push('\n');
+    out.push_str(&format!(
+        "{} {:<w$.3} {:>r$.3}\n",
+        " ".repeat(9),
+        x_min,
+        x_max,
+        w = size.width / 2,
+        r = size.width / 2
+    ));
+    for (s, header) in table.headers[1..].iter().enumerate() {
+        out.push_str(&format!("  {} {}\n", GLYPHS[s % GLYPHS.len()], header));
+    }
+    Some(out)
+}
+
+fn min_max(values: impl Iterator<Item = f64>) -> Option<(f64, f64)> {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if lo.is_finite() && hi.is_finite() {
+        Some(if lo == hi { (lo - 0.5, hi + 0.5) } else { (lo, hi) })
+    } else {
+        None
+    }
+}
+
+/// Maps `v ∈ [lo, hi]` onto `0..cells`.
+fn scale(v: f64, lo: f64, hi: f64, cells: usize) -> usize {
+    let t = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+    ((t * (cells - 1) as f64).round() as usize).min(cells - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        let mut t = Table::new(
+            "Test figure",
+            vec!["p".into(), "baseline".into(), "heuristic".into()],
+        );
+        for (x, a, b) in [(200, 1.0, 0.8), (400, 1.0, 0.85), (800, 1.0, 0.95)] {
+            t.push_row(vec![x.to_string(), format!("{a:.3}"), format!("{b:.3}")]);
+        }
+        t
+    }
+
+    #[test]
+    fn renders_with_legend_and_axes() {
+        let chart = render(&table(), PlotSize::default()).unwrap();
+        assert!(chart.contains("Test figure"));
+        assert!(chart.contains("o baseline"));
+        assert!(chart.contains("+ heuristic"));
+        assert!(chart.contains('|'));
+        assert!(chart.contains('+'));
+        // Both glyphs appear in the data area.
+        assert!(chart.matches('o').count() >= 1);
+        assert!(chart.matches('+').count() >= 2);
+    }
+
+    #[test]
+    fn respects_size() {
+        let size = PlotSize { width: 30, height: 8 };
+        let chart = render(&table(), size).unwrap();
+        let data_lines: Vec<&str> =
+            chart.lines().filter(|l| l.contains('|')).collect();
+        assert_eq!(data_lines.len(), 8);
+        for l in data_lines {
+            assert!(l.len() <= 9 + 2 + 30);
+        }
+    }
+
+    #[test]
+    fn rejects_non_numeric_tables() {
+        let mut t = Table::new("text", vec!["a".into(), "b".into()]);
+        t.push_row(vec!["hello".into(), "world".into()]);
+        assert!(render(&t, PlotSize::default()).is_none());
+    }
+
+    #[test]
+    fn rejects_single_row() {
+        let mut t = Table::new("one", vec!["x".into(), "y".into()]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        assert!(render(&t, PlotSize::default()).is_none());
+    }
+
+    #[test]
+    fn handles_flat_series() {
+        let mut t = Table::new("flat", vec!["x".into(), "y".into()]);
+        t.push_row(vec!["1".into(), "5".into()]);
+        t.push_row(vec!["2".into(), "5".into()]);
+        let chart = render(&t, PlotSize::default()).unwrap();
+        assert!(chart.contains('o'));
+    }
+
+    #[test]
+    fn skips_unparsable_cells_but_keeps_series() {
+        let mut t = Table::new("gaps", vec!["x".into(), "y".into()]);
+        t.push_row(vec!["1".into(), "0.5".into()]);
+        t.push_row(vec!["2".into(), "n/a".into()]);
+        t.push_row(vec!["3".into(), "0.7".into()]);
+        let chart = render(&t, PlotSize::default()).unwrap();
+        assert_eq!(chart.matches('o').count(), 2 + 1); // 2 points + legend
+    }
+}

@@ -1,0 +1,356 @@
+//! Multi-run experiment execution with per-run normalization.
+//!
+//! §6.2 methodology: every configuration point is executed `x = 50` times
+//! (fresh workload and fault trace per run); each variant's makespan is
+//! normalized by the *fault context without redistribution* baseline of the
+//! same run (or the fault-free no-redistribution baseline for the
+//! fault-free figures); normalized ratios are averaged across runs.
+
+use std::thread;
+
+use redistrib_core::{run, EngineConfig, Heuristic, RunOutcome, ScheduleError};
+use redistrib_model::{Platform, TimeCalc, Workload};
+use redistrib_sim::rng::SplitMix64;
+use redistrib_sim::stats::Welford;
+use redistrib_sim::units;
+
+use crate::workload::{generate, WorkloadParams};
+
+/// One experiment variant (a curve in a paper figure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// Fault context, no redistribution (normalization baseline of the
+    /// fault figures).
+    FaultNoRc,
+    /// Fault context with the given heuristic combination.
+    Fault(Heuristic),
+    /// Fault-free context, no redistribution (baseline of Figs. 5–6).
+    FaultFreeNoRc,
+    /// Fault-free context with redistribution at task ends.
+    FaultFree(Heuristic),
+}
+
+impl Variant {
+    /// Legend label matching the paper.
+    #[must_use]
+    pub fn label(self) -> String {
+        match self {
+            Variant::FaultNoRc => "Fault context without RC".into(),
+            Variant::Fault(h) => h.name().into(),
+            Variant::FaultFreeNoRc => "Fault-free without RC".into(),
+            Variant::FaultFree(Heuristic::EndLocalOnly) => {
+                "Fault-free context with RC (local)".into()
+            }
+            Variant::FaultFree(Heuristic::EndGreedyOnly) => {
+                "Fault-free context with RC (greedy)".into()
+            }
+            Variant::FaultFree(h) => format!("Fault-free {}", h.name()),
+        }
+    }
+}
+
+/// One fully resolved configuration point of a sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointConfig {
+    /// Workload parameters.
+    pub workload: WorkloadParams,
+    /// Platform size `p`.
+    pub p: u32,
+    /// Per-processor MTBF in years (paper default 100).
+    pub mtbf_years: f64,
+    /// Downtime `D` in seconds.
+    pub downtime: f64,
+    /// Number of runs to average (`x`; paper 50).
+    pub runs: usize,
+    /// Base seed; run `r` derives its workload and fault seeds from
+    /// `(base_seed, r)`.
+    pub base_seed: u64,
+}
+
+impl PointConfig {
+    /// Paper defaults for a `(n, p)` point: MTBF 100 years, `D = 60 s`,
+    /// 50 runs.
+    #[must_use]
+    pub fn paper_default(n: usize, p: u32) -> Self {
+        Self {
+            workload: WorkloadParams::paper_default(n),
+            p,
+            mtbf_years: 100.0,
+            downtime: Platform::DEFAULT_DOWNTIME,
+            runs: 50,
+            base_seed: 0xC0_5CED,
+        }
+    }
+
+    fn platform(&self) -> Platform {
+        Platform::with_mtbf(self.p, units::years(self.mtbf_years)).downtime(self.downtime)
+    }
+}
+
+/// Aggregated statistics of one variant at one configuration point.
+#[derive(Debug, Clone)]
+pub struct VariantStats {
+    /// The variant.
+    pub variant: Variant,
+    /// Mean of per-run normalized makespans.
+    pub mean_ratio: f64,
+    /// 95 % CI half-width of the normalized makespan.
+    pub ci95: f64,
+    /// Mean raw makespan (seconds).
+    pub mean_makespan: f64,
+    /// Mean handled faults per run.
+    pub mean_faults: f64,
+    /// Mean committed redistributions per run.
+    pub mean_redistributions: f64,
+}
+
+/// Executes one variant for one prepared run.
+///
+/// # Errors
+/// Propagates engine errors (undersized platform, event-limit).
+pub fn execute_variant(
+    variant: Variant,
+    workload: &Workload,
+    platform: Platform,
+    fault_seed: u64,
+    record_trace: bool,
+) -> Result<RunOutcome, ScheduleError> {
+    let (mut calc, heuristic, cfg) = match variant {
+        Variant::FaultNoRc => (
+            TimeCalc::new(workload.clone(), platform),
+            Heuristic::NoRedistribution,
+            EngineConfig::with_faults(fault_seed, platform.proc_mtbf),
+        ),
+        Variant::Fault(h) => (
+            TimeCalc::new(workload.clone(), platform),
+            h,
+            EngineConfig::with_faults(fault_seed, platform.proc_mtbf),
+        ),
+        Variant::FaultFreeNoRc => (
+            TimeCalc::fault_free(workload.clone(), platform),
+            Heuristic::NoRedistribution,
+            EngineConfig::fault_free(),
+        ),
+        Variant::FaultFree(h) => (
+            TimeCalc::fault_free(workload.clone(), platform),
+            h,
+            EngineConfig::fault_free(),
+        ),
+    };
+    let cfg = if record_trace { cfg.recording() } else { cfg };
+    run(&mut calc, &*heuristic.end_policy(), &*heuristic.fault_policy(), &cfg)
+}
+
+/// Derives the per-run seeds from the point's base seed.
+#[must_use]
+pub fn run_seeds(base_seed: u64, run_idx: usize) -> (u64, u64) {
+    let mut mix = SplitMix64::new(base_seed ^ (run_idx as u64).wrapping_mul(0x9E37_79B9));
+    (mix.next_u64(), mix.next_u64())
+}
+
+/// Runs all `variants` at `cfg`, normalizing every run by `baseline`, and
+/// aggregates across runs. Runs execute in parallel threads; aggregation is
+/// sequential and deterministic.
+///
+/// # Errors
+/// Propagates the first engine error encountered.
+pub fn run_point(
+    cfg: &PointConfig,
+    baseline: Variant,
+    variants: &[Variant],
+) -> Result<Vec<VariantStats>, ScheduleError> {
+    let per_run = run_point_raw(cfg, baseline, variants)?;
+    // Aggregate sequentially in run order.
+    let mut acc: Vec<(Welford, Welford, Welford, Welford)> =
+        vec![Default::default(); variants.len()];
+    for run_result in &per_run {
+        let base_mk = run_result.baseline_makespan;
+        for (v, out) in run_result.outcomes.iter().enumerate() {
+            acc[v].0.push(out.makespan / base_mk);
+            acc[v].1.push(out.makespan);
+            acc[v].2.push(out.handled_faults as f64);
+            acc[v].3.push(out.redistributions as f64);
+        }
+    }
+    Ok(variants
+        .iter()
+        .zip(acc)
+        .map(|(&variant, (ratio, mk, faults, rc))| VariantStats {
+            variant,
+            mean_ratio: ratio.mean(),
+            ci95: ratio.ci95_half_width(),
+            mean_makespan: mk.mean(),
+            mean_faults: faults.mean(),
+            mean_redistributions: rc.mean(),
+        })
+        .collect())
+}
+
+/// Per-run outcome bundle (exposed for tests and the Fig. 9 harness).
+#[derive(Debug)]
+pub struct RunResults {
+    /// Baseline makespan of this run.
+    pub baseline_makespan: f64,
+    /// One outcome per requested variant, in order.
+    pub outcomes: Vec<RunOutcome>,
+}
+
+/// Executes every run of a point, returning raw outcomes in run order.
+///
+/// # Errors
+/// Propagates the first engine error encountered.
+pub fn run_point_raw(
+    cfg: &PointConfig,
+    baseline: Variant,
+    variants: &[Variant],
+) -> Result<Vec<RunResults>, ScheduleError> {
+    let platform = cfg.platform();
+    let workers = thread::available_parallelism().map_or(1, |n| n.get()).min(cfg.runs.max(1));
+    let results: Vec<Result<RunResults, ScheduleError>> = thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(cfg.runs);
+        // Simple static round-robin: worker w takes runs w, w+workers, …
+        let chunks: Vec<Vec<usize>> = (0..workers)
+            .map(|w| (w..cfg.runs).step_by(workers).collect())
+            .collect();
+        for chunk in chunks {
+            let cfg = *cfg;
+            handles.push(scope.spawn(move || {
+                chunk
+                    .into_iter()
+                    .map(|r| one_run(&cfg, platform, baseline, variants, r))
+                    .collect::<Vec<Result<(usize, RunResults), ScheduleError>>>()
+            }));
+        }
+        let mut indexed: Vec<Option<RunResults>> = (0..cfg.runs).map(|_| None).collect();
+        let mut first_err = None;
+        for handle in handles {
+            for item in handle.join().expect("worker panicked") {
+                match item {
+                    Ok((idx, rr)) => indexed[idx] = Some(rr),
+                    Err(e) => first_err = first_err.or(Some(e)),
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            vec![Err(e)]
+        } else {
+            indexed.into_iter().map(|o| Ok(o.expect("all runs filled"))).collect()
+        }
+    });
+    results.into_iter().collect()
+}
+
+fn one_run(
+    cfg: &PointConfig,
+    platform: Platform,
+    baseline: Variant,
+    variants: &[Variant],
+    run_idx: usize,
+) -> Result<(usize, RunResults), ScheduleError> {
+    let (workload_seed, fault_seed) = run_seeds(cfg.base_seed, run_idx);
+    let workload = generate(&cfg.workload, workload_seed);
+    let base_out = execute_variant(baseline, &workload, platform, fault_seed, false)?;
+    let mut outcomes = Vec::with_capacity(variants.len());
+    for &v in variants {
+        if v == baseline {
+            outcomes.push(base_out.clone());
+        } else {
+            outcomes.push(execute_variant(v, &workload, platform, fault_seed, false)?);
+        }
+    }
+    Ok((run_idx, RunResults { baseline_makespan: base_out.makespan, outcomes }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_point() -> PointConfig {
+        PointConfig {
+            workload: WorkloadParams { n: 5, ..WorkloadParams::paper_default(5) },
+            p: 20,
+            mtbf_years: 8.0,
+            downtime: 60.0,
+            runs: 3,
+            base_seed: 11,
+        }
+    }
+
+    #[test]
+    fn baseline_ratio_is_one() {
+        let cfg = tiny_point();
+        let stats = run_point(&cfg, Variant::FaultNoRc, &[Variant::FaultNoRc]).unwrap();
+        assert!((stats[0].mean_ratio - 1.0).abs() < 1e-12);
+        assert_eq!(stats[0].ci95, 0.0);
+    }
+
+    #[test]
+    fn heuristics_at_most_marginally_worse_than_baseline() {
+        let cfg = tiny_point();
+        let stats = run_point(
+            &cfg,
+            Variant::FaultNoRc,
+            &[
+                Variant::Fault(Heuristic::IteratedGreedyEndLocal),
+                Variant::Fault(Heuristic::ShortestTasksFirstEndLocal),
+            ],
+        )
+        .unwrap();
+        for s in &stats {
+            assert!(s.mean_ratio < 1.3, "{:?} ratio {}", s.variant, s.mean_ratio);
+            assert!(s.mean_makespan > 0.0);
+        }
+    }
+
+    #[test]
+    fn fault_free_rc_not_worse_than_fault_free_norc() {
+        let cfg = tiny_point();
+        let stats = run_point(
+            &cfg,
+            Variant::FaultFreeNoRc,
+            &[Variant::FaultFree(Heuristic::EndLocalOnly)],
+        )
+        .unwrap();
+        assert!(stats[0].mean_ratio <= 1.0 + 1e-9, "ratio {}", stats[0].mean_ratio);
+    }
+
+    #[test]
+    fn deterministic_across_invocations() {
+        let cfg = tiny_point();
+        let variants = [Variant::Fault(Heuristic::IteratedGreedyEndLocal)];
+        let a = run_point(&cfg, Variant::FaultNoRc, &variants).unwrap();
+        let b = run_point(&cfg, Variant::FaultNoRc, &variants).unwrap();
+        assert_eq!(a[0].mean_ratio, b[0].mean_ratio);
+        assert_eq!(a[0].mean_makespan, b[0].mean_makespan);
+    }
+
+    #[test]
+    fn run_seeds_are_distinct() {
+        let (w0, f0) = run_seeds(1, 0);
+        let (w1, f1) = run_seeds(1, 1);
+        assert_ne!(w0, w1);
+        assert_ne!(f0, f1);
+        assert_ne!(w0, f0);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Variant::FaultNoRc.label(), "Fault context without RC");
+        assert_eq!(
+            Variant::FaultFree(Heuristic::EndLocalOnly).label(),
+            "Fault-free context with RC (local)"
+        );
+        assert_eq!(
+            Variant::Fault(Heuristic::IteratedGreedyEndGreedy).label(),
+            "IteratedGreedy-EndGreedy"
+        );
+    }
+
+    #[test]
+    fn error_propagates() {
+        let mut cfg = tiny_point();
+        cfg.p = 4; // p < 2n
+        let err = run_point(&cfg, Variant::FaultNoRc, &[Variant::FaultNoRc]);
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,152 @@
+//! Result tables: the textual equivalent of the paper's plots.
+//!
+//! Each figure harness produces one or more [`Table`]s, renderable as
+//! GitHub-flavored markdown (for EXPERIMENTS.md), CSV, or gnuplot-ready
+//! whitespace-separated data.
+
+use std::fmt::Write as _;
+
+/// A rectangular result table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Title (e.g. `Figure 7 — impact of n (p = 5000)`).
+    pub title: String,
+    /// Column headers; the first column is the sweep variable.
+    pub headers: Vec<String>,
+    /// Rows of pre-formatted cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new(title: impl Into<String>, headers: Vec<String>) -> Self {
+        Self { title: title.into(), headers, rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the header width.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders as GitHub-flavored markdown.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.title);
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+
+    /// Renders as CSV (title omitted).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+
+    /// Renders as gnuplot-friendly data: `#`-prefixed header, tab-separated
+    /// columns.
+    #[must_use]
+    pub fn to_gnuplot(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        let _ = writeln!(out, "# {}", self.headers.join("\t"));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join("\t"));
+        }
+        out
+    }
+}
+
+/// Formats a float with three decimals (normalized ratios).
+#[must_use]
+pub fn fmt_ratio(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a float compactly (raw quantities).
+#[must_use]
+pub fn fmt_num(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 1e6 || x.abs() < 1e-3 {
+        format!("{x:.3e}")
+    } else if x.fract() == 0.0 {
+        format!("{x:.0}")
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        let mut t = Table::new(
+            "Figure X",
+            vec!["p".into(), "Without RC".into(), "With RC".into()],
+        );
+        t.push_row(vec!["200".into(), "1.000".into(), "0.780".into()]);
+        t.push_row(vec!["400".into(), "1.000".into(), "0.820".into()]);
+        t
+    }
+
+    #[test]
+    fn markdown_shape() {
+        let md = table().to_markdown();
+        assert!(md.contains("### Figure X"));
+        assert!(md.contains("| p | Without RC | With RC |"));
+        assert!(md.contains("|---|---|---|"));
+        assert!(md.contains("| 400 | 1.000 | 0.820 |"));
+    }
+
+    #[test]
+    fn csv_shape() {
+        let csv = table().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "p,Without RC,With RC");
+        assert_eq!(lines[2], "400,1.000,0.820");
+    }
+
+    #[test]
+    fn gnuplot_shape() {
+        let g = table().to_gnuplot();
+        assert!(g.starts_with("# Figure X\n"));
+        assert!(g.contains("200\t1.000\t0.780"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("t", vec!["a".into()]);
+        t.push_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_ratio(0.7891), "0.789");
+        assert_eq!(fmt_num(0.0), "0");
+        assert_eq!(fmt_num(42.0), "42");
+        assert_eq!(fmt_num(3.25), "3.25");
+        assert_eq!(fmt_num(1.8e7), "1.800e7");
+    }
+}

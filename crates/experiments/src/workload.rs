@@ -1,0 +1,106 @@
+//! Workload generation (§6.1 of the paper).
+//!
+//! Each task receives a data size `m_i` drawn uniformly from
+//! `[m_inf, m_sup]`; execution times follow the synthetic model of Eq. 10
+//! with sequential fraction `f`; the sequential checkpoint cost is
+//! `C_i = c·m_i`.
+
+use std::sync::Arc;
+
+use redistrib_model::{PaperModel, TaskSpec, Workload};
+use redistrib_sim::rng::Xoshiro256;
+
+/// Parameters of one generated workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadParams {
+    /// Number of tasks `n`.
+    pub n: usize,
+    /// Lower bound of the data-size distribution (`minf`; paper default
+    /// 1 500 000 — "homogeneous"; 1 500 for the heterogeneous setting).
+    pub m_inf: f64,
+    /// Upper bound of the data-size distribution (`msup`; paper default
+    /// 2 500 000).
+    pub m_sup: f64,
+    /// Sequential fraction `f` of Eq. 10 (default 0.08).
+    pub seq_fraction: f64,
+    /// Checkpoint time per data unit `c` (default 1).
+    pub ckpt_unit: f64,
+}
+
+impl WorkloadParams {
+    /// Paper defaults: `minf = 1.5e6`, `msup = 2.5e6`, `f = 0.08`, `c = 1`.
+    #[must_use]
+    pub fn paper_default(n: usize) -> Self {
+        Self { n, m_inf: 1_500_000.0, m_sup: 2_500_000.0, seq_fraction: 0.08, ckpt_unit: 1.0 }
+    }
+
+    /// Heterogeneous variant of Figs. 5b/6b: `minf = 1 500`.
+    #[must_use]
+    pub fn heterogeneous(n: usize) -> Self {
+        Self { m_inf: 1_500.0, ..Self::paper_default(n) }
+    }
+}
+
+/// Generates the workload of run `seed` (deterministic in
+/// `(params, seed)`).
+///
+/// # Panics
+/// Panics if the parameters are degenerate (`n == 0`, empty size range,
+/// invalid fraction).
+#[must_use]
+pub fn generate(params: &WorkloadParams, seed: u64) -> Workload {
+    assert!(params.n > 0, "need at least one task");
+    assert!(
+        params.m_inf > 1.0 && params.m_sup >= params.m_inf,
+        "invalid size range [{}, {}]",
+        params.m_inf,
+        params.m_sup
+    );
+    // Stream id: ASCII "WORK" — keeps workload draws disjoint from fault
+    // streams derived from the same seed.
+    let mut rng = Xoshiro256::stream(seed, 0x574F_524B);
+    let tasks = (0..params.n)
+        .map(|_| {
+            let m = rng.uniform(params.m_inf, params.m_sup);
+            TaskSpec::with_ckpt_unit(m, params.ckpt_unit)
+        })
+        .collect();
+    Workload::new(tasks, Arc::new(PaperModel::new(params.seq_fraction)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_within_bounds() {
+        let p = WorkloadParams::paper_default(200);
+        let w = generate(&p, 42);
+        assert_eq!(w.len(), 200);
+        for t in &w.tasks {
+            assert!(t.size >= p.m_inf && t.size <= p.m_sup);
+            assert_eq!(t.ckpt_unit, 1.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = WorkloadParams::paper_default(50);
+        let a = generate(&p, 7);
+        let b = generate(&p, 7);
+        for (x, y) in a.tasks.iter().zip(&b.tasks) {
+            assert_eq!(x.size, y.size);
+        }
+        let c = generate(&p, 8);
+        assert!(a.tasks.iter().zip(&c.tasks).any(|(x, y)| x.size != y.size));
+    }
+
+    #[test]
+    fn heterogeneous_spreads_widely() {
+        let p = WorkloadParams::heterogeneous(500);
+        let w = generate(&p, 3);
+        let min = w.tasks.iter().map(|t| t.size).fold(f64::INFINITY, f64::min);
+        let max = w.tasks.iter().map(|t| t.size).fold(0.0, f64::max);
+        assert!(max / min > 10.0, "heterogeneous range should spread: {min}..{max}");
+    }
+}

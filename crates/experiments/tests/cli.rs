@@ -1,0 +1,91 @@
+//! Integration tests of the `experiments` binary itself.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_experiments"))
+}
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let out = bin().output().expect("spawn");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage:"), "stderr: {stderr}");
+    assert!(stderr.contains("fig5"));
+}
+
+#[test]
+fn unknown_target_fails() {
+    let out = bin().arg("fig99").output().expect("spawn");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn unknown_flag_fails() {
+    let out = bin().args(["fig5", "--bogus"]).output().expect("spawn");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn table1_renders() {
+    let out = bin().arg("table1").output().expect("spawn");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Table 1"));
+    assert!(stdout.contains("MTBF of one processor"));
+}
+
+#[test]
+fn quick_figure_with_csv_output() {
+    let dir = std::env::temp_dir().join(format!("redistrib-cli-{}", std::process::id()));
+    let out = bin()
+        .args(["fig12", "--quick", "--runs", "2", "--out"])
+        .arg(&dir)
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Figure 12"));
+    let csv = std::fs::read_to_string(dir.join("fig12.csv")).expect("csv written");
+    assert!(csv.starts_with("c (checkpoint cost per data unit),"));
+    let dat = std::fs::read_to_string(dir.join("fig12.dat")).expect("dat written");
+    assert!(dat.starts_with("# Figure 12"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn plot_flag_renders_chart() {
+    let out = bin()
+        .args(["fig12", "--quick", "--runs", "2", "--plot"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("o Fault context without RC"), "missing legend:\n{stdout}");
+}
+
+#[test]
+fn seed_flag_changes_output() {
+    let run = |seed: &str| {
+        let out = bin()
+            .args(["fig12", "--quick", "--runs", "2", "--seed", seed])
+            .output()
+            .expect("spawn");
+        assert!(out.status.success());
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let a = run("1");
+    let b = run("2");
+    let a_again = run("1");
+    assert_eq!(a, a_again, "same seed must reproduce byte-identical output");
+    assert_ne!(a, b, "different seeds must differ");
+}
+
+#[test]
+fn gap_extension_runs() {
+    let out = bin().args(["gap", "--quick"]).output().expect("spawn");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("optimality gap"));
+}

@@ -1,0 +1,128 @@
+//! Bipartite multigraphs.
+//!
+//! Used to model one data redistribution: left vertices are the processors
+//! currently holding a task's data, right vertices are the processors that
+//! must receive a share, and each edge is one unit transfer. §3.3.1 of the
+//! paper reduces the number of communication rounds to the chromatic index of
+//! this graph.
+
+/// A bipartite multigraph with `left` + `right` vertices and an explicit
+/// edge list (parallel edges allowed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bipartite {
+    left: usize,
+    right: usize,
+    edges: Vec<(usize, usize)>,
+}
+
+impl Bipartite {
+    /// Creates an empty bipartite graph with the given side sizes.
+    #[must_use]
+    pub fn new(left: usize, right: usize) -> Self {
+        Self { left, right, edges: Vec::new() }
+    }
+
+    /// Creates the complete bipartite graph `K_{left,right}`.
+    #[must_use]
+    pub fn complete(left: usize, right: usize) -> Self {
+        let mut g = Self::new(left, right);
+        g.edges.reserve(left * right);
+        for u in 0..left {
+            for v in 0..right {
+                g.edges.push((u, v));
+            }
+        }
+        g
+    }
+
+    /// Adds an edge between left vertex `u` and right vertex `v`.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u < self.left, "left vertex {u} out of range");
+        assert!(v < self.right, "right vertex {v} out of range");
+        self.edges.push((u, v));
+    }
+
+    /// Number of left-side vertices.
+    #[must_use]
+    pub fn left(&self) -> usize {
+        self.left
+    }
+
+    /// Number of right-side vertices.
+    #[must_use]
+    pub fn right(&self) -> usize {
+        self.right
+    }
+
+    /// The edge list, in insertion order.
+    #[must_use]
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Number of edges.
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Maximum vertex degree `Δ(G)` over both sides.
+    #[must_use]
+    pub fn max_degree(&self) -> usize {
+        let mut dl = vec![0usize; self.left];
+        let mut dr = vec![0usize; self.right];
+        for &(u, v) in &self.edges {
+            dl[u] += 1;
+            dr[v] += 1;
+        }
+        dl.iter().chain(dr.iter()).copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = Bipartite::new(3, 4);
+        assert_eq!(g.left(), 3);
+        assert_eq!(g.right(), 4);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn complete_graph_degrees() {
+        let g = Bipartite::complete(4, 2);
+        assert_eq!(g.num_edges(), 8);
+        // Left vertices have degree 2, right have degree 4.
+        assert_eq!(g.max_degree(), 4);
+    }
+
+    #[test]
+    fn parallel_edges_counted() {
+        let mut g = Bipartite::new(1, 1);
+        g.add_edge(0, 0);
+        g.add_edge(0, 0);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_left_vertex() {
+        let mut g = Bipartite::new(1, 1);
+        g.add_edge(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_right_vertex() {
+        let mut g = Bipartite::new(1, 1);
+        g.add_edge(0, 2);
+    }
+}

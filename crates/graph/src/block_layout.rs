@@ -1,0 +1,207 @@
+//! Transfer graphs of *actual* 1-D block data layouts.
+//!
+//! §3.3.1 models a redistribution `j → k` with a complete bipartite graph
+//! in which every sender talks to every receiver. Real malleable codes
+//! usually store their data **block-distributed**: processor `r` of `j`
+//! owns the contiguous range `[r·m/j, (r+1)·m/j)`. When the task moves to
+//! `k` processors, each new owner fetches exactly the overlaps between its
+//! new range and the old ranges — a much sparser graph.
+//!
+//! This module builds that exact overlap graph and counts its communication
+//! rounds by König coloring, so the paper's closed form (`max(min(j,k),
+//! |k−j|)` rounds of `m/(k·j)` each) can be compared against a concrete
+//! layout: the paper's model is an upper bound in rounds but moves chunks
+//! of a fixed small size, while the block layout moves fewer, larger
+//! messages.
+
+use crate::bipartite::Bipartite;
+use crate::coloring::color_bipartite;
+
+/// One data transfer of a block-layout redistribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Transfer {
+    /// Sending processor (rank in the old allocation `0..j`).
+    pub from: u32,
+    /// Receiving processor (rank in the new allocation `0..k`).
+    pub to: u32,
+    /// Amount of data moved (same unit as `m`).
+    pub volume: f64,
+}
+
+/// Computes the exact transfers of a 1-D block redistribution `j → k` of
+/// `m` data units: new owner `s` fetches every non-empty overlap of its
+/// range with an old owner's range. Local overlaps (`from == to` ranks
+/// holding the same physical data) are *included* with their volume so
+/// callers can reason about locality; they require no communication.
+///
+/// # Panics
+/// Panics if `j == 0`, `k == 0`, or `m` is not positive and finite.
+#[must_use]
+pub fn block_transfers(j: u32, k: u32, m: f64) -> Vec<Transfer> {
+    assert!(j > 0 && k > 0, "processor counts must be positive");
+    assert!(m.is_finite() && m > 0.0, "data volume must be positive");
+    let old_share = m / f64::from(j);
+    let new_share = m / f64::from(k);
+    let mut transfers = Vec::new();
+    for s in 0..k {
+        let lo = f64::from(s) * new_share;
+        let hi = lo + new_share;
+        // Old owners overlapping [lo, hi).
+        let first = (lo / old_share).floor() as u32;
+        let last = ((hi / old_share).ceil() as u32).min(j);
+        for r in first..last {
+            let olo = f64::from(r) * old_share;
+            let ohi = olo + old_share;
+            let volume = (hi.min(ohi) - lo.max(olo)).max(0.0);
+            if volume > 1e-12 * m {
+                transfers.push(Transfer { from: r, to: s, volume });
+            }
+        }
+    }
+    transfers
+}
+
+/// Communication rounds needed by the block layout, assuming each
+/// processor sends/receives at most one message per round (the paper's
+/// port model): the chromatic index of the overlap graph restricted to
+/// non-local transfers.
+///
+/// # Panics
+/// Panics on invalid arguments (see [`block_transfers`]).
+#[must_use]
+pub fn block_rounds(j: u32, k: u32, m: f64) -> u32 {
+    let mut g = Bipartite::new(j as usize, k as usize);
+    for t in block_transfers(j, k, m) {
+        // A rank keeping its own data does not communicate. Ranks are
+        // physical processors here: when shrinking, survivors keep their
+        // prefix; when growing, old ranks keep their ids.
+        let local = t.from == t.to;
+        if !local {
+            g.add_edge(t.from as usize, t.to as usize);
+        }
+    }
+    color_bipartite(&g).num_colors as u32
+}
+
+/// Total non-local volume moved by the block layout (data units).
+///
+/// # Panics
+/// Panics on invalid arguments (see [`block_transfers`]).
+#[must_use]
+pub fn block_volume(j: u32, k: u32, m: f64) -> f64 {
+    block_transfers(j, k, m)
+        .into_iter()
+        .filter(|t| t.from != t.to)
+        .map(|t| t.volume)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::redistribution::rounds_closed_form;
+
+    #[test]
+    fn identity_moves_nothing() {
+        let transfers = block_transfers(4, 4, 100.0);
+        assert!(transfers.iter().all(|t| t.from == t.to));
+        assert_eq!(block_rounds(4, 4, 100.0), 0);
+        assert_eq!(block_volume(4, 4, 100.0), 0.0);
+    }
+
+    #[test]
+    fn volumes_conserve_data() {
+        for (j, k) in [(2u32, 6u32), (4, 6), (6, 4), (5, 3), (1, 8)] {
+            let m = 120.0;
+            let total: f64 = block_transfers(j, k, m).iter().map(|t| t.volume).sum();
+            assert!((total - m).abs() < 1e-9, "j={j}, k={k}: total {total}");
+        }
+    }
+
+    #[test]
+    fn doubling_splits_every_block() {
+        // 2 → 4: new rank 0 and 1 read from old 0; ranks 2, 3 from old 1.
+        let transfers = block_transfers(2, 4, 80.0);
+        assert_eq!(transfers.len(), 4);
+        for t in &transfers {
+            assert!((t.volume - 20.0).abs() < 1e-9);
+            assert_eq!(t.from, t.to / 2);
+        }
+        // Non-local: (0→1) and (1→2), (1→3)? rank pairs with from != to.
+        assert!((block_volume(2, 4, 80.0) - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn receiver_degree_bounded() {
+        // Each new range overlaps at most ⌈(m/k)/(m/j)⌉ + 1 old ranges.
+        for (j, k) in [(3u32, 7u32), (8, 3), (5, 5), (10, 4)] {
+            let per_receiver_max = (f64::from(j) / f64::from(k)).ceil() as usize + 1;
+            let transfers = block_transfers(j, k, 1000.0);
+            for s in 0..k {
+                let deg = transfers.iter().filter(|t| t.to == s).count();
+                assert!(
+                    deg <= per_receiver_max,
+                    "receiver {s} has degree {deg} for {j}→{k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn block_rounds_never_exceed_paper_model() {
+        // The paper's complete-bipartite model is a worst case in rounds.
+        for j in 1..=12u32 {
+            for k in 1..=12u32 {
+                if j == k {
+                    continue;
+                }
+                let block = block_rounds(j, k, 840.0);
+                let paper = rounds_closed_form(j, k);
+                assert!(
+                    block <= paper,
+                    "block layout needs {block} rounds vs paper {paper} for {j}→{k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn growth_moves_majority_of_data() {
+        // Growing j → 2j relocates exactly half the data in a block layout
+        // (every old block splits, its second half moving to a new rank)…
+        // minus what stays local by rank coincidence (rank 0 keeps its
+        // first half).
+        let vol = block_volume(4, 8, 800.0);
+        assert!(vol > 0.0 && vol <= 800.0);
+        // Old rank r's data [r/4, (r+1)/4) maps to new ranks 2r and 2r+1;
+        // only new rank == old rank can be local, i.e. ranks 0..4 where
+        // 2r == r → r = 0.
+        let local: f64 = block_transfers(4, 8, 800.0)
+            .iter()
+            .filter(|t| t.from == t.to)
+            .map(|t| t.volume)
+            .sum();
+        assert!((local - 100.0).abs() < 1e-9);
+        assert!((vol - 700.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shrink_concentrates_on_survivors() {
+        let transfers = block_transfers(6, 2, 120.0);
+        // All data ends at ranks 0 and 1.
+        assert!(transfers.iter().all(|t| t.to < 2));
+        let received: f64 = transfers
+            .iter()
+            .filter(|t| t.from != t.to)
+            .map(|t| t.volume)
+            .sum();
+        // Survivor 0 keeps its own 20 units; everything else moves.
+        assert!((received - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_procs() {
+        let _ = block_transfers(0, 2, 10.0);
+    }
+}

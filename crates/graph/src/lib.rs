@@ -1,0 +1,25 @@
+//! # redistrib-graph
+//!
+//! Bipartite multigraphs and constructive König edge coloring.
+//!
+//! The paper (§3.3.1) models one processor redistribution as a bipartite
+//! *transfer graph* and shows the number of parallel communication rounds
+//! equals the chromatic index `χ'(G) = Δ(G)` (König's theorem). This crate
+//! implements the graph, the constructive coloring, and the round/cost
+//! formulas (Eqs. 7 and 9), letting the model crate cross-validate the
+//! closed forms against an actual coloring.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod bipartite;
+pub mod block_layout;
+pub mod coloring;
+pub mod redistribution;
+
+pub use bipartite::Bipartite;
+pub use block_layout::{block_rounds, block_transfers, block_volume, Transfer};
+pub use coloring::{color_bipartite, is_proper, EdgeColoring};
+pub use redistribution::{
+    redistribution_cost, rounds_by_coloring, rounds_closed_form, transfer_graph,
+};

@@ -1,0 +1,172 @@
+//! Data-redistribution round counting (§3.3.1, Eqs. 7 and 9).
+//!
+//! When a task moves from `j` to `k` processors, its data must be
+//! re-balanced. The paper models this as a bipartite transfer graph where
+//! each sender transmits one `1/(k·j)` chunk per edge, one chunk per
+//! processor per *round*; the number of rounds equals the chromatic index of
+//! the transfer graph, which (König) equals its maximum degree. This module
+//! provides both the closed form the paper derives and the graph-theoretic
+//! computation, so tests can cross-validate them.
+
+use crate::bipartite::Bipartite;
+use crate::coloring::color_bipartite;
+
+/// Builds the transfer graph of a redistribution from `j` to `k` processors.
+///
+/// * Growth (`k > j`): each of the `j` holders sends to each of the
+///   `k − j` newcomers — `K_{j, k−j}`.
+/// * Shrink (`k < j`): each of the `j − k` leavers sends to each of the `k`
+///   stayers — `K_{j−k, k}`.
+/// * `k == j`: empty graph (no movement).
+///
+/// # Panics
+/// Panics if `j == 0` or `k == 0`.
+#[must_use]
+pub fn transfer_graph(j: u32, k: u32) -> Bipartite {
+    assert!(j > 0 && k > 0, "processor counts must be positive");
+    match k.cmp(&j) {
+        std::cmp::Ordering::Greater => Bipartite::complete(j as usize, (k - j) as usize),
+        std::cmp::Ordering::Less => Bipartite::complete((j - k) as usize, k as usize),
+        std::cmp::Ordering::Equal => Bipartite::new(j as usize, 0),
+    }
+}
+
+/// Number of communication rounds of a `j → k` redistribution, computed by
+/// actually edge-coloring the transfer graph.
+///
+/// # Panics
+/// Panics if `j == 0` or `k == 0`.
+#[must_use]
+pub fn rounds_by_coloring(j: u32, k: u32) -> u32 {
+    color_bipartite(&transfer_graph(j, k)).num_colors as u32
+}
+
+/// Closed-form round count: `max(min(j,k), |k−j|)` (Eq. 9; for `k > j` this
+/// is Eq. 7's `max(j, k−j)`).
+///
+/// Returns 0 when `j == k`.
+///
+/// # Panics
+/// Panics if `j == 0` or `k == 0`.
+#[must_use]
+pub fn rounds_closed_form(j: u32, k: u32) -> u32 {
+    assert!(j > 0 && k > 0, "processor counts must be positive");
+    if j == k {
+        return 0;
+    }
+    j.min(k).max(j.abs_diff(k))
+}
+
+/// Redistribution cost `RC^{j→k} = rounds · (1/k) · (m/j)` (Eq. 9), where
+/// `m` is the task's total data volume.
+///
+/// Each round moves one `m/(k·j)` chunk per participating processor.
+///
+/// ```
+/// use redistrib_graph::redistribution_cost;
+/// // The paper's Figure 3: growing from 4 to 6 processors takes
+/// // max(4, 2) = 4 rounds of m/24 each.
+/// assert_eq!(redistribution_cost(4, 6, 24.0), 4.0);
+/// // No move, no cost.
+/// assert_eq!(redistribution_cost(8, 8, 1e6), 0.0);
+/// ```
+///
+/// # Panics
+/// Panics if `j == 0` or `k == 0`, or if `m` is negative or non-finite.
+#[must_use]
+pub fn redistribution_cost(j: u32, k: u32, m: f64) -> f64 {
+    assert!(m.is_finite() && m >= 0.0, "data volume must be non-negative");
+    f64::from(rounds_closed_form(j, k)) * m / (f64::from(k) * f64::from(j))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_figure3_example() {
+        // j = 4, k = 6: Δ = max(4, 2) = 4 rounds.
+        assert_eq!(rounds_closed_form(4, 6), 4);
+        assert_eq!(rounds_by_coloring(4, 6), 4);
+    }
+
+    #[test]
+    fn no_movement_zero_rounds() {
+        assert_eq!(rounds_closed_form(4, 4), 0);
+        assert_eq!(rounds_by_coloring(4, 4), 0);
+        assert_eq!(redistribution_cost(4, 4, 1e6), 0.0);
+    }
+
+    #[test]
+    fn growth_matches_eq7() {
+        for j in 1..=20 {
+            for k in (j + 1)..=24 {
+                assert_eq!(
+                    rounds_closed_form(j, k),
+                    j.max(k - j),
+                    "Eq. 7 mismatch at j={j}, k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_coloring_exhaustively() {
+        for j in 1..=16 {
+            for k in 1..=16 {
+                assert_eq!(
+                    rounds_closed_form(j, k),
+                    rounds_by_coloring(j, k),
+                    "mismatch at j={j}, k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cost_formula_values() {
+        // j=4, k=6, m=24: rounds=4, cost = 4 * 24 / (6*4) = 4.
+        assert!((redistribution_cost(4, 6, 24.0) - 4.0).abs() < 1e-12);
+        // Shrink j=6, k=2, m=12: rounds = max(2, 4) = 4; cost = 4*12/(2*6)=4.
+        assert!((redistribution_cost(6, 2, 12.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_scales_linearly_with_data() {
+        let base = redistribution_cost(2, 8, 1.0);
+        assert!((redistribution_cost(2, 8, 10.0) - 10.0 * base).abs() < 1e-12);
+    }
+
+    #[test]
+    fn doubling_processors_cost() {
+        // j -> 2j: rounds = max(j, j) = j; cost = j * m / (2j*j) = m/(2j).
+        for j in [2u32, 4, 10, 64] {
+            let m = 1e6;
+            let expected = m / (2.0 * f64::from(j));
+            assert!((redistribution_cost(j, 2 * j, m) - expected).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn shrink_symmetric_structure() {
+        // Shrink j→k builds K_{j−k,k}; growth k→j builds K_{k, j−k}; both
+        // have the same Δ, hence equal round counts.
+        for j in 2..=12 {
+            for k in 1..j {
+                assert_eq!(rounds_closed_form(j, k), rounds_closed_form(k, j));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_procs() {
+        let _ = rounds_closed_form(0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_volume() {
+        let _ = redistribution_cost(2, 4, -1.0);
+    }
+}

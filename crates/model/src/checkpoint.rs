@@ -1,0 +1,175 @@
+//! Checkpointing model (§3.1): costs, recovery, and period selection.
+//!
+//! Tasks use the double (buddy) checkpointing protocol, so the sequential
+//! checkpoint volume `C_i` is split across the `j` processors of the task:
+//! `C_{i,j} = C_i/j`, and recovery costs the same (`R_{i,j} = C_{i,j}`).
+//! The checkpointing period is Young's first-order optimum by default
+//! (Eq. 1); Daly's higher-order estimate is provided as an extension.
+
+use crate::platform::Platform;
+use crate::task::TaskSpec;
+
+/// Which approximation of the optimal checkpointing period to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PeriodRule {
+    /// Young's first-order formula `τ = sqrt(2 µ C) + C` (Eq. 1 — the
+    /// paper's choice).
+    #[default]
+    Young,
+    /// Daly's higher-order estimate (extension; reduces to Young when
+    /// `C ≪ µ`).
+    Daly,
+}
+
+/// Checkpoint cost `C_{i,j} = C_i / j` of task `task` on `j` processors.
+///
+/// # Panics
+/// Panics if `j == 0`.
+#[must_use]
+pub fn ckpt_cost(task: &TaskSpec, j: u32) -> f64 {
+    assert!(j > 0, "a task uses at least one processor");
+    task.seq_ckpt_cost() / f64::from(j)
+}
+
+/// Recovery time `R_{i,j}`; the paper assumes `R_{i,j} = C_{i,j}`.
+#[must_use]
+pub fn recovery_time(task: &TaskSpec, j: u32) -> f64 {
+    ckpt_cost(task, j)
+}
+
+/// Checkpointing period `τ_{i,j}` for `task` on `j` processors of
+/// `platform`, under the given rule.
+///
+/// Both rules yield `τ > C` (the period includes its trailing checkpoint of
+/// length `C`, so useful work per period is `τ − C > 0`).
+///
+/// A zero checkpoint cost returns `τ = +∞` conceptually; since downstream
+/// formulas need a finite period, this function panics instead — fault-free
+/// execution is modelled separately (no checkpoints at all).
+///
+/// # Panics
+/// Panics if `j == 0` or the task has zero checkpoint cost.
+#[must_use]
+pub fn period(task: &TaskSpec, platform: &Platform, j: u32, rule: PeriodRule) -> f64 {
+    let c = ckpt_cost(task, j);
+    assert!(c > 0.0, "period undefined for zero checkpoint cost");
+    let mu = platform.task_mtbf(j);
+    match rule {
+        PeriodRule::Young => (2.0 * mu * c).sqrt() + c,
+        PeriodRule::Daly => {
+            // Daly 2006, higher-order optimum for the *work+checkpoint*
+            // period; falls back to µ when checkpoints dominate (C ≥ 2µ).
+            if c < 2.0 * mu {
+                let x = (c / (2.0 * mu)).sqrt();
+                (2.0 * mu * c).sqrt() * (1.0 + x / 3.0 + x * x / 9.0) + c
+            } else {
+                mu + c
+            }
+        }
+    }
+}
+
+/// Young's validity condition: the first-order formula assumes `C ≪ µ`.
+/// Returns the ratio `C_{i,j} / µ_{i,j}`; values well below 1 indicate the
+/// approximation is sound. Note that for this model the ratio
+/// `C_i/(j·µ/j) = C_i/µ` is independent of `j`.
+#[must_use]
+pub fn young_validity_ratio(task: &TaskSpec, platform: &Platform, j: u32) -> f64 {
+    ckpt_cost(task, j) / platform.task_mtbf(j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redistrib_sim::units;
+
+    fn task() -> TaskSpec {
+        TaskSpec::new(2_000_000.0)
+    }
+
+    fn platform() -> Platform {
+        Platform::with_mtbf(1000, units::years(100.0))
+    }
+
+    #[test]
+    fn ckpt_cost_splits_across_procs() {
+        let t = task();
+        assert!((ckpt_cost(&t, 1) - 2_000_000.0).abs() < 1e-6);
+        assert!((ckpt_cost(&t, 10) - 200_000.0).abs() < 1e-6);
+        assert_eq!(recovery_time(&t, 10), ckpt_cost(&t, 10));
+    }
+
+    #[test]
+    fn young_period_formula() {
+        let t = task();
+        let p = platform();
+        let j = 10;
+        let c = ckpt_cost(&t, j);
+        let mu = p.task_mtbf(j);
+        let expected = (2.0 * mu * c).sqrt() + c;
+        assert!((period(&t, &p, j, PeriodRule::Young) - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn period_exceeds_checkpoint() {
+        let t = task();
+        let p = platform();
+        for j in [2u32, 10, 100, 1000] {
+            for rule in [PeriodRule::Young, PeriodRule::Daly] {
+                let tau = period(&t, &p, j, rule);
+                assert!(tau > ckpt_cost(&t, j), "τ ≤ C at j={j} under {rule:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn period_shrinks_with_more_procs() {
+        // τ = sqrt(2 (µ/j)(C/j)) + C/j strictly decreases in j.
+        let t = task();
+        let p = platform();
+        let mut last = f64::INFINITY;
+        for j in [1u32, 2, 4, 8, 16, 64, 256] {
+            let tau = period(&t, &p, j, PeriodRule::Young);
+            assert!(tau < last);
+            last = tau;
+        }
+    }
+
+    #[test]
+    fn daly_close_to_young_when_c_small() {
+        let t = task();
+        let p = platform();
+        let y = period(&t, &p, 10, PeriodRule::Young);
+        let d = period(&t, &p, 10, PeriodRule::Daly);
+        // C/µ ≈ 6e-4 here, so the higher-order terms are tiny.
+        assert!((d - y).abs() / y < 0.01, "young={y}, daly={d}");
+        assert!(d >= y, "Daly's correction is positive");
+    }
+
+    #[test]
+    fn daly_degenerates_when_checkpoint_dominates() {
+        // Force C ≥ 2µ: tiny MTBF.
+        let t = task();
+        let p = Platform::with_mtbf(10, 1000.0);
+        let tau = period(&t, &p, 2, PeriodRule::Daly);
+        assert!((tau - (p.task_mtbf(2) + ckpt_cost(&t, 2))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validity_ratio_independent_of_j() {
+        let t = task();
+        let p = platform();
+        let r2 = young_validity_ratio(&t, &p, 2);
+        let r100 = young_validity_ratio(&t, &p, 100);
+        assert!((r2 - r100).abs() < 1e-15);
+        // Paper defaults: C_i = 2e6 s, µ = 100 y → ratio ≈ 6.3e-4 ≪ 1.
+        assert!(r2 < 0.01, "ratio = {r2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero checkpoint cost")]
+    fn period_rejects_free_checkpoints() {
+        let t = TaskSpec::with_ckpt_unit(100.0, 0.0);
+        let _ = period(&t, &platform(), 2, PeriodRule::Young);
+    }
+}

@@ -1,0 +1,256 @@
+//! Expected execution time under failures (§3.2, Eqs. 2–6).
+//!
+//! `t^R_{i,j}(α)` is the expected wall-clock time for task `T_i` to complete
+//! a fraction `α` of its total work on `j` processors, accounting for
+//! periodic checkpoints, failures (exponential, rate `λj`), downtimes and
+//! recoveries. The execution is periodic: each period of length `τ_{i,j}`
+//! carries `τ_{i,j} − C_{i,j}` units of useful work followed by a checkpoint
+//! of length `C_{i,j}`.
+
+use crate::checkpoint::{ckpt_cost, period, recovery_time, PeriodRule};
+use crate::platform::Platform;
+use crate::task::TaskSpec;
+
+/// Precomputed per-(task, allocation) quantities, so that repeated
+/// `t^R(α)` evaluations cost one `exp` each.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AllocParams {
+    /// Fault-free time `t_{i,j}`.
+    pub t_ff: f64,
+    /// Checkpoint cost `C_{i,j}`.
+    pub c: f64,
+    /// Checkpoint period `τ_{i,j}` (Eq. 1), trailing checkpoint included.
+    pub tau: f64,
+    /// Useful work per period, `τ_{i,j} − C_{i,j}`.
+    pub useful: f64,
+    /// Task failure rate `λj`.
+    pub lam: f64,
+    /// Global factor `e^{λj·R_{i,j}} (1/(λj) + D)` of Eq. 4.
+    pub coef: f64,
+    /// Cached `e^{λj·τ_{i,j}}`.
+    pub exp_tau: f64,
+}
+
+impl AllocParams {
+    /// Computes the parameters for `task` on `j` processors.
+    ///
+    /// # Panics
+    /// Panics if `j == 0` or the task cannot be checkpointed (zero cost).
+    #[must_use]
+    pub fn compute(
+        task: &TaskSpec,
+        platform: &Platform,
+        t_ff: f64,
+        j: u32,
+        rule: PeriodRule,
+    ) -> Self {
+        let c = ckpt_cost(task, j);
+        let tau = period(task, platform, j, rule);
+        let lam = platform.task_lambda(j);
+        let r = recovery_time(task, j);
+        let coef = (lam * r).exp() * (1.0 / lam + platform.downtime);
+        Self { t_ff, c, tau, useful: tau - c, lam, coef, exp_tau: (lam * tau).exp() }
+    }
+
+    /// Number of *complete* checkpointed periods needed for a fraction `α`
+    /// of the work in a fault-free execution (Eq. 2):
+    /// `N^ff_{i,j}(α) = ⌊α·t_{i,j} / (τ_{i,j} − C_{i,j})⌋`.
+    #[must_use]
+    pub fn n_ff(&self, alpha: f64) -> f64 {
+        debug_assert!((0.0..=1.0 + 1e-9).contains(&alpha));
+        (alpha * self.t_ff / self.useful).floor()
+    }
+
+    /// Length of the final, incomplete period (Eq. 3):
+    /// `τ_last = α·t_{i,j} − N^ff(α)·(τ_{i,j} − C_{i,j})`.
+    #[must_use]
+    pub fn tau_last(&self, alpha: f64) -> f64 {
+        (alpha * self.t_ff - self.n_ff(alpha) * self.useful).max(0.0)
+    }
+
+    /// Expected time `t^R_{i,j}(α)` to complete a fraction `α` (Eq. 4):
+    ///
+    /// `e^{λjR}(1/(λj) + D)·(N^ff(α)(e^{λjτ} − 1) + (e^{λjτ_last} − 1))`.
+    #[must_use]
+    pub fn expected_time(&self, alpha: f64) -> f64 {
+        if alpha <= 0.0 {
+            return 0.0;
+        }
+        let last = (self.lam * self.tau_last(alpha)).exp_m1();
+        self.coef * (self.n_ff(alpha) * (self.exp_tau - 1.0) + last)
+    }
+
+    /// Fault-free wall time to complete a fraction `α` *including the
+    /// checkpoints taken along the way*: `α·t_{i,j} + N^ff(α)·C_{i,j}`.
+    ///
+    /// This is the `EndSemantics::FaultFreeProjection` remaining time and
+    /// also the `λ → 0` limit of [`Self::expected_time`].
+    #[must_use]
+    pub fn fault_free_projection(&self, alpha: f64) -> f64 {
+        if alpha <= 0.0 {
+            return 0.0;
+        }
+        alpha * self.t_ff + self.n_ff(alpha) * self.c
+    }
+
+    /// Number of complete periods in `elapsed` wall-clock time
+    /// (`N_{i,j}` of Eq. 8): `⌊elapsed / τ_{i,j}⌋`.
+    #[must_use]
+    pub fn completed_periods(&self, elapsed: f64) -> f64 {
+        debug_assert!(elapsed >= 0.0);
+        (elapsed / self.tau).floor()
+    }
+
+    /// Fraction of work completed after `elapsed` time by a task that was
+    /// *not* struck (checkpoint time deducted; §3.3.2):
+    /// `(elapsed − N_{i,j}·C_{i,j}) / t_{i,j}`.
+    #[must_use]
+    pub fn progress_nonfaulty(&self, elapsed: f64) -> f64 {
+        ((elapsed - self.completed_periods(elapsed) * self.c) / self.t_ff).max(0.0)
+    }
+
+    /// Fraction of work *retained* by the faulty task: only fully
+    /// checkpointed periods survive (§3.3.2):
+    /// `N_{i,j}·(τ_{i,j} − C_{i,j}) / t_{i,j}`.
+    #[must_use]
+    pub fn progress_faulty(&self, elapsed: f64) -> f64 {
+        self.completed_periods(elapsed) * self.useful / self.t_ff
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::speedup::{PaperModel, SpeedupModel};
+    use redistrib_sim::units;
+
+    fn setup(j: u32) -> AllocParams {
+        let task = TaskSpec::new(2_000_000.0);
+        let platform = Platform::with_mtbf(5000, units::years(100.0));
+        let t_ff = PaperModel::default().time(task.size, j);
+        AllocParams::compute(&task, &platform, t_ff, j, PeriodRule::Young)
+    }
+
+    #[test]
+    fn zero_fraction_zero_time() {
+        let p = setup(10);
+        assert_eq!(p.expected_time(0.0), 0.0);
+        assert_eq!(p.fault_free_projection(0.0), 0.0);
+        assert_eq!(p.n_ff(0.0), 0.0);
+        assert_eq!(p.tau_last(0.0), 0.0);
+    }
+
+    #[test]
+    fn expected_time_monotone_in_alpha() {
+        let p = setup(10);
+        let mut last = 0.0;
+        for k in 1..=20 {
+            let alpha = f64::from(k) / 20.0;
+            let t = p.expected_time(alpha);
+            assert!(t > last, "t^R not increasing at α={alpha}");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn expected_time_exceeds_fault_free_work() {
+        // Failures and checkpoints can only add time.
+        let p = setup(10);
+        for alpha in [0.1, 0.5, 1.0] {
+            assert!(p.expected_time(alpha) > alpha * p.t_ff);
+            assert!(p.expected_time(alpha) > p.fault_free_projection(alpha) * 0.999);
+        }
+    }
+
+    #[test]
+    fn expected_time_close_to_fault_free_when_mtbf_huge() {
+        // λ → 0 limit: t^R(α) → α·t + N^ff·C.
+        let task = TaskSpec::new(2_000_000.0);
+        let platform = Platform::with_mtbf(100, units::years(1e7)).downtime(0.0);
+        let t_ff = PaperModel::default().time(task.size, 10);
+        let p = AllocParams::compute(&task, &platform, t_ff, 10, PeriodRule::Young);
+        let alpha = 1.0;
+        let tr = p.expected_time(alpha);
+        let ff = p.fault_free_projection(alpha);
+        assert!((tr - ff).abs() / ff < 0.02, "tr={tr}, ff={ff}");
+    }
+
+    #[test]
+    fn eq2_eq3_consistency() {
+        let p = setup(4);
+        for alpha in [0.05, 0.3, 0.77, 1.0] {
+            let reconstructed = p.n_ff(alpha) * p.useful + p.tau_last(alpha);
+            assert!((reconstructed - alpha * p.t_ff).abs() < 1e-6);
+            assert!(p.tau_last(alpha) < p.useful + 1e-9);
+        }
+    }
+
+    #[test]
+    fn lambda_tau_independent_of_j() {
+        // λj·τ ≈ sqrt(2C_i/µ) + C_i/µ does not depend on j, so the per-period
+        // failure exposure is allocation-independent.
+        let a = setup(2);
+        let b = setup(100);
+        assert!((a.lam * a.tau - b.lam * b.tau).abs() / (a.lam * a.tau) < 1e-9);
+    }
+
+    #[test]
+    fn hand_computed_small_case() {
+        // Exact arithmetic check of Eq. 4 on crafted numbers.
+        let p = AllocParams {
+            t_ff: 100.0,
+            c: 1.0,
+            tau: 11.0,
+            useful: 10.0,
+            lam: 0.01,
+            coef: (0.01f64 * 1.0).exp() * (100.0 + 5.0),
+            exp_tau: (0.11f64).exp(),
+        };
+        // α = 0.25: work 25 → N^ff = 2, τ_last = 5.
+        assert_eq!(p.n_ff(0.25), 2.0);
+        assert!((p.tau_last(0.25) - 5.0).abs() < 1e-12);
+        let expected = p.coef * (2.0 * ((0.11f64).exp() - 1.0) + ((0.05f64).exp() - 1.0));
+        assert!((p.expected_time(0.25) - expected).abs() < 1e-9);
+        // Fault-free projection: 25 + 2·1 = 27.
+        assert!((p.fault_free_projection(0.25) - 27.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn progress_formulas() {
+        let p = AllocParams {
+            t_ff: 100.0,
+            c: 1.0,
+            tau: 11.0,
+            useful: 10.0,
+            lam: 0.01,
+            coef: 105.0,
+            exp_tau: 1.0,
+        };
+        // After 25 time units: 2 complete periods (22), partial 3.
+        assert_eq!(p.completed_periods(25.0), 2.0);
+        // Non-faulty progress: (25 − 2·1)/100 = 0.23.
+        assert!((p.progress_nonfaulty(25.0) - 0.23).abs() < 1e-12);
+        // Faulty progress: 2·10/100 = 0.2 (work since last checkpoint lost).
+        assert!((p.progress_faulty(25.0) - 0.2).abs() < 1e-12);
+        // Faulty ≤ non-faulty always.
+        for e in [0.0, 5.0, 11.0, 21.9, 33.0] {
+            assert!(p.progress_faulty(e) <= p.progress_nonfaulty(e) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn progress_zero_elapsed() {
+        let p = setup(8);
+        assert_eq!(p.progress_nonfaulty(0.0), 0.0);
+        assert_eq!(p.progress_faulty(0.0), 0.0);
+    }
+
+    #[test]
+    fn more_procs_help_below_threshold() {
+        // At the paper's default scales, going from 2 to 4 processors
+        // shortens the expected time (threshold is far higher).
+        let a = setup(2);
+        let b = setup(4);
+        assert!(b.expected_time(1.0) < a.expected_time(1.0));
+    }
+}

@@ -1,0 +1,50 @@
+//! # redistrib-model
+//!
+//! Application and platform model of *Resilient application co-scheduling
+//! with processor redistribution* (Benoit, Pottier, Robert; ICPP 2016):
+//!
+//! * [`speedup`] — speedup profiles, including the paper's synthetic model
+//!   (Eq. 10);
+//! * [`task`] — task and workload (pack) definitions;
+//! * [`platform`] — processors, MTBF, downtime;
+//! * [`checkpoint`] — buddy-checkpointing costs and period selection
+//!   (Young Eq. 1 / Daly);
+//! * [`expected`] — expected execution time under failures (Eqs. 2–4) and
+//!   progress accounting (Eq. 8);
+//! * [`montecarlo`] — physical single-task simulation validating Eq. 4
+//!   against measured completion times;
+//! * [`silent`] — silent errors with verification (the paper's §7 future
+//!   work), closed form plus exact Monte-Carlo validation;
+//! * [`timemodel`] — the cached [`TimeCalc`] calculator with fault-aware and
+//!   fault-free modes used by the scheduling engine.
+//!
+//! Redistribution costs (Eqs. 7/9) are computed via `redistrib-graph`, which
+//! also cross-validates the closed form against a constructive König edge
+//! coloring.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod checkpoint;
+pub mod expected;
+pub mod montecarlo;
+pub mod platform;
+pub mod silent;
+pub mod speedup;
+pub mod task;
+pub mod timemodel;
+
+pub use checkpoint::{ckpt_cost, period, recovery_time, young_validity_ratio, PeriodRule};
+pub use expected::AllocParams;
+pub use montecarlo::{simulate_completion_time, validate_expected_time, ValidationResult};
+pub use platform::Platform;
+pub use silent::{simulate_with_silent, validate_silent, SilentConfig, SilentParams};
+pub use speedup::{
+    Amdahl, MeasuredProfile, PaperModel, PerfectlyParallel, PowerLaw, SpeedupModel,
+};
+pub use task::{TaskId, TaskSpec, Workload};
+pub use timemodel::{EndSemantics, ExecutionMode, TimeCalc};
+
+/// Redistribution cost `RC^{j→k}_i` for a task of data volume `m`
+/// (re-exported from `redistrib-graph`; Eqs. 7 and 9 of the paper).
+pub use redistrib_graph::redistribution_cost;

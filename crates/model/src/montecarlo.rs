@@ -1,0 +1,202 @@
+//! Monte-Carlo validation of the expected-time formula (Eq. 4).
+//!
+//! [`AllocParams::expected_time`] is an analytical first-order model. This
+//! module *physically* simulates the same process — periods of useful work
+//! followed by checkpoints, exponential faults at rate `λj`, downtime,
+//! recovery, rollback to the last checkpoint — and measures actual
+//! completion times, so tests (and the `experiments validation` target) can
+//! check that Eq. 4 tracks reality at the parameter scales of the paper.
+//!
+//! The simulation is exact for the modeled process: thanks to
+//! memorylessness, the time to the next fault is re-sampled after every
+//! fault, and a period of length `L` either completes (no fault within `L`)
+//! or restarts after `fault + D + R`.
+
+use redistrib_sim::dist::{Distribution, Exponential};
+use redistrib_sim::rng::Xoshiro256;
+use redistrib_sim::stats::Welford;
+
+use crate::expected::AllocParams;
+
+/// Limit on simulated faults per run, to guarantee termination on
+/// pathological configurations (periods longer than the MTBF).
+const MAX_FAULTS_PER_RUN: u64 = 10_000_000;
+
+/// Simulates one execution of a fraction `alpha` of the task, returning the
+/// wall-clock completion time.
+///
+/// The process follows §3.1–3.2: `N^ff(α)` full periods of `τ` (useful work
+/// `τ − C` + checkpoint `C`), then a final segment of `τ_last`; a fault
+/// during a period loses it entirely (rollback to the previous checkpoint)
+/// and costs `D + R` before the period restarts.
+///
+/// # Panics
+/// Panics if the fault cap is exceeded (the configuration starves).
+#[must_use]
+pub fn simulate_completion_time(
+    params: &AllocParams,
+    downtime: f64,
+    alpha: f64,
+    rng: &mut Xoshiro256,
+) -> f64 {
+    if alpha <= 0.0 {
+        return 0.0;
+    }
+    let law = Exponential::new(params.lam);
+    let recovery = params.c; // R_{i,j} = C_{i,j} (§3.1)
+    let mut clock = 0.0;
+    let mut faults = 0u64;
+
+    let full_periods = params.n_ff(alpha) as u64;
+    let tau_last = params.tau_last(alpha);
+
+    // Each segment must complete without a fault; a fault costs
+    // fault_time + D + R and restarts the segment.
+    let mut run_segment = |len: f64, clock: &mut f64| {
+        if len <= 0.0 {
+            return;
+        }
+        loop {
+            let next_fault = law.sample(rng);
+            if next_fault >= len {
+                *clock += len;
+                return;
+            }
+            *clock += next_fault + downtime + recovery;
+            faults += 1;
+            assert!(
+                faults < MAX_FAULTS_PER_RUN,
+                "fault cap exceeded: period {len} vs MTBF {}",
+                1.0 / params.lam
+            );
+        }
+    };
+
+    for _ in 0..full_periods {
+        run_segment(params.tau, &mut clock);
+    }
+    run_segment(tau_last, &mut clock);
+    clock
+}
+
+/// Result of a Monte-Carlo validation batch.
+#[derive(Debug, Clone, Copy)]
+pub struct ValidationResult {
+    /// Analytical expectation (Eq. 4).
+    pub predicted: f64,
+    /// Measured mean completion time.
+    pub measured_mean: f64,
+    /// 95 % confidence half-width of the measured mean.
+    pub ci95: f64,
+    /// Relative error `(measured − predicted)/predicted`.
+    pub relative_error: f64,
+}
+
+/// Runs `runs` simulations and compares the measured mean against Eq. 4.
+#[must_use]
+pub fn validate_expected_time(
+    params: &AllocParams,
+    downtime: f64,
+    alpha: f64,
+    runs: u32,
+    seed: u64,
+) -> ValidationResult {
+    let mut stats = Welford::new();
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    for _ in 0..runs {
+        stats.push(simulate_completion_time(params, downtime, alpha, &mut rng));
+    }
+    let predicted = params.expected_time(alpha);
+    let measured_mean = stats.mean();
+    ValidationResult {
+        predicted,
+        measured_mean,
+        ci95: stats.ci95_half_width(),
+        relative_error: (measured_mean - predicted) / predicted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::PeriodRule;
+    use crate::platform::Platform;
+    use crate::speedup::{PaperModel, SpeedupModel};
+    use crate::task::TaskSpec;
+    use redistrib_sim::units;
+
+    fn params(j: u32, mtbf_years: f64) -> (AllocParams, f64) {
+        let task = TaskSpec::new(2.0e6);
+        let platform = Platform::with_mtbf(5000, units::years(mtbf_years));
+        let t_ff = PaperModel::default().time(task.size, j);
+        (
+            AllocParams::compute(&task, &platform, t_ff, j, PeriodRule::Young),
+            platform.downtime,
+        )
+    }
+
+    #[test]
+    fn zero_fraction_takes_no_time() {
+        let (p, d) = params(10, 100.0);
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        assert_eq!(simulate_completion_time(&p, d, 0.0, &mut rng), 0.0);
+    }
+
+    #[test]
+    fn no_faults_limit_is_fault_free_projection() {
+        // With an astronomically large MTBF, the simulation is exactly the
+        // fault-free projection α·t + N^ff·C.
+        let (p, d) = params(10, 1e9);
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        let t = simulate_completion_time(&p, d, 1.0, &mut rng);
+        let expected = p.fault_free_projection(1.0);
+        assert!((t - expected).abs() / expected < 1e-6, "{t} vs {expected}");
+    }
+
+    #[test]
+    fn eq4_matches_simulation_at_paper_scales() {
+        // n = 100 tasks on p = 1000 procs means ~10 procs per task; the
+        // paper's default MTBF is 100 years per processor.
+        for (j, mtbf) in [(10u32, 100.0), (50, 100.0), (10, 20.0)] {
+            let (p, d) = params(j, mtbf);
+            let v = validate_expected_time(&p, d, 1.0, 400, 42);
+            assert!(
+                v.relative_error.abs() < 0.05,
+                "Eq. 4 off by {:.2}% at j={j}, MTBF={mtbf}y \
+                 (predicted {:.4e}, measured {:.4e} ± {:.2e})",
+                100.0 * v.relative_error,
+                v.predicted,
+                v.measured_mean,
+                v.ci95
+            );
+        }
+    }
+
+    #[test]
+    fn eq4_matches_for_partial_fractions() {
+        let (p, d) = params(20, 50.0);
+        for alpha in [0.25, 0.5, 0.75] {
+            let v = validate_expected_time(&p, d, alpha, 400, 7);
+            assert!(
+                v.relative_error.abs() < 0.06,
+                "α={alpha}: error {:.2}%",
+                100.0 * v.relative_error
+            );
+        }
+    }
+
+    #[test]
+    fn simulation_mean_exceeds_fault_free_time() {
+        let (p, d) = params(10, 10.0);
+        let v = validate_expected_time(&p, d, 1.0, 100, 3);
+        assert!(v.measured_mean > p.t_ff);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (p, d) = params(10, 10.0);
+        let a = validate_expected_time(&p, d, 1.0, 50, 11);
+        let b = validate_expected_time(&p, d, 1.0, 50, 11);
+        assert_eq!(a.measured_mean, b.measured_mean);
+    }
+}

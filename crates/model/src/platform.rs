@@ -1,0 +1,137 @@
+//! Platform model: processor count, failure law, downtime.
+
+use redistrib_sim::units;
+
+/// An execution platform of `p` identical processors subject to fail-stop
+/// errors (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Platform {
+    /// Total number of processors `p`.
+    pub num_procs: u32,
+    /// Per-processor MTBF `µ` in seconds (exponential law of rate
+    /// `λ = 1/µ`).
+    pub proc_mtbf: f64,
+    /// Downtime `D` after a failure, in seconds (platform-dependent; the
+    /// paper gives no value — 60 s is the customary default in the
+    /// checkpointing literature and is negligible at the paper's scales).
+    pub downtime: f64,
+}
+
+impl Platform {
+    /// The default per-processor MTBF of the paper's evaluation: 100 years.
+    pub const DEFAULT_MTBF_YEARS: f64 = 100.0;
+    /// Default downtime in seconds.
+    pub const DEFAULT_DOWNTIME: f64 = 60.0;
+
+    /// Creates a platform with the paper's defaults (MTBF 100 years,
+    /// downtime 60 s).
+    ///
+    /// # Panics
+    /// Panics if `num_procs == 0`.
+    #[must_use]
+    pub fn new(num_procs: u32) -> Self {
+        Self::with_mtbf(num_procs, units::years(Self::DEFAULT_MTBF_YEARS))
+    }
+
+    /// Creates a platform with an explicit per-processor MTBF (seconds).
+    ///
+    /// # Panics
+    /// Panics if `num_procs == 0` or `proc_mtbf ≤ 0`.
+    #[must_use]
+    pub fn with_mtbf(num_procs: u32, proc_mtbf: f64) -> Self {
+        assert!(num_procs > 0, "platform needs at least one processor");
+        assert!(
+            proc_mtbf.is_finite() && proc_mtbf > 0.0,
+            "MTBF must be positive"
+        );
+        Self { num_procs, proc_mtbf, downtime: Self::DEFAULT_DOWNTIME }
+    }
+
+    /// Sets the downtime `D`.
+    ///
+    /// # Panics
+    /// Panics if `downtime < 0`.
+    #[must_use]
+    pub fn downtime(mut self, downtime: f64) -> Self {
+        assert!(
+            downtime.is_finite() && downtime >= 0.0,
+            "downtime must be non-negative"
+        );
+        self.downtime = downtime;
+        self
+    }
+
+    /// Per-processor failure rate `λ = 1/µ`.
+    #[must_use]
+    pub fn lambda(&self) -> f64 {
+        1.0 / self.proc_mtbf
+    }
+
+    /// MTBF of a task running on `j` processors: `µ_{i,j} = µ/j` (§3.1).
+    ///
+    /// # Panics
+    /// Panics if `j == 0`.
+    #[must_use]
+    pub fn task_mtbf(&self, j: u32) -> f64 {
+        assert!(j > 0, "a task uses at least one processor");
+        self.proc_mtbf / f64::from(j)
+    }
+
+    /// Failure rate seen by a task on `j` processors: `λ·j`.
+    #[must_use]
+    pub fn task_lambda(&self, j: u32) -> f64 {
+        assert!(j > 0, "a task uses at least one processor");
+        self.lambda() * f64::from(j)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let p = Platform::new(1000);
+        assert_eq!(p.num_procs, 1000);
+        assert!((p.proc_mtbf - units::years(100.0)).abs() < 1.0);
+        assert_eq!(p.downtime, 60.0);
+    }
+
+    #[test]
+    fn task_mtbf_divides_by_j() {
+        let p = Platform::with_mtbf(100, 1000.0);
+        assert!((p.task_mtbf(1) - 1000.0).abs() < 1e-9);
+        assert!((p.task_mtbf(10) - 100.0).abs() < 1e-9);
+        assert!((p.task_lambda(10) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lambda_is_reciprocal() {
+        let p = Platform::with_mtbf(10, 400.0);
+        assert!((p.lambda() - 0.0025).abs() < 1e-15);
+    }
+
+    #[test]
+    fn builder_downtime() {
+        let p = Platform::new(10).downtime(120.0);
+        assert_eq!(p.downtime, 120.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn rejects_zero_procs() {
+        let _ = Platform::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "MTBF must be positive")]
+    fn rejects_bad_mtbf() {
+        let _ = Platform::with_mtbf(1, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_downtime() {
+        let _ = Platform::new(1).downtime(-1.0);
+    }
+}

@@ -1,0 +1,336 @@
+//! Silent errors with verification — the paper's §7 future-work item.
+//!
+//! Fail-stop errors are detected instantly; *silent* errors (bit flips,
+//! silent data corruption) are not. The standard countermeasure pairs every
+//! checkpoint with a **verification**: each period becomes
+//! `work (τ − C) → verify (V) → checkpoint (C)`, so that checkpoints are
+//! guaranteed valid and a corrupted period is caught by its own
+//! verification and re-executed from the previous checkpoint.
+//!
+//! This module extends the Eq. 4 expected time with that mechanism:
+//!
+//! * silent errors strike a task on `j` processors at rate `λ_s·j`
+//!   (exponential, like fail-stop in §3.1) during *work* only;
+//! * a period attempt survives silently-corruption-free with probability
+//!   `p_s = e^{−λ_s j (τ−C)}`; failures are caught by the verification at
+//!   the period's end, costing a rollback (recovery `R`) and a re-execution;
+//! * fail-stop behavior within each attempt is the paper's model, over the
+//!   lengthened period `τ + V`.
+//!
+//! The closed form composes the two processes geometrically — an
+//! approximation (it charges a full fail-stop-expected attempt per silent
+//! retry), validated against an exact Monte-Carlo simulation in
+//! [`simulate_with_silent`]; tests pin the agreement.
+
+use redistrib_sim::dist::{Distribution, Exponential};
+use redistrib_sim::rng::Xoshiro256;
+use redistrib_sim::stats::Welford;
+
+use crate::expected::AllocParams;
+
+/// Silent-error configuration of a platform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SilentConfig {
+    /// Per-processor silent-error rate `λ_s` (errors per second).
+    pub lambda_per_proc: f64,
+    /// Verification time per data unit `v`; the verification of task `i` on
+    /// `j` processors costs `V_{i,j} = v·m_i/j` (like checkpoints).
+    pub verify_unit: f64,
+}
+
+impl SilentConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite parameters.
+    #[must_use]
+    pub fn new(lambda_per_proc: f64, verify_unit: f64) -> Self {
+        assert!(
+            lambda_per_proc.is_finite() && lambda_per_proc >= 0.0,
+            "silent-error rate must be non-negative"
+        );
+        assert!(
+            verify_unit.is_finite() && verify_unit >= 0.0,
+            "verification cost must be non-negative"
+        );
+        Self { lambda_per_proc, verify_unit }
+    }
+}
+
+/// Per-(task, allocation) parameters of the silent-error extension.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SilentParams {
+    /// The underlying fail-stop parameters.
+    pub base: AllocParams,
+    /// Verification cost `V_{i,j}`.
+    pub verify: f64,
+    /// Task-level silent-error rate `λ_s·j`.
+    pub lam_silent: f64,
+    /// Platform downtime (needed by the simulation; the analytical form
+    /// carries it inside `base.coef`).
+    pub downtime: f64,
+}
+
+impl SilentParams {
+    /// Builds the extended parameters for a task of data size `m` on `j`
+    /// processors.
+    #[must_use]
+    pub fn new(base: AllocParams, cfg: &SilentConfig, m: f64, j: u32, downtime: f64) -> Self {
+        Self {
+            base,
+            verify: cfg.verify_unit * m / f64::from(j),
+            lam_silent: cfg.lambda_per_proc * f64::from(j),
+            downtime,
+        }
+    }
+
+    /// Probability that a work segment of length `len` completes without a
+    /// silent error.
+    #[must_use]
+    pub fn silent_survival(&self, len: f64) -> f64 {
+        (-self.lam_silent * len).exp()
+    }
+
+    /// Expected wall time of one period attempt under fail-stop errors,
+    /// with the verification appended (paper's per-period formula over
+    /// `τ + V`).
+    fn failstop_period_time(&self, work_and_ckpt: f64) -> f64 {
+        let len = work_and_ckpt + self.verify;
+        self.base.coef * (self.base.lam * len).exp_m1()
+    }
+
+    /// Expected time to complete a fraction `alpha` under both error
+    /// sources (closed form; see module docs for the approximation).
+    #[must_use]
+    pub fn expected_time(&self, alpha: f64) -> f64 {
+        if alpha <= 0.0 {
+            return 0.0;
+        }
+        let n_ff = self.base.n_ff(alpha);
+        let tau_last = self.base.tau_last(alpha);
+
+        let full = self.period_expected(self.base.tau, self.base.useful);
+        let last = if tau_last > 0.0 {
+            // The final segment carries a verification but no checkpoint.
+            self.period_expected(tau_last, tau_last)
+        } else {
+            0.0
+        };
+        n_ff * full + last
+    }
+
+    /// Expected time for one segment: `total` wall length per attempt
+    /// (work + possible checkpoint), of which `work` is exposed to silent
+    /// errors.
+    fn period_expected(&self, total: f64, work: f64) -> f64 {
+        let p_s = self.silent_survival(work);
+        let attempts = 1.0 / p_s;
+        let per_attempt = self.failstop_period_time(total);
+        // Every retry re-loads the last valid checkpoint.
+        per_attempt * attempts + (attempts - 1.0) * self.base.c
+    }
+}
+
+/// Exact Monte-Carlo simulation of the silent + fail-stop process for one
+/// completion; used to validate [`SilentParams::expected_time`].
+///
+/// # Panics
+/// Panics if the fault cap (10⁷ events per run) is exceeded.
+#[must_use]
+pub fn simulate_with_silent(params: &SilentParams, alpha: f64, rng: &mut Xoshiro256) -> f64 {
+    if alpha <= 0.0 {
+        return 0.0;
+    }
+    let failstop = Exponential::new(params.base.lam);
+    let recovery = params.base.c;
+    let mut clock = 0.0;
+    let mut events = 0u64;
+
+    // One segment: `work` exposed to silent errors, then verify, then
+    // `ckpt` (0 for the final partial segment). Restart on fail-stop
+    // (+D+R) or on silent detection at the verification (+R).
+    let mut run_segment = |work: f64, ckpt: f64, clock: &mut f64| {
+        let total = work + params.verify + ckpt;
+        loop {
+            events += 1;
+            assert!(events < 10_000_000, "event cap exceeded");
+            let fs = failstop.sample(rng);
+            if fs < total {
+                // Fail-stop mid-attempt.
+                *clock += fs + params.downtime + recovery;
+                continue;
+            }
+            // Attempt ran to its verification; silent error?
+            let silent_struck = if params.lam_silent > 0.0 {
+                let s = Exponential::new(params.lam_silent).sample(rng);
+                s < work
+            } else {
+                false
+            };
+            if silent_struck {
+                // Detected by the verification: rollback and retry.
+                *clock += total + recovery;
+                continue;
+            }
+            *clock += total;
+            return;
+        }
+    };
+
+    let full_periods = params.base.n_ff(alpha) as u64;
+    let tau_last = params.base.tau_last(alpha);
+    for _ in 0..full_periods {
+        run_segment(params.base.useful, params.base.c, &mut clock);
+    }
+    if tau_last > 0.0 {
+        run_segment(tau_last, 0.0, &mut clock);
+    }
+    clock
+}
+
+/// Monte-Carlo validation batch for the silent-error closed form.
+#[must_use]
+pub fn validate_silent(
+    params: &SilentParams,
+    alpha: f64,
+    runs: u32,
+    seed: u64,
+) -> crate::montecarlo::ValidationResult {
+    let mut stats = Welford::new();
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    for _ in 0..runs {
+        stats.push(simulate_with_silent(params, alpha, &mut rng));
+    }
+    let predicted = params.expected_time(alpha);
+    let measured_mean = stats.mean();
+    crate::montecarlo::ValidationResult {
+        predicted,
+        measured_mean,
+        ci95: stats.ci95_half_width(),
+        relative_error: (measured_mean - predicted) / predicted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::PeriodRule;
+    use crate::platform::Platform;
+    use crate::speedup::{PaperModel, SpeedupModel};
+    use crate::task::TaskSpec;
+    use redistrib_sim::units;
+
+    fn base(j: u32, mtbf_years: f64) -> (AllocParams, f64, f64) {
+        let task = TaskSpec::new(2.0e6);
+        let platform = Platform::with_mtbf(5000, units::years(mtbf_years));
+        let t_ff = PaperModel::default().time(task.size, j);
+        (
+            AllocParams::compute(&task, &platform, t_ff, j, PeriodRule::Young),
+            platform.downtime,
+            task.size,
+        )
+    }
+
+    fn silent(j: u32, mtbf_years: f64, silent_mtbf_years: f64, v: f64) -> SilentParams {
+        let (b, d, m) = base(j, mtbf_years);
+        let cfg = SilentConfig::new(
+            if silent_mtbf_years == 0.0 { 0.0 } else { 1.0 / units::years(silent_mtbf_years) },
+            v,
+        );
+        SilentParams::new(b, &cfg, m, j, d)
+    }
+
+    #[test]
+    fn degenerates_to_eq4_without_silent_errors() {
+        let p = silent(10, 100.0, 0.0, 0.0);
+        let plain = p.base.expected_time(1.0);
+        let extended = p.expected_time(1.0);
+        assert!(
+            (extended - plain).abs() / plain < 1e-12,
+            "λ_s = 0, V = 0 must reduce to Eq. 4: {extended} vs {plain}"
+        );
+    }
+
+    #[test]
+    fn verification_cost_alone_adds_overhead() {
+        let without = silent(10, 100.0, 0.0, 0.0).expected_time(1.0);
+        let with_v = silent(10, 100.0, 0.0, 0.1).expected_time(1.0);
+        assert!(with_v > without);
+    }
+
+    #[test]
+    fn silent_errors_inflate_time_monotonically() {
+        let none = silent(10, 100.0, 0.0, 0.01).expected_time(1.0);
+        let rare = silent(10, 100.0, 100.0, 0.01).expected_time(1.0);
+        let common = silent(10, 100.0, 10.0, 0.01).expected_time(1.0);
+        assert!(none < rare, "{none} vs {rare}");
+        assert!(rare < common, "{rare} vs {common}");
+    }
+
+    #[test]
+    fn survival_probability() {
+        let p = silent(10, 100.0, 100.0, 0.0);
+        assert!((p.silent_survival(0.0) - 1.0).abs() < 1e-12);
+        let s = p.silent_survival(p.base.useful);
+        assert!(s > 0.0 && s < 1.0);
+    }
+
+    #[test]
+    fn closed_form_matches_simulation() {
+        for (j, fs_mtbf, silent_mtbf) in [(10u32, 100.0, 50.0), (20, 50.0, 20.0)] {
+            let p = silent(j, fs_mtbf, silent_mtbf, 0.05);
+            let v = validate_silent(&p, 1.0, 300, 17);
+            assert!(
+                v.relative_error.abs() < 0.08,
+                "j={j}: predicted {:.4e}, measured {:.4e} ({:+.2}%)",
+                v.predicted,
+                v.measured_mean,
+                100.0 * v.relative_error
+            );
+        }
+    }
+
+    #[test]
+    fn simulation_without_errors_is_deterministic_projection() {
+        // λ → 0 on both processes: simulation must equal work + verifies +
+        // checkpoints exactly.
+        let (b, d, m) = base(10, 1e9);
+        let cfg = SilentConfig::new(0.0, 0.01);
+        let p = SilentParams::new(b, &cfg, m, 10, d);
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        let t = simulate_with_silent(&p, 1.0, &mut rng);
+        let n = p.base.n_ff(1.0);
+        let expected =
+            1.0 * p.base.t_ff + n * p.base.c + (n + 1.0) * p.verify;
+        assert!((t - expected).abs() / expected < 1e-9, "{t} vs {expected}");
+    }
+
+    #[test]
+    fn threshold_shifts_down_with_silent_errors() {
+        // Silent errors penalize large allocations harder (rate λ_s·j), so
+        // the best allocation under silent errors is never larger than the
+        // fail-stop-only one.
+        let best = |with_silent: bool| -> u32 {
+            let mut best_j = 2;
+            let mut best_t = f64::INFINITY;
+            for j in (2..=600).step_by(2) {
+                let t = if with_silent {
+                    silent(j, 50.0, 2.0, 0.05).expected_time(1.0)
+                } else {
+                    silent(j, 50.0, 0.0, 0.0).expected_time(1.0)
+                };
+                if t < best_t {
+                    best_t = t;
+                    best_j = j;
+                }
+            }
+            best_j
+        };
+        let plain = best(false);
+        let noisy = best(true);
+        assert!(
+            noisy <= plain,
+            "silent errors should lower the threshold: {noisy} vs {plain}"
+        );
+    }
+}

@@ -1,0 +1,356 @@
+//! Speedup profiles: fault-free execution time as a function of the number
+//! of processors.
+//!
+//! The paper assumes the profile of each application is known before
+//! execution (through benchmarking campaigns); its evaluation generates
+//! profiles with the synthetic model of Eq. 10. We expose that model plus a
+//! few alternatives behind a trait so downstream users can plug measured
+//! profiles.
+
+use std::fmt::Debug;
+
+/// A speedup profile: `time(m, q)` is the fault-free execution time of a
+/// problem of size `m` (number of data) on `q` processors.
+///
+/// Implementations must be non-increasing in `q` (Eq. 5's fault-free analog)
+/// and have non-decreasing work `q·time(m, q)` — both assumptions of the
+/// paper's model, checked by property tests for the provided
+/// implementations.
+pub trait SpeedupModel: Debug + Send + Sync {
+    /// Fault-free execution time of a size-`m` problem on `q ≥ 1` processors.
+    fn time(&self, m: f64, q: u32) -> f64;
+
+    /// Sequential time; equivalent to `time(m, 1)`.
+    fn seq_time(&self, m: f64) -> f64 {
+        self.time(m, 1)
+    }
+}
+
+/// The paper's synthetic model (Eq. 10):
+///
+/// * `t(m, 1) = 2·m·log2(m)`
+/// * `t(m, q) = f·t(m,1) + (1−f)·t(m,1)/q + (m/q)·log2(m)`
+///
+/// where `f` is the sequential fraction (default 0.08, i.e. 92 % parallel)
+/// and the last term models communication/synchronization overhead.
+///
+/// Note that the communication term only exists for `q ≥ 2`, so the profile
+/// is non-increasing *from one processor* only when `f ≤ 0.5` — which is
+/// the paper's sweep range (Fig. 14). For the even allocations the buddy
+/// checkpointing protocol actually uses (`q ≥ 2`), the profile is
+/// non-increasing for every `f`.
+///
+/// ```
+/// use redistrib_model::{PaperModel, SpeedupModel};
+/// let model = PaperModel::default(); // f = 0.08
+/// let m = 2.0e6;
+/// assert_eq!(model.time(m, 1), 2.0 * m * m.log2());
+/// // More processors, less time — but never below the sequential floor.
+/// assert!(model.time(m, 64) < model.time(m, 8));
+/// assert!(model.time(m, 1_000_000) > 0.08 * model.time(m, 1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperModel {
+    /// Sequential fraction of time `f ∈ [0, 1]`.
+    pub seq_fraction: f64,
+}
+
+impl PaperModel {
+    /// The paper's default (`f = 0.08`, §6.1).
+    pub const DEFAULT_SEQ_FRACTION: f64 = 0.08;
+
+    /// Creates the model with sequential fraction `f`.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ f ≤ 1`.
+    #[must_use]
+    pub fn new(seq_fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&seq_fraction),
+            "sequential fraction must be in [0, 1]"
+        );
+        Self { seq_fraction }
+    }
+}
+
+impl Default for PaperModel {
+    fn default() -> Self {
+        Self::new(Self::DEFAULT_SEQ_FRACTION)
+    }
+}
+
+impl SpeedupModel for PaperModel {
+    fn time(&self, m: f64, q: u32) -> f64 {
+        assert!(q >= 1, "need at least one processor");
+        assert!(m > 1.0, "problem size must exceed one data unit");
+        let t1 = 2.0 * m * m.log2();
+        if q == 1 {
+            return t1;
+        }
+        let q = f64::from(q);
+        self.seq_fraction * t1 + (1.0 - self.seq_fraction) * t1 / q + m / q * m.log2()
+    }
+}
+
+/// Pure Amdahl profile (no communication overhead):
+/// `t(m, q) = f·t(m,1) + (1−f)·t(m,1)/q` with `t(m,1) = 2·m·log2(m)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Amdahl {
+    /// Sequential fraction `f ∈ [0, 1]`.
+    pub seq_fraction: f64,
+}
+
+impl Amdahl {
+    /// Creates the model.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ f ≤ 1`.
+    #[must_use]
+    pub fn new(seq_fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&seq_fraction),
+            "sequential fraction must be in [0, 1]"
+        );
+        Self { seq_fraction }
+    }
+}
+
+impl SpeedupModel for Amdahl {
+    fn time(&self, m: f64, q: u32) -> f64 {
+        assert!(q >= 1, "need at least one processor");
+        let t1 = 2.0 * m * m.log2();
+        self.seq_fraction * t1 + (1.0 - self.seq_fraction) * t1 / f64::from(q)
+    }
+}
+
+/// Perfectly parallel profile: `t(m, q) = t(m,1)/q`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PerfectlyParallel;
+
+impl SpeedupModel for PerfectlyParallel {
+    fn time(&self, m: f64, q: u32) -> f64 {
+        assert!(q >= 1, "need at least one processor");
+        2.0 * m * m.log2() / f64::from(q)
+    }
+}
+
+/// Power-law profile: `t(m, q) = t(m,1)/q^e` with `e ∈ (0, 1]`.
+///
+/// `e = 1` is perfectly parallel; smaller exponents model sublinear scaling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerLaw {
+    /// Scaling exponent `e ∈ (0, 1]`.
+    pub exponent: f64,
+}
+
+impl PowerLaw {
+    /// Creates the model.
+    ///
+    /// # Panics
+    /// Panics unless `0 < e ≤ 1`.
+    #[must_use]
+    pub fn new(exponent: f64) -> Self {
+        assert!(
+            exponent > 0.0 && exponent <= 1.0,
+            "exponent must be in (0, 1]"
+        );
+        Self { exponent }
+    }
+}
+
+impl SpeedupModel for PowerLaw {
+    fn time(&self, m: f64, q: u32) -> f64 {
+        assert!(q >= 1, "need at least one processor");
+        2.0 * m * m.log2() / f64::from(q).powf(self.exponent)
+    }
+}
+
+/// A measured profile: execution times sampled at increasing processor
+/// counts, interpolated linearly in `1/q` between samples and clamped at the
+/// boundary values outside the sampled range.
+///
+/// Interpolating in `1/q` (rather than `q`) preserves the hyperbola-like
+/// shape of real strong-scaling curves. The problem size is baked into the
+/// measurements, so `m` is ignored. Intended for mini-app style profiles
+/// like those of the Mantevo suite cited in the paper's introduction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasuredProfile {
+    points: Vec<(u32, f64)>,
+}
+
+impl MeasuredProfile {
+    /// Creates a profile from `(q, time)` samples.
+    ///
+    /// # Panics
+    /// Panics if fewer than two samples are given, if processor counts are
+    /// not strictly increasing and positive, or if any time is not positive
+    /// and non-increasing in `q`.
+    #[must_use]
+    pub fn new(points: Vec<(u32, f64)>) -> Self {
+        assert!(points.len() >= 2, "need at least two samples");
+        for w in points.windows(2) {
+            assert!(w[0].0 < w[1].0, "processor counts must strictly increase");
+            assert!(w[0].1 >= w[1].1, "times must be non-increasing in q");
+        }
+        assert!(points[0].0 >= 1, "processor counts start at 1");
+        assert!(points.iter().all(|&(_, t)| t > 0.0), "times must be positive");
+        Self { points }
+    }
+}
+
+impl SpeedupModel for MeasuredProfile {
+    fn time(&self, _m: f64, q: u32) -> f64 {
+        assert!(q >= 1, "need at least one processor");
+        let pts = &self.points;
+        if q <= pts[0].0 {
+            return pts[0].1;
+        }
+        if q >= pts[pts.len() - 1].0 {
+            return pts[pts.len() - 1].1;
+        }
+        // Find the surrounding pair and interpolate in 1/q.
+        let idx = pts.partition_point(|&(pq, _)| pq < q);
+        let (q0, t0) = pts[idx - 1];
+        let (q1, t1) = pts[idx];
+        if q == q0 {
+            return t0;
+        }
+        let x = 1.0 / f64::from(q);
+        let x0 = 1.0 / f64::from(q0);
+        let x1 = 1.0 / f64::from(q1);
+        t0 + (t1 - t0) * (x - x0) / (x1 - x0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const M: f64 = 2_000_000.0;
+
+    #[test]
+    fn paper_model_sequential_time() {
+        let model = PaperModel::default();
+        let expected = 2.0 * M * M.log2();
+        assert!((model.time(M, 1) - expected).abs() < 1e-6);
+        assert_eq!(model.seq_time(M), model.time(M, 1));
+    }
+
+    #[test]
+    fn paper_model_eq10_value() {
+        let model = PaperModel::new(0.08);
+        let t1 = 2.0 * M * M.log2();
+        let q = 50.0;
+        let expected = 0.08 * t1 + 0.92 * t1 / q + M / q * M.log2();
+        assert!((model.time(M, 50) - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn paper_model_non_increasing_in_q() {
+        let model = PaperModel::default();
+        let mut last = f64::INFINITY;
+        for q in 1..=512 {
+            let t = model.time(M, q);
+            assert!(t <= last + 1e-9, "time increased at q={q}");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn paper_model_work_non_decreasing() {
+        let model = PaperModel::default();
+        let mut last = 0.0;
+        for q in 1..=512 {
+            let work = f64::from(q) * model.time(M, q);
+            assert!(work >= last - 1e-6, "work decreased at q={q}");
+            last = work;
+        }
+    }
+
+    #[test]
+    fn paper_model_fully_parallel_limit() {
+        // With f = 0, time on q procs approaches (2m log m + m log m)/q.
+        let model = PaperModel::new(0.0);
+        let q = 100;
+        let expected = (2.0 * M * M.log2() + M * M.log2()) / f64::from(q);
+        assert!((model.time(M, q) - expected).abs() / expected < 1e-12);
+    }
+
+    #[test]
+    fn paper_model_sequential_fraction_floor() {
+        // As q → ∞ the time tends to f·t1.
+        let model = PaperModel::new(0.3);
+        let t1 = model.time(M, 1);
+        let t_big = model.time(M, 1_000_000);
+        assert!(t_big > 0.3 * t1);
+        assert!(t_big < 0.301 * t1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sequential fraction")]
+    fn paper_model_rejects_bad_fraction() {
+        let _ = PaperModel::new(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn paper_model_rejects_zero_procs() {
+        let _ = PaperModel::default().time(M, 0);
+    }
+
+    #[test]
+    fn amdahl_limits() {
+        let model = Amdahl::new(0.1);
+        let t1 = model.time(M, 1);
+        assert!((model.time(M, 10) - (0.1 * t1 + 0.9 * t1 / 10.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn perfectly_parallel_scales_linearly() {
+        let model = PerfectlyParallel;
+        let t1 = model.time(M, 1);
+        assert!((model.time(M, 8) - t1 / 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn power_law_exponent_one_is_perfect() {
+        let pl = PowerLaw::new(1.0);
+        let pp = PerfectlyParallel;
+        for q in [1, 2, 16, 100] {
+            assert!((pl.time(M, q) - pp.time(M, q)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn power_law_sublinear() {
+        let pl = PowerLaw::new(0.5);
+        // On 4 procs, speedup is 2.
+        assert!((pl.time(M, 1) / pl.time(M, 4) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measured_profile_interpolates() {
+        let p = MeasuredProfile::new(vec![(1, 100.0), (2, 60.0), (4, 40.0)]);
+        assert_eq!(p.time(M, 1), 100.0);
+        assert_eq!(p.time(M, 2), 60.0);
+        assert_eq!(p.time(M, 4), 40.0);
+        // q=3 interpolates in 1/q between (2, 60) and (4, 40):
+        // x = 1/3, x0 = 1/2, x1 = 1/4 → t = 60 + (40-60)*(1/3-1/2)/(1/4-1/2) = 60 - 20*(2/3) ≈ 46.67
+        let t3 = p.time(M, 3);
+        assert!((t3 - (60.0 - 20.0 * (2.0 / 3.0))).abs() < 1e-9, "t3 = {t3}");
+        // Clamped outside the range.
+        assert_eq!(p.time(M, 100), 40.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increase")]
+    fn measured_profile_rejects_unsorted() {
+        let _ = MeasuredProfile::new(vec![(4, 10.0), (2, 20.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-increasing")]
+    fn measured_profile_rejects_increasing_times() {
+        let _ = MeasuredProfile::new(vec![(1, 10.0), (2, 20.0)]);
+    }
+}

@@ -1,0 +1,134 @@
+//! Task and workload definitions.
+
+use std::sync::Arc;
+
+use crate::speedup::SpeedupModel;
+
+/// Identifier of a task within a pack, `0..n`.
+pub type TaskId = usize;
+
+/// One malleable task of a pack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskSpec {
+    /// Problem size `m_i` (number of data items).
+    pub size: f64,
+    /// Checkpoint time per data item `c`; the sequential checkpoint cost is
+    /// `C_i = c · m_i` (§6.1; default 1).
+    pub ckpt_unit: f64,
+}
+
+impl TaskSpec {
+    /// Creates a task with the paper's default checkpoint unit cost
+    /// (`c = 1`).
+    ///
+    /// # Panics
+    /// Panics unless `size > 1`.
+    #[must_use]
+    pub fn new(size: f64) -> Self {
+        Self::with_ckpt_unit(size, 1.0)
+    }
+
+    /// Creates a task with an explicit checkpoint unit cost.
+    ///
+    /// # Panics
+    /// Panics unless `size > 1` and `ckpt_unit ≥ 0` (both finite).
+    #[must_use]
+    pub fn with_ckpt_unit(size: f64, ckpt_unit: f64) -> Self {
+        assert!(size.is_finite() && size > 1.0, "task size must exceed 1");
+        assert!(
+            ckpt_unit.is_finite() && ckpt_unit >= 0.0,
+            "checkpoint unit cost must be non-negative"
+        );
+        Self { size, ckpt_unit }
+    }
+
+    /// Sequential checkpoint cost `C_i = c · m_i`.
+    #[must_use]
+    pub fn seq_ckpt_cost(&self) -> f64 {
+        self.ckpt_unit * self.size
+    }
+}
+
+/// A pack: the set of tasks that start simultaneously, with their shared
+/// speedup profile.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The tasks of the pack; `tasks[i]` is `T_i`.
+    pub tasks: Vec<TaskSpec>,
+    /// The speedup profile `t(m, q)` shared by all tasks (the paper applies
+    /// the same synthetic profile with per-task sizes).
+    pub speedup: Arc<dyn SpeedupModel>,
+}
+
+impl Workload {
+    /// Creates a workload.
+    ///
+    /// # Panics
+    /// Panics if `tasks` is empty.
+    #[must_use]
+    pub fn new(tasks: Vec<TaskSpec>, speedup: Arc<dyn SpeedupModel>) -> Self {
+        assert!(!tasks.is_empty(), "a pack needs at least one task");
+        Self { tasks, speedup }
+    }
+
+    /// Number of tasks `n`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the pack is empty (never true for a constructed workload).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Fault-free execution time `t_{i,j}` of task `i` on `j` processors.
+    #[must_use]
+    pub fn fault_free_time(&self, i: TaskId, j: u32) -> f64 {
+        self.speedup.time(self.tasks[i].size, j)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::speedup::PaperModel;
+
+    #[test]
+    fn seq_ckpt_cost_scales() {
+        let t = TaskSpec::with_ckpt_unit(1000.0, 0.5);
+        assert!((t.seq_ckpt_cost() - 500.0).abs() < 1e-12);
+        assert!((TaskSpec::new(1000.0).seq_ckpt_cost() - 1000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "size must exceed 1")]
+    fn rejects_tiny_size() {
+        let _ = TaskSpec::new(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_ckpt_unit() {
+        let _ = TaskSpec::with_ckpt_unit(100.0, -0.1);
+    }
+
+    #[test]
+    fn workload_time_lookup() {
+        let w = Workload::new(
+            vec![TaskSpec::new(1_000_000.0), TaskSpec::new(2_000_000.0)],
+            Arc::new(PaperModel::default()),
+        );
+        assert_eq!(w.len(), 2);
+        assert!(!w.is_empty());
+        assert!(w.fault_free_time(1, 1) > w.fault_free_time(0, 1));
+        assert!(w.fault_free_time(0, 4) < w.fault_free_time(0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task")]
+    fn workload_rejects_empty() {
+        let _ = Workload::new(vec![], Arc::new(PaperModel::default()));
+    }
+}

@@ -1,0 +1,349 @@
+//! Probability distributions for fault inter-arrival times.
+//!
+//! The paper's evaluation uses an exponential law of parameter `λ` (§6.1);
+//! the fault simulator it builds on ([Bougeret et al. 2011; Bosilca et al.
+//! 2014]) also supports Weibull and log-normal laws, which we provide as
+//! documented extensions for sensitivity studies.
+
+use crate::rng::Xoshiro256;
+
+/// A distribution over positive inter-arrival times.
+pub trait Distribution {
+    /// Draws one sample.
+    fn sample(&self, rng: &mut Xoshiro256) -> f64;
+
+    /// Theoretical mean, if finite.
+    fn mean(&self) -> f64;
+}
+
+/// Exponential distribution with rate `λ` (mean `1/λ`).
+///
+/// This is the paper's fault law: memoryless, so a processor's fault process
+/// is a Poisson process and the MTBF of a task on `j` processors is `µ/j`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential law with the given rate `λ > 0`.
+    ///
+    /// # Panics
+    /// Panics if `rate` is not finite and positive.
+    #[must_use]
+    pub fn new(rate: f64) -> Self {
+        assert!(rate.is_finite() && rate > 0.0, "rate must be positive");
+        Self { rate }
+    }
+
+    /// Creates an exponential law from its mean (MTBF) `µ = 1/λ`.
+    ///
+    /// # Panics
+    /// Panics if `mean` is not finite and positive.
+    #[must_use]
+    pub fn from_mean(mean: f64) -> Self {
+        assert!(mean.is_finite() && mean > 0.0, "mean must be positive");
+        Self { rate: 1.0 / mean }
+    }
+
+    /// The rate parameter `λ`.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl Distribution for Exponential {
+    fn sample(&self, rng: &mut Xoshiro256) -> f64 {
+        // Inverse CDF: F^{-1}(u) = -ln(1-u)/λ; using the open-interval draw
+        // avoids ln(0).
+        -rng.next_f64_open().ln() / self.rate
+    }
+
+    fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+}
+
+/// Weibull distribution with shape `k` and scale `λ`.
+///
+/// Field studies of HPC failures often report shape parameters below 1
+/// (decreasing hazard rate); provided as an extension to the paper's
+/// exponential model (`shape = 1` degenerates to exponential).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weibull {
+    shape: f64,
+    scale: f64,
+}
+
+impl Weibull {
+    /// Creates a Weibull law.
+    ///
+    /// # Panics
+    /// Panics unless both parameters are finite and positive.
+    #[must_use]
+    pub fn new(shape: f64, scale: f64) -> Self {
+        assert!(shape.is_finite() && shape > 0.0, "shape must be positive");
+        assert!(scale.is_finite() && scale > 0.0, "scale must be positive");
+        Self { shape, scale }
+    }
+
+    /// Creates a Weibull law with the given shape and the scale chosen so the
+    /// mean equals `mean`.
+    #[must_use]
+    pub fn from_mean(shape: f64, mean: f64) -> Self {
+        assert!(mean.is_finite() && mean > 0.0, "mean must be positive");
+        let scale = mean / gamma(1.0 + 1.0 / shape);
+        Self::new(shape, scale)
+    }
+}
+
+impl Distribution for Weibull {
+    fn sample(&self, rng: &mut Xoshiro256) -> f64 {
+        // Inverse CDF: λ (-ln(1-u))^{1/k}.
+        self.scale * (-rng.next_f64_open().ln()).powf(1.0 / self.shape)
+    }
+
+    fn mean(&self) -> f64 {
+        self.scale * gamma(1.0 + 1.0 / self.shape)
+    }
+}
+
+/// Log-normal distribution: `exp(N(µ, σ²))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal law from the parameters of the underlying normal.
+    ///
+    /// # Panics
+    /// Panics unless `sigma` is finite and positive and `mu` is finite.
+    #[must_use]
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(mu.is_finite(), "mu must be finite");
+        assert!(sigma.is_finite() && sigma > 0.0, "sigma must be positive");
+        Self { mu, sigma }
+    }
+
+    /// Creates a log-normal law with the given arithmetic mean and the given
+    /// `sigma` of the underlying normal.
+    #[must_use]
+    pub fn from_mean(mean: f64, sigma: f64) -> Self {
+        assert!(mean.is_finite() && mean > 0.0, "mean must be positive");
+        // mean = exp(mu + sigma^2/2)  =>  mu = ln(mean) - sigma^2/2.
+        Self::new(mean.ln() - sigma * sigma / 2.0, sigma)
+    }
+}
+
+impl Distribution for LogNormal {
+    fn sample(&self, rng: &mut Xoshiro256) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+
+    fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+}
+
+/// One draw from N(0, 1) via Box–Muller (the cosine branch only; the
+/// simulator never needs paired draws, and an unpaired transform keeps the
+/// per-stream consumption rate fixed at two uniforms per normal).
+fn standard_normal(rng: &mut Xoshiro256) -> f64 {
+    let u1 = rng.next_f64_open();
+    let u2 = rng.next_f64();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Lanczos approximation of the gamma function, accurate to ~1e-13 on the
+/// positive reals we use (arguments in `(1, 3]` for Weibull means).
+fn gamma(x: f64) -> f64 {
+    // Coefficients for g = 7, n = 9 (Godfrey).
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        std::f64::consts::PI / ((std::f64::consts::PI * x).sin() * gamma(1.0 - x))
+    } else {
+        let x = x - 1.0;
+        let mut a = COEF[0];
+        let t = x + G + 0.5;
+        for (i, &c) in COEF.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        (std::f64::consts::TAU).sqrt() * t.powf(x + 0.5) * (-t).exp() * a
+    }
+}
+
+/// Type-erased distribution choice, convenient for configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultLaw {
+    /// Exponential with the given MTBF (the paper's model).
+    Exponential {
+        /// Mean time between failures of one processor.
+        mtbf: f64,
+    },
+    /// Weibull with given shape, scaled to the given mean.
+    Weibull {
+        /// Shape parameter `k`.
+        shape: f64,
+        /// Mean inter-arrival time.
+        mtbf: f64,
+    },
+    /// Log-normal with the given mean and underlying-normal sigma.
+    LogNormal {
+        /// Mean inter-arrival time.
+        mtbf: f64,
+        /// Standard deviation of the underlying normal.
+        sigma: f64,
+    },
+}
+
+impl FaultLaw {
+    /// Draws one inter-arrival time.
+    pub fn sample(&self, rng: &mut Xoshiro256) -> f64 {
+        match *self {
+            FaultLaw::Exponential { mtbf } => Exponential::from_mean(mtbf).sample(rng),
+            FaultLaw::Weibull { shape, mtbf } => Weibull::from_mean(shape, mtbf).sample(rng),
+            FaultLaw::LogNormal { mtbf, sigma } => LogNormal::from_mean(mtbf, sigma).sample(rng),
+        }
+    }
+
+    /// Theoretical mean inter-arrival time.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        match *self {
+            FaultLaw::Exponential { mtbf }
+            | FaultLaw::Weibull { mtbf, .. }
+            | FaultLaw::LogNormal { mtbf, .. } => mtbf,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_mean(dist: &impl Distribution, seed: u64, n: u32) -> f64 {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let sum: f64 = (0..n).map(|_| dist.sample(&mut rng)).sum();
+        sum / f64::from(n)
+    }
+
+    #[test]
+    fn exponential_mean_matches() {
+        let d = Exponential::from_mean(100.0);
+        let m = sample_mean(&d, 1, 200_000);
+        assert!((m - 100.0).abs() / 100.0 < 0.01, "mean = {m}");
+    }
+
+    #[test]
+    fn exponential_rate_and_mean_roundtrip() {
+        let d = Exponential::new(0.25);
+        assert!((d.mean() - 4.0).abs() < 1e-12);
+        assert!((Exponential::from_mean(4.0).rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponential_positive_samples() {
+        let d = Exponential::from_mean(1.0);
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn exponential_memorylessness_proxy() {
+        // P(X > 2m) should be about e^{-2} regardless of scale.
+        let d = Exponential::from_mean(10.0);
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let n = 100_000;
+        let over = (0..n).filter(|_| d.sample(&mut rng) > 20.0).count();
+        let frac = over as f64 / f64::from(n);
+        let expected = (-2.0f64).exp();
+        assert!((frac - expected).abs() < 0.01, "frac = {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn exponential_rejects_zero_rate() {
+        let _ = Exponential::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mean must be positive")]
+    fn exponential_rejects_negative_mean() {
+        let _ = Exponential::from_mean(-1.0);
+    }
+
+    #[test]
+    fn weibull_shape_one_is_exponential() {
+        let w = Weibull::from_mean(1.0, 50.0);
+        let e = Exponential::from_mean(50.0);
+        // Identical sampling formula at shape 1 given the same draws.
+        let mut r1 = Xoshiro256::seed_from_u64(4);
+        let mut r2 = Xoshiro256::seed_from_u64(4);
+        for _ in 0..100 {
+            let a = w.sample(&mut r1);
+            let b = e.sample(&mut r2);
+            assert!((a - b).abs() < 1e-9 * b.max(1.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn weibull_mean_matches() {
+        let d = Weibull::from_mean(0.7, 30.0);
+        assert!((d.mean() - 30.0).abs() < 1e-9);
+        let m = sample_mean(&d, 5, 400_000);
+        assert!((m - 30.0).abs() / 30.0 < 0.02, "mean = {m}");
+    }
+
+    #[test]
+    fn lognormal_mean_matches() {
+        let d = LogNormal::from_mean(5.0, 0.8);
+        assert!((d.mean() - 5.0).abs() < 1e-9);
+        let m = sample_mean(&d, 6, 400_000);
+        assert!((m - 5.0).abs() / 5.0 < 0.02, "mean = {m}");
+    }
+
+    #[test]
+    fn gamma_known_values() {
+        assert!((gamma(1.0) - 1.0).abs() < 1e-10);
+        assert!((gamma(2.0) - 1.0).abs() < 1e-10);
+        assert!((gamma(3.0) - 2.0).abs() < 1e-10);
+        assert!((gamma(4.0) - 6.0).abs() < 1e-9);
+        assert!((gamma(0.5) - std::f64::consts::PI.sqrt()).abs() < 1e-9);
+        // Γ(1.5) = √π/2.
+        assert!((gamma(1.5) - std::f64::consts::PI.sqrt() / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fault_law_means() {
+        assert!((FaultLaw::Exponential { mtbf: 9.0 }.mean() - 9.0).abs() < 1e-12);
+        let w = FaultLaw::Weibull { shape: 0.7, mtbf: 9.0 };
+        assert!((w.mean() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_law_sampling_deterministic() {
+        let law = FaultLaw::Exponential { mtbf: 100.0 };
+        let mut a = Xoshiro256::seed_from_u64(7);
+        let mut b = Xoshiro256::seed_from_u64(7);
+        for _ in 0..10 {
+            assert_eq!(law.sample(&mut a), law.sample(&mut b));
+        }
+    }
+}

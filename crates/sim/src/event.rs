@@ -1,0 +1,195 @@
+//! A deterministic discrete-event queue over `f64` simulation time.
+//!
+//! Events are ordered by time; ties are broken by insertion sequence number so
+//! the pop order is fully deterministic (a requirement for replayable
+//! simulations — `BinaryHeap` alone is not stable for equal keys).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A simulation timestamp. Must be finite; the queue asserts this on push.
+pub type Time = f64;
+
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    time: Time,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        // Times are asserted finite on push, so partial_cmp cannot fail.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("event times are finite")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Min-priority queue of timestamped events with stable FIFO tie-breaking.
+#[derive(Debug, Clone)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Creates an empty queue with pre-reserved capacity.
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { heap: BinaryHeap::with_capacity(cap), next_seq: 0 }
+    }
+
+    /// Schedules `payload` at `time`.
+    ///
+    /// # Panics
+    /// Panics if `time` is NaN or infinite.
+    pub fn push(&mut self, time: Time, payload: T) {
+        assert!(time.is_finite(), "event time must be finite, got {time}");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, payload });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(Time, T)> {
+        self.heap.pop().map(|e| (e.time, e.payload))
+    }
+
+    /// Returns the time of the earliest event without removing it.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(3.0, "c");
+        q.push(1.0, "a");
+        q.push(2.0, "b");
+        assert_eq!(q.pop(), Some((1.0, "a")));
+        assert_eq!(q.pop(), Some((2.0, "b")));
+        assert_eq!(q.pop(), Some((3.0, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        q.push(5.0, 1);
+        q.push(5.0, 2);
+        q.push(5.0, 3);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(7.5, ());
+        assert_eq!(q.peek_time(), Some(7.5));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut q = EventQueue::new();
+        q.push(1.0, 1);
+        q.push(2.0, 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan() {
+        let mut q = EventQueue::new();
+        q.push(f64::NAN, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_infinity() {
+        let mut q = EventQueue::new();
+        q.push(f64::INFINITY, ());
+    }
+
+    #[test]
+    fn interleaved_push_pop() {
+        let mut q = EventQueue::new();
+        q.push(10.0, "late");
+        q.push(1.0, "early");
+        assert_eq!(q.pop(), Some((1.0, "early")));
+        q.push(5.0, "mid");
+        assert_eq!(q.pop(), Some((5.0, "mid")));
+        assert_eq!(q.pop(), Some((10.0, "late")));
+    }
+
+    #[test]
+    fn large_volume_sorted() {
+        use crate::rng::Xoshiro256;
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let mut q = EventQueue::new();
+        for i in 0..10_000u32 {
+            q.push(rng.next_f64() * 1e6, i);
+        }
+        let mut last = f64::NEG_INFINITY;
+        while let Some((t, _)) = q.pop() {
+            assert!(t >= last);
+            last = t;
+        }
+    }
+}

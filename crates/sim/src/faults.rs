@@ -1,0 +1,238 @@
+//! Per-processor fault-trace generation.
+//!
+//! Reproduces the role of the fault simulator used in the paper (§6.1, refs
+//! [20, 21]): each processor carries an independent renewal process whose
+//! inter-arrival times follow a configurable law (exponential by default).
+//!
+//! Two properties matter for the evaluation methodology:
+//!
+//! 1. **Policy independence** — the fault times of processor `k` depend only
+//!    on `(seed, k)`, never on how many faults other processors had or on
+//!    what the scheduler did. The paper normalizes each heuristic's makespan
+//!    by the no-redistribution baseline *on the same fault trace*; this
+//!    requires replaying identical traces across policies.
+//! 2. **Laziness** — traces are unbounded streams; times are generated on
+//!    demand, so simulations of any length are supported without
+//!    pre-materializing.
+
+use crate::dist::FaultLaw;
+use crate::event::EventQueue;
+use crate::rng::Xoshiro256;
+
+/// Identifier of a processor in `0..p`.
+pub type ProcId = u32;
+
+/// Lazy, unbounded fault stream for a single processor.
+#[derive(Debug, Clone)]
+pub struct FaultStream {
+    rng: Xoshiro256,
+    law: FaultLaw,
+    next_time: f64,
+}
+
+impl FaultStream {
+    /// Creates the stream for processor `proc` of run `seed`.
+    #[must_use]
+    pub fn new(seed: u64, proc: ProcId, law: FaultLaw) -> Self {
+        let mut rng = Xoshiro256::stream(seed, u64::from(proc));
+        let first = law.sample(&mut rng);
+        Self { rng, law, next_time: first }
+    }
+
+    /// Time of the next fault on this processor.
+    #[must_use]
+    pub fn peek(&self) -> f64 {
+        self.next_time
+    }
+
+    /// Consumes and returns the next fault time, advancing the renewal
+    /// process.
+    pub fn advance(&mut self) -> f64 {
+        let t = self.next_time;
+        self.next_time += self.law.sample(&mut self.rng);
+        t
+    }
+}
+
+/// A fault event: processor `proc` fails at `time`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fault {
+    /// Absolute simulation time of the failure.
+    pub time: f64,
+    /// The processor that fails.
+    pub proc: ProcId,
+}
+
+/// Merged fault source over all `p` processors, yielding faults in global
+/// time order.
+///
+/// Internally a priority queue of per-processor streams; `O(log p)` per
+/// fault.
+///
+/// ```
+/// use redistrib_sim::{FaultLaw, FaultSource};
+/// let law = FaultLaw::Exponential { mtbf: 100.0 };
+/// let faults: Vec<_> = FaultSource::new(42, 8, law).take(5).collect();
+/// assert!(faults.windows(2).all(|w| w[0].time <= w[1].time));
+/// // Replay is exact: the trace is a pure function of (seed, p, law).
+/// let again: Vec<_> = FaultSource::new(42, 8, law).take(5).collect();
+/// assert_eq!(faults, again);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultSource {
+    streams: Vec<FaultStream>,
+    queue: EventQueue<ProcId>,
+}
+
+impl FaultSource {
+    /// Creates the fault source for a platform of `p` processors.
+    ///
+    /// The trace is fully determined by `(seed, law, p)`; adding processors
+    /// does not perturb the traces of existing ones.
+    #[must_use]
+    pub fn new(seed: u64, p: u32, law: FaultLaw) -> Self {
+        let streams: Vec<FaultStream> =
+            (0..p).map(|k| FaultStream::new(seed, k, law)).collect();
+        let mut queue = EventQueue::with_capacity(p as usize);
+        for (k, s) in streams.iter().enumerate() {
+            queue.push(s.peek(), k as ProcId);
+        }
+        Self { streams, queue }
+    }
+
+    /// Time of the next fault anywhere on the platform.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<f64> {
+        self.queue.peek_time()
+    }
+
+    /// Pops the next fault in global time order.
+    pub fn next_fault(&mut self) -> Option<Fault> {
+        let (time, proc) = self.queue.pop()?;
+        let stream = &mut self.streams[proc as usize];
+        debug_assert_eq!(stream.peek(), time);
+        stream.advance();
+        self.queue.push(stream.peek(), proc);
+        Some(Fault { time, proc })
+    }
+
+    /// Number of processors covered.
+    #[must_use]
+    pub fn num_procs(&self) -> u32 {
+        self.streams.len() as u32
+    }
+}
+
+/// An iterator adapter over [`FaultSource`].
+impl Iterator for FaultSource {
+    type Item = Fault;
+
+    fn next(&mut self) -> Option<Fault> {
+        self.next_fault()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LAW: FaultLaw = FaultLaw::Exponential { mtbf: 100.0 };
+
+    #[test]
+    fn stream_strictly_increasing() {
+        let mut s = FaultStream::new(1, 0, LAW);
+        let mut last = 0.0;
+        for _ in 0..1000 {
+            let t = s.advance();
+            assert!(t > last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn stream_policy_independent_replay() {
+        let mut a = FaultStream::new(9, 4, LAW);
+        let mut b = FaultStream::new(9, 4, LAW);
+        for _ in 0..100 {
+            assert_eq!(a.advance(), b.advance());
+        }
+    }
+
+    #[test]
+    fn streams_differ_per_proc() {
+        let a = FaultStream::new(9, 0, LAW).advance();
+        let b = FaultStream::new(9, 1, LAW).advance();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn source_yields_global_time_order() {
+        let mut src = FaultSource::new(3, 16, LAW);
+        let mut last = 0.0;
+        for _ in 0..500 {
+            let f = src.next_fault().unwrap();
+            assert!(f.time >= last);
+            assert!(f.proc < 16);
+            last = f.time;
+        }
+    }
+
+    #[test]
+    fn source_matches_individual_streams() {
+        // Merging must not change any per-processor trace.
+        let p = 8;
+        let mut src = FaultSource::new(5, p, LAW);
+        let mut per_proc: Vec<Vec<f64>> = vec![Vec::new(); p as usize];
+        for _ in 0..400 {
+            let f = src.next_fault().unwrap();
+            per_proc[f.proc as usize].push(f.time);
+        }
+        for k in 0..p {
+            let mut s = FaultStream::new(5, k, LAW);
+            for &t in &per_proc[k as usize] {
+                assert_eq!(s.advance(), t, "proc {k} trace diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn adding_processors_preserves_existing_traces() {
+        let mut small = FaultSource::new(7, 4, LAW);
+        let mut big = FaultSource::new(7, 8, LAW);
+        let mut small_faults: Vec<Fault> = Vec::new();
+        for _ in 0..200 {
+            small_faults.push(small.next_fault().unwrap());
+        }
+        let mut big_faults_on_small_procs = Vec::new();
+        while big_faults_on_small_procs.len() < 200 {
+            let f = big.next_fault().unwrap();
+            if f.proc < 4 {
+                big_faults_on_small_procs.push(f);
+            }
+        }
+        assert_eq!(&small_faults[..], &big_faults_on_small_procs[..]);
+    }
+
+    #[test]
+    fn platform_fault_rate_scales_with_p() {
+        // With p processors of MTBF µ, the platform MTBF is µ/p.
+        let p = 64;
+        let mut src = FaultSource::new(11, p, LAW);
+        let n = 20_000;
+        let mut last = 0.0;
+        for _ in 0..n {
+            last = src.next_fault().unwrap().time;
+        }
+        let observed_mtbf = last / f64::from(n);
+        let expected = 100.0 / f64::from(p);
+        let rel = (observed_mtbf - expected).abs() / expected;
+        assert!(rel < 0.05, "observed {observed_mtbf}, expected {expected}");
+    }
+
+    #[test]
+    fn iterator_interface() {
+        let src = FaultSource::new(2, 4, LAW);
+        let faults: Vec<Fault> = src.take(10).collect();
+        assert_eq!(faults.len(), 10);
+    }
+}

@@ -1,0 +1,38 @@
+//! # redistrib-sim
+//!
+//! Deterministic discrete-event simulation substrate for the `redistrib`
+//! project (reproduction of Benoit, Pottier, Robert, *Resilient application
+//! co-scheduling with processor redistribution*, ICPP 2016).
+//!
+//! This crate rebuilds the fault-simulator substrate the paper relies on:
+//!
+//! * [`rng`] — portable, hand-rolled PRNGs (SplitMix64, xoshiro256++) with
+//!   per-stream derivation so fault traces are pure functions of
+//!   `(seed, processor)`;
+//! * [`dist`] — exponential (the paper's law), Weibull and log-normal
+//!   inter-arrival distributions;
+//! * [`event`] — a stable-order event queue over `f64` time;
+//! * [`faults`] — lazy per-processor fault streams merged in time order,
+//!   replayable independently of scheduling decisions;
+//! * [`stats`] — Welford accumulators, quantiles, histograms;
+//! * [`trace`] — structured execution traces (fault/redistribution/makespan
+//!   records) with CSV export;
+//! * [`units`] — seconds/days/years conversions.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod dist;
+pub mod event;
+pub mod faults;
+pub mod rng;
+pub mod stats;
+pub mod trace;
+pub mod units;
+
+pub use dist::{Distribution, Exponential, FaultLaw, LogNormal, Weibull};
+pub use event::EventQueue;
+pub use faults::{Fault, FaultSource, FaultStream, ProcId};
+pub use rng::{SplitMix64, Xoshiro256};
+pub use stats::{stddev_population, summarize, Histogram, Summary, Welford};
+pub use trace::{TraceEvent, TraceLog};

@@ -1,0 +1,346 @@
+//! Streaming and batch statistics used by the experiment harness.
+
+/// Numerically stable streaming mean/variance (Welford's algorithm).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 if empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 with fewer than two observations).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Population variance (divides by `n`).
+    #[must_use]
+    pub fn variance_population(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Population standard deviation.
+    #[must_use]
+    pub fn stddev_population(&self) -> f64 {
+        self.variance_population().sqrt()
+    }
+
+    /// Half-width of an approximate 95 % confidence interval on the mean
+    /// (normal approximation, `1.96 σ/√n`; 0 with fewer than two samples).
+    #[must_use]
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            1.96 * self.stddev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+    }
+}
+
+/// Summary statistics of a batch of values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of values.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub stddev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (50th percentile, linear interpolation).
+    pub median: f64,
+}
+
+/// Computes summary statistics of a non-empty slice.
+///
+/// # Panics
+/// Panics if `values` is empty or contains NaN.
+#[must_use]
+pub fn summarize(values: &[f64]) -> Summary {
+    assert!(!values.is_empty(), "cannot summarize an empty slice");
+    let mut acc = Welford::new();
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in summarize input"));
+    for &v in values {
+        acc.push(v);
+    }
+    Summary {
+        count: values.len(),
+        mean: acc.mean(),
+        stddev: acc.stddev(),
+        min: sorted[0],
+        max: sorted[sorted.len() - 1],
+        median: quantile_sorted(&sorted, 0.5),
+    }
+}
+
+/// Quantile of a pre-sorted slice with linear interpolation.
+///
+/// # Panics
+/// Panics if `sorted` is empty or `q` is outside `[0, 1]`.
+#[must_use]
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// A fixed-bin histogram over `[lo, hi)` with out-of-range counters.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram of `bins` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `lo >= hi`.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        assert!(lo < hi, "lo must be < hi");
+        Self { lo, hi, bins: vec![0; bins], underflow: 0, overflow: 0 }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let idx = ((x - self.lo) / (self.hi - self.lo) * self.bins.len() as f64) as usize;
+            // Guard against floating rounding at the upper edge.
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Per-bin counts.
+    #[must_use]
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Count of observations below range.
+    #[must_use]
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Count of observations at or above range.
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations recorded, including out-of-range.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+}
+
+/// Population standard deviation of a slice (used for the Fig. 9b series:
+/// dispersion of per-task processor counts).
+///
+/// Returns 0 for slices with fewer than two elements.
+#[must_use]
+pub fn stddev_population(values: &[f64]) -> f64 {
+    let mut acc = Welford::new();
+    for &v in values {
+        acc.push(v);
+    }
+    acc.stddev_population()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_known_values() {
+        let mut w = Welford::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        assert!((w.variance_population() - 4.0).abs() < 1e-12);
+        assert!((w.stddev_population() - 2.0).abs() < 1e-12);
+        // Sample variance = 32/7.
+        assert!((w.variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_empty_and_single() {
+        let mut w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        w.push(42.0);
+        assert_eq!(w.mean(), 42.0);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Welford::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        let mut left = Welford::new();
+        let mut right = Welford::new();
+        for &x in &data[..37] {
+            left.push(x);
+        }
+        for &x in &data[37..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-10);
+        assert!((left.variance() - whole.variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn welford_merge_with_empty() {
+        let mut a = Welford::new();
+        a.push(1.0);
+        a.push(3.0);
+        let b = Welford::new();
+        let mut a2 = a;
+        a2.merge(&b);
+        assert!((a2.mean() - a.mean()).abs() < 1e-15);
+        let mut c = Welford::new();
+        c.merge(&a);
+        assert!((c.mean() - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn summarize_basics() {
+        let s = summarize(&[3.0, 1.0, 2.0]);
+        assert_eq!(s.count, 3);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.median, 2.0);
+    }
+
+    #[test]
+    fn median_interpolates_even_count() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((s.median - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn summarize_rejects_empty() {
+        let _ = summarize(&[]);
+    }
+
+    #[test]
+    fn quantiles() {
+        let sorted = [10.0, 20.0, 30.0, 40.0, 50.0];
+        assert_eq!(quantile_sorted(&sorted, 0.0), 10.0);
+        assert_eq!(quantile_sorted(&sorted, 1.0), 50.0);
+        assert_eq!(quantile_sorted(&sorted, 0.5), 30.0);
+        assert!((quantile_sorted(&sorted, 0.25) - 20.0).abs() < 1e-12);
+        assert!((quantile_sorted(&sorted, 0.1) - 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_binning() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [0.0, 1.9, 2.0, 5.5, 9.999, -1.0, 10.0, 42.0] {
+            h.record(x);
+        }
+        assert_eq!(h.bins(), &[2, 1, 1, 0, 1]);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 8);
+    }
+
+    #[test]
+    fn stddev_population_of_constant_is_zero() {
+        assert_eq!(stddev_population(&[4.0, 4.0, 4.0]), 0.0);
+        assert_eq!(stddev_population(&[]), 0.0);
+        assert_eq!(stddev_population(&[1.0]), 0.0);
+    }
+}

@@ -1,0 +1,242 @@
+//! Structured execution traces for post-hoc analysis and the Fig. 9-style
+//! per-fault time series.
+
+use std::fmt::Write as _;
+
+/// One record in a simulation trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A processor fault struck a running task.
+    Fault {
+        /// Simulation time of the fault.
+        time: f64,
+        /// Failed processor.
+        proc: u32,
+        /// Task running on that processor.
+        task: usize,
+    },
+    /// A fault struck an idle processor or a protected window and was
+    /// discarded.
+    FaultDiscarded {
+        /// Simulation time of the fault.
+        time: f64,
+        /// Failed processor.
+        proc: u32,
+    },
+    /// A task completed.
+    TaskEnd {
+        /// Completion time.
+        time: f64,
+        /// The completed task.
+        task: usize,
+    },
+    /// A task's allocation changed from `from` to `to` processors.
+    Redistribution {
+        /// Decision time.
+        time: f64,
+        /// Task whose allocation changed.
+        task: usize,
+        /// Previous allocation size.
+        from: u32,
+        /// New allocation size.
+        to: u32,
+        /// Data-movement cost `RC` paid.
+        cost: f64,
+    },
+    /// Estimated makespan snapshot after handling an event (Fig. 9a).
+    MakespanEstimate {
+        /// Snapshot time.
+        time: f64,
+        /// Current `max_i t^U_i` over active tasks.
+        makespan: f64,
+        /// Population std-dev of per-task allocation sizes (Fig. 9b).
+        alloc_stddev: f64,
+    },
+}
+
+impl TraceEvent {
+    /// The simulation time of the record.
+    #[must_use]
+    pub fn time(&self) -> f64 {
+        match *self {
+            TraceEvent::Fault { time, .. }
+            | TraceEvent::FaultDiscarded { time, .. }
+            | TraceEvent::TaskEnd { time, .. }
+            | TraceEvent::Redistribution { time, .. }
+            | TraceEvent::MakespanEstimate { time, .. } => time,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::Fault { .. } => "fault",
+            TraceEvent::FaultDiscarded { .. } => "fault_discarded",
+            TraceEvent::TaskEnd { .. } => "task_end",
+            TraceEvent::Redistribution { .. } => "redistribution",
+            TraceEvent::MakespanEstimate { .. } => "makespan",
+        }
+    }
+}
+
+/// An append-only trace log.
+///
+/// Recording can be disabled (the default for large experiment sweeps) in
+/// which case `push` is a no-op, so engines can log unconditionally.
+#[derive(Debug, Clone, Default)]
+pub struct TraceLog {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+}
+
+impl TraceLog {
+    /// Creates a recording log.
+    #[must_use]
+    pub fn enabled() -> Self {
+        Self { enabled: true, events: Vec::new() }
+    }
+
+    /// Creates a disabled (no-op) log.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self { enabled: false, events: Vec::new() }
+    }
+
+    /// Whether records are being kept.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Appends a record (no-op when disabled).
+    pub fn push(&mut self, event: TraceEvent) {
+        if self.enabled {
+            self.events.push(event);
+        }
+    }
+
+    /// All recorded events in insertion order.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Iterates over the makespan snapshots (the Fig. 9 series).
+    pub fn makespan_series(&self) -> impl Iterator<Item = (f64, f64, f64)> + '_ {
+        self.events.iter().filter_map(|e| match *e {
+            TraceEvent::MakespanEstimate { time, makespan, alloc_stddev } => {
+                Some((time, makespan, alloc_stddev))
+            }
+            _ => None,
+        })
+    }
+
+    /// Number of handled (non-discarded) faults.
+    #[must_use]
+    pub fn fault_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Fault { .. }))
+            .count()
+    }
+
+    /// Number of redistribution records.
+    #[must_use]
+    pub fn redistribution_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Redistribution { .. }))
+            .count()
+    }
+
+    /// Renders the log as CSV with header
+    /// `time,kind,task,proc,from,to,cost,makespan,alloc_stddev` (empty cells
+    /// where a column does not apply).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::with_capacity(64 * (self.events.len() + 1));
+        out.push_str("time,kind,task,proc,from,to,cost,makespan,alloc_stddev\n");
+        for e in &self.events {
+            let _ = write!(out, "{},{}", e.time(), e.kind());
+            match *e {
+                TraceEvent::Fault { task, proc, .. } => {
+                    let _ = write!(out, ",{task},{proc},,,,,");
+                }
+                TraceEvent::FaultDiscarded { proc, .. } => {
+                    let _ = write!(out, ",,{proc},,,,,");
+                }
+                TraceEvent::TaskEnd { task, .. } => {
+                    let _ = write!(out, ",{task},,,,,,");
+                }
+                TraceEvent::Redistribution { task, from, to, cost, .. } => {
+                    let _ = write!(out, ",{task},,{from},{to},{cost},,");
+                }
+                TraceEvent::MakespanEstimate { makespan, alloc_stddev, .. } => {
+                    let _ = write!(out, ",,,,,,{makespan},{alloc_stddev}");
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_ignores_pushes() {
+        let mut log = TraceLog::disabled();
+        log.push(TraceEvent::TaskEnd { time: 1.0, task: 0 });
+        assert!(log.events().is_empty());
+        assert!(!log.is_enabled());
+    }
+
+    #[test]
+    fn enabled_log_records_in_order() {
+        let mut log = TraceLog::enabled();
+        log.push(TraceEvent::TaskEnd { time: 1.0, task: 0 });
+        log.push(TraceEvent::Fault { time: 2.0, proc: 3, task: 1 });
+        assert_eq!(log.events().len(), 2);
+        assert_eq!(log.events()[0].time(), 1.0);
+        assert_eq!(log.events()[1].time(), 2.0);
+    }
+
+    #[test]
+    fn counts() {
+        let mut log = TraceLog::enabled();
+        log.push(TraceEvent::Fault { time: 1.0, proc: 0, task: 0 });
+        log.push(TraceEvent::FaultDiscarded { time: 2.0, proc: 1 });
+        log.push(TraceEvent::Fault { time: 3.0, proc: 2, task: 1 });
+        log.push(TraceEvent::Redistribution { time: 3.0, task: 1, from: 2, to: 4, cost: 5.0 });
+        assert_eq!(log.fault_count(), 2);
+        assert_eq!(log.redistribution_count(), 1);
+    }
+
+    #[test]
+    fn makespan_series_extraction() {
+        let mut log = TraceLog::enabled();
+        log.push(TraceEvent::MakespanEstimate { time: 1.0, makespan: 10.0, alloc_stddev: 0.5 });
+        log.push(TraceEvent::TaskEnd { time: 2.0, task: 0 });
+        log.push(TraceEvent::MakespanEstimate { time: 3.0, makespan: 9.0, alloc_stddev: 0.7 });
+        let series: Vec<_> = log.makespan_series().collect();
+        assert_eq!(series, vec![(1.0, 10.0, 0.5), (3.0, 9.0, 0.7)]);
+    }
+
+    #[test]
+    fn csv_shape() {
+        let mut log = TraceLog::enabled();
+        log.push(TraceEvent::Fault { time: 1.5, proc: 2, task: 7 });
+        log.push(TraceEvent::Redistribution { time: 2.0, task: 7, from: 2, to: 6, cost: 12.5 });
+        let csv = log.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("time,kind"));
+        assert_eq!(lines[1], "1.5,fault,7,2,,,,,");
+        assert_eq!(lines[2], "2,redistribution,7,,2,6,12.5,,");
+        // Constant column count.
+        for l in &lines {
+            assert_eq!(l.matches(',').count(), 8, "line: {l}");
+        }
+    }
+}

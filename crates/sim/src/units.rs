@@ -1,0 +1,65 @@
+//! Time-unit constants and conversions.
+//!
+//! The simulation clock is in seconds. The paper quotes MTBFs in years and
+//! fault-free makespans in days.
+
+/// Seconds per minute.
+pub const MINUTE: f64 = 60.0;
+/// Seconds per hour.
+pub const HOUR: f64 = 3_600.0;
+/// Seconds per day.
+pub const DAY: f64 = 86_400.0;
+/// Seconds per (Julian) year — 365.25 days, the convention in the resilience
+/// literature for MTBF conversions.
+pub const YEAR: f64 = 365.25 * DAY;
+
+/// Converts years to seconds.
+#[must_use]
+pub fn years(y: f64) -> f64 {
+    y * YEAR
+}
+
+/// Converts days to seconds.
+#[must_use]
+pub fn days(d: f64) -> f64 {
+    d * DAY
+}
+
+/// Converts hours to seconds.
+#[must_use]
+pub fn hours(h: f64) -> f64 {
+    h * HOUR
+}
+
+/// Converts seconds to days (for reporting).
+#[must_use]
+pub fn to_days(seconds: f64) -> f64 {
+    seconds / DAY
+}
+
+/// Converts seconds to years (for reporting).
+#[must_use]
+pub fn to_years(seconds: f64) -> f64 {
+    seconds / YEAR
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        assert_eq!(years(1.0), YEAR);
+        assert_eq!(days(2.0), 2.0 * DAY);
+        assert_eq!(hours(3.0), 3.0 * HOUR);
+        assert!((to_days(days(5.5)) - 5.5).abs() < 1e-12);
+        assert!((to_years(years(100.0)) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn magnitudes() {
+        assert_eq!(DAY, 24.0 * HOUR);
+        assert_eq!(HOUR, 60.0 * MINUTE);
+        assert!((YEAR / DAY - 365.25).abs() < 1e-9);
+    }
+}

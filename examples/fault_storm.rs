@@ -1,0 +1,64 @@
+//! Fault storm: which heuristic survives an unreliable platform?
+//!
+//! The paper's Figures 10–11 show a crossover: IteratedGreedy wins when
+//! failures are rare, but its aggressive processor concentration backfires
+//! when the MTBF drops (a task on many processors fails constantly), and
+//! ShortestTasksFirst takes over. This example sweeps the per-processor
+//! MTBF from reliable to hostile and prints the duel.
+//!
+//! ```text
+//! cargo run --release --example fault_storm
+//! ```
+
+use redistrib::experiments::runner::{run_point, PointConfig, Variant};
+use redistrib::experiments::workload::WorkloadParams;
+use redistrib::prelude::*;
+
+fn main() {
+    let n = 20;
+    let p = 200;
+    let mut workload = WorkloadParams::paper_default(n);
+    workload.m_inf = 2.0e5;
+    workload.m_sup = 5.0e5;
+
+    println!(
+        "{:>12} {:>10} {:>12} {:>12}   winner",
+        "MTBF (y)", "faults", "IG-EL", "STF-EL"
+    );
+    for mtbf_years in [0.5, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0] {
+        let cfg = PointConfig {
+            workload,
+            p,
+            mtbf_years,
+            downtime: 60.0,
+            runs: 10,
+            base_seed: 99,
+        };
+        let stats = run_point(
+            &cfg,
+            Variant::FaultNoRc,
+            &[
+                Variant::Fault(Heuristic::IteratedGreedyEndLocal),
+                Variant::Fault(Heuristic::ShortestTasksFirstEndLocal),
+            ],
+        )
+        .expect("sweep point");
+        let (ig, stf) = (stats[0].mean_ratio, stats[1].mean_ratio);
+        let winner = if (ig - stf).abs() < 0.002 {
+            "tie"
+        } else if ig < stf {
+            "IteratedGreedy"
+        } else {
+            "ShortestTasksFirst"
+        };
+        println!(
+            "{:>12} {:>10.1} {:>12.3} {:>12.3}   {}",
+            mtbf_years, stats[0].mean_faults, ig, stf, winner
+        );
+    }
+    println!();
+    println!(
+        "Normalized by the no-redistribution baseline on the same traces; \
+         lower is better."
+    );
+}

@@ -1,0 +1,72 @@
+//! Trace timeline: watch one execution, event by event.
+//!
+//! Runs a single pack under IteratedGreedy-EndLocal with trace recording on
+//! and prints the event log — faults (with the struck task), processor
+//! redistributions (from → to, data-movement cost), task completions, and
+//! the Fig. 9-style makespan-estimate snapshots.
+//!
+//! ```text
+//! cargo run --release --example trace_timeline
+//! ```
+
+use std::sync::Arc;
+
+use redistrib::prelude::*;
+use redistrib::sim::trace::TraceEvent;
+use redistrib::sim::units;
+
+fn main() {
+    let sizes = [2.4e6, 2.0e6, 1.8e6, 1.6e6];
+    let workload = Workload::new(
+        sizes.iter().map(|&m| TaskSpec::new(m)).collect(),
+        Arc::new(PaperModel::default()),
+    );
+    let platform = Platform::with_mtbf(32, units::years(3.0));
+    let cfg = EngineConfig::with_faults(7, platform.proc_mtbf).recording();
+
+    let mut calc = TimeCalc::new(workload, platform);
+    let out = run(&mut calc, &EndLocal, &IteratedGreedy, &cfg).expect("run");
+
+    println!("initial allocation: {:?}", out.initial_allocation);
+    println!("{:>12}  event", "time (d)");
+    for event in out.trace.events() {
+        let t = units::to_days(event.time());
+        match *event {
+            TraceEvent::Fault { proc, task, .. } => {
+                println!("{t:>12.3}  FAULT       processor {proc} strikes task {task}");
+            }
+            TraceEvent::FaultDiscarded { proc, .. } => {
+                println!("{t:>12.3}  (discarded) processor {proc} idle or protected");
+            }
+            TraceEvent::TaskEnd { task, .. } => {
+                println!("{t:>12.3}  END         task {task} completes");
+            }
+            TraceEvent::Redistribution { task, from, to, cost, .. } => {
+                println!(
+                    "{t:>12.3}  REDISTRIB   task {task}: {from} → {to} procs \
+                     (cost {:.2} d)",
+                    units::to_days(cost)
+                );
+            }
+            TraceEvent::MakespanEstimate { makespan, alloc_stddev, .. } => {
+                println!(
+                    "{t:>12.3}  ESTIMATE    makespan {:.2} d, alloc σ = {alloc_stddev:.2}",
+                    units::to_days(makespan)
+                );
+            }
+        }
+    }
+    println!();
+    println!(
+        "makespan {:.2} d — {} faults handled, {} discarded, {} redistributions",
+        units::to_days(out.makespan),
+        out.handled_faults,
+        out.discarded_faults,
+        out.redistributions
+    );
+    println!();
+    println!("CSV export of the same trace (first lines):");
+    for line in out.trace.to_csv().lines().take(5) {
+        println!("  {line}");
+    }
+}

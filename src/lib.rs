@@ -1,0 +1,103 @@
+//! # redistrib
+//!
+//! A faithful, self-contained reproduction of **“Resilient application
+//! co-scheduling with processor redistribution”** (Anne Benoit, Loïc
+//! Pottier, Yves Robert — Inria RR-8795 / ICPP 2016).
+//!
+//! A *pack* of malleable tasks shares `p` processors on a failure-prone
+//! platform. Tasks checkpoint periodically (double/buddy protocol, even
+//! allocations); when a task ends or a failure strikes, processors can be
+//! *redistributed* between tasks at a data-movement cost. This crate
+//! bundles:
+//!
+//! * the model (speedup profiles, checkpointing, expected execution times,
+//!   redistribution costs) — [`model`];
+//! * the deterministic fault simulator substrate — [`sim`];
+//! * the transfer-graph edge coloring behind the redistribution cost
+//!   formula — [`graph`];
+//! * the scheduling algorithms (Algorithm 1, the event-driven engine,
+//!   the EndLocal/EndGreedy/ShortestTasksFirst/IteratedGreedy heuristics,
+//!   exact solvers, the NP-completeness gadget) — [`core`];
+//! * multi-pack partitioning and sequential pack execution (the paper's
+//!   future-work direction) — [`packs`];
+//! * the experiment harnesses regenerating every figure of the paper —
+//!   [`experiments`].
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use redistrib::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // A pack of four tasks with paper-style sizes, on 32 processors with a
+//! // 10-year per-processor MTBF.
+//! let workload = Workload::new(
+//!     vec![
+//!         TaskSpec::new(2.0e6),
+//!         TaskSpec::new(1.6e6),
+//!         TaskSpec::new(2.4e6),
+//!         TaskSpec::new(1.8e6),
+//!     ],
+//!     Arc::new(PaperModel::default()),
+//! );
+//! let platform = Platform::with_mtbf(32, redistrib::sim::units::years(10.0));
+//!
+//! // Baseline: no redistribution.
+//! let mut calc = TimeCalc::new(workload.clone(), platform);
+//! let cfg = EngineConfig::with_faults(42, platform.proc_mtbf);
+//! let baseline = run(&mut calc, &NoEndRedistribution, &NoFaultRedistribution, &cfg).unwrap();
+//!
+//! // IteratedGreedy-EndLocal, same workload, same fault trace.
+//! let mut calc = TimeCalc::new(workload, platform);
+//! let redistributed = run(&mut calc, &EndLocal, &IteratedGreedy, &cfg).unwrap();
+//!
+//! assert!(redistributed.makespan <= baseline.makespan);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub use redistrib_core as core;
+pub use redistrib_experiments as experiments;
+pub use redistrib_graph as graph;
+pub use redistrib_model as model;
+pub use redistrib_packs as packs;
+pub use redistrib_sim as sim;
+
+/// The most common imports, re-exported flat.
+pub mod prelude {
+    pub use redistrib_core::{
+        optimal_schedule, run, EndGreedy, EndLocal, EndPolicy, EngineConfig, FaultPolicy,
+        Heuristic, IteratedGreedy, NoEndRedistribution, NoFaultRedistribution, RunOutcome,
+        ScheduleError, ShortestTasksFirst,
+    };
+    pub use redistrib_model::{
+        EndSemantics, ExecutionMode, PaperModel, PeriodRule, Platform, SpeedupModel, TaskSpec,
+        TimeCalc, Workload,
+    };
+    pub use redistrib_sim::{FaultLaw, FaultSource, TraceLog, Xoshiro256};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn facade_reexports_work_together() {
+        let workload = Workload::new(
+            vec![TaskSpec::new(2.0e6), TaskSpec::new(1.5e6)],
+            Arc::new(PaperModel::default()),
+        );
+        let platform = Platform::new(8);
+        let mut calc = TimeCalc::fault_free(workload, platform);
+        let out = run(
+            &mut calc,
+            &NoEndRedistribution,
+            &NoFaultRedistribution,
+            &EngineConfig::fault_free(),
+        )
+        .unwrap();
+        assert!(out.makespan > 0.0);
+    }
+}

@@ -1,0 +1,197 @@
+//! End-to-end integration tests across all crates: every heuristic
+//! combination, both execution modes, ablation flags, and outcome
+//! consistency invariants.
+
+use std::sync::Arc;
+
+use redistrib::prelude::*;
+use redistrib::sim::trace::TraceEvent;
+use redistrib::sim::units;
+
+fn workload(n: usize, seed: u64) -> Workload {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let tasks = (0..n)
+        .map(|_| TaskSpec::new(rng.uniform(1.5e5, 2.5e5)))
+        .collect();
+    Workload::new(tasks, Arc::new(PaperModel::default()))
+}
+
+fn run_heuristic(h: Heuristic, seed: u64) -> RunOutcome {
+    let platform = Platform::with_mtbf(64, units::years(2.0));
+    let mut calc = TimeCalc::new(workload(12, seed), platform);
+    let cfg = EngineConfig::with_faults(seed, platform.proc_mtbf).recording();
+    run(&mut calc, &*h.end_policy(), &*h.fault_policy(), &cfg).expect("run")
+}
+
+#[test]
+fn every_combination_completes() {
+    for h in [
+        Heuristic::NoRedistribution,
+        Heuristic::IteratedGreedyEndGreedy,
+        Heuristic::IteratedGreedyEndLocal,
+        Heuristic::ShortestTasksFirstEndGreedy,
+        Heuristic::ShortestTasksFirstEndLocal,
+        Heuristic::EndLocalOnly,
+        Heuristic::EndGreedyOnly,
+    ] {
+        let out = run_heuristic(h, 3);
+        assert!(out.makespan.is_finite() && out.makespan > 0.0, "{}", h.name());
+    }
+}
+
+#[test]
+fn outcome_consistent_with_trace() {
+    let out = run_heuristic(Heuristic::IteratedGreedyEndLocal, 5);
+    assert_eq!(out.trace.fault_count() as u64, out.handled_faults);
+    assert_eq!(out.trace.redistribution_count() as u64, out.redistributions);
+    // Makespan equals the latest task-end record.
+    let last_end = out
+        .trace
+        .events()
+        .iter()
+        .filter_map(|e| match *e {
+            TraceEvent::TaskEnd { time, .. } => Some(time),
+            _ => None,
+        })
+        .fold(0.0, f64::max);
+    assert!((out.makespan - last_end).abs() < 1e-9);
+}
+
+#[test]
+fn all_tasks_end_exactly_once() {
+    let out = run_heuristic(Heuristic::ShortestTasksFirstEndGreedy, 7);
+    let mut ends = vec![0u32; 12];
+    for e in out.trace.events() {
+        if let TraceEvent::TaskEnd { task, .. } = *e {
+            ends[task] += 1;
+        }
+    }
+    assert!(ends.iter().all(|&c| c == 1), "ends: {ends:?}");
+}
+
+#[test]
+fn redistribution_records_are_even_and_in_range() {
+    let out = run_heuristic(Heuristic::IteratedGreedyEndGreedy, 11);
+    for e in out.trace.events() {
+        if let TraceEvent::Redistribution { from, to, cost, .. } = *e {
+            assert!(from % 2 == 0 && to % 2 == 0, "odd allocation in {e:?}");
+            assert!(from >= 2 && to >= 2);
+            assert_ne!(from, to, "no-op redistribution recorded");
+            assert!(cost >= 0.0);
+        }
+    }
+}
+
+#[test]
+fn no_redistribution_baseline_never_redistributes() {
+    let out = run_heuristic(Heuristic::NoRedistribution, 13);
+    assert_eq!(out.redistributions, 0);
+    assert_eq!(out.trace.redistribution_count(), 0);
+}
+
+#[test]
+fn pseudocode_bias_changes_little_but_runs() {
+    let platform = Platform::with_mtbf(64, units::years(2.0));
+    let make_cfg = |bias| EngineConfig {
+        pseudocode_fault_bias: bias,
+        ..EngineConfig::with_faults(17, platform.proc_mtbf)
+    };
+    let h = Heuristic::IteratedGreedyEndLocal;
+    let mut c1 = TimeCalc::new(workload(12, 17), platform);
+    let unbiased = run(&mut c1, &*h.end_policy(), &*h.fault_policy(), &make_cfg(false)).unwrap();
+    let mut c2 = TimeCalc::new(workload(12, 17), platform);
+    let biased = run(&mut c2, &*h.end_policy(), &*h.fault_policy(), &make_cfg(true)).unwrap();
+    assert!(unbiased.makespan.is_finite() && biased.makespan.is_finite());
+    // The bias omits D + R from candidate costs: a second-order effect.
+    let rel = (unbiased.makespan - biased.makespan).abs() / unbiased.makespan;
+    assert!(rel < 0.2, "ablation should be a perturbation, got {rel}");
+}
+
+#[test]
+fn end_semantics_ablation_orders_makespans() {
+    // FaultFreeProjection schedules end events earlier than Expected (it
+    // ignores expected future faults), so without actual faults its
+    // makespan is smaller.
+    let platform = Platform::with_mtbf(64, units::years(100.0));
+    let h = Heuristic::NoRedistribution;
+    let cfg = EngineConfig::fault_free();
+    let mut exp = TimeCalc::new(workload(8, 23), platform);
+    let expected = run(&mut exp, &*h.end_policy(), &*h.fault_policy(), &cfg).unwrap();
+    let mut ffp = TimeCalc::new(workload(8, 23), platform)
+        .with_end_semantics(EndSemantics::FaultFreeProjection);
+    let projected = run(&mut ffp, &*h.end_policy(), &*h.fault_policy(), &cfg).unwrap();
+    assert!(
+        projected.makespan < expected.makespan,
+        "projection {} should undercut expected {}",
+        projected.makespan,
+        expected.makespan
+    );
+}
+
+#[test]
+fn daly_period_rule_runs() {
+    let platform = Platform::with_mtbf(64, units::years(2.0));
+    let mut calc =
+        TimeCalc::new(workload(10, 29), platform).with_period_rule(PeriodRule::Daly);
+    let cfg = EngineConfig::with_faults(29, platform.proc_mtbf);
+    let h = Heuristic::IteratedGreedyEndLocal;
+    let out = run(&mut calc, &*h.end_policy(), &*h.fault_policy(), &cfg).unwrap();
+    assert!(out.makespan.is_finite());
+}
+
+#[test]
+fn weibull_faults_run() {
+    let platform = Platform::with_mtbf(64, units::years(2.0));
+    let mut calc = TimeCalc::new(workload(10, 31), platform);
+    let cfg = EngineConfig {
+        faults: Some(redistrib::core::FaultConfig {
+            seed: 31,
+            law: FaultLaw::Weibull { shape: 0.7, mtbf: platform.proc_mtbf },
+        }),
+        ..EngineConfig::fault_free()
+    };
+    let h = Heuristic::ShortestTasksFirstEndLocal;
+    let out = run(&mut calc, &*h.end_policy(), &*h.fault_policy(), &cfg).unwrap();
+    assert!(out.makespan.is_finite());
+    assert!(out.handled_faults > 0, "Weibull storm should strike");
+}
+
+#[test]
+fn fatal_risk_counter_fires_under_extreme_unreliability() {
+    // With month-scale MTBFs, some faults land inside recovery windows.
+    let platform = Platform::with_mtbf(32, units::days(30.0));
+    let mut calc = TimeCalc::new(workload(6, 37), platform);
+    let cfg = EngineConfig::with_faults(37, platform.proc_mtbf);
+    let h = Heuristic::NoRedistribution;
+    let out = run(&mut calc, &*h.end_policy(), &*h.fault_policy(), &cfg).unwrap();
+    assert!(
+        out.discarded_faults > 0,
+        "protected windows should discard faults at this rate"
+    );
+}
+
+#[test]
+fn makespan_reported_in_sane_range() {
+    // Sanity: the fault-free makespan of the pack bounds the faulty one
+    // from below; 100x that bounds it from above at these MTBFs.
+    let platform = Platform::with_mtbf(64, units::years(2.0));
+    let h = Heuristic::IteratedGreedyEndLocal;
+    let mut ff = TimeCalc::fault_free(workload(12, 41), platform);
+    let ff_out = run(
+        &mut ff,
+        &*Heuristic::EndLocalOnly.end_policy(),
+        &*Heuristic::EndLocalOnly.fault_policy(),
+        &EngineConfig::fault_free(),
+    )
+    .unwrap();
+    let mut fa = TimeCalc::new(workload(12, 41), platform);
+    let fa_out = run(
+        &mut fa,
+        &*h.end_policy(),
+        &*h.fault_policy(),
+        &EngineConfig::with_faults(41, platform.proc_mtbf),
+    )
+    .unwrap();
+    assert!(fa_out.makespan > ff_out.makespan * 0.99);
+    assert!(fa_out.makespan < ff_out.makespan * 100.0);
+}

@@ -1,0 +1,195 @@
+//! Engine edge cases: single-task packs, recovery-window completions,
+//! protected-window discards, extreme configurations.
+
+use std::sync::Arc;
+
+use redistrib::prelude::*;
+use redistrib::sim::trace::TraceEvent;
+use redistrib::sim::units;
+
+fn single_task(size: f64) -> Workload {
+    Workload::new(vec![TaskSpec::new(size)], Arc::new(PaperModel::default()))
+}
+
+#[test]
+fn single_task_pack_completes_under_faults() {
+    let platform = Platform::with_mtbf(8, units::years(1.0));
+    for h in [Heuristic::NoRedistribution, Heuristic::IteratedGreedyEndLocal] {
+        let mut calc = TimeCalc::new(single_task(3.0e5), platform);
+        let cfg = EngineConfig::with_faults(5, platform.proc_mtbf).recording();
+        let out = run(&mut calc, &*h.end_policy(), &*h.fault_policy(), &cfg).unwrap();
+        assert!(out.makespan.is_finite() && out.makespan > 0.0);
+        // With one task there is nobody to steal from and no end
+        // redistribution: allocations never change.
+        assert_eq!(out.redistributions, 0, "{}", h.name());
+        // All processors granted up front (every pair helps at this size).
+        assert_eq!(out.initial_allocation, vec![8]);
+    }
+}
+
+#[test]
+fn single_task_fault_free_matches_remaining_time() {
+    let platform = Platform::new(8);
+    let mut calc = TimeCalc::fault_free(single_task(3.0e5), platform);
+    let expected = calc.fault_free_time(0, 8);
+    let out = run(
+        &mut calc,
+        &NoEndRedistribution,
+        &NoFaultRedistribution,
+        &EngineConfig::fault_free(),
+    )
+    .unwrap();
+    assert!((out.makespan - expected).abs() / expected < 1e-12);
+}
+
+#[test]
+fn every_fault_advances_the_faulty_tasks_anchor() {
+    // The trace's fault records must be chronological and each handled
+    // fault must appear before the task's completion.
+    let platform = Platform::with_mtbf(16, units::years(1.0));
+    let workload = Workload::new(
+        vec![TaskSpec::new(2.0e5), TaskSpec::new(2.5e5)],
+        Arc::new(PaperModel::default()),
+    );
+    let mut calc = TimeCalc::new(workload, platform);
+    let cfg = EngineConfig::with_faults(21, platform.proc_mtbf).recording();
+    let out = run(&mut calc, &EndLocal, &ShortestTasksFirst, &cfg).unwrap();
+
+    let mut completion = [f64::NEG_INFINITY; 2];
+    for e in out.trace.events() {
+        if let TraceEvent::TaskEnd { time, task } = *e {
+            completion[task] = time;
+        }
+    }
+    let mut last_fault = 0.0;
+    for e in out.trace.events() {
+        if let TraceEvent::Fault { time, task, .. } = *e {
+            assert!(time >= last_fault, "fault records out of order");
+            assert!(
+                time <= completion[task],
+                "fault after task {task} completed"
+            );
+            last_fault = time;
+        }
+    }
+}
+
+#[test]
+fn protected_windows_discard_faults_under_extreme_rates() {
+    // MTBF of days: recoveries overlap incoming faults constantly.
+    let platform = Platform::with_mtbf(8, units::days(20.0));
+    let mut calc = TimeCalc::new(single_task(2.0e5), platform);
+    let cfg = EngineConfig::with_faults(3, platform.proc_mtbf).recording();
+    let out = run(
+        &mut calc,
+        &NoEndRedistribution,
+        &NoFaultRedistribution,
+        &cfg,
+    )
+    .unwrap();
+    assert!(out.handled_faults > 0);
+    assert!(
+        out.discarded_faults > 0,
+        "at day-scale MTBF some faults must land in protected windows"
+    );
+    assert!(out.fatal_risk_events <= out.discarded_faults);
+    // Every discarded fault is in the trace.
+    let discarded_in_trace = out
+        .trace
+        .events()
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::FaultDiscarded { .. }))
+        .count() as u64;
+    assert_eq!(discarded_in_trace, out.discarded_faults);
+}
+
+#[test]
+fn idle_processor_faults_are_harmless() {
+    // p much larger than the pack can use: many faults hit idle procs.
+    let platform = Platform::with_mtbf(512, units::years(0.5));
+    let workload = Workload::new(
+        vec![TaskSpec::new(1.2e5); 2],
+        Arc::new(PaperModel::new(0.4)), // strongly sequential: small σ
+    );
+    let mut calc = TimeCalc::new(workload, platform);
+    let cfg = EngineConfig::with_faults(13, platform.proc_mtbf).recording();
+    let out = run(&mut calc, &EndLocal, &IteratedGreedy, &cfg).unwrap();
+    assert!(out.discarded_faults > 0, "idle-processor faults expected");
+    assert!(out.makespan.is_finite());
+}
+
+#[test]
+fn recovery_window_completions_release_processors() {
+    // Construct a pack where one task is nearly done when a failure hits
+    // another: seeds are scanned until the engine records a completion
+    // whose time precedes a later fault's handling — demonstrating the
+    // Algorithm 2 line 28 path end to end. We assert the invariant that
+    // such completions never corrupt state (run must finish cleanly with
+    // all tasks exactly once).
+    let platform = Platform::with_mtbf(12, units::years(0.8));
+    for seed in 0..20u64 {
+        let workload = Workload::new(
+            vec![
+                TaskSpec::new(1.0e5),
+                TaskSpec::new(3.0e5),
+                TaskSpec::new(3.2e5),
+            ],
+            Arc::new(PaperModel::default()),
+        );
+        let mut calc = TimeCalc::new(workload, platform);
+        let cfg = EngineConfig::with_faults(seed, platform.proc_mtbf).recording();
+        let out = run(&mut calc, &EndLocal, &IteratedGreedy, &cfg).unwrap();
+        let ends = out
+            .trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::TaskEnd { .. }))
+            .count();
+        assert_eq!(ends, 3, "seed {seed}: every task ends exactly once");
+        assert!(out.makespan.is_finite());
+    }
+}
+
+#[test]
+fn makespan_monotone_in_fault_rate_on_average() {
+    // Average makespan over several seeds must grow when MTBF shrinks.
+    let workload = || {
+        Workload::new(
+            vec![TaskSpec::new(2.0e5), TaskSpec::new(2.4e5)],
+            Arc::new(PaperModel::default()),
+        )
+    };
+    let mean_makespan = |mtbf_years: f64| {
+        let platform = Platform::with_mtbf(16, units::years(mtbf_years));
+        (0..8u64)
+            .map(|seed| {
+                let mut calc = TimeCalc::new(workload(), platform);
+                let cfg = EngineConfig::with_faults(seed, platform.proc_mtbf);
+                run(&mut calc, &NoEndRedistribution, &NoFaultRedistribution, &cfg)
+                    .unwrap()
+                    .makespan
+            })
+            .sum::<f64>()
+            / 8.0
+    };
+    let reliable = mean_makespan(50.0);
+    let hostile = mean_makespan(0.5);
+    assert!(
+        hostile > reliable,
+        "hostile {hostile} should exceed reliable {reliable}"
+    );
+}
+
+#[test]
+fn two_tasks_converge_even_when_both_fail_repeatedly() {
+    let platform = Platform::with_mtbf(4, units::days(60.0));
+    let workload = Workload::new(
+        vec![TaskSpec::new(1.0e5), TaskSpec::new(1.0e5)],
+        Arc::new(PaperModel::default()),
+    );
+    let mut calc = TimeCalc::new(workload, platform);
+    let cfg = EngineConfig::with_faults(2, platform.proc_mtbf);
+    let out = run(&mut calc, &EndLocal, &ShortestTasksFirst, &cfg).unwrap();
+    assert!(out.makespan.is_finite());
+    assert!(out.handled_faults > 2);
+}

@@ -1,0 +1,164 @@
+//! Integration tests asserting the paper's qualitative findings (§6.2) at
+//! reduced scale, with fixed seeds. These are the "shape" checks of the
+//! reproduction: who wins, in which regime, and in which direction the
+//! knobs move the curves.
+
+use redistrib::experiments::runner::{run_point, PointConfig, Variant};
+use redistrib::experiments::workload::WorkloadParams;
+use redistrib::prelude::*;
+
+fn point(n: usize, p: u32, mtbf_years: f64, seed: u64) -> PointConfig {
+    let mut workload = WorkloadParams::paper_default(n);
+    // Mid-size tasks keep runtimes short while leaving room for failures.
+    workload.m_inf = 2.0e5;
+    workload.m_sup = 5.0e5;
+    PointConfig { workload, p, mtbf_years, downtime: 60.0, runs: 10, base_seed: seed }
+}
+
+/// Fig. 5/6 claim: in a fault-free context, redistribution at task ends
+/// only helps, and more at small p than at large p.
+#[test]
+fn fault_free_gain_shrinks_with_p() {
+    let variants = [
+        Variant::FaultFree(Heuristic::EndGreedyOnly),
+        Variant::FaultFree(Heuristic::EndLocalOnly),
+    ];
+    let small = run_point(&point(16, 40, 100.0, 5), Variant::FaultFreeNoRc, &variants).unwrap();
+    let large = run_point(&point(16, 400, 100.0, 5), Variant::FaultFreeNoRc, &variants).unwrap();
+    for s in &small {
+        assert!(s.mean_ratio < 0.97, "visible gain at small p: {}", s.mean_ratio);
+    }
+    for (s, l) in small.iter().zip(&large) {
+        assert!(l.mean_ratio <= 1.0 + 1e-9);
+        assert!(
+            l.mean_ratio > s.mean_ratio,
+            "gain should shrink with p: small {} vs large {}",
+            s.mean_ratio,
+            l.mean_ratio
+        );
+    }
+}
+
+/// Figs. 7–8 claim: in a fault context, all four heuristic combinations
+/// beat the no-redistribution baseline on average.
+#[test]
+fn all_heuristics_beat_baseline() {
+    let variants: Vec<Variant> =
+        Heuristic::FAULT_COMBINATIONS.iter().map(|&h| Variant::Fault(h)).collect();
+    let stats = run_point(&point(20, 200, 5.0, 42), Variant::FaultNoRc, &variants).unwrap();
+    for s in &stats {
+        assert!(
+            s.mean_ratio < 1.0,
+            "{} should beat the baseline, got {}",
+            s.variant.label(),
+            s.mean_ratio
+        );
+    }
+}
+
+/// Figs. 7–8 claim: the fault-free reference with redistribution is the
+/// floor of every fault-context curve.
+#[test]
+fn fault_free_reference_is_floor() {
+    let mut variants: Vec<Variant> =
+        Heuristic::FAULT_COMBINATIONS.iter().map(|&h| Variant::Fault(h)).collect();
+    variants.push(Variant::FaultFree(Heuristic::EndLocalOnly));
+    let stats = run_point(&point(20, 200, 5.0, 42), Variant::FaultNoRc, &variants).unwrap();
+    let floor = stats.last().unwrap().mean_ratio;
+    for s in &stats[..stats.len() - 1] {
+        assert!(
+            s.mean_ratio >= floor - 0.02,
+            "{} ({}) dips below the fault-free reference ({floor})",
+            s.variant.label(),
+            s.mean_ratio
+        );
+    }
+}
+
+/// Figs. 10–11 claim: the winner flips with reliability — IteratedGreedy
+/// leads at high MTBF, ShortestTasksFirst at very low MTBF.
+#[test]
+fn mtbf_crossover_between_ig_and_stf() {
+    let variants = [
+        Variant::Fault(Heuristic::IteratedGreedyEndLocal),
+        Variant::Fault(Heuristic::ShortestTasksFirstEndLocal),
+    ];
+    let hostile = run_point(&point(20, 200, 1.0, 99), Variant::FaultNoRc, &variants).unwrap();
+    assert!(
+        hostile[1].mean_ratio < hostile[0].mean_ratio,
+        "STF should win at 1-year MTBF: IG {} vs STF {}",
+        hostile[0].mean_ratio,
+        hostile[1].mean_ratio
+    );
+    let reliable = run_point(&point(20, 200, 10.0, 99), Variant::FaultNoRc, &variants).unwrap();
+    assert!(
+        reliable[0].mean_ratio < reliable[1].mean_ratio,
+        "IG should win at 10-year MTBF: IG {} vs STF {}",
+        reliable[0].mean_ratio,
+        reliable[1].mean_ratio
+    );
+}
+
+/// Fig. 12 claim: cheaper checkpoints close the gap between the fault
+/// context and the fault-free reference.
+#[test]
+fn cheap_checkpoints_close_the_gap() {
+    let gap_at = |ckpt_unit: f64| {
+        let mut cfg = point(16, 160, 2.0, 17);
+        cfg.workload.ckpt_unit = ckpt_unit;
+        let stats = run_point(
+            &cfg,
+            Variant::FaultNoRc,
+            &[
+                Variant::Fault(Heuristic::IteratedGreedyEndLocal),
+                Variant::FaultFree(Heuristic::EndLocalOnly),
+            ],
+        )
+        .unwrap();
+        stats[0].mean_ratio - stats[1].mean_ratio
+    };
+    let expensive = gap_at(1.0);
+    let cheap = gap_at(0.01);
+    assert!(
+        cheap < expensive,
+        "cheap checkpoints should narrow the gap: {cheap} vs {expensive}"
+    );
+}
+
+/// Fig. 14 claim: redistribution helps parallel tasks more than sequential
+/// ones.
+#[test]
+fn sequential_fraction_erases_gains() {
+    let ratio_at = |f: f64| {
+        let mut cfg = point(16, 160, 5.0, 23);
+        cfg.workload.seq_fraction = f;
+        let stats = run_point(
+            &cfg,
+            Variant::FaultNoRc,
+            &[Variant::Fault(Heuristic::IteratedGreedyEndLocal)],
+        )
+        .unwrap();
+        stats[0].mean_ratio
+    };
+    let parallel = ratio_at(0.0);
+    let sequential = ratio_at(0.5);
+    assert!(
+        parallel < sequential,
+        "gain should be larger for parallel tasks: f=0 ⇒ {parallel}, f=0.5 ⇒ {sequential}"
+    );
+}
+
+/// §6.2 note: per-task fault exposure grows with allocation size, so more
+/// processors for the same pack means more handled faults.
+#[test]
+fn fault_count_grows_with_p() {
+    let faults_at = |p: u32| {
+        let stats =
+            run_point(&point(16, p, 2.0, 31), Variant::FaultNoRc, &[Variant::FaultNoRc])
+                .unwrap();
+        stats[0].mean_faults
+    };
+    let few = faults_at(40);
+    let many = faults_at(320);
+    assert!(many > few, "more processors ⇒ more faults: {few} vs {many}");
+}

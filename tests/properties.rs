@@ -1,0 +1,194 @@
+//! Cross-crate property-based tests (proptest): model invariants, algorithm
+//! optimality, engine determinism — over randomized workloads, platforms
+//! and seeds.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use redistrib::core::exact::optimal_no_redistribution;
+use redistrib::graph::{color_bipartite, is_proper, transfer_graph};
+use redistrib::prelude::*;
+use redistrib::sim::units;
+
+fn workload_strategy(n: usize) -> impl Strategy<Value = Workload> {
+    prop::collection::vec(1.0e5..1.0e6f64, n).prop_map(|sizes| {
+        Workload::new(
+            sizes.into_iter().map(TaskSpec::new).collect(),
+            Arc::new(PaperModel::default()),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Eq. 10 assumptions hold for random sizes: time non-increasing in q,
+    /// work non-decreasing. From q = 1 this requires f ≤ 0.5 (the
+    /// communication term only exists for q ≥ 2), which is exactly the
+    /// paper's sweep range (Fig. 14: 0 ≤ f ≤ 0.5).
+    #[test]
+    fn speedup_model_assumptions(m in 1.0e3..1.0e7f64, f in 0.0..=0.5f64) {
+        let model = PaperModel::new(f);
+        let mut last_t = f64::INFINITY;
+        let mut last_w = 0.0;
+        for q in 1..=64u32 {
+            let t = model.time(m, q);
+            let w = f64::from(q) * t;
+            prop_assert!(t <= last_t * (1.0 + 1e-12));
+            prop_assert!(w >= last_w * (1.0 - 1e-12));
+            last_t = t;
+            last_w = w;
+        }
+    }
+
+    /// For the even allocations the buddy protocol actually uses (q ≥ 2),
+    /// Eq. 10 is monotone for *any* sequential fraction.
+    #[test]
+    fn speedup_model_monotone_from_two(m in 1.0e3..1.0e7f64, f in 0.0..=1.0f64) {
+        let model = PaperModel::new(f);
+        let mut last_t = model.time(m, 2);
+        for q in (4..=128u32).step_by(2) {
+            let t = model.time(m, q);
+            prop_assert!(t <= last_t * (1.0 + 1e-12));
+            last_t = t;
+        }
+    }
+
+    /// Expected time t^R is monotone in α and always exceeds the fault-free
+    /// work time.
+    #[test]
+    fn expected_time_monotone_and_bounded(
+        m in 1.0e5..1.0e6f64,
+        j in 1..64u32,
+        mtbf_years in 1.0..200.0f64,
+    ) {
+        let w = Workload::new(vec![TaskSpec::new(m)], Arc::new(PaperModel::default()));
+        let platform = Platform::with_mtbf(128, units::years(mtbf_years));
+        let mut calc = TimeCalc::new(w, platform);
+        let j = 2 * j; // even
+        let mut last = 0.0;
+        for k in 1..=10 {
+            let alpha = f64::from(k) / 10.0;
+            let tr = calc.remaining(0, j, alpha);
+            prop_assert!(tr > last, "t^R not increasing at α = {alpha}");
+            prop_assert!(tr >= alpha * calc.fault_free_time(0, j));
+            last = tr;
+        }
+    }
+
+    /// Transfer graphs are always Δ-edge-colorable (König) and the closed
+    /// form matches the constructive coloring.
+    #[test]
+    fn transfer_graph_coloring(j in 1..40u32, k in 1..40u32) {
+        let g = transfer_graph(j, k);
+        let coloring = color_bipartite(&g);
+        prop_assert!(is_proper(&g, &coloring));
+        prop_assert_eq!(coloring.num_colors, g.max_degree());
+        prop_assert_eq!(
+            redistrib::graph::rounds_closed_form(j, k) as usize,
+            coloring.num_colors
+        );
+    }
+
+    /// Algorithm 1 allocations are valid and match the brute-force optimum.
+    #[test]
+    fn algorithm1_is_optimal(
+        sizes in prop::collection::vec(1.0e5..1.0e6f64, 2..4usize),
+        extra_pairs in 0..6u32,
+    ) {
+        let n = sizes.len();
+        let p = 2 * n as u32 + 2 * extra_pairs;
+        let w = Workload::new(
+            sizes.into_iter().map(TaskSpec::new).collect(),
+            Arc::new(PaperModel::default()),
+        );
+        let platform = Platform::with_mtbf(p, units::years(100.0));
+        let mut calc = TimeCalc::new(w, platform);
+        let sigma = optimal_schedule(&mut calc, p).unwrap();
+        prop_assert!(sigma.iter().all(|&s| s >= 2 && s % 2 == 0));
+        prop_assert!(sigma.iter().sum::<u32>() <= p);
+        let greedy_mk = sigma
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| calc.remaining(i, s, 1.0))
+            .fold(0.0, f64::max);
+        let (_, exact_mk) = optimal_no_redistribution(&mut calc, p).unwrap();
+        prop_assert!((greedy_mk - exact_mk).abs() / exact_mk < 1e-9,
+            "greedy {} vs exact {}", greedy_mk, exact_mk);
+    }
+
+    /// In a fault-free context, redistribution (local or greedy) never
+    /// increases the makespan.
+    #[test]
+    fn fault_free_redistribution_never_hurts(
+        w in workload_strategy(6),
+        extra_pairs in 0..20u32,
+    ) {
+        let p = 12 + 2 * extra_pairs;
+        let platform = Platform::new(p);
+        let cfg = EngineConfig::fault_free();
+        let mut base = TimeCalc::fault_free(w.clone(), platform);
+        let without = run(&mut base, &NoEndRedistribution, &NoFaultRedistribution, &cfg)
+            .unwrap();
+        for h in [Heuristic::EndLocalOnly, Heuristic::EndGreedyOnly] {
+            let mut calc = TimeCalc::fault_free(w.clone(), platform);
+            let with =
+                run(&mut calc, &*h.end_policy(), &*h.fault_policy(), &cfg).unwrap();
+            prop_assert!(
+                with.makespan <= without.makespan * (1.0 + 1e-9),
+                "{}: {} vs {}", h.name(), with.makespan, without.makespan
+            );
+        }
+    }
+
+    /// The engine is deterministic: same seed, same policy ⇒ identical
+    /// outcome, whatever the configuration.
+    #[test]
+    fn engine_deterministic(seed in any::<u64>(), mtbf_years in 0.5..20.0f64) {
+        let platform = Platform::with_mtbf(24, units::years(mtbf_years));
+        let cfg = EngineConfig::with_faults(seed, platform.proc_mtbf);
+        let h = Heuristic::IteratedGreedyEndLocal;
+        let make = || {
+            let w = Workload::new(
+                vec![TaskSpec::new(2.0e5), TaskSpec::new(3.0e5), TaskSpec::new(2.5e5)],
+                Arc::new(PaperModel::default()),
+            );
+            TimeCalc::new(w, platform)
+        };
+        let a = run(&mut make(), &*h.end_policy(), &*h.fault_policy(), &cfg).unwrap();
+        let b = run(&mut make(), &*h.end_policy(), &*h.fault_policy(), &cfg).unwrap();
+        prop_assert_eq!(a.makespan, b.makespan);
+        prop_assert_eq!(a.handled_faults, b.handled_faults);
+        prop_assert_eq!(a.redistributions, b.redistributions);
+    }
+
+    /// Fault traces are policy-independent: the k-th fault of processor x
+    /// has the same date whatever happens elsewhere.
+    #[test]
+    fn fault_streams_policy_independent(seed in any::<u64>(), procs in 1..32u32) {
+        let law = FaultLaw::Exponential { mtbf: units::years(5.0) };
+        let mut merged = FaultSource::new(seed, procs, law);
+        let mut isolated: Vec<_> =
+            (0..procs).map(|k| redistrib::sim::FaultStream::new(seed, k, law)).collect();
+        for _ in 0..64 {
+            let f = merged.next_fault().unwrap();
+            let expected = isolated[f.proc as usize].advance();
+            prop_assert_eq!(f.time, expected);
+        }
+    }
+
+    /// Redistribution cost is positive for any actual move, zero otherwise,
+    /// and scales linearly in the data size.
+    #[test]
+    fn rc_cost_properties(j in 1..64u32, k in 1..64u32, m in 1.0..1e7f64) {
+        let cost = redistrib::graph::redistribution_cost(j, k, m);
+        if j == k {
+            prop_assert_eq!(cost, 0.0);
+        } else {
+            prop_assert!(cost > 0.0);
+            let double = redistrib::graph::redistribution_cost(j, k, 2.0 * m);
+            prop_assert!((double - 2.0 * cost).abs() <= 1e-9 * double.abs());
+        }
+    }
+}
