@@ -28,7 +28,8 @@ fn bench_expected_time_eval(c: &mut Criterion) {
     let workload = paper_workload(1, 3);
     let platform = paper_platform(1000);
     let t_ff = workload.fault_free_time(0, 10);
-    let params = AllocParams::compute(&workload.tasks[0], &platform, t_ff, 10, PeriodRule::Young);
+    let params =
+        AllocParams::compute(&workload.tasks[0], &platform, t_ff, 10, PeriodRule::Young);
     c.bench_function("expected_time_eval", |b| {
         let mut alpha = 0.0;
         b.iter(|| {

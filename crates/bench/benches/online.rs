@@ -1,0 +1,69 @@
+//! Online co-scheduling runs: wall time of one arrival-heavy scenario per
+//! strategy. This is the unit of work behind every online-campaign point.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+use redistrib_core::Heuristic;
+use redistrib_model::{JobSpec, PaperModel, Platform};
+use redistrib_online::{
+    generate_jobs, run_online, JobSizeModel, OnlineConfig, OnlineStrategy, PoissonArrivals,
+};
+use redistrib_sim::units;
+
+fn job_stream(n: usize, mean_interarrival: f64, seed: u64) -> Vec<JobSpec> {
+    let mut arrivals = PoissonArrivals::new(seed, mean_interarrival);
+    generate_jobs(&mut arrivals, n, &JobSizeModel::paper_default(), seed)
+}
+
+fn bench_online_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("online");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(5));
+    // Arrival-heavy: 150 jobs pour in every ~1 000 s onto 64 processors with
+    // a 10-year per-processor MTBF, so arrivals, completions and faults all
+    // interleave densely.
+    let jobs = job_stream(150, 1_000.0, 5);
+    let platform = Platform::with_mtbf(64, units::years(10.0));
+    for (name, strategy) in [
+        ("no-resize", OnlineStrategy::no_resize()),
+        ("IG-EL", OnlineStrategy::resizing(Heuristic::IteratedGreedyEndLocal)),
+        ("STF-EL", OnlineStrategy::resizing(Heuristic::ShortestTasksFirstEndLocal)),
+        ("IG-EG", OnlineStrategy::resizing(Heuristic::IteratedGreedyEndGreedy)),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n150_p64_{name}")),
+            &strategy,
+            |b, strategy| {
+                b.iter(|| {
+                    let out = run_online(
+                        &jobs,
+                        Arc::new(PaperModel::default()),
+                        platform,
+                        strategy,
+                        &OnlineConfig::with_faults(9, platform.proc_mtbf),
+                    )
+                    .unwrap();
+                    black_box(out.metrics.mean_stretch)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_arrival_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("online_arrivals");
+    group.sample_size(20);
+    for n in [1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("n{n}")), &n, |b, &n| {
+            b.iter(|| black_box(job_stream(n, 500.0, 3).len()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_online_runs, bench_arrival_generation);
+criterion_main!(benches);

@@ -13,9 +13,7 @@ use redistrib_sim::units;
 #[must_use]
 pub fn paper_workload(n: usize, seed: u64) -> Workload {
     let mut rng = Xoshiro256::seed_from_u64(seed);
-    let tasks = (0..n)
-        .map(|_| TaskSpec::new(rng.uniform(1.5e6, 2.5e6)))
-        .collect();
+    let tasks = (0..n).map(|_| TaskSpec::new(rng.uniform(1.5e6, 2.5e6))).collect();
     Workload::new(tasks, Arc::new(PaperModel::default()))
 }
 

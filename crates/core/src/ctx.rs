@@ -68,9 +68,7 @@ impl HeuristicCtx<'_> {
             elapsed >= -1e-9,
             "task {i} is mid-redistribution (anchor in the future)"
         );
-        let progress = self
-            .calc
-            .progress_nonfaulty(i, self.state.sigma(i), elapsed.max(0.0));
+        let progress = self.calc.progress_nonfaulty(i, self.state.sigma(i), elapsed.max(0.0));
         (rt.alpha - progress).max(0.0)
     }
 
@@ -132,11 +130,8 @@ impl HeuristicCtx<'_> {
 
     fn apply_bookkeeping(&mut self, plan: &Plan) {
         let rc = self.calc.rc_cost(plan.task, plan.sigma_init, plan.sigma_new);
-        let overhead = if plan.faulty {
-            self.fault_overhead(plan.task, plan.sigma_init)
-        } else {
-            0.0
-        };
+        let overhead =
+            if plan.faulty { self.fault_overhead(plan.task, plan.sigma_init) } else { 0.0 };
         let ckpt = self.calc.checkpoint_cost(plan.task, plan.sigma_new);
         let anchor = self.now + overhead + rc + ckpt;
         let remaining = self.calc.remaining(plan.task, plan.sigma_new, plan.alpha_t);
@@ -164,11 +159,7 @@ mod tests {
 
     fn fixture() -> (TimeCalc, PackState) {
         let workload = Workload::new(
-            vec![
-                TaskSpec::new(2.0e6),
-                TaskSpec::new(1.6e6),
-                TaskSpec::new(1.8e6),
-            ],
+            vec![TaskSpec::new(2.0e6), TaskSpec::new(1.6e6), TaskSpec::new(1.8e6)],
             Arc::new(PaperModel::default()),
         );
         let platform = Platform::with_mtbf(20, units::years(100.0));

@@ -242,9 +242,8 @@ pub fn run(
             // Invoke the fault policy only if the faulty task is now the
             // longest (Algorithm 2 line 30).
             let tu_f = state.runtime(f).t_u;
-            let is_longest = state
-                .active_tasks()
-                .all(|i| i == f || state.runtime(i).t_u <= tu_f);
+            let is_longest =
+                state.active_tasks().all(|i| i == f || state.runtime(i).t_u <= tu_f);
             if is_longest {
                 let eligible: Vec<TaskId> = state
                     .active_tasks()
@@ -357,13 +356,9 @@ mod tests {
             )
             .unwrap();
             let mut with = TimeCalc::fault_free(workload(n, 3), Platform::new(40));
-            let with_rc = run(
-                &mut with,
-                &EndLocal,
-                &NoFaultRedistribution,
-                &EngineConfig::fault_free(),
-            )
-            .unwrap();
+            let with_rc =
+                run(&mut with, &EndLocal, &NoFaultRedistribution, &EngineConfig::fault_free())
+                    .unwrap();
             assert!(
                 with_rc.makespan <= without.makespan * (1.0 + 1e-9),
                 "n={n}: RC {} vs no-RC {}",
@@ -410,10 +405,9 @@ mod tests {
 
     #[test]
     fn deterministic_replay() {
-        for heuristic in [
-            Heuristic::IteratedGreedyEndLocal,
-            Heuristic::ShortestTasksFirstEndLocal,
-        ] {
+        for heuristic in
+            [Heuristic::IteratedGreedyEndLocal, Heuristic::ShortestTasksFirstEndLocal]
+        {
             let cfg = EngineConfig::with_faults(42, units::years(5.0));
             let mut c1 = fault_calc(6, 24, 5.0);
             let o1 = run(&mut c1, &*heuristic.end_policy(), &*heuristic.fault_policy(), &cfg)
@@ -509,8 +503,8 @@ mod tests {
     fn event_limit_guard() {
         let mut calc = fault_calc(3, 12, 100.0);
         let cfg = EngineConfig { max_events: 2, ..EngineConfig::fault_free() };
-        let err = run(&mut calc, &NoEndRedistribution, &NoFaultRedistribution, &cfg)
-            .unwrap_err();
+        let err =
+            run(&mut calc, &NoEndRedistribution, &NoFaultRedistribution, &cfg).unwrap_err();
         assert_eq!(err, ScheduleError::EventLimitExceeded { limit: 2 });
     }
 }

@@ -35,7 +35,10 @@ pub fn optimal_no_redistribution(
     let n = calc.num_tasks();
     assert!(n <= 8, "exhaustive search limited to 8 tasks, got {n}");
     if p < 2 * n as u32 {
-        return Err(ScheduleError::InsufficientProcessors { needed: 2 * n as u32, available: p });
+        return Err(ScheduleError::InsufficientProcessors {
+            needed: 2 * n as u32,
+            available: p,
+        });
     }
 
     let mut sigma = vec![2u32; n];
@@ -112,7 +115,10 @@ pub fn optimal_with_end_redistribution(
     let n = calc.num_tasks();
     assert!(n <= 3 && p <= 16, "exhaustive redistribution search limited to n ≤ 3, p ≤ 16");
     if p < 2 * n as u32 {
-        return Err(ScheduleError::InsufficientProcessors { needed: 2 * n as u32, available: p });
+        return Err(ScheduleError::InsufficientProcessors {
+            needed: 2 * n as u32,
+            available: p,
+        });
     }
 
     // Enumerate initial allocations; for each, simulate recursively.
@@ -122,10 +128,8 @@ pub fn optimal_with_end_redistribution(
     enumerate_even_allocations(n, p, &mut vec![2u32; n], 0, &mut allocations);
     for alloc in &allocations {
         // State per task: (alpha, sigma, anchor_time).
-        let state: Vec<TaskState> = alloc
-            .iter()
-            .map(|&s| TaskState { alpha: 1.0, sigma: s, anchor: 0.0 })
-            .collect();
+        let state: Vec<TaskState> =
+            alloc.iter().map(|&s| TaskState { alpha: 1.0, sigma: s, anchor: 0.0 }).collect();
         let mk = best_completion(calc, p, state, 0.0, with_costs, best);
         if mk < best {
             best = mk;
@@ -176,7 +180,8 @@ fn best_completion(
 
     // Task `first` completes at t_first; its processors free up. Enumerate
     // all even top-ups of the remaining tasks.
-    let remaining: Vec<usize> = finish.iter().map(|&(i, _)| i).filter(|&i| i != first).collect();
+    let remaining: Vec<usize> =
+        finish.iter().map(|&(i, _)| i).filter(|&i| i != first).collect();
     let used: u32 = remaining.iter().map(|&i| state[i].sigma).sum();
     let free = p - used;
 
@@ -197,8 +202,7 @@ fn best_completion(
                 (s.anchor, s.alpha) // untouched: keeps running
             } else {
                 let cost = if with_costs {
-                    calc.rc_cost(i, s.sigma, new_sigma)
-                        + calc.checkpoint_cost(i, new_sigma)
+                    calc.rc_cost(i, s.sigma, new_sigma) + calc.checkpoint_cost(i, new_sigma)
                 } else {
                     0.0
                 };
@@ -305,11 +309,8 @@ mod tests {
         let p = 14;
         let mut c = calc(&sizes, p, true);
         let sigma = optimal_schedule(&mut c, p).unwrap();
-        let greedy_mk = sigma
-            .iter()
-            .enumerate()
-            .map(|(i, &s)| c.remaining(i, s, 1.0))
-            .fold(0.0, f64::max);
+        let greedy_mk =
+            sigma.iter().enumerate().map(|(i, &s)| c.remaining(i, s, 1.0)).fold(0.0, f64::max);
         let (_, exact_mk) = optimal_no_redistribution(&mut c, p).unwrap();
         assert!((greedy_mk - exact_mk).abs() / exact_mk < 1e-9);
     }

@@ -55,11 +55,7 @@ impl LazyMaxHeap {
     #[must_use]
     pub fn new(values: &[f64]) -> Self {
         assert!(values.iter().all(|v| v.is_finite()), "values must be finite");
-        let heap = values
-            .iter()
-            .enumerate()
-            .map(|(idx, &val)| Entry { val, idx })
-            .collect();
+        let heap = values.iter().enumerate().map(|(idx, &val)| Entry { val, idx }).collect();
         Self { heap, current: values.to_vec() }
     }
 

@@ -179,12 +179,7 @@ pub fn makespan_for_partition(inst: &ThreePartition, partition: &[[usize; 3]]) -
         }
         // The large task starts on 1 processor and gains one per completion.
         let large = GadgetTask::Large { work };
-        let phases = [
-            (0.0, 1u32),
-            (ends[0], 2),
-            (ends[1], 3),
-            (ends[2], 4),
-        ];
+        let phases = [(0.0, 1u32), (ends[0], 2), (ends[1], 3), (ends[2], 4)];
         makespan = makespan.max(malleable_finish(&large, &phases));
     }
     makespan

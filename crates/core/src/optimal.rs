@@ -128,10 +128,7 @@ mod tests {
     fn larger_tasks_get_more_processors() {
         let mut calc = fault_calc(&[2.5e6, 1.5e6], 40);
         let sigma = optimal_schedule(&mut calc, 40).unwrap();
-        assert!(
-            sigma[0] >= sigma[1],
-            "bigger task should not get fewer procs: {sigma:?}"
-        );
+        assert!(sigma[0] >= sigma[1], "bigger task should not get fewer procs: {sigma:?}");
     }
 
     #[test]

@@ -171,10 +171,8 @@ mod tests {
     ) -> u64 {
         let mut trace = TraceLog::disabled();
         let mut count = 0;
-        let eligible: Vec<usize> = state
-            .active_tasks()
-            .filter(|&i| Some(i) != faulty)
-            .collect();
+        let eligible: Vec<usize> =
+            state.active_tasks().filter(|&i| Some(i) != faulty).collect();
         let mut ctx = HeuristicCtx {
             calc,
             state,

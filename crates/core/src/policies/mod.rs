@@ -129,8 +129,9 @@ impl Heuristic {
             Heuristic::IteratedGreedyEndGreedy | Heuristic::IteratedGreedyEndLocal => {
                 Box::new(IteratedGreedy)
             }
-            Heuristic::ShortestTasksFirstEndGreedy
-            | Heuristic::ShortestTasksFirstEndLocal => Box::new(ShortestTasksFirst),
+            Heuristic::ShortestTasksFirstEndGreedy | Heuristic::ShortestTasksFirstEndLocal => {
+                Box::new(ShortestTasksFirst)
+            }
         }
     }
 }
@@ -142,10 +143,7 @@ mod tests {
     #[test]
     fn names_match_paper_legends() {
         assert_eq!(Heuristic::IteratedGreedyEndGreedy.name(), "IteratedGreedy-EndGreedy");
-        assert_eq!(
-            Heuristic::ShortestTasksFirstEndLocal.name(),
-            "ShortestTasksFirst-EndLocal"
-        );
+        assert_eq!(Heuristic::ShortestTasksFirstEndLocal.name(), "ShortestTasksFirst-EndLocal");
     }
 
     #[test]

@@ -60,8 +60,7 @@ impl FaultPolicy for ShortestTasksFirst {
             let mut granted = None;
             let mut q = 2;
             while q <= k {
-                let te =
-                    ctx.candidate_finish(faulty, sigma_init_f, sigma_f + q, alpha_f, true);
+                let te = ctx.candidate_finish(faulty, sigma_init_f, sigma_f + q, alpha_f, true);
                 if te < tu_f {
                     granted = Some(q);
                     break;

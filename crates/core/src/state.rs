@@ -77,6 +77,18 @@ impl PackState {
         }
     }
 
+    /// Creates the state for `p` processors and `n` tasks that own *no*
+    /// processors yet.
+    ///
+    /// This is the entry state of the online co-scheduler: jobs exist in the
+    /// bookkeeping from the start but are only granted processors when the
+    /// admission layer starts them ([`PackState::grow`]). An unallocated
+    /// task must be kept out of the policies' `eligible` sets until started.
+    #[must_use]
+    pub fn unallocated(p: u32, n: usize) -> Self {
+        Self::new(p, &vec![0; n])
+    }
+
     /// Number of tasks.
     #[must_use]
     pub fn num_tasks(&self) -> usize {
@@ -116,6 +128,12 @@ impl PackState {
     #[must_use]
     pub fn free_count(&self) -> u32 {
         self.free.len() as u32
+    }
+
+    /// Number of processors currently owned by tasks (`p − free`).
+    #[must_use]
+    pub fn used_count(&self) -> u32 {
+        self.num_procs() - self.free_count()
     }
 
     /// Grows task `i` by `by` processors, taking the lowest free ids.
@@ -178,11 +196,7 @@ impl PackState {
 
     /// Iterates over the ids of tasks still running.
     pub fn active_tasks(&self) -> impl Iterator<Item = TaskId> + '_ {
-        self.runtimes
-            .iter()
-            .enumerate()
-            .filter(|(_, r)| !r.done)
-            .map(|(i, _)| i)
+        self.runtimes.iter().enumerate().filter(|(_, r)| !r.done).map(|(i, _)| i)
     }
 
     /// Number of tasks still running.
@@ -232,10 +246,7 @@ impl PackState {
     /// (Fig. 9b).
     #[must_use]
     pub fn alloc_stddev(&self) -> f64 {
-        let sizes: Vec<f64> = self
-            .active_tasks()
-            .map(|i| f64::from(self.sigma(i)))
-            .collect();
+        let sizes: Vec<f64> = self.active_tasks().map(|i| f64::from(self.sigma(i))).collect();
         stddev_population(&sizes)
     }
 
@@ -400,6 +411,24 @@ mod tests {
         assert!((s.alloc_stddev() - expected).abs() < 1e-12);
         s.complete(1, 1.0);
         assert_eq!(s.alloc_stddev(), 0.0);
+    }
+
+    #[test]
+    fn unallocated_state_starts_empty() {
+        let mut s = PackState::unallocated(8, 3);
+        assert_eq!(s.num_tasks(), 3);
+        assert_eq!(s.free_count(), 8);
+        assert_eq!(s.used_count(), 0);
+        for i in 0..3 {
+            assert_eq!(s.sigma(i), 0);
+            assert!(!s.runtime(i).done);
+        }
+        assert!(s.check_invariants());
+        // Tasks can be started later by growing from zero.
+        s.grow(1, 4);
+        assert_eq!(s.sigma(1), 4);
+        assert_eq!(s.used_count(), 4);
+        assert!(s.check_invariants());
     }
 
     #[test]

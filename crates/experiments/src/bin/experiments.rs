@@ -14,6 +14,7 @@ use std::process::ExitCode;
 
 use redistrib_experiments::extensions;
 use redistrib_experiments::figures::{run_figure, FigOpts, FigureReport, ALL_FIGURES};
+use redistrib_experiments::online;
 use redistrib_experiments::params::table1;
 use redistrib_experiments::plot::{render, PlotSize};
 use redistrib_experiments::table::Table;
@@ -63,7 +64,7 @@ fn parse_args() -> Result<Args, String> {
 fn usage() -> String {
     format!(
         "usage: experiments <target…> [--quick] [--plot] [--runs N] [--seed S] [--out DIR]\n\
-         targets: table1, all, {}, validation, ablation, gap, profiles, silent",
+         targets: table1, all, {}, validation, ablation, gap, profiles, silent, online",
         ALL_FIGURES.join(", ")
     )
 }
@@ -129,6 +130,9 @@ fn main() -> ExitCode {
                 if args.opts.quick { 100 } else { 1000 },
                 args.opts.seed,
             ))),
+            "online" => {
+                Some(online::campaign_table(args.opts.quick, args.opts.runs, args.opts.seed))
+            }
             _ => None,
         };
         if let Some(result) = extension {

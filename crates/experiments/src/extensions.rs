@@ -207,7 +207,8 @@ pub fn gap_table(instances: usize, seed: u64) -> Result<Table, ScheduleError> {
         let exact = optimal_with_end_redistribution(&mut calc, p, true)?;
 
         let mut row = vec![format!("#{k}"), fmt_num(exact.makespan)];
-        for h in [Heuristic::EndLocalOnly, Heuristic::EndGreedyOnly, Heuristic::NoRedistribution]
+        for h in
+            [Heuristic::EndLocalOnly, Heuristic::EndGreedyOnly, Heuristic::NoRedistribution]
         {
             let mut calc = TimeCalc::fault_free(workload.clone(), platform);
             let out = run(
@@ -222,7 +223,6 @@ pub fn gap_table(instances: usize, seed: u64) -> Result<Table, ScheduleError> {
     }
     Ok(table)
 }
-
 
 /// Silent-error study (§7 future work): expected-time inflation and
 /// threshold shift for one task across silent-error rates, with Monte-Carlo
@@ -246,11 +246,8 @@ pub fn silent_table(runs: u32, seed: u64) -> Table {
     let params_for = |j: u32, silent_mtbf_years: f64| -> SilentParams {
         let t_ff = model.time(task.size, j);
         let base = AllocParams::compute(&task, &platform, t_ff, j, PeriodRule::Young);
-        let lam = if silent_mtbf_years == 0.0 {
-            0.0
-        } else {
-            1.0 / units::years(silent_mtbf_years)
-        };
+        let lam =
+            if silent_mtbf_years == 0.0 { 0.0 } else { 1.0 / units::years(silent_mtbf_years) };
         SilentParams::new(base, &SilentConfig::new(lam, 0.05), task.size, j, platform.downtime)
     };
     let best = |silent_mtbf_years: f64| -> (u32, f64) {
@@ -273,7 +270,11 @@ pub fn silent_table(runs: u32, seed: u64) -> Table {
             100.0 * validate_silent(&params_for(j, silent_mtbf), 1.0, runs, seed).relative_error
         };
         table.push_row(vec![
-            if silent_mtbf == 0.0 { "∞ (fail-stop only)".into() } else { fmt_num(silent_mtbf) },
+            if silent_mtbf == 0.0 {
+                "∞ (fail-stop only)".into()
+            } else {
+                fmt_num(silent_mtbf)
+            },
             j.to_string(),
             fmt_num(t),
             fmt_ratio(t / baseline_t),

@@ -23,11 +23,8 @@ use super::{FigOpts, FigureReport};
 /// # Errors
 /// Propagates engine errors.
 pub fn run(opts: &FigOpts) -> Result<FigureReport, ScheduleError> {
-    let (n, p, mtbf_years, m_scale) = if opts.quick {
-        (12usize, 60u32, 1.0, 0.1)
-    } else {
-        (100usize, 1000u32, 50.0, 1.0)
-    };
+    let (n, p, mtbf_years, m_scale) =
+        if opts.quick { (12usize, 60u32, 1.0, 0.1) } else { (100usize, 1000u32, 50.0, 1.0) };
     let mut wl = WorkloadParams::paper_default(n);
     wl.m_inf *= m_scale;
     wl.m_sup *= m_scale;
@@ -78,10 +75,7 @@ mod tests {
         assert!(!mk.rows.is_empty(), "need at least one handled fault");
         // All three series present.
         for label in ["No redistribution", "Iterated greedy", "Shortest tasks first"] {
-            assert!(
-                mk.rows.iter().any(|r| r[0] == label),
-                "missing series {label}"
-            );
+            assert!(mk.rows.iter().any(|r| r[0] == label), "missing series {label}");
         }
     }
 

@@ -46,7 +46,9 @@ pub fn run(opts: &FigOpts) -> Result<FigureReport, ScheduleError> {
         .collect();
 
     let table = sweep_table(
-        &format!("Figure 12 — impact of checkpointing cost (n = {n}, p = {p}, MTBF {mtbf_years} y)"),
+        &format!(
+            "Figure 12 — impact of checkpointing cost (n = {n}, p = {p}, MTBF {mtbf_years} y)"
+        ),
         "c (checkpoint cost per data unit)",
         &points,
         Variant::FaultNoRc,

@@ -20,7 +20,9 @@ pub fn run(opts: &FigOpts) -> Result<FigureReport, ScheduleError> {
     let mut tables = Vec::new();
     for (panel, &c) in ["a", "b", "c"].iter().zip(costs) {
         tables.push(mtbf_sweep(
-            &format!("Figure 13{panel} — MTBF sweep with checkpoint cost c = {c} (n = {n}, p = {p})"),
+            &format!(
+                "Figure 13{panel} — MTBF sweep with checkpoint cost c = {c} (n = {n}, p = {p})"
+            ),
             n,
             p,
             c,

@@ -139,9 +139,8 @@ pub fn run_figure(id: &str, opts: &FigOpts) -> Result<Option<FigureReport>, Sche
 }
 
 /// All figure ids, in paper order.
-pub const ALL_FIGURES: [&str; 10] = [
-    "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-];
+pub const ALL_FIGURES: [&str; 10] =
+    ["fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14"];
 
 #[cfg(test)]
 mod tests {

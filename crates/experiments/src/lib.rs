@@ -10,6 +10,8 @@
 //!   (paper-parameter) and a quick (shape-preserving) configuration;
 //! * [`extensions`] — beyond-the-paper experiments: Eq. 4 Monte-Carlo
 //!   validation, ambiguity ablations, optimality gaps, profile sweeps;
+//! * [`online`] — online co-scheduling campaigns: dynamic job arrivals with
+//!   malleable resizing, normalized per run by the no-resize baseline;
 //! * [`params`] — Table 1 (notation and defaults);
 //! * [`plot`] — ASCII line charts for the terminal;
 //! * [`table`] — markdown/CSV/gnuplot rendering.
@@ -26,6 +28,7 @@
 
 pub mod extensions;
 pub mod figures;
+pub mod online;
 pub mod params;
 pub mod plot;
 pub mod runner;
@@ -33,6 +36,7 @@ pub mod table;
 pub mod workload;
 
 pub use figures::{run_figure, FigOpts, FigureReport, ALL_FIGURES};
+pub use online::{run_online_point, OnlinePointConfig, OnlineVariantStats};
 pub use runner::{run_point, PointConfig, Variant, VariantStats};
 pub use table::Table;
 pub use workload::{generate, WorkloadParams};

@@ -1,0 +1,293 @@
+//! Online co-scheduling campaigns.
+//!
+//! Applies the §6.2 multi-run methodology to the *online* workload class:
+//! every configuration point is executed `runs` times (fresh job stream and
+//! fault trace per run, derived from the base seed exactly like the static
+//! runner); each strategy's mean stretch and makespan are normalized by the
+//! no-resize baseline *on the same arrival + fault trace*; normalized
+//! ratios are averaged across runs with 95 % confidence intervals.
+
+use redistrib_core::{Heuristic, ScheduleError};
+use redistrib_model::{JobSpec, PaperModel, Platform};
+use redistrib_online::{
+    generate_jobs, run_online, JobSizeModel, OnlineConfig, OnlineOutcome, OnlineStrategy,
+    PoissonArrivals,
+};
+use redistrib_sim::stats::Welford;
+use redistrib_sim::units;
+
+use crate::runner::{parallel_runs, run_seeds};
+use crate::table::{fmt_num, fmt_ratio, Table};
+
+/// One fully resolved online configuration point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlinePointConfig {
+    /// Number of jobs per run.
+    pub jobs: usize,
+    /// Mean inter-arrival time of the Poisson job stream (seconds).
+    pub mean_interarrival: f64,
+    /// Job-size distribution.
+    pub sizes: JobSizeModel,
+    /// Sequential fraction `f` of the Eq. 10 speedup profile.
+    pub seq_fraction: f64,
+    /// Platform size `p`.
+    pub p: u32,
+    /// Per-processor MTBF in years.
+    pub mtbf_years: f64,
+    /// Number of runs to average.
+    pub runs: usize,
+    /// Base seed; run `r` derives its job-stream and fault seeds from
+    /// `(base_seed, r)` (same derivation as the static runner).
+    pub base_seed: u64,
+}
+
+impl OnlinePointConfig {
+    /// Default campaign point: 40 jobs arriving every ~2 000 s on 64
+    /// processors with a 40-year MTBF, 20 runs.
+    #[must_use]
+    pub fn default_point() -> Self {
+        Self {
+            jobs: 40,
+            mean_interarrival: 2_000.0,
+            sizes: JobSizeModel::paper_default(),
+            seq_fraction: PaperModel::DEFAULT_SEQ_FRACTION,
+            p: 64,
+            mtbf_years: 40.0,
+            runs: 20,
+            base_seed: 0x0511_11E5,
+        }
+    }
+
+    fn platform(&self) -> Platform {
+        Platform::with_mtbf(self.p, units::years(self.mtbf_years))
+    }
+
+    fn job_stream(&self, seed: u64) -> Vec<JobSpec> {
+        let mut arrivals = PoissonArrivals::new(seed, self.mean_interarrival);
+        generate_jobs(&mut arrivals, self.jobs, &self.sizes, seed)
+    }
+}
+
+/// Aggregated statistics of one strategy at one online point.
+#[derive(Debug, Clone)]
+pub struct OnlineVariantStats {
+    /// Strategy display name.
+    pub name: String,
+    /// Mean of per-run `mean_stretch / baseline mean_stretch`.
+    pub stretch_ratio: f64,
+    /// 95 % CI half-width of the stretch ratio.
+    pub ci95: f64,
+    /// Mean of per-run mean stretches (unnormalized).
+    pub mean_stretch: f64,
+    /// Mean of per-run `makespan / baseline makespan`.
+    pub makespan_ratio: f64,
+    /// Mean processor utilization.
+    pub mean_utilization: f64,
+    /// Mean committed reallocations per run.
+    pub mean_redistributions: f64,
+}
+
+/// The strategies of the default online campaign: the no-resize baseline
+/// plus the four fault-context heuristic combinations with arrival
+/// rebalancing.
+#[must_use]
+pub fn campaign_strategies() -> Vec<OnlineStrategy> {
+    let mut v = vec![OnlineStrategy::no_resize()];
+    v.extend(Heuristic::FAULT_COMBINATIONS.map(OnlineStrategy::resizing));
+    v
+}
+
+/// Executes one strategy on one prepared run.
+fn execute(
+    cfg: &OnlinePointConfig,
+    jobs: &[JobSpec],
+    fault_seed: u64,
+    strategy: &OnlineStrategy,
+) -> Result<OnlineOutcome, ScheduleError> {
+    let platform = cfg.platform();
+    run_online(
+        jobs,
+        std::sync::Arc::new(PaperModel::new(cfg.seq_fraction)),
+        platform,
+        strategy,
+        &OnlineConfig::with_faults(fault_seed, platform.proc_mtbf),
+    )
+}
+
+struct RunRow {
+    baseline_stretch: f64,
+    baseline_makespan: f64,
+    outcomes: Vec<OnlineOutcome>,
+}
+
+/// Runs every strategy at `cfg`, normalizing per run by the no-resize
+/// baseline, and aggregates across runs. Runs execute in parallel threads;
+/// aggregation is sequential and deterministic.
+///
+/// # Errors
+/// Propagates the first engine error encountered.
+pub fn run_online_point(
+    cfg: &OnlinePointConfig,
+    strategies: &[OnlineStrategy],
+) -> Result<Vec<OnlineVariantStats>, ScheduleError> {
+    let baseline = OnlineStrategy::no_resize();
+    let rows = parallel_runs(cfg.runs, |r| {
+        let (job_seed, fault_seed) = run_seeds(cfg.base_seed, r);
+        let jobs = cfg.job_stream(job_seed);
+        let base = execute(cfg, &jobs, fault_seed, &baseline)?;
+        let mut outcomes = Vec::with_capacity(strategies.len());
+        for s in strategies {
+            if *s == baseline {
+                outcomes.push(base.clone());
+            } else {
+                outcomes.push(execute(cfg, &jobs, fault_seed, s)?);
+            }
+        }
+        Ok(RunRow {
+            baseline_stretch: base.metrics.mean_stretch,
+            baseline_makespan: base.makespan,
+            outcomes,
+        })
+    })?;
+
+    let mut acc: Vec<(Welford, Welford, Welford, Welford, Welford)> =
+        vec![Default::default(); strategies.len()];
+    for row in &rows {
+        for (v, out) in row.outcomes.iter().enumerate() {
+            acc[v].0.push(out.metrics.mean_stretch / row.baseline_stretch);
+            acc[v].1.push(out.metrics.mean_stretch);
+            acc[v].2.push(out.makespan / row.baseline_makespan);
+            acc[v].3.push(out.metrics.utilization);
+            acc[v].4.push(out.redistributions as f64);
+        }
+    }
+    Ok(strategies
+        .iter()
+        .zip(acc)
+        .map(|(s, (ratio, stretch, mk, util, rc))| OnlineVariantStats {
+            name: s.name(),
+            stretch_ratio: ratio.mean(),
+            ci95: ratio.ci95_half_width(),
+            mean_stretch: stretch.mean(),
+            makespan_ratio: mk.mean(),
+            mean_utilization: util.mean(),
+            mean_redistributions: rc.mean(),
+        })
+        .collect())
+}
+
+/// Renders campaign statistics as a table.
+#[must_use]
+pub fn online_table(cfg: &OnlinePointConfig, stats: &[OnlineVariantStats]) -> Table {
+    let mut table = Table::new(
+        format!(
+            "Online campaign: {} jobs, 1/λ = {} s, p = {}, MTBF = {} y, {} runs",
+            cfg.jobs, cfg.mean_interarrival, cfg.p, cfg.mtbf_years, cfg.runs
+        ),
+        vec![
+            "strategy".into(),
+            "stretch ratio".into(),
+            "±95% CI".into(),
+            "mean stretch".into(),
+            "makespan ratio".into(),
+            "utilization".into(),
+            "redistributions".into(),
+        ],
+    );
+    for s in stats {
+        table.push_row(vec![
+            s.name.clone(),
+            fmt_ratio(s.stretch_ratio),
+            fmt_ratio(s.ci95),
+            fmt_num(s.mean_stretch),
+            fmt_ratio(s.makespan_ratio),
+            fmt_ratio(s.mean_utilization),
+            fmt_num(s.mean_redistributions),
+        ]);
+    }
+    table
+}
+
+/// The `online` CLI target: runs the default campaign (scaled down in quick
+/// mode) and renders its table.
+///
+/// # Errors
+/// Propagates engine errors.
+pub fn campaign_table(
+    quick: bool,
+    runs: Option<usize>,
+    seed: u64,
+) -> Result<Table, ScheduleError> {
+    let mut cfg = OnlinePointConfig::default_point();
+    cfg.base_seed ^= seed;
+    if quick {
+        cfg.jobs = 12;
+        cfg.runs = 4;
+        cfg.p = 32;
+    }
+    if let Some(r) = runs {
+        cfg.runs = r.max(1);
+    }
+    let stats = run_online_point(&cfg, &campaign_strategies())?;
+    Ok(online_table(&cfg, &stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> OnlinePointConfig {
+        OnlinePointConfig {
+            jobs: 6,
+            mean_interarrival: 10_000.0,
+            sizes: JobSizeModel::paper_default(),
+            seq_fraction: PaperModel::DEFAULT_SEQ_FRACTION,
+            p: 24,
+            mtbf_years: 10.0,
+            runs: 3,
+            base_seed: 99,
+        }
+    }
+
+    #[test]
+    fn baseline_ratio_is_one() {
+        let stats = run_online_point(&tiny(), &[OnlineStrategy::no_resize()]).unwrap();
+        assert!((stats[0].stretch_ratio - 1.0).abs() < 1e-12);
+        assert_eq!(stats[0].ci95, 0.0);
+    }
+
+    #[test]
+    fn resizing_not_much_worse_than_baseline() {
+        let stats = run_online_point(
+            &tiny(),
+            &[
+                OnlineStrategy::no_resize(),
+                OnlineStrategy::resizing(Heuristic::IteratedGreedyEndLocal),
+            ],
+        )
+        .unwrap();
+        assert!(stats[1].stretch_ratio < 1.1, "IG stretch ratio {}", stats[1].stretch_ratio);
+        assert!(stats[1].mean_redistributions > 0.0);
+    }
+
+    #[test]
+    fn deterministic_across_invocations() {
+        let strategies = [OnlineStrategy::resizing(Heuristic::ShortestTasksFirstEndLocal)];
+        let a = run_online_point(&tiny(), &strategies).unwrap();
+        let b = run_online_point(&tiny(), &strategies).unwrap();
+        assert_eq!(a[0].stretch_ratio, b[0].stretch_ratio);
+        assert_eq!(a[0].mean_utilization, b[0].mean_utilization);
+    }
+
+    #[test]
+    fn table_shape() {
+        let cfg = tiny();
+        let stats = run_online_point(&cfg, &campaign_strategies()).unwrap();
+        let table = online_table(&cfg, &stats);
+        assert_eq!(table.rows.len(), 5);
+        assert!(table.title.contains("Online campaign"));
+        for row in &table.rows {
+            assert_eq!(row.len(), table.headers.len());
+        }
+    }
+}

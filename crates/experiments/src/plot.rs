@@ -123,10 +123,8 @@ mod tests {
     use super::*;
 
     fn table() -> Table {
-        let mut t = Table::new(
-            "Test figure",
-            vec!["p".into(), "baseline".into(), "heuristic".into()],
-        );
+        let mut t =
+            Table::new("Test figure", vec!["p".into(), "baseline".into(), "heuristic".into()]);
         for (x, a, b) in [(200, 1.0, 0.8), (400, 1.0, 0.85), (800, 1.0, 0.95)] {
             t.push_row(vec![x.to_string(), format!("{a:.3}"), format!("{b:.3}")]);
         }
@@ -150,8 +148,7 @@ mod tests {
     fn respects_size() {
         let size = PlotSize { width: 30, height: 8 };
         let chart = render(&table(), size).unwrap();
-        let data_lines: Vec<&str> =
-            chart.lines().filter(|l| l.contains('|')).collect();
+        let data_lines: Vec<&str> = chart.lines().filter(|l| l.contains('|')).collect();
         assert_eq!(data_lines.len(), 8);
         for l in data_lines {
             assert!(l.len() <= 9 + 2 + 30);

@@ -131,11 +131,9 @@ pub fn execute_variant(
             Heuristic::NoRedistribution,
             EngineConfig::fault_free(),
         ),
-        Variant::FaultFree(h) => (
-            TimeCalc::fault_free(workload.clone(), platform),
-            h,
-            EngineConfig::fault_free(),
-        ),
+        Variant::FaultFree(h) => {
+            (TimeCalc::fault_free(workload.clone(), platform), h, EngineConfig::fault_free())
+        }
     };
     let cfg = if record_trace { cfg.recording() } else { cfg };
     run(&mut calc, &*heuristic.end_policy(), &*heuristic.fault_policy(), &cfg)
@@ -205,39 +203,55 @@ pub fn run_point_raw(
     variants: &[Variant],
 ) -> Result<Vec<RunResults>, ScheduleError> {
     let platform = cfg.platform();
-    let workers = thread::available_parallelism().map_or(1, |n| n.get()).min(cfg.runs.max(1));
-    let results: Vec<Result<RunResults, ScheduleError>> = thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(cfg.runs);
-        // Simple static round-robin: worker w takes runs w, w+workers, …
-        let chunks: Vec<Vec<usize>> = (0..workers)
-            .map(|w| (w..cfg.runs).step_by(workers).collect())
+    parallel_runs(cfg.runs, |r| one_run(cfg, platform, baseline, variants, r))
+}
+
+/// Executes `f(run_idx)` for every run index in `0..runs` on scoped worker
+/// threads (static round-robin: worker `w` takes runs `w, w+workers, …`)
+/// and returns the results in run order. Shared by the static
+/// ([`run_point_raw`]) and online (`run_online_point`) campaign runners.
+///
+/// # Errors
+/// Returns the error of the lowest-indexed failing run.
+pub(crate) fn parallel_runs<T, F>(runs: usize, f: F) -> Result<Vec<T>, ScheduleError>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T, ScheduleError> + Sync,
+{
+    let workers = thread::available_parallelism().map_or(1, |n| n.get()).min(runs.max(1));
+    thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    (w..runs)
+                        .step_by(workers)
+                        .map(|r| (r, f(r)))
+                        .collect::<Vec<(usize, Result<T, ScheduleError>)>>()
+                })
+            })
             .collect();
-        for chunk in chunks {
-            let cfg = *cfg;
-            handles.push(scope.spawn(move || {
-                chunk
-                    .into_iter()
-                    .map(|r| one_run(&cfg, platform, baseline, variants, r))
-                    .collect::<Vec<Result<(usize, RunResults), ScheduleError>>>()
-            }));
-        }
-        let mut indexed: Vec<Option<RunResults>> = (0..cfg.runs).map(|_| None).collect();
-        let mut first_err = None;
+        let mut indexed: Vec<Option<T>> = (0..runs).map(|_| None).collect();
+        // Workers interleave indices; report the error of the
+        // lowest-indexed failing run for determinism.
+        let mut first_err: Option<(usize, ScheduleError)> = None;
         for handle in handles {
-            for item in handle.join().expect("worker panicked") {
+            for (idx, item) in handle.join().expect("worker panicked") {
                 match item {
-                    Ok((idx, rr)) => indexed[idx] = Some(rr),
-                    Err(e) => first_err = first_err.or(Some(e)),
+                    Ok(v) => indexed[idx] = Some(v),
+                    Err(e) => {
+                        if first_err.as_ref().is_none_or(|&(i, _)| idx < i) {
+                            first_err = Some((idx, e));
+                        }
+                    }
                 }
             }
         }
-        if let Some(e) = first_err {
-            vec![Err(e)]
-        } else {
-            indexed.into_iter().map(|o| Ok(o.expect("all runs filled"))).collect()
+        match first_err {
+            Some((_, e)) => Err(e),
+            None => Ok(indexed.into_iter().map(|o| o.expect("all runs filled")).collect()),
         }
-    });
-    results.into_iter().collect()
+    })
 }
 
 fn one_run(
@@ -246,7 +260,7 @@ fn one_run(
     baseline: Variant,
     variants: &[Variant],
     run_idx: usize,
-) -> Result<(usize, RunResults), ScheduleError> {
+) -> Result<RunResults, ScheduleError> {
     let (workload_seed, fault_seed) = run_seeds(cfg.base_seed, run_idx);
     let workload = generate(&cfg.workload, workload_seed);
     let base_out = execute_variant(baseline, &workload, platform, fault_seed, false)?;
@@ -258,7 +272,7 @@ fn one_run(
             outcomes.push(execute_variant(v, &workload, platform, fault_seed, false)?);
         }
     }
-    Ok((run_idx, RunResults { baseline_makespan: base_out.makespan, outcomes }))
+    Ok(RunResults { baseline_makespan: base_out.makespan, outcomes })
 }
 
 #[cfg(test)]

@@ -100,10 +100,8 @@ mod tests {
     use super::*;
 
     fn table() -> Table {
-        let mut t = Table::new(
-            "Figure X",
-            vec!["p".into(), "Without RC".into(), "With RC".into()],
-        );
+        let mut t =
+            Table::new("Figure X", vec!["p".into(), "Without RC".into(), "With RC".into()]);
         t.push_row(vec!["200".into(), "1.000".into(), "0.780".into()]);
         t.push_row(vec!["400".into(), "1.000".into(), "0.820".into()]);
         t

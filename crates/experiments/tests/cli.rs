@@ -56,10 +56,8 @@ fn quick_figure_with_csv_output() {
 
 #[test]
 fn plot_flag_renders_chart() {
-    let out = bin()
-        .args(["fig12", "--quick", "--runs", "2", "--plot"])
-        .output()
-        .expect("spawn");
+    let out =
+        bin().args(["fig12", "--quick", "--runs", "2", "--plot"]).output().expect("spawn");
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("o Fault context without RC"), "missing legend:\n{stdout}");
@@ -80,6 +78,24 @@ fn seed_flag_changes_output() {
     let a_again = run("1");
     assert_eq!(a, a_again, "same seed must reproduce byte-identical output");
     assert_ne!(a, b, "different seeds must differ");
+}
+
+#[test]
+fn online_campaign_runs_and_reproduces() {
+    let run = || {
+        let out = bin()
+            .args(["online", "--quick", "--runs", "2", "--seed", "3"])
+            .output()
+            .expect("spawn");
+        assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let a = run();
+    assert!(a.contains("Online campaign"), "missing title:\n{a}");
+    assert!(a.contains("NoRedistribution"));
+    assert!(a.contains("IteratedGreedy-EndLocal+arrival"));
+    let b = run();
+    assert_eq!(a, b, "same seed must reproduce byte-identical output");
 }
 
 #[test]

@@ -89,11 +89,7 @@ pub fn block_rounds(j: u32, k: u32, m: f64) -> u32 {
 /// Panics on invalid arguments (see [`block_transfers`]).
 #[must_use]
 pub fn block_volume(j: u32, k: u32, m: f64) -> f64 {
-    block_transfers(j, k, m)
-        .into_iter()
-        .filter(|t| t.from != t.to)
-        .map(|t| t.volume)
-        .sum()
+    block_transfers(j, k, m).into_iter().filter(|t| t.from != t.to).map(|t| t.volume).sum()
 }
 
 #[cfg(test)]
@@ -139,10 +135,7 @@ mod tests {
             let transfers = block_transfers(j, k, 1000.0);
             for s in 0..k {
                 let deg = transfers.iter().filter(|t| t.to == s).count();
-                assert!(
-                    deg <= per_receiver_max,
-                    "receiver {s} has degree {deg} for {j}→{k}"
-                );
+                assert!(deg <= per_receiver_max, "receiver {s} has degree {deg} for {j}→{k}");
             }
         }
     }
@@ -190,11 +183,7 @@ mod tests {
         let transfers = block_transfers(6, 2, 120.0);
         // All data ends at ranks 0 and 1.
         assert!(transfers.iter().all(|t| t.to < 2));
-        let received: f64 = transfers
-            .iter()
-            .filter(|t| t.from != t.to)
-            .map(|t| t.volume)
-            .sum();
+        let received: f64 = transfers.iter().filter(|t| t.from != t.to).map(|t| t.volume).sum();
         // Survivor 0 keeps its own 20 units; everything else moves.
         assert!((received - 100.0).abs() < 1e-9);
     }

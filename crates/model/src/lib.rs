@@ -42,7 +42,7 @@ pub use silent::{simulate_with_silent, validate_silent, SilentConfig, SilentPara
 pub use speedup::{
     Amdahl, MeasuredProfile, PaperModel, PerfectlyParallel, PowerLaw, SpeedupModel,
 };
-pub use task::{TaskId, TaskSpec, Workload};
+pub use task::{JobSpec, TaskId, TaskSpec, Workload};
 pub use timemodel::{EndSemantics, ExecutionMode, TimeCalc};
 
 /// Redistribution cost `RC^{j→k}_i` for a task of data volume `m`

@@ -129,10 +129,7 @@ mod tests {
         let task = TaskSpec::new(2.0e6);
         let platform = Platform::with_mtbf(5000, units::years(mtbf_years));
         let t_ff = PaperModel::default().time(task.size, j);
-        (
-            AllocParams::compute(&task, &platform, t_ff, j, PeriodRule::Young),
-            platform.downtime,
-        )
+        (AllocParams::compute(&task, &platform, t_ff, j, PeriodRule::Young), platform.downtime)
     }
 
     #[test]

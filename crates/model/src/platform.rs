@@ -40,10 +40,7 @@ impl Platform {
     #[must_use]
     pub fn with_mtbf(num_procs: u32, proc_mtbf: f64) -> Self {
         assert!(num_procs > 0, "platform needs at least one processor");
-        assert!(
-            proc_mtbf.is_finite() && proc_mtbf > 0.0,
-            "MTBF must be positive"
-        );
+        assert!(proc_mtbf.is_finite() && proc_mtbf > 0.0, "MTBF must be positive");
         Self { num_procs, proc_mtbf, downtime: Self::DEFAULT_DOWNTIME }
     }
 
@@ -53,10 +50,7 @@ impl Platform {
     /// Panics if `downtime < 0`.
     #[must_use]
     pub fn downtime(mut self, downtime: f64) -> Self {
-        assert!(
-            downtime.is_finite() && downtime >= 0.0,
-            "downtime must be non-negative"
-        );
+        assert!(downtime.is_finite() && downtime >= 0.0, "downtime must be non-negative");
         self.downtime = downtime;
         self
     }

@@ -300,8 +300,7 @@ mod tests {
         let mut rng = Xoshiro256::seed_from_u64(5);
         let t = simulate_with_silent(&p, 1.0, &mut rng);
         let n = p.base.n_ff(1.0);
-        let expected =
-            1.0 * p.base.t_ff + n * p.base.c + (n + 1.0) * p.verify;
+        let expected = 1.0 * p.base.t_ff + n * p.base.c + (n + 1.0) * p.verify;
         assert!((t - expected).abs() / expected < 1e-9, "{t} vs {expected}");
     }
 
@@ -328,9 +327,6 @@ mod tests {
         };
         let plain = best(false);
         let noisy = best(true);
-        assert!(
-            noisy <= plain,
-            "silent errors should lower the threshold: {noisy} vs {plain}"
-        );
+        assert!(noisy <= plain, "silent errors should lower the threshold: {noisy} vs {plain}");
     }
 }

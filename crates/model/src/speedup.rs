@@ -65,10 +65,7 @@ impl PaperModel {
     /// Panics unless `0 ≤ f ≤ 1`.
     #[must_use]
     pub fn new(seq_fraction: f64) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&seq_fraction),
-            "sequential fraction must be in [0, 1]"
-        );
+        assert!((0.0..=1.0).contains(&seq_fraction), "sequential fraction must be in [0, 1]");
         Self { seq_fraction }
     }
 }
@@ -107,10 +104,7 @@ impl Amdahl {
     /// Panics unless `0 ≤ f ≤ 1`.
     #[must_use]
     pub fn new(seq_fraction: f64) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&seq_fraction),
-            "sequential fraction must be in [0, 1]"
-        );
+        assert!((0.0..=1.0).contains(&seq_fraction), "sequential fraction must be in [0, 1]");
         Self { seq_fraction }
     }
 }
@@ -150,10 +144,7 @@ impl PowerLaw {
     /// Panics unless `0 < e ≤ 1`.
     #[must_use]
     pub fn new(exponent: f64) -> Self {
-        assert!(
-            exponent > 0.0 && exponent <= 1.0,
-            "exponent must be in (0, 1]"
-        );
+        assert!(exponent > 0.0 && exponent <= 1.0, "exponent must be in (0, 1]");
         Self { exponent }
     }
 }

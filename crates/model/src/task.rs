@@ -49,6 +49,35 @@ impl TaskSpec {
     }
 }
 
+/// One job of an *online* workload: a malleable task plus its release time.
+///
+/// The static model of the paper assumes every task is available at `t = 0`;
+/// the online co-scheduling subsystem (`redistrib-online`) relaxes this by
+/// attaching a release date to each task. A job is not visible to the
+/// scheduler before `release`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// The underlying malleable task.
+    pub task: TaskSpec,
+    /// Absolute release (arrival) time in seconds, `≥ 0`.
+    pub release: f64,
+}
+
+impl JobSpec {
+    /// Creates a job releasing `task` at time `release`.
+    ///
+    /// # Panics
+    /// Panics unless `release` is finite and non-negative.
+    #[must_use]
+    pub fn new(task: TaskSpec, release: f64) -> Self {
+        assert!(
+            release.is_finite() && release >= 0.0,
+            "release time must be finite and non-negative, got {release}"
+        );
+        Self { task, release }
+    }
+}
+
 /// A pack: the set of tasks that start simultaneously, with their shared
 /// speedup profile.
 #[derive(Debug, Clone)]
@@ -87,6 +116,17 @@ impl Workload {
     #[must_use]
     pub fn fault_free_time(&self, i: TaskId, j: u32) -> f64 {
         self.speedup.time(self.tasks[i].size, j)
+    }
+
+    /// Builds the workload of an online job stream: task `i` is job `i`'s
+    /// task (release times live in the [`JobSpec`]s; the workload only
+    /// carries sizes and the shared speedup profile).
+    ///
+    /// # Panics
+    /// Panics if `jobs` is empty.
+    #[must_use]
+    pub fn from_jobs(jobs: &[JobSpec], speedup: Arc<dyn SpeedupModel>) -> Self {
+        Self::new(jobs.iter().map(|j| j.task.clone()).collect(), speedup)
     }
 }
 
@@ -130,5 +170,29 @@ mod tests {
     #[should_panic(expected = "at least one task")]
     fn workload_rejects_empty() {
         let _ = Workload::new(vec![], Arc::new(PaperModel::default()));
+    }
+
+    #[test]
+    fn job_spec_carries_release() {
+        let j = JobSpec::new(TaskSpec::new(2.0e6), 120.0);
+        assert_eq!(j.release, 120.0);
+        assert_eq!(j.task.size, 2.0e6);
+    }
+
+    #[test]
+    #[should_panic(expected = "release time must be finite")]
+    fn job_spec_rejects_negative_release() {
+        let _ = JobSpec::new(TaskSpec::new(2.0e6), -1.0);
+    }
+
+    #[test]
+    fn workload_from_jobs_preserves_order() {
+        let jobs = vec![
+            JobSpec::new(TaskSpec::new(2.0e6), 0.0),
+            JobSpec::new(TaskSpec::new(3.0e6), 50.0),
+        ];
+        let w = Workload::from_jobs(&jobs, Arc::new(PaperModel::default()));
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.tasks[1].size, 3.0e6);
     }
 }

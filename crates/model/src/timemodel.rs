@@ -241,10 +241,7 @@ impl TimeCalc {
     /// # Panics
     /// Panics in fault-free mode (no faults exist).
     pub fn progress_faulty(&mut self, i: TaskId, j: u32, elapsed: f64) -> f64 {
-        assert!(
-            matches!(self.mode, ExecutionMode::FaultAware),
-            "no faults in fault-free mode"
-        );
+        assert!(matches!(self.mode, ExecutionMode::FaultAware), "no faults in fault-free mode");
         self.params(i, j).progress_faulty(elapsed)
     }
 
@@ -300,9 +297,7 @@ mod tests {
     use std::sync::Arc;
 
     fn workload(n: usize) -> Workload {
-        let tasks = (0..n)
-            .map(|i| TaskSpec::new(1_500_000.0 + 250_000.0 * i as f64))
-            .collect();
+        let tasks = (0..n).map(|i| TaskSpec::new(1_500_000.0 + 250_000.0 * i as f64)).collect();
         Workload::new(tasks, Arc::new(PaperModel::default()))
     }
 
@@ -363,10 +358,7 @@ mod tests {
         let b = ffp.remaining(0, 8, 1.0);
         assert!(b < a, "projection {b} should be below expected {a}");
         // The pure Eq. 4 value is semantics-independent.
-        assert_eq!(
-            exp.expected_time_eq4(0, 8, 1.0),
-            ffp.expected_time_eq4(0, 8, 1.0)
-        );
+        assert_eq!(exp.expected_time_eq4(0, 8, 1.0), ffp.expected_time_eq4(0, 8, 1.0));
     }
 
     #[test]

@@ -1,0 +1,337 @@
+//! Pluggable job-arrival processes.
+//!
+//! The online co-scheduler consumes a stream of [`JobSpec`]s: release times
+//! come from an [`ArrivalProcess`], data sizes from a [`JobSizeModel`]. All
+//! randomness is seeded, so the job stream of a run is a pure function of
+//! `(process parameters, seed)` — the property that lets campaigns replay
+//! the *same* arrival trace under different resizing strategies, exactly
+//! like the paper replays fault traces across policies.
+//!
+//! Three canonical processes are provided, plus a merger:
+//!
+//! * [`PoissonArrivals`] — memoryless arrivals (exponential inter-arrival
+//!   times), the standard open-queue model;
+//! * [`BurstyArrivals`] — bursts of several jobs released back-to-back,
+//!   with exponential gaps between bursts (flash crowds);
+//! * [`TraceArrivals`] — explicit release times (replay of a recorded log);
+//! * [`MergedArrivals`] — time-ordered merge of heterogeneous processes
+//!   through the deterministic [`EventQueue`], e.g. a Poisson background
+//!   plus periodic bursts.
+
+use redistrib_model::{JobSpec, TaskSpec};
+use redistrib_sim::dist::{Distribution, Exponential};
+use redistrib_sim::event::EventQueue;
+use redistrib_sim::rng::Xoshiro256;
+
+/// A source of non-decreasing absolute release times.
+pub trait ArrivalProcess {
+    /// Returns the next release time. Implementations must yield a
+    /// non-decreasing sequence; a process that is exhausted (trace replay)
+    /// returns `None`.
+    fn next_release(&mut self) -> Option<f64>;
+}
+
+/// Poisson arrivals: exponential inter-arrival times of the given mean.
+#[derive(Debug, Clone)]
+pub struct PoissonArrivals {
+    rng: Xoshiro256,
+    law: Exponential,
+    now: f64,
+}
+
+impl PoissonArrivals {
+    /// Stream id mixed into the seed so arrival draws never collide with
+    /// fault streams (`proc` ids) or workload draws derived from the same
+    /// run seed.
+    const STREAM: u64 = 0x4152_5256; // ASCII "ARRV"
+
+    /// Creates a Poisson process with the given mean inter-arrival time
+    /// (seconds).
+    ///
+    /// # Panics
+    /// Panics unless `mean_interarrival` is finite and positive.
+    #[must_use]
+    pub fn new(seed: u64, mean_interarrival: f64) -> Self {
+        Self {
+            rng: Xoshiro256::stream(seed, Self::STREAM),
+            law: Exponential::from_mean(mean_interarrival),
+            now: 0.0,
+        }
+    }
+}
+
+impl ArrivalProcess for PoissonArrivals {
+    fn next_release(&mut self) -> Option<f64> {
+        self.now += self.law.sample(&mut self.rng);
+        Some(self.now)
+    }
+}
+
+/// Bursty arrivals: every burst releases `burst_size` jobs at the same
+/// instant; bursts are separated by exponential gaps.
+#[derive(Debug, Clone)]
+pub struct BurstyArrivals {
+    rng: Xoshiro256,
+    gap: Exponential,
+    burst_size: usize,
+    now: f64,
+    remaining_in_burst: usize,
+}
+
+impl BurstyArrivals {
+    const STREAM: u64 = 0x4255_5253; // ASCII "BURS"
+
+    /// Creates a bursty process: bursts of `burst_size` simultaneous jobs,
+    /// exponential gaps of mean `mean_burst_gap` seconds between bursts.
+    ///
+    /// # Panics
+    /// Panics unless `burst_size ≥ 1` and the gap is finite and positive.
+    #[must_use]
+    pub fn new(seed: u64, burst_size: usize, mean_burst_gap: f64) -> Self {
+        assert!(burst_size >= 1, "a burst needs at least one job");
+        Self {
+            rng: Xoshiro256::stream(seed, Self::STREAM),
+            gap: Exponential::from_mean(mean_burst_gap),
+            burst_size,
+            now: 0.0,
+            remaining_in_burst: 0,
+        }
+    }
+}
+
+impl ArrivalProcess for BurstyArrivals {
+    fn next_release(&mut self) -> Option<f64> {
+        if self.remaining_in_burst == 0 {
+            self.now += self.gap.sample(&mut self.rng);
+            self.remaining_in_burst = self.burst_size;
+        }
+        self.remaining_in_burst -= 1;
+        Some(self.now)
+    }
+}
+
+/// Trace-driven arrivals: replays an explicit list of release times.
+#[derive(Debug, Clone)]
+pub struct TraceArrivals {
+    times: Vec<f64>,
+    next: usize,
+}
+
+impl TraceArrivals {
+    /// Creates a replay of the given release times.
+    ///
+    /// # Panics
+    /// Panics if the times are not finite, non-negative and non-decreasing.
+    #[must_use]
+    pub fn new(times: Vec<f64>) -> Self {
+        for &t in &times {
+            assert!(t.is_finite() && t >= 0.0, "invalid release time {t}");
+        }
+        for w in times.windows(2) {
+            assert!(w[0] <= w[1], "release times must be non-decreasing");
+        }
+        Self { times, next: 0 }
+    }
+}
+
+impl ArrivalProcess for TraceArrivals {
+    fn next_release(&mut self) -> Option<f64> {
+        let t = self.times.get(self.next).copied();
+        if t.is_some() {
+            self.next += 1;
+        }
+        t
+    }
+}
+
+/// Time-ordered merge of several arrival processes (e.g. Poisson background
+/// traffic plus bursts), built on the deterministic [`EventQueue`]: ties
+/// resolve by insertion order, so the merged stream is replayable.
+pub struct MergedArrivals {
+    sources: Vec<Box<dyn ArrivalProcess>>,
+    queue: EventQueue<usize>,
+}
+
+impl std::fmt::Debug for MergedArrivals {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MergedArrivals")
+            .field("sources", &self.sources.len())
+            .field("pending", &self.queue.len())
+            .finish()
+    }
+}
+
+impl MergedArrivals {
+    /// Merges the given processes.
+    #[must_use]
+    pub fn new(mut sources: Vec<Box<dyn ArrivalProcess>>) -> Self {
+        let mut queue = EventQueue::with_capacity(sources.len());
+        for (k, s) in sources.iter_mut().enumerate() {
+            if let Some(t) = s.next_release() {
+                queue.push(t, k);
+            }
+        }
+        Self { sources, queue }
+    }
+}
+
+impl ArrivalProcess for MergedArrivals {
+    fn next_release(&mut self) -> Option<f64> {
+        let (t, k) = self.queue.pop()?;
+        if let Some(next) = self.sources[k].next_release() {
+            self.queue.push(next, k);
+        }
+        Some(t)
+    }
+}
+
+/// Distribution of job data sizes (the §6.1 uniform size model, reused for
+/// online streams).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobSizeModel {
+    /// Lower size bound `minf`.
+    pub m_inf: f64,
+    /// Upper size bound `msup`.
+    pub m_sup: f64,
+    /// Checkpoint time per data unit `c`.
+    pub ckpt_unit: f64,
+}
+
+impl JobSizeModel {
+    const STREAM: u64 = 0x4A53_495A; // ASCII "JSIZ"
+
+    /// Paper-default sizes: `m ∈ [1.5e6, 2.5e6]`, `c = 1`.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self { m_inf: 1_500_000.0, m_sup: 2_500_000.0, ckpt_unit: 1.0 }
+    }
+}
+
+/// Materializes `n` jobs: release times from `process`, sizes drawn
+/// uniformly from `sizes` (seeded independently of the arrival draws).
+///
+/// Returns fewer than `n` jobs only when a trace-driven process is
+/// exhausted.
+///
+/// # Panics
+/// Panics if the size model is degenerate.
+#[must_use]
+pub fn generate_jobs(
+    process: &mut dyn ArrivalProcess,
+    n: usize,
+    sizes: &JobSizeModel,
+    seed: u64,
+) -> Vec<JobSpec> {
+    assert!(
+        sizes.m_inf > 1.0 && sizes.m_sup >= sizes.m_inf,
+        "invalid size range [{}, {}]",
+        sizes.m_inf,
+        sizes.m_sup
+    );
+    let mut rng = Xoshiro256::stream(seed, JobSizeModel::STREAM);
+    let mut jobs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let Some(release) = process.next_release() else { break };
+        let m = rng.uniform(sizes.m_inf, sizes.m_sup);
+        jobs.push(JobSpec::new(TaskSpec::with_ckpt_unit(m, sizes.ckpt_unit), release));
+    }
+    jobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_is_increasing_and_replayable() {
+        let mut a = PoissonArrivals::new(7, 100.0);
+        let mut b = PoissonArrivals::new(7, 100.0);
+        let mut last = 0.0;
+        for _ in 0..200 {
+            let t = a.next_release().unwrap();
+            assert_eq!(t, b.next_release().unwrap());
+            assert!(t > last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn poisson_mean_interarrival() {
+        let mut p = PoissonArrivals::new(3, 250.0);
+        let n = 20_000;
+        let mut last = 0.0;
+        for _ in 0..n {
+            last = p.next_release().unwrap();
+        }
+        let mean = last / f64::from(n);
+        assert!((mean - 250.0).abs() / 250.0 < 0.05, "observed mean {mean}");
+    }
+
+    #[test]
+    fn bursts_release_simultaneously() {
+        let mut b = BurstyArrivals::new(1, 4, 1000.0);
+        let times: Vec<f64> = (0..12).map(|_| b.next_release().unwrap()).collect();
+        for chunk in times.chunks(4) {
+            assert!(chunk.iter().all(|&t| t == chunk[0]), "burst not simultaneous");
+        }
+        assert!(times[0] < times[4] && times[4] < times[8]);
+    }
+
+    #[test]
+    fn trace_replays_and_exhausts() {
+        let mut t = TraceArrivals::new(vec![1.0, 2.0, 2.0, 5.0]);
+        assert_eq!(t.next_release(), Some(1.0));
+        assert_eq!(t.next_release(), Some(2.0));
+        assert_eq!(t.next_release(), Some(2.0));
+        assert_eq!(t.next_release(), Some(5.0));
+        assert_eq!(t.next_release(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn trace_rejects_decreasing() {
+        let _ = TraceArrivals::new(vec![2.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid release time")]
+    fn trace_rejects_non_finite_anywhere() {
+        let _ = TraceArrivals::new(vec![0.0, f64::INFINITY]);
+    }
+
+    #[test]
+    fn merged_streams_are_time_ordered() {
+        let merged = MergedArrivals::new(vec![
+            Box::new(PoissonArrivals::new(5, 300.0)),
+            Box::new(BurstyArrivals::new(5, 3, 2000.0)),
+        ]);
+        let mut merged = merged;
+        let mut last = 0.0;
+        for _ in 0..100 {
+            let t = merged.next_release().unwrap();
+            assert!(t >= last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn generate_jobs_is_deterministic_and_bounded() {
+        let sizes = JobSizeModel::paper_default();
+        let mut p1 = PoissonArrivals::new(9, 500.0);
+        let mut p2 = PoissonArrivals::new(9, 500.0);
+        let a = generate_jobs(&mut p1, 50, &sizes, 9);
+        let b = generate_jobs(&mut p2, 50, &sizes, 9);
+        assert_eq!(a.len(), 50);
+        assert_eq!(a, b);
+        for j in &a {
+            assert!(j.task.size >= sizes.m_inf && j.task.size <= sizes.m_sup);
+        }
+    }
+
+    #[test]
+    fn generate_jobs_truncates_on_exhausted_trace() {
+        let mut t = TraceArrivals::new(vec![0.0, 10.0]);
+        let jobs = generate_jobs(&mut t, 5, &JobSizeModel::paper_default(), 1);
+        assert_eq!(jobs.len(), 2);
+    }
+}

@@ -1,0 +1,693 @@
+//! Event-driven online co-scheduling engine.
+//!
+//! Turns the static single-pack engine (Algorithm 2) into an *online*
+//! scheduler: jobs are released over time, queue for admission, and the
+//! processor assignment is re-formed dynamically on the three online event
+//! kinds —
+//!
+//! * **arrival** — the job enters a FIFO admission queue; the admission
+//!   layer starts it as soon as two processors are free, granting it its
+//!   best even allocation within a fair share of the free pool (the
+//!   Algorithm 1 improvement scan, applied to one job). With
+//!   [`OnlineStrategy::rebalance_on_arrival`], the whole running set is
+//!   then rebuilt greedily ([`greedy_rebuild`], the `IteratedGreedy` /
+//!   `EndGreedy` core), which both shrinks past-sweet-spot jobs to make
+//!   room and shares processors with the newcomer;
+//! * **completion** — the finished job's processors first admit queued jobs
+//!   (queue priority prevents starvation), then the configured
+//!   [`EndPolicy`] (`EndLocal` / `EndGreedy`) redistributes the remainder;
+//! * **fault** — identical rollback bookkeeping to the static engine
+//!   (checkpoint rewind, downtime, recovery, protected windows), then the
+//!   configured [`FaultPolicy`] (`ShortestTasksFirst` / `IteratedGreedy`)
+//!   rebalances toward the struck job if it became the longest. Jobs due
+//!   to finish inside the recovery window are excluded from the donor set
+//!   (as in Algorithm 2) but complete as ordinary end events, keeping the
+//!   event log globally time-ordered.
+//!
+//! Everything is deterministic: same job stream, same fault seed, same
+//! strategy ⇒ a byte-identical event log ([`OnlineOutcome::trace`]).
+
+use std::collections::{BTreeSet, VecDeque};
+use std::sync::Arc;
+
+use redistrib_core::policies::greedy_rebuild;
+use redistrib_core::{
+    EndPolicy, FaultConfig, FaultPolicy, Heuristic, HeuristicCtx, PackState, ScheduleError,
+};
+use redistrib_model::{JobSpec, Platform, SpeedupModel, TaskId, TimeCalc, Workload};
+use redistrib_sim::dist::FaultLaw;
+use redistrib_sim::faults::FaultSource;
+use redistrib_sim::trace::{TraceEvent, TraceLog};
+
+use crate::metrics::{JobStats, OnlineMetrics};
+
+/// Resizing strategy of the online scheduler: which static-engine policies
+/// run at completion and fault events, and whether arrivals trigger a
+/// global rebalance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OnlineStrategy {
+    /// Policy combination reused from the static engine (`end_policy()`
+    /// runs at completions, `fault_policy()` at faults).
+    pub heuristic: Heuristic,
+    /// Whether arrivals trigger a greedy rebuild of the running set.
+    pub rebalance_on_arrival: bool,
+}
+
+impl OnlineStrategy {
+    /// Baseline: allocations never change after a job starts.
+    #[must_use]
+    pub fn no_resize() -> Self {
+        Self { heuristic: Heuristic::NoRedistribution, rebalance_on_arrival: false }
+    }
+
+    /// Full malleable resizing with the given heuristic combination plus
+    /// arrival-time rebalancing.
+    #[must_use]
+    pub fn resizing(heuristic: Heuristic) -> Self {
+        Self { heuristic, rebalance_on_arrival: true }
+    }
+
+    /// Display name.
+    #[must_use]
+    pub fn name(&self) -> String {
+        if self.rebalance_on_arrival {
+            format!("{}+arrival", self.heuristic.name())
+        } else {
+            self.heuristic.name().to_string()
+        }
+    }
+}
+
+/// Engine configuration (mirrors the static `EngineConfig`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineConfig {
+    /// Fault injection; `None` simulates a failure-free platform.
+    pub faults: Option<FaultConfig>,
+    /// Record the full event trace.
+    pub record_trace: bool,
+    /// Safety cap on processed events.
+    pub max_events: u64,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        Self { faults: None, record_trace: false, max_events: 100_000_000 }
+    }
+}
+
+impl OnlineConfig {
+    /// Failure-free configuration.
+    #[must_use]
+    pub fn fault_free() -> Self {
+        Self::default()
+    }
+
+    /// Exponential faults with the given per-processor MTBF (seconds),
+    /// seeded for replay.
+    #[must_use]
+    pub fn with_faults(seed: u64, proc_mtbf: f64) -> Self {
+        Self {
+            faults: Some(FaultConfig { seed, law: FaultLaw::Exponential { mtbf: proc_mtbf } }),
+            ..Self::default()
+        }
+    }
+
+    /// Enables trace recording.
+    #[must_use]
+    pub fn recording(mut self) -> Self {
+        self.record_trace = true;
+        self
+    }
+}
+
+/// Result of one online run.
+#[derive(Debug, Clone)]
+pub struct OnlineOutcome {
+    /// Completion time of the last job.
+    pub makespan: f64,
+    /// Per-job completion records, in submission order.
+    pub jobs: Vec<JobStats>,
+    /// Aggregate online metrics.
+    pub metrics: OnlineMetrics,
+    /// Faults that struck a running job and were handled.
+    pub handled_faults: u64,
+    /// Faults discarded (idle processor or protected window).
+    pub discarded_faults: u64,
+    /// Discarded faults inside a post-fault recovery window (§2.2 fatal
+    /// risk exposure).
+    pub fatal_risk_events: u64,
+    /// Committed reallocations.
+    pub redistributions: u64,
+    /// Admission-queue length after every queue change, `(time, length)`.
+    pub queue_series: Vec<(f64, usize)>,
+    /// Event trace (empty unless recording; includes the online
+    /// `job_arrival` / `job_start` / `job_queued` kinds).
+    pub trace: TraceLog,
+}
+
+/// Which static-engine policy entry point to invoke.
+enum PolicyCall {
+    /// `greedy_rebuild` over the eligible set (arrival rebalance).
+    Rebuild,
+    /// The strategy's end policy (completion).
+    End,
+    /// The strategy's fault policy toward the given faulty job.
+    Fault(TaskId),
+}
+
+/// Mutable simulation state of one online run.
+struct OnlineSim<'a> {
+    calc: TimeCalc,
+    state: PackState,
+    trace: TraceLog,
+    running: BTreeSet<TaskId>,
+    queue: VecDeque<TaskId>,
+    start: Vec<f64>,
+    completion: Vec<f64>,
+    recovery_until: Vec<f64>,
+    queue_series: Vec<(f64, usize)>,
+    redistributions: u64,
+    handled_faults: u64,
+    discarded_faults: u64,
+    fatal_risk_events: u64,
+    busy_proc_seconds: f64,
+    last_t: f64,
+    strategy: &'a OnlineStrategy,
+    end_policy: Box<dyn EndPolicy>,
+    fault_policy: Box<dyn FaultPolicy>,
+}
+
+impl OnlineSim<'_> {
+    /// Accrues the busy-processor integral up to `t`. Events are processed
+    /// in global time order, so `t ≥ last_t`; the clamp is a safety net.
+    fn advance(&mut self, t: f64) {
+        let dt = (t - self.last_t).max(0.0);
+        if dt > 0.0 {
+            self.busy_proc_seconds += f64::from(self.state.used_count()) * dt;
+            self.last_t = self.last_t.max(t);
+        }
+    }
+
+    /// Earliest expected completion among running jobs (ties toward the
+    /// lowest job id).
+    fn earliest_end(&self) -> Option<(TaskId, f64)> {
+        let mut best: Option<(TaskId, f64)> = None;
+        for &i in &self.running {
+            let tu = self.state.runtime(i).t_u;
+            if best.is_none_or(|(_, b)| tu < b) {
+                best = Some((i, tu));
+            }
+        }
+        best
+    }
+
+    /// Jobs allowed to participate in a redistribution at time `t`:
+    /// running and not inside a previous redistribution window. `skip`
+    /// excludes the faulty job (handled separately by fault policies).
+    fn eligible(&self, t: f64, skip: Option<TaskId>) -> Vec<TaskId> {
+        self.running
+            .iter()
+            .copied()
+            .filter(|&i| Some(i) != skip && self.state.runtime(i).t_last_r <= t)
+            .collect()
+    }
+
+    /// The admission layer's initial allocation for job `i`: the best even
+    /// allocation (Algorithm 1's improvement scan applied to one job)
+    /// within a fair share of the free pool.
+    fn admission_grant(&mut self, i: TaskId, waiting: usize) -> u32 {
+        let free = self.state.free_count();
+        debug_assert!(free >= 2 && waiting >= 1);
+        let share = free / waiting.max(1) as u32;
+        let cap = (share - share % 2).max(2);
+        let mut best_j = 2u32;
+        let mut best_t = self.calc.remaining(i, 2, 1.0);
+        let mut j = 4u32;
+        while j <= cap {
+            let t = self.calc.remaining(i, j, 1.0);
+            if t < best_t {
+                best_t = t;
+                best_j = j;
+            }
+            j += 2;
+        }
+        best_j
+    }
+
+    /// Starts job `i` at time `t` on its admission grant.
+    fn start_job(&mut self, i: TaskId, t: f64, waiting: usize) {
+        let grant = self.admission_grant(i, waiting);
+        self.state.grow(i, grant);
+        let remaining = self.calc.remaining(i, grant, 1.0);
+        let rt = self.state.runtime_mut(i);
+        rt.alpha = 1.0;
+        rt.t_last_r = t;
+        rt.t_u = t + remaining;
+        self.running.insert(i);
+        self.start[i] = t;
+        self.trace.push(TraceEvent::JobStart { time: t, job: i, alloc: grant });
+    }
+
+    /// Admits queued jobs FIFO while at least two processors are free.
+    /// Returns how many jobs started.
+    fn admit_queued(&mut self, t: f64) -> usize {
+        let mut started = 0;
+        while self.state.free_count() >= 2 {
+            let waiting = self.queue.len();
+            let Some(i) = self.queue.pop_front() else { break };
+            self.start_job(i, t, waiting);
+            started += 1;
+            self.queue_series.push((t, self.queue.len()));
+        }
+        started
+    }
+
+    /// Builds the policy context once and dispatches the requested call —
+    /// the single spot where the online engine enters static-engine policy
+    /// code. No-op on an empty eligible set (except fault policies, which
+    /// can act on the faulty job alone).
+    fn run_policy(&mut self, t: f64, eligible: &[TaskId], call: PolicyCall) {
+        if eligible.is_empty() && !matches!(call, PolicyCall::Fault(_)) {
+            return;
+        }
+        let mut ctx = HeuristicCtx {
+            calc: &mut self.calc,
+            state: &mut self.state,
+            trace: &mut self.trace,
+            now: t,
+            eligible,
+            pseudocode_fault_bias: false,
+            redistributions: &mut self.redistributions,
+        };
+        match call {
+            PolicyCall::Rebuild => greedy_rebuild(&mut ctx, None),
+            PolicyCall::End => self.end_policy.on_task_end(&mut ctx),
+            PolicyCall::Fault(f) => self.fault_policy.on_fault(&mut ctx, f),
+        }
+    }
+
+    /// Greedy rebuild of the running set (the `IteratedGreedy`/`EndGreedy`
+    /// core), used on arrivals.
+    fn rebuild(&mut self, t: f64) {
+        let eligible = self.eligible(t, None);
+        self.run_policy(t, &eligible, PolicyCall::Rebuild);
+    }
+
+    /// Marks job `i` complete at `t` and releases its processors.
+    fn complete_job(&mut self, i: TaskId, t: f64) {
+        self.advance(t);
+        self.state.complete(i, t);
+        self.running.remove(&i);
+        self.completion[i] = t;
+        self.trace.push(TraceEvent::TaskEnd { time: t, task: i });
+    }
+
+    fn handle_arrival(&mut self, i: TaskId, t: f64) {
+        self.advance(t);
+        self.trace.push(TraceEvent::JobArrival { time: t, job: i });
+        if self.state.free_count() < 2 {
+            self.trace.push(TraceEvent::JobQueued { time: t, job: i });
+        }
+        self.queue.push_back(i);
+        self.queue_series.push((t, self.queue.len()));
+        // A tight pool may still hold past-sweet-spot allocations: shed
+        // them before trying to admit.
+        if self.strategy.rebalance_on_arrival
+            && self.state.free_count() < 2
+            && !self.running.is_empty()
+        {
+            self.rebuild(t);
+        }
+        let started = self.admit_queued(t);
+        if self.strategy.rebalance_on_arrival && started > 0 {
+            self.rebuild(t);
+            // The rebuild may have freed further pairs (jobs shrunk toward
+            // their sweet spots): give them to still-queued jobs.
+            self.admit_queued(t);
+        }
+    }
+
+    fn handle_end(&mut self, i: TaskId, t: f64) {
+        self.complete_job(i, t);
+        self.admit_queued(t);
+        if !self.running.is_empty() && self.state.free_count() >= 2 {
+            let eligible = self.eligible(t, None);
+            self.run_policy(t, &eligible, PolicyCall::End);
+            // A greedy end policy may have shed processors: admit again.
+            self.admit_queued(t);
+        }
+        debug_assert!(self.state.check_invariants());
+    }
+
+    fn handle_fault(&mut self, proc: u32, t: f64) {
+        self.advance(t);
+        let Some(f) = self.state.owner(proc) else {
+            self.discarded_faults += 1;
+            self.trace.push(TraceEvent::FaultDiscarded { time: t, proc });
+            return;
+        };
+        if t < self.state.runtime(f).t_last_r {
+            // Protected downtime/recovery/redistribution window.
+            self.discarded_faults += 1;
+            if t < self.recovery_until[f] {
+                self.fatal_risk_events += 1;
+            }
+            self.trace.push(TraceEvent::FaultDiscarded { time: t, proc });
+            return;
+        }
+
+        self.handled_faults += 1;
+        // Roll back to the last checkpoint; pay downtime + recovery
+        // (Algorithm 2 lines 23–26, unchanged from the static engine).
+        let j = self.state.sigma(f);
+        let elapsed = t - self.state.runtime(f).t_last_r;
+        let retained = self.calc.progress_faulty(f, j, elapsed);
+        let d = self.calc.downtime();
+        let r = self.calc.recovery_time(f, j);
+        let anchor = t + d + r;
+        {
+            let rt = self.state.runtime_mut(f);
+            rt.alpha = (rt.alpha - retained).max(0.0);
+            rt.t_last_r = anchor;
+        }
+        let remaining = self.calc.remaining(f, j, self.state.runtime(f).alpha);
+        self.state.runtime_mut(f).t_u = anchor + remaining;
+        self.recovery_until[f] = anchor;
+        self.trace.push(TraceEvent::Fault { time: t, proc, task: f });
+
+        // Unlike the static engine, jobs finishing inside the recovery
+        // window are NOT completed here: eager completion would release
+        // their processors at a *future* timestamp, letting an arrival due
+        // earlier grab processors that are still physically busy. The main
+        // loop completes them as ordinary end events in global time order.
+        // They are only excluded from the fault policy's donor set below
+        // (`t_u < anchor`), matching the static engine's decisions.
+
+        // Fault policy only if the struck job became the longest.
+        let tu_f = self.state.runtime(f).t_u;
+        let is_longest =
+            self.running.iter().all(|&i| i == f || self.state.runtime(i).t_u <= tu_f);
+        if is_longest {
+            let eligible: Vec<TaskId> = self
+                .eligible(t, Some(f))
+                .into_iter()
+                .filter(|&i| self.state.runtime(i).t_u >= anchor)
+                .collect();
+            self.run_policy(t, &eligible, PolicyCall::Fault(f));
+        }
+        self.admit_queued(t);
+        debug_assert!(self.state.check_invariants());
+    }
+}
+
+/// Runs a stream of jobs to completion on a failure-prone platform.
+///
+/// Job `i` of `jobs` keeps the id `i` throughout (trace records, stats).
+/// Jobs are processed in release order (ties by submission index).
+///
+/// # Errors
+/// [`ScheduleError::InsufficientProcessors`] if the platform has fewer than
+/// two processors (the buddy-checkpointing minimum per job);
+/// [`ScheduleError::EventLimitExceeded`] if the safety cap is hit.
+///
+/// # Panics
+/// Panics if `jobs` is empty.
+pub fn run_online(
+    jobs: &[JobSpec],
+    speedup: Arc<dyn SpeedupModel>,
+    platform: Platform,
+    strategy: &OnlineStrategy,
+    cfg: &OnlineConfig,
+) -> Result<OnlineOutcome, ScheduleError> {
+    assert!(!jobs.is_empty(), "an online run needs at least one job");
+    let p = platform.num_procs;
+    if p < 2 {
+        return Err(ScheduleError::InsufficientProcessors { needed: 2, available: p });
+    }
+    let n = jobs.len();
+
+    let workload = Workload::from_jobs(jobs, speedup);
+    let calc = if cfg.faults.is_some() {
+        TimeCalc::new(workload, platform)
+    } else {
+        TimeCalc::fault_free(workload, platform)
+    };
+
+    // Release order, ties broken by submission index (stable sort).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        jobs[a].release.partial_cmp(&jobs[b].release).expect("release times are finite")
+    });
+
+    let mut sim = OnlineSim {
+        calc,
+        state: PackState::unallocated(p, n),
+        trace: if cfg.record_trace { TraceLog::enabled() } else { TraceLog::disabled() },
+        running: BTreeSet::new(),
+        queue: VecDeque::new(),
+        start: vec![0.0; n],
+        completion: vec![0.0; n],
+        recovery_until: vec![0.0; n],
+        queue_series: Vec::new(),
+        redistributions: 0,
+        handled_faults: 0,
+        discarded_faults: 0,
+        fatal_risk_events: 0,
+        busy_proc_seconds: 0.0,
+        last_t: 0.0,
+        strategy,
+        end_policy: strategy.heuristic.end_policy(),
+        fault_policy: strategy.heuristic.fault_policy(),
+    };
+    let mut faults: Option<FaultSource> =
+        cfg.faults.map(|fc| FaultSource::new(fc.seed, p, fc.law));
+
+    let mut next_arrival = 0usize;
+    let mut events = 0u64;
+    while next_arrival < n || !sim.running.is_empty() {
+        events += 1;
+        if events > cfg.max_events {
+            return Err(ScheduleError::EventLimitExceeded { limit: cfg.max_events });
+        }
+
+        let end = sim.earliest_end();
+        let arr = (next_arrival < n).then(|| jobs[order[next_arrival]].release);
+        let fault_t = faults.as_ref().and_then(FaultSource::peek_time);
+
+        // Priority at equal times: completion, then arrival, then fault —
+        // completions free processors for arrivals, and the static engine
+        // already orders ends before faults.
+        let end_wins = end.is_some_and(|(_, te)| {
+            arr.is_none_or(|ta| te <= ta) && fault_t.is_none_or(|tf| te <= tf)
+        });
+        if end_wins {
+            let (i, te) = end.expect("end_wins implies an end event");
+            sim.handle_end(i, te);
+        } else if arr.is_some_and(|ta| fault_t.is_none_or(|tf| ta <= tf)) {
+            let i = order[next_arrival];
+            next_arrival += 1;
+            sim.handle_arrival(i, jobs[i].release);
+        } else {
+            let fault = faults
+                .as_mut()
+                .expect("a fault event was selected")
+                .next_fault()
+                .expect("fault streams are infinite");
+            sim.handle_fault(fault.proc, fault.time);
+        }
+    }
+    debug_assert!(sim.queue.is_empty(), "jobs left queued after termination");
+
+    let makespan = sim.completion.iter().copied().fold(0.0, f64::max);
+    let stats: Vec<JobStats> = (0..n)
+        .map(|i| JobStats {
+            job: i,
+            release: jobs[i].release,
+            start: sim.start[i],
+            completion: sim.completion[i],
+            reference: best_fault_free_time(&sim.calc, i, p),
+        })
+        .collect();
+    let metrics =
+        OnlineMetrics::compute(&stats, makespan, p, sim.busy_proc_seconds, &sim.queue_series);
+    Ok(OnlineOutcome {
+        makespan,
+        jobs: stats,
+        metrics,
+        handled_faults: sim.handled_faults,
+        discarded_faults: sim.discarded_faults,
+        fatal_risk_events: sim.fatal_risk_events,
+        redistributions: sim.redistributions,
+        queue_series: sim.queue_series,
+        trace: sim.trace,
+    })
+}
+
+/// Fault-free execution time of job `i` at its best even allocation `≤ p` —
+/// the stretch reference (the job alone on an empty, reliable platform).
+fn best_fault_free_time(calc: &TimeCalc, i: TaskId, p: u32) -> f64 {
+    let mut best = f64::INFINITY;
+    let mut j = 2u32;
+    while j <= p {
+        best = best.min(calc.fault_free_time(i, j));
+        j += 2;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrival::{generate_jobs, JobSizeModel, PoissonArrivals};
+    use redistrib_model::PaperModel;
+    use redistrib_sim::units;
+
+    fn jobs(n: usize, mean_gap: f64, seed: u64) -> Vec<JobSpec> {
+        let mut arrivals = PoissonArrivals::new(seed, mean_gap);
+        generate_jobs(&mut arrivals, n, &JobSizeModel::paper_default(), seed)
+    }
+
+    fn speedup() -> Arc<PaperModel> {
+        Arc::new(PaperModel::default())
+    }
+
+    #[test]
+    fn fault_free_run_completes_all_jobs() {
+        let jobs = jobs(12, 20_000.0, 1);
+        let out = run_online(
+            &jobs,
+            speedup(),
+            Platform::new(32),
+            &OnlineStrategy::resizing(Heuristic::IteratedGreedyEndLocal),
+            &OnlineConfig::fault_free(),
+        )
+        .unwrap();
+        assert_eq!(out.jobs.len(), 12);
+        for j in &out.jobs {
+            assert!(j.start >= j.release, "job {} started before release", j.job);
+            assert!(j.completion > j.start, "job {} has no runtime", j.job);
+            assert!(j.stretch().is_finite() && j.stretch() > 0.0);
+        }
+        assert!(out.metrics.utilization > 0.0 && out.metrics.utilization <= 1.0 + 1e-9);
+        assert_eq!(out.handled_faults, 0);
+    }
+
+    #[test]
+    fn faulty_run_completes_and_counts() {
+        let jobs = jobs(8, 50_000.0, 2);
+        let platform = Platform::with_mtbf(24, units::years(3.0));
+        let out = run_online(
+            &jobs,
+            speedup(),
+            platform,
+            &OnlineStrategy::resizing(Heuristic::ShortestTasksFirstEndLocal),
+            &OnlineConfig::with_faults(11, platform.proc_mtbf),
+        )
+        .unwrap();
+        assert!(out.handled_faults > 0, "3-year MTBF must produce faults");
+        assert!(out.makespan > 0.0);
+        assert_eq!(out.jobs.len(), 8);
+    }
+
+    #[test]
+    fn deterministic_replay_is_byte_identical() {
+        let jobs = jobs(10, 30_000.0, 3);
+        let platform = Platform::with_mtbf(16, units::years(4.0));
+        let cfg = OnlineConfig::with_faults(5, platform.proc_mtbf).recording();
+        let strategy = OnlineStrategy::resizing(Heuristic::IteratedGreedyEndGreedy);
+        let a = run_online(&jobs, speedup(), platform, &strategy, &cfg).unwrap();
+        let b = run_online(&jobs, speedup(), platform, &strategy, &cfg).unwrap();
+        assert_eq!(a.trace.to_csv(), b.trace.to_csv());
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.redistributions, b.redistributions);
+    }
+
+    #[test]
+    fn saturated_platform_queues_jobs() {
+        // 4 processors, simultaneous burst of 6 jobs: at most 2 run at once.
+        let burst: Vec<JobSpec> = (0..6)
+            .map(|k| {
+                JobSpec::new(redistrib_model::TaskSpec::new(1.5e6 + 1e5 * f64::from(k)), 0.0)
+            })
+            .collect();
+        let out = run_online(
+            &burst,
+            speedup(),
+            Platform::new(4),
+            &OnlineStrategy::no_resize(),
+            &OnlineConfig::fault_free().recording(),
+        )
+        .unwrap();
+        assert!(out.metrics.max_queue_len >= 4, "queue: {}", out.metrics.max_queue_len);
+        let queued = out
+            .trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::JobQueued { .. }))
+            .count();
+        assert!(queued >= 4, "expected queued events, got {queued}");
+        // All jobs still complete, in bounded makespan.
+        assert!(out.jobs.iter().all(|j| j.completion > 0.0));
+        // Later jobs waited.
+        assert!(out.metrics.mean_wait > 0.0);
+    }
+
+    #[test]
+    fn resizing_improves_stretch_over_no_resize() {
+        // Sparse arrivals on a big machine: resizing lets early jobs widen
+        // and newcomers claim fair shares, so the mean stretch improves.
+        let jobs = jobs(10, 10_000.0, 7);
+        let platform = Platform::with_mtbf(64, units::years(10.0));
+        let cfg = OnlineConfig::with_faults(13, platform.proc_mtbf);
+        let base =
+            run_online(&jobs, speedup(), platform, &OnlineStrategy::no_resize(), &cfg).unwrap();
+        let resized = run_online(
+            &jobs,
+            speedup(),
+            platform,
+            &OnlineStrategy::resizing(Heuristic::IteratedGreedyEndLocal),
+            &cfg,
+        )
+        .unwrap();
+        assert!(
+            resized.metrics.mean_stretch <= base.metrics.mean_stretch * 1.05,
+            "resizing {} vs baseline {}",
+            resized.metrics.mean_stretch,
+            base.metrics.mean_stretch
+        );
+        assert!(resized.redistributions > 0);
+    }
+
+    #[test]
+    fn tiny_platform_is_rejected() {
+        let jobs = jobs(2, 1000.0, 1);
+        let err = run_online(
+            &jobs,
+            speedup(),
+            Platform::new(1),
+            &OnlineStrategy::no_resize(),
+            &OnlineConfig::fault_free(),
+        )
+        .unwrap_err();
+        assert_eq!(err, ScheduleError::InsufficientProcessors { needed: 2, available: 1 });
+    }
+
+    #[test]
+    fn event_limit_guard() {
+        let jobs = jobs(4, 10_000.0, 1);
+        let cfg = OnlineConfig { max_events: 2, ..OnlineConfig::fault_free() };
+        let err =
+            run_online(&jobs, speedup(), Platform::new(16), &OnlineStrategy::no_resize(), &cfg)
+                .unwrap_err();
+        assert_eq!(err, ScheduleError::EventLimitExceeded { limit: 2 });
+    }
+
+    #[test]
+    fn strategy_names() {
+        assert_eq!(OnlineStrategy::no_resize().name(), "NoRedistribution");
+        assert_eq!(
+            OnlineStrategy::resizing(Heuristic::IteratedGreedyEndLocal).name(),
+            "IteratedGreedy-EndLocal+arrival"
+        );
+    }
+}

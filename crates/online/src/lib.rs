@@ -1,0 +1,66 @@
+//! # redistrib-online
+//!
+//! Online co-scheduling of malleable jobs — the dynamic-workload extension
+//! of *Resilient application co-scheduling with processor redistribution*
+//! (Benoit, Pottier, Robert; ICPP 2016).
+//!
+//! The paper schedules one *static* pack whose task set is fully known at
+//! `t = 0`. This crate relaxes that assumption, in the spirit of ReSHAPE
+//! (Sudarsan & Ribbens) and of Aupy et al.'s high-throughput co-scheduling
+//! model: jobs are *released over simulated time*, queue for admission, and
+//! the processor assignment is re-formed dynamically while faults keep
+//! striking.
+//!
+//! * [`arrival`] — pluggable arrival processes (Poisson, bursty,
+//!   trace-driven, merged) and seeded job-stream generation;
+//! * [`engine`] — the event-driven online scheduler: FIFO admission with
+//!   fair-share initial allocations, and malleable resizing that reuses the
+//!   static engine's `EndLocal`/`EndGreedy`/`ShortestTasksFirst`/
+//!   `IteratedGreedy` policies on arrival, completion and fault events;
+//! * [`metrics`] — online-specific metrics the static engine cannot
+//!   express: per-job stretch and flow time, queue length over time,
+//!   processor utilization, throughput.
+//!
+//! Determinism carries over from the static engine: same job stream, same
+//! fault seed, same strategy ⇒ byte-identical event logs.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use redistrib_core::Heuristic;
+//! use redistrib_model::{PaperModel, Platform};
+//! use redistrib_online::{
+//!     generate_jobs, run_online, JobSizeModel, OnlineConfig, OnlineStrategy,
+//!     PoissonArrivals,
+//! };
+//!
+//! let mut arrivals = PoissonArrivals::new(42, 20_000.0);
+//! let jobs = generate_jobs(&mut arrivals, 10, &JobSizeModel::paper_default(), 42);
+//! let platform = Platform::new(32);
+//! let cfg = OnlineConfig::with_faults(7, platform.proc_mtbf);
+//!
+//! let baseline = run_online(
+//!     &jobs, Arc::new(PaperModel::default()), platform,
+//!     &OnlineStrategy::no_resize(), &cfg,
+//! ).unwrap();
+//! let resized = run_online(
+//!     &jobs, Arc::new(PaperModel::default()), platform,
+//!     &OnlineStrategy::resizing(Heuristic::IteratedGreedyEndLocal), &cfg,
+//! ).unwrap();
+//! assert!(resized.metrics.mean_stretch <= baseline.metrics.mean_stretch * 1.05);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod arrival;
+pub mod engine;
+pub mod metrics;
+
+pub use arrival::{
+    generate_jobs, ArrivalProcess, BurstyArrivals, JobSizeModel, MergedArrivals,
+    PoissonArrivals, TraceArrivals,
+};
+pub use engine::{run_online, OnlineConfig, OnlineOutcome, OnlineStrategy};
+pub use metrics::{JobStats, OnlineMetrics};

@@ -1,0 +1,160 @@
+//! Online-specific metrics: per-job stretch and flow time, queue length,
+//! processor utilization and throughput.
+//!
+//! The static engine reports one number per pack (the makespan). An online
+//! scheduler must instead be judged per *job* — a short job stuck behind a
+//! wide one is invisible to the makespan but dominates user-perceived
+//! latency. The canonical metric is the **stretch** (a.k.a. slowdown): the
+//! job's flow time divided by the time it would take alone on the platform,
+//! failure-free and at its best allocation.
+
+/// Completion record of one job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobStats {
+    /// Job index (position in the submitted job stream).
+    pub job: usize,
+    /// Release time (absolute).
+    pub release: f64,
+    /// Start time (admission out of the queue; `≥ release`).
+    pub start: f64,
+    /// Completion time.
+    pub completion: f64,
+    /// Reference time: fault-free execution time at the job's best even
+    /// allocation on an otherwise-empty platform.
+    pub reference: f64,
+}
+
+impl JobStats {
+    /// Flow (response) time `completion − release`.
+    #[must_use]
+    pub fn flow_time(&self) -> f64 {
+        self.completion - self.release
+    }
+
+    /// Queueing delay `start − release`.
+    #[must_use]
+    pub fn wait_time(&self) -> f64 {
+        self.start - self.release
+    }
+
+    /// Stretch: flow time normalized by the job's dedicated-platform
+    /// fault-free time.
+    #[must_use]
+    pub fn stretch(&self) -> f64 {
+        self.flow_time() / self.reference
+    }
+}
+
+/// Aggregate view over a finished online run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineMetrics {
+    /// Mean stretch over all jobs.
+    pub mean_stretch: f64,
+    /// Maximum stretch over all jobs.
+    pub max_stretch: f64,
+    /// Mean flow time (seconds).
+    pub mean_flow: f64,
+    /// Mean queueing delay (seconds).
+    pub mean_wait: f64,
+    /// Completed jobs per second of makespan.
+    pub throughput: f64,
+    /// Busy processor-seconds divided by `p ×` makespan, in `[0, 1]`.
+    pub utilization: f64,
+    /// Time-weighted mean admission-queue length.
+    pub mean_queue_len: f64,
+    /// Maximum admission-queue length observed.
+    pub max_queue_len: usize,
+}
+
+impl OnlineMetrics {
+    /// Computes the aggregates from per-job stats, the busy-time integral
+    /// and the queue-length series.
+    ///
+    /// # Panics
+    /// Panics if `jobs` is empty or the makespan is not positive.
+    #[must_use]
+    pub fn compute(
+        jobs: &[JobStats],
+        makespan: f64,
+        num_procs: u32,
+        busy_proc_seconds: f64,
+        queue_series: &[(f64, usize)],
+    ) -> Self {
+        assert!(!jobs.is_empty(), "metrics need at least one job");
+        assert!(makespan > 0.0, "makespan must be positive");
+        let n = jobs.len() as f64;
+        let mean_stretch = jobs.iter().map(JobStats::stretch).sum::<f64>() / n;
+        let max_stretch = jobs.iter().map(JobStats::stretch).fold(0.0, f64::max);
+        let mean_flow = jobs.iter().map(JobStats::flow_time).sum::<f64>() / n;
+        let mean_wait = jobs.iter().map(JobStats::wait_time).sum::<f64>() / n;
+        let (mean_queue_len, max_queue_len) = queue_profile(queue_series, makespan);
+        Self {
+            mean_stretch,
+            max_stretch,
+            mean_flow,
+            mean_wait,
+            throughput: n / makespan,
+            utilization: busy_proc_seconds / (f64::from(num_procs) * makespan),
+            mean_queue_len,
+            max_queue_len,
+        }
+    }
+}
+
+/// Time-weighted mean and maximum of a right-continuous step series of
+/// queue lengths over `[first sample, horizon]`.
+fn queue_profile(series: &[(f64, usize)], horizon: f64) -> (f64, usize) {
+    let mut max_len = 0usize;
+    let mut weighted = 0.0;
+    let mut covered = 0.0;
+    for (k, &(t, len)) in series.iter().enumerate() {
+        max_len = max_len.max(len);
+        let until = series.get(k + 1).map_or(horizon, |&(t2, _)| t2);
+        let dt = (until - t).max(0.0);
+        weighted += len as f64 * dt;
+        covered += dt;
+    }
+    let mean = if covered > 0.0 { weighted / covered } else { 0.0 };
+    (mean, max_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(release: f64, start: f64, completion: f64, reference: f64) -> JobStats {
+        JobStats { job: 0, release, start, completion, reference }
+    }
+
+    #[test]
+    fn per_job_quantities() {
+        let j = job(10.0, 15.0, 40.0, 10.0);
+        assert_eq!(j.flow_time(), 30.0);
+        assert_eq!(j.wait_time(), 5.0);
+        assert_eq!(j.stretch(), 3.0);
+    }
+
+    #[test]
+    fn aggregates() {
+        let jobs = [job(0.0, 0.0, 10.0, 10.0), job(0.0, 10.0, 30.0, 10.0)];
+        let series = [(0.0, 1), (10.0, 0)];
+        let m = OnlineMetrics::compute(&jobs, 30.0, 4, 60.0, &series);
+        assert_eq!(m.mean_stretch, 2.0); // stretches 1 and 3
+        assert_eq!(m.max_stretch, 3.0);
+        assert_eq!(m.mean_flow, 20.0);
+        assert_eq!(m.mean_wait, 5.0);
+        assert!((m.throughput - 2.0 / 30.0).abs() < 1e-12);
+        assert!((m.utilization - 0.5).abs() < 1e-12);
+        // Queue holds 1 job for 10 s of the 30 s horizon.
+        assert!((m.mean_queue_len - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(m.max_queue_len, 1);
+    }
+
+    #[test]
+    fn empty_queue_series_is_zero() {
+        let jobs = [job(0.0, 0.0, 5.0, 5.0)];
+        let m = OnlineMetrics::compute(&jobs, 5.0, 2, 10.0, &[]);
+        assert_eq!(m.mean_queue_len, 0.0);
+        assert_eq!(m.max_queue_len, 0);
+    }
+}

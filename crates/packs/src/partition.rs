@@ -155,11 +155,7 @@ pub fn pack_makespan(
         TimeCalc::fault_free(sub, platform)
     };
     let sigma = optimal_schedule(&mut calc, platform.num_procs)?;
-    Ok(sigma
-        .iter()
-        .enumerate()
-        .map(|(i, &s)| calc.remaining(i, s, 1.0))
-        .fold(0.0, f64::max))
+    Ok(sigma.iter().enumerate().map(|(i, &s)| calc.remaining(i, s, 1.0)).fold(0.0, f64::max))
 }
 
 /// Optimal partition into exactly `num_packs` *consecutive* packs of the
@@ -346,10 +342,7 @@ mod tests {
         let w = workload(&[2.4e6, 2.1e6, 1.9e6, 1.6e6, 1.4e6, 1.2e6]);
         let plat = platform(8);
         let total = |part: &PackPartition| -> f64 {
-            part.packs
-                .iter()
-                .map(|pack| pack_makespan(&w, plat, pack, true).unwrap())
-                .sum()
+            part.packs.iter().map(|pack| pack_makespan(&w, plat, pack, true).unwrap()).sum()
         };
         let dp = dp_consecutive(&w, plat, 3, true).unwrap();
         let lpt = lpt_packs(&w, 3);

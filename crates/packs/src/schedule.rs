@@ -147,13 +147,8 @@ mod tests {
         let w = workload(&sizes);
         let plat = platform(8);
         assert!(!fits_single_pack(&w, plat));
-        let single = run_partition(
-            &w,
-            plat,
-            &single_pack(8),
-            Heuristic::NoRedistribution,
-            Some(1),
-        );
+        let single =
+            run_partition(&w, plat, &single_pack(8), Heuristic::NoRedistribution, Some(1));
         assert!(single.is_err());
         let part = chunk_by_capacity(&w, 8);
         let multi =
@@ -177,8 +172,8 @@ mod tests {
     fn makespan_is_sum_of_pack_makespans() {
         let w = workload(&[2e5, 1.5e5, 1.8e5, 1.2e5]);
         let part = chunk_by_capacity(&w, 4);
-        let out =
-            run_partition(&w, platform(4), &part, Heuristic::NoRedistribution, Some(3)).unwrap();
+        let out = run_partition(&w, platform(4), &part, Heuristic::NoRedistribution, Some(3))
+            .unwrap();
         let sum: f64 = out.pack_outcomes.iter().map(|o| o.makespan).sum();
         assert!((out.makespan - sum).abs() < 1e-9);
     }
@@ -191,11 +186,7 @@ mod tests {
         let out =
             run_partition(&w, plat, &part, Heuristic::IteratedGreedyEndLocal, Some(5)).unwrap();
         assert!(out.makespan.is_finite());
-        assert_eq!(
-            out.pack_outcomes.len(),
-            part.len(),
-            "one engine run per pack"
-        );
+        assert_eq!(out.pack_outcomes.len(), part.len(), "one engine run per pack");
     }
 
     #[test]

@@ -217,7 +217,9 @@ impl FaultLaw {
         match *self {
             FaultLaw::Exponential { mtbf } => Exponential::from_mean(mtbf).sample(rng),
             FaultLaw::Weibull { shape, mtbf } => Weibull::from_mean(shape, mtbf).sample(rng),
-            FaultLaw::LogNormal { mtbf, sigma } => LogNormal::from_mean(mtbf, sigma).sample(rng),
+            FaultLaw::LogNormal { mtbf, sigma } => {
+                LogNormal::from_mean(mtbf, sigma).sample(rng)
+            }
         }
     }
 

@@ -52,6 +52,30 @@ pub enum TraceEvent {
         /// Population std-dev of per-task allocation sizes (Fig. 9b).
         alloc_stddev: f64,
     },
+    /// A job was released into the online system (online co-scheduling).
+    JobArrival {
+        /// Release time of the job.
+        time: f64,
+        /// The arriving job.
+        job: usize,
+    },
+    /// A job left the admission queue and started executing.
+    JobStart {
+        /// Start time.
+        time: f64,
+        /// The started job.
+        job: usize,
+        /// Initial allocation granted by the admission layer.
+        alloc: u32,
+    },
+    /// A job could not start (fewer than two free processors) and was
+    /// queued.
+    JobQueued {
+        /// Time the job entered the queue.
+        time: f64,
+        /// The queued job.
+        job: usize,
+    },
 }
 
 impl TraceEvent {
@@ -63,7 +87,10 @@ impl TraceEvent {
             | TraceEvent::FaultDiscarded { time, .. }
             | TraceEvent::TaskEnd { time, .. }
             | TraceEvent::Redistribution { time, .. }
-            | TraceEvent::MakespanEstimate { time, .. } => time,
+            | TraceEvent::MakespanEstimate { time, .. }
+            | TraceEvent::JobArrival { time, .. }
+            | TraceEvent::JobStart { time, .. }
+            | TraceEvent::JobQueued { time, .. } => time,
         }
     }
 
@@ -74,6 +101,9 @@ impl TraceEvent {
             TraceEvent::TaskEnd { .. } => "task_end",
             TraceEvent::Redistribution { .. } => "redistribution",
             TraceEvent::MakespanEstimate { .. } => "makespan",
+            TraceEvent::JobArrival { .. } => "job_arrival",
+            TraceEvent::JobStart { .. } => "job_start",
+            TraceEvent::JobQueued { .. } => "job_queued",
         }
     }
 }
@@ -133,19 +163,13 @@ impl TraceLog {
     /// Number of handled (non-discarded) faults.
     #[must_use]
     pub fn fault_count(&self) -> usize {
-        self.events
-            .iter()
-            .filter(|e| matches!(e, TraceEvent::Fault { .. }))
-            .count()
+        self.events.iter().filter(|e| matches!(e, TraceEvent::Fault { .. })).count()
     }
 
     /// Number of redistribution records.
     #[must_use]
     pub fn redistribution_count(&self) -> usize {
-        self.events
-            .iter()
-            .filter(|e| matches!(e, TraceEvent::Redistribution { .. }))
-            .count()
+        self.events.iter().filter(|e| matches!(e, TraceEvent::Redistribution { .. })).count()
     }
 
     /// Renders the log as CSV with header
@@ -172,6 +196,12 @@ impl TraceLog {
                 }
                 TraceEvent::MakespanEstimate { makespan, alloc_stddev, .. } => {
                     let _ = write!(out, ",,,,,,{makespan},{alloc_stddev}");
+                }
+                TraceEvent::JobArrival { job, .. } | TraceEvent::JobQueued { job, .. } => {
+                    let _ = write!(out, ",{job},,,,,,");
+                }
+                TraceEvent::JobStart { job, alloc, .. } => {
+                    let _ = write!(out, ",{job},,,{alloc},,,");
                 }
             }
             out.push('\n');
@@ -221,6 +251,23 @@ mod tests {
         log.push(TraceEvent::MakespanEstimate { time: 3.0, makespan: 9.0, alloc_stddev: 0.7 });
         let series: Vec<_> = log.makespan_series().collect();
         assert_eq!(series, vec![(1.0, 10.0, 0.5), (3.0, 9.0, 0.7)]);
+    }
+
+    #[test]
+    fn online_event_kinds_roundtrip() {
+        let mut log = TraceLog::enabled();
+        log.push(TraceEvent::JobArrival { time: 1.0, job: 3 });
+        log.push(TraceEvent::JobQueued { time: 1.0, job: 3 });
+        log.push(TraceEvent::JobStart { time: 2.5, job: 3, alloc: 4 });
+        let csv = log.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[1], "1,job_arrival,3,,,,,,");
+        assert_eq!(lines[2], "1,job_queued,3,,,,,,");
+        assert_eq!(lines[3], "2.5,job_start,3,,,4,,,");
+        for l in &lines {
+            assert_eq!(l.matches(',').count(), 8, "line: {l}");
+        }
+        assert_eq!(log.events()[2].time(), 2.5);
     }
 
     #[test]

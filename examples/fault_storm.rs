@@ -21,19 +21,10 @@ fn main() {
     workload.m_inf = 2.0e5;
     workload.m_sup = 5.0e5;
 
-    println!(
-        "{:>12} {:>10} {:>12} {:>12}   winner",
-        "MTBF (y)", "faults", "IG-EL", "STF-EL"
-    );
+    println!("{:>12} {:>10} {:>12} {:>12}   winner", "MTBF (y)", "faults", "IG-EL", "STF-EL");
     for mtbf_years in [0.5, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0] {
-        let cfg = PointConfig {
-            workload,
-            p,
-            mtbf_years,
-            downtime: 60.0,
-            runs: 10,
-            base_seed: 99,
-        };
+        let cfg =
+            PointConfig { workload, p, mtbf_years, downtime: 60.0, runs: 10, base_seed: 99 };
         let stats = run_point(
             &cfg,
             Variant::FaultNoRc,

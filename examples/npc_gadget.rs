@@ -45,11 +45,8 @@ fn main() {
     let d = no.deadline();
     println!("  D = {d}; best makespans over all partitions:");
     // Show a few partitions and their (closed-form) overshoot D + (S−B)/4.
-    let candidates = [
-        [[0usize, 1, 2], [3, 4, 5]],
-        [[0, 1, 3], [2, 4, 5]],
-        [[0, 2, 4], [1, 3, 5]],
-    ];
+    let candidates =
+        [[[0usize, 1, 2], [3, 4, 5]], [[0, 1, 3], [2, 4, 5]], [[0, 2, 4], [1, 3, 5]]];
     for partition in candidates {
         let mk = makespan_for_partition(&no, &partition);
         println!("    {partition:?} → makespan {mk} (> D)");

@@ -40,10 +40,9 @@ fn main() {
         "{:<28} {:>14} {:>8} {:>16}",
         "strategy", "makespan (d)", "faults", "redistributions"
     );
-    for (name, out) in [
-        ("no redistribution", &baseline),
-        ("IteratedGreedy-EndLocal", &redistributed),
-    ] {
+    for (name, out) in
+        [("no redistribution", &baseline), ("IteratedGreedy-EndLocal", &redistributed)]
+    {
         println!(
             "{:<28} {:>14.2} {:>8} {:>16}",
             name,

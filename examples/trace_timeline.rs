@@ -54,6 +54,15 @@ fn main() {
                     units::to_days(makespan)
                 );
             }
+            TraceEvent::JobArrival { job, .. } => {
+                println!("{t:>12.3}  ARRIVAL     job {job} released");
+            }
+            TraceEvent::JobStart { job, alloc, .. } => {
+                println!("{t:>12.3}  START       job {job} admitted on {alloc} procs");
+            }
+            TraceEvent::JobQueued { job, .. } => {
+                println!("{t:>12.3}  QUEUED      job {job} waits for processors");
+            }
         }
     }
     println!();

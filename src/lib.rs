@@ -20,6 +20,8 @@
 //!   exact solvers, the NP-completeness gadget) — [`core`];
 //! * multi-pack partitioning and sequential pack execution (the paper's
 //!   future-work direction) — [`packs`];
+//! * online co-scheduling: dynamic job arrivals, admission queueing and
+//!   malleable resizing on arrival/completion/fault events — [`online`];
 //! * the experiment harnesses regenerating every figure of the paper —
 //!   [`experiments`].
 //!
@@ -61,6 +63,7 @@ pub use redistrib_core as core;
 pub use redistrib_experiments as experiments;
 pub use redistrib_graph as graph;
 pub use redistrib_model as model;
+pub use redistrib_online as online;
 pub use redistrib_packs as packs;
 pub use redistrib_sim as sim;
 
@@ -72,9 +75,10 @@ pub mod prelude {
         ScheduleError, ShortestTasksFirst,
     };
     pub use redistrib_model::{
-        EndSemantics, ExecutionMode, PaperModel, PeriodRule, Platform, SpeedupModel, TaskSpec,
-        TimeCalc, Workload,
+        EndSemantics, ExecutionMode, JobSpec, PaperModel, PeriodRule, Platform, SpeedupModel,
+        TaskSpec, TimeCalc, Workload,
     };
+    pub use redistrib_online::{run_online, OnlineConfig, OnlineOutcome, OnlineStrategy};
     pub use redistrib_sim::{FaultLaw, FaultSource, TraceLog, Xoshiro256};
 }
 

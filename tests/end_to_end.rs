@@ -10,9 +10,7 @@ use redistrib::sim::units;
 
 fn workload(n: usize, seed: u64) -> Workload {
     let mut rng = Xoshiro256::seed_from_u64(seed);
-    let tasks = (0..n)
-        .map(|_| TaskSpec::new(rng.uniform(1.5e5, 2.5e5)))
-        .collect();
+    let tasks = (0..n).map(|_| TaskSpec::new(rng.uniform(1.5e5, 2.5e5))).collect();
     Workload::new(tasks, Arc::new(PaperModel::default()))
 }
 
@@ -98,7 +96,8 @@ fn pseudocode_bias_changes_little_but_runs() {
     };
     let h = Heuristic::IteratedGreedyEndLocal;
     let mut c1 = TimeCalc::new(workload(12, 17), platform);
-    let unbiased = run(&mut c1, &*h.end_policy(), &*h.fault_policy(), &make_cfg(false)).unwrap();
+    let unbiased =
+        run(&mut c1, &*h.end_policy(), &*h.fault_policy(), &make_cfg(false)).unwrap();
     let mut c2 = TimeCalc::new(workload(12, 17), platform);
     let biased = run(&mut c2, &*h.end_policy(), &*h.fault_policy(), &make_cfg(true)).unwrap();
     assert!(unbiased.makespan.is_finite() && biased.makespan.is_finite());
@@ -131,8 +130,7 @@ fn end_semantics_ablation_orders_makespans() {
 #[test]
 fn daly_period_rule_runs() {
     let platform = Platform::with_mtbf(64, units::years(2.0));
-    let mut calc =
-        TimeCalc::new(workload(10, 29), platform).with_period_rule(PeriodRule::Daly);
+    let mut calc = TimeCalc::new(workload(10, 29), platform).with_period_rule(PeriodRule::Daly);
     let cfg = EngineConfig::with_faults(29, platform.proc_mtbf);
     let h = Heuristic::IteratedGreedyEndLocal;
     let out = run(&mut calc, &*h.end_policy(), &*h.fault_policy(), &cfg).unwrap();
@@ -164,10 +162,7 @@ fn fatal_risk_counter_fires_under_extreme_unreliability() {
     let cfg = EngineConfig::with_faults(37, platform.proc_mtbf);
     let h = Heuristic::NoRedistribution;
     let out = run(&mut calc, &*h.end_policy(), &*h.fault_policy(), &cfg).unwrap();
-    assert!(
-        out.discarded_faults > 0,
-        "protected windows should discard faults at this rate"
-    );
+    assert!(out.discarded_faults > 0, "protected windows should discard faults at this rate");
 }
 
 #[test]

@@ -65,10 +65,7 @@ fn every_fault_advances_the_faulty_tasks_anchor() {
     for e in out.trace.events() {
         if let TraceEvent::Fault { time, task, .. } = *e {
             assert!(time >= last_fault, "fault records out of order");
-            assert!(
-                time <= completion[task],
-                "fault after task {task} completed"
-            );
+            assert!(time <= completion[task], "fault after task {task} completed");
             last_fault = time;
         }
     }
@@ -80,13 +77,7 @@ fn protected_windows_discard_faults_under_extreme_rates() {
     let platform = Platform::with_mtbf(8, units::days(20.0));
     let mut calc = TimeCalc::new(single_task(2.0e5), platform);
     let cfg = EngineConfig::with_faults(3, platform.proc_mtbf).recording();
-    let out = run(
-        &mut calc,
-        &NoEndRedistribution,
-        &NoFaultRedistribution,
-        &cfg,
-    )
-    .unwrap();
+    let out = run(&mut calc, &NoEndRedistribution, &NoFaultRedistribution, &cfg).unwrap();
     assert!(out.handled_faults > 0);
     assert!(
         out.discarded_faults > 0,
@@ -129,11 +120,7 @@ fn recovery_window_completions_release_processors() {
     let platform = Platform::with_mtbf(12, units::years(0.8));
     for seed in 0..20u64 {
         let workload = Workload::new(
-            vec![
-                TaskSpec::new(1.0e5),
-                TaskSpec::new(3.0e5),
-                TaskSpec::new(3.2e5),
-            ],
+            vec![TaskSpec::new(1.0e5), TaskSpec::new(3.0e5), TaskSpec::new(3.2e5)],
             Arc::new(PaperModel::default()),
         );
         let mut calc = TimeCalc::new(workload, platform);
@@ -174,10 +161,7 @@ fn makespan_monotone_in_fault_rate_on_average() {
     };
     let reliable = mean_makespan(50.0);
     let hostile = mean_makespan(0.5);
-    assert!(
-        hostile > reliable,
-        "hostile {hostile} should exceed reliable {reliable}"
-    );
+    assert!(hostile > reliable, "hostile {hostile} should exceed reliable {reliable}");
 }
 
 #[test]

@@ -10,9 +10,8 @@ fn every_figure_has_a_harness() {
     // exercised individually by their crate-level unit tests, so here we
     // only check dispatch and table shape for a representative subset.
     for id in ["fig5", "fig8", "fig12"] {
-        let report = run_figure(id, &FigOpts::quick())
-            .expect("harness runs")
-            .expect("id known");
+        let report =
+            run_figure(id, &FigOpts::quick()).expect("harness runs").expect("id known");
         assert_eq!(report.id, id);
         assert!(!report.tables.is_empty());
         for table in &report.tables {
@@ -48,10 +47,7 @@ fn seed_changes_results() {
     let b = run_figure("fig5", &opts).unwrap().unwrap();
     // Ratios differ somewhere (different workloads), while the shape holds.
     let flat = |r: &redistrib::experiments::FigureReport| {
-        r.tables
-            .iter()
-            .flat_map(|t| t.rows.iter().flatten().cloned())
-            .collect::<Vec<_>>()
+        r.tables.iter().flat_map(|t| t.rows.iter().flatten().cloned()).collect::<Vec<_>>()
     };
     assert_ne!(flat(&a), flat(&b));
 }

@@ -24,7 +24,8 @@ fn fault_free_gain_shrinks_with_p() {
         Variant::FaultFree(Heuristic::EndLocalOnly),
     ];
     let small = run_point(&point(16, 40, 100.0, 5), Variant::FaultFreeNoRc, &variants).unwrap();
-    let large = run_point(&point(16, 400, 100.0, 5), Variant::FaultFreeNoRc, &variants).unwrap();
+    let large =
+        run_point(&point(16, 400, 100.0, 5), Variant::FaultFreeNoRc, &variants).unwrap();
     for s in &small {
         assert!(s.mean_ratio < 0.97, "visible gain at small p: {}", s.mean_ratio);
     }

@@ -1,0 +1,324 @@
+//! Offline stand-in for the [`criterion`](https://docs.rs/criterion)
+//! benchmarking harness.
+//!
+//! The build container has no network access to crates.io, so this crate
+//! provides the (small) subset of the criterion API used by the
+//! `redistrib-bench` suite: groups, `bench_function`/`bench_with_input`,
+//! `iter`/`iter_batched`, `BenchmarkId`, `BatchSize`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Semantics mirror criterion's two execution modes:
+//!
+//! * invoked by `cargo bench` (a `--bench` flag is present): every routine is
+//!   warmed up once and then timed for `sample_size` iterations or until the
+//!   group's `measurement_time` elapses, and a mean wall-clock time per
+//!   iteration is printed;
+//! * invoked by `cargo test` (no `--bench` flag): every routine runs exactly
+//!   once as a smoke test, so benches stay cheap in test runs.
+//!
+//! No statistics beyond the mean are computed; this is a measurement shim,
+//! not a statistical harness.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are grouped between setup calls (accepted for API
+/// compatibility; this shim always uses one setup call per iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup call per iteration.
+    PerIteration,
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Creates an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Per-iteration timing driver handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: u64,
+    measurement_time: Duration,
+    /// Mean seconds per iteration of the last `iter` call.
+    last_mean: Option<f64>,
+    iters_done: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean wall-clock time per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            self.iters_done = 1;
+            self.last_mean = None;
+            return;
+        }
+        // Warm-up.
+        black_box(routine());
+        let deadline = Instant::now() + self.measurement_time;
+        let start = Instant::now();
+        let mut n = 0u64;
+        while n < self.sample_size && (n == 0 || Instant::now() < deadline) {
+            black_box(routine());
+            n += 1;
+        }
+        let elapsed = start.elapsed();
+        self.iters_done = n;
+        self.last_mean = Some(elapsed.as_secs_f64() / n.max(1) as f64);
+    }
+
+    /// Times `routine` over inputs produced by `setup` (setup excluded from
+    /// the timing).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            black_box(routine(setup()));
+            self.iters_done = 1;
+            self.last_mean = None;
+            return;
+        }
+        black_box(routine(setup()));
+        let deadline = Instant::now() + self.measurement_time;
+        let mut total = Duration::ZERO;
+        let mut n = 0u64;
+        while n < self.sample_size && (n == 0 || Instant::now() < deadline) {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            n += 1;
+        }
+        self.iters_done = n;
+        self.last_mean = Some(total.as_secs_f64() / n.max(1) as f64);
+    }
+}
+
+fn report(id: &str, bencher: &Bencher) {
+    if let Some(mean) = bencher.last_mean {
+        let (value, unit) = if mean >= 1.0 {
+            (mean, "s")
+        } else if mean >= 1e-3 {
+            (mean * 1e3, "ms")
+        } else if mean >= 1e-6 {
+            (mean * 1e6, "µs")
+        } else {
+            (mean * 1e9, "ns")
+        };
+        println!("{id:<60} time: {value:>10.3} {unit}  ({} iters)", bencher.iters_done);
+    }
+}
+
+/// A named group of related benchmarks sharing measurement settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    measurement_time: Duration,
+    criterion: &'a Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of timed iterations.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Sets the measurement-time budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            test_mode: self.criterion.test_mode,
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            last_mean: None,
+            iters_done: 0,
+        };
+        f(&mut bencher);
+        report(&format!("{}/{}", self.name, id.id), &bencher);
+        self
+    }
+
+    /// Benchmarks `f` under `id` with a borrowed input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            test_mode: self.criterion.test_mode,
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            last_mean: None,
+            iters_done: 0,
+        };
+        f(&mut bencher, input);
+        report(&format!("{}/{}", self.name, id.id), &bencher);
+        self
+    }
+
+    /// Ends the group (provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    /// Detects the execution mode: `cargo bench` passes `--bench`, while
+    /// `cargo test` runs bench binaries without it (smoke mode).
+    fn default() -> Self {
+        let bench = std::env::args().any(|a| a == "--bench");
+        Self { test_mode: !bench }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            measurement_time: Duration::from_secs(3),
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks `f` as a standalone (ungrouped) benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            sample_size: 20,
+            measurement_time: Duration::from_secs(3),
+            last_mean: None,
+            iters_done: 0,
+        };
+        f(&mut bencher);
+        report(id, &bencher);
+        self
+    }
+
+    /// Prints the closing summary line.
+    pub fn final_summary(&self) {
+        if !self.test_mode {
+            println!("benchmarks complete");
+        }
+    }
+}
+
+/// Bundles benchmark functions into a single group entry point, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generates the `main` function running the given groups, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $( $group(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("n10").id, "n10");
+    }
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion { test_mode: true };
+        let mut count = 0;
+        c.bench_function("counting", |b| b.iter(|| count += 1));
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn bench_mode_times_iterations() {
+        let mut c = Criterion { test_mode: false };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5).measurement_time(Duration::from_millis(50));
+        let mut count = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(1), &1u64, |b, &x| {
+            b.iter(|| count += x);
+        });
+        group.finish();
+        // Warm-up + up to 5 timed iterations.
+        assert!(count >= 2);
+    }
+
+    #[test]
+    fn iter_batched_smoke() {
+        let mut c = Criterion { test_mode: true };
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::LargeInput);
+        });
+    }
+}
