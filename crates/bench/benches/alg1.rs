@@ -21,7 +21,7 @@ fn bench_alg1(c: &mut Criterion) {
             |b, &(n, p)| {
                 b.iter_batched(
                     || fault_calc(n, p, 42),
-                    |mut calc| black_box(optimal_schedule(&mut calc, p).unwrap()),
+                    |calc| black_box(optimal_schedule(&calc, p).unwrap()),
                     criterion::BatchSize::LargeInput,
                 );
             },

@@ -1,0 +1,67 @@
+//! Campaign throughput: whole figure points through the work-stealing
+//! streaming runners (`run_point` / `run_online_point`) — the unit of work
+//! of every sweep in the paper's evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use redistrib_core::Heuristic;
+use redistrib_experiments::online::campaign_strategies;
+use redistrib_experiments::runner::{run_point, PointConfig, Variant};
+use redistrib_experiments::workload::WorkloadParams;
+use redistrib_experiments::{run_online_point, OnlinePointConfig};
+use redistrib_online::JobSizeModel;
+
+fn bench_static_campaign(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign_static");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(6));
+    group.bench_function("n10_p60_x32", |b| {
+        let cfg = PointConfig {
+            workload: WorkloadParams::paper_default(10),
+            p: 60,
+            mtbf_years: 10.0,
+            downtime: 60.0,
+            runs: 32,
+            base_seed: 0xC0_5CED,
+        };
+        let variants = [
+            Variant::FaultNoRc,
+            Variant::Fault(Heuristic::IteratedGreedyEndLocal),
+            Variant::Fault(Heuristic::ShortestTasksFirstEndLocal),
+        ];
+        b.iter(|| {
+            let stats = run_point(&cfg, Variant::FaultNoRc, &variants).unwrap();
+            black_box(stats[1].mean_ratio)
+        });
+    });
+    group.finish();
+}
+
+fn bench_online_campaign(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign_online");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(6));
+    group.bench_function("j24_p48_x16", |b| {
+        let cfg = OnlinePointConfig {
+            jobs: 24,
+            mean_interarrival: 2_000.0,
+            sizes: JobSizeModel::paper_default(),
+            seq_fraction: 0.08,
+            p: 48,
+            mtbf_years: 20.0,
+            runs: 16,
+            base_seed: 0x0511_11E5,
+        };
+        let strategies = campaign_strategies();
+        b.iter(|| {
+            let stats = run_online_point(&cfg, &strategies).unwrap();
+            black_box(stats[1].stretch_ratio)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_static_campaign, bench_online_campaign);
+criterion_main!(benches);

@@ -10,6 +10,38 @@ use redistrib_bench::{paper_workload, platform_with_mtbf};
 use redistrib_core::{run, EngineConfig, Heuristic};
 use redistrib_model::TimeCalc;
 
+/// Pure event-loop cost (no redistribution policy): the heap-driven
+/// `earliest_active` queue and per-event bookkeeping, across the scales the
+/// figures sweep. A single `calc` is shared across iterations (`&self`
+/// lookups), isolating the loop itself from table construction.
+fn bench_event_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_event_loop");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(4));
+    for (n, p) in [(10usize, 50u32), (100, 500), (1000, 5000)] {
+        let platform = platform_with_mtbf(p, 10.0);
+        let calc = TimeCalc::new(paper_workload(n, 5), platform);
+        let h = Heuristic::NoRedistribution;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_p{p}")),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    let out = run(
+                        &calc,
+                        &*h.end_policy(),
+                        &*h.fault_policy(),
+                        &EngineConfig::with_faults(9, platform.proc_mtbf),
+                    )
+                    .unwrap();
+                    black_box(out.makespan)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_fault_free_runs(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_fault_free");
     group.sample_size(10);
@@ -21,12 +53,12 @@ fn bench_fault_free_runs(c: &mut Criterion) {
             |b, &(n, p)| {
                 let h = Heuristic::EndLocalOnly;
                 b.iter(|| {
-                    let mut calc = TimeCalc::fault_free(
+                    let calc = TimeCalc::fault_free(
                         paper_workload(n, 5),
                         platform_with_mtbf(p, 100.0),
                     );
                     let out = run(
-                        &mut calc,
+                        &calc,
                         &*h.end_policy(),
                         &*h.fault_policy(),
                         &EngineConfig::fault_free(),
@@ -56,9 +88,9 @@ fn bench_faulty_runs(c: &mut Criterion) {
             |b, &h| {
                 let platform = platform_with_mtbf(1000, 10.0);
                 b.iter(|| {
-                    let mut calc = TimeCalc::new(paper_workload(100, 5), platform);
+                    let calc = TimeCalc::new(paper_workload(100, 5), platform);
                     let out = run(
-                        &mut calc,
+                        &calc,
                         &*h.end_policy(),
                         &*h.fault_policy(),
                         &EngineConfig::with_faults(9, platform.proc_mtbf),
@@ -72,5 +104,5 @@ fn bench_faulty_runs(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fault_free_runs, bench_faulty_runs);
+criterion_group!(benches, bench_event_loop, bench_fault_free_runs, bench_faulty_runs);
 criterion_main!(benches);

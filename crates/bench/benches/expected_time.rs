@@ -41,10 +41,10 @@ fn bench_expected_time_eval(c: &mut Criterion) {
 
 fn bench_cached_remaining(c: &mut Criterion) {
     c.bench_function("timecalc_remaining_cached", |b| {
-        let mut calc = fault_calc(100, 1000, 3);
+        let calc = fault_calc(100, 1000, 3);
         // Warm the cache.
         for j in (2..=64u32).step_by(2) {
-            calc.remaining(50, j, 1.0);
+            let _ = calc.remaining(50, j, 1.0);
         }
         let mut j = 2;
         b.iter(|| {
@@ -56,10 +56,27 @@ fn bench_cached_remaining(c: &mut Criterion) {
 
 fn bench_improvable_scan(c: &mut Criterion) {
     c.bench_function("improvable_up_to_p5000", |b| {
-        let mut calc = fault_calc(100, 5000, 3);
+        let calc = fault_calc(100, 5000, 3);
         let cur = calc.remaining(0, 2, 1.0);
         b.iter(|| black_box(calc.improvable_up_to(0, 2, cur, 5000, 1.0)));
     });
+}
+
+/// Dense time-table materialization: every `(task, j)` block a paper-scale
+/// run can touch, filled eagerly through `prefill`.
+fn bench_table_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table_build");
+    group.sample_size(10);
+    for (n, p) in [(100usize, 400u32), (1000, 2000)] {
+        group.bench_function(format!("prefill_n{n}_p{p}"), |b| {
+            b.iter(|| {
+                let calc = fault_calc(n, p, 3);
+                calc.prefill(p);
+                black_box(calc.remaining(n - 1, p, 1.0))
+            });
+        });
+    }
+    group.finish();
 }
 
 criterion_group!(
@@ -67,6 +84,7 @@ criterion_group!(
     bench_alloc_params,
     bench_expected_time_eval,
     bench_cached_remaining,
-    bench_improvable_scan
+    bench_improvable_scan,
+    bench_table_build
 );
 criterion_main!(benches);

@@ -13,19 +13,19 @@ use redistrib_bench::fault_calc;
 use redistrib_core::policies::{
     EndGreedy, EndLocal, EndPolicy, FaultPolicy, IteratedGreedy, ShortestTasksFirst,
 };
-use redistrib_core::{optimal_schedule, HeuristicCtx, PackState};
+use redistrib_core::{optimal_schedule, HeuristicCtx, PackState, PolicyScratch};
 use redistrib_model::TimeCalc;
 use redistrib_sim::trace::TraceLog;
 
 /// Builds a mid-flight state: Algorithm 1 allocation, all anchors at 0,
 /// task 0 faulty at `now` (rolled back, recovery charged).
 fn fixture(n: usize, p: u32) -> (TimeCalc, PackState, f64) {
-    let mut calc = fault_calc(n, p, 7);
-    let sigma = optimal_schedule(&mut calc, p).expect("feasible");
+    let calc = fault_calc(n, p, 7);
+    let sigma = optimal_schedule(&calc, p).expect("feasible");
     let mut state = PackState::new(p, &sigma);
     for (i, &s) in sigma.iter().enumerate() {
         let tu = calc.remaining(i, s, 1.0);
-        state.runtime_mut(i).t_u = tu;
+        state.set_t_u(i, tu);
     }
     let now = state.runtime(0).t_u * 0.3;
     // Fault bookkeeping on task 0 (as the engine does).
@@ -39,7 +39,7 @@ fn fixture(n: usize, p: u32) -> (TimeCalc, PackState, f64) {
         rt.t_last_r = anchor;
     }
     let rem = calc.remaining(0, j, state.runtime(0).alpha);
-    state.runtime_mut(0).t_u = anchor + rem;
+    state.set_t_u(0, anchor + rem);
     (calc, state, now)
 }
 
@@ -57,17 +57,19 @@ fn bench_fault_policies(c: &mut Criterion) {
                 |b, &(n, p)| {
                     b.iter_batched(
                         || fixture(n, p),
-                        |(mut calc, mut state, now)| {
+                        |(calc, mut state, now)| {
                             let eligible: Vec<usize> =
                                 state.active_tasks().filter(|&i| i != 0).collect();
                             let mut trace = TraceLog::disabled();
+                            let mut scratch = PolicyScratch::default();
                             let mut count = 0;
                             let mut ctx = HeuristicCtx {
-                                calc: &mut calc,
+                                calc: &calc,
                                 state: &mut state,
                                 trace: &mut trace,
                                 now,
                                 eligible: &eligible,
+                                scratch: &mut scratch,
                                 pseudocode_fault_bias: false,
                                 redistributions: &mut count,
                             };
@@ -102,17 +104,19 @@ fn bench_end_policies(c: &mut Criterion) {
                             state.complete(0, 1.0);
                             (calc, state)
                         },
-                        |(mut calc, mut state)| {
+                        |(calc, mut state)| {
                             let now = 1.0;
                             let eligible: Vec<usize> = state.active_tasks().collect();
                             let mut trace = TraceLog::disabled();
+                            let mut scratch = PolicyScratch::default();
                             let mut count = 0;
                             let mut ctx = HeuristicCtx {
-                                calc: &mut calc,
+                                calc: &calc,
                                 state: &mut state,
                                 trace: &mut trace,
                                 now,
                                 eligible: &eligible,
+                                scratch: &mut scratch,
                                 pseudocode_fault_bias: false,
                                 redistributions: &mut count,
                             };

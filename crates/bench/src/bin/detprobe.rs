@@ -1,0 +1,56 @@
+//! Determinism probe: prints bit-exact makespans and event-log hashes for
+//! a fixed seed grid (static engine x 3 heuristics + online engine).
+//!
+//! Run it on two builds (e.g. two PRs) and `diff` the outputs: identical
+//! text proves the hot-path rewrite preserved every simulated decision.
+//! Usage: `cargo run --release -p redistrib-bench --bin detprobe`
+use redistrib_bench::{paper_workload, platform_with_mtbf};
+use redistrib_core::{run, EngineConfig, Heuristic};
+use redistrib_model::PaperModel;
+use redistrib_model::TimeCalc;
+use redistrib_online::{
+    generate_jobs, run_online, JobSizeModel, OnlineConfig, OnlineStrategy, PoissonArrivals,
+};
+use std::sync::Arc;
+
+fn main() {
+    for seed in [1u64, 7, 42, 99, 123] {
+        for (hname, h) in [
+            ("IG-EL", Heuristic::IteratedGreedyEndLocal),
+            ("STF-EG", Heuristic::ShortestTasksFirstEndGreedy),
+            ("no-RC", Heuristic::NoRedistribution),
+        ] {
+            let platform = platform_with_mtbf(40, 4.0);
+            let calc = TimeCalc::new(paper_workload(8, seed), platform);
+            let cfg = EngineConfig::with_faults(seed ^ 0xF00D, platform.proc_mtbf).recording();
+            let out = run(&calc, &*h.end_policy(), &*h.fault_policy(), &cfg).unwrap();
+            println!("static seed={seed} h={hname} mk={:.17e} faults={} rc={} csv_len={} csv_hash={:x}",
+                out.makespan, out.handled_faults, out.redistributions,
+                out.trace.to_csv().len(), fnv(out.trace.to_csv().as_bytes()));
+        }
+        // Online
+        let mut arrivals = PoissonArrivals::new(seed, 8_000.0);
+        let jobs = generate_jobs(&mut arrivals, 10, &JobSizeModel::paper_default(), seed);
+        let platform = platform_with_mtbf(24, 5.0);
+        let strategy = OnlineStrategy::resizing(Heuristic::IteratedGreedyEndLocal);
+        let cfg = OnlineConfig::with_faults(seed ^ 0xBEEF, platform.proc_mtbf).recording();
+        let out = run_online(&jobs, Arc::new(PaperModel::default()), platform, &strategy, &cfg)
+            .unwrap();
+        println!(
+            "online seed={seed} mk={:.17e} faults={} rc={} csv_hash={:x}",
+            out.makespan,
+            out.handled_faults,
+            out.redistributions,
+            fnv(out.trace.to_csv().as_bytes())
+        );
+    }
+}
+
+fn fnv(b: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &x in b {
+        h ^= x as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}

@@ -1,0 +1,217 @@
+//! Quick-profile harness: times the simulator's hot paths end to end and
+//! emits one JSON record per scenario.
+//!
+//! Unlike the criterion suites (statistical, slow), this binary is meant for
+//! before/after comparisons across PRs: it runs each scenario under a small
+//! wall-clock budget and prints `{"scenarios": {name: {mean_seconds,
+//! iters}}}` to stdout (or `--out FILE`). `BENCH_*.json` records in the
+//! repository root are produced by running it on both sides of a change and
+//! merging the two outputs (see README "Performance").
+//!
+//! Usage: `cargo run --release -p redistrib-bench --bin perf [-- --out FILE]
+//! [--budget SECONDS]`
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use redistrib_bench::{paper_workload, platform_with_mtbf};
+use redistrib_core::{run, EngineConfig, Heuristic};
+use redistrib_experiments::online::campaign_strategies;
+use redistrib_experiments::runner::{run_point, PointConfig, Variant};
+use redistrib_experiments::workload::WorkloadParams;
+use redistrib_experiments::{run_online_point, OnlinePointConfig};
+use redistrib_model::TimeCalc;
+use redistrib_online::JobSizeModel;
+
+/// Times `f` under a wall-clock budget: one warm-up call, then iterations
+/// until the budget elapses (at least one), returning `(mean_secs, iters)`.
+fn time_budgeted<F: FnMut()>(budget_secs: f64, mut f: F) -> (f64, u64) {
+    f(); // warm-up
+    let start = Instant::now();
+    let mut iters = 0u64;
+    loop {
+        f();
+        iters += 1;
+        if start.elapsed().as_secs_f64() >= budget_secs {
+            break;
+        }
+    }
+    (start.elapsed().as_secs_f64() / iters as f64, iters)
+}
+
+/// One fault-aware engine run: the unit of work behind every figure point.
+fn engine_run(n: usize, p: u32, mtbf_years: f64, h: Heuristic) -> f64 {
+    let platform = platform_with_mtbf(p, mtbf_years);
+    let calc = TimeCalc::new(paper_workload(n, 5), platform);
+    let out = run(
+        &calc,
+        &*h.end_policy(),
+        &*h.fault_policy(),
+        &EngineConfig::with_faults(9, platform.proc_mtbf),
+    )
+    .unwrap();
+    out.makespan
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut out_path: Option<String> = None;
+    let mut budget = 2.0f64;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                out_path = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--budget" => {
+                budget = args[i + 1].parse().expect("numeric budget");
+                i += 2;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    let mut results: Vec<(&'static str, f64, u64)> = Vec::new();
+    let mut record = |name: &'static str, r: (f64, u64)| {
+        eprintln!("{name}: {:.6} s/iter ({} iters)", r.0, r.1);
+        results.push((name, r.0, r.1));
+    };
+
+    // Time-table construction: dense per-(task, allocation) parameter sweep
+    // over every j ∈ 1..=p (both parities — the engine queries odd sizes
+    // through `improvable_up_to` prefixes and the online admission scan).
+    record(
+        "table_dense_n100_p400",
+        time_budgeted(budget, || {
+            let calc = TimeCalc::new(paper_workload(100, 3), platform_with_mtbf(400, 100.0));
+            let mut acc = 0.0;
+            for i in 0..100 {
+                for j in 1..=400u32 {
+                    acc += calc.remaining(i, j, 1.0);
+                }
+            }
+            std::hint::black_box(acc);
+        }),
+    );
+
+    // Engine event loop, pure (no redistribution policy): scans vs heap.
+    for (name, n, p) in [
+        ("engine_loop_n10_p50", 10usize, 50u32),
+        ("engine_loop_n100_p500", 100, 500),
+        ("engine_loop_n1000_p5000", 1000, 5000),
+    ] {
+        record(
+            name,
+            time_budgeted(budget, || {
+                std::hint::black_box(engine_run(n, p, 10.0, Heuristic::NoRedistribution));
+            }),
+        );
+    }
+
+    // Engine with full redistribution heuristics (policy cost included).
+    record(
+        "engine_igel_n100_p500",
+        time_budgeted(budget, || {
+            std::hint::black_box(engine_run(100, 500, 10.0, Heuristic::IteratedGreedyEndLocal));
+        }),
+    );
+    record(
+        "engine_stfel_n1000_p5000",
+        time_budgeted(budget, || {
+            std::hint::black_box(engine_run(
+                1000,
+                5000,
+                10.0,
+                Heuristic::ShortestTasksFirstEndLocal,
+            ));
+        }),
+    );
+
+    // Static campaign throughput: one (n, p, MTBF) figure point, 32 runs,
+    // baseline + two heuristics per run.
+    record(
+        "campaign_static_n10_p60_x32",
+        time_budgeted(budget.max(4.0), || {
+            let cfg = PointConfig {
+                workload: WorkloadParams::paper_default(10),
+                p: 60,
+                mtbf_years: 10.0,
+                downtime: 60.0,
+                runs: 32,
+                base_seed: 0xC0_5CED,
+            };
+            let stats = run_point(
+                &cfg,
+                Variant::FaultNoRc,
+                &[
+                    Variant::FaultNoRc,
+                    Variant::Fault(Heuristic::IteratedGreedyEndLocal),
+                    Variant::Fault(Heuristic::ShortestTasksFirstEndLocal),
+                ],
+            )
+            .unwrap();
+            std::hint::black_box(stats[1].mean_ratio);
+        }),
+    );
+
+    // Paper-scale campaign point: n = 100 tasks on 500 processors, 8 runs
+    // (each full figure point is 50 of these per curve).
+    record(
+        "campaign_static_n100_p500_x8",
+        time_budgeted(budget.max(4.0), || {
+            let cfg = PointConfig {
+                workload: WorkloadParams::paper_default(100),
+                p: 500,
+                mtbf_years: 10.0,
+                downtime: 60.0,
+                runs: 8,
+                base_seed: 0xC0_5CED,
+            };
+            let stats = run_point(
+                &cfg,
+                Variant::FaultNoRc,
+                &[
+                    Variant::FaultNoRc,
+                    Variant::Fault(Heuristic::IteratedGreedyEndLocal),
+                    Variant::Fault(Heuristic::ShortestTasksFirstEndLocal),
+                ],
+            )
+            .unwrap();
+            std::hint::black_box(stats[1].mean_ratio);
+        }),
+    );
+
+    // Online campaign throughput: 5 strategies × 16 runs of 24 jobs.
+    record(
+        "campaign_online_j24_p48_x16",
+        time_budgeted(budget.max(4.0), || {
+            let cfg = OnlinePointConfig {
+                jobs: 24,
+                mean_interarrival: 2_000.0,
+                sizes: JobSizeModel::paper_default(),
+                seq_fraction: 0.08,
+                p: 48,
+                mtbf_years: 20.0,
+                runs: 16,
+                base_seed: 0x0511_11E5,
+            };
+            let stats = run_online_point(&cfg, &campaign_strategies()).unwrap();
+            std::hint::black_box(stats[1].stretch_ratio);
+        }),
+    );
+
+    let mut json = String::from("{\n  \"scenarios\": {\n");
+    for (k, (name, mean, iters)) in results.iter().enumerate() {
+        let comma = if k + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    \"{name}\": {{\"mean_seconds\": {mean:.9}, \"iters\": {iters}}}{comma}"
+        );
+    }
+    json.push_str("  }\n}\n");
+    match out_path {
+        Some(p) => std::fs::write(&p, &json).expect("write output file"),
+        None => print!("{json}"),
+    }
+}

@@ -41,7 +41,7 @@ mod tests {
 
     #[test]
     fn fixtures_build() {
-        let mut calc = fault_calc(10, 100, 1);
+        let calc = fault_calc(10, 100, 1);
         assert_eq!(calc.num_tasks(), 10);
         assert!(calc.remaining(0, 4, 1.0) > 0.0);
     }

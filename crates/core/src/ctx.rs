@@ -1,9 +1,11 @@
 //! Shared context and plumbing for the redistribution heuristics.
 //!
 //! A [`HeuristicCtx`] is handed to the end/fault policies by the engine at
-//! each decision point. It bundles mutable access to the time calculator,
-//! the pack state and the trace, and provides the two operations every
-//! heuristic of the paper is built from:
+//! each decision point. It bundles shared access to the time calculator,
+//! mutable access to the pack state and the trace, reusable
+//! [`PolicyScratch`] buffers (so steady-state policy invocations allocate
+//! nothing), and provides the two operations every heuristic of the paper
+//! is built from:
 //!
 //! * evaluating a *candidate* finish time for a task on a different
 //!   allocation (including redistribution cost, the post-redistribution
@@ -15,13 +17,51 @@
 use redistrib_model::{TaskId, TimeCalc};
 use redistrib_sim::trace::{TraceEvent, TraceLog};
 
+use crate::heap::LazyMaxHeap;
 use crate::state::PackState;
+
+/// Reusable buffers for policy planning, owned by the engine and threaded
+/// through [`HeuristicCtx`]: after warm-up, policy invocations reuse these
+/// allocations instead of building fresh `Vec`s per event.
+///
+/// Policies `std::mem::take` the pieces they need and put them back before
+/// returning (the take/restore dance keeps the borrow checker happy while
+/// `ctx` methods are called in between).
+#[derive(Debug, Default)]
+pub struct PolicyScratch {
+    /// Per-candidate planning entries.
+    pub entries: Vec<PlanEntry>,
+    /// Committed plans.
+    pub plans: Vec<Plan>,
+    /// Heap seed values.
+    pub values: Vec<f64>,
+    /// Planning heap ("the task with the longest planned finish time").
+    pub heap: LazyMaxHeap,
+}
+
+/// One candidate's planning state inside a heuristic invocation (shared by
+/// `EndLocal`, `ShortestTasksFirst` and the greedy rebuild).
+#[derive(Debug, Clone, Copy)]
+pub struct PlanEntry {
+    /// The task.
+    pub task: TaskId,
+    /// Allocation at heuristic entry (`σ_init`; data currently lives here).
+    pub sigma_init: u32,
+    /// Currently planned allocation.
+    pub sigma: u32,
+    /// Remaining fraction measured at `now`.
+    pub alpha_t: f64,
+    /// Currently planned finish time.
+    pub t_u: f64,
+    /// Whether this is the faulty task.
+    pub faulty: bool,
+}
 
 /// Mutable view the engine hands to the redistribution policies.
 #[derive(Debug)]
 pub struct HeuristicCtx<'a> {
     /// Time calculator (mode decides fault-aware vs fault-free math).
-    pub calc: &'a mut TimeCalc,
+    pub calc: &'a TimeCalc,
     /// Pack state (allocation sizes, processor ownership, task runtimes).
     pub state: &'a mut PackState,
     /// Trace sink (may be disabled).
@@ -31,6 +71,8 @@ pub struct HeuristicCtx<'a> {
     /// Tasks allowed to participate: active, not the faulty task, and not
     /// inside a previous redistribution window (`tlastR_i ≤ now`).
     pub eligible: &'a [TaskId],
+    /// Reusable planning buffers.
+    pub scratch: &'a mut PolicyScratch,
     /// Ablation flag: when true, the faulty task's candidate finish times
     /// omit downtime + recovery, as in the literal pseudocode of
     /// Algorithms 4–5 (see DESIGN.md). Default false (follow §3.3.2 text).
@@ -128,6 +170,25 @@ impl HeuristicCtx<'_> {
         }
     }
 
+    /// Commits the planning entries whose allocation changed, using (and
+    /// restoring) the scratch plan buffer — the zero-alloc variant of
+    /// [`HeuristicCtx::commit`] shared by all policies.
+    pub fn commit_entries(&mut self) {
+        let mut plans = std::mem::take(&mut self.scratch.plans);
+        let entries = std::mem::take(&mut self.scratch.entries);
+        plans.clear();
+        plans.extend(entries.iter().filter(|e| e.sigma != e.sigma_init).map(|e| Plan {
+            task: e.task,
+            sigma_init: e.sigma_init,
+            sigma_new: e.sigma,
+            alpha_t: e.alpha_t,
+            faulty: e.faulty,
+        }));
+        self.commit(&plans);
+        self.scratch.plans = plans;
+        self.scratch.entries = entries;
+    }
+
     fn apply_bookkeeping(&mut self, plan: &Plan) {
         let rc = self.calc.rc_cost(plan.task, plan.sigma_init, plan.sigma_new);
         let overhead =
@@ -138,7 +199,7 @@ impl HeuristicCtx<'_> {
         let rt = self.state.runtime_mut(plan.task);
         rt.alpha = plan.alpha_t;
         rt.t_last_r = anchor;
-        rt.t_u = anchor + remaining;
+        self.state.set_t_u(plan.task, anchor + remaining);
         *self.redistributions += 1;
         self.trace.push(TraceEvent::Redistribution {
             time: self.now,
@@ -163,19 +224,20 @@ mod tests {
             Arc::new(PaperModel::default()),
         );
         let platform = Platform::with_mtbf(20, units::years(100.0));
-        let mut calc = TimeCalc::new(workload, platform);
+        let calc = TimeCalc::new(workload, platform);
         let mut state = PackState::new(20, &[4, 4, 4]);
         for i in 0..3 {
             let tu = calc.remaining(i, 4, 1.0);
-            state.runtime_mut(i).t_u = tu;
+            state.set_t_u(i, tu);
         }
         (calc, state)
     }
 
     fn ctx<'a>(
-        calc: &'a mut TimeCalc,
+        calc: &'a TimeCalc,
         state: &'a mut PackState,
         trace: &'a mut TraceLog,
+        scratch: &'a mut PolicyScratch,
         now: f64,
         eligible: &'a [TaskId],
         count: &'a mut u64,
@@ -186,6 +248,7 @@ mod tests {
             trace,
             now,
             eligible,
+            scratch,
             pseudocode_fault_bias: false,
             redistributions: count,
         }
@@ -193,35 +256,40 @@ mod tests {
 
     #[test]
     fn alpha_current_decreases_with_time() {
-        let (mut calc, mut state) = fixture();
+        let (calc, mut state) = fixture();
         let mut trace = TraceLog::disabled();
+        let mut scratch = PolicyScratch::default();
         let mut count = 0;
         let eligible = [0usize, 1, 2];
         let t_half = state.runtime(0).t_u * 0.5;
-        let mut c = ctx(&mut calc, &mut state, &mut trace, t_half, &eligible, &mut count);
+        let mut c =
+            ctx(&calc, &mut state, &mut trace, &mut scratch, t_half, &eligible, &mut count);
         let a = c.alpha_current(0);
         assert!(a > 0.0 && a < 1.0, "alpha = {a}");
     }
 
     #[test]
     fn alpha_current_zero_elapsed_is_full() {
-        let (mut calc, mut state) = fixture();
+        let (calc, mut state) = fixture();
         let mut trace = TraceLog::disabled();
+        let mut scratch = PolicyScratch::default();
         let mut count = 0;
         let eligible = [0usize];
-        let mut c = ctx(&mut calc, &mut state, &mut trace, 0.0, &eligible, &mut count);
+        let mut c =
+            ctx(&calc, &mut state, &mut trace, &mut scratch, 0.0, &eligible, &mut count);
         assert_eq!(c.alpha_current(0), 1.0);
     }
 
     #[test]
     fn candidate_same_allocation_is_current_tu() {
-        let (mut calc, mut state) = fixture();
+        let (calc, mut state) = fixture();
         let mut trace = TraceLog::disabled();
+        let mut scratch = PolicyScratch::default();
         let mut count = 0;
         let eligible = [0usize, 1, 2];
         let t = 1000.0;
         let tu_before = state.runtime(1).t_u;
-        let mut c = ctx(&mut calc, &mut state, &mut trace, t, &eligible, &mut count);
+        let mut c = ctx(&calc, &mut state, &mut trace, &mut scratch, t, &eligible, &mut count);
         let alpha_t = c.alpha_current(1);
         let te = c.candidate_finish(1, 4, 4, alpha_t, false);
         assert!((te - tu_before).abs() < 1e-6, "{te} vs {tu_before}");
@@ -229,12 +297,13 @@ mod tests {
 
     #[test]
     fn candidate_move_includes_costs() {
-        let (mut calc, mut state) = fixture();
+        let (calc, mut state) = fixture();
         let mut trace = TraceLog::disabled();
+        let mut scratch = PolicyScratch::default();
         let mut count = 0;
         let eligible = [0usize, 1, 2];
         let t = 1000.0;
-        let mut c = ctx(&mut calc, &mut state, &mut trace, t, &eligible, &mut count);
+        let mut c = ctx(&calc, &mut state, &mut trace, &mut scratch, t, &eligible, &mut count);
         let alpha_t = c.alpha_current(0);
         let te = c.candidate_finish(0, 4, 6, alpha_t, false);
         let bare = t + c.calc.remaining(0, 6, alpha_t);
@@ -245,12 +314,13 @@ mod tests {
 
     #[test]
     fn faulty_candidate_pays_downtime_and_recovery() {
-        let (mut calc, mut state) = fixture();
+        let (calc, mut state) = fixture();
         let mut trace = TraceLog::disabled();
+        let mut scratch = PolicyScratch::default();
         let mut count = 0;
         let eligible = [1usize, 2];
         let t = 1000.0;
-        let mut c = ctx(&mut calc, &mut state, &mut trace, t, &eligible, &mut count);
+        let mut c = ctx(&calc, &mut state, &mut trace, &mut scratch, t, &eligible, &mut count);
         let te_plain = c.candidate_finish(0, 4, 6, 0.9, false);
         let te_faulty = c.candidate_finish(0, 4, 6, 0.9, true);
         let overhead = c.calc.downtime() + c.calc.recovery_time(0, 4);
@@ -259,16 +329,18 @@ mod tests {
 
     #[test]
     fn bias_flag_removes_fault_overhead() {
-        let (mut calc, mut state) = fixture();
+        let (calc, mut state) = fixture();
         let mut trace = TraceLog::disabled();
+        let mut scratch = PolicyScratch::default();
         let mut count = 0;
         let eligible = [1usize, 2];
         let mut c = HeuristicCtx {
-            calc: &mut calc,
+            calc: &calc,
             state: &mut state,
             trace: &mut trace,
             now: 1000.0,
             eligible: &eligible,
+            scratch: &mut scratch,
             pseudocode_fault_bias: true,
             redistributions: &mut count,
         };
@@ -279,12 +351,13 @@ mod tests {
 
     #[test]
     fn commit_moves_processors_and_updates_runtime() {
-        let (mut calc, mut state) = fixture();
+        let (calc, mut state) = fixture();
         let mut trace = TraceLog::enabled();
+        let mut scratch = PolicyScratch::default();
         let mut count = 0;
         let eligible = [0usize, 1, 2];
         let t = 1000.0;
-        let mut c = ctx(&mut calc, &mut state, &mut trace, t, &eligible, &mut count);
+        let mut c = ctx(&calc, &mut state, &mut trace, &mut scratch, t, &eligible, &mut count);
         let a0 = c.alpha_current(0);
         let a1 = c.alpha_current(1);
         // Task 1 donates 2 procs, task 0 gains 2 + 2 free = grows to 8.
@@ -306,12 +379,14 @@ mod tests {
 
     #[test]
     fn commit_noop_plan_changes_nothing() {
-        let (mut calc, mut state) = fixture();
+        let (calc, mut state) = fixture();
         let mut trace = TraceLog::enabled();
+        let mut scratch = PolicyScratch::default();
         let mut count = 0;
         let eligible = [0usize];
         let tu = state.runtime(0).t_u;
-        let mut c = ctx(&mut calc, &mut state, &mut trace, 10.0, &eligible, &mut count);
+        let mut c =
+            ctx(&calc, &mut state, &mut trace, &mut scratch, 10.0, &eligible, &mut count);
         c.commit(&[Plan { task: 0, sigma_init: 4, sigma_new: 4, alpha_t: 0.9, faulty: false }]);
         assert_eq!(state.sigma(0), 4);
         assert_eq!(count, 0);
@@ -319,15 +394,50 @@ mod tests {
     }
 
     #[test]
+    fn commit_entries_drains_scratch() {
+        let (calc, mut state) = fixture();
+        let mut trace = TraceLog::enabled();
+        let mut scratch = PolicyScratch::default();
+        let mut count = 0;
+        let eligible = [0usize, 1];
+        scratch.entries.push(PlanEntry {
+            task: 0,
+            sigma_init: 4,
+            sigma: 6,
+            alpha_t: 1.0,
+            t_u: 0.0,
+            faulty: false,
+        });
+        scratch.entries.push(PlanEntry {
+            task: 1,
+            sigma_init: 4,
+            sigma: 4, // unchanged: must not commit
+            alpha_t: 1.0,
+            t_u: 0.0,
+            faulty: false,
+        });
+        let mut c =
+            ctx(&calc, &mut state, &mut trace, &mut scratch, 10.0, &eligible, &mut count);
+        c.commit_entries();
+        assert_eq!(state.sigma(0), 6);
+        assert_eq!(state.sigma(1), 4);
+        assert_eq!(count, 1);
+        // Buffers restored for reuse.
+        assert!(!scratch.entries.is_empty());
+    }
+
+    #[test]
     fn commit_shrinks_before_growing() {
         // Growing by more than the free pool only works because the shrink
         // is applied first.
-        let (mut calc, mut state) = fixture();
+        let (calc, mut state) = fixture();
         let mut trace = TraceLog::disabled();
+        let mut scratch = PolicyScratch::default();
         let mut count = 0;
         let eligible = [0usize, 1];
         state.set_sigma(0, 10); // free pool now 20-10-4-4 = 2
-        let mut c = ctx(&mut calc, &mut state, &mut trace, 10.0, &eligible, &mut count);
+        let mut c =
+            ctx(&calc, &mut state, &mut trace, &mut scratch, 10.0, &eligible, &mut count);
         c.commit(&[
             Plan { task: 1, sigma_init: 4, sigma_new: 8, alpha_t: 1.0, faulty: false },
             Plan { task: 0, sigma_init: 10, sigma_new: 4, alpha_t: 1.0, faulty: false },

@@ -20,7 +20,7 @@ use redistrib_sim::dist::FaultLaw;
 use redistrib_sim::faults::FaultSource;
 use redistrib_sim::trace::{TraceEvent, TraceLog};
 
-use crate::ctx::HeuristicCtx;
+use crate::ctx::{HeuristicCtx, PolicyScratch};
 use crate::error::ScheduleError;
 use crate::optimal::optimal_schedule;
 use crate::policies::{EndPolicy, FaultPolicy};
@@ -121,7 +121,7 @@ pub struct RunOutcome {
 /// Panics if faults are configured while the calculator is in fault-free
 /// mode (inconsistent setup).
 pub fn run(
-    calc: &mut TimeCalc,
+    calc: &TimeCalc,
     end_policy: &dyn EndPolicy,
     fault_policy: &dyn FaultPolicy,
     cfg: &EngineConfig,
@@ -136,7 +136,7 @@ pub fn run(
     let sigma = optimal_schedule(calc, p)?;
     let mut state = PackState::new(p, &sigma);
     for (i, &s) in sigma.iter().enumerate() {
-        state.runtime_mut(i).t_u = calc.remaining(i, s, 1.0);
+        state.set_t_u(i, calc.remaining(i, s, 1.0));
     }
 
     let mut faults: Option<FaultSource> =
@@ -149,6 +149,10 @@ pub fn run(
     // Per-task end of the post-fault recovery window, for fatal-risk
     // accounting.
     let mut recovery_until = vec![0.0f64; n];
+    // Reusable event-loop buffers: steady-state events allocate nothing.
+    let mut eligible: Vec<TaskId> = Vec::new();
+    let mut finishing: Vec<TaskId> = Vec::new();
+    let mut scratch = PolicyScratch::default();
 
     let mut events = 0u64;
     while state.active_count() > 0 {
@@ -164,19 +168,20 @@ pub fn run(
             // ---- Task end event -------------------------------------------------
             state.complete(end_task, t_end);
             trace.push(TraceEvent::TaskEnd { time: t_end, task: end_task });
-            if state.active_count() > 0 && state.free_count() >= 2 {
+            if state.active_count() > 0 && state.free_count() >= 2 && !end_policy.is_noop() {
                 // Exclude tasks still inside a previous redistribution
                 // window (Algorithm 2 line 15).
-                let eligible: Vec<TaskId> = state
-                    .active_tasks()
-                    .filter(|&i| state.runtime(i).t_last_r <= t_end)
-                    .collect();
+                eligible.clear();
+                eligible.extend(
+                    state.active_tasks().filter(|&i| state.runtime(i).t_last_r <= t_end),
+                );
                 let mut ctx = HeuristicCtx {
                     calc,
                     state: &mut state,
                     trace: &mut trace,
                     now: t_end,
                     eligible: &eligible,
+                    scratch: &mut scratch,
                     pseudocode_fault_bias: cfg.pseudocode_fault_bias,
                     redistributions: &mut redistributions,
                 };
@@ -223,17 +228,17 @@ pub fn run(
                 rt.t_last_r = anchor;
             }
             let remaining = calc.remaining(f, j, state.runtime(f).alpha);
-            state.runtime_mut(f).t_u = anchor + remaining;
+            state.set_t_u(f, anchor + remaining);
             recovery_until[f] = anchor;
             trace.push(TraceEvent::Fault { time: t, proc: fault.proc, task: f });
 
             // Tasks that finish during the recovery window complete now and
             // release their processors (Algorithm 2 line 28).
-            let finishing: Vec<TaskId> = state
-                .active_tasks()
-                .filter(|&i| i != f && state.runtime(i).t_u < anchor)
-                .collect();
-            for i in finishing {
+            finishing.clear();
+            finishing.extend(
+                state.active_tasks().filter(|&i| i != f && state.runtime(i).t_u < anchor),
+            );
+            for &i in &finishing {
                 let tu = state.runtime(i).t_u;
                 state.complete(i, tu);
                 trace.push(TraceEvent::TaskEnd { time: tu, task: i });
@@ -244,29 +249,34 @@ pub fn run(
             let tu_f = state.runtime(f).t_u;
             let is_longest =
                 state.active_tasks().all(|i| i == f || state.runtime(i).t_u <= tu_f);
-            if is_longest {
-                let eligible: Vec<TaskId> = state
-                    .active_tasks()
-                    .filter(|&i| i != f && state.runtime(i).t_last_r <= t)
-                    .collect();
+            if is_longest && !fault_policy.is_noop() {
+                eligible.clear();
+                eligible.extend(
+                    state.active_tasks().filter(|&i| i != f && state.runtime(i).t_last_r <= t),
+                );
                 let mut ctx = HeuristicCtx {
                     calc,
                     state: &mut state,
                     trace: &mut trace,
                     now: t,
                     eligible: &eligible,
+                    scratch: &mut scratch,
                     pseudocode_fault_bias: cfg.pseudocode_fault_bias,
                     redistributions: &mut redistributions,
                 };
                 fault_policy.on_fault(&mut ctx, f);
             }
-            let makespan = state.makespan_estimate();
-            let stddev = state.alloc_stddev();
-            trace.push(TraceEvent::MakespanEstimate {
-                time: t,
-                makespan,
-                alloc_stddev: stddev,
-            });
+            if trace.is_enabled() {
+                // The Fig. 9 per-fault snapshot costs O(n) + a stddev pass:
+                // only compute it when a trace is actually recorded.
+                let makespan = state.makespan_estimate();
+                let stddev = state.alloc_stddev();
+                trace.push(TraceEvent::MakespanEstimate {
+                    time: t,
+                    makespan,
+                    alloc_stddev: stddev,
+                });
+            }
         }
     }
 
@@ -310,9 +320,9 @@ mod tests {
 
     #[test]
     fn fault_free_run_completes() {
-        let mut calc = TimeCalc::fault_free(workload(5, 1), Platform::new(20));
+        let calc = TimeCalc::fault_free(workload(5, 1), Platform::new(20));
         let out = run(
-            &mut calc,
+            &calc,
             &NoEndRedistribution,
             &NoFaultRedistribution,
             &EngineConfig::fault_free(),
@@ -327,15 +337,15 @@ mod tests {
     fn fault_free_makespan_equals_alg1_prediction() {
         // Without redistribution and without faults, the makespan is the
         // longest initial expected time.
-        let mut calc = TimeCalc::fault_free(workload(4, 2), Platform::new(16));
-        let sigma = optimal_schedule(&mut calc, 16).unwrap();
+        let calc = TimeCalc::fault_free(workload(4, 2), Platform::new(16));
+        let sigma = optimal_schedule(&calc, 16).unwrap();
         let predicted = sigma
             .iter()
             .enumerate()
             .map(|(i, &s)| calc.remaining(i, s, 1.0))
             .fold(0.0, f64::max);
         let out = run(
-            &mut calc,
+            &calc,
             &NoEndRedistribution,
             &NoFaultRedistribution,
             &EngineConfig::fault_free(),
@@ -347,17 +357,17 @@ mod tests {
     #[test]
     fn fault_free_redistribution_never_hurts() {
         for n in [3usize, 6, 10] {
-            let mut base = TimeCalc::fault_free(workload(n, 3), Platform::new(40));
+            let base = TimeCalc::fault_free(workload(n, 3), Platform::new(40));
             let without = run(
-                &mut base,
+                &base,
                 &NoEndRedistribution,
                 &NoFaultRedistribution,
                 &EngineConfig::fault_free(),
             )
             .unwrap();
-            let mut with = TimeCalc::fault_free(workload(n, 3), Platform::new(40));
+            let with = TimeCalc::fault_free(workload(n, 3), Platform::new(40));
             let with_rc =
-                run(&mut with, &EndLocal, &NoFaultRedistribution, &EngineConfig::fault_free())
+                run(&with, &EndLocal, &NoFaultRedistribution, &EngineConfig::fault_free())
                     .unwrap();
             assert!(
                 with_rc.makespan <= without.makespan * (1.0 + 1e-9),
@@ -370,9 +380,9 @@ mod tests {
 
     #[test]
     fn faulty_run_completes_and_counts_faults() {
-        let mut calc = fault_calc(5, 20, 3.0);
+        let calc = fault_calc(5, 20, 3.0);
         let out = run(
-            &mut calc,
+            &calc,
             &NoEndRedistribution,
             &NoFaultRedistribution,
             &EngineConfig::with_faults(11, units::years(3.0)),
@@ -384,17 +394,13 @@ mod tests {
 
     #[test]
     fn faults_inflate_makespan() {
-        let mut ff = fault_calc(5, 20, 100.0);
-        let no_faults = run(
-            &mut ff,
-            &NoEndRedistribution,
-            &NoFaultRedistribution,
-            &EngineConfig::fault_free(),
-        )
-        .unwrap();
-        let mut fa = fault_calc(5, 20, 100.0);
+        let ff = fault_calc(5, 20, 100.0);
+        let no_faults =
+            run(&ff, &NoEndRedistribution, &NoFaultRedistribution, &EngineConfig::fault_free())
+                .unwrap();
+        let fa = fault_calc(5, 20, 100.0);
         let with_faults = run(
-            &mut fa,
+            &fa,
             &NoEndRedistribution,
             &NoFaultRedistribution,
             &EngineConfig::with_faults(13, units::years(2.0)),
@@ -409,12 +415,12 @@ mod tests {
             [Heuristic::IteratedGreedyEndLocal, Heuristic::ShortestTasksFirstEndLocal]
         {
             let cfg = EngineConfig::with_faults(42, units::years(5.0));
-            let mut c1 = fault_calc(6, 24, 5.0);
-            let o1 = run(&mut c1, &*heuristic.end_policy(), &*heuristic.fault_policy(), &cfg)
-                .unwrap();
-            let mut c2 = fault_calc(6, 24, 5.0);
-            let o2 = run(&mut c2, &*heuristic.end_policy(), &*heuristic.fault_policy(), &cfg)
-                .unwrap();
+            let c1 = fault_calc(6, 24, 5.0);
+            let o1 =
+                run(&c1, &*heuristic.end_policy(), &*heuristic.fault_policy(), &cfg).unwrap();
+            let c2 = fault_calc(6, 24, 5.0);
+            let o2 =
+                run(&c2, &*heuristic.end_policy(), &*heuristic.fault_policy(), &cfg).unwrap();
             assert_eq!(o1.makespan, o2.makespan);
             assert_eq!(o1.handled_faults, o2.handled_faults);
             assert_eq!(o1.redistributions, o2.redistributions);
@@ -424,8 +430,8 @@ mod tests {
     #[test]
     fn policies_redistribute_under_faults() {
         let cfg = EngineConfig::with_faults(7, units::years(4.0));
-        let mut calc = fault_calc(6, 24, 4.0);
-        let out = run(&mut calc, &EndLocal, &IteratedGreedy, &cfg).unwrap();
+        let calc = fault_calc(6, 24, 4.0);
+        let out = run(&calc, &EndLocal, &IteratedGreedy, &cfg).unwrap();
         assert!(
             out.redistributions > 0,
             "IG should redistribute on some of the {} faults",
@@ -436,16 +442,16 @@ mod tests {
     #[test]
     fn stf_runs_under_faults() {
         let cfg = EngineConfig::with_faults(19, units::years(4.0));
-        let mut calc = fault_calc(6, 24, 4.0);
-        let out = run(&mut calc, &EndGreedy, &ShortestTasksFirst, &cfg).unwrap();
+        let calc = fault_calc(6, 24, 4.0);
+        let out = run(&calc, &EndGreedy, &ShortestTasksFirst, &cfg).unwrap();
         assert!(out.makespan.is_finite());
     }
 
     #[test]
     fn trace_recording() {
         let cfg = EngineConfig::with_faults(3, units::years(4.0)).recording();
-        let mut calc = fault_calc(4, 16, 4.0);
-        let out = run(&mut calc, &EndLocal, &IteratedGreedy, &cfg).unwrap();
+        let calc = fault_calc(4, 16, 4.0);
+        let out = run(&calc, &EndLocal, &IteratedGreedy, &cfg).unwrap();
         assert_eq!(out.trace.fault_count() as u64, out.handled_faults);
         assert_eq!(out.trace.redistribution_count() as u64, out.redistributions);
         // One makespan snapshot per handled fault.
@@ -462,9 +468,9 @@ mod tests {
 
     #[test]
     fn insufficient_processors_error() {
-        let mut calc = fault_calc(5, 8, 100.0);
+        let calc = fault_calc(5, 8, 100.0);
         let err = run(
-            &mut calc,
+            &calc,
             &NoEndRedistribution,
             &NoFaultRedistribution,
             &EngineConfig::fault_free(),
@@ -476,9 +482,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "fault injection requires a fault-aware calculator")]
     fn fault_free_calc_with_faults_panics() {
-        let mut calc = TimeCalc::fault_free(workload(2, 1), Platform::new(8));
+        let calc = TimeCalc::fault_free(workload(2, 1), Platform::new(8));
         let _ = run(
-            &mut calc,
+            &calc,
             &NoEndRedistribution,
             &NoFaultRedistribution,
             &EngineConfig::with_faults(1, units::years(1.0)),
@@ -492,19 +498,18 @@ mod tests {
         // consume the identical stream. We check replay instead: two
         // different policies, same seed, still deterministic per policy.
         let cfg = EngineConfig::with_faults(77, units::years(5.0));
-        let mut a1 = fault_calc(5, 20, 5.0);
-        let mut a2 = fault_calc(5, 20, 5.0);
-        let r1 = run(&mut a1, &EndLocal, &ShortestTasksFirst, &cfg).unwrap();
-        let r2 = run(&mut a2, &EndLocal, &ShortestTasksFirst, &cfg).unwrap();
+        let a1 = fault_calc(5, 20, 5.0);
+        let a2 = fault_calc(5, 20, 5.0);
+        let r1 = run(&a1, &EndLocal, &ShortestTasksFirst, &cfg).unwrap();
+        let r2 = run(&a2, &EndLocal, &ShortestTasksFirst, &cfg).unwrap();
         assert_eq!(r1.makespan, r2.makespan);
     }
 
     #[test]
     fn event_limit_guard() {
-        let mut calc = fault_calc(3, 12, 100.0);
+        let calc = fault_calc(3, 12, 100.0);
         let cfg = EngineConfig { max_events: 2, ..EngineConfig::fault_free() };
-        let err =
-            run(&mut calc, &NoEndRedistribution, &NoFaultRedistribution, &cfg).unwrap_err();
+        let err = run(&calc, &NoEndRedistribution, &NoFaultRedistribution, &cfg).unwrap_err();
         assert_eq!(err, ScheduleError::EventLimitExceeded { limit: 2 });
     }
 }

@@ -288,7 +288,7 @@ mod tests {
             (vec![2.4e6, 1.5e6, 1.9e6, 2.1e6], 16),
         ] {
             let mut c = calc(&sizes, p, false);
-            let sigma = optimal_schedule(&mut c, p).unwrap();
+            let sigma = optimal_schedule(&c, p).unwrap();
             let greedy_mk = sigma
                 .iter()
                 .enumerate()
@@ -308,7 +308,7 @@ mod tests {
         let sizes = vec![2.2e6, 1.6e6, 1.9e6];
         let p = 14;
         let mut c = calc(&sizes, p, true);
-        let sigma = optimal_schedule(&mut c, p).unwrap();
+        let sigma = optimal_schedule(&c, p).unwrap();
         let greedy_mk =
             sigma.iter().enumerate().map(|(i, &s)| c.remaining(i, s, 1.0)).fold(0.0, f64::max);
         let (_, exact_mk) = optimal_no_redistribution(&mut c, p).unwrap();

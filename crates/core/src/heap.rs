@@ -1,49 +1,54 @@
-//! A lazy-deletion max-heap over `(value, index)` pairs.
+//! Lazy-deletion heaps over `(value, index)` pairs.
 //!
 //! The greedy loops of Algorithms 1, 3 and 5 repeatedly need "the task with
-//! the longest expected finish time", with values that change as processors
-//! are granted. A `BinaryHeap` with stale-entry skipping gives `O(log n)`
-//! per operation: updates push a fresh entry, and `peek_max` discards
-//! entries whose value no longer matches the authoritative `current` array.
+//! the longest expected finish time", and the engines' event loops need
+//! "the active task with the earliest end", with values that change as
+//! processors are granted or events land. A `BinaryHeap` with stale-entry
+//! skipping gives `O(log n)` per operation: updates push a fresh entry, and
+//! `peek` discards entries whose value no longer matches the authoritative
+//! `current` array.
 //!
-//! Ties break toward the lowest index, matching the deterministic list
-//! order used throughout (`head(L)` on equal times is the earliest task).
+//! Two siblings share the machinery: [`LazyMaxHeap`] (heuristic planning
+//! lists) and [`LazyMinHeap`] (the engines' end-event queues). Ties break
+//! toward the lowest index in both, matching the deterministic list order
+//! used throughout (`head(L)` on equal times is the earliest task) — so the
+//! heaps return bit-identical picks to the linear scans they replace.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 #[derive(Debug, Clone, Copy)]
-struct Entry {
+struct MaxEntry {
     val: f64,
     idx: usize,
 }
 
-impl PartialEq for Entry {
+impl PartialEq for MaxEntry {
     fn eq(&self, other: &Self) -> bool {
         self.val == other.val && self.idx == other.idx
     }
 }
-impl Eq for Entry {}
+impl Eq for MaxEntry {}
 
-impl Ord for Entry {
+impl Ord for MaxEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Max by value; ties prefer the lowest index (so reverse idx).
         self.val
             .partial_cmp(&other.val)
-            .expect("heap values are finite")
+            .expect("heap values are never NaN")
             .then_with(|| other.idx.cmp(&self.idx))
     }
 }
-impl PartialOrd for Entry {
+impl PartialOrd for MaxEntry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
 /// Max-heap with O(log n) updates via lazy deletion.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct LazyMaxHeap {
-    heap: BinaryHeap<Entry>,
+    heap: BinaryHeap<MaxEntry>,
     current: Vec<f64>,
 }
 
@@ -51,22 +56,39 @@ impl LazyMaxHeap {
     /// Builds a heap over `values` (index `i` carries `values[i]`).
     ///
     /// # Panics
-    /// Panics if any value is not finite.
+    /// Panics if any value is NaN.
     #[must_use]
     pub fn new(values: &[f64]) -> Self {
-        assert!(values.iter().all(|v| v.is_finite()), "values must be finite");
-        let heap = values.iter().enumerate().map(|(idx, &val)| Entry { val, idx }).collect();
-        Self { heap, current: values.to_vec() }
+        let mut h = Self::default();
+        h.reset(values);
+        h
+    }
+
+    /// Reinitializes the heap over `values`, retaining allocations — the
+    /// zero-alloc path used by policy scratch buffers.
+    ///
+    /// Infinities are allowed (degenerate platforms can produce infinite
+    /// expected times; they flowed through the pre-heap linear scans too);
+    /// NaN is rejected — it is the lazy-deletion sentinel.
+    ///
+    /// # Panics
+    /// Panics if any value is NaN.
+    pub fn reset(&mut self, values: &[f64]) {
+        assert!(values.iter().all(|v| !v.is_nan()), "heap values must not be NaN");
+        self.heap.clear();
+        self.heap.extend(values.iter().enumerate().map(|(idx, &val)| MaxEntry { val, idx }));
+        self.current.clear();
+        self.current.extend_from_slice(values);
     }
 
     /// Sets `idx`'s value and reinserts it.
     ///
     /// # Panics
-    /// Panics if `val` is not finite.
+    /// Panics if `val` is NaN.
     pub fn update(&mut self, idx: usize, val: f64) {
-        assert!(val.is_finite(), "values must be finite");
+        assert!(!val.is_nan(), "heap values must not be NaN");
         self.current[idx] = val;
-        self.heap.push(Entry { val, idx });
+        self.heap.push(MaxEntry { val, idx });
     }
 
     /// Removes `idx` from consideration.
@@ -87,6 +109,102 @@ impl LazyMaxHeap {
     }
 
     /// Current value of `idx` (NaN if removed).
+    #[must_use]
+    pub fn value(&self, idx: usize) -> f64 {
+        self.current[idx]
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MinEntry {
+    val: f64,
+    idx: usize,
+}
+
+impl PartialEq for MinEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.val == other.val && self.idx == other.idx
+    }
+}
+impl Eq for MinEntry {}
+
+impl Ord for MinEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // `BinaryHeap` pops the greatest entry; we want the smallest value
+        // first, ties toward the lowest index — so reverse the value order
+        // and make the lower index compare greater.
+        other
+            .val
+            .partial_cmp(&self.val)
+            .expect("heap values are never NaN")
+            .then_with(|| other.idx.cmp(&self.idx))
+    }
+}
+impl PartialOrd for MinEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Min-heap sibling of [`LazyMaxHeap`], with *membership*: indices start
+/// absent and only participate after their first [`LazyMinHeap::update`].
+///
+/// This is the engines' end-event queue: a task enters when its expected
+/// finish time is first set (static engine: at start; online engine: when
+/// the job is admitted) and leaves on [`LazyMinHeap::remove`] at
+/// completion.
+#[derive(Debug, Clone, Default)]
+pub struct LazyMinHeap {
+    heap: BinaryHeap<MinEntry>,
+    /// Authoritative values; NaN marks "absent".
+    current: Vec<f64>,
+}
+
+impl LazyMinHeap {
+    /// Creates a heap for indices `0..n`, all initially absent.
+    #[must_use]
+    pub fn with_len(n: usize) -> Self {
+        Self { heap: BinaryHeap::new(), current: vec![f64::NAN; n] }
+    }
+
+    /// Sets `idx`'s value (inserting it on first touch).
+    ///
+    /// Infinities are allowed (a degenerate platform can make an expected
+    /// finish time overflow to +∞); NaN is rejected — it is the
+    /// lazy-deletion sentinel.
+    ///
+    /// # Panics
+    /// Panics if `val` is NaN.
+    pub fn update(&mut self, idx: usize, val: f64) {
+        assert!(!val.is_nan(), "heap values must not be NaN");
+        self.current[idx] = val;
+        self.heap.push(MinEntry { val, idx });
+    }
+
+    /// Removes `idx` from consideration.
+    pub fn remove(&mut self, idx: usize) {
+        self.current[idx] = f64::NAN;
+    }
+
+    /// Whether `idx` currently participates.
+    #[must_use]
+    pub fn contains(&self, idx: usize) -> bool {
+        !self.current[idx].is_nan()
+    }
+
+    /// Returns the `(index, value)` with the minimum value without removing
+    /// it, discarding stale entries along the way. `None` when empty.
+    pub fn peek_min(&mut self) -> Option<(usize, f64)> {
+        while let Some(top) = self.heap.peek() {
+            if self.current[top.idx] == top.val {
+                return Some((top.idx, top.val));
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Current value of `idx` (NaN if absent).
     #[must_use]
     pub fn value(&self, idx: usize) -> f64 {
         self.current[idx]
@@ -150,8 +268,92 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "finite")]
+    fn reset_reuses_allocation() {
+        let mut h = LazyMaxHeap::new(&[1.0, 2.0]);
+        assert_eq!(h.peek_max(), Some((1, 2.0)));
+        h.reset(&[5.0, 4.0, 3.0]);
+        assert_eq!(h.peek_max(), Some((0, 5.0)));
+        h.remove(0);
+        assert_eq!(h.peek_max(), Some((1, 4.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
     fn rejects_nan_values() {
         let _ = LazyMaxHeap::new(&[f64::NAN]);
+    }
+
+    #[test]
+    fn infinite_values_are_ordered_not_rejected() {
+        // Degenerate platforms can overflow expected times to +∞; the old
+        // linear scans handled that, so the heaps must too.
+        let mut h = LazyMaxHeap::new(&[1.0, f64::INFINITY, 2.0]);
+        assert_eq!(h.peek_max(), Some((1, f64::INFINITY)));
+        h.remove(1);
+        assert_eq!(h.peek_max(), Some((2, 2.0)));
+        let mut m = LazyMinHeap::with_len(3);
+        m.update(0, f64::INFINITY);
+        m.update(1, 5.0);
+        assert_eq!(m.peek_min(), Some((1, 5.0)));
+        m.remove(1);
+        assert_eq!(m.peek_min(), Some((0, f64::INFINITY)));
+    }
+
+    #[test]
+    fn min_heap_membership_and_order() {
+        let mut h = LazyMinHeap::with_len(4);
+        assert_eq!(h.peek_min(), None);
+        h.update(2, 5.0);
+        h.update(0, 7.0);
+        assert!(h.contains(0) && !h.contains(1));
+        assert_eq!(h.peek_min(), Some((2, 5.0)));
+        h.update(2, 9.0);
+        assert_eq!(h.peek_min(), Some((0, 7.0)));
+        h.remove(0);
+        assert_eq!(h.peek_min(), Some((2, 9.0)));
+        h.remove(2);
+        assert_eq!(h.peek_min(), None);
+    }
+
+    #[test]
+    fn min_heap_ties_break_to_lowest_index() {
+        let mut h = LazyMinHeap::with_len(3);
+        h.update(2, 4.0);
+        h.update(1, 4.0);
+        h.update(0, 4.0);
+        assert_eq!(h.peek_min(), Some((0, 4.0)));
+        h.remove(0);
+        assert_eq!(h.peek_min(), Some((1, 4.0)));
+    }
+
+    #[test]
+    fn min_heap_matches_linear_scan_on_random_ops() {
+        // Reference equivalence: after arbitrary update/remove sequences the
+        // heap pick equals the linear-scan pick (value, ties lowest index).
+        let mut state = 0x0123_4567_89AB_CDEF_u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let n = 16usize;
+        let mut h = LazyMinHeap::with_len(n);
+        let mut vals: Vec<Option<f64>> = vec![None; n];
+        for _ in 0..2000 {
+            let idx = (next() as usize) % n;
+            if next() % 4 == 0 {
+                h.remove(idx);
+                vals[idx] = None;
+            } else {
+                let v = (next() % 1000) as f64;
+                h.update(idx, v);
+                vals[idx] = Some(v);
+            }
+            let scan = vals
+                .iter()
+                .enumerate()
+                .filter_map(|(i, v)| v.map(|v| (i, v)))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+            assert_eq!(h.peek_min(), scan);
+        }
     }
 }

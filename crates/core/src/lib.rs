@@ -31,9 +31,10 @@ pub mod optimal;
 pub mod policies;
 pub mod state;
 
-pub use ctx::{HeuristicCtx, Plan};
+pub use ctx::{HeuristicCtx, Plan, PlanEntry, PolicyScratch};
 pub use engine::{run, EngineConfig, FaultConfig, RunOutcome};
 pub use error::ScheduleError;
+pub use heap::{LazyMaxHeap, LazyMinHeap};
 pub use optimal::optimal_schedule;
 pub use policies::{
     greedy_rebuild, EndGreedy, EndLocal, EndPolicy, FaultPolicy, Heuristic, IteratedGreedy,

@@ -16,6 +16,7 @@
 use redistrib_model::TimeCalc;
 
 use crate::error::ScheduleError;
+use crate::heap::LazyMaxHeap;
 
 /// Computes the optimal no-redistribution allocation `σ` for `p` processors.
 ///
@@ -31,15 +32,15 @@ use crate::error::ScheduleError;
 ///     vec![TaskSpec::new(2.5e6), TaskSpec::new(1.5e6)],
 ///     Arc::new(PaperModel::default()),
 /// );
-/// let mut calc = TimeCalc::new(workload, Platform::new(16));
-/// let sigma = optimal_schedule(&mut calc, 16).unwrap();
+/// let calc = TimeCalc::new(workload, Platform::new(16));
+/// let sigma = optimal_schedule(&calc, 16).unwrap();
 /// assert_eq!(sigma.iter().sum::<u32>(), 16);
 /// assert!(sigma[0] > sigma[1], "the bigger task gets more processors");
 /// ```
 ///
 /// # Errors
 /// Returns [`ScheduleError::InsufficientProcessors`] if `p < 2n`.
-pub fn optimal_schedule(calc: &mut TimeCalc, p: u32) -> Result<Vec<u32>, ScheduleError> {
+pub fn optimal_schedule(calc: &TimeCalc, p: u32) -> Result<Vec<u32>, ScheduleError> {
     let n = calc.num_tasks();
     let needed = 2 * n as u32;
     if p < needed {
@@ -49,38 +50,28 @@ pub fn optimal_schedule(calc: &mut TimeCalc, p: u32) -> Result<Vec<u32>, Schedul
     let mut sigma = vec![2u32; n];
     // Effective (Eq. 6) expected times: running minima over the allocations
     // visited so far, so a temporarily non-improving +2 step cannot raise
-    // the stored value.
-    let mut val: Vec<f64> = (0..n).map(|i| calc.remaining(i, 2, 1.0)).collect();
+    // the stored value. Kept in a lazy max-heap so each grant step costs
+    // `O(log n)` instead of a linear argmax; ties break toward the lowest
+    // id, matching the deterministic list ordering of the pseudocode.
+    let val: Vec<f64> = (0..n).map(|i| calc.remaining(i, 2, 1.0)).collect();
+    let mut list = LazyMaxHeap::new(&val);
     let mut available = p - needed;
 
     while available >= 2 {
-        // Head of the list: the task with the longest effective time
-        // (ties toward the lowest id, matching the deterministic list
-        // ordering of the paper's pseudocode).
-        let head = argmax(&val);
+        // Head of the list: the task with the longest effective time.
+        let (head, head_val) = list.peek_max().expect("n ≥ 1 tasks");
         let pmax = sigma[head] + available;
-        if calc.improvable_up_to(head, sigma[head], val[head], pmax, 1.0) {
+        if calc.improvable_up_to(head, sigma[head], head_val, pmax, 1.0) {
             sigma[head] += 2;
             available -= 2;
             let raw = calc.remaining(head, sigma[head], 1.0);
-            val[head] = val[head].min(raw);
+            list.update(head, head_val.min(raw));
         } else {
             // The longest task cannot improve: keep the rest available.
             available = 0;
         }
     }
     Ok(sigma)
-}
-
-/// Index of the maximum value (first one on ties).
-fn argmax(values: &[f64]) -> usize {
-    let mut best = 0;
-    for (i, &v) in values.iter().enumerate().skip(1) {
-        if v > values[best] {
-            best = i;
-        }
-    }
-    best
 }
 
 #[cfg(test)]
@@ -103,46 +94,46 @@ mod tests {
 
     #[test]
     fn rejects_small_platform() {
-        let mut calc = fault_calc(&[2e6, 2e6], 3);
+        let calc = fault_calc(&[2e6, 2e6], 3);
         assert_eq!(
-            optimal_schedule(&mut calc, 3),
+            optimal_schedule(&calc, 3),
             Err(ScheduleError::InsufficientProcessors { needed: 4, available: 3 })
         );
     }
 
     #[test]
     fn minimal_platform_gives_two_each() {
-        let mut calc = fault_calc(&[2e6, 1e6, 1.5e6], 6);
-        assert_eq!(optimal_schedule(&mut calc, 6).unwrap(), vec![2, 2, 2]);
+        let calc = fault_calc(&[2e6, 1e6, 1.5e6], 6);
+        assert_eq!(optimal_schedule(&calc, 6).unwrap(), vec![2, 2, 2]);
     }
 
     #[test]
     fn allocations_even_and_within_p() {
-        let mut calc = fault_calc(&[2.5e6, 1.5e6, 2e6, 1.8e6], 64);
-        let sigma = optimal_schedule(&mut calc, 64).unwrap();
+        let calc = fault_calc(&[2.5e6, 1.5e6, 2e6, 1.8e6], 64);
+        let sigma = optimal_schedule(&calc, 64).unwrap();
         assert!(sigma.iter().all(|&s| s >= 2 && s % 2 == 0));
         assert!(sigma.iter().sum::<u32>() <= 64);
     }
 
     #[test]
     fn larger_tasks_get_more_processors() {
-        let mut calc = fault_calc(&[2.5e6, 1.5e6], 40);
-        let sigma = optimal_schedule(&mut calc, 40).unwrap();
+        let calc = fault_calc(&[2.5e6, 1.5e6], 40);
+        let sigma = optimal_schedule(&calc, 40).unwrap();
         assert!(sigma[0] >= sigma[1], "bigger task should not get fewer procs: {sigma:?}");
     }
 
     #[test]
     fn uses_all_processors_while_improvable() {
         // At these scales every +2 improves, so the greedy exhausts p.
-        let mut calc = fault_calc(&[2e6, 2e6], 32);
-        let sigma = optimal_schedule(&mut calc, 32).unwrap();
+        let calc = fault_calc(&[2e6, 2e6], 32);
+        let sigma = optimal_schedule(&calc, 32).unwrap();
         assert_eq!(sigma.iter().sum::<u32>(), 32);
     }
 
     #[test]
     fn balances_identical_tasks() {
-        let mut calc = fault_calc(&[2e6, 2e6, 2e6, 2e6], 48);
-        let sigma = optimal_schedule(&mut calc, 48).unwrap();
+        let calc = fault_calc(&[2e6, 2e6, 2e6, 2e6], 48);
+        let sigma = optimal_schedule(&calc, 48).unwrap();
         let min = *sigma.iter().min().unwrap();
         let max = *sigma.iter().max().unwrap();
         assert!(max - min <= 2, "identical tasks should balance: {sigma:?}");
@@ -153,8 +144,8 @@ mod tests {
         // Exhaustively verify optimality on a small instance.
         let sizes = [2.2e6, 1.6e6, 1.9e6];
         let p = 14u32;
-        let mut calc = fault_calc(&sizes, p);
-        let sigma = optimal_schedule(&mut calc, p).unwrap();
+        let calc = fault_calc(&sizes, p);
+        let sigma = optimal_schedule(&calc, p).unwrap();
         let greedy_makespan = sigma
             .iter()
             .enumerate()
@@ -182,16 +173,16 @@ mod tests {
     #[test]
     fn fault_free_mode_matches_plain_times() {
         let w = workload(&[2e6, 1e6]);
-        let mut calc = TimeCalc::fault_free(w, Platform::new(16));
-        let sigma = optimal_schedule(&mut calc, 16).unwrap();
+        let calc = TimeCalc::fault_free(w, Platform::new(16));
+        let sigma = optimal_schedule(&calc, 16).unwrap();
         assert_eq!(sigma.iter().sum::<u32>(), 16);
         assert!(sigma[0] > sigma[1]);
     }
 
     #[test]
     fn deterministic() {
-        let a = optimal_schedule(&mut fault_calc(&[2e6, 1.3e6, 1.9e6], 30), 30).unwrap();
-        let b = optimal_schedule(&mut fault_calc(&[2e6, 1.3e6, 1.9e6], 30), 30).unwrap();
+        let a = optimal_schedule(&fault_calc(&[2e6, 1.3e6, 1.9e6], 30), 30).unwrap();
+        let b = optimal_schedule(&fault_calc(&[2e6, 1.3e6, 1.9e6], 30), 30).unwrap();
         assert_eq!(a, b);
     }
 }

@@ -8,7 +8,7 @@
 //! pseudocode's outer loop lacks an emptiness guard on the candidate list;
 //! we add it, see DESIGN.md.)
 
-use crate::ctx::{HeuristicCtx, Plan};
+use crate::ctx::{HeuristicCtx, PlanEntry};
 
 use super::EndPolicy;
 
@@ -23,33 +23,28 @@ impl EndPolicy for EndLocal {
             return;
         }
 
-        // Per-candidate planning state.
-        struct Entry {
-            task: usize,
-            sigma_init: u32,
-            sigma: u32,
-            alpha_t: f64,
-            t_u: f64,
-        }
-        let mut entries: Vec<Entry> = ctx
-            .eligible
-            .iter()
-            .map(|&i| Entry {
-                task: i,
-                sigma_init: ctx.state.sigma(i),
-                sigma: ctx.state.sigma(i),
-                alpha_t: 0.0, // filled below (needs &mut ctx)
-                t_u: ctx.state.runtime(i).t_u,
-            })
-            .collect();
+        // Per-candidate planning state, in reused scratch storage.
+        let mut entries = std::mem::take(&mut ctx.scratch.entries);
+        entries.clear();
+        entries.extend(ctx.eligible.iter().map(|&i| PlanEntry {
+            task: i,
+            sigma_init: ctx.state.sigma(i),
+            sigma: ctx.state.sigma(i),
+            alpha_t: 0.0, // filled below (needs &mut ctx)
+            t_u: ctx.state.runtime(i).t_u,
+            faulty: false,
+        }));
         for e in &mut entries {
             e.alpha_t = ctx.alpha_current(e.task);
         }
 
         // Working list ordered by planned finish time (lazy max-heap; a
         // dropped task leaves the list for good).
-        let mut list =
-            crate::heap::LazyMaxHeap::new(&entries.iter().map(|e| e.t_u).collect::<Vec<_>>());
+        let mut values = std::mem::take(&mut ctx.scratch.values);
+        values.clear();
+        values.extend(entries.iter().map(|e| e.t_u));
+        let mut list = std::mem::take(&mut ctx.scratch.heap);
+        list.reset(&values);
 
         while k >= 2 {
             // Head of L: longest planned finish time.
@@ -84,24 +79,17 @@ impl EndPolicy for EndLocal {
             }
         }
 
-        let plans: Vec<Plan> = entries
-            .iter()
-            .filter(|e| e.sigma != e.sigma_init)
-            .map(|e| Plan {
-                task: e.task,
-                sigma_init: e.sigma_init,
-                sigma_new: e.sigma,
-                alpha_t: e.alpha_t,
-                faulty: false,
-            })
-            .collect();
-        ctx.commit(&plans);
+        ctx.scratch.values = values;
+        ctx.scratch.heap = list;
+        ctx.scratch.entries = entries;
+        ctx.commit_entries();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ctx::PolicyScratch;
     use crate::state::PackState;
     use redistrib_model::{PaperModel, Platform, TaskSpec, TimeCalc, Workload};
     use redistrib_sim::trace::TraceLog;
@@ -114,25 +102,27 @@ mod tests {
             vec![TaskSpec::new(2.2e6), TaskSpec::new(1.6e6)],
             Arc::new(PaperModel::default()),
         );
-        let mut calc = TimeCalc::new(workload, Platform::with_mtbf(p, units::years(100.0)));
+        let calc = TimeCalc::new(workload, Platform::with_mtbf(p, units::years(100.0)));
         let mut state = PackState::new(p, &[4, 4]);
         for i in 0..2 {
             let tu = calc.remaining(i, 4, 1.0);
-            state.runtime_mut(i).t_u = tu;
+            state.set_t_u(i, tu);
         }
         (calc, state)
     }
 
-    fn run_policy(calc: &mut TimeCalc, state: &mut PackState, now: f64) -> u64 {
+    fn run_policy(calc: &TimeCalc, state: &mut PackState, now: f64) -> u64 {
         let mut trace = TraceLog::disabled();
         let mut count = 0;
         let eligible: Vec<usize> = state.active_tasks().collect();
+        let mut scratch = PolicyScratch::default();
         let mut ctx = HeuristicCtx {
             calc,
             state,
             trace: &mut trace,
             now,
             eligible: &eligible,
+            scratch: &mut scratch,
             pseudocode_fault_bias: false,
             redistributions: &mut count,
         };
@@ -142,9 +132,9 @@ mod tests {
 
     #[test]
     fn distributes_free_processors() {
-        let (mut calc, mut state) = fixture(12);
+        let (calc, mut state) = fixture(12);
         let tu_before_0 = state.runtime(0).t_u;
-        let count = run_policy(&mut calc, &mut state, 1000.0);
+        let count = run_policy(&calc, &mut state, 1000.0);
         assert!(count > 0, "free processors should be granted");
         assert_eq!(state.free_count(), 0, "both tasks improvable at this scale");
         assert!(state.runtime(0).t_u < tu_before_0, "longest task improves");
@@ -153,8 +143,8 @@ mod tests {
 
     #[test]
     fn longest_task_served_first() {
-        let (mut calc, mut state) = fixture(10); // one free pair only
-        let count = run_policy(&mut calc, &mut state, 1000.0);
+        let (calc, mut state) = fixture(10); // one free pair only
+        let count = run_policy(&calc, &mut state, 1000.0);
         assert_eq!(count, 1);
         // Task 0 is bigger, hence the longest; it should get the pair.
         assert_eq!(state.sigma(0), 6);
@@ -163,8 +153,8 @@ mod tests {
 
     #[test]
     fn no_free_processors_is_noop() {
-        let (mut calc, mut state) = fixture(8);
-        let count = run_policy(&mut calc, &mut state, 1000.0);
+        let (calc, mut state) = fixture(8);
+        let count = run_policy(&calc, &mut state, 1000.0);
         assert_eq!(count, 0);
         assert_eq!(state.sigma(0), 4);
         assert_eq!(state.sigma(1), 4);
@@ -172,16 +162,16 @@ mod tests {
 
     #[test]
     fn never_shrinks_tasks() {
-        let (mut calc, mut state) = fixture(16);
-        run_policy(&mut calc, &mut state, 1000.0);
+        let (calc, mut state) = fixture(16);
+        run_policy(&calc, &mut state, 1000.0);
         assert!(state.sigma(0) >= 4);
         assert!(state.sigma(1) >= 4);
     }
 
     #[test]
     fn anchors_move_for_changed_tasks_only() {
-        let (mut calc, mut state) = fixture(10);
-        run_policy(&mut calc, &mut state, 1000.0);
+        let (calc, mut state) = fixture(10);
+        run_policy(&calc, &mut state, 1000.0);
         // Task 0 changed: anchor after now. Task 1 unchanged: anchor still 0.
         assert!(state.runtime(0).t_last_r > 1000.0);
         assert_eq!(state.runtime(1).t_last_r, 0.0);
@@ -189,17 +179,19 @@ mod tests {
 
     #[test]
     fn respects_eligibility() {
-        let (mut calc, mut state) = fixture(12);
+        let (calc, mut state) = fixture(12);
         let mut trace = TraceLog::disabled();
         let mut count = 0;
         // Only task 1 is eligible; task 0 must not change.
         let eligible = vec![1usize];
+        let mut scratch = PolicyScratch::default();
         let mut ctx = HeuristicCtx {
-            calc: &mut calc,
+            calc: &calc,
             state: &mut state,
             trace: &mut trace,
             now: 1000.0,
             eligible: &eligible,
+            scratch: &mut scratch,
             pseudocode_fault_bias: false,
             redistributions: &mut count,
         };
@@ -217,12 +209,12 @@ mod tests {
             // Almost sequential: extra processors barely help.
             Arc::new(PaperModel::new(0.99)),
         );
-        let mut calc = TimeCalc::new(workload, Platform::with_mtbf(8, units::years(100.0)));
+        let calc = TimeCalc::new(workload, Platform::with_mtbf(8, units::years(100.0)));
         let mut state = PackState::new(8, &[2]);
         let tu = calc.remaining(0, 2, 1.0);
         state.runtime_mut(0).t_u = tu;
         // Nearly finished: the residual gain cannot repay the data movement.
-        let count = run_policy(&mut calc, &mut state, tu * 0.999);
+        let count = run_policy(&calc, &mut state, tu * 0.999);
         assert_eq!(count, 0, "non-beneficial redistribution must be declined");
         assert_eq!(state.sigma(0), 2);
     }

@@ -13,7 +13,7 @@
 
 use redistrib_model::TaskId;
 
-use crate::ctx::{HeuristicCtx, Plan};
+use crate::ctx::{HeuristicCtx, PlanEntry};
 
 use super::{EndPolicy, FaultPolicy};
 
@@ -21,28 +21,18 @@ use super::{EndPolicy, FaultPolicy};
 /// task, if any). Shared implementation of [`IteratedGreedy`] and
 /// [`EndGreedy`].
 pub fn greedy_rebuild(ctx: &mut HeuristicCtx<'_>, faulty: Option<TaskId>) {
-    struct Entry {
-        task: usize,
-        sigma_init: u32,
-        sigma: u32,
-        alpha_t: f64,
-        t_u: f64,
-        faulty: bool,
-    }
-
-    let mut entries: Vec<Entry> = Vec::with_capacity(ctx.eligible.len() + 1);
-    for &i in ctx.eligible {
-        entries.push(Entry {
-            task: i,
-            sigma_init: ctx.state.sigma(i),
-            sigma: 0,
-            alpha_t: 0.0,
-            t_u: 0.0,
-            faulty: false,
-        });
-    }
+    let mut entries = std::mem::take(&mut ctx.scratch.entries);
+    entries.clear();
+    entries.extend(ctx.eligible.iter().map(|&i| PlanEntry {
+        task: i,
+        sigma_init: ctx.state.sigma(i),
+        sigma: 0,
+        alpha_t: 0.0,
+        t_u: 0.0,
+        faulty: false,
+    }));
     if let Some(f) = faulty {
-        entries.push(Entry {
+        entries.push(PlanEntry {
             task: f,
             sigma_init: ctx.state.sigma(f),
             sigma: 0,
@@ -52,6 +42,7 @@ pub fn greedy_rebuild(ctx: &mut HeuristicCtx<'_>, faulty: Option<TaskId>) {
         });
     }
     if entries.is_empty() {
+        ctx.scratch.entries = entries;
         return;
     }
 
@@ -67,8 +58,11 @@ pub fn greedy_rebuild(ctx: &mut HeuristicCtx<'_>, faulty: Option<TaskId>) {
         e.t_u = ctx.candidate_finish(e.task, e.sigma_init, 2, e.alpha_t, e.faulty);
     }
 
-    let mut list =
-        crate::heap::LazyMaxHeap::new(&entries.iter().map(|e| e.t_u).collect::<Vec<_>>());
+    let mut values = std::mem::take(&mut ctx.scratch.values);
+    values.clear();
+    values.extend(entries.iter().map(|e| e.t_u));
+    let mut list = std::mem::take(&mut ctx.scratch.heap);
+    list.reset(&values);
     while available >= 2 {
         // Longest planned finish time first.
         let (head, t_u) = list.peek_max().expect("entries non-empty");
@@ -103,18 +97,10 @@ pub fn greedy_rebuild(ctx: &mut HeuristicCtx<'_>, faulty: Option<TaskId>) {
         }
     }
 
-    let plans: Vec<Plan> = entries
-        .iter()
-        .filter(|e| e.sigma != e.sigma_init)
-        .map(|e| Plan {
-            task: e.task,
-            sigma_init: e.sigma_init,
-            sigma_new: e.sigma,
-            alpha_t: e.alpha_t,
-            faulty: e.faulty,
-        })
-        .collect();
-    ctx.commit(&plans);
+    ctx.scratch.values = values;
+    ctx.scratch.heap = list;
+    ctx.scratch.entries = entries;
+    ctx.commit_entries();
 }
 
 /// `IteratedGreedy` fault policy (Algorithm 5): on each failure where the
@@ -143,6 +129,7 @@ impl EndPolicy for EndGreedy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ctx::PolicyScratch;
     use crate::state::PackState;
     use redistrib_model::{PaperModel, Platform, TaskSpec, TimeCalc, Workload};
     use redistrib_sim::trace::TraceLog;
@@ -154,17 +141,17 @@ mod tests {
             sizes.iter().map(|&m| TaskSpec::new(m)).collect(),
             Arc::new(PaperModel::default()),
         );
-        let mut calc = TimeCalc::new(workload, Platform::with_mtbf(p, units::years(100.0)));
+        let calc = TimeCalc::new(workload, Platform::with_mtbf(p, units::years(100.0)));
         let mut state = PackState::new(p, sigmas);
         for (i, &s) in sigmas.iter().enumerate() {
             let tu = calc.remaining(i, s, 1.0);
-            state.runtime_mut(i).t_u = tu;
+            state.set_t_u(i, tu);
         }
         (calc, state)
     }
 
     fn run_greedy(
-        calc: &mut TimeCalc,
+        calc: &TimeCalc,
         state: &mut PackState,
         now: f64,
         faulty: Option<TaskId>,
@@ -173,12 +160,14 @@ mod tests {
         let mut count = 0;
         let eligible: Vec<usize> =
             state.active_tasks().filter(|&i| Some(i) != faulty).collect();
+        let mut scratch = PolicyScratch::default();
         let mut ctx = HeuristicCtx {
             calc,
             state,
             trace: &mut trace,
             now,
             eligible: &eligible,
+            scratch: &mut scratch,
             pseudocode_fault_bias: false,
             redistributions: &mut count,
         };
@@ -189,9 +178,9 @@ mod tests {
     #[test]
     fn end_variant_absorbs_free_processors() {
         // Two tasks on 4+4 of 16 processors; 8 free.
-        let (mut calc, mut state) = fixture(&[2.2e6, 1.6e6], &[4, 4], 16);
+        let (calc, mut state) = fixture(&[2.2e6, 1.6e6], &[4, 4], 16);
         let mk_before = state.makespan_estimate();
-        run_greedy(&mut calc, &mut state, 1000.0, None);
+        run_greedy(&calc, &mut state, 1000.0, None);
         assert_eq!(state.free_count(), 0, "all pairs absorbed at this scale");
         assert!(state.makespan_estimate() < mk_before);
         assert!(state.check_invariants());
@@ -201,9 +190,9 @@ mod tests {
     fn rebalances_between_tasks() {
         // Task 0 is much larger but starts tiny: the rebuild must shift
         // processors away from the over-provisioned task 1.
-        let (mut calc, mut state) = fixture(&[2.4e6, 1.5e6], &[2, 10], 12);
+        let (calc, mut state) = fixture(&[2.4e6, 1.5e6], &[2, 10], 12);
         let mk_before = state.makespan_estimate();
-        let count = run_greedy(&mut calc, &mut state, 5000.0, None);
+        let count = run_greedy(&calc, &mut state, 5000.0, None);
         assert!(count >= 2, "both tasks should move");
         assert!(state.sigma(0) > 2, "large task must gain");
         assert!(state.sigma(1) < 10, "small task must shed");
@@ -213,7 +202,7 @@ mod tests {
 
     #[test]
     fn faulty_task_prioritized() {
-        let (mut calc, mut state) = fixture(&[2.0e6, 2.0e6], &[4, 4], 12);
+        let (calc, mut state) = fixture(&[2.0e6, 2.0e6], &[4, 4], 12);
         // Simulate the engine's fault bookkeeping on task 0: it lost work.
         let t = 2000.0;
         let j = state.sigma(0);
@@ -227,7 +216,7 @@ mod tests {
         let anchor = state.runtime(0).t_last_r;
         let rem = calc.remaining(0, j, 1.0);
         state.runtime_mut(0).t_u = anchor + rem;
-        run_greedy(&mut calc, &mut state, t, Some(0));
+        run_greedy(&calc, &mut state, t, Some(0));
         assert!(
             state.sigma(0) >= state.sigma(1),
             "faulty longest task should not end with fewer procs: {} vs {}",
@@ -241,8 +230,8 @@ mod tests {
     fn same_allocation_pays_nothing() {
         // A balanced plan should leave allocations unchanged and commit no
         // redistribution.
-        let (mut calc, mut state) = fixture(&[2.0e6, 2.0e6], &[8, 8], 16);
-        let count = run_greedy(&mut calc, &mut state, 0.0, None);
+        let (calc, mut state) = fixture(&[2.0e6, 2.0e6], &[8, 8], 16);
+        let count = run_greedy(&calc, &mut state, 0.0, None);
         assert_eq!(count, 0, "already-optimal schedule must not be touched");
         assert_eq!(state.sigma(0), 8);
         assert_eq!(state.sigma(1), 8);
@@ -250,16 +239,18 @@ mod tests {
 
     #[test]
     fn empty_eligible_is_noop() {
-        let (mut calc, mut state) = fixture(&[2.0e6], &[4], 8);
+        let (calc, mut state) = fixture(&[2.0e6], &[4], 8);
         let mut trace = TraceLog::disabled();
         let mut count = 0;
         let eligible: Vec<usize> = vec![];
+        let mut scratch = PolicyScratch::default();
         let mut ctx = HeuristicCtx {
-            calc: &mut calc,
+            calc: &calc,
             state: &mut state,
             trace: &mut trace,
             now: 10.0,
             eligible: &eligible,
+            scratch: &mut scratch,
             pseudocode_fault_bias: false,
             redistributions: &mut count,
         };
@@ -269,17 +260,19 @@ mod tests {
 
     #[test]
     fn ineligible_tasks_keep_processors() {
-        let (mut calc, mut state) = fixture(&[2.0e6, 2.0e6, 2.0e6], &[4, 4, 4], 16);
+        let (calc, mut state) = fixture(&[2.0e6, 2.0e6, 2.0e6], &[4, 4, 4], 16);
         let mut trace = TraceLog::disabled();
         let mut count = 0;
         // Task 2 mid-redistribution: not eligible.
         let eligible = vec![0usize, 1];
+        let mut scratch = PolicyScratch::default();
         let mut ctx = HeuristicCtx {
-            calc: &mut calc,
+            calc: &calc,
             state: &mut state,
             trace: &mut trace,
             now: 1000.0,
             eligible: &eligible,
+            scratch: &mut scratch,
             pseudocode_fault_bias: false,
             redistributions: &mut count,
         };

@@ -29,6 +29,12 @@ pub trait EndPolicy: std::fmt::Debug + Sync {
     /// Redistributes the free processors (the ended task's processors are
     /// already back in the pool when this is called).
     fn on_task_end(&self, ctx: &mut HeuristicCtx<'_>);
+
+    /// Whether this policy never acts — lets the engine skip building the
+    /// eligible set entirely (the no-redistribution baselines).
+    fn is_noop(&self) -> bool {
+        false
+    }
 }
 
 /// Policy applied when a failure strikes and the faulty task has become the
@@ -40,6 +46,12 @@ pub trait FaultPolicy: std::fmt::Debug + Sync {
     /// last checkpoint (`α_f` updated) and charged downtime + recovery
     /// (`tlastR_f = t + D + R`, `t^U_f = tlastR_f + remaining`).
     fn on_fault(&self, ctx: &mut HeuristicCtx<'_>, faulty: TaskId);
+
+    /// Whether this policy never acts — lets the engine skip building the
+    /// eligible set entirely (the no-redistribution baselines).
+    fn is_noop(&self) -> bool {
+        false
+    }
 }
 
 /// End policy that never redistributes (the paper's baseline).
@@ -48,6 +60,10 @@ pub struct NoEndRedistribution;
 
 impl EndPolicy for NoEndRedistribution {
     fn on_task_end(&self, _ctx: &mut HeuristicCtx<'_>) {}
+
+    fn is_noop(&self) -> bool {
+        true
+    }
 }
 
 /// Fault policy that never redistributes: the faulty task recovers in place
@@ -57,6 +73,10 @@ pub struct NoFaultRedistribution;
 
 impl FaultPolicy for NoFaultRedistribution {
     fn on_fault(&self, _ctx: &mut HeuristicCtx<'_>, _faulty: TaskId) {}
+
+    fn is_noop(&self) -> bool {
+        true
+    }
 }
 
 /// The heuristic combinations evaluated in §6 of the paper.

@@ -14,7 +14,7 @@
 
 use redistrib_model::TaskId;
 
-use crate::ctx::{HeuristicCtx, Plan};
+use crate::ctx::{HeuristicCtx, PlanEntry};
 
 use super::FaultPolicy;
 
@@ -29,26 +29,17 @@ impl FaultPolicy for ShortestTasksFirst {
         let mut sigma_f = sigma_init_f;
         let mut tu_f = ctx.state.runtime(faulty).t_u;
 
-        // Donor planning state.
-        struct Donor {
-            task: usize,
-            sigma_init: u32,
-            sigma: u32,
-            alpha_t: f64,
-            t_u: f64,
-        }
-        let mut donors: Vec<Donor> = ctx
-            .eligible
-            .iter()
-            .filter(|&&i| i != faulty)
-            .map(|&i| Donor {
-                task: i,
-                sigma_init: ctx.state.sigma(i),
-                sigma: ctx.state.sigma(i),
-                alpha_t: 0.0,
-                t_u: ctx.state.runtime(i).t_u,
-            })
-            .collect();
+        // Donor planning state, in reused scratch storage.
+        let mut donors = std::mem::take(&mut ctx.scratch.entries);
+        donors.clear();
+        donors.extend(ctx.eligible.iter().filter(|&&i| i != faulty).map(|&i| PlanEntry {
+            task: i,
+            sigma_init: ctx.state.sigma(i),
+            sigma: ctx.state.sigma(i),
+            alpha_t: 0.0,
+            t_u: ctx.state.runtime(i).t_u,
+            faulty: false,
+        }));
         for d in &mut donors {
             d.alpha_t = ctx.alpha_current(d.task);
         }
@@ -79,7 +70,7 @@ impl FaultPolicy for ShortestTasksFirst {
 
         // Phase 2: steal pairs from the shortest tasks.
         // The shortest donor still holding at least 4 processors.
-        let shortest_donor = |donors: &[Donor]| {
+        let shortest_donor = |donors: &[PlanEntry]| {
             donors
                 .iter()
                 .enumerate()
@@ -139,34 +130,24 @@ impl FaultPolicy for ShortestTasksFirst {
             }
         }
 
-        // Commit.
-        let mut plans: Vec<Plan> = donors
-            .iter()
-            .filter(|d| d.sigma != d.sigma_init)
-            .map(|d| Plan {
-                task: d.task,
-                sigma_init: d.sigma_init,
-                sigma_new: d.sigma,
-                alpha_t: d.alpha_t,
-                faulty: false,
-            })
-            .collect();
-        if sigma_f != sigma_init_f {
-            plans.push(Plan {
-                task: faulty,
-                sigma_init: sigma_init_f,
-                sigma_new: sigma_f,
-                alpha_t: alpha_f,
-                faulty: true,
-            });
-        }
-        ctx.commit(&plans);
+        // Commit: donors first, then the faulty task's own move.
+        donors.push(PlanEntry {
+            task: faulty,
+            sigma_init: sigma_init_f,
+            sigma: sigma_f,
+            alpha_t: alpha_f,
+            t_u: tu_f,
+            faulty: true,
+        });
+        ctx.scratch.entries = donors;
+        ctx.commit_entries();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ctx::PolicyScratch;
     use crate::state::PackState;
     use redistrib_model::{PaperModel, Platform, TaskSpec, TimeCalc, Workload};
     use redistrib_sim::trace::TraceLog;
@@ -181,12 +162,12 @@ mod tests {
             sizes.iter().map(|&m| TaskSpec::new(m)).collect(),
             Arc::new(PaperModel::default()),
         );
-        let mut calc = TimeCalc::new(workload, Platform::with_mtbf(p, units::years(100.0)));
+        let calc = TimeCalc::new(workload, Platform::with_mtbf(p, units::years(100.0)));
         let mut state = PackState::new(p, sigmas);
         let t = 5000.0;
         for (i, &s) in sigmas.iter().enumerate() {
             let tu = calc.remaining(i, s, 1.0);
-            state.runtime_mut(i).t_u = tu;
+            state.set_t_u(i, tu);
         }
         // Fault bookkeeping for task 0 (as the engine would do).
         let j = sigmas[0];
@@ -198,21 +179,23 @@ mod tests {
             let rt = state.runtime_mut(0);
             rt.alpha = 1.0;
             rt.t_last_r = anchor;
-            rt.t_u = anchor + rem;
         }
+        state.set_t_u(0, anchor + rem);
         (calc, state, t)
     }
 
-    fn run_stf(calc: &mut TimeCalc, state: &mut PackState, now: f64) -> u64 {
+    fn run_stf(calc: &TimeCalc, state: &mut PackState, now: f64) -> u64 {
         let mut trace = TraceLog::disabled();
         let mut count = 0;
         let eligible: Vec<usize> = state.active_tasks().filter(|&i| i != 0).collect();
+        let mut scratch = PolicyScratch::default();
         let mut ctx = HeuristicCtx {
             calc,
             state,
             trace: &mut trace,
             now,
             eligible: &eligible,
+            scratch: &mut scratch,
             pseudocode_fault_bias: false,
             redistributions: &mut count,
         };
@@ -223,9 +206,9 @@ mod tests {
     #[test]
     fn grants_free_processors_first() {
         // 4 free processors; faulty task should absorb them.
-        let (mut calc, mut state, t) = fixture(&[4, 4], 12);
+        let (calc, mut state, t) = fixture(&[4, 4], 12);
         let tu_before = state.runtime(0).t_u;
-        run_stf(&mut calc, &mut state, t);
+        run_stf(&calc, &mut state, t);
         assert!(state.sigma(0) > 4, "faulty task should gain");
         assert!(state.runtime(0).t_u < tu_before);
         assert!(state.check_invariants());
@@ -235,8 +218,8 @@ mod tests {
     fn steals_from_shortest_when_pool_empty() {
         // No free processors: 4 + 8 on 12. The faulty task (longest, it
         // just lost all its work) steals from the other.
-        let (mut calc, mut state, t) = fixture(&[4, 8], 12);
-        let count = run_stf(&mut calc, &mut state, t);
+        let (calc, mut state, t) = fixture(&[4, 8], 12);
+        let count = run_stf(&calc, &mut state, t);
         assert!(count >= 2, "a steal moves two tasks");
         assert!(state.sigma(0) > 4);
         assert!(state.sigma(1) < 8);
@@ -245,23 +228,23 @@ mod tests {
 
     #[test]
     fn never_starves_donor_below_two() {
-        let (mut calc, mut state, t) = fixture(&[4, 4], 8);
-        run_stf(&mut calc, &mut state, t);
+        let (calc, mut state, t) = fixture(&[4, 4], 8);
+        run_stf(&calc, &mut state, t);
         assert!(state.sigma(1) >= 2, "donors keep at least one buddy pair");
     }
 
     #[test]
     fn donor_with_only_two_procs_is_untouchable() {
-        let (mut calc, mut state, t) = fixture(&[6, 2], 8);
-        let count = run_stf(&mut calc, &mut state, t);
+        let (calc, mut state, t) = fixture(&[6, 2], 8);
+        let count = run_stf(&calc, &mut state, t);
         assert_eq!(count, 0, "no donor with σ ≥ 4 exists and no procs free");
         assert_eq!(state.sigma(1), 2);
     }
 
     #[test]
     fn donor_finish_time_stays_below_faulty() {
-        let (mut calc, mut state, t) = fixture(&[4, 10, 10], 24);
-        run_stf(&mut calc, &mut state, t);
+        let (calc, mut state, t) = fixture(&[4, 10, 10], 24);
+        run_stf(&calc, &mut state, t);
         let tu_f = state.runtime(0).t_u;
         // Donors were only tapped while their new finish stayed below the
         // faulty task's *pre-transfer* finish; allow the final post-commit
@@ -277,16 +260,18 @@ mod tests {
 
     #[test]
     fn ineligible_tasks_are_not_donors() {
-        let (mut calc, mut state, t) = fixture(&[4, 8], 12);
+        let (calc, mut state, t) = fixture(&[4, 8], 12);
         let mut trace = TraceLog::disabled();
         let mut count = 0;
         let eligible: Vec<usize> = vec![]; // task 1 mid-redistribution
+        let mut scratch = PolicyScratch::default();
         let mut ctx = HeuristicCtx {
-            calc: &mut calc,
+            calc: &calc,
             state: &mut state,
             trace: &mut trace,
             now: t,
             eligible: &eligible,
+            scratch: &mut scratch,
             pseudocode_fault_bias: false,
             redistributions: &mut count,
         };
@@ -297,10 +282,10 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let (mut c1, mut s1, t) = fixture(&[4, 8, 6], 20);
-        let (mut c2, mut s2, _) = fixture(&[4, 8, 6], 20);
-        run_stf(&mut c1, &mut s1, t);
-        run_stf(&mut c2, &mut s2, t);
+        let (c1, mut s1, t) = fixture(&[4, 8, 6], 20);
+        let (c2, mut s2, _) = fixture(&[4, 8, 6], 20);
+        run_stf(&c1, &mut s1, t);
+        run_stf(&c2, &mut s2, t);
         for i in 0..3 {
             assert_eq!(s1.sigma(i), s2.sigma(i));
             assert_eq!(s1.runtime(i).t_u, s2.runtime(i).t_u);

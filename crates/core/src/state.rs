@@ -13,6 +13,8 @@ use std::collections::BTreeSet;
 use redistrib_model::TaskId;
 use redistrib_sim::stddev_population;
 
+use crate::heap::LazyMinHeap;
+
 /// Per-task runtime bookkeeping (Table 1 of the paper).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TaskRuntime {
@@ -45,6 +47,12 @@ pub struct PackState {
     task_procs: Vec<Vec<u32>>,
     /// Free processors.
     free: BTreeSet<u32>,
+    /// Number of tasks not yet completed (maintained incrementally).
+    active: usize,
+    /// End-event queue: expected finish times of *started* tasks, entered
+    /// via [`PackState::set_t_u`] and lazily deleted on completion. Gives
+    /// `O(log n)` [`PackState::earliest_active`] instead of a linear scan.
+    ends: LazyMinHeap,
 }
 
 impl PackState {
@@ -74,6 +82,8 @@ impl PackState {
             proc_owner,
             task_procs,
             free,
+            active: sigmas.len(),
+            ends: LazyMinHeap::with_len(sigmas.len()),
         }
     }
 
@@ -108,8 +118,21 @@ impl PackState {
     }
 
     /// Mutable access to a task's runtime record.
+    ///
+    /// `t_u` must **not** be written through this accessor — use
+    /// [`PackState::set_t_u`], which keeps the end-event queue in sync.
     pub fn runtime_mut(&mut self, i: TaskId) -> &mut TaskRuntime {
         &mut self.runtimes[i]
+    }
+
+    /// Sets task `i`'s expected finish time, entering it into the
+    /// end-event queue (first call marks the task *started*).
+    ///
+    /// # Panics
+    /// Panics if `t_u` is NaN.
+    pub fn set_t_u(&mut self, i: TaskId, t_u: f64) {
+        self.runtimes[i].t_u = t_u;
+        self.ends.update(i, t_u);
     }
 
     /// Current allocation size `σ(i)`.
@@ -192,6 +215,8 @@ impl PackState {
         rt.done = true;
         rt.alpha = 0.0;
         rt.completion_time = time;
+        self.active -= 1;
+        self.ends.remove(i);
     }
 
     /// Iterates over the ids of tasks still running.
@@ -199,10 +224,11 @@ impl PackState {
         self.runtimes.iter().enumerate().filter(|(_, r)| !r.done).map(|(i, _)| i)
     }
 
-    /// Number of tasks still running.
+    /// Number of tasks still running (O(1), maintained incrementally).
     #[must_use]
     pub fn active_count(&self) -> usize {
-        self.runtimes.iter().filter(|r| !r.done).count()
+        debug_assert_eq!(self.active, self.runtimes.iter().filter(|r| !r.done).count());
+        self.active
     }
 
     /// The active task with the latest expected finish time, if any
@@ -219,11 +245,30 @@ impl PackState {
         best
     }
 
-    /// The active task with the earliest expected finish time, if any.
+    /// The *started* active task with the earliest expected finish time, if
+    /// any (ties toward the lowest id). `O(log n)` via the lazy-deletion
+    /// end-event queue; in debug builds the pick is cross-checked against
+    /// [`PackState::earliest_active_scan`].
+    ///
+    /// Tasks enter consideration at their first [`PackState::set_t_u`]
+    /// (the online engine keeps queued jobs out this way) and leave on
+    /// [`PackState::complete`].
+    pub fn earliest_active(&mut self) -> Option<(TaskId, f64)> {
+        let picked = self.ends.peek_min();
+        debug_assert_eq!(picked, self.earliest_active_scan(), "heap/scan divergence");
+        picked
+    }
+
+    /// Reference implementation of [`PackState::earliest_active`]: a linear
+    /// scan over started active tasks. Kept for equivalence tests and
+    /// debug cross-checking.
     #[must_use]
-    pub fn earliest_active(&self) -> Option<(TaskId, f64)> {
+    pub fn earliest_active_scan(&self) -> Option<(TaskId, f64)> {
         let mut best: Option<(TaskId, f64)> = None;
         for i in self.active_tasks() {
+            if !self.ends.contains(i) {
+                continue;
+            }
             let tu = self.runtimes[i].t_u;
             if best.is_none_or(|(_, b)| tu < b) {
                 best = Some((i, tu));
@@ -359,7 +404,7 @@ mod tests {
     #[test]
     fn complete_releases_everything() {
         let mut s = state();
-        s.runtime_mut(1).t_u = 5.0;
+        s.set_t_u(1, 5.0);
         s.complete(1, 5.0);
         assert!(s.runtime(1).done);
         assert_eq!(s.runtime(1).completion_time, 5.0);
@@ -373,9 +418,9 @@ mod tests {
     #[test]
     fn longest_and_earliest() {
         let mut s = state();
-        s.runtime_mut(0).t_u = 10.0;
-        s.runtime_mut(1).t_u = 30.0;
-        s.runtime_mut(2).t_u = 20.0;
+        s.set_t_u(0, 10.0);
+        s.set_t_u(1, 30.0);
+        s.set_t_u(2, 20.0);
         assert_eq!(s.longest_active(), Some((1, 30.0)));
         assert_eq!(s.earliest_active(), Some((0, 10.0)));
         s.complete(1, 30.0);
@@ -386,7 +431,7 @@ mod tests {
     fn longest_tie_breaks_to_lowest_id() {
         let mut s = state();
         for i in 0..3 {
-            s.runtime_mut(i).t_u = 7.0;
+            s.set_t_u(i, 7.0);
         }
         assert_eq!(s.longest_active(), Some((0, 7.0)));
     }
@@ -394,12 +439,12 @@ mod tests {
     #[test]
     fn makespan_estimate_mixes_done_and_active() {
         let mut s = state();
-        s.runtime_mut(0).t_u = 10.0;
-        s.runtime_mut(1).t_u = 30.0;
-        s.runtime_mut(2).t_u = 20.0;
+        s.set_t_u(0, 10.0);
+        s.set_t_u(1, 30.0);
+        s.set_t_u(2, 20.0);
         s.complete(1, 31.5);
         assert_eq!(s.makespan_estimate(), 31.5);
-        s.runtime_mut(0).t_u = 40.0;
+        s.set_t_u(0, 40.0);
         assert_eq!(s.makespan_estimate(), 40.0);
     }
 

@@ -164,7 +164,7 @@ fn run_arm(
     fault_seed: u64,
     heuristic: Heuristic,
 ) -> Result<redistrib_core::RunOutcome, ScheduleError> {
-    let mut calc = TimeCalc::new(workload.clone(), platform)
+    let calc = TimeCalc::new(workload.clone(), platform)
         .with_end_semantics(arm.end_semantics)
         .with_period_rule(arm.period_rule);
     let cfg = EngineConfig {
@@ -172,7 +172,7 @@ fn run_arm(
         pseudocode_fault_bias: arm.bias,
         ..EngineConfig::fault_free()
     };
-    run(&mut calc, &*heuristic.end_policy(), &*heuristic.fault_policy(), &cfg)
+    run(&calc, &*heuristic.end_policy(), &*heuristic.fault_policy(), &cfg)
 }
 
 /// Optimality gap: fault-free heuristic makespans vs. the exact
@@ -210,13 +210,9 @@ pub fn gap_table(instances: usize, seed: u64) -> Result<Table, ScheduleError> {
         for h in
             [Heuristic::EndLocalOnly, Heuristic::EndGreedyOnly, Heuristic::NoRedistribution]
         {
-            let mut calc = TimeCalc::fault_free(workload.clone(), platform);
-            let out = run(
-                &mut calc,
-                &*h.end_policy(),
-                &*h.fault_policy(),
-                &EngineConfig::fault_free(),
-            )?;
+            let calc = TimeCalc::fault_free(workload.clone(), platform);
+            let out =
+                run(&calc, &*h.end_policy(), &*h.fault_policy(), &EngineConfig::fault_free())?;
             row.push(fmt_ratio(out.makespan / exact.makespan));
         }
         table.push_row(row);
@@ -306,12 +302,12 @@ pub fn profiles_table(seed: u64) -> Result<Table, ScheduleError> {
             (0..12).map(|_| TaskSpec::new(rng.uniform(2.0e5, 5.0e5))).collect();
         let workload = Workload::new(tasks, model);
         let cfg = EngineConfig::with_faults(seed, platform.proc_mtbf);
-        let mut base_calc = TimeCalc::new(workload.clone(), platform);
+        let base_calc = TimeCalc::new(workload.clone(), platform);
         let h0 = Heuristic::NoRedistribution;
-        let base = run(&mut base_calc, &*h0.end_policy(), &*h0.fault_policy(), &cfg)?;
+        let base = run(&base_calc, &*h0.end_policy(), &*h0.fault_policy(), &cfg)?;
         let h = Heuristic::IteratedGreedyEndLocal;
-        let mut calc = TimeCalc::new(workload, platform);
-        let out = run(&mut calc, &*h.end_policy(), &*h.fault_policy(), &cfg)?;
+        let calc = TimeCalc::new(workload, platform);
+        let out = run(&calc, &*h.end_policy(), &*h.fault_policy(), &cfg)?;
         table.push_row(vec![name.into(), fmt_ratio(out.makespan / base.makespan)]);
     }
     Ok(table)

@@ -16,7 +16,7 @@ use redistrib_online::{
 use redistrib_sim::stats::Welford;
 use redistrib_sim::units;
 
-use crate::runner::{parallel_runs, run_seeds};
+use crate::runner::{run_seeds, stream_runs};
 use crate::table::{fmt_num, fmt_ratio, Table};
 
 /// One fully resolved online configuration point.
@@ -114,53 +114,67 @@ fn execute(
     )
 }
 
+/// Per-strategy reduction of one run: `(mean_stretch, makespan,
+/// utilization, redistributions)` — all a campaign keeps per run.
 struct RunRow {
     baseline_stretch: f64,
     baseline_makespan: f64,
-    outcomes: Vec<OnlineOutcome>,
+    rows: Vec<(f64, f64, f64, f64)>,
 }
 
 /// Runs every strategy at `cfg`, normalizing per run by the no-resize
-/// baseline, and aggregates across runs. Runs execute in parallel threads;
-/// aggregation is sequential and deterministic.
+/// baseline, and streams per-run reductions into [`Welford`] aggregators
+/// as runs finish (work-stealing workers, in-run-order aggregation — see
+/// `runner::stream_runs`). Deterministic across invocations and thread
+/// counts.
 ///
 /// # Errors
-/// Propagates the first engine error encountered.
+/// Propagates the engine error of the lowest-indexed failing run.
 pub fn run_online_point(
     cfg: &OnlinePointConfig,
     strategies: &[OnlineStrategy],
 ) -> Result<Vec<OnlineVariantStats>, ScheduleError> {
     let baseline = OnlineStrategy::no_resize();
-    let rows = parallel_runs(cfg.runs, |r| {
-        let (job_seed, fault_seed) = run_seeds(cfg.base_seed, r);
-        let jobs = cfg.job_stream(job_seed);
-        let base = execute(cfg, &jobs, fault_seed, &baseline)?;
-        let mut outcomes = Vec::with_capacity(strategies.len());
-        for s in strategies {
-            if *s == baseline {
-                outcomes.push(base.clone());
-            } else {
-                outcomes.push(execute(cfg, &jobs, fault_seed, s)?);
-            }
-        }
-        Ok(RunRow {
-            baseline_stretch: base.metrics.mean_stretch,
-            baseline_makespan: base.makespan,
-            outcomes,
-        })
-    })?;
-
     let mut acc: Vec<(Welford, Welford, Welford, Welford, Welford)> =
         vec![Default::default(); strategies.len()];
-    for row in &rows {
-        for (v, out) in row.outcomes.iter().enumerate() {
-            acc[v].0.push(out.metrics.mean_stretch / row.baseline_stretch);
-            acc[v].1.push(out.metrics.mean_stretch);
-            acc[v].2.push(out.makespan / row.baseline_makespan);
-            acc[v].3.push(out.metrics.utilization);
-            acc[v].4.push(out.redistributions as f64);
-        }
-    }
+    stream_runs(
+        cfg.runs,
+        |r| {
+            let (job_seed, fault_seed) = run_seeds(cfg.base_seed, r);
+            let jobs = cfg.job_stream(job_seed);
+            let base = execute(cfg, &jobs, fault_seed, &baseline)?;
+            let reduce = |out: &OnlineOutcome| {
+                (
+                    out.metrics.mean_stretch,
+                    out.makespan,
+                    out.metrics.utilization,
+                    out.redistributions as f64,
+                )
+            };
+            let mut rows = Vec::with_capacity(strategies.len());
+            for s in strategies {
+                if *s == baseline {
+                    rows.push(reduce(&base));
+                } else {
+                    rows.push(reduce(&execute(cfg, &jobs, fault_seed, s)?));
+                }
+            }
+            Ok(RunRow {
+                baseline_stretch: base.metrics.mean_stretch,
+                baseline_makespan: base.makespan,
+                rows,
+            })
+        },
+        |_, row: RunRow| {
+            for (v, &(stretch, mk, util, rc)) in row.rows.iter().enumerate() {
+                acc[v].0.push(stretch / row.baseline_stretch);
+                acc[v].1.push(stretch);
+                acc[v].2.push(mk / row.baseline_makespan);
+                acc[v].3.push(util);
+                acc[v].4.push(rc);
+            }
+        },
+    )?;
     Ok(strategies
         .iter()
         .zip(acc)

@@ -5,7 +5,18 @@
 //! normalized by the *fault context without redistribution* baseline of the
 //! same run (or the fault-free no-redistribution baseline for the
 //! fault-free figures); normalized ratios are averaged across runs.
+//!
+//! Execution is a **work-stealing** pool: workers claim run indices from a
+//! shared atomic counter (no static partitioning, so one slow run cannot
+//! idle a worker's whole stripe) and *stream* their results back over a
+//! channel. [`run_point`] reduces each run to a handful of floats and feeds
+//! them into [`Welford`] accumulators **in run order** (a small reorder
+//! buffer holds early out-of-order arrivals), so aggregation is
+//! bit-deterministic regardless of scheduling while never holding the whole
+//! campaign's outcomes in memory.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 use std::thread;
 
 use redistrib_core::{run, EngineConfig, Heuristic, RunOutcome, ScheduleError};
@@ -46,6 +57,17 @@ impl Variant {
             }
             Variant::FaultFree(h) => format!("Fault-free {}", h.name()),
         }
+    }
+
+    fn heuristic(self) -> Heuristic {
+        match self {
+            Variant::FaultNoRc | Variant::FaultFreeNoRc => Heuristic::NoRedistribution,
+            Variant::Fault(h) | Variant::FaultFree(h) => h,
+        }
+    }
+
+    fn fault_aware(self) -> bool {
+        matches!(self, Variant::FaultNoRc | Variant::Fault(_))
     }
 }
 
@@ -104,7 +126,9 @@ pub struct VariantStats {
     pub mean_redistributions: f64,
 }
 
-/// Executes one variant for one prepared run.
+/// Executes one variant for one prepared run (standalone entry point: the
+/// campaign loop shares calculators across variants via [`run_point_raw`]
+/// instead).
 ///
 /// # Errors
 /// Propagates engine errors (undersized platform, event-limit).
@@ -115,28 +139,30 @@ pub fn execute_variant(
     fault_seed: u64,
     record_trace: bool,
 ) -> Result<RunOutcome, ScheduleError> {
-    let (mut calc, heuristic, cfg) = match variant {
-        Variant::FaultNoRc => (
-            TimeCalc::new(workload.clone(), platform),
-            Heuristic::NoRedistribution,
-            EngineConfig::with_faults(fault_seed, platform.proc_mtbf),
-        ),
-        Variant::Fault(h) => (
-            TimeCalc::new(workload.clone(), platform),
-            h,
-            EngineConfig::with_faults(fault_seed, platform.proc_mtbf),
-        ),
-        Variant::FaultFreeNoRc => (
-            TimeCalc::fault_free(workload.clone(), platform),
-            Heuristic::NoRedistribution,
-            EngineConfig::fault_free(),
-        ),
-        Variant::FaultFree(h) => {
-            (TimeCalc::fault_free(workload.clone(), platform), h, EngineConfig::fault_free())
-        }
+    let calc = if variant.fault_aware() {
+        TimeCalc::new(workload.clone(), platform)
+    } else {
+        TimeCalc::fault_free(workload.clone(), platform)
+    };
+    execute_on(&calc, variant, platform, fault_seed, record_trace)
+}
+
+/// Executes one variant against a prepared (shared) calculator.
+fn execute_on(
+    calc: &TimeCalc,
+    variant: Variant,
+    platform: Platform,
+    fault_seed: u64,
+    record_trace: bool,
+) -> Result<RunOutcome, ScheduleError> {
+    let cfg = if variant.fault_aware() {
+        EngineConfig::with_faults(fault_seed, platform.proc_mtbf)
+    } else {
+        EngineConfig::fault_free()
     };
     let cfg = if record_trace { cfg.recording() } else { cfg };
-    run(&mut calc, &*heuristic.end_policy(), &*heuristic.fault_policy(), &cfg)
+    let h = variant.heuristic();
+    run(calc, &*h.end_policy(), &*h.fault_policy(), &cfg)
 }
 
 /// Derives the per-run seeds from the point's base seed.
@@ -146,30 +172,75 @@ pub fn run_seeds(base_seed: u64, run_idx: usize) -> (u64, u64) {
     (mix.next_u64(), mix.next_u64())
 }
 
+/// Per-variant reduction of one run — the only data a campaign keeps per
+/// run (outcomes with traces and allocation vectors stay worker-local).
+struct ReducedRun {
+    baseline_makespan: f64,
+    /// `(makespan, handled_faults, redistributions)` per variant.
+    rows: Vec<(f64, f64, f64)>,
+}
+
 /// Runs all `variants` at `cfg`, normalizing every run by `baseline`, and
-/// aggregates across runs. Runs execute in parallel threads; aggregation is
-/// sequential and deterministic.
+/// streams per-run reductions into [`Welford`] aggregators as runs finish.
+/// Work-stealing workers keep every core busy; aggregation is applied in
+/// run order, so results are bit-deterministic across invocations and
+/// thread counts.
 ///
 /// # Errors
-/// Propagates the first engine error encountered.
+/// Propagates the engine error of the lowest-indexed failing run.
 pub fn run_point(
     cfg: &PointConfig,
     baseline: Variant,
     variants: &[Variant],
 ) -> Result<Vec<VariantStats>, ScheduleError> {
-    let per_run = run_point_raw(cfg, baseline, variants)?;
-    // Aggregate sequentially in run order.
+    let platform = cfg.platform();
     let mut acc: Vec<(Welford, Welford, Welford, Welford)> =
         vec![Default::default(); variants.len()];
-    for run_result in &per_run {
-        let base_mk = run_result.baseline_makespan;
-        for (v, out) in run_result.outcomes.iter().enumerate() {
-            acc[v].0.push(out.makespan / base_mk);
-            acc[v].1.push(out.makespan);
-            acc[v].2.push(out.handled_faults as f64);
-            acc[v].3.push(out.redistributions as f64);
-        }
-    }
+    stream_runs(
+        cfg.runs,
+        |r| {
+            let (workload_seed, fault_seed) = run_seeds(cfg.base_seed, r);
+            let workload = generate(&cfg.workload, workload_seed);
+            // One calculator per execution mode, shared across variants:
+            // the dense time table is computed once per run, not once per
+            // curve.
+            let needs_fault =
+                baseline.fault_aware() || variants.iter().any(|v| v.fault_aware());
+            let needs_ff = !baseline.fault_aware() || variants.iter().any(|v| !v.fault_aware());
+            let fault_calc = needs_fault.then(|| TimeCalc::new(workload.clone(), platform));
+            let ff_calc = needs_ff.then(|| TimeCalc::fault_free(workload.clone(), platform));
+            let calc_of = |v: Variant| {
+                if v.fault_aware() {
+                    fault_calc.as_ref().expect("fault calc prepared")
+                } else {
+                    ff_calc.as_ref().expect("fault-free calc prepared")
+                }
+            };
+            let base = execute_on(calc_of(baseline), baseline, platform, fault_seed, false)?;
+            let mut rows = Vec::with_capacity(variants.len());
+            for &v in variants {
+                let out = if v == baseline {
+                    base.clone()
+                } else {
+                    execute_on(calc_of(v), v, platform, fault_seed, false)?
+                };
+                rows.push((
+                    out.makespan,
+                    out.handled_faults as f64,
+                    out.redistributions as f64,
+                ));
+            }
+            Ok(ReducedRun { baseline_makespan: base.makespan, rows })
+        },
+        |_, red: ReducedRun| {
+            for (v, &(mk, faults, rc)) in red.rows.iter().enumerate() {
+                acc[v].0.push(mk / red.baseline_makespan);
+                acc[v].1.push(mk);
+                acc[v].2.push(faults);
+                acc[v].3.push(rc);
+            }
+        },
+    )?;
     Ok(variants
         .iter()
         .zip(acc)
@@ -193,10 +264,11 @@ pub struct RunResults {
     pub outcomes: Vec<RunOutcome>,
 }
 
-/// Executes every run of a point, returning raw outcomes in run order.
+/// Executes every run of a point, returning raw outcomes in run order
+/// (memory-heavy: prefer [`run_point`] for aggregate statistics).
 ///
 /// # Errors
-/// Propagates the first engine error encountered.
+/// Propagates the engine error of the lowest-indexed failing run.
 pub fn run_point_raw(
     cfg: &PointConfig,
     baseline: Variant,
@@ -206,10 +278,9 @@ pub fn run_point_raw(
     parallel_runs(cfg.runs, |r| one_run(cfg, platform, baseline, variants, r))
 }
 
-/// Executes `f(run_idx)` for every run index in `0..runs` on scoped worker
-/// threads (static round-robin: worker `w` takes runs `w, w+workers, …`)
-/// and returns the results in run order. Shared by the static
-/// ([`run_point_raw`]) and online (`run_online_point`) campaign runners.
+/// Executes `f(run_idx)` for every run index in `0..runs` on a
+/// work-stealing pool and returns the results in run order. Convenience
+/// wrapper over [`stream_runs`] for callers that do need every result.
 ///
 /// # Errors
 /// Returns the error of the lowest-indexed failing run.
@@ -218,38 +289,78 @@ where
     T: Send,
     F: Fn(usize) -> Result<T, ScheduleError> + Sync,
 {
-    let workers = thread::available_parallelism().map_or(1, |n| n.get()).min(runs.max(1));
+    let mut out: Vec<T> = Vec::with_capacity(runs);
+    stream_runs(runs, f, |idx, v| {
+        debug_assert_eq!(idx, out.len(), "sink must be called in run order");
+        out.push(v);
+    })?;
+    Ok(out)
+}
+
+/// Work-stealing streaming executor: workers claim run indices from an
+/// atomic counter, execute `f`, and send `(index, result)` over a channel;
+/// the caller's `sink` receives successful results **in run order** (a
+/// reorder buffer bridges out-of-order completions). Shared by the static
+/// ([`run_point`]) and online (`run_online_point`) campaign runners.
+///
+/// # Errors
+/// Returns the error of the lowest-indexed failing run (the sink may have
+/// observed a prefix of results by then — callers discard partial state on
+/// error).
+pub(crate) fn stream_runs<T, F, S>(runs: usize, f: F, mut sink: S) -> Result<(), ScheduleError>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T, ScheduleError> + Sync,
+    S: FnMut(usize, T),
+{
+    if runs == 0 {
+        return Ok(());
+    }
+    let workers = thread::available_parallelism().map_or(1, |n| n.get()).min(runs);
+    let next_run = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, Result<T, ScheduleError>)>();
     thread::scope(|scope| {
-        let f = &f;
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                scope.spawn(move || {
-                    (w..runs)
-                        .step_by(workers)
-                        .map(|r| (r, f(r)))
-                        .collect::<Vec<(usize, Result<T, ScheduleError>)>>()
-                })
-            })
-            .collect();
-        let mut indexed: Vec<Option<T>> = (0..runs).map(|_| None).collect();
-        // Workers interleave indices; report the error of the
-        // lowest-indexed failing run for determinism.
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let f = &f;
+            let next_run = &next_run;
+            scope.spawn(move || loop {
+                let r = next_run.fetch_add(1, Ordering::Relaxed);
+                if r >= runs {
+                    break;
+                }
+                // A closed channel means the receiver bailed: stop stealing.
+                if tx.send((r, f(r))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+
+        // Reorder buffer: emit to the sink strictly in run order.
+        let mut pending: Vec<Option<T>> = (0..runs).map(|_| None).collect();
+        let mut next_emit = 0usize;
         let mut first_err: Option<(usize, ScheduleError)> = None;
-        for handle in handles {
-            for (idx, item) in handle.join().expect("worker panicked") {
-                match item {
-                    Ok(v) => indexed[idx] = Some(v),
-                    Err(e) => {
-                        if first_err.as_ref().is_none_or(|&(i, _)| idx < i) {
-                            first_err = Some((idx, e));
-                        }
+        for (idx, item) in rx {
+            match item {
+                Ok(v) => {
+                    pending[idx] = Some(v);
+                    while next_emit < runs {
+                        let Some(v) = pending[next_emit].take() else { break };
+                        sink(next_emit, v);
+                        next_emit += 1;
+                    }
+                }
+                Err(e) => {
+                    if first_err.as_ref().is_none_or(|&(i, _)| idx < i) {
+                        first_err = Some((idx, e));
                     }
                 }
             }
         }
         match first_err {
             Some((_, e)) => Err(e),
-            None => Ok(indexed.into_iter().map(|o| o.expect("all runs filled")).collect()),
+            None => Ok(()),
         }
     })
 }
@@ -336,6 +447,50 @@ mod tests {
         let b = run_point(&cfg, Variant::FaultNoRc, &variants).unwrap();
         assert_eq!(a[0].mean_ratio, b[0].mean_ratio);
         assert_eq!(a[0].mean_makespan, b[0].mean_makespan);
+    }
+
+    #[test]
+    fn streaming_matches_raw_collection() {
+        // The streamed Welford aggregation must agree with aggregating the
+        // raw per-run outcomes collected with the barrier API.
+        let cfg = tiny_point();
+        let variants = [Variant::FaultNoRc, Variant::Fault(Heuristic::IteratedGreedyEndLocal)];
+        let stats = run_point(&cfg, Variant::FaultNoRc, &variants).unwrap();
+        let raw = run_point_raw(&cfg, Variant::FaultNoRc, &variants).unwrap();
+        let mut ratio = Welford::new();
+        for rr in &raw {
+            ratio.push(rr.outcomes[1].makespan / rr.baseline_makespan);
+        }
+        assert_eq!(stats[1].mean_ratio, ratio.mean());
+        assert_eq!(stats[1].ci95, ratio.ci95_half_width());
+    }
+
+    #[test]
+    fn stream_runs_emits_in_order() {
+        let mut seen = Vec::new();
+        stream_runs(17, Ok, |idx, v: usize| {
+            assert_eq!(idx, v);
+            seen.push(v);
+        })
+        .unwrap();
+        assert_eq!(seen, (0..17).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stream_runs_reports_lowest_failing_index() {
+        let err = stream_runs(
+            9,
+            |r| {
+                if r >= 3 {
+                    Err(ScheduleError::EventLimitExceeded { limit: r as u64 })
+                } else {
+                    Ok(r)
+                }
+            },
+            |_, _| {},
+        )
+        .unwrap_err();
+        assert_eq!(err, ScheduleError::EventLimitExceeded { limit: 3 });
     }
 
     #[test]

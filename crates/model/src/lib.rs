@@ -31,6 +31,7 @@ pub mod montecarlo;
 pub mod platform;
 pub mod silent;
 pub mod speedup;
+pub mod table;
 pub mod task;
 pub mod timemodel;
 
@@ -42,6 +43,7 @@ pub use silent::{simulate_with_silent, validate_silent, SilentConfig, SilentPara
 pub use speedup::{
     Amdahl, MeasuredProfile, PaperModel, PerfectlyParallel, PowerLaw, SpeedupModel,
 };
+pub use table::TimeTable;
 pub use task::{JobSpec, TaskId, TaskSpec, Workload};
 pub use timemodel::{EndSemantics, ExecutionMode, TimeCalc};
 

@@ -1,0 +1,243 @@
+//! Dense per-(task, allocation) parameter table with `&self` lookups.
+//!
+//! [`TimeTable`] replaces the old even-only `Vec<Vec<Option<AllocParams>>>`
+//! cache of `TimeCalc`: it is *dense* over every allocation `j ∈ 1..=p`
+//! (odd allocations — queried by prefix scans and the online admission
+//! layer — are cached exactly like even ones) and fills itself through
+//! interior mutability, so lookups take `&self` and a calculator can be
+//! shared across threads behind an `Arc`.
+//!
+//! Storage is chunked *geometrically*: each task's row is split into
+//! blocks of doubling width — `1..=8`, `9..=16`, `17..=32`, `33..=64`, … —
+//! each behind a `OnceLock`. The first query touching a block computes the
+//! *whole* block eagerly (its neighbours are almost always queried next by
+//! the incremental `+2` scans of Algorithms 1/3/5). Doubling widths match
+//! the access pattern at both ends: small allocations (the overwhelmingly
+//! common queries — admission grants, fresh Algorithm 1 seeds) sit in tiny
+//! cheap blocks, while wide scans across thousands of allocations amortize
+//! into a handful of block fills. A row for `p = 5000` holds just 11
+//! `OnceLock`s, so even `n = 1000` tables stay trivially small where a
+//! flat eager matrix would be hundreds of MB.
+//!
+//! Fill order is irrelevant to the stored values (parameters are a pure
+//! function of `(task, j)`), so concurrent readers and any query order
+//! produce bit-identical results.
+
+use std::sync::OnceLock;
+
+use crate::expected::AllocParams;
+
+/// Width of the first block (`j ∈ 1..=BASE_CHUNK`); block `c ≥ 1` covers
+/// `(BASE_CHUNK·2^(c−1), BASE_CHUNK·2^c]`.
+pub const BASE_CHUNK: u32 = 8;
+
+type Chunk = OnceLock<Box<[AllocParams]>>;
+
+/// `(block index, first allocation of the block, block length)` for `j`,
+/// with the final block clipped to `p`.
+fn chunk_bounds(j: u32, p: u32) -> (usize, u32, u32) {
+    debug_assert!((1..=p).contains(&j));
+    if j <= BASE_CHUNK {
+        (0, 1, BASE_CHUNK.min(p))
+    } else {
+        let c = ((j - 1) / BASE_CHUNK).ilog2() + 1;
+        let lo = BASE_CHUNK << (c - 1); // block covers lo+1 ..= 2·lo
+        (c as usize, lo + 1, lo.min(p - lo))
+    }
+}
+
+/// Number of blocks needed to cover `1..=p`.
+fn chunk_count(p: u32) -> usize {
+    if p == 0 {
+        0
+    } else if p <= BASE_CHUNK {
+        1
+    } else {
+        (((p - 1) / BASE_CHUNK).ilog2() + 2) as usize
+    }
+}
+
+/// Dense, lazily-materialized `(task, j)` parameter table.
+#[derive(Debug, Default)]
+pub struct TimeTable {
+    /// `rows[i]` holds the geometric blocks of task `i`.
+    rows: Vec<Box<[Chunk]>>,
+    p: u32,
+}
+
+impl Clone for TimeTable {
+    fn clone(&self) -> Self {
+        // `OnceLock: Clone` clones the *value*, preserving filled blocks.
+        Self {
+            rows: self
+                .rows
+                .iter()
+                .map(|row| row.iter().cloned().collect::<Box<[Chunk]>>())
+                .collect(),
+            p: self.p,
+        }
+    }
+}
+
+impl TimeTable {
+    /// Creates an empty table for `n` tasks and allocations up to `p`.
+    #[must_use]
+    pub fn new(n: usize, p: u32) -> Self {
+        let chunks = chunk_count(p);
+        let rows = (0..n)
+            .map(|_| (0..chunks).map(|_| OnceLock::new()).collect::<Box<[Chunk]>>())
+            .collect();
+        Self { rows, p }
+    }
+
+    /// Upper allocation bound `p` the table is sized for.
+    #[must_use]
+    pub fn p(&self) -> u32 {
+        self.p
+    }
+
+    /// Parameters of task `i` on `j` processors; the block containing `j`
+    /// is computed through `fill` on first touch. Queries beyond `p` (not
+    /// used by the engines, but reachable from analysis code) are computed
+    /// uncached.
+    ///
+    /// # Panics
+    /// Panics if `j == 0` (no task runs on zero processors).
+    pub fn get(&self, i: usize, j: u32, fill: impl Fn(u32) -> AllocParams) -> AllocParams {
+        assert!(j >= 1, "allocation sizes start at 1");
+        if j > self.p {
+            return fill(j);
+        }
+        let (c, lo, len) = chunk_bounds(j, self.p);
+        let chunk = self.rows[i][c].get_or_init(|| (lo..lo + len).map(&fill).collect());
+        chunk[(j - lo) as usize]
+    }
+
+    /// Whether the block containing `(i, j)` has already been computed.
+    #[must_use]
+    pub fn is_cached(&self, i: usize, j: u32) -> bool {
+        j >= 1 && j <= self.p && self.rows[i][chunk_bounds(j, self.p).0].get().is_some()
+    }
+
+    /// Eagerly computes every block of task `i` covering allocations up to
+    /// `max_j` (clamped to `p`). Useful to amortize table construction
+    /// before sharing the owner across threads.
+    pub fn prefill(&self, i: usize, max_j: u32, fill: impl Fn(u32) -> AllocParams) {
+        let max_j = max_j.min(self.p);
+        let mut j = 1;
+        while j <= max_j {
+            let _ = self.get(i, j, &fill);
+            let (_, lo, len) = chunk_bounds(j, self.p);
+            j = lo + len;
+        }
+    }
+
+    /// Number of computed blocks across all tasks (observability/tests).
+    #[must_use]
+    pub fn filled_chunks(&self) -> usize {
+        self.rows.iter().flat_map(|r| r.iter()).filter(|c| c.get().is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::PeriodRule;
+    use crate::platform::Platform;
+    use crate::speedup::{PaperModel, SpeedupModel};
+    use crate::task::TaskSpec;
+    use redistrib_sim::units;
+
+    fn fill_for(task: TaskSpec) -> impl Fn(u32) -> AllocParams {
+        let platform = Platform::with_mtbf(1000, units::years(100.0));
+        move |j| {
+            let t_ff = PaperModel::default().time(task.size, j);
+            AllocParams::compute(&task, &platform, t_ff, j, PeriodRule::Young)
+        }
+    }
+
+    #[test]
+    fn dense_over_both_parities() {
+        let t = TimeTable::new(2, 200);
+        let fill = fill_for(TaskSpec::new(2.0e6));
+        assert!(!t.is_cached(0, 9));
+        let odd = t.get(0, 9, &fill);
+        // One block fill (9..=16) covers the odd query and its neighbours.
+        assert!(t.is_cached(0, 9) && t.is_cached(0, 10) && t.is_cached(0, 16));
+        assert!(!t.is_cached(0, 17));
+        assert!(!t.is_cached(1, 9), "rows are independent");
+        assert_eq!(t.get(0, 9, &fill), odd);
+        assert_eq!(t.filled_chunks(), 1);
+    }
+
+    #[test]
+    fn chunk_bounds_are_geometric_and_contiguous() {
+        // Every allocation of 1..=p maps into exactly one block, blocks
+        // tile the range in order, and widths double after the base block.
+        for p in [1u32, 7, 8, 9, 64, 100, 5000] {
+            let mut expected_chunk = 0usize;
+            let mut expected_lo = 1u32;
+            let mut j = 1u32;
+            while j <= p {
+                let (c, lo, len) = chunk_bounds(j, p);
+                assert_eq!((c, lo), (expected_chunk, expected_lo), "p={p} j={j}");
+                assert!(len >= 1 && c < chunk_count(p));
+                // Every allocation inside the block maps back to it.
+                for jj in lo..lo + len {
+                    assert_eq!(chunk_bounds(jj, p), (c, lo, len), "p={p} jj={jj}");
+                }
+                expected_chunk += 1;
+                expected_lo = lo + len;
+                j = lo + len;
+            }
+            assert_eq!(expected_lo, p + 1, "blocks must tile 1..={p}");
+        }
+    }
+
+    #[test]
+    fn matches_direct_computation() {
+        let t = TimeTable::new(1, 130);
+        let fill = fill_for(TaskSpec::new(1.7e6));
+        for j in [1u32, 2, 63, 64, 65, 128, 129, 130] {
+            assert_eq!(t.get(0, j, &fill), fill(j), "j={j}");
+        }
+        // Touched blocks: 1..=8, 33..=64, 65..=128, 129..=130.
+        assert_eq!(t.filled_chunks(), 4);
+    }
+
+    #[test]
+    fn beyond_p_is_computed_uncached() {
+        let t = TimeTable::new(1, 16);
+        let fill = fill_for(TaskSpec::new(1.7e6));
+        assert_eq!(t.get(0, 20, &fill), fill(20));
+        assert!(!t.is_cached(0, 20));
+    }
+
+    #[test]
+    fn prefill_covers_requested_range() {
+        let t = TimeTable::new(1, 300);
+        let fill = fill_for(TaskSpec::new(2.2e6));
+        t.prefill(0, 150, &fill);
+        // 150 lies in the 129..=256 block, so everything through 256 is
+        // materialized; the final 257..=300 block is not.
+        assert!(t.is_cached(0, 1) && t.is_cached(0, 150) && t.is_cached(0, 256));
+        assert!(!t.is_cached(0, 257));
+    }
+
+    #[test]
+    fn clone_preserves_filled_blocks() {
+        let t = TimeTable::new(1, 64);
+        let fill = fill_for(TaskSpec::new(2.0e6));
+        let v = t.get(0, 5, &fill);
+        let c = t.clone();
+        assert!(c.is_cached(0, 5));
+        assert_eq!(c.get(0, 5, &fill), v);
+    }
+
+    #[test]
+    #[should_panic(expected = "allocation sizes start at 1")]
+    fn rejects_zero() {
+        let t = TimeTable::new(1, 8);
+        let _ = t.get(0, 0, fill_for(TaskSpec::new(2.0e6)));
+    }
+}

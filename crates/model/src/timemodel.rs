@@ -9,12 +9,16 @@
 //! * **fault-free** (§3.3.1, used for Figs. 5–6 and the best-case reference
 //!   curve): no failures, no checkpoints; remaining time is `α·t_{i,j}`.
 //!
-//! Per-(task, allocation) parameters are cached lazily so repeated
-//! evaluations cost one `exp` each.
+//! Per-(task, allocation) parameters live in a dense [`TimeTable`] covering
+//! every `j ∈ 1..=p` (odd and even alike), filled through interior
+//! mutability: all queries take `&self`, so one calculator can be shared
+//! across threads behind an `Arc` and across the variants of a campaign
+//! run. Repeated evaluations cost one `exp` each.
 
 use crate::checkpoint::PeriodRule;
 use crate::expected::AllocParams;
 use crate::platform::Platform;
+use crate::table::TimeTable;
 use crate::task::{TaskId, Workload};
 
 /// Execution mode of the calculator.
@@ -48,10 +52,7 @@ pub struct TimeCalc {
     rule: PeriodRule,
     mode: ExecutionMode,
     end_semantics: EndSemantics,
-    /// `cache[i][j/2 - 1]` holds the parameters of task `i` on `2(j/2)`
-    /// processors (even allocations only — the buddy protocol never uses odd
-    /// ones; odd `j` queries are computed uncached).
-    cache: Vec<Vec<Option<AllocParams>>>,
+    table: TimeTable,
 }
 
 impl TimeCalc {
@@ -60,13 +61,14 @@ impl TimeCalc {
     #[must_use]
     pub fn new(workload: Workload, platform: Platform) -> Self {
         let n = workload.len();
+        let p = platform.num_procs;
         Self {
             workload,
             platform,
             rule: PeriodRule::Young,
             mode: ExecutionMode::FaultAware,
             end_semantics: EndSemantics::Expected,
-            cache: vec![Vec::new(); n],
+            table: TimeTable::new(n, p),
         }
     }
 
@@ -83,7 +85,7 @@ impl TimeCalc {
     #[must_use]
     pub fn with_period_rule(mut self, rule: PeriodRule) -> Self {
         self.rule = rule;
-        self.cache.iter_mut().for_each(Vec::clear);
+        self.table = TimeTable::new(self.workload.len(), self.platform.num_procs);
         self
     }
 
@@ -124,23 +126,28 @@ impl TimeCalc {
         self.workload.len()
     }
 
-    /// Per-(task, allocation) parameters, cached for even `j`.
-    fn params(&mut self, i: TaskId, j: u32) -> AllocParams {
-        debug_assert!(matches!(self.mode, ExecutionMode::FaultAware));
-        if j >= 2 && j.is_multiple_of(2) {
-            let idx = (j / 2 - 1) as usize;
-            if self.cache[i].len() <= idx {
-                self.cache[i].resize(idx + 1, None);
-            }
-            if let Some(p) = self.cache[i][idx] {
-                return p;
-            }
-            let p = self.compute_params(i, j);
-            self.cache[i][idx] = Some(p);
-            p
-        } else {
-            self.compute_params(i, j)
+    /// Eagerly fills the parameter table for every task up to `max_j`
+    /// (clamped to `p`), e.g. before sharing the calculator across threads.
+    pub fn prefill(&self, max_j: u32) {
+        if matches!(self.mode, ExecutionMode::FaultFree) {
+            return;
         }
+        for i in 0..self.workload.len() {
+            self.table.prefill(i, max_j, |j| self.compute_params(i, j));
+        }
+    }
+
+    /// Whether the parameters of `(i, j)` are already materialized
+    /// (observability/tests).
+    #[must_use]
+    pub fn is_cached(&self, i: TaskId, j: u32) -> bool {
+        self.table.is_cached(i, j)
+    }
+
+    /// Per-(task, allocation) parameters, cached densely for every `j`.
+    fn params(&self, i: TaskId, j: u32) -> AllocParams {
+        debug_assert!(matches!(self.mode, ExecutionMode::FaultAware));
+        self.table.get(i, j, |jj| self.compute_params(i, jj))
     }
 
     fn compute_params(&self, i: TaskId, j: u32) -> AllocParams {
@@ -162,7 +169,8 @@ impl TimeCalc {
     ///   Eq. 4;
     /// * fault-aware, `FaultFreeProjection` ablation: `α·t + N^ff(α)·C`;
     /// * fault-free mode (§3.3.1): `α·t_{i,j}`.
-    pub fn remaining(&mut self, i: TaskId, j: u32, alpha: f64) -> f64 {
+    #[must_use]
+    pub fn remaining(&self, i: TaskId, j: u32, alpha: f64) -> f64 {
         match (self.mode, self.end_semantics) {
             (ExecutionMode::FaultFree, _) => alpha * self.fault_free_time(i, j),
             (ExecutionMode::FaultAware, EndSemantics::Expected) => {
@@ -179,7 +187,8 @@ impl TimeCalc {
     ///
     /// # Panics
     /// Panics in fault-free mode.
-    pub fn expected_time_eq4(&mut self, i: TaskId, j: u32, alpha: f64) -> f64 {
+    #[must_use]
+    pub fn expected_time_eq4(&self, i: TaskId, j: u32, alpha: f64) -> f64 {
         assert!(
             matches!(self.mode, ExecutionMode::FaultAware),
             "Eq. 4 applies to the fault-aware mode"
@@ -188,7 +197,8 @@ impl TimeCalc {
     }
 
     /// Checkpoint cost `C_{i,j}` (0 in fault-free mode).
-    pub fn checkpoint_cost(&mut self, i: TaskId, j: u32) -> f64 {
+    #[must_use]
+    pub fn checkpoint_cost(&self, i: TaskId, j: u32) -> f64 {
         match self.mode {
             ExecutionMode::FaultAware => self.params(i, j).c,
             ExecutionMode::FaultFree => 0.0,
@@ -196,7 +206,8 @@ impl TimeCalc {
     }
 
     /// Recovery time `R_{i,j}` (0 in fault-free mode).
-    pub fn recovery_time(&mut self, i: TaskId, j: u32) -> f64 {
+    #[must_use]
+    pub fn recovery_time(&self, i: TaskId, j: u32) -> f64 {
         match self.mode {
             ExecutionMode::FaultAware => self.params(i, j).c,
             ExecutionMode::FaultFree => 0.0,
@@ -216,7 +227,8 @@ impl TimeCalc {
     ///
     /// # Panics
     /// Panics in fault-free mode (no checkpoints exist).
-    pub fn period(&mut self, i: TaskId, j: u32) -> f64 {
+    #[must_use]
+    pub fn period(&self, i: TaskId, j: u32) -> f64 {
         assert!(
             matches!(self.mode, ExecutionMode::FaultAware),
             "no checkpoint period in fault-free mode"
@@ -227,7 +239,8 @@ impl TimeCalc {
     /// Fraction of work completed by a *non-faulty* task after `elapsed`
     /// time since its last anchor (§3.3.2; checkpoint time deducted in
     /// fault-aware mode).
-    pub fn progress_nonfaulty(&mut self, i: TaskId, j: u32, elapsed: f64) -> f64 {
+    #[must_use]
+    pub fn progress_nonfaulty(&self, i: TaskId, j: u32, elapsed: f64) -> f64 {
         debug_assert!(elapsed >= 0.0);
         match self.mode {
             ExecutionMode::FaultAware => self.params(i, j).progress_nonfaulty(elapsed),
@@ -240,7 +253,8 @@ impl TimeCalc {
     ///
     /// # Panics
     /// Panics in fault-free mode (no faults exist).
-    pub fn progress_faulty(&mut self, i: TaskId, j: u32, elapsed: f64) -> f64 {
+    #[must_use]
+    pub fn progress_faulty(&self, i: TaskId, j: u32, elapsed: f64) -> f64 {
         assert!(matches!(self.mode, ExecutionMode::FaultAware), "no faults in fault-free mode");
         self.params(i, j).progress_faulty(elapsed)
     }
@@ -255,8 +269,9 @@ impl TimeCalc {
     /// processors, could strictly improve with some even allocation in
     /// `(cur_j, max_j]` — the Eq. 6 "effective time" test used by
     /// Algorithm 1 line 9. Early-exits on the first improvement.
+    #[must_use]
     pub fn improvable_up_to(
-        &mut self,
+        &self,
         i: TaskId,
         cur_j: u32,
         current_val: f64,
@@ -276,7 +291,11 @@ impl TimeCalc {
     /// Eq. 6 *effective* expected time: prefix minimum of `t^R` over even
     /// allocations `2, 4, …, j`. `O(j)`; intended for tests and analysis —
     /// the heuristics use incremental scans instead.
-    pub fn effective_remaining(&mut self, i: TaskId, j: u32, alpha: f64) -> f64 {
+    ///
+    /// # Panics
+    /// Panics on odd or zero `j`.
+    #[must_use]
+    pub fn effective_remaining(&self, i: TaskId, j: u32, alpha: f64) -> f64 {
         assert!(j >= 2 && j.is_multiple_of(2), "effective time defined for even j ≥ 2");
         let mut best = f64::INFINITY;
         let mut jj = 2;
@@ -307,18 +326,66 @@ mod tests {
 
     #[test]
     fn cached_and_uncached_agree() {
-        let mut c = calc();
+        let c = calc();
         let first = c.remaining(0, 10, 1.0);
         let second = c.remaining(0, 10, 1.0);
         assert_eq!(first, second);
-        // Odd allocations are computed uncached but still valid.
         let odd = c.remaining(0, 9, 1.0);
         assert!(odd > 0.0);
     }
 
     #[test]
+    fn odd_and_even_allocations_both_hit_the_cache() {
+        // Regression for the old even-only cache: odd allocations used to
+        // be recomputed on every query. The dense table must cache both
+        // parities.
+        let c = calc();
+        assert!(!c.is_cached(0, 9) && !c.is_cached(0, 10));
+        let _ = c.remaining(0, 9, 1.0);
+        assert!(c.is_cached(0, 9), "odd allocation must be cached");
+        assert!(c.is_cached(0, 10), "even neighbour is materialized by the same block");
+        let _ = c.remaining(0, 10, 1.0);
+        assert_eq!(c.remaining(0, 9, 1.0), c.remaining(0, 9, 1.0));
+    }
+
+    #[test]
+    fn shared_across_threads_is_consistent() {
+        // `&self` lookups make the calculator Sync: concurrent queries from
+        // several threads agree with a sequentially-filled twin.
+        let shared = Arc::new(calc());
+        let sequential = calc();
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let c = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    let mut acc = 0.0;
+                    for j in 1 + t..=64u32 {
+                        acc += c.remaining(0, j, 1.0);
+                    }
+                    acc
+                })
+            })
+            .collect();
+        for h in handles {
+            let _ = h.join().unwrap();
+        }
+        for j in 1..=64u32 {
+            assert_eq!(shared.remaining(0, j, 1.0), sequential.remaining(0, j, 1.0));
+        }
+    }
+
+    #[test]
+    fn prefill_materializes_table() {
+        let c = calc();
+        c.prefill(32);
+        for i in 0..3 {
+            assert!(c.is_cached(i, 1) && c.is_cached(i, 32));
+        }
+    }
+
+    #[test]
     fn fault_free_mode_is_linear_work() {
-        let mut c = TimeCalc::fault_free(workload(2), Platform::new(100));
+        let c = TimeCalc::fault_free(workload(2), Platform::new(100));
         let t = c.fault_free_time(0, 4);
         assert_eq!(c.remaining(0, 4, 1.0), t);
         assert_eq!(c.remaining(0, 4, 0.25), 0.25 * t);
@@ -331,20 +398,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "no faults in fault-free mode")]
     fn fault_free_rejects_faulty_progress() {
-        let mut c = TimeCalc::fault_free(workload(1), Platform::new(100));
+        let c = TimeCalc::fault_free(workload(1), Platform::new(100));
         let _ = c.progress_faulty(0, 2, 1.0);
     }
 
     #[test]
     #[should_panic(expected = "no checkpoint period")]
     fn fault_free_rejects_period() {
-        let mut c = TimeCalc::fault_free(workload(1), Platform::new(100));
+        let c = TimeCalc::fault_free(workload(1), Platform::new(100));
         let _ = c.period(0, 2);
     }
 
     #[test]
     fn expected_exceeds_fault_free() {
-        let mut c = calc();
+        let c = calc();
         for j in [2u32, 8, 64] {
             assert!(c.remaining(0, j, 1.0) > c.fault_free_time(0, j));
         }
@@ -352,8 +419,8 @@ mod tests {
 
     #[test]
     fn end_semantics_projection_smaller_than_expected() {
-        let mut exp = calc();
-        let mut ffp = calc().with_end_semantics(EndSemantics::FaultFreeProjection);
+        let exp = calc();
+        let ffp = calc().with_end_semantics(EndSemantics::FaultFreeProjection);
         let a = exp.remaining(0, 8, 1.0);
         let b = ffp.remaining(0, 8, 1.0);
         assert!(b < a, "projection {b} should be below expected {a}");
@@ -363,7 +430,7 @@ mod tests {
 
     #[test]
     fn improvable_up_to_detects_threshold() {
-        let mut c = calc();
+        let c = calc();
         let cur = c.remaining(0, 2, 1.0);
         // Plenty of headroom at 2 procs.
         assert!(c.improvable_up_to(0, 2, cur, 100, 1.0));
@@ -373,7 +440,7 @@ mod tests {
 
     #[test]
     fn effective_remaining_is_monotone_non_increasing() {
-        let mut c = calc();
+        let c = calc();
         let mut last = f64::INFINITY;
         for j in (2..=200).step_by(2) {
             let eff = c.effective_remaining(0, j, 1.0);
@@ -384,7 +451,7 @@ mod tests {
 
     #[test]
     fn effective_matches_raw_below_threshold() {
-        let mut c = calc();
+        let c = calc();
         // For small j (well below threshold) raw t^R is still decreasing, so
         // the prefix-min equals the raw value.
         for j in [2u32, 4, 8, 16] {
@@ -405,9 +472,9 @@ mod tests {
 
     #[test]
     fn period_rule_switch_invalidates_cache() {
-        let mut c = calc();
+        let c = calc();
         let young = c.remaining(0, 10, 1.0);
-        let mut c = calc().with_period_rule(PeriodRule::Daly);
+        let c = calc().with_period_rule(PeriodRule::Daly);
         let daly = c.remaining(0, 10, 1.0);
         // Different periods give (slightly) different expected times.
         assert_ne!(young, daly);

@@ -32,7 +32,8 @@ use std::sync::Arc;
 
 use redistrib_core::policies::greedy_rebuild;
 use redistrib_core::{
-    EndPolicy, FaultConfig, FaultPolicy, Heuristic, HeuristicCtx, PackState, ScheduleError,
+    EndPolicy, FaultConfig, FaultPolicy, Heuristic, HeuristicCtx, PackState, PolicyScratch,
+    ScheduleError,
 };
 use redistrib_model::{JobSpec, Platform, SpeedupModel, TaskId, TimeCalc, Workload};
 use redistrib_sim::dist::FaultLaw;
@@ -175,6 +176,9 @@ struct OnlineSim<'a> {
     strategy: &'a OnlineStrategy,
     end_policy: Box<dyn EndPolicy>,
     fault_policy: Box<dyn FaultPolicy>,
+    /// Reusable event-loop buffers: steady-state events allocate nothing.
+    eligible_buf: Vec<TaskId>,
+    scratch: PolicyScratch,
 }
 
 impl OnlineSim<'_> {
@@ -189,27 +193,31 @@ impl OnlineSim<'_> {
     }
 
     /// Earliest expected completion among running jobs (ties toward the
-    /// lowest job id).
-    fn earliest_end(&self) -> Option<(TaskId, f64)> {
-        let mut best: Option<(TaskId, f64)> = None;
-        for &i in &self.running {
-            let tu = self.state.runtime(i).t_u;
-            if best.is_none_or(|(_, b)| tu < b) {
-                best = Some((i, tu));
-            }
-        }
-        best
+    /// lowest job id). `O(log n)` via the pack state's end-event queue:
+    /// queued jobs never enter it (their `t^U` is only set at start), so
+    /// the heap view coincides with the `running` set.
+    fn earliest_end(&mut self) -> Option<(TaskId, f64)> {
+        let picked = self.state.earliest_active();
+        debug_assert_eq!(
+            picked.map(|(i, _)| self.running.contains(&i)),
+            picked.map(|_| true),
+            "end-event queue returned a non-running job"
+        );
+        picked
     }
 
-    /// Jobs allowed to participate in a redistribution at time `t`:
-    /// running and not inside a previous redistribution window. `skip`
-    /// excludes the faulty job (handled separately by fault policies).
-    fn eligible(&self, t: f64, skip: Option<TaskId>) -> Vec<TaskId> {
-        self.running
-            .iter()
-            .copied()
-            .filter(|&i| Some(i) != skip && self.state.runtime(i).t_last_r <= t)
-            .collect()
+    /// Fills `into` with the jobs allowed to participate in a
+    /// redistribution at time `t`: running and not inside a previous
+    /// redistribution window. `skip` excludes the faulty job (handled
+    /// separately by fault policies).
+    fn fill_eligible(&self, t: f64, skip: Option<TaskId>, into: &mut Vec<TaskId>) {
+        into.clear();
+        into.extend(
+            self.running
+                .iter()
+                .copied()
+                .filter(|&i| Some(i) != skip && self.state.runtime(i).t_last_r <= t),
+        );
     }
 
     /// The admission layer's initial allocation for job `i`: the best even
@@ -242,7 +250,7 @@ impl OnlineSim<'_> {
         let rt = self.state.runtime_mut(i);
         rt.alpha = 1.0;
         rt.t_last_r = t;
-        rt.t_u = t + remaining;
+        self.state.set_t_u(i, t + remaining);
         self.running.insert(i);
         self.start[i] = t;
         self.trace.push(TraceEvent::JobStart { time: t, job: i, alloc: grant });
@@ -271,11 +279,12 @@ impl OnlineSim<'_> {
             return;
         }
         let mut ctx = HeuristicCtx {
-            calc: &mut self.calc,
+            calc: &self.calc,
             state: &mut self.state,
             trace: &mut self.trace,
             now: t,
             eligible,
+            scratch: &mut self.scratch,
             pseudocode_fault_bias: false,
             redistributions: &mut self.redistributions,
         };
@@ -289,8 +298,10 @@ impl OnlineSim<'_> {
     /// Greedy rebuild of the running set (the `IteratedGreedy`/`EndGreedy`
     /// core), used on arrivals.
     fn rebuild(&mut self, t: f64) {
-        let eligible = self.eligible(t, None);
+        let mut eligible = std::mem::take(&mut self.eligible_buf);
+        self.fill_eligible(t, None, &mut eligible);
         self.run_policy(t, &eligible, PolicyCall::Rebuild);
+        self.eligible_buf = eligible;
     }
 
     /// Marks job `i` complete at `t` and releases its processors.
@@ -330,9 +341,14 @@ impl OnlineSim<'_> {
     fn handle_end(&mut self, i: TaskId, t: f64) {
         self.complete_job(i, t);
         self.admit_queued(t);
-        if !self.running.is_empty() && self.state.free_count() >= 2 {
-            let eligible = self.eligible(t, None);
+        if !self.running.is_empty()
+            && self.state.free_count() >= 2
+            && !self.end_policy.is_noop()
+        {
+            let mut eligible = std::mem::take(&mut self.eligible_buf);
+            self.fill_eligible(t, None, &mut eligible);
             self.run_policy(t, &eligible, PolicyCall::End);
+            self.eligible_buf = eligible;
             // A greedy end policy may have shed processors: admit again.
             self.admit_queued(t);
         }
@@ -371,7 +387,7 @@ impl OnlineSim<'_> {
             rt.t_last_r = anchor;
         }
         let remaining = self.calc.remaining(f, j, self.state.runtime(f).alpha);
-        self.state.runtime_mut(f).t_u = anchor + remaining;
+        self.state.set_t_u(f, anchor + remaining);
         self.recovery_until[f] = anchor;
         self.trace.push(TraceEvent::Fault { time: t, proc, task: f });
 
@@ -387,13 +403,12 @@ impl OnlineSim<'_> {
         let tu_f = self.state.runtime(f).t_u;
         let is_longest =
             self.running.iter().all(|&i| i == f || self.state.runtime(i).t_u <= tu_f);
-        if is_longest {
-            let eligible: Vec<TaskId> = self
-                .eligible(t, Some(f))
-                .into_iter()
-                .filter(|&i| self.state.runtime(i).t_u >= anchor)
-                .collect();
+        if is_longest && !self.fault_policy.is_noop() {
+            let mut eligible = std::mem::take(&mut self.eligible_buf);
+            self.fill_eligible(t, Some(f), &mut eligible);
+            eligible.retain(|&i| self.state.runtime(i).t_u >= anchor);
             self.run_policy(t, &eligible, PolicyCall::Fault(f));
+            self.eligible_buf = eligible;
         }
         self.admit_queued(t);
         debug_assert!(self.state.check_invariants());
@@ -458,6 +473,8 @@ pub fn run_online(
         strategy,
         end_policy: strategy.heuristic.end_policy(),
         fault_policy: strategy.heuristic.fault_policy(),
+        eligible_buf: Vec::new(),
+        scratch: PolicyScratch::default(),
     };
     let mut faults: Option<FaultSource> =
         cfg.faults.map(|fc| FaultSource::new(fc.seed, p, fc.law));

@@ -149,12 +149,12 @@ pub fn pack_makespan(
         pack.iter().map(|&t| workload.tasks[t].clone()).collect(),
         workload.speedup.clone(),
     );
-    let mut calc = if fault_aware {
+    let calc = if fault_aware {
         TimeCalc::new(sub, platform)
     } else {
         TimeCalc::fault_free(sub, platform)
     };
-    let sigma = optimal_schedule(&mut calc, platform.num_procs)?;
+    let sigma = optimal_schedule(&calc, platform.num_procs)?;
     Ok(sigma.iter().enumerate().map(|(i, &s)| calc.remaining(i, s, 1.0)).fold(0.0, f64::max))
 }
 
@@ -303,8 +303,8 @@ mod tests {
     fn pack_makespan_matches_alg1() {
         let w = workload(&[2e6, 1.5e6]);
         let mk = pack_makespan(&w, platform(8), &[0, 1], true).unwrap();
-        let mut calc = TimeCalc::new(w, platform(8));
-        let sigma = optimal_schedule(&mut calc, 8).unwrap();
+        let calc = TimeCalc::new(w, platform(8));
+        let sigma = optimal_schedule(&calc, 8).unwrap();
         let expected = sigma
             .iter()
             .enumerate()

@@ -61,7 +61,7 @@ pub fn run_partition(
             pack.iter().map(|&t| workload.tasks[t].clone()).collect(),
             workload.speedup.clone(),
         );
-        let (mut calc, cfg) = match fault_seed {
+        let (calc, cfg) = match fault_seed {
             Some(seed) => {
                 let pack_seed =
                     SplitMix64::new(seed ^ (k as u64).wrapping_mul(0x517C_C1B7_2722_0A95))
@@ -73,7 +73,7 @@ pub fn run_partition(
             }
             None => (TimeCalc::fault_free(sub, platform), EngineConfig::fault_free()),
         };
-        let out = run(&mut calc, &*heuristic.end_policy(), &*heuristic.fault_policy(), &cfg)?;
+        let out = run(&calc, &*heuristic.end_policy(), &*heuristic.fault_policy(), &cfg)?;
         makespan += out.makespan;
         pack_outcomes.push(out);
     }
@@ -126,10 +126,10 @@ mod tests {
         assert_eq!(multi.pack_outcomes.len(), 1);
         // Direct engine run with the derived pack-0 seed must agree.
         let pack_seed = SplitMix64::new(9u64).next_u64();
-        let mut calc = TimeCalc::new(w, plat);
+        let calc = TimeCalc::new(w, plat);
         let h = Heuristic::IteratedGreedyEndLocal;
         let direct = run(
-            &mut calc,
+            &calc,
             &*h.end_policy(),
             &*h.fault_policy(),
             &EngineConfig::with_faults(pack_seed, plat.proc_mtbf),

@@ -25,14 +25,13 @@ fn main() {
     let cfg = EngineConfig::with_faults(2024, platform.proc_mtbf).recording();
 
     // Baseline: recover in place, never redistribute.
-    let mut calc = TimeCalc::new(workload.clone(), platform);
-    let baseline = run(&mut calc, &NoEndRedistribution, &NoFaultRedistribution, &cfg)
-        .expect("baseline run");
+    let calc = TimeCalc::new(workload.clone(), platform);
+    let baseline =
+        run(&calc, &NoEndRedistribution, &NoFaultRedistribution, &cfg).expect("baseline run");
 
     // IteratedGreedy on faults + EndLocal on task ends.
-    let mut calc = TimeCalc::new(workload, platform);
-    let redistributed =
-        run(&mut calc, &EndLocal, &IteratedGreedy, &cfg).expect("heuristic run");
+    let calc = TimeCalc::new(workload, platform);
+    let redistributed = run(&calc, &EndLocal, &IteratedGreedy, &cfg).expect("heuristic run");
 
     println!("initial allocation (Algorithm 1): {:?}", baseline.initial_allocation);
     println!();

@@ -24,8 +24,8 @@ fn main() {
     let platform = Platform::with_mtbf(32, units::years(3.0));
     let cfg = EngineConfig::with_faults(7, platform.proc_mtbf).recording();
 
-    let mut calc = TimeCalc::new(workload, platform);
-    let out = run(&mut calc, &EndLocal, &IteratedGreedy, &cfg).expect("run");
+    let calc = TimeCalc::new(workload, platform);
+    let out = run(&calc, &EndLocal, &IteratedGreedy, &cfg).expect("run");
 
     println!("initial allocation: {:?}", out.initial_allocation);
     println!("{:>12}  event", "time (d)");

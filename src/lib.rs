@@ -45,13 +45,13 @@
 //! let platform = Platform::with_mtbf(32, redistrib::sim::units::years(10.0));
 //!
 //! // Baseline: no redistribution.
-//! let mut calc = TimeCalc::new(workload.clone(), platform);
+//! let calc = TimeCalc::new(workload.clone(), platform);
 //! let cfg = EngineConfig::with_faults(42, platform.proc_mtbf);
-//! let baseline = run(&mut calc, &NoEndRedistribution, &NoFaultRedistribution, &cfg).unwrap();
+//! let baseline = run(&calc, &NoEndRedistribution, &NoFaultRedistribution, &cfg).unwrap();
 //!
 //! // IteratedGreedy-EndLocal, same workload, same fault trace.
-//! let mut calc = TimeCalc::new(workload, platform);
-//! let redistributed = run(&mut calc, &EndLocal, &IteratedGreedy, &cfg).unwrap();
+//! let calc = TimeCalc::new(workload, platform);
+//! let redistributed = run(&calc, &EndLocal, &IteratedGreedy, &cfg).unwrap();
 //!
 //! assert!(redistributed.makespan <= baseline.makespan);
 //! ```
@@ -94,9 +94,9 @@ mod tests {
             Arc::new(PaperModel::default()),
         );
         let platform = Platform::new(8);
-        let mut calc = TimeCalc::fault_free(workload, platform);
+        let calc = TimeCalc::fault_free(workload, platform);
         let out = run(
-            &mut calc,
+            &calc,
             &NoEndRedistribution,
             &NoFaultRedistribution,
             &EngineConfig::fault_free(),

@@ -16,9 +16,9 @@ fn workload(n: usize, seed: u64) -> Workload {
 
 fn run_heuristic(h: Heuristic, seed: u64) -> RunOutcome {
     let platform = Platform::with_mtbf(64, units::years(2.0));
-    let mut calc = TimeCalc::new(workload(12, seed), platform);
+    let calc = TimeCalc::new(workload(12, seed), platform);
     let cfg = EngineConfig::with_faults(seed, platform.proc_mtbf).recording();
-    run(&mut calc, &*h.end_policy(), &*h.fault_policy(), &cfg).expect("run")
+    run(&calc, &*h.end_policy(), &*h.fault_policy(), &cfg).expect("run")
 }
 
 #[test]
@@ -95,11 +95,10 @@ fn pseudocode_bias_changes_little_but_runs() {
         ..EngineConfig::with_faults(17, platform.proc_mtbf)
     };
     let h = Heuristic::IteratedGreedyEndLocal;
-    let mut c1 = TimeCalc::new(workload(12, 17), platform);
-    let unbiased =
-        run(&mut c1, &*h.end_policy(), &*h.fault_policy(), &make_cfg(false)).unwrap();
-    let mut c2 = TimeCalc::new(workload(12, 17), platform);
-    let biased = run(&mut c2, &*h.end_policy(), &*h.fault_policy(), &make_cfg(true)).unwrap();
+    let c1 = TimeCalc::new(workload(12, 17), platform);
+    let unbiased = run(&c1, &*h.end_policy(), &*h.fault_policy(), &make_cfg(false)).unwrap();
+    let c2 = TimeCalc::new(workload(12, 17), platform);
+    let biased = run(&c2, &*h.end_policy(), &*h.fault_policy(), &make_cfg(true)).unwrap();
     assert!(unbiased.makespan.is_finite() && biased.makespan.is_finite());
     // The bias omits D + R from candidate costs: a second-order effect.
     let rel = (unbiased.makespan - biased.makespan).abs() / unbiased.makespan;
@@ -114,11 +113,11 @@ fn end_semantics_ablation_orders_makespans() {
     let platform = Platform::with_mtbf(64, units::years(100.0));
     let h = Heuristic::NoRedistribution;
     let cfg = EngineConfig::fault_free();
-    let mut exp = TimeCalc::new(workload(8, 23), platform);
-    let expected = run(&mut exp, &*h.end_policy(), &*h.fault_policy(), &cfg).unwrap();
-    let mut ffp = TimeCalc::new(workload(8, 23), platform)
+    let exp = TimeCalc::new(workload(8, 23), platform);
+    let expected = run(&exp, &*h.end_policy(), &*h.fault_policy(), &cfg).unwrap();
+    let ffp = TimeCalc::new(workload(8, 23), platform)
         .with_end_semantics(EndSemantics::FaultFreeProjection);
-    let projected = run(&mut ffp, &*h.end_policy(), &*h.fault_policy(), &cfg).unwrap();
+    let projected = run(&ffp, &*h.end_policy(), &*h.fault_policy(), &cfg).unwrap();
     assert!(
         projected.makespan < expected.makespan,
         "projection {} should undercut expected {}",
@@ -130,17 +129,17 @@ fn end_semantics_ablation_orders_makespans() {
 #[test]
 fn daly_period_rule_runs() {
     let platform = Platform::with_mtbf(64, units::years(2.0));
-    let mut calc = TimeCalc::new(workload(10, 29), platform).with_period_rule(PeriodRule::Daly);
+    let calc = TimeCalc::new(workload(10, 29), platform).with_period_rule(PeriodRule::Daly);
     let cfg = EngineConfig::with_faults(29, platform.proc_mtbf);
     let h = Heuristic::IteratedGreedyEndLocal;
-    let out = run(&mut calc, &*h.end_policy(), &*h.fault_policy(), &cfg).unwrap();
+    let out = run(&calc, &*h.end_policy(), &*h.fault_policy(), &cfg).unwrap();
     assert!(out.makespan.is_finite());
 }
 
 #[test]
 fn weibull_faults_run() {
     let platform = Platform::with_mtbf(64, units::years(2.0));
-    let mut calc = TimeCalc::new(workload(10, 31), platform);
+    let calc = TimeCalc::new(workload(10, 31), platform);
     let cfg = EngineConfig {
         faults: Some(redistrib::core::FaultConfig {
             seed: 31,
@@ -149,7 +148,7 @@ fn weibull_faults_run() {
         ..EngineConfig::fault_free()
     };
     let h = Heuristic::ShortestTasksFirstEndLocal;
-    let out = run(&mut calc, &*h.end_policy(), &*h.fault_policy(), &cfg).unwrap();
+    let out = run(&calc, &*h.end_policy(), &*h.fault_policy(), &cfg).unwrap();
     assert!(out.makespan.is_finite());
     assert!(out.handled_faults > 0, "Weibull storm should strike");
 }
@@ -158,10 +157,10 @@ fn weibull_faults_run() {
 fn fatal_risk_counter_fires_under_extreme_unreliability() {
     // With month-scale MTBFs, some faults land inside recovery windows.
     let platform = Platform::with_mtbf(32, units::days(30.0));
-    let mut calc = TimeCalc::new(workload(6, 37), platform);
+    let calc = TimeCalc::new(workload(6, 37), platform);
     let cfg = EngineConfig::with_faults(37, platform.proc_mtbf);
     let h = Heuristic::NoRedistribution;
-    let out = run(&mut calc, &*h.end_policy(), &*h.fault_policy(), &cfg).unwrap();
+    let out = run(&calc, &*h.end_policy(), &*h.fault_policy(), &cfg).unwrap();
     assert!(out.discarded_faults > 0, "protected windows should discard faults at this rate");
 }
 
@@ -171,17 +170,17 @@ fn makespan_reported_in_sane_range() {
     // from below; 100x that bounds it from above at these MTBFs.
     let platform = Platform::with_mtbf(64, units::years(2.0));
     let h = Heuristic::IteratedGreedyEndLocal;
-    let mut ff = TimeCalc::fault_free(workload(12, 41), platform);
+    let ff = TimeCalc::fault_free(workload(12, 41), platform);
     let ff_out = run(
-        &mut ff,
+        &ff,
         &*Heuristic::EndLocalOnly.end_policy(),
         &*Heuristic::EndLocalOnly.fault_policy(),
         &EngineConfig::fault_free(),
     )
     .unwrap();
-    let mut fa = TimeCalc::new(workload(12, 41), platform);
+    let fa = TimeCalc::new(workload(12, 41), platform);
     let fa_out = run(
-        &mut fa,
+        &fa,
         &*h.end_policy(),
         &*h.fault_policy(),
         &EngineConfig::with_faults(41, platform.proc_mtbf),

@@ -15,9 +15,9 @@ fn single_task(size: f64) -> Workload {
 fn single_task_pack_completes_under_faults() {
     let platform = Platform::with_mtbf(8, units::years(1.0));
     for h in [Heuristic::NoRedistribution, Heuristic::IteratedGreedyEndLocal] {
-        let mut calc = TimeCalc::new(single_task(3.0e5), platform);
+        let calc = TimeCalc::new(single_task(3.0e5), platform);
         let cfg = EngineConfig::with_faults(5, platform.proc_mtbf).recording();
-        let out = run(&mut calc, &*h.end_policy(), &*h.fault_policy(), &cfg).unwrap();
+        let out = run(&calc, &*h.end_policy(), &*h.fault_policy(), &cfg).unwrap();
         assert!(out.makespan.is_finite() && out.makespan > 0.0);
         // With one task there is nobody to steal from and no end
         // redistribution: allocations never change.
@@ -30,15 +30,11 @@ fn single_task_pack_completes_under_faults() {
 #[test]
 fn single_task_fault_free_matches_remaining_time() {
     let platform = Platform::new(8);
-    let mut calc = TimeCalc::fault_free(single_task(3.0e5), platform);
+    let calc = TimeCalc::fault_free(single_task(3.0e5), platform);
     let expected = calc.fault_free_time(0, 8);
-    let out = run(
-        &mut calc,
-        &NoEndRedistribution,
-        &NoFaultRedistribution,
-        &EngineConfig::fault_free(),
-    )
-    .unwrap();
+    let out =
+        run(&calc, &NoEndRedistribution, &NoFaultRedistribution, &EngineConfig::fault_free())
+            .unwrap();
     assert!((out.makespan - expected).abs() / expected < 1e-12);
 }
 
@@ -51,9 +47,9 @@ fn every_fault_advances_the_faulty_tasks_anchor() {
         vec![TaskSpec::new(2.0e5), TaskSpec::new(2.5e5)],
         Arc::new(PaperModel::default()),
     );
-    let mut calc = TimeCalc::new(workload, platform);
+    let calc = TimeCalc::new(workload, platform);
     let cfg = EngineConfig::with_faults(21, platform.proc_mtbf).recording();
-    let out = run(&mut calc, &EndLocal, &ShortestTasksFirst, &cfg).unwrap();
+    let out = run(&calc, &EndLocal, &ShortestTasksFirst, &cfg).unwrap();
 
     let mut completion = [f64::NEG_INFINITY; 2];
     for e in out.trace.events() {
@@ -75,9 +71,9 @@ fn every_fault_advances_the_faulty_tasks_anchor() {
 fn protected_windows_discard_faults_under_extreme_rates() {
     // MTBF of days: recoveries overlap incoming faults constantly.
     let platform = Platform::with_mtbf(8, units::days(20.0));
-    let mut calc = TimeCalc::new(single_task(2.0e5), platform);
+    let calc = TimeCalc::new(single_task(2.0e5), platform);
     let cfg = EngineConfig::with_faults(3, platform.proc_mtbf).recording();
-    let out = run(&mut calc, &NoEndRedistribution, &NoFaultRedistribution, &cfg).unwrap();
+    let out = run(&calc, &NoEndRedistribution, &NoFaultRedistribution, &cfg).unwrap();
     assert!(out.handled_faults > 0);
     assert!(
         out.discarded_faults > 0,
@@ -102,9 +98,9 @@ fn idle_processor_faults_are_harmless() {
         vec![TaskSpec::new(1.2e5); 2],
         Arc::new(PaperModel::new(0.4)), // strongly sequential: small σ
     );
-    let mut calc = TimeCalc::new(workload, platform);
+    let calc = TimeCalc::new(workload, platform);
     let cfg = EngineConfig::with_faults(13, platform.proc_mtbf).recording();
-    let out = run(&mut calc, &EndLocal, &IteratedGreedy, &cfg).unwrap();
+    let out = run(&calc, &EndLocal, &IteratedGreedy, &cfg).unwrap();
     assert!(out.discarded_faults > 0, "idle-processor faults expected");
     assert!(out.makespan.is_finite());
 }
@@ -123,9 +119,9 @@ fn recovery_window_completions_release_processors() {
             vec![TaskSpec::new(1.0e5), TaskSpec::new(3.0e5), TaskSpec::new(3.2e5)],
             Arc::new(PaperModel::default()),
         );
-        let mut calc = TimeCalc::new(workload, platform);
+        let calc = TimeCalc::new(workload, platform);
         let cfg = EngineConfig::with_faults(seed, platform.proc_mtbf).recording();
-        let out = run(&mut calc, &EndLocal, &IteratedGreedy, &cfg).unwrap();
+        let out = run(&calc, &EndLocal, &IteratedGreedy, &cfg).unwrap();
         let ends = out
             .trace
             .events()
@@ -150,11 +146,9 @@ fn makespan_monotone_in_fault_rate_on_average() {
         let platform = Platform::with_mtbf(16, units::years(mtbf_years));
         (0..8u64)
             .map(|seed| {
-                let mut calc = TimeCalc::new(workload(), platform);
+                let calc = TimeCalc::new(workload(), platform);
                 let cfg = EngineConfig::with_faults(seed, platform.proc_mtbf);
-                run(&mut calc, &NoEndRedistribution, &NoFaultRedistribution, &cfg)
-                    .unwrap()
-                    .makespan
+                run(&calc, &NoEndRedistribution, &NoFaultRedistribution, &cfg).unwrap().makespan
             })
             .sum::<f64>()
             / 8.0
@@ -171,9 +165,9 @@ fn two_tasks_converge_even_when_both_fail_repeatedly() {
         vec![TaskSpec::new(1.0e5), TaskSpec::new(1.0e5)],
         Arc::new(PaperModel::default()),
     );
-    let mut calc = TimeCalc::new(workload, platform);
+    let calc = TimeCalc::new(workload, platform);
     let cfg = EngineConfig::with_faults(2, platform.proc_mtbf);
-    let out = run(&mut calc, &EndLocal, &ShortestTasksFirst, &cfg).unwrap();
+    let out = run(&calc, &EndLocal, &ShortestTasksFirst, &cfg).unwrap();
     assert!(out.makespan.is_finite());
     assert!(out.handled_faults > 2);
 }

@@ -7,9 +7,11 @@ use std::sync::Arc;
 use proptest::prelude::*;
 
 use redistrib::core::exact::optimal_no_redistribution;
+use redistrib::core::{PackState, PolicyScratch};
 use redistrib::graph::{color_bipartite, is_proper, transfer_graph};
 use redistrib::prelude::*;
 use redistrib::sim::units;
+use redistrib::sim::TraceEvent;
 
 fn workload_strategy(n: usize) -> impl Strategy<Value = Workload> {
     prop::collection::vec(1.0e5..1.0e6f64, n).prop_map(|sizes| {
@@ -65,7 +67,7 @@ proptest! {
     ) {
         let w = Workload::new(vec![TaskSpec::new(m)], Arc::new(PaperModel::default()));
         let platform = Platform::with_mtbf(128, units::years(mtbf_years));
-        let mut calc = TimeCalc::new(w, platform);
+        let calc = TimeCalc::new(w, platform);
         let j = 2 * j; // even
         let mut last = 0.0;
         for k in 1..=10 {
@@ -105,7 +107,7 @@ proptest! {
         );
         let platform = Platform::with_mtbf(p, units::years(100.0));
         let mut calc = TimeCalc::new(w, platform);
-        let sigma = optimal_schedule(&mut calc, p).unwrap();
+        let sigma = optimal_schedule(&calc, p).unwrap();
         prop_assert!(sigma.iter().all(|&s| s >= 2 && s % 2 == 0));
         prop_assert!(sigma.iter().sum::<u32>() <= p);
         let greedy_mk = sigma
@@ -128,13 +130,13 @@ proptest! {
         let p = 12 + 2 * extra_pairs;
         let platform = Platform::new(p);
         let cfg = EngineConfig::fault_free();
-        let mut base = TimeCalc::fault_free(w.clone(), platform);
-        let without = run(&mut base, &NoEndRedistribution, &NoFaultRedistribution, &cfg)
+        let base = TimeCalc::fault_free(w.clone(), platform);
+        let without = run(&base, &NoEndRedistribution, &NoFaultRedistribution, &cfg)
             .unwrap();
         for h in [Heuristic::EndLocalOnly, Heuristic::EndGreedyOnly] {
-            let mut calc = TimeCalc::fault_free(w.clone(), platform);
+            let calc = TimeCalc::fault_free(w.clone(), platform);
             let with =
-                run(&mut calc, &*h.end_policy(), &*h.fault_policy(), &cfg).unwrap();
+                run(&calc, &*h.end_policy(), &*h.fault_policy(), &cfg).unwrap();
             prop_assert!(
                 with.makespan <= without.makespan * (1.0 + 1e-9),
                 "{}: {} vs {}", h.name(), with.makespan, without.makespan
@@ -156,8 +158,8 @@ proptest! {
             );
             TimeCalc::new(w, platform)
         };
-        let a = run(&mut make(), &*h.end_policy(), &*h.fault_policy(), &cfg).unwrap();
-        let b = run(&mut make(), &*h.end_policy(), &*h.fault_policy(), &cfg).unwrap();
+        let a = run(&make(), &*h.end_policy(), &*h.fault_policy(), &cfg).unwrap();
+        let b = run(&make(), &*h.end_policy(), &*h.fault_policy(), &cfg).unwrap();
         prop_assert_eq!(a.makespan, b.makespan);
         prop_assert_eq!(a.handled_faults, b.handled_faults);
         prop_assert_eq!(a.redistributions, b.redistributions);
@@ -190,5 +192,150 @@ proptest! {
             let double = redistrib::graph::redistribution_cost(j, k, 2.0 * m);
             prop_assert!((double - 2.0 * cost).abs() <= 1e-9 * double.abs());
         }
+    }
+    /// The heap-backed end-event queue agrees with the linear scan it
+    /// replaced, pick for pick, over arbitrary start/update/complete
+    /// sequences (value ties included).
+    #[test]
+    fn event_queue_matches_scan(seed in any::<u64>(), n in 2..12usize) {
+        let mut state = PackState::unallocated(2 * n as u32, n);
+        let mut rng = seed;
+        let mut next = move || {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng >> 33
+        };
+        let mut started = vec![false; n];
+        for _ in 0..200 {
+            let i = next() as usize % n;
+            if state.runtime(i).done {
+                continue;
+            }
+            match next() % 4 {
+                // Coarse integer grid on purpose: forces equal-t_u ties.
+                0..=2 => {
+                    state.set_t_u(i, (next() % 50) as f64);
+                    started[i] = true;
+                }
+                _ if started[i] => {
+                    let t = state.runtime(i).t_u;
+                    state.complete(i, t);
+                }
+                _ => {}
+            }
+            prop_assert_eq!(state.earliest_active(), state.earliest_active_scan());
+        }
+    }
+
+    /// Heap-driven static engine vs the old linear scan: every event pick
+    /// is cross-checked against `earliest_active_scan` inside
+    /// `PackState::earliest_active` (debug builds), and the recorded event
+    /// log is byte-identical across repeated runs.
+    #[test]
+    fn static_engine_scan_equivalence_and_replay(
+        seed in any::<u64>(),
+        mtbf_years in 1.0..10.0f64,
+    ) {
+        let platform = Platform::with_mtbf(20, units::years(mtbf_years));
+        let cfg = EngineConfig::with_faults(seed, platform.proc_mtbf).recording();
+        let h = Heuristic::ShortestTasksFirstEndLocal;
+        let make = || {
+            let w = Workload::new(
+                vec![TaskSpec::new(2.0e5), TaskSpec::new(3.5e5), TaskSpec::new(2.7e5),
+                     TaskSpec::new(1.8e5)],
+                Arc::new(PaperModel::default()),
+            );
+            TimeCalc::new(w, platform)
+        };
+        let a = run(&make(), &*h.end_policy(), &*h.fault_policy(), &cfg).unwrap();
+        let b = run(&make(), &*h.end_policy(), &*h.fault_policy(), &cfg).unwrap();
+        prop_assert_eq!(a.trace.to_csv(), b.trace.to_csv());
+        prop_assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+    }
+
+    /// Processor conservation under the zero-alloc policy rewrite: replay
+    /// the recorded event log; allocations never exceed `p` and stay even.
+    #[test]
+    fn static_engine_conserves_processors(
+        w in workload_strategy(5),
+        extra_pairs in 0..8u32,
+        seed in any::<u64>(),
+    ) {
+        let p = 10 + 2 * extra_pairs;
+        let platform = Platform::with_mtbf(p, units::years(3.0));
+        let cfg = EngineConfig::with_faults(seed, platform.proc_mtbf).recording();
+        let h = Heuristic::IteratedGreedyEndGreedy;
+        let calc = TimeCalc::new(w, platform);
+        let out = run(&calc, &*h.end_policy(), &*h.fault_policy(), &cfg).unwrap();
+        let mut alloc: Vec<u32> = out.initial_allocation.clone();
+        prop_assert!(alloc.iter().sum::<u32>() <= p);
+        for e in out.trace.events() {
+            match *e {
+                TraceEvent::Redistribution { task, to, .. } => {
+                    alloc[task] = to;
+                    prop_assert!(to >= 2 && to % 2 == 0, "odd allocation {} committed", to);
+                }
+                TraceEvent::TaskEnd { task, .. } => alloc[task] = 0,
+                _ => {}
+            }
+            prop_assert!(alloc.iter().sum::<u32>() <= p,
+                "allocations exceed platform: {:?}", alloc);
+        }
+        prop_assert!(alloc.iter().all(|&a| a == 0), "all tasks must release");
+    }
+
+    /// A policy invocation through fresh *or* pre-used scratch buffers
+    /// commits the same moves — reuse cannot leak planning state between
+    /// events.
+    #[test]
+    fn scratch_reuse_is_stateless(sizes in prop::collection::vec(1.5e5..9.0e5f64, 3..6usize)) {
+        let n = sizes.len();
+        let p = 6 * n as u32;
+        let w = Workload::new(
+            sizes.into_iter().map(TaskSpec::new).collect(),
+            Arc::new(PaperModel::default()),
+        );
+        let platform = Platform::with_mtbf(p, units::years(100.0));
+        let calc = TimeCalc::new(w, platform);
+        let build = || {
+            let mut st = PackState::new(p, &vec![4; n]);
+            for i in 0..n {
+                let tu = calc.remaining(i, 4, 1.0);
+                st.set_t_u(i, tu);
+            }
+            st
+        };
+        let invoke = |state: &mut PackState, scratch: &mut PolicyScratch| {
+            let mut trace = TraceLog::disabled();
+            let mut count = 0;
+            let eligible: Vec<usize> = state.active_tasks().collect();
+            let mut ctx = redistrib::core::HeuristicCtx {
+                calc: &calc,
+                state,
+                trace: &mut trace,
+                now: 1000.0,
+                eligible: &eligible,
+                scratch,
+                pseudocode_fault_bias: false,
+                redistributions: &mut count,
+            };
+            EndGreedy.on_task_end(&mut ctx);
+            count
+        };
+        // Fresh scratch.
+        let mut s1 = build();
+        let mut fresh = PolicyScratch::default();
+        let c1 = invoke(&mut s1, &mut fresh);
+        // Dirty scratch: pre-polluted by an unrelated invocation.
+        let mut dirty = PolicyScratch::default();
+        let mut pre = build();
+        let _ = invoke(&mut pre, &mut dirty);
+        let mut s2 = build();
+        let c2 = invoke(&mut s2, &mut dirty);
+        prop_assert_eq!(c1, c2);
+        for i in 0..n {
+            prop_assert_eq!(s1.sigma(i), s2.sigma(i));
+            prop_assert_eq!(s1.runtime(i).t_u.to_bits(), s2.runtime(i).t_u.to_bits());
+        }
+        prop_assert!(s1.check_invariants() && s2.check_invariants());
     }
 }
