@@ -13,7 +13,7 @@ use redistrib_bench::fault_calc;
 use redistrib_core::policies::{
     EndGreedy, EndLocal, EndPolicy, FaultPolicy, IteratedGreedy, ShortestTasksFirst,
 };
-use redistrib_core::{optimal_schedule, HeuristicCtx, PackState, PolicyScratch};
+use redistrib_core::{optimal_schedule, EligibleSet, HeuristicCtx, PackState, PolicyScratch};
 use redistrib_model::TimeCalc;
 use redistrib_sim::trace::TraceLog;
 
@@ -68,7 +68,7 @@ fn bench_fault_policies(c: &mut Criterion) {
                                 state: &mut state,
                                 trace: &mut trace,
                                 now,
-                                eligible: &eligible,
+                                eligible: EligibleSet::Listed(&eligible),
                                 scratch: &mut scratch,
                                 pseudocode_fault_bias: false,
                                 redistributions: &mut count,
@@ -115,7 +115,7 @@ fn bench_end_policies(c: &mut Criterion) {
                                 state: &mut state,
                                 trace: &mut trace,
                                 now,
-                                eligible: &eligible,
+                                eligible: EligibleSet::Listed(&eligible),
                                 scratch: &mut scratch,
                                 pseudocode_fault_bias: false,
                                 redistributions: &mut count,

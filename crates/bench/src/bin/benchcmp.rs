@@ -1,0 +1,128 @@
+//! Bench-regression gate: compares a fresh `perf` quick-profile against a
+//! committed `BENCH_*.json` baseline and fails when any scenario regresses
+//! below a threshold.
+//!
+//! The baseline record stores each scenario's committed timing as
+//! `after_seconds` (the number measured when the record was created); a
+//! plain `perf` output stores `mean_seconds`. For every scenario present in
+//! *both* files the gate computes `ratio = baseline / fresh` (> 1 means the
+//! fresh build is faster) and fails if `ratio < --min-ratio` (default 0.9,
+//! i.e. a fresh build may be at most ~11 % slower before the gate trips —
+//! headroom for CI machine jitter). Scenarios present in only one file are
+//! reported but never fail the gate, so adding scenarios does not break
+//! older baselines.
+//!
+//! Usage:
+//! `cargo run --release -p redistrib-bench --bin benchcmp -- \
+//!     --baseline BENCH_PR3.json --fresh bench-ci.json [--min-ratio 0.9]`
+
+use std::collections::BTreeMap;
+use std::process::exit;
+
+/// Minimal JSON scraping for the two known record shapes — the compact
+/// one-scenario-per-line `perf` output and the pretty-printed committed
+/// `BENCH_*` records. Extracts each scenario's first value among `keys`.
+/// The records are machine-written, so a line-oriented parse is reliable
+/// and keeps the gate dependency-free.
+fn scenario_times(text: &str, keys: &[&str]) -> BTreeMap<String, f64> {
+    let grab = |rest: &str, key: &str| -> Option<f64> {
+        let needle = format!("\"{key}\":");
+        let pos = rest.find(&needle)?;
+        let num: String = rest[pos + needle.len()..]
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+            .collect();
+        num.parse::<f64>().ok()
+    };
+    let structural = ["scenarios", "iters", "machine"];
+    let mut out = BTreeMap::new();
+    let mut current: Option<String> = None;
+    for line in text.lines() {
+        let trimmed = line.trim();
+        let Some((head, rest)) = trimmed.split_once(':') else { continue };
+        let name = head.trim().trim_matches('"');
+        if rest.trim_start().starts_with('{') && !structural.contains(&name) {
+            // A scenario object opens; compact records carry the value on
+            // the same line.
+            current = Some(name.to_string());
+            if let Some(v) = keys.iter().find_map(|k| grab(rest, k)) {
+                out.insert(name.to_string(), v);
+            }
+        } else if keys.contains(&name) {
+            // Pretty-printed records put each key on its own line.
+            if let (Some(cur), Some(v)) = (&current, keys.iter().find_map(|k| grab(trimmed, k)))
+            {
+                out.entry(cur.clone()).or_insert(v);
+            }
+        }
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut baseline_path = None;
+    let mut fresh_path = None;
+    let mut min_ratio = 0.9f64;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--baseline" => {
+                baseline_path = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--fresh" => {
+                fresh_path = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--min-ratio" => {
+                min_ratio = args[i + 1].parse().expect("numeric min-ratio");
+                i += 2;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    let baseline_path = baseline_path.expect("--baseline FILE is required");
+    let fresh_path = fresh_path.expect("--fresh FILE is required");
+
+    let baseline_text = std::fs::read_to_string(&baseline_path).expect("read baseline");
+    let fresh_text = std::fs::read_to_string(&fresh_path).expect("read fresh profile");
+    // A committed BENCH_* record stores `after_seconds`; a plain perf
+    // output stores `mean_seconds` — accept either on both sides.
+    let baseline = scenario_times(&baseline_text, &["after_seconds", "mean_seconds"]);
+    let fresh = scenario_times(&fresh_text, &["mean_seconds", "after_seconds"]);
+    assert!(!baseline.is_empty(), "no scenarios found in {baseline_path}");
+    assert!(!fresh.is_empty(), "no scenarios found in {fresh_path}");
+
+    let mut failures = Vec::new();
+    let mut compared = 0;
+    for (name, &base) in &baseline {
+        let Some(&new) = fresh.get(name) else {
+            println!("SKIP  {name}: not in fresh profile");
+            continue;
+        };
+        compared += 1;
+        let ratio = base / new;
+        let verdict = if ratio < min_ratio { "FAIL" } else { "ok" };
+        println!("{verdict:<5} {name}: baseline {base:.6e}s fresh {new:.6e}s ratio {ratio:.3}");
+        if ratio < min_ratio {
+            failures.push(name.clone());
+        }
+    }
+    for name in fresh.keys().filter(|n| !baseline.contains_key(*n)) {
+        println!("NEW   {name}: no baseline yet");
+    }
+    assert!(compared > 0, "no common scenarios between baseline and fresh profile");
+
+    if failures.is_empty() {
+        println!("bench-compare: {compared} scenarios within {min_ratio}x of baseline");
+    } else {
+        eprintln!(
+            "bench-compare: {} of {compared} scenarios regressed below {min_ratio}x: {}",
+            failures.len(),
+            failures.join(", ")
+        );
+        exit(1);
+    }
+}

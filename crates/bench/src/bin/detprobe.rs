@@ -1,17 +1,35 @@
 //! Determinism probe: prints bit-exact makespans and event-log hashes for
-//! a fixed seed grid (static engine x 3 heuristics + online engine).
+//! a fixed seed grid — static engine × 3 heuristics, plus online arrival
+//! campaigns over a strategy grid (no-resize / IG-EL / STF-EG, Poisson and
+//! bursty arrivals), so the incremental policy paths of *both* engines are
+//! replayed end to end.
 //!
 //! Run it on two builds (e.g. two PRs) and `diff` the outputs: identical
 //! text proves the hot-path rewrite preserved every simulated decision.
+//! Lines present in older builds keep their exact format, so a diff against
+//! an old capture only shows the scenarios added since.
 //! Usage: `cargo run --release -p redistrib-bench --bin detprobe`
 use redistrib_bench::{paper_workload, platform_with_mtbf};
 use redistrib_core::{run, EngineConfig, Heuristic};
 use redistrib_model::PaperModel;
 use redistrib_model::TimeCalc;
 use redistrib_online::{
-    generate_jobs, run_online, JobSizeModel, OnlineConfig, OnlineStrategy, PoissonArrivals,
+    generate_jobs, run_online, ArrivalProcess, BurstyArrivals, JobSizeModel, OnlineConfig,
+    OnlineOutcome, OnlineStrategy, PoissonArrivals,
 };
 use std::sync::Arc;
+
+fn online_run(
+    arrivals: &mut dyn ArrivalProcess,
+    n_jobs: usize,
+    seed: u64,
+    strategy: &OnlineStrategy,
+) -> OnlineOutcome {
+    let jobs = generate_jobs(arrivals, n_jobs, &JobSizeModel::paper_default(), seed);
+    let platform = platform_with_mtbf(24, 5.0);
+    let cfg = OnlineConfig::with_faults(seed ^ 0xBEEF, platform.proc_mtbf).recording();
+    run_online(&jobs, Arc::new(PaperModel::default()), platform, strategy, &cfg).unwrap()
+}
 
 fn main() {
     for seed in [1u64, 7, 42, 99, 123] {
@@ -28,14 +46,14 @@ fn main() {
                 out.makespan, out.handled_faults, out.redistributions,
                 out.trace.to_csv().len(), fnv(out.trace.to_csv().as_bytes()));
         }
-        // Online
+        // Online (the original line, format preserved for old-build diffs).
         let mut arrivals = PoissonArrivals::new(seed, 8_000.0);
-        let jobs = generate_jobs(&mut arrivals, 10, &JobSizeModel::paper_default(), seed);
-        let platform = platform_with_mtbf(24, 5.0);
-        let strategy = OnlineStrategy::resizing(Heuristic::IteratedGreedyEndLocal);
-        let cfg = OnlineConfig::with_faults(seed ^ 0xBEEF, platform.proc_mtbf).recording();
-        let out = run_online(&jobs, Arc::new(PaperModel::default()), platform, &strategy, &cfg)
-            .unwrap();
+        let out = online_run(
+            &mut arrivals,
+            10,
+            seed,
+            &OnlineStrategy::resizing(Heuristic::IteratedGreedyEndLocal),
+        );
         println!(
             "online seed={seed} mk={:.17e} faults={} rc={} csv_hash={:x}",
             out.makespan,
@@ -43,6 +61,31 @@ fn main() {
             out.redistributions,
             fnv(out.trace.to_csv().as_bytes())
         );
+    }
+
+    // Online arrival campaigns: strategy grid × arrival models, replaying
+    // the admission / arrival-rebalance / fault paths of the online engine.
+    for seed in [3u64, 21, 77] {
+        for (sname, strategy) in [
+            ("no-resize", OnlineStrategy::no_resize()),
+            ("IG-EL+arr", OnlineStrategy::resizing(Heuristic::IteratedGreedyEndLocal)),
+            ("STF-EG+arr", OnlineStrategy::resizing(Heuristic::ShortestTasksFirstEndGreedy)),
+        ] {
+            let mut poisson = PoissonArrivals::new(seed, 4_000.0);
+            let out = online_run(&mut poisson, 14, seed, &strategy);
+            println!(
+                "online-grid seed={seed} arr=poisson s={sname} mk={:.17e} faults={} rc={} csv_hash={:x}",
+                out.makespan, out.handled_faults, out.redistributions,
+                fnv(out.trace.to_csv().as_bytes())
+            );
+            let mut bursty = BurstyArrivals::new(seed, 4, 20_000.0);
+            let out = online_run(&mut bursty, 14, seed, &strategy);
+            println!(
+                "online-grid seed={seed} arr=bursty s={sname} mk={:.17e} faults={} rc={} csv_hash={:x}",
+                out.makespan, out.handled_faults, out.redistributions,
+                fnv(out.trace.to_csv().as_bytes())
+            );
+        }
     }
 }
 

@@ -128,6 +128,37 @@ fn main() {
         }),
     );
 
+    // Fault storms: a short MTBF makes fault-policy invocations (not the
+    // bare event loop) the dominant cost — the incremental-policy target.
+    record(
+        "engine_storm_igel_n100_p500",
+        time_budgeted(budget, || {
+            std::hint::black_box(engine_run(100, 500, 2.0, Heuristic::IteratedGreedyEndLocal));
+        }),
+    );
+    record(
+        "engine_storm_stfeg_n100_p500",
+        time_budgeted(budget, || {
+            std::hint::black_box(engine_run(
+                100,
+                500,
+                2.0,
+                Heuristic::ShortestTasksFirstEndGreedy,
+            ));
+        }),
+    );
+    record(
+        "engine_storm_stfel_n1000_p5000",
+        time_budgeted(budget, || {
+            std::hint::black_box(engine_run(
+                1000,
+                5000,
+                2.0,
+                Heuristic::ShortestTasksFirstEndLocal,
+            ));
+        }),
+    );
+
     // Static campaign throughput: one (n, p, MTBF) figure point, 32 runs,
     // baseline + two heuristics per run.
     record(
@@ -179,6 +210,26 @@ fn main() {
             )
             .unwrap();
             std::hint::black_box(stats[1].mean_ratio);
+        }),
+    );
+
+    // Arrival-heavy online run: a deep admission backlog makes the
+    // arrival/rebalance path (not the steady event loop) the dominant cost.
+    record(
+        "campaign_online_heavy_j64_p64_x8",
+        time_budgeted(budget.max(4.0), || {
+            let cfg = OnlinePointConfig {
+                jobs: 64,
+                mean_interarrival: 400.0,
+                sizes: JobSizeModel::paper_default(),
+                seq_fraction: 0.08,
+                p: 64,
+                mtbf_years: 20.0,
+                runs: 8,
+                base_seed: 0x0A44_1BAD,
+            };
+            let stats = run_online_point(&cfg, &campaign_strategies()).unwrap();
+            std::hint::black_box(stats[1].stretch_ratio);
         }),
     );
 

@@ -18,11 +18,14 @@ use redistrib_model::{TaskId, TimeCalc};
 use redistrib_sim::trace::{TraceEvent, TraceLog};
 
 use crate::heap::LazyMaxHeap;
+use crate::incremental::SessionOverlay;
 use crate::state::PackState;
 
-/// Reusable buffers for policy planning, owned by the engine and threaded
+/// Persistent policy planning state, owned by the engine and threaded
 /// through [`HeuristicCtx`]: after warm-up, policy invocations reuse these
-/// allocations instead of building fresh `Vec`s per event.
+/// allocations instead of building fresh `Vec`s per event, and the
+/// incremental policies keep their epoch-invalidated session overlay here
+/// across the whole run.
 ///
 /// Policies `std::mem::take` the pieces they need and put them back before
 /// returning (the take/restore dance keeps the borrow checker happy while
@@ -37,6 +40,50 @@ pub struct PolicyScratch {
     pub values: Vec<f64>,
     /// Planning heap ("the task with the longest planned finish time").
     pub heap: LazyMaxHeap,
+    /// Incremental session overlay (dirty set + stash), persistent across
+    /// events with O(1) epoch invalidation.
+    pub overlay: SessionOverlay,
+}
+
+/// The tasks allowed to participate in a redistribution decision.
+///
+/// The from-scratch path materializes the list up front (`Listed`); the
+/// incremental path derives membership lazily from the pack state
+/// (`Live`), so an event only pays for the tasks its decision actually
+/// touches. Both views contain exactly the same tasks in ascending-id
+/// order: active, started, outside any previous redistribution window
+/// (`tlastR_i ≤ now`), not the skipped (faulty) task, and — the online
+/// engine's fault path — not finishing before `min_t_u` (the recovery
+/// anchor; the static engine has already completed those).
+#[derive(Debug, Clone, Copy)]
+pub enum EligibleSet<'a> {
+    /// Explicit ascending-id task list (tests, reference replays).
+    Listed(&'a [TaskId]),
+    /// Membership derived from the pack state at query time.
+    Live {
+        /// The faulty task, excluded from the participant set.
+        skip: Option<TaskId>,
+        /// Minimum expected finish time to participate
+        /// (`f64::NEG_INFINITY` when unused).
+        min_t_u: f64,
+    },
+}
+
+impl EligibleSet<'static> {
+    /// Live view with no excluded task and no finish-time floor (task-end
+    /// and arrival decision points).
+    #[must_use]
+    pub fn live() -> Self {
+        EligibleSet::Live { skip: None, min_t_u: f64::NEG_INFINITY }
+    }
+
+    /// Live view for a fault decision point: the faulty task is handled
+    /// separately by the policy, and (online engine) tasks finishing
+    /// before `min_t_u` are out.
+    #[must_use]
+    pub fn live_fault(faulty: TaskId, min_t_u: f64) -> Self {
+        EligibleSet::Live { skip: Some(faulty), min_t_u }
+    }
 }
 
 /// One candidate's planning state inside a heuristic invocation (shared by
@@ -70,7 +117,7 @@ pub struct HeuristicCtx<'a> {
     pub now: f64,
     /// Tasks allowed to participate: active, not the faulty task, and not
     /// inside a previous redistribution window (`tlastR_i ≤ now`).
-    pub eligible: &'a [TaskId],
+    pub eligible: EligibleSet<'a>,
     /// Reusable planning buffers.
     pub scratch: &'a mut PolicyScratch,
     /// Ablation flag: when true, the faulty task's candidate finish times
@@ -99,6 +146,39 @@ pub struct Plan {
 }
 
 impl HeuristicCtx<'_> {
+    /// Whether task `i` participates in this decision (see
+    /// [`EligibleSet`]). For a `Live` view the check reads the pack state;
+    /// for a `Listed` view it scans the slice (reference replays only).
+    #[must_use]
+    pub fn is_eligible(&self, i: TaskId) -> bool {
+        match self.eligible {
+            EligibleSet::Listed(list) => list.contains(&i),
+            EligibleSet::Live { skip, min_t_u } => {
+                let rt = self.state.runtime(i);
+                Some(i) != skip
+                    && !rt.done
+                    && self.state.is_started(i)
+                    && rt.t_last_r <= self.now
+                    && rt.t_u >= min_t_u
+            }
+        }
+    }
+
+    /// Visits every eligible task in ascending-id order (the deterministic
+    /// list order all heuristics assume).
+    pub fn for_each_eligible(&self, mut f: impl FnMut(TaskId)) {
+        match self.eligible {
+            EligibleSet::Listed(list) => list.iter().copied().for_each(f),
+            EligibleSet::Live { .. } => {
+                for i in 0..self.state.num_tasks() {
+                    if self.is_eligible(i) {
+                        f(i);
+                    }
+                }
+            }
+        }
+    }
+
     /// Remaining fraction of work of a *non-faulty* task measured at `now`
     /// (the `α^t_i` of Algorithms 3–5): the stored `α_i` minus the progress
     /// since the task's anchor, clamped to `[0, α_i]`.
@@ -146,11 +226,10 @@ impl HeuristicCtx<'_> {
             return rt.t_last_r + self.calc.remaining(i, cand, rt.alpha);
         }
         let overhead = if faulty { self.fault_overhead(i, sigma_init) } else { 0.0 };
-        self.now
-            + overhead
-            + self.calc.rc_cost(i, sigma_init, cand)
-            + self.calc.checkpoint_cost(i, cand)
-            + self.calc.remaining(i, cand, alpha_t)
+        // Single parameter fetch for (C, remaining); the addition order is
+        // exactly the historical `rc + C + remaining` chain.
+        let (ckpt, remaining) = self.calc.ckpt_and_remaining(i, cand, alpha_t);
+        self.now + overhead + self.calc.rc_cost(i, sigma_init, cand) + ckpt + remaining
     }
 
     /// Applies a set of plans: shrinks first (to refill the free pool), then
@@ -247,7 +326,7 @@ mod tests {
             state,
             trace,
             now,
-            eligible,
+            eligible: EligibleSet::Listed(eligible),
             scratch,
             pseudocode_fault_bias: false,
             redistributions: count,
@@ -339,7 +418,7 @@ mod tests {
             state: &mut state,
             trace: &mut trace,
             now: 1000.0,
-            eligible: &eligible,
+            eligible: EligibleSet::Listed(&eligible),
             scratch: &mut scratch,
             pseudocode_fault_bias: true,
             redistributions: &mut count,

@@ -20,7 +20,7 @@ use redistrib_sim::dist::FaultLaw;
 use redistrib_sim::faults::FaultSource;
 use redistrib_sim::trace::{TraceEvent, TraceLog};
 
-use crate::ctx::{HeuristicCtx, PolicyScratch};
+use crate::ctx::{EligibleSet, HeuristicCtx, PolicyScratch};
 use crate::error::ScheduleError;
 use crate::optimal::optimal_schedule;
 use crate::policies::{EndPolicy, FaultPolicy};
@@ -48,6 +48,11 @@ pub struct EngineConfig {
     /// omits downtime + recovery from the faulty task's candidate finish
     /// times (biasing toward redistribution). Default `false` (§3.3.2 text).
     pub pseudocode_fault_bias: bool,
+    /// Run the policies through the from-scratch reference path (an
+    /// eligible list materialized per event) instead of the incremental
+    /// live view. Slower; kept for equivalence testing — outcomes are
+    /// byte-identical by construction.
+    pub reference_policies: bool,
     /// Safety cap on processed events.
     pub max_events: u64,
 }
@@ -58,6 +63,7 @@ impl Default for EngineConfig {
             faults: None,
             record_trace: false,
             pseudocode_fault_bias: false,
+            reference_policies: false,
             max_events: 100_000_000,
         }
     }
@@ -169,18 +175,25 @@ pub fn run(
             state.complete(end_task, t_end);
             trace.push(TraceEvent::TaskEnd { time: t_end, task: end_task });
             if state.active_count() > 0 && state.free_count() >= 2 && !end_policy.is_noop() {
-                // Exclude tasks still inside a previous redistribution
-                // window (Algorithm 2 line 15).
-                eligible.clear();
-                eligible.extend(
-                    state.active_tasks().filter(|&i| state.runtime(i).t_last_r <= t_end),
-                );
+                // Participants exclude tasks still inside a previous
+                // redistribution window (Algorithm 2 line 15) — derived
+                // lazily by the incremental policies, or materialized here
+                // for the reference path.
+                let eligible_set = if cfg.reference_policies {
+                    eligible.clear();
+                    eligible.extend(
+                        state.active_tasks().filter(|&i| state.runtime(i).t_last_r <= t_end),
+                    );
+                    EligibleSet::Listed(&eligible)
+                } else {
+                    EligibleSet::live()
+                };
                 let mut ctx = HeuristicCtx {
                     calc,
                     state: &mut state,
                     trace: &mut trace,
                     now: t_end,
-                    eligible: &eligible,
+                    eligible: eligible_set,
                     scratch: &mut scratch,
                     pseudocode_fault_bias: cfg.pseudocode_fault_bias,
                     redistributions: &mut redistributions,
@@ -233,11 +246,10 @@ pub fn run(
             trace.push(TraceEvent::Fault { time: t, proc: fault.proc, task: f });
 
             // Tasks that finish during the recovery window complete now and
-            // release their processors (Algorithm 2 line 28).
-            finishing.clear();
-            finishing.extend(
-                state.active_tasks().filter(|&i| i != f && state.runtime(i).t_u < anchor),
-            );
+            // release their processors (Algorithm 2 line 28). The faulty
+            // task's own finish time is ≥ `anchor` by construction, so the
+            // queue drain never returns it.
+            state.drain_ending_before(anchor, &mut finishing);
             for &i in &finishing {
                 let tu = state.runtime(i).t_u;
                 state.complete(i, tu);
@@ -245,21 +257,28 @@ pub fn run(
             }
 
             // Invoke the fault policy only if the faulty task is now the
-            // longest (Algorithm 2 line 30).
+            // longest (Algorithm 2 line 30) — an O(1) amortized
+            // latest-queue peek instead of a linear scan.
             let tu_f = state.runtime(f).t_u;
-            let is_longest =
-                state.active_tasks().all(|i| i == f || state.runtime(i).t_u <= tu_f);
+            let is_longest = state.none_later_than(tu_f);
             if is_longest && !fault_policy.is_noop() {
-                eligible.clear();
-                eligible.extend(
-                    state.active_tasks().filter(|&i| i != f && state.runtime(i).t_last_r <= t),
-                );
+                let eligible_set = if cfg.reference_policies {
+                    eligible.clear();
+                    eligible.extend(
+                        state
+                            .active_tasks()
+                            .filter(|&i| i != f && state.runtime(i).t_last_r <= t),
+                    );
+                    EligibleSet::Listed(&eligible)
+                } else {
+                    EligibleSet::live_fault(f, f64::NEG_INFINITY)
+                };
                 let mut ctx = HeuristicCtx {
                     calc,
                     state: &mut state,
                     trace: &mut trace,
                     now: t,
-                    eligible: &eligible,
+                    eligible: eligible_set,
                     scratch: &mut scratch,
                     pseudocode_fault_bias: cfg.pseudocode_fault_bias,
                     redistributions: &mut redistributions,

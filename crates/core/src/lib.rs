@@ -26,15 +26,17 @@ pub mod engine;
 pub mod error;
 pub mod exact;
 pub mod heap;
+pub mod incremental;
 pub mod npc;
 pub mod optimal;
 pub mod policies;
 pub mod state;
 
-pub use ctx::{HeuristicCtx, Plan, PlanEntry, PolicyScratch};
+pub use ctx::{EligibleSet, HeuristicCtx, Plan, PlanEntry, PolicyScratch};
 pub use engine::{run, EngineConfig, FaultConfig, RunOutcome};
 pub use error::ScheduleError;
 pub use heap::{LazyMaxHeap, LazyMinHeap};
+pub use incremental::{IncrementalState, SessionOverlay};
 pub use optimal::optimal_schedule;
 pub use policies::{
     greedy_rebuild, EndGreedy, EndLocal, EndPolicy, FaultPolicy, Heuristic, IteratedGreedy,

@@ -10,6 +10,14 @@
 //! checkpoint — and, for the faulty task, downtime and recovery (§3.3.2
 //! text; the literal pseudocode omits the latter, see
 //! `pseudocode_fault_bias`).
+//!
+//! Unlike `EndLocal` and `ShortestTasksFirst`, the greedy rebuild has no
+//! cheaper incremental form: Algorithm 5 *resets every participant* to two
+//! processors, so its per-event work is inherently `Θ(participants +
+//! pairs granted)` — already bounded by the tasks the decision touches.
+//! The incremental engine still avoids the per-event eligible-list
+//! materialization by deriving the participant set lazily from the pack
+//! state ([`HeuristicCtx::for_each_eligible`]).
 
 use redistrib_model::TaskId;
 
@@ -23,14 +31,16 @@ use super::{EndPolicy, FaultPolicy};
 pub fn greedy_rebuild(ctx: &mut HeuristicCtx<'_>, faulty: Option<TaskId>) {
     let mut entries = std::mem::take(&mut ctx.scratch.entries);
     entries.clear();
-    entries.extend(ctx.eligible.iter().map(|&i| PlanEntry {
-        task: i,
-        sigma_init: ctx.state.sigma(i),
-        sigma: 0,
-        alpha_t: 0.0,
-        t_u: 0.0,
-        faulty: false,
-    }));
+    ctx.for_each_eligible(|i| {
+        entries.push(PlanEntry {
+            task: i,
+            sigma_init: ctx.state.sigma(i),
+            sigma: 0,
+            alpha_t: 0.0,
+            t_u: 0.0,
+            faulty: false,
+        });
+    });
     if let Some(f) = faulty {
         entries.push(PlanEntry {
             task: f,
@@ -71,12 +81,18 @@ pub fn greedy_rebuild(ctx: &mut HeuristicCtx<'_>, faulty: Option<TaskId>) {
             (e.task, e.sigma_init, e.sigma, e.alpha_t, e.faulty)
         };
 
-        // First strictly improving candidate in (σ, σ + available].
+        // First strictly improving candidate in (σ, σ + available]. The
+        // first evaluation (σ + 2) doubles as the post-grant finish time —
+        // the grant is always one pair.
         let pmax = sigma + available;
         let mut improvable = false;
         let mut cand = sigma + 2;
+        let mut te_first = f64::INFINITY;
         while cand <= pmax {
             let te = ctx.candidate_finish(task, sigma_init, cand, alpha_t, is_faulty);
+            if cand == sigma + 2 {
+                te_first = te;
+            }
             if te < t_u {
                 improvable = true;
                 break;
@@ -87,9 +103,8 @@ pub fn greedy_rebuild(ctx: &mut HeuristicCtx<'_>, faulty: Option<TaskId>) {
         if improvable {
             entries[head].sigma += 2;
             available -= 2;
-            let new_tu = ctx.candidate_finish(task, sigma_init, sigma + 2, alpha_t, is_faulty);
-            entries[head].t_u = new_tu;
-            list.update(head, new_tu);
+            entries[head].t_u = te_first;
+            list.update(head, te_first);
         } else {
             // The longest task cannot improve: stop allocating entirely
             // (Algorithm 5 line 30).
@@ -166,7 +181,7 @@ mod tests {
             state,
             trace: &mut trace,
             now,
-            eligible: &eligible,
+            eligible: crate::ctx::EligibleSet::Listed(&eligible),
             scratch: &mut scratch,
             pseudocode_fault_bias: false,
             redistributions: &mut count,
@@ -249,7 +264,7 @@ mod tests {
             state: &mut state,
             trace: &mut trace,
             now: 10.0,
-            eligible: &eligible,
+            eligible: crate::ctx::EligibleSet::Listed(&eligible),
             scratch: &mut scratch,
             pseudocode_fault_bias: false,
             redistributions: &mut count,
@@ -271,7 +286,7 @@ mod tests {
             state: &mut state,
             trace: &mut trace,
             now: 1000.0,
-            eligible: &eligible,
+            eligible: crate::ctx::EligibleSet::Listed(&eligible),
             scratch: &mut scratch,
             pseudocode_fault_bias: false,
             redistributions: &mut count,

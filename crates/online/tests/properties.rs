@@ -152,4 +152,35 @@ proptest! {
         prop_assert!(out.metrics.utilization <= 1.0 + 1e-9,
             "utilization {} above 1", out.metrics.utilization);
     }
+
+    /// Incremental ≡ reference on the online engine: arrival, completion
+    /// and fault decisions through the live-view policy paths produce the
+    /// same event log as the materialized-list reference paths, over
+    /// random arrival streams, platforms and strategies.
+    #[test]
+    fn incremental_equals_reference_online(
+        seed in any::<u64>(),
+        n_jobs in 2..10usize,
+        extra_pairs in 0..10u32,
+        mtbf_years in 2.0..12.0f64,
+        strategy_idx in 0..4usize,
+    ) {
+        let p = 8 + 2 * extra_pairs;
+        let strategy = STRATEGIES[strategy_idx]();
+        let mut arrivals = PoissonArrivals::new(seed, 5_000.0);
+        let jobs = generate_jobs(&mut arrivals, n_jobs, &JobSizeModel::paper_default(), seed);
+        let platform = Platform::with_mtbf(p, units::years(mtbf_years));
+        let base = OnlineConfig::with_faults(seed ^ 0xFA17, platform.proc_mtbf).recording();
+        let speedup = Arc::new(PaperModel::default());
+        let a = run_online(&jobs, speedup.clone(), platform, &strategy, &base)
+            .expect("incremental run completes");
+        let reference = OnlineConfig { reference_policies: true, ..base };
+        let b = run_online(&jobs, speedup, platform, &strategy, &reference)
+            .expect("reference run completes");
+        prop_assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+        prop_assert_eq!(a.handled_faults, b.handled_faults);
+        prop_assert_eq!(a.discarded_faults, b.discarded_faults);
+        prop_assert_eq!(a.redistributions, b.redistributions);
+        prop_assert_eq!(a.trace.to_csv(), b.trace.to_csv(), "online event logs diverge");
+    }
 }

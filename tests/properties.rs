@@ -7,7 +7,7 @@ use std::sync::Arc;
 use proptest::prelude::*;
 
 use redistrib::core::exact::optimal_no_redistribution;
-use redistrib::core::{PackState, PolicyScratch};
+use redistrib::core::{EligibleSet, PackState, PolicyScratch};
 use redistrib::graph::{color_bipartite, is_proper, transfer_graph};
 use redistrib::prelude::*;
 use redistrib::sim::units;
@@ -313,7 +313,7 @@ proptest! {
                 state,
                 trace: &mut trace,
                 now: 1000.0,
-                eligible: &eligible,
+                eligible: EligibleSet::Listed(&eligible),
                 scratch,
                 pseudocode_fault_bias: false,
                 redistributions: &mut count,
