@@ -9,7 +9,7 @@ use std::time::Duration;
 use redistrib_core::Heuristic;
 use redistrib_model::{JobSpec, PaperModel, Platform};
 use redistrib_online::{
-    generate_jobs, run_online, JobSizeModel, OnlineConfig, OnlineStrategy, PoissonArrivals,
+    generate_jobs, JobSizeModel, OnlineConfig, OnlineStrategy, PoissonArrivals, Scheduler,
 };
 use redistrib_sim::units;
 
@@ -38,14 +38,12 @@ fn bench_online_runs(c: &mut Criterion) {
             &strategy,
             |b, strategy| {
                 b.iter(|| {
-                    let out = run_online(
-                        &jobs,
-                        Arc::new(PaperModel::default()),
-                        platform,
-                        strategy,
-                        &OnlineConfig::with_faults(9, platform.proc_mtbf),
-                    )
-                    .unwrap();
+                    let out = Scheduler::on(platform)
+                        .speedup(Arc::new(PaperModel::default()))
+                        .strategy(*strategy)
+                        .config(OnlineConfig::with_faults(9, platform.proc_mtbf))
+                        .run(&jobs)
+                        .unwrap();
                     black_box(out.metrics.mean_stretch)
                 });
             },

@@ -14,8 +14,8 @@ use redistrib_core::{run, EngineConfig, Heuristic};
 use redistrib_model::PaperModel;
 use redistrib_model::TimeCalc;
 use redistrib_online::{
-    generate_jobs, run_online, ArrivalProcess, BurstyArrivals, JobSizeModel, OnlineConfig,
-    OnlineOutcome, OnlineStrategy, PoissonArrivals,
+    generate_jobs, ArrivalProcess, BurstyArrivals, JobSizeModel, OnlineConfig, OnlineOutcome,
+    OnlineStrategy, PackPartitioner, PackStaging, PoissonArrivals, Scheduler,
 };
 use std::sync::Arc;
 
@@ -28,7 +28,12 @@ fn online_run(
     let jobs = generate_jobs(arrivals, n_jobs, &JobSizeModel::paper_default(), seed);
     let platform = platform_with_mtbf(24, 5.0);
     let cfg = OnlineConfig::with_faults(seed ^ 0xBEEF, platform.proc_mtbf).recording();
-    run_online(&jobs, Arc::new(PaperModel::default()), platform, strategy, &cfg).unwrap()
+    Scheduler::on(platform)
+        .speedup(Arc::new(PaperModel::default()))
+        .strategy(*strategy)
+        .config(cfg)
+        .run(&jobs)
+        .unwrap()
 }
 
 fn main() {
@@ -85,6 +90,38 @@ fn main() {
                 out.makespan, out.handled_faults, out.redistributions,
                 fnv(out.trace.to_csv().as_bytes())
             );
+        }
+    }
+
+    // Multi-pack staging: a burst oversubscribes the platform
+    // (2·waiting > p), so the session partitions the backlog into
+    // consecutive packs and drains them pack-by-pack.
+    for seed in [5u64, 31] {
+        for (pname, partitioner) in
+            [("chunks", PackPartitioner::CapacityChunks), ("lpt", PackPartitioner::LptBalanced)]
+        {
+            for (sname, strategy) in [
+                ("no-resize", OnlineStrategy::no_resize()),
+                ("IG-EL+arr", OnlineStrategy::resizing(Heuristic::IteratedGreedyEndLocal)),
+            ] {
+                let mut bursty = BurstyArrivals::new(seed, 12, 60_000.0);
+                let jobs = generate_jobs(&mut bursty, 24, &JobSizeModel::paper_default(), seed);
+                let platform = platform_with_mtbf(16, 5.0);
+                let cfg =
+                    OnlineConfig::with_faults(seed ^ 0xBEEF, platform.proc_mtbf).recording();
+                let out = Scheduler::on(platform)
+                    .speedup(Arc::new(PaperModel::default()))
+                    .strategy(strategy)
+                    .config(cfg)
+                    .staging(PackStaging::Oversubscribed { partitioner })
+                    .run(&jobs)
+                    .unwrap();
+                println!(
+                    "multipack seed={seed} part={pname} s={sname} mk={:.17e} faults={} rc={} packs={} csv_hash={:x}",
+                    out.makespan, out.handled_faults, out.redistributions, out.packs.len(),
+                    fnv(out.trace.to_csv().as_bytes())
+                );
+            }
         }
     }
 }

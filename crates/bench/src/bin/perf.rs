@@ -20,8 +20,11 @@ use redistrib_experiments::online::campaign_strategies;
 use redistrib_experiments::runner::{run_point, PointConfig, Variant};
 use redistrib_experiments::workload::WorkloadParams;
 use redistrib_experiments::{run_online_point, OnlinePointConfig};
-use redistrib_model::TimeCalc;
-use redistrib_online::JobSizeModel;
+use redistrib_model::{PaperModel, TimeCalc};
+use redistrib_online::{
+    generate_jobs, BurstyArrivals, JobSizeModel, OnlineConfig, OnlineStrategy, PackStaging,
+    Scheduler,
+};
 
 /// Times `f` under a wall-clock budget: one warm-up call, then iterations
 /// until the budget elapses (at least one), returning `(mean_secs, iters)`.
@@ -230,6 +233,26 @@ fn main() {
             };
             let stats = run_online_point(&cfg, &campaign_strategies()).unwrap();
             std::hint::black_box(stats[1].stretch_ratio);
+        }),
+    );
+
+    // Multi-pack oversubscription: bursts of 16 jobs on p = 16 processors
+    // (2·waiting > p) force the session to stage consecutive packs, so the
+    // staging/partitioning/pack-rotation path dominates.
+    record(
+        "session_multipack_j64_p16",
+        time_budgeted(budget, || {
+            let mut arrivals = BurstyArrivals::new(5, 16, 50_000.0);
+            let jobs = generate_jobs(&mut arrivals, 64, &JobSizeModel::paper_default(), 5);
+            let platform = platform_with_mtbf(16, 10.0);
+            let out = Scheduler::on(platform)
+                .speedup(std::sync::Arc::new(PaperModel::default()))
+                .strategy(OnlineStrategy::resizing(Heuristic::IteratedGreedyEndLocal))
+                .config(OnlineConfig::with_faults(9, platform.proc_mtbf))
+                .staging(PackStaging::oversubscribed())
+                .run(&jobs)
+                .unwrap();
+            std::hint::black_box((out.makespan, out.packs.len()));
         }),
     );
 

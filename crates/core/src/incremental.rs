@@ -21,7 +21,7 @@
 //!
 //! Correctness is enforced the same way PR 2 guarded the heap/scan swap: in
 //! debug builds every incremental decision is replayed from scratch on a
-//! cloned pack state ([`CrossCheck`]) and the resulting assignment is
+//! cloned pack state (the crate-private `CrossCheck`) and the assignment is
 //! compared field-for-field, keeping seeded runs byte-identical by
 //! construction.
 

@@ -10,8 +10,8 @@
 use redistrib_core::{Heuristic, ScheduleError};
 use redistrib_model::{JobSpec, PaperModel, Platform};
 use redistrib_online::{
-    generate_jobs, run_online, JobSizeModel, OnlineConfig, OnlineOutcome, OnlineStrategy,
-    PoissonArrivals,
+    generate_jobs, JobSizeModel, OnlineConfig, OnlineOutcome, OnlineStrategy, PoissonArrivals,
+    Scheduler,
 };
 use redistrib_sim::stats::Welford;
 use redistrib_sim::units;
@@ -97,7 +97,7 @@ pub fn campaign_strategies() -> Vec<OnlineStrategy> {
     v
 }
 
-/// Executes one strategy on one prepared run.
+/// Executes one strategy on one prepared run through the session builder.
 fn execute(
     cfg: &OnlinePointConfig,
     jobs: &[JobSpec],
@@ -105,13 +105,11 @@ fn execute(
     strategy: &OnlineStrategy,
 ) -> Result<OnlineOutcome, ScheduleError> {
     let platform = cfg.platform();
-    run_online(
-        jobs,
-        std::sync::Arc::new(PaperModel::new(cfg.seq_fraction)),
-        platform,
-        strategy,
-        &OnlineConfig::with_faults(fault_seed, platform.proc_mtbf),
-    )
+    Scheduler::on(platform)
+        .speedup(std::sync::Arc::new(PaperModel::new(cfg.seq_fraction)))
+        .strategy(*strategy)
+        .config(OnlineConfig::with_faults(fault_seed, platform.proc_mtbf))
+        .run(jobs)
 }
 
 /// Per-strategy reduction of one run: `(mean_stretch, makespan,

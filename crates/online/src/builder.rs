@@ -1,0 +1,311 @@
+//! The [`Scheduler`] builder: one place to configure platform, speedup
+//! profile, redistribution strategy, fault injection, recording flags and
+//! multi-pack staging, yielding stepped [`Session`]s over any job stream.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use redistrib_core::Heuristic;
+//! use redistrib_model::{PaperModel, Platform};
+//! use redistrib_online::{
+//!     generate_jobs, JobSizeModel, OnlineStrategy, PoissonArrivals, Scheduler,
+//! };
+//!
+//! let mut arrivals = PoissonArrivals::new(42, 20_000.0);
+//! let jobs = generate_jobs(&mut arrivals, 10, &JobSizeModel::paper_default(), 42);
+//! let platform = Platform::new(32);
+//!
+//! let outcome = Scheduler::on(platform)
+//!     .speedup(Arc::new(PaperModel::default()))
+//!     .strategy(OnlineStrategy::resizing(Heuristic::IteratedGreedyEndLocal))
+//!     .faults(7, platform.proc_mtbf)
+//!     .session(&jobs)
+//!     .unwrap()
+//!     .run_to_completion()
+//!     .unwrap();
+//! assert_eq!(outcome.jobs.len(), 10);
+//! ```
+
+use std::sync::Arc;
+
+use redistrib_core::{FaultConfig, Heuristic, ScheduleError};
+use redistrib_model::{
+    ExecutionMode, JobSpec, PaperModel, Platform, SpeedupModel, TimeCalc, Workload,
+};
+use redistrib_sim::dist::FaultLaw;
+use redistrib_sim::faults::FaultSource;
+
+use crate::arrival::{generate_jobs, ArrivalProcess, JobSizeModel};
+use crate::packset::{PackSetState, PackStaging};
+use crate::session::{OnlineOutcome, Session};
+
+/// Resizing strategy of the online scheduler: which static-engine policies
+/// run at completion and fault events, and whether arrivals trigger a
+/// global rebalance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OnlineStrategy {
+    /// Policy combination reused from the static engine (`end_policy()`
+    /// runs at completions, `fault_policy()` at faults).
+    pub heuristic: Heuristic,
+    /// Whether arrivals trigger a greedy rebuild of the running set.
+    pub rebalance_on_arrival: bool,
+}
+
+impl OnlineStrategy {
+    /// Baseline: allocations never change after a job starts.
+    #[must_use]
+    pub fn no_resize() -> Self {
+        Self { heuristic: Heuristic::NoRedistribution, rebalance_on_arrival: false }
+    }
+
+    /// Full malleable resizing with the given heuristic combination plus
+    /// arrival-time rebalancing.
+    #[must_use]
+    pub fn resizing(heuristic: Heuristic) -> Self {
+        Self { heuristic, rebalance_on_arrival: true }
+    }
+
+    /// Display name.
+    #[must_use]
+    pub fn name(&self) -> String {
+        if self.rebalance_on_arrival {
+            format!("{}+arrival", self.heuristic.name())
+        } else {
+            self.heuristic.name().to_string()
+        }
+    }
+}
+
+/// Engine configuration (mirrors the static `EngineConfig`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineConfig {
+    /// Fault injection; `None` simulates a failure-free platform.
+    pub faults: Option<FaultConfig>,
+    /// Record the full event trace.
+    pub record_trace: bool,
+    /// Run the policies through the from-scratch reference path (an
+    /// eligible list materialized per event) instead of the incremental
+    /// live view. Slower; kept for equivalence testing — outcomes are
+    /// byte-identical by construction.
+    pub reference_policies: bool,
+    /// Safety cap on processed events.
+    pub max_events: u64,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        Self {
+            faults: None,
+            record_trace: false,
+            reference_policies: false,
+            max_events: 100_000_000,
+        }
+    }
+}
+
+impl OnlineConfig {
+    /// Failure-free configuration.
+    #[must_use]
+    pub fn fault_free() -> Self {
+        Self::default()
+    }
+
+    /// Exponential faults with the given per-processor MTBF (seconds),
+    /// seeded for replay.
+    #[must_use]
+    pub fn with_faults(seed: u64, proc_mtbf: f64) -> Self {
+        Self {
+            faults: Some(FaultConfig { seed, law: FaultLaw::Exponential { mtbf: proc_mtbf } }),
+            ..Self::default()
+        }
+    }
+
+    /// Enables trace recording.
+    #[must_use]
+    pub fn recording(mut self) -> Self {
+        self.record_trace = true;
+        self
+    }
+
+    /// Whether runs under this configuration are fault-aware (unified with
+    /// the multi-pack `execution_mode` marker of `redistrib-packs`).
+    #[must_use]
+    pub fn execution_mode(&self) -> ExecutionMode {
+        if self.faults.is_some() {
+            ExecutionMode::FaultAware
+        } else {
+            ExecutionMode::FaultFree
+        }
+    }
+}
+
+/// Builder of online [`Session`]s: platform, speedup profile,
+/// redistribution strategy, fault injection, recording flags and pack
+/// staging, assembled once and reusable across job streams.
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    platform: Platform,
+    speedup: Arc<dyn SpeedupModel>,
+    strategy: OnlineStrategy,
+    config: OnlineConfig,
+    staging: PackStaging,
+}
+
+impl Scheduler {
+    /// Starts a builder for the given platform. Defaults: the paper's
+    /// speedup profile, the no-resize strategy, a fault-free
+    /// non-recording configuration, flat-FIFO admission.
+    #[must_use]
+    pub fn on(platform: Platform) -> Self {
+        Self {
+            platform,
+            speedup: Arc::new(PaperModel::default()),
+            strategy: OnlineStrategy::no_resize(),
+            config: OnlineConfig::default(),
+            staging: PackStaging::FlatFifo,
+        }
+    }
+
+    /// Sets the speedup profile shared by all jobs.
+    #[must_use]
+    pub fn speedup(mut self, speedup: Arc<dyn SpeedupModel>) -> Self {
+        self.speedup = speedup;
+        self
+    }
+
+    /// Sets the resizing strategy.
+    #[must_use]
+    pub fn strategy(mut self, strategy: OnlineStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Replaces the whole engine configuration.
+    #[must_use]
+    pub fn config(mut self, config: OnlineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Enables exponential fault injection (per-processor MTBF in seconds,
+    /// seeded for replay).
+    #[must_use]
+    pub fn faults(mut self, seed: u64, proc_mtbf: f64) -> Self {
+        self.config.faults =
+            Some(FaultConfig { seed, law: FaultLaw::Exponential { mtbf: proc_mtbf } });
+        self
+    }
+
+    /// Disables fault injection.
+    #[must_use]
+    pub fn fault_free(mut self) -> Self {
+        self.config.faults = None;
+        self
+    }
+
+    /// Enables event-trace recording.
+    #[must_use]
+    pub fn recording(mut self) -> Self {
+        self.config.record_trace = true;
+        self
+    }
+
+    /// Routes policies through the from-scratch reference path
+    /// (equivalence testing).
+    #[must_use]
+    pub fn reference_policies(mut self) -> Self {
+        self.config.reference_policies = true;
+        self
+    }
+
+    /// Sets the safety cap on processed events.
+    #[must_use]
+    pub fn max_events(mut self, max_events: u64) -> Self {
+        self.config.max_events = max_events;
+        self
+    }
+
+    /// Sets the multi-pack staging mode of the admission layer.
+    #[must_use]
+    pub fn staging(mut self, staging: PackStaging) -> Self {
+        self.staging = staging;
+        self
+    }
+
+    /// Whether sessions built here are fault-aware.
+    #[must_use]
+    pub fn execution_mode(&self) -> ExecutionMode {
+        self.config.execution_mode()
+    }
+
+    /// Builds a session over an explicit job stream. Job `i` of `jobs`
+    /// keeps the id `i` throughout (trace records, stats); jobs are
+    /// processed in release order (ties by submission index).
+    ///
+    /// # Errors
+    /// [`ScheduleError::InsufficientProcessors`] if the platform has fewer
+    /// than two processors (the buddy-checkpointing minimum per job).
+    ///
+    /// # Panics
+    /// Panics if `jobs` is empty.
+    pub fn session(&self, jobs: &[JobSpec]) -> Result<Session, ScheduleError> {
+        assert!(!jobs.is_empty(), "an online run needs at least one job");
+        let p = self.platform.num_procs;
+        if p < 2 {
+            return Err(ScheduleError::InsufficientProcessors { needed: 2, available: p });
+        }
+        let workload = Workload::from_jobs(jobs, self.speedup.clone());
+        let calc = if self.config.faults.is_some() {
+            TimeCalc::new(workload, self.platform)
+        } else {
+            TimeCalc::fault_free(workload, self.platform)
+        };
+        let faults = self.config.faults.map(|fc| FaultSource::new(fc.seed, p, fc.law));
+        let staging = match self.staging {
+            PackStaging::FlatFifo => None,
+            PackStaging::Oversubscribed { partitioner } => Some(PackSetState::new(partitioner)),
+        };
+        Ok(Session::new(
+            jobs.to_vec(),
+            self.speedup.clone(),
+            p,
+            self.strategy,
+            calc,
+            faults,
+            self.config.record_trace,
+            self.config.reference_policies,
+            self.config.max_events,
+            staging,
+        ))
+    }
+
+    /// Builds a session over a generated job stream: release times from
+    /// `process`, sizes drawn from `sizes` under `seed` — the arrival
+    /// source, plugged straight into the builder.
+    ///
+    /// # Errors
+    /// Same as [`Scheduler::session`].
+    ///
+    /// # Panics
+    /// Panics if the process yields no job (exhausted trace).
+    pub fn arrivals(
+        &self,
+        process: &mut dyn ArrivalProcess,
+        n: usize,
+        sizes: &JobSizeModel,
+        seed: u64,
+    ) -> Result<Session, ScheduleError> {
+        let jobs = generate_jobs(process, n, sizes, seed);
+        self.session(&jobs)
+    }
+
+    /// Convenience: builds a session over `jobs` and drains it.
+    ///
+    /// # Errors
+    /// Propagates [`Scheduler::session`] and [`Session::step`] errors.
+    ///
+    /// # Panics
+    /// Panics if `jobs` is empty.
+    pub fn run(&self, jobs: &[JobSpec]) -> Result<OnlineOutcome, ScheduleError> {
+        self.session(jobs)?.run_to_completion()
+    }
+}

@@ -1,450 +1,21 @@
-//! Event-driven online co-scheduling engine.
+//! Legacy one-shot entry point of the online engine.
 //!
-//! Turns the static single-pack engine (Algorithm 2) into an *online*
-//! scheduler: jobs are released over time, queue for admission, and the
-//! processor assignment is re-formed dynamically on the three online event
-//! kinds —
-//!
-//! * **arrival** — the job enters a FIFO admission queue; the admission
-//!   layer starts it as soon as two processors are free, granting it its
-//!   best even allocation within a fair share of the free pool (the
-//!   Algorithm 1 improvement scan, applied to one job). With
-//!   [`OnlineStrategy::rebalance_on_arrival`], the whole running set is
-//!   then rebuilt greedily ([`greedy_rebuild`], the `IteratedGreedy` /
-//!   `EndGreedy` core), which both shrinks past-sweet-spot jobs to make
-//!   room and shares processors with the newcomer;
-//! * **completion** — the finished job's processors first admit queued jobs
-//!   (queue priority prevents starvation), then the configured
-//!   [`EndPolicy`] (`EndLocal` / `EndGreedy`) redistributes the remainder;
-//! * **fault** — identical rollback bookkeeping to the static engine
-//!   (checkpoint rewind, downtime, recovery, protected windows), then the
-//!   configured [`FaultPolicy`] (`ShortestTasksFirst` / `IteratedGreedy`)
-//!   rebalances toward the struck job if it became the longest. Jobs due
-//!   to finish inside the recovery window are excluded from the donor set
-//!   (as in Algorithm 2) but complete as ordinary end events, keeping the
-//!   event log globally time-ordered.
-//!
-//! Everything is deterministic: same job stream, same fault seed, same
-//! strategy ⇒ a byte-identical event log ([`OnlineOutcome::trace`]).
+//! PR 4 redesigned the execution API around an explicit, stepped
+//! [`Session`](crate::Session) built by a [`Scheduler`];
+//! the monolithic [`run_online`] free function survives as a thin
+//! deprecated shim that builds a flat-FIFO session and drains it. The shim
+//! is *definitionally* byte-identical to the session path — it performs no
+//! work of its own — and the tests below pin its behavior (admission,
+//! queueing, fault handling, determinism) as a regression suite for the
+//! session underneath.
 
-use std::collections::{BTreeSet, VecDeque};
 use std::sync::Arc;
 
-use redistrib_core::policies::greedy_rebuild;
-use redistrib_core::{
-    EligibleSet, EndPolicy, FaultConfig, FaultPolicy, Heuristic, HeuristicCtx, PackState,
-    PolicyScratch, ScheduleError,
-};
-use redistrib_model::{JobSpec, Platform, SpeedupModel, TaskId, TimeCalc, Workload};
-use redistrib_sim::dist::FaultLaw;
-use redistrib_sim::faults::FaultSource;
-use redistrib_sim::trace::{TraceEvent, TraceLog};
+use redistrib_core::ScheduleError;
+use redistrib_model::{JobSpec, Platform, SpeedupModel};
 
-use crate::metrics::{JobStats, OnlineMetrics};
-
-/// Resizing strategy of the online scheduler: which static-engine policies
-/// run at completion and fault events, and whether arrivals trigger a
-/// global rebalance.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct OnlineStrategy {
-    /// Policy combination reused from the static engine (`end_policy()`
-    /// runs at completions, `fault_policy()` at faults).
-    pub heuristic: Heuristic,
-    /// Whether arrivals trigger a greedy rebuild of the running set.
-    pub rebalance_on_arrival: bool,
-}
-
-impl OnlineStrategy {
-    /// Baseline: allocations never change after a job starts.
-    #[must_use]
-    pub fn no_resize() -> Self {
-        Self { heuristic: Heuristic::NoRedistribution, rebalance_on_arrival: false }
-    }
-
-    /// Full malleable resizing with the given heuristic combination plus
-    /// arrival-time rebalancing.
-    #[must_use]
-    pub fn resizing(heuristic: Heuristic) -> Self {
-        Self { heuristic, rebalance_on_arrival: true }
-    }
-
-    /// Display name.
-    #[must_use]
-    pub fn name(&self) -> String {
-        if self.rebalance_on_arrival {
-            format!("{}+arrival", self.heuristic.name())
-        } else {
-            self.heuristic.name().to_string()
-        }
-    }
-}
-
-/// Engine configuration (mirrors the static `EngineConfig`).
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct OnlineConfig {
-    /// Fault injection; `None` simulates a failure-free platform.
-    pub faults: Option<FaultConfig>,
-    /// Record the full event trace.
-    pub record_trace: bool,
-    /// Run the policies through the from-scratch reference path (an
-    /// eligible list materialized per event) instead of the incremental
-    /// live view. Slower; kept for equivalence testing — outcomes are
-    /// byte-identical by construction.
-    pub reference_policies: bool,
-    /// Safety cap on processed events.
-    pub max_events: u64,
-}
-
-impl Default for OnlineConfig {
-    fn default() -> Self {
-        Self {
-            faults: None,
-            record_trace: false,
-            reference_policies: false,
-            max_events: 100_000_000,
-        }
-    }
-}
-
-impl OnlineConfig {
-    /// Failure-free configuration.
-    #[must_use]
-    pub fn fault_free() -> Self {
-        Self::default()
-    }
-
-    /// Exponential faults with the given per-processor MTBF (seconds),
-    /// seeded for replay.
-    #[must_use]
-    pub fn with_faults(seed: u64, proc_mtbf: f64) -> Self {
-        Self {
-            faults: Some(FaultConfig { seed, law: FaultLaw::Exponential { mtbf: proc_mtbf } }),
-            ..Self::default()
-        }
-    }
-
-    /// Enables trace recording.
-    #[must_use]
-    pub fn recording(mut self) -> Self {
-        self.record_trace = true;
-        self
-    }
-}
-
-/// Result of one online run.
-#[derive(Debug, Clone)]
-pub struct OnlineOutcome {
-    /// Completion time of the last job.
-    pub makespan: f64,
-    /// Per-job completion records, in submission order.
-    pub jobs: Vec<JobStats>,
-    /// Aggregate online metrics.
-    pub metrics: OnlineMetrics,
-    /// Faults that struck a running job and were handled.
-    pub handled_faults: u64,
-    /// Faults discarded (idle processor or protected window).
-    pub discarded_faults: u64,
-    /// Discarded faults inside a post-fault recovery window (§2.2 fatal
-    /// risk exposure).
-    pub fatal_risk_events: u64,
-    /// Committed reallocations.
-    pub redistributions: u64,
-    /// Admission-queue length after every queue change, `(time, length)`.
-    pub queue_series: Vec<(f64, usize)>,
-    /// Event trace (empty unless recording; includes the online
-    /// `job_arrival` / `job_start` / `job_queued` kinds).
-    pub trace: TraceLog,
-}
-
-/// Which static-engine policy entry point to invoke.
-enum PolicyCall {
-    /// `greedy_rebuild` over the eligible set (arrival rebalance).
-    Rebuild,
-    /// The strategy's end policy (completion).
-    End,
-    /// The strategy's fault policy toward the given faulty job.
-    Fault(TaskId),
-}
-
-/// Mutable simulation state of one online run.
-struct OnlineSim<'a> {
-    calc: TimeCalc,
-    state: PackState,
-    trace: TraceLog,
-    running: BTreeSet<TaskId>,
-    queue: VecDeque<TaskId>,
-    start: Vec<f64>,
-    completion: Vec<f64>,
-    recovery_until: Vec<f64>,
-    queue_series: Vec<(f64, usize)>,
-    redistributions: u64,
-    handled_faults: u64,
-    discarded_faults: u64,
-    fatal_risk_events: u64,
-    busy_proc_seconds: f64,
-    last_t: f64,
-    strategy: &'a OnlineStrategy,
-    end_policy: Box<dyn EndPolicy>,
-    fault_policy: Box<dyn FaultPolicy>,
-    /// From-scratch reference path toggle (equivalence testing).
-    reference_policies: bool,
-    /// Reusable event-loop buffers: steady-state events allocate nothing.
-    eligible_buf: Vec<TaskId>,
-    scratch: PolicyScratch,
-}
-
-impl OnlineSim<'_> {
-    /// Accrues the busy-processor integral up to `t`. Events are processed
-    /// in global time order, so `t ≥ last_t`; the clamp is a safety net.
-    fn advance(&mut self, t: f64) {
-        let dt = (t - self.last_t).max(0.0);
-        if dt > 0.0 {
-            self.busy_proc_seconds += f64::from(self.state.used_count()) * dt;
-            self.last_t = self.last_t.max(t);
-        }
-    }
-
-    /// Earliest expected completion among running jobs (ties toward the
-    /// lowest job id). `O(log n)` via the pack state's end-event queue:
-    /// queued jobs never enter it (their `t^U` is only set at start), so
-    /// the heap view coincides with the `running` set.
-    fn earliest_end(&mut self) -> Option<(TaskId, f64)> {
-        let picked = self.state.earliest_active();
-        debug_assert_eq!(
-            picked.map(|(i, _)| self.running.contains(&i)),
-            picked.map(|_| true),
-            "end-event queue returned a non-running job"
-        );
-        picked
-    }
-
-    /// Fills `into` with the jobs allowed to participate in a
-    /// redistribution at time `t`: running and not inside a previous
-    /// redistribution window. `skip` excludes the faulty job (handled
-    /// separately by fault policies).
-    fn fill_eligible(&self, t: f64, skip: Option<TaskId>, into: &mut Vec<TaskId>) {
-        into.clear();
-        into.extend(
-            self.running
-                .iter()
-                .copied()
-                .filter(|&i| Some(i) != skip && self.state.runtime(i).t_last_r <= t),
-        );
-    }
-
-    /// The admission layer's initial allocation for job `i`: the best even
-    /// allocation (Algorithm 1's improvement scan applied to one job)
-    /// within a fair share of the free pool.
-    fn admission_grant(&mut self, i: TaskId, waiting: usize) -> u32 {
-        let free = self.state.free_count();
-        debug_assert!(free >= 2 && waiting >= 1);
-        let share = free / waiting.max(1) as u32;
-        let cap = (share - share % 2).max(2);
-        let mut best_j = 2u32;
-        let mut best_t = self.calc.remaining(i, 2, 1.0);
-        let mut j = 4u32;
-        while j <= cap {
-            let t = self.calc.remaining(i, j, 1.0);
-            if t < best_t {
-                best_t = t;
-                best_j = j;
-            }
-            j += 2;
-        }
-        best_j
-    }
-
-    /// Starts job `i` at time `t` on its admission grant.
-    fn start_job(&mut self, i: TaskId, t: f64, waiting: usize) {
-        let grant = self.admission_grant(i, waiting);
-        self.state.grow(i, grant);
-        let remaining = self.calc.remaining(i, grant, 1.0);
-        let rt = self.state.runtime_mut(i);
-        rt.alpha = 1.0;
-        rt.t_last_r = t;
-        self.state.set_t_u(i, t + remaining);
-        self.running.insert(i);
-        self.start[i] = t;
-        self.trace.push(TraceEvent::JobStart { time: t, job: i, alloc: grant });
-    }
-
-    /// Admits queued jobs FIFO while at least two processors are free.
-    /// Returns how many jobs started.
-    fn admit_queued(&mut self, t: f64) -> usize {
-        let mut started = 0;
-        while self.state.free_count() >= 2 {
-            let waiting = self.queue.len();
-            let Some(i) = self.queue.pop_front() else { break };
-            self.start_job(i, t, waiting);
-            started += 1;
-            self.queue_series.push((t, self.queue.len()));
-        }
-        started
-    }
-
-    /// Builds the policy context once and dispatches the requested call —
-    /// the single spot where the online engine enters static-engine policy
-    /// code. No-op on an empty listed set (except fault policies, which
-    /// can act on the faulty job alone); the live view is handed through
-    /// as-is, the incremental policies derive membership themselves.
-    fn run_policy(&mut self, t: f64, eligible: EligibleSet<'_>, call: PolicyCall) {
-        if let EligibleSet::Listed(list) = eligible {
-            if list.is_empty() && !matches!(call, PolicyCall::Fault(_)) {
-                return;
-            }
-        }
-        let mut ctx = HeuristicCtx {
-            calc: &self.calc,
-            state: &mut self.state,
-            trace: &mut self.trace,
-            now: t,
-            eligible,
-            scratch: &mut self.scratch,
-            pseudocode_fault_bias: false,
-            redistributions: &mut self.redistributions,
-        };
-        match call {
-            PolicyCall::Rebuild => greedy_rebuild(&mut ctx, None),
-            PolicyCall::End => self.end_policy.on_task_end(&mut ctx),
-            PolicyCall::Fault(f) => self.fault_policy.on_fault(&mut ctx, f),
-        }
-    }
-
-    /// Runs a non-fault policy call over the jobs eligible at `t`: the
-    /// live view on the incremental path, or a materialized list on the
-    /// reference path.
-    fn run_policy_eligible(&mut self, t: f64, call: PolicyCall) {
-        if self.reference_policies {
-            let mut eligible = std::mem::take(&mut self.eligible_buf);
-            self.fill_eligible(t, None, &mut eligible);
-            self.run_policy(t, EligibleSet::Listed(&eligible), call);
-            self.eligible_buf = eligible;
-        } else {
-            self.run_policy(t, EligibleSet::live(), call);
-        }
-    }
-
-    /// Greedy rebuild of the running set (the `IteratedGreedy`/`EndGreedy`
-    /// core), used on arrivals.
-    fn rebuild(&mut self, t: f64) {
-        self.run_policy_eligible(t, PolicyCall::Rebuild);
-    }
-
-    /// Marks job `i` complete at `t` and releases its processors.
-    fn complete_job(&mut self, i: TaskId, t: f64) {
-        self.advance(t);
-        self.state.complete(i, t);
-        self.running.remove(&i);
-        self.completion[i] = t;
-        self.trace.push(TraceEvent::TaskEnd { time: t, task: i });
-    }
-
-    fn handle_arrival(&mut self, i: TaskId, t: f64) {
-        self.advance(t);
-        self.trace.push(TraceEvent::JobArrival { time: t, job: i });
-        if self.state.free_count() < 2 {
-            self.trace.push(TraceEvent::JobQueued { time: t, job: i });
-        }
-        self.queue.push_back(i);
-        self.queue_series.push((t, self.queue.len()));
-        // A tight pool may still hold past-sweet-spot allocations: shed
-        // them before trying to admit.
-        if self.strategy.rebalance_on_arrival
-            && self.state.free_count() < 2
-            && !self.running.is_empty()
-        {
-            self.rebuild(t);
-        }
-        let started = self.admit_queued(t);
-        if self.strategy.rebalance_on_arrival && started > 0 {
-            self.rebuild(t);
-            // The rebuild may have freed further pairs (jobs shrunk toward
-            // their sweet spots): give them to still-queued jobs.
-            self.admit_queued(t);
-        }
-    }
-
-    fn handle_end(&mut self, i: TaskId, t: f64) {
-        self.complete_job(i, t);
-        self.admit_queued(t);
-        if !self.running.is_empty()
-            && self.state.free_count() >= 2
-            && !self.end_policy.is_noop()
-        {
-            self.run_policy_eligible(t, PolicyCall::End);
-            // A greedy end policy may have shed processors: admit again.
-            self.admit_queued(t);
-        }
-        debug_assert!(self.state.check_invariants());
-    }
-
-    fn handle_fault(&mut self, proc: u32, t: f64) {
-        self.advance(t);
-        let Some(f) = self.state.owner(proc) else {
-            self.discarded_faults += 1;
-            self.trace.push(TraceEvent::FaultDiscarded { time: t, proc });
-            return;
-        };
-        if t < self.state.runtime(f).t_last_r {
-            // Protected downtime/recovery/redistribution window.
-            self.discarded_faults += 1;
-            if t < self.recovery_until[f] {
-                self.fatal_risk_events += 1;
-            }
-            self.trace.push(TraceEvent::FaultDiscarded { time: t, proc });
-            return;
-        }
-
-        self.handled_faults += 1;
-        // Roll back to the last checkpoint; pay downtime + recovery
-        // (Algorithm 2 lines 23–26, unchanged from the static engine).
-        let j = self.state.sigma(f);
-        let elapsed = t - self.state.runtime(f).t_last_r;
-        let retained = self.calc.progress_faulty(f, j, elapsed);
-        let d = self.calc.downtime();
-        let r = self.calc.recovery_time(f, j);
-        let anchor = t + d + r;
-        {
-            let rt = self.state.runtime_mut(f);
-            rt.alpha = (rt.alpha - retained).max(0.0);
-            rt.t_last_r = anchor;
-        }
-        let remaining = self.calc.remaining(f, j, self.state.runtime(f).alpha);
-        self.state.set_t_u(f, anchor + remaining);
-        self.recovery_until[f] = anchor;
-        self.trace.push(TraceEvent::Fault { time: t, proc, task: f });
-
-        // Unlike the static engine, jobs finishing inside the recovery
-        // window are NOT completed here: eager completion would release
-        // their processors at a *future* timestamp, letting an arrival due
-        // earlier grab processors that are still physically busy. The main
-        // loop completes them as ordinary end events in global time order.
-        // They are only excluded from the fault policy's donor set below
-        // (`t_u < anchor`), matching the static engine's decisions.
-
-        // Fault policy only if the struck job became the longest — an O(1)
-        // amortized latest-queue peek instead of a scan over `running`.
-        let tu_f = self.state.runtime(f).t_u;
-        let is_longest = self.state.none_later_than(tu_f);
-        if is_longest && !self.fault_policy.is_noop() {
-            if self.reference_policies {
-                let mut eligible = std::mem::take(&mut self.eligible_buf);
-                self.fill_eligible(t, Some(f), &mut eligible);
-                eligible.retain(|&i| self.state.runtime(i).t_u >= anchor);
-                self.run_policy(t, EligibleSet::Listed(&eligible), PolicyCall::Fault(f));
-                self.eligible_buf = eligible;
-            } else {
-                // Jobs finishing inside the recovery window are excluded
-                // from the donor set (the static engine has completed its
-                // equivalents already; here they complete as ordinary end
-                // events later).
-                self.run_policy(t, EligibleSet::live_fault(f, anchor), PolicyCall::Fault(f));
-            }
-        }
-        self.admit_queued(t);
-        debug_assert!(self.state.check_invariants());
-    }
-}
+use crate::builder::{OnlineConfig, OnlineStrategy, Scheduler};
+use crate::session::OnlineOutcome;
 
 /// Runs a stream of jobs to completion on a failure-prone platform.
 ///
@@ -458,6 +29,11 @@ impl OnlineSim<'_> {
 ///
 /// # Panics
 /// Panics if `jobs` is empty.
+#[deprecated(
+    since = "0.1.0",
+    note = "build a stepped session instead: `Scheduler::on(platform).speedup(..)\
+            .strategy(..).config(..).session(jobs)?.run_to_completion()`"
+)]
 pub fn run_online(
     jobs: &[JobSpec],
     speedup: Arc<dyn SpeedupModel>,
@@ -465,130 +41,22 @@ pub fn run_online(
     strategy: &OnlineStrategy,
     cfg: &OnlineConfig,
 ) -> Result<OnlineOutcome, ScheduleError> {
-    assert!(!jobs.is_empty(), "an online run needs at least one job");
-    let p = platform.num_procs;
-    if p < 2 {
-        return Err(ScheduleError::InsufficientProcessors { needed: 2, available: p });
-    }
-    let n = jobs.len();
-
-    let workload = Workload::from_jobs(jobs, speedup);
-    let calc = if cfg.faults.is_some() {
-        TimeCalc::new(workload, platform)
-    } else {
-        TimeCalc::fault_free(workload, platform)
-    };
-
-    // Release order, ties broken by submission index (stable sort).
-    let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| {
-        jobs[a].release.partial_cmp(&jobs[b].release).expect("release times are finite")
-    });
-
-    let mut sim = OnlineSim {
-        calc,
-        state: PackState::unallocated(p, n),
-        trace: if cfg.record_trace { TraceLog::enabled() } else { TraceLog::disabled() },
-        running: BTreeSet::new(),
-        queue: VecDeque::new(),
-        start: vec![0.0; n],
-        completion: vec![0.0; n],
-        recovery_until: vec![0.0; n],
-        queue_series: Vec::new(),
-        redistributions: 0,
-        handled_faults: 0,
-        discarded_faults: 0,
-        fatal_risk_events: 0,
-        busy_proc_seconds: 0.0,
-        last_t: 0.0,
-        strategy,
-        end_policy: strategy.heuristic.end_policy(),
-        fault_policy: strategy.heuristic.fault_policy(),
-        reference_policies: cfg.reference_policies,
-        eligible_buf: Vec::new(),
-        scratch: PolicyScratch::default(),
-    };
-    let mut faults: Option<FaultSource> =
-        cfg.faults.map(|fc| FaultSource::new(fc.seed, p, fc.law));
-
-    let mut next_arrival = 0usize;
-    let mut events = 0u64;
-    while next_arrival < n || !sim.running.is_empty() {
-        events += 1;
-        if events > cfg.max_events {
-            return Err(ScheduleError::EventLimitExceeded { limit: cfg.max_events });
-        }
-
-        let end = sim.earliest_end();
-        let arr = (next_arrival < n).then(|| jobs[order[next_arrival]].release);
-        let fault_t = faults.as_ref().and_then(FaultSource::peek_time);
-
-        // Priority at equal times: completion, then arrival, then fault —
-        // completions free processors for arrivals, and the static engine
-        // already orders ends before faults.
-        let end_wins = end.is_some_and(|(_, te)| {
-            arr.is_none_or(|ta| te <= ta) && fault_t.is_none_or(|tf| te <= tf)
-        });
-        if end_wins {
-            let (i, te) = end.expect("end_wins implies an end event");
-            sim.handle_end(i, te);
-        } else if arr.is_some_and(|ta| fault_t.is_none_or(|tf| ta <= tf)) {
-            let i = order[next_arrival];
-            next_arrival += 1;
-            sim.handle_arrival(i, jobs[i].release);
-        } else {
-            let fault = faults
-                .as_mut()
-                .expect("a fault event was selected")
-                .next_fault()
-                .expect("fault streams are infinite");
-            sim.handle_fault(fault.proc, fault.time);
-        }
-    }
-    debug_assert!(sim.queue.is_empty(), "jobs left queued after termination");
-
-    let makespan = sim.completion.iter().copied().fold(0.0, f64::max);
-    let stats: Vec<JobStats> = (0..n)
-        .map(|i| JobStats {
-            job: i,
-            release: jobs[i].release,
-            start: sim.start[i],
-            completion: sim.completion[i],
-            reference: best_fault_free_time(&sim.calc, i, p),
-        })
-        .collect();
-    let metrics =
-        OnlineMetrics::compute(&stats, makespan, p, sim.busy_proc_seconds, &sim.queue_series);
-    Ok(OnlineOutcome {
-        makespan,
-        jobs: stats,
-        metrics,
-        handled_faults: sim.handled_faults,
-        discarded_faults: sim.discarded_faults,
-        fatal_risk_events: sim.fatal_risk_events,
-        redistributions: sim.redistributions,
-        queue_series: sim.queue_series,
-        trace: sim.trace,
-    })
-}
-
-/// Fault-free execution time of job `i` at its best even allocation `≤ p` —
-/// the stretch reference (the job alone on an empty, reliable platform).
-fn best_fault_free_time(calc: &TimeCalc, i: TaskId, p: u32) -> f64 {
-    let mut best = f64::INFINITY;
-    let mut j = 2u32;
-    while j <= p {
-        best = best.min(calc.fault_free_time(i, j));
-        j += 2;
-    }
-    best
+    Scheduler::on(platform)
+        .speedup(speedup)
+        .strategy(*strategy)
+        .config(*cfg)
+        .session(jobs)?
+        .run_to_completion()
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::arrival::{generate_jobs, JobSizeModel, PoissonArrivals};
+    use redistrib_core::Heuristic;
     use redistrib_model::PaperModel;
+    use redistrib_sim::trace::TraceEvent;
     use redistrib_sim::units;
 
     fn jobs(n: usize, mean_gap: f64, seed: u64) -> Vec<JobSpec> {
@@ -619,6 +87,7 @@ mod tests {
         }
         assert!(out.metrics.utilization > 0.0 && out.metrics.utilization <= 1.0 + 1e-9);
         assert_eq!(out.handled_faults, 0);
+        assert!(out.packs.is_empty(), "flat-FIFO runs never stage packs");
     }
 
     #[test]

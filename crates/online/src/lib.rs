@@ -11,12 +11,22 @@
 //! the processor assignment is re-formed dynamically while faults keep
 //! striking.
 //!
+//! * [`builder`] — the [`Scheduler`] builder: platform, speedup,
+//!   redistribution strategy, fault injector, recording flags, pack
+//!   staging;
+//! * [`session`] — the stepped [`Session`]: `step()` one event at a time
+//!   with live inspection (queue depth, active packs, per-job state), or
+//!   `run_to_completion()` for the one-shot outcome;
+//! * [`packset`] — multi-pack staging of an oversubscribed backlog
+//!   (`2·waiting > p`) into consecutive packs via the `redistrib-packs`
+//!   partitioners, drained pack-by-pack behind [`PackHandle`]s;
 //! * [`arrival`] — pluggable arrival processes (Poisson, bursty,
 //!   trace-driven, merged) and seeded job-stream generation;
-//! * [`engine`] — the event-driven online scheduler: FIFO admission with
-//!   fair-share initial allocations, and malleable resizing that reuses the
-//!   static engine's `EndLocal`/`EndGreedy`/`ShortestTasksFirst`/
-//!   `IteratedGreedy` policies on arrival, completion and fault events;
+//! * [`swf`] — a minimal Standard Workload Format (Parallel Workloads
+//!   Archive) parser mapping real trace logs onto [`TraceArrivals`] job
+//!   streams;
+//! * [`engine`] — the legacy one-shot [`run_online`] entry point, kept as
+//!   a thin deprecated shim over the session;
 //! * [`metrics`] — online-specific metrics the static engine cannot
 //!   express: per-job stretch and flow time, queue length over time,
 //!   processor utilization, throughput.
@@ -31,8 +41,8 @@
 //! use redistrib_core::Heuristic;
 //! use redistrib_model::{PaperModel, Platform};
 //! use redistrib_online::{
-//!     generate_jobs, run_online, JobSizeModel, OnlineConfig, OnlineStrategy,
-//!     PoissonArrivals,
+//!     generate_jobs, JobSizeModel, OnlineConfig, OnlineStrategy, PoissonArrivals,
+//!     Scheduler,
 //! };
 //!
 //! let mut arrivals = PoissonArrivals::new(42, 20_000.0);
@@ -40,14 +50,17 @@
 //! let platform = Platform::new(32);
 //! let cfg = OnlineConfig::with_faults(7, platform.proc_mtbf);
 //!
-//! let baseline = run_online(
-//!     &jobs, Arc::new(PaperModel::default()), platform,
-//!     &OnlineStrategy::no_resize(), &cfg,
-//! ).unwrap();
-//! let resized = run_online(
-//!     &jobs, Arc::new(PaperModel::default()), platform,
-//!     &OnlineStrategy::resizing(Heuristic::IteratedGreedyEndLocal), &cfg,
-//! ).unwrap();
+//! let baseline = Scheduler::on(platform)
+//!     .speedup(Arc::new(PaperModel::default()))
+//!     .config(cfg)
+//!     .run(&jobs)
+//!     .unwrap();
+//! let resized = Scheduler::on(platform)
+//!     .speedup(Arc::new(PaperModel::default()))
+//!     .strategy(OnlineStrategy::resizing(Heuristic::IteratedGreedyEndLocal))
+//!     .config(cfg)
+//!     .run(&jobs)
+//!     .unwrap();
 //! assert!(resized.metrics.mean_stretch <= baseline.metrics.mean_stretch * 1.05);
 //! ```
 
@@ -55,12 +68,21 @@
 #![warn(clippy::all)]
 
 pub mod arrival;
+pub mod builder;
 pub mod engine;
 pub mod metrics;
+pub mod packset;
+pub mod session;
+pub mod swf;
 
 pub use arrival::{
     generate_jobs, ArrivalProcess, BurstyArrivals, JobSizeModel, MergedArrivals,
     PoissonArrivals, TraceArrivals,
 };
-pub use engine::{run_online, OnlineConfig, OnlineOutcome, OnlineStrategy};
+pub use builder::{OnlineConfig, OnlineStrategy, Scheduler};
+#[allow(deprecated)]
+pub use engine::run_online;
 pub use metrics::{JobStats, OnlineMetrics};
+pub use packset::{PackHandle, PackId, PackPartitioner, PackPhase, PackReport, PackStaging};
+pub use session::{JobState, OnlineOutcome, Session, SessionEvent};
+pub use swf::{parse_swf, swf_arrivals, swf_jobs, SwfError, SwfJob, SwfMapping};

@@ -1,0 +1,244 @@
+//! Minimal parser for the Standard Workload Format (SWF) of the Parallel
+//! Workloads Archive, mapping real scheduler logs onto online job streams.
+//!
+//! An SWF file is line-oriented: header/comment lines start with `;`, and
+//! every job line carries 18 whitespace-separated numeric fields, `-1`
+//! marking a missing value. Only the fields the online model needs are
+//! read:
+//!
+//! | field | SWF meaning                       | used as                       |
+//! |------:|-----------------------------------|-------------------------------|
+//! | 2     | submit time (s)                   | release time (rebased to 0)   |
+//! | 4     | run time (s)                      | work estimate                 |
+//! | 5     | allocated processors              | width of the work estimate    |
+//! | 8/9   | requested processors / time       | fallbacks for 5 / 4           |
+//!
+//! A job's *sequential work* is `run_time × procs` processor-seconds; the
+//! [`SwfMapping`] scales it into the paper's data-item size `m` (the
+//! Eq. 10 profile maps sizes back to times through the shared speedup
+//! model). Release times are rebased so the first submission arrives at
+//! `t = 0` and sorted non-decreasing, ready for [`TraceArrivals`] replay or
+//! direct [`Scheduler::session`](crate::Scheduler::session) consumption.
+
+use redistrib_model::{JobSpec, TaskSpec};
+
+use crate::arrival::TraceArrivals;
+
+/// One parsed SWF job record (already reduced to the fields the online
+/// model consumes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwfJob {
+    /// SWF job number (field 1).
+    pub id: i64,
+    /// Submission time in seconds (field 2), as logged.
+    pub submit: f64,
+    /// Run time in seconds (field 4, falling back to the requested time,
+    /// field 9).
+    pub run_time: f64,
+    /// Processors used (field 5, falling back to the requested count,
+    /// field 8).
+    pub procs: u32,
+}
+
+impl SwfJob {
+    /// Sequential work estimate: processor-seconds consumed by the job.
+    #[must_use]
+    pub fn work(&self) -> f64 {
+        self.run_time * f64::from(self.procs)
+    }
+}
+
+/// Parse failure, with the offending line number (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SwfError {
+    /// A job line had fewer than the five leading fields the parser needs.
+    TooFewFields {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A needed field did not parse as a number.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// 1-based SWF field index.
+        field: usize,
+    },
+}
+
+impl std::fmt::Display for SwfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::TooFewFields { line } => write!(f, "SWF line {line}: too few fields"),
+            Self::BadNumber { line, field } => {
+                write!(f, "SWF line {line}: field {field} is not a number")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SwfError {}
+
+/// Parses SWF text into job records, skipping `;` comments, blank lines,
+/// and jobs without a usable runtime or processor count (interrupted or
+/// cancelled entries logged as `-1`/`0`).
+///
+/// # Errors
+/// [`SwfError`] on a malformed job line (wrong arity or non-numeric field).
+pub fn parse_swf(text: &str) -> Result<Vec<SwfJob>, SwfError> {
+    let mut jobs = Vec::new();
+    for (k, raw) in text.lines().enumerate() {
+        let line = k + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with(';') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split_whitespace().collect();
+        if fields.len() < 5 {
+            return Err(SwfError::TooFewFields { line });
+        }
+        let num = |idx1: usize| -> Result<f64, SwfError> {
+            fields.get(idx1 - 1).map_or(Ok(-1.0), |s| {
+                s.parse::<f64>().map_err(|_| SwfError::BadNumber { line, field: idx1 })
+            })
+        };
+        let id = num(1)? as i64;
+        let submit = num(2)?;
+        let mut run_time = num(4)?;
+        let mut procs = num(5)?;
+        if run_time <= 0.0 {
+            run_time = num(9)?; // requested time
+        }
+        if procs <= 0.0 {
+            procs = num(8)?; // requested processors
+        }
+        if submit < 0.0 || run_time <= 0.0 || procs <= 0.0 {
+            continue; // cancelled / unusable record
+        }
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        jobs.push(SwfJob { id, submit, run_time, procs: procs as u32 });
+    }
+    Ok(jobs)
+}
+
+/// How SWF work estimates become paper-model job sizes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwfMapping {
+    /// Data items per processor-second of logged work: job size
+    /// `m = max(size_per_proc_second × run_time × procs, 1 + ε)`.
+    pub size_per_proc_second: f64,
+    /// Checkpoint time per data item (the paper's `c`).
+    pub ckpt_unit: f64,
+}
+
+impl Default for SwfMapping {
+    fn default() -> Self {
+        // One data item per processor-second keeps paper-scale logs
+        // (hours × tens of processors) inside the §6.1 size band.
+        Self { size_per_proc_second: 1.0, ckpt_unit: 1.0 }
+    }
+}
+
+/// Release times of the records as an arrival process, rebased so the
+/// earliest submission is `t = 0` and sorted non-decreasing — ready for
+/// [`TraceArrivals`] replay. Release times never depend on a
+/// [`SwfMapping`] (only job *sizes* do), hence a free function.
+#[must_use]
+pub fn swf_arrivals(records: &[SwfJob]) -> TraceArrivals {
+    let base = records.iter().map(|j| j.submit).fold(f64::INFINITY, f64::min);
+    let mut times: Vec<f64> = records.iter().map(|j| j.submit - base).collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("submit times are finite"));
+    TraceArrivals::new(times)
+}
+
+/// Materializes SWF records as online [`JobSpec`]s under `mapping`: release
+/// times rebased to zero (submission order preserved — ties keep file
+/// order), sizes scaled from the logged processor-seconds of work.
+///
+/// # Panics
+/// Panics if `records` is empty.
+#[must_use]
+pub fn swf_jobs(records: &[SwfJob], mapping: &SwfMapping) -> Vec<JobSpec> {
+    assert!(!records.is_empty(), "an SWF stream needs at least one usable job");
+    let base = records.iter().map(|j| j.submit).fold(f64::INFINITY, f64::min);
+    let mut order: Vec<usize> = (0..records.len()).collect();
+    order.sort_by(|&a, &b| {
+        records[a].submit.partial_cmp(&records[b].submit).expect("submit times are finite")
+    });
+    order
+        .into_iter()
+        .map(|k| {
+            let r = &records[k];
+            let size = (mapping.size_per_proc_second * r.work()).max(1.0 + 1e-9);
+            JobSpec::new(TaskSpec::with_ckpt_unit(size, mapping.ckpt_unit), r.submit - base)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrival::ArrivalProcess;
+
+    const FIXTURE: &str = include_str!("../tests/fixtures/tiny.swf");
+
+    #[test]
+    fn parses_fixture_skipping_comments_and_cancelled() {
+        let jobs = parse_swf(FIXTURE).unwrap();
+        // The fixture has 6 job lines; one is cancelled (run time and
+        // requested time -1) and is skipped.
+        assert_eq!(jobs.len(), 5);
+        assert_eq!(jobs[0], SwfJob { id: 1, submit: 0.0, run_time: 1200.0, procs: 32 });
+        // Job 3 has no allocated processors (-1): requested count is used.
+        assert_eq!(jobs[1].procs, 16);
+        // Job 5 has no run time (-1): requested time is used.
+        assert!((jobs[3].run_time - 7200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn maps_onto_job_specs_for_trace_arrivals() {
+        let records = parse_swf(FIXTURE).unwrap();
+        let jobs = swf_jobs(&records, &SwfMapping::default());
+        assert_eq!(jobs.len(), records.len());
+        // Releases rebased to 0 and non-decreasing.
+        assert_eq!(jobs[0].release, 0.0);
+        for w in jobs.windows(2) {
+            assert!(w[0].release <= w[1].release);
+        }
+        // Sizes are the processor-seconds of work.
+        assert!((jobs[0].task.size - 1200.0 * 32.0).abs() < 1e-9);
+        // The same releases replay through TraceArrivals.
+        let mut arrivals = swf_arrivals(&records);
+        for j in &jobs {
+            assert_eq!(arrivals.next_release(), Some(j.release));
+        }
+        assert_eq!(arrivals.next_release(), None);
+    }
+
+    #[test]
+    fn scaling_is_applied() {
+        let records = parse_swf(FIXTURE).unwrap();
+        let mapping = SwfMapping { size_per_proc_second: 0.5, ckpt_unit: 2.0 };
+        let jobs = swf_jobs(&records, &mapping);
+        assert!((jobs[0].task.size - 0.5 * 1200.0 * 32.0).abs() < 1e-9);
+        assert_eq!(jobs[0].task.ckpt_unit, 2.0);
+    }
+
+    #[test]
+    fn tiny_work_is_clamped_above_one() {
+        let records = [SwfJob { id: 9, submit: 3.0, run_time: 0.5, procs: 1 }];
+        let jobs = swf_jobs(&records, &SwfMapping::default());
+        assert!(jobs[0].task.size > 1.0);
+        assert_eq!(jobs[0].release, 0.0);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert_eq!(parse_swf("1 2 3").unwrap_err(), SwfError::TooFewFields { line: 1 });
+        assert_eq!(
+            parse_swf("; header\n1 abc 0 10 4").unwrap_err(),
+            SwfError::BadNumber { line: 2, field: 2 }
+        );
+        let msg = format!("{}", SwfError::BadNumber { line: 2, field: 2 });
+        assert!(msg.contains("field 2"));
+    }
+}

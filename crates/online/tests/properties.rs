@@ -9,8 +9,8 @@ use proptest::prelude::*;
 use redistrib_core::Heuristic;
 use redistrib_model::{PaperModel, Platform};
 use redistrib_online::{
-    generate_jobs, run_online, JobSizeModel, OnlineConfig, OnlineOutcome, OnlineStrategy,
-    PoissonArrivals,
+    generate_jobs, JobSizeModel, OnlineConfig, OnlineOutcome, OnlineStrategy, PoissonArrivals,
+    Scheduler,
 };
 use redistrib_sim::trace::TraceEvent;
 use redistrib_sim::units;
@@ -32,14 +32,12 @@ fn run_case(
     let mut arrivals = PoissonArrivals::new(seed, 5_000.0);
     let jobs = generate_jobs(&mut arrivals, n_jobs, &JobSizeModel::paper_default(), seed);
     let platform = Platform::with_mtbf(p, units::years(mtbf_years));
-    run_online(
-        &jobs,
-        Arc::new(PaperModel::default()),
-        platform,
-        strategy,
-        &OnlineConfig::with_faults(seed ^ 0xFA17, platform.proc_mtbf).recording(),
-    )
-    .expect("run completes")
+    Scheduler::on(platform)
+        .speedup(Arc::new(PaperModel::default()))
+        .strategy(*strategy)
+        .config(OnlineConfig::with_faults(seed ^ 0xFA17, platform.proc_mtbf).recording())
+        .run(&jobs)
+        .expect("run completes")
 }
 
 proptest! {
@@ -172,10 +170,18 @@ proptest! {
         let platform = Platform::with_mtbf(p, units::years(mtbf_years));
         let base = OnlineConfig::with_faults(seed ^ 0xFA17, platform.proc_mtbf).recording();
         let speedup = Arc::new(PaperModel::default());
-        let a = run_online(&jobs, speedup.clone(), platform, &strategy, &base)
+        let a = Scheduler::on(platform)
+            .speedup(speedup.clone())
+            .strategy(strategy)
+            .config(base)
+            .run(&jobs)
             .expect("incremental run completes");
         let reference = OnlineConfig { reference_policies: true, ..base };
-        let b = run_online(&jobs, speedup, platform, &strategy, &reference)
+        let b = Scheduler::on(platform)
+            .speedup(speedup)
+            .strategy(strategy)
+            .config(reference)
+            .run(&jobs)
             .expect("reference run completes");
         prop_assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
         prop_assert_eq!(a.handled_faults, b.handled_faults);

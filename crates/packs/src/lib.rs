@@ -1,7 +1,7 @@
 //! # redistrib-packs
 //!
 //! Multi-pack co-scheduling — the paper's declared future work (§7),
-//! following the pack structure of its reference [3] (Aupy et al., *Journal
+//! following the pack structure of its reference \[3\] (Aupy et al., *Journal
 //! of Scheduling*, 2015):
 //!
 //! * [`partition`] — strategies for splitting a task set into consecutive
@@ -19,8 +19,12 @@
 
 pub mod partition;
 pub mod schedule;
+pub mod session;
 
 pub use partition::{
     chunk_by_capacity, dp_consecutive, lpt_packs, pack_makespan, single_pack, PackPartition,
 };
-pub use schedule::{fits_single_pack, run_partition, MultiPackOutcome};
+#[allow(deprecated)]
+pub use schedule::run_partition;
+pub use schedule::{fits_single_pack, pack_seed, MultiPackOutcome};
+pub use session::{PackEvent, PackRunner, PackSession};

@@ -4,7 +4,7 @@
 //! packs, and then scheduling each pack in sequence" (§1); the paper
 //! focuses on one pack and leaves partitioning as future work (§7). This
 //! module provides that missing stage, following the structure of
-//! [Aupy et al. 2015], the paper's reference [3]:
+//! [Aupy et al. 2015], the paper's reference \[3\]:
 //!
 //! * [`single_pack`] — everything together (the paper's setting);
 //! * [`chunk_by_capacity`] — greedy feasibility split: as many tasks per

@@ -7,11 +7,12 @@
 //! exponential law (memorylessness); for Weibull/log-normal extensions it
 //! is an approximation, noted here.
 
-use redistrib_core::{run, EngineConfig, Heuristic, RunOutcome, ScheduleError};
-use redistrib_model::{ExecutionMode, Platform, TimeCalc, Workload};
+use redistrib_core::{Heuristic, RunOutcome, ScheduleError};
+use redistrib_model::{ExecutionMode, Platform, Workload};
 use redistrib_sim::rng::SplitMix64;
 
 use crate::partition::PackPartition;
+use crate::session::PackRunner;
 
 /// Outcome of executing a full partition.
 #[derive(Debug, Clone)]
@@ -36,16 +37,30 @@ impl MultiPackOutcome {
     }
 }
 
+/// Fault seed of pack `k`, derived from the partition-level `seed`: packs
+/// replay independent fault streams, and the derivation is shared by the
+/// legacy [`run_partition`] shim and the stepped
+/// [`PackSession`](crate::PackSession).
+#[must_use]
+pub fn pack_seed(seed: u64, k: usize) -> u64 {
+    SplitMix64::new(seed ^ (k as u64).wrapping_mul(0x517C_C1B7_2722_0A95)).next_u64()
+}
+
 /// Executes the packs of `partition` sequentially under `heuristic`.
 ///
 /// `fault_seed = None` runs fault-free. Each pack `k` derives its own seed
-/// from `(fault_seed, k)`.
+/// from `(fault_seed, k)` via [`pack_seed`].
 ///
 /// # Errors
 /// Propagates engine errors (e.g. a pack that does not fit on `p`).
 ///
 /// # Panics
 /// Panics if the partition does not cover the workload.
+#[deprecated(
+    since = "0.1.0",
+    note = "build a stepped session instead: `PackRunner::new(workload, platform)\
+            .partition(..).heuristic(..).faults(..).session().run_to_completion()`"
+)]
 pub fn run_partition(
     workload: &Workload,
     platform: Platform,
@@ -53,31 +68,13 @@ pub fn run_partition(
     heuristic: Heuristic,
     fault_seed: Option<u64>,
 ) -> Result<MultiPackOutcome, ScheduleError> {
-    assert!(partition.is_valid(workload.len()), "partition must cover the workload");
-    let mut pack_outcomes = Vec::with_capacity(partition.len());
-    let mut makespan = 0.0;
-    for (k, pack) in partition.packs.iter().enumerate() {
-        let sub = Workload::new(
-            pack.iter().map(|&t| workload.tasks[t].clone()).collect(),
-            workload.speedup.clone(),
-        );
-        let (calc, cfg) = match fault_seed {
-            Some(seed) => {
-                let pack_seed =
-                    SplitMix64::new(seed ^ (k as u64).wrapping_mul(0x517C_C1B7_2722_0A95))
-                        .next_u64();
-                (
-                    TimeCalc::new(sub, platform),
-                    EngineConfig::with_faults(pack_seed, platform.proc_mtbf),
-                )
-            }
-            None => (TimeCalc::fault_free(sub, platform), EngineConfig::fault_free()),
-        };
-        let out = run(&calc, &*heuristic.end_policy(), &*heuristic.fault_policy(), &cfg)?;
-        makespan += out.makespan;
-        pack_outcomes.push(out);
+    let mut runner = PackRunner::new(workload.clone(), platform)
+        .partition(partition.clone())
+        .heuristic(heuristic);
+    if let Some(seed) = fault_seed {
+        runner = runner.faults(seed);
     }
-    Ok(MultiPackOutcome { makespan, pack_outcomes })
+    runner.session().run_to_completion()
 }
 
 /// Convenience: true when the whole workload fits in one pack on `p`
@@ -87,7 +84,9 @@ pub fn fits_single_pack(workload: &Workload, platform: Platform) -> bool {
     2 * workload.len() as u64 <= u64::from(platform.num_procs)
 }
 
-/// Mode marker used by tests.
+/// Mode marker used by tests (unified: the builders expose the same
+/// marker through `PackRunner::execution_mode` and the online
+/// `Scheduler::execution_mode`).
 #[must_use]
 pub fn execution_mode(fault_seed: Option<u64>) -> ExecutionMode {
     if fault_seed.is_some() {
@@ -98,10 +97,12 @@ pub fn execution_mode(fault_seed: Option<u64>) -> ExecutionMode {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::partition::{chunk_by_capacity, dp_consecutive, single_pack};
-    use redistrib_model::{PaperModel, TaskSpec};
+    use redistrib_core::{run, EngineConfig};
+    use redistrib_model::{PaperModel, TaskSpec, TimeCalc};
     use redistrib_sim::units;
     use std::sync::Arc;
 

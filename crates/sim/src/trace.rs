@@ -76,6 +76,16 @@ pub enum TraceEvent {
         /// The queued job.
         job: usize,
     },
+    /// A staged pack opened for admission (multi-pack online scheduling):
+    /// its member jobs became admissible.
+    PackStart {
+        /// Time the pack opened.
+        time: f64,
+        /// Pack id, `0..` in opening order.
+        pack: usize,
+        /// Number of member jobs.
+        jobs: u32,
+    },
 }
 
 impl TraceEvent {
@@ -90,7 +100,8 @@ impl TraceEvent {
             | TraceEvent::MakespanEstimate { time, .. }
             | TraceEvent::JobArrival { time, .. }
             | TraceEvent::JobStart { time, .. }
-            | TraceEvent::JobQueued { time, .. } => time,
+            | TraceEvent::JobQueued { time, .. }
+            | TraceEvent::PackStart { time, .. } => time,
         }
     }
 
@@ -104,6 +115,7 @@ impl TraceEvent {
             TraceEvent::JobArrival { .. } => "job_arrival",
             TraceEvent::JobStart { .. } => "job_start",
             TraceEvent::JobQueued { .. } => "job_queued",
+            TraceEvent::PackStart { .. } => "pack_start",
         }
     }
 }
@@ -202,6 +214,9 @@ impl TraceLog {
                 }
                 TraceEvent::JobStart { job, alloc, .. } => {
                     let _ = write!(out, ",{job},,,{alloc},,,");
+                }
+                TraceEvent::PackStart { pack, jobs, .. } => {
+                    let _ = write!(out, ",{pack},,,{jobs},,,");
                 }
             }
             out.push('\n');

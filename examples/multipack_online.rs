@@ -1,0 +1,97 @@
+//! Multi-pack online scheduling, driven interactively through the stepped
+//! `Session` API.
+//!
+//! A burst of 18 jobs hits 8 processors at once: the buddy protocol needs
+//! two processors per job, so the backlog oversubscribes the platform
+//! (`2·waiting > p`) and the session stages it into consecutive packs
+//! (capacity chunking from `redistrib-packs`), draining them pack-by-pack.
+//! The example steps the session one event at a time, printing the live
+//! pack/queue state the `Session` inspection API exposes between events.
+//!
+//! ```text
+//! cargo run --release --example multipack_online
+//! ```
+
+use std::sync::Arc;
+
+use redistrib::online::{PackPhase, Scheduler, SessionEvent};
+use redistrib::prelude::*;
+use redistrib::sim::units;
+
+fn main() {
+    // 18 simultaneous jobs (a flash crowd at t = 0) on a small machine.
+    let jobs: Vec<JobSpec> =
+        (0..18).map(|k| JobSpec::new(TaskSpec::new(1.6e6 + 6e4 * f64::from(k)), 0.0)).collect();
+    let platform = Platform::with_mtbf(8, units::years(10.0));
+
+    println!(
+        "{} jobs burst onto p = {} processors: 2·{} > {}, so the backlog is \
+         staged into consecutive packs\n",
+        jobs.len(),
+        platform.num_procs,
+        jobs.len(),
+        platform.num_procs
+    );
+
+    let mut session = Scheduler::on(platform)
+        .speedup(Arc::new(PaperModel::default()))
+        .strategy(OnlineStrategy::resizing(Heuristic::IteratedGreedyEndLocal))
+        .faults(7, platform.proc_mtbf)
+        .staging(PackStaging::oversubscribed())
+        .session(&jobs)
+        .expect("platform large enough");
+
+    // Drive the event loop by hand, narrating what the scheduler does.
+    let mut last_active = None;
+    while let Some(event) = session.step().expect("event limit not hit") {
+        let t = units::to_days(event.time());
+        match event {
+            SessionEvent::Arrival { job, started, .. } => {
+                if started {
+                    println!("{t:>8.3} d  job {job:>2} arrives and starts immediately");
+                } else {
+                    println!("{t:>8.3} d  job {job:>2} arrives and waits");
+                }
+            }
+            SessionEvent::Completion { job, .. } => {
+                println!("{t:>8.3} d  job {job:>2} completes");
+            }
+            SessionEvent::Fault { proc, job: Some(job), handled: true, .. } => {
+                println!("{t:>8.3} d  fault on processor {proc} rolls job {job} back");
+            }
+            SessionEvent::Fault { .. } => {} // discarded faults are noise here
+        }
+        // Live inspection between events: pack rotation and queue depth.
+        let active = session.active_pack();
+        if active != last_active {
+            if let Some(id) = active {
+                let handle = session.pack(id).expect("active pack handle");
+                println!(
+                    "          >> pack {id} opens: jobs {:?} ({} waiting overall, {} free procs)",
+                    handle.jobs,
+                    session.queue_depth(),
+                    session.free_procs()
+                );
+            }
+            last_active = active;
+        }
+    }
+
+    let packs = session.packs();
+    println!("\npack summary (all drained):");
+    for handle in &packs {
+        assert_eq!(handle.phase, PackPhase::Drained);
+        println!("  pack {}: {} jobs {:?}", handle.id, handle.jobs.len(), handle.jobs);
+    }
+
+    let out = session.run_to_completion().expect("already complete");
+    println!(
+        "\nmakespan {:.2} d over {} packs — mean stretch {:.2}, {} faults handled, \
+         {} redistributions",
+        units::to_days(out.makespan),
+        out.packs.len(),
+        out.metrics.mean_stretch,
+        out.handled_faults,
+        out.redistributions
+    );
+}

@@ -9,8 +9,8 @@
 use std::sync::Arc;
 
 use redistrib::online::{
-    generate_jobs, run_online, JobSizeModel, OnlineConfig, OnlineOutcome, OnlineStrategy,
-    PoissonArrivals,
+    generate_jobs, JobSizeModel, OnlineConfig, OnlineOutcome, OnlineStrategy, PoissonArrivals,
+    Scheduler,
 };
 use redistrib::prelude::*;
 use redistrib::sim::units;
@@ -48,25 +48,20 @@ fn main() {
         units::to_years(platform.proc_mtbf),
     );
 
-    let baseline = run_online(
-        &jobs,
-        Arc::new(PaperModel::default()),
-        platform,
-        &OnlineStrategy::no_resize(),
-        &cfg,
-    )
-    .expect("baseline run");
+    let baseline = Scheduler::on(platform)
+        .speedup(Arc::new(PaperModel::default()))
+        .config(cfg)
+        .run(&jobs)
+        .expect("baseline run");
     report("no redistribution (allocations frozen at admission)", &baseline);
     println!();
 
-    let resized = run_online(
-        &jobs,
-        Arc::new(PaperModel::default()),
-        platform,
-        &OnlineStrategy::resizing(Heuristic::IteratedGreedyEndLocal),
-        &cfg,
-    )
-    .expect("resizing run");
+    let resized = Scheduler::on(platform)
+        .speedup(Arc::new(PaperModel::default()))
+        .strategy(OnlineStrategy::resizing(Heuristic::IteratedGreedyEndLocal))
+        .config(cfg)
+        .run(&jobs)
+        .expect("resizing run");
     report("IteratedGreedy-EndLocal resizing (arrival/completion/fault)", &resized);
 
     println!();

@@ -12,7 +12,7 @@
 
 use std::sync::Arc;
 
-use redistrib::packs::{chunk_by_capacity, dp_consecutive, lpt_packs, run_partition};
+use redistrib::packs::{chunk_by_capacity, dp_consecutive, lpt_packs, PackRunner};
 use redistrib::prelude::*;
 use redistrib::sim::units;
 
@@ -40,7 +40,12 @@ fn main() {
         ("LPT into 3 packs", &lpt),
         ("DP consecutive (≤ 4 packs)", &dp),
     ] {
-        match run_partition(&workload, platform, partition, heuristic, Some(11)) {
+        let session = PackRunner::new(workload.clone(), platform)
+            .partition(partition.clone())
+            .heuristic(heuristic)
+            .faults(11)
+            .session();
+        match session.run_to_completion() {
             Ok(out) => println!(
                 "{:<34} {:>6} {:>14.2} {:>8}",
                 name,

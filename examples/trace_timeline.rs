@@ -63,6 +63,9 @@ fn main() {
             TraceEvent::JobQueued { job, .. } => {
                 println!("{t:>12.3}  QUEUED      job {job} waits for processors");
             }
+            TraceEvent::PackStart { pack, jobs, .. } => {
+                println!("{t:>12.3}  PACK        pack {pack} opens with {jobs} jobs");
+            }
         }
     }
     println!();

@@ -18,10 +18,13 @@
 //! * the scheduling algorithms (Algorithm 1, the event-driven engine,
 //!   the EndLocal/EndGreedy/ShortestTasksFirst/IteratedGreedy heuristics,
 //!   exact solvers, the NP-completeness gadget) — [`core`];
-//! * multi-pack partitioning and sequential pack execution (the paper's
-//!   future-work direction) — [`packs`];
-//! * online co-scheduling: dynamic job arrivals, admission queueing and
-//!   malleable resizing on arrival/completion/fault events — [`online`];
+//! * multi-pack partitioning and stepped pack execution
+//!   (`PackRunner`/`PackSession`, the paper's future-work direction) —
+//!   [`packs`];
+//! * online co-scheduling through the `Scheduler` builder and stepped
+//!   `Session`: dynamic job arrivals (incl. SWF trace replay), admission
+//!   queueing, multi-pack staging of oversubscribed backlogs, malleable
+//!   resizing on arrival/completion/fault events — [`online`];
 //! * the experiment harnesses regenerating every figure of the paper —
 //!   [`experiments`].
 //!
@@ -78,7 +81,13 @@ pub mod prelude {
         EndSemantics, ExecutionMode, JobSpec, PaperModel, PeriodRule, Platform, SpeedupModel,
         TaskSpec, TimeCalc, Workload,
     };
-    pub use redistrib_online::{run_online, OnlineConfig, OnlineOutcome, OnlineStrategy};
+    #[allow(deprecated)]
+    pub use redistrib_online::run_online;
+    pub use redistrib_online::{
+        OnlineConfig, OnlineOutcome, OnlineStrategy, PackStaging, Scheduler, Session,
+        SessionEvent,
+    };
+    pub use redistrib_packs::{PackRunner, PackSession};
     pub use redistrib_sim::{FaultLaw, FaultSource, TraceLog, Xoshiro256};
 }
 
