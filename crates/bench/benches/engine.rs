@@ -104,5 +104,42 @@ fn bench_faulty_runs(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_event_loop, bench_fault_free_runs, bench_faulty_runs);
+/// Greedy-policy scale targets (the PR 5 warm-start scenarios): Algorithm 5
+/// at n = 1000 on p = 5000 under a 2-year-MTBF fault storm — exact IG-EL
+/// and IG-EG, plus the opt-in approximate WarmGreedy variant whose rebuild
+/// resumes from the committed allocation.
+fn bench_greedy_storms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_greedy_storm");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+    for (name, mtbf_years, h) in [
+        ("storm_igel_n1000_p5000", 2.0, Heuristic::IteratedGreedyEndLocal),
+        ("ig_n1000_p5000", 10.0, Heuristic::IteratedGreedyEndGreedy),
+        ("storm_warmgreedy_n1000_p5000", 2.0, Heuristic::WarmGreedy),
+    ] {
+        let platform = platform_with_mtbf(5000, mtbf_years);
+        let calc = TimeCalc::new(paper_workload(1000, 5), platform);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &h, |b, &h| {
+            b.iter(|| {
+                let out = run(
+                    &calc,
+                    &*h.end_policy(),
+                    &*h.fault_policy(),
+                    &EngineConfig::with_faults(9, platform.proc_mtbf),
+                )
+                .unwrap();
+                black_box(out.makespan)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_loop,
+    bench_fault_free_runs,
+    bench_faulty_runs,
+    bench_greedy_storms
+);
 criterion_main!(benches);

@@ -27,10 +27,19 @@
 //! `min_ratio × 2/3`, and a factor far from 1.0 prints a `WARN` asking a
 //! human to compare absolute probe times.
 //!
+//! With `--write-baseline FILE` the gate additionally emits a *rolling
+//! per-runner baseline*: the element-wise best (minimum) timing of the
+//! baseline and the fresh profile, plus any scenario present on only one
+//! side. A runner that re-reads its own rolling artifact on the next run
+//! compares against timings measured *on its own hardware*, so the
+//! committed cross-machine record never has to absorb runner-speed skew —
+//! the `--normalize` escape hatch stays for the first run of an unseen
+//! machine (see README "Performance").
+//!
 //! Usage:
 //! `cargo run --release -p redistrib-bench --bin benchcmp -- \
 //!     --baseline BENCH_PR3.json --fresh bench-ci.json [--min-ratio 0.9] \
-//!     [--normalize engine_loop_]`
+//!     [--normalize engine_loop_] [--write-baseline rolling.json]`
 
 use std::collections::BTreeMap;
 use std::process::exit;
@@ -115,6 +124,7 @@ fn main() {
     let mut fresh_path = None;
     let mut min_ratio = 0.9f64;
     let mut normalize: Option<String> = None;
+    let mut write_baseline: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -132,6 +142,10 @@ fn main() {
             }
             "--normalize" => {
                 normalize = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--write-baseline" => {
+                write_baseline = Some(args[i + 1].clone());
                 i += 2;
             }
             other => panic!("unknown argument {other}"),
@@ -204,6 +218,25 @@ fn main() {
         println!("NEW   {name}: no baseline yet");
     }
     assert!(compared > 0, "no common scenarios between baseline and fresh profile");
+
+    if let Some(path) = &write_baseline {
+        // Rolling per-runner baseline: element-wise best of both sides
+        // (noise can only tighten a floor toward the true best), new
+        // scenarios adopted as-is. Written in the plain `perf` shape so it
+        // feeds straight back into `--baseline` on the next run.
+        let mut merged = baseline.clone();
+        for (name, &new) in &fresh {
+            merged.entry(name.clone()).and_modify(|v| *v = v.min(new)).or_insert(new);
+        }
+        let mut json = String::from("{\n  \"note\": \"rolling per-runner baseline (element-wise best; see benchcmp --write-baseline)\",\n  \"scenarios\": {\n");
+        for (k, (name, secs)) in merged.iter().enumerate() {
+            let comma = if k + 1 < merged.len() { "," } else { "" };
+            json.push_str(&format!("    \"{name}\": {{\"mean_seconds\": {secs:.9}}}{comma}\n"));
+        }
+        json.push_str("  }\n}\n");
+        std::fs::write(path, json).expect("write rolling baseline");
+        println!("WROTE rolling baseline ({} scenarios) to {path}", merged.len());
+    }
 
     if failures.is_empty() {
         println!("bench-compare: {compared} scenarios within {min_ratio}x of baseline");

@@ -124,6 +124,34 @@ fn main() {
             }
         }
     }
+
+    // Greedy determinism grid (PR 5): the full greedy combination
+    // (IteratedGreedy × EndGreedy) and the opt-in approximate WarmGreedy
+    // variant across both arrival processes, so Algorithm 5's warm-start
+    // dispatch (certificate, fallback and resumed loop) is pinned
+    // byte-for-byte like STF/EndLocal already are. Appended after the
+    // PR 4 blocks: every older line keeps its exact position and bytes.
+    for seed in [3u64, 21, 77] {
+        for (sname, strategy) in [
+            ("IG-EG+arr", OnlineStrategy::resizing(Heuristic::IteratedGreedyEndGreedy)),
+            ("warm+arr", OnlineStrategy::resizing(Heuristic::WarmGreedy)),
+        ] {
+            let mut poisson = PoissonArrivals::new(seed, 4_000.0);
+            let out = online_run(&mut poisson, 14, seed, &strategy);
+            println!(
+                "greedy-grid seed={seed} arr=poisson s={sname} mk={:.17e} faults={} rc={} csv_hash={:x}",
+                out.makespan, out.handled_faults, out.redistributions,
+                fnv(out.trace.to_csv().as_bytes())
+            );
+            let mut bursty = BurstyArrivals::new(seed, 4, 20_000.0);
+            let out = online_run(&mut bursty, 14, seed, &strategy);
+            println!(
+                "greedy-grid seed={seed} arr=bursty s={sname} mk={:.17e} faults={} rc={} csv_hash={:x}",
+                out.makespan, out.handled_faults, out.redistributions,
+                fnv(out.trace.to_csv().as_bytes())
+            );
+        }
+    }
 }
 
 fn fnv(b: &[u8]) -> u64 {

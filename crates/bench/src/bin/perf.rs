@@ -162,6 +162,44 @@ fn main() {
         }),
     );
 
+    // Greedy-policy scale targets (PR 5): Algorithm 5 at n = 1000 on 5000
+    // processors. The storm variant (2-year MTBF) makes IteratedGreedy
+    // invocations dominate; the paper-MTBF variant runs the full greedy
+    // combination (EndGreedy at ends + IteratedGreedy on faults).
+    record(
+        "engine_storm_igel_n1000_p5000",
+        time_budgeted(budget, || {
+            std::hint::black_box(engine_run(
+                1000,
+                5000,
+                2.0,
+                Heuristic::IteratedGreedyEndLocal,
+            ));
+        }),
+    );
+    record(
+        "engine_ig_n1000_p5000",
+        time_budgeted(budget, || {
+            std::hint::black_box(engine_run(
+                1000,
+                5000,
+                10.0,
+                Heuristic::IteratedGreedyEndGreedy,
+            ));
+        }),
+    );
+    // The opt-in approximate warm rebuild on the same storm workload: the
+    // greedy loop resumes from the committed allocation instead of
+    // resetting every participant, so its per-event cost scales with the
+    // affected set — compare against engine_storm_igel_n1000_p5000 for the
+    // exact-path counterpart.
+    record(
+        "engine_storm_warmgreedy_n1000_p5000",
+        time_budgeted(budget, || {
+            std::hint::black_box(engine_run(1000, 5000, 2.0, Heuristic::WarmGreedy));
+        }),
+    );
+
     // Static campaign throughput: one (n, p, MTBF) figure point, 32 runs,
     // baseline + two heuristics per run.
     record(

@@ -18,7 +18,7 @@ use redistrib_model::{TaskId, TimeCalc};
 use redistrib_sim::trace::{TraceEvent, TraceLog};
 
 use crate::heap::LazyMaxHeap;
-use crate::incremental::SessionOverlay;
+use crate::incremental::{GreedyWarmStats, SessionOverlay};
 use crate::state::PackState;
 
 /// Persistent policy planning state, owned by the engine and threaded
@@ -43,6 +43,8 @@ pub struct PolicyScratch {
     /// Incremental session overlay (dirty set + stash), persistent across
     /// events with O(1) epoch invalidation.
     pub overlay: SessionOverlay,
+    /// Greedy warm-start counters (warm resumes vs reset fallbacks).
+    pub greedy_stats: GreedyWarmStats,
 }
 
 /// The tasks allowed to participate in a redistribution decision.
@@ -170,7 +172,10 @@ impl HeuristicCtx<'_> {
         match self.eligible {
             EligibleSet::Listed(list) => list.iter().copied().for_each(f),
             EligibleSet::Live { .. } => {
-                for i in 0..self.state.num_tasks() {
+                // Iterate the still-active ids (ascending, a subset of
+                // 0..n with identical eligibility outcomes) so the pass
+                // scales with the live pack, not every task ever seen.
+                for &i in self.state.active_ids() {
                     if self.is_eligible(i) {
                         f(i);
                     }
@@ -269,6 +274,15 @@ impl HeuristicCtx<'_> {
     }
 
     fn apply_bookkeeping(&mut self, plan: &Plan) {
+        if self.state.greedy_floors_ready() {
+            // Keep the persistent warm-start floor queue exact: every
+            // committed allocation change re-derives the moved task's key.
+            let floor = crate::incremental::greedy_floor_key(
+                self.calc.task_size(plan.task),
+                plan.sigma_new,
+            );
+            self.state.set_greedy_floor(plan.task, floor);
+        }
         let rc = self.calc.rc_cost(plan.task, plan.sigma_init, plan.sigma_new);
         let overhead =
             if plan.faulty { self.fault_overhead(plan.task, plan.sigma_init) } else { 0.0 };

@@ -467,6 +467,27 @@ mod tests {
     }
 
     #[test]
+    fn approx_warm_greedy_runs_and_replays() {
+        // The opt-in approximate WarmGreedy combination (resume-from-
+        // committed, grow-only) must complete under fault pressure,
+        // redistribute at task ends (free pairs flow to the longest
+        // planned finish times) and replay deterministically — there is no
+        // reference equivalence to assert, that is the point of the
+        // variant.
+        let h = Heuristic::WarmGreedy;
+        let cfg = EngineConfig::with_faults(23, units::years(4.0)).recording();
+        let c1 = fault_calc(6, 28, 4.0);
+        let o1 = run(&c1, &*h.end_policy(), &*h.fault_policy(), &cfg).unwrap();
+        let c2 = fault_calc(6, 28, 4.0);
+        let o2 = run(&c2, &*h.end_policy(), &*h.fault_policy(), &cfg).unwrap();
+        assert!(o1.makespan.is_finite() && o1.makespan > 0.0);
+        assert!(o1.redistributions > 0, "task ends must trigger warm grants");
+        assert_eq!(o1.makespan.to_bits(), o2.makespan.to_bits());
+        assert_eq!(o1.redistributions, o2.redistributions);
+        assert_eq!(o1.trace.to_csv(), o2.trace.to_csv());
+    }
+
+    #[test]
     fn trace_recording() {
         let cfg = EngineConfig::with_faults(3, units::years(4.0)).recording();
         let calc = fault_calc(4, 16, 4.0);

@@ -36,10 +36,13 @@ pub use ctx::{EligibleSet, HeuristicCtx, Plan, PlanEntry, PolicyScratch};
 pub use engine::{run, EngineConfig, FaultConfig, RunOutcome};
 pub use error::ScheduleError;
 pub use heap::{LazyMaxHeap, LazyMinHeap};
-pub use incremental::{IncrementalState, SessionOverlay};
+pub use incremental::{
+    greedy_floor, greedy_floor_key, GreedyWarmStats, IncrementalState, SessionOverlay,
+};
 pub use optimal::optimal_schedule;
 pub use policies::{
-    greedy_rebuild, EndGreedy, EndLocal, EndPolicy, FaultPolicy, Heuristic, IteratedGreedy,
-    NoEndRedistribution, NoFaultRedistribution, ShortestTasksFirst,
+    greedy_rebuild, greedy_rebuild_warm, EndGreedy, EndGreedyWarm, EndLocal, EndPolicy,
+    FaultPolicy, Heuristic, IteratedGreedy, IteratedGreedyWarm, NoEndRedistribution,
+    NoFaultRedistribution, ShortestTasksFirst,
 };
 pub use state::{PackState, TaskRuntime};

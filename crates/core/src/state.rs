@@ -111,6 +111,10 @@ pub struct PackState {
     free: FreePool,
     /// Number of tasks not yet completed (maintained incrementally).
     active: usize,
+    /// Ascending ids of tasks not yet completed — the iteration set of the
+    /// live eligibility views, so a per-event pass scales with the tasks
+    /// still running instead of every task ever submitted.
+    active_ids: Vec<TaskId>,
     /// Monotone high-water mark of any single task's allocation size —
     /// a cheap *upper bound* on every active `σ(i)` (it never decreases,
     /// so shrinks and completions keep it valid), used by the incremental
@@ -125,6 +129,26 @@ pub struct PackState {
     /// now the longest?" checks and seeds the incremental policies' head
     /// queries without a per-event rebuild.
     tails: LazyMaxHeap,
+    /// Persistent greedy warm-start keys: for every started active task
+    /// with `σ ≥ 4`, its shrink-floor `RC_FLOOR_SAFETY · m_i/σ_i` — the
+    /// provable minimum redistribution cost of moving the task off its
+    /// committed allocation. The queue minimum is the binding constraint of
+    /// the warm-start certificate (`policies::greedy`): when it exceeds the
+    /// pack's remaining horizon, Algorithm 5's two-processor reset provably
+    /// walks every participant back to its committed allocation, so the
+    /// rebuild may resume from it.
+    ///
+    /// Values derive from the task sizes the state cannot see, so the queue
+    /// is *caller-maintained*: the policy layer initializes it lazily
+    /// ([`PackState::greedy_floors_ready`]), every committed reallocation
+    /// refreshes the moved task's entry ([`PackState::set_greedy_floor`]),
+    /// and completions drop theirs ([`PackState::complete`]). Queries
+    /// revalidate entries lazily (`LazyHeapCore::peek_valid`), so a stale
+    /// *conservative* entry (completed task) costs one heap operation, and
+    /// the debug certificate asserts exactness against a full scan.
+    floors: LazyMinHeap,
+    /// Whether `floors` has been initialized by the policy layer.
+    floors_ready: bool,
 }
 
 impl PackState {
@@ -158,9 +182,12 @@ impl PackState {
             task_procs,
             free,
             active: sigmas.len(),
+            active_ids: (0..sigmas.len()).collect(),
             sigma_hi: sigmas.iter().copied().max().unwrap_or(0),
             ends: LazyMinHeap::with_len(sigmas.len()),
             tails: LazyMaxHeap::with_len(sigmas.len()),
+            floors: LazyMinHeap::with_len(sigmas.len()),
+            floors_ready: false,
         }
     }
 
@@ -315,13 +342,63 @@ impl PackState {
         rt.alpha = 0.0;
         rt.completion_time = time;
         self.active -= 1;
+        let pos = self.active_ids.binary_search(&i).expect("completed task was active");
+        self.active_ids.remove(pos);
         self.ends.remove(i);
         self.tails.remove(i);
+        self.floors.remove(i);
+    }
+
+    /// Whether the greedy warm-start floor queue has been initialized (the
+    /// policy layer does so lazily on its first warm-start certificate).
+    #[must_use]
+    pub fn greedy_floors_ready(&self) -> bool {
+        self.floors_ready
+    }
+
+    /// Sets (or clears, with `None`) task `i`'s greedy warm-start floor.
+    /// Must be called by whoever changes a started task's allocation while
+    /// the queue is ready: `Some(RC_FLOOR_SAFETY · m_i/σ_i)` for `σ ≥ 4`,
+    /// `None` below (a two-processor task has no shrink walk to certify).
+    ///
+    /// # Panics
+    /// Panics (debug) if a floor is set while the queue is not ready.
+    pub fn set_greedy_floor(&mut self, i: TaskId, floor: Option<f64>) {
+        debug_assert!(self.floors_ready, "greedy floor set before initialization");
+        match floor {
+            Some(v) => self.floors.update(i, v),
+            None => self.floors.remove(i),
+        }
+    }
+
+    /// Takes the greedy floor queue for a certificate query (the lazy
+    /// revalidation closure borrows the pack state read-only); hand it back
+    /// via [`PackState::put_greedy_floors`]. The first take marks the queue
+    /// ready — the caller must fully populate it before returning it.
+    #[must_use]
+    pub fn take_greedy_floors(&mut self) -> LazyMinHeap {
+        debug_assert_eq!(self.floors.len(), self.runtimes.len(), "floor queue already taken");
+        self.floors_ready = true;
+        std::mem::take(&mut self.floors)
+    }
+
+    /// Returns the floor queue taken by [`PackState::take_greedy_floors`].
+    pub fn put_greedy_floors(&mut self, q: LazyMinHeap) {
+        debug_assert_eq!(q.len(), self.runtimes.len(), "returning a foreign floor queue");
+        self.floors = q;
     }
 
     /// Iterates over the ids of tasks still running.
     pub fn active_tasks(&self) -> impl Iterator<Item = TaskId> + '_ {
-        self.runtimes.iter().enumerate().filter(|(_, r)| !r.done).map(|(i, _)| i)
+        self.active_ids.iter().copied()
+    }
+
+    /// Ascending ids of tasks not yet completed (O(1) access; maintained
+    /// incrementally by [`PackState::complete`]).
+    #[must_use]
+    pub fn active_ids(&self) -> &[TaskId] {
+        debug_assert_eq!(self.active_ids.len(), self.active);
+        &self.active_ids
     }
 
     /// Number of tasks still running (O(1), maintained incrementally).

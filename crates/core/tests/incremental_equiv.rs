@@ -38,6 +38,36 @@ fn workload(n: usize, seed: u64, identical_sizes: bool) -> Workload {
     Workload::new(tasks, Arc::new(PaperModel::default()))
 }
 
+/// Runs one heuristic through the incremental live-view path and the
+/// from-scratch reference path on the same stream, asserting byte-equal
+/// outcomes.
+fn assert_incremental_equals_reference(
+    seed: u64,
+    n: usize,
+    p: u32,
+    mtbf_years: f64,
+    h: Heuristic,
+    identical_sizes: bool,
+) -> Result<(), String> {
+    let platform = Platform::with_mtbf(p, units::years(mtbf_years));
+    let base = EngineConfig::with_faults(seed ^ 0x14C2, platform.proc_mtbf).recording();
+
+    let calc_a = TimeCalc::new(workload(n, seed, identical_sizes), platform);
+    let a = run(&calc_a, &*h.end_policy(), &*h.fault_policy(), &base).unwrap();
+
+    let reference = EngineConfig { reference_policies: true, ..base };
+    let calc_b = TimeCalc::new(workload(n, seed, identical_sizes), platform);
+    let b = run(&calc_b, &*h.end_policy(), &*h.fault_policy(), &reference).unwrap();
+
+    prop_assert_eq!(a.makespan.to_bits(), b.makespan.to_bits(), "makespan differs");
+    prop_assert_eq!(a.handled_faults, b.handled_faults);
+    prop_assert_eq!(a.discarded_faults, b.discarded_faults);
+    prop_assert_eq!(a.redistributions, b.redistributions);
+    prop_assert_eq!(a.initial_allocation, b.initial_allocation);
+    prop_assert_eq!(a.trace.to_csv(), b.trace.to_csv(), "event logs diverge");
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -54,22 +84,34 @@ proptest! {
         identical_sizes in any::<bool>(),
     ) {
         let p = 2 * n as u32 + 2 * extra_pairs;
-        let platform = Platform::with_mtbf(p, units::years(mtbf_years));
-        let h = HEURISTICS[h_idx];
-        let base = EngineConfig::with_faults(seed ^ 0x14C2, platform.proc_mtbf).recording();
+        assert_incremental_equals_reference(
+            seed, n, p, mtbf_years, HEURISTICS[h_idx], identical_sizes,
+        )?;
+    }
 
-        let calc_a = TimeCalc::new(workload(n, seed, identical_sizes), platform);
-        let a = run(&calc_a, &*h.end_policy(), &*h.fault_policy(), &base).unwrap();
-
-        let reference = EngineConfig { reference_policies: true, ..base };
-        let calc_b = TimeCalc::new(workload(n, seed, identical_sizes), platform);
-        let b = run(&calc_b, &*h.end_policy(), &*h.fault_policy(), &reference).unwrap();
-
-        prop_assert_eq!(a.makespan.to_bits(), b.makespan.to_bits(), "makespan differs");
-        prop_assert_eq!(a.handled_faults, b.handled_faults);
-        prop_assert_eq!(a.discarded_faults, b.discarded_faults);
-        prop_assert_eq!(a.redistributions, b.redistributions);
-        prop_assert_eq!(a.initial_allocation, b.initial_allocation);
-        prop_assert_eq!(a.trace.to_csv(), b.trace.to_csv(), "event logs diverge");
+    /// Warm-start greedy ≡ reference greedy under fault/completion storms:
+    /// a short MTBF interleaves rollbacks, recovery-window completions and
+    /// greedy rebuilds densely, so the drain-phase warm starts, the reset
+    /// fallbacks and the persistent floor queue's maintenance are all
+    /// exercised within one run — end-to-end trace equality on top of the
+    /// per-decision debug cross-checks.
+    #[test]
+    fn warm_start_greedy_equals_reference_in_storms(
+        seed in any::<u64>(),
+        n in 2..8usize,
+        extra_pairs in 0..8u32,
+        mtbf_years in 0.5..3.0f64,
+        greedy_idx in 0..3usize,
+        identical_sizes in any::<bool>(),
+    ) {
+        let greedy = [
+            Heuristic::IteratedGreedyEndGreedy,
+            Heuristic::IteratedGreedyEndLocal,
+            Heuristic::EndGreedyOnly,
+        ][greedy_idx];
+        let p = 2 * n as u32 + 2 * extra_pairs;
+        assert_incremental_equals_reference(
+            seed, n, p, mtbf_years, greedy, identical_sizes,
+        )?;
     }
 }

@@ -24,6 +24,7 @@ struct Args {
     opts: FigOpts,
     out: Option<PathBuf>,
     plot: bool,
+    log: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -31,11 +32,16 @@ fn parse_args() -> Result<Args, String> {
     let mut opts = FigOpts::default();
     let mut out = None;
     let mut plot = false;
+    let mut log = None;
     let mut it = env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quick" => opts.quick = true,
             "--plot" => plot = true,
+            "--log" => {
+                let v = it.next().ok_or("--log needs an SWF file path")?;
+                log = Some(PathBuf::from(v));
+            }
             "--runs" => {
                 let v = it.next().ok_or("--runs needs a value")?;
                 opts.runs = Some(v.parse().map_err(|_| format!("bad --runs value: {v}"))?);
@@ -58,13 +64,15 @@ fn parse_args() -> Result<Args, String> {
     if targets.is_empty() {
         return Err(usage());
     }
-    Ok(Args { targets, opts, out, plot })
+    Ok(Args { targets, opts, out, plot, log })
 }
 
 fn usage() -> String {
     format!(
         "usage: experiments <target…> [--quick] [--plot] [--runs N] [--seed S] [--out DIR]\n\
-         targets: table1, all, {}, validation, ablation, gap, profiles, silent, online",
+         \x20      [--log FILE.swf]\n\
+         targets: table1, all, {}, validation, ablation, gap, warm, profiles, silent, online,\n\
+         \x20        swf (replays --log through the Session API)",
         ALL_FIGURES.join(", ")
     )
 }
@@ -112,27 +120,48 @@ fn main() -> ExitCode {
     }
 
     for target in targets {
-        let extension: Option<Result<Table, _>> = match target.as_str() {
+        let extension: Option<Result<Table, String>> = match target.as_str() {
             "validation" => Some(Ok(extensions::validation_table(
                 if args.opts.quick { 100 } else { 2000 },
                 args.opts.seed,
             ))),
-            "ablation" => Some(extensions::ablation_table(
-                args.opts.resolve_runs_public(),
-                args.opts.seed,
-            )),
-            "gap" => Some(extensions::gap_table(
-                if args.opts.quick { 4 } else { 12 },
-                args.opts.seed,
-            )),
-            "profiles" => Some(extensions::profiles_table(args.opts.seed)),
+            "ablation" => Some(
+                extensions::ablation_table(args.opts.resolve_runs_public(), args.opts.seed)
+                    .map_err(|e| e.to_string()),
+            ),
+            "gap" => Some(
+                extensions::gap_table(if args.opts.quick { 4 } else { 12 }, args.opts.seed)
+                    .map_err(|e| e.to_string()),
+            ),
+            "warm" => Some(
+                extensions::warm_table(args.opts.resolve_runs_public(), args.opts.seed)
+                    .map_err(|e| e.to_string()),
+            ),
+            "profiles" => {
+                Some(extensions::profiles_table(args.opts.seed).map_err(|e| e.to_string()))
+            }
             "silent" => Some(Ok(extensions::silent_table(
                 if args.opts.quick { 100 } else { 1000 },
                 args.opts.seed,
             ))),
-            "online" => {
-                Some(online::campaign_table(args.opts.quick, args.opts.runs, args.opts.seed))
-            }
+            "online" => Some(
+                online::campaign_table(args.opts.quick, args.opts.runs, args.opts.seed)
+                    .map_err(|e| e.to_string()),
+            ),
+            // Real-log replay through the Session API; shares the generic
+            // table-print / --out handling below.
+            "swf" => Some(args.log.as_ref().map_or_else(
+                || Err(format!("the swf target needs --log FILE.swf\n{}", usage())),
+                |path| {
+                    let text = fs::read_to_string(path)
+                        .map_err(|e| format!("error reading {}: {e}", path.display()))?;
+                    let label = path.file_name().map_or_else(
+                        || path.display().to_string(),
+                        |n| n.to_string_lossy().into_owned(),
+                    );
+                    online::swf_campaign_table(&text, &label, args.opts.runs, args.opts.seed)
+                },
+            )),
             _ => None,
         };
         if let Some(result) = extension {

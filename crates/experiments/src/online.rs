@@ -10,8 +10,8 @@
 use redistrib_core::{Heuristic, ScheduleError};
 use redistrib_model::{JobSpec, PaperModel, Platform};
 use redistrib_online::{
-    generate_jobs, JobSizeModel, OnlineConfig, OnlineOutcome, OnlineStrategy, PoissonArrivals,
-    Scheduler,
+    generate_jobs, parse_swf, swf_jobs, JobSizeModel, OnlineConfig, OnlineOutcome,
+    OnlineStrategy, PoissonArrivals, Scheduler, SwfMapping,
 };
 use redistrib_sim::stats::Welford;
 use redistrib_sim::units;
@@ -244,6 +244,171 @@ pub fn campaign_table(
     Ok(online_table(&cfg, &stats))
 }
 
+/// Configuration of an SWF-replay campaign: one real scheduler log (the
+/// Parallel Workloads Archive format), replayed through the Session API
+/// under `runs` independent fault traces per strategy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwfCampaignConfig {
+    /// Platform size `p`.
+    pub p: u32,
+    /// Per-processor MTBF in years.
+    pub mtbf_years: f64,
+    /// Number of fault traces to average (the job stream is the log and
+    /// never resampled).
+    pub runs: usize,
+    /// Base seed; run `r` derives its fault seed exactly like the static
+    /// runner.
+    pub base_seed: u64,
+    /// How logged processor-seconds become paper-model job sizes.
+    pub mapping: SwfMapping,
+}
+
+impl SwfCampaignConfig {
+    /// Default replay point: 128 processors, 25-year MTBF, 8 fault traces.
+    #[must_use]
+    pub fn default_point() -> Self {
+        Self {
+            p: 128,
+            mtbf_years: 25.0,
+            runs: 8,
+            base_seed: 0x5F_F00D,
+            mapping: SwfMapping::default(),
+        }
+    }
+}
+
+/// Replays one SWF log under every strategy, normalizing per fault trace by
+/// the no-resize baseline — the same §6.2 methodology as
+/// [`run_online_point`], with the arrival stream pinned to the log instead
+/// of resampled.
+///
+/// # Errors
+/// Propagates the engine error of the lowest-indexed failing run.
+///
+/// # Panics
+/// Panics if the log contains no usable job.
+pub fn run_swf_point(
+    jobs: &[JobSpec],
+    cfg: &SwfCampaignConfig,
+    strategies: &[OnlineStrategy],
+) -> Result<Vec<OnlineVariantStats>, ScheduleError> {
+    let platform = Platform::with_mtbf(cfg.p, units::years(cfg.mtbf_years));
+    let baseline = OnlineStrategy::no_resize();
+    let execute = |fault_seed: u64, s: &OnlineStrategy| {
+        Scheduler::on(platform)
+            .speedup(std::sync::Arc::new(PaperModel::default()))
+            .strategy(*s)
+            .config(OnlineConfig::with_faults(fault_seed, platform.proc_mtbf))
+            .run(jobs)
+    };
+    let mut acc: Vec<(Welford, Welford, Welford, Welford, Welford)> =
+        vec![Default::default(); strategies.len()];
+    stream_runs(
+        cfg.runs,
+        |r| {
+            let (_, fault_seed) = run_seeds(cfg.base_seed, r);
+            let base = execute(fault_seed, &baseline)?;
+            let reduce = |out: &OnlineOutcome| {
+                (
+                    out.metrics.mean_stretch,
+                    out.makespan,
+                    out.metrics.utilization,
+                    out.redistributions as f64,
+                )
+            };
+            let mut rows = Vec::with_capacity(strategies.len());
+            for s in strategies {
+                if *s == baseline {
+                    rows.push(reduce(&base));
+                } else {
+                    rows.push(reduce(&execute(fault_seed, s)?));
+                }
+            }
+            Ok(RunRow {
+                baseline_stretch: base.metrics.mean_stretch,
+                baseline_makespan: base.makespan,
+                rows,
+            })
+        },
+        |_, row: RunRow| {
+            for (v, &(stretch, mk, util, rc)) in row.rows.iter().enumerate() {
+                acc[v].0.push(stretch / row.baseline_stretch);
+                acc[v].1.push(stretch);
+                acc[v].2.push(mk / row.baseline_makespan);
+                acc[v].3.push(util);
+                acc[v].4.push(rc);
+            }
+        },
+    )?;
+    Ok(strategies
+        .iter()
+        .zip(acc)
+        .map(|(s, (ratio, stretch, mk, util, rc))| OnlineVariantStats {
+            name: s.name(),
+            stretch_ratio: ratio.mean(),
+            ci95: ratio.ci95_half_width(),
+            mean_stretch: stretch.mean(),
+            makespan_ratio: mk.mean(),
+            mean_utilization: util.mean(),
+            mean_redistributions: rc.mean(),
+        })
+        .collect())
+}
+
+/// The `swf` CLI target: parses an SWF log and replays it under the
+/// default strategy grid plus the approximate `WarmGreedy` variant,
+/// rendering the campaign table.
+///
+/// # Errors
+/// A rendered message on malformed logs (`SwfError`) or engine failures.
+pub fn swf_campaign_table(
+    swf_text: &str,
+    label: &str,
+    runs: Option<usize>,
+    seed: u64,
+) -> Result<Table, String> {
+    let records = parse_swf(swf_text).map_err(|e| format!("{label}: {e}"))?;
+    if records.is_empty() {
+        return Err(format!("{label}: no usable job records"));
+    }
+    let mut cfg = SwfCampaignConfig::default_point();
+    cfg.base_seed ^= seed;
+    if let Some(r) = runs {
+        cfg.runs = r.max(1);
+    }
+    let jobs = swf_jobs(&records, &cfg.mapping);
+    let mut strategies = campaign_strategies();
+    strategies.push(OnlineStrategy::resizing(Heuristic::WarmGreedy));
+    let stats = run_swf_point(&jobs, &cfg, &strategies).map_err(|e| e.to_string())?;
+    let mut table = Table::new(
+        format!(
+            "SWF replay: {label}, p = {}, MTBF = {} y, {} fault traces",
+            cfg.p, cfg.mtbf_years, cfg.runs
+        ),
+        vec![
+            "strategy".into(),
+            "stretch ratio".into(),
+            "±95% CI".into(),
+            "mean stretch".into(),
+            "makespan ratio".into(),
+            "utilization".into(),
+            "redistributions".into(),
+        ],
+    );
+    for s in &stats {
+        table.push_row(vec![
+            s.name.clone(),
+            fmt_ratio(s.stretch_ratio),
+            fmt_ratio(s.ci95),
+            fmt_num(s.mean_stretch),
+            fmt_ratio(s.makespan_ratio),
+            fmt_ratio(s.mean_utilization),
+            fmt_num(s.mean_redistributions),
+        ]);
+    }
+    Ok(table)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -301,5 +466,58 @@ mod tests {
         for row in &table.rows {
             assert_eq!(row.len(), table.headers.len());
         }
+    }
+
+    /// The real-log fixture shared with `redistrib-online`'s SWF tests.
+    const SWF_FIXTURE: &str = include_str!("../../online/tests/fixtures/tiny.swf");
+
+    #[test]
+    fn swf_replay_runs_baseline_normalized() {
+        let cfg = SwfCampaignConfig {
+            p: 96,
+            mtbf_years: 15.0,
+            runs: 3,
+            base_seed: 42,
+            mapping: SwfMapping::default(),
+        };
+        let records = parse_swf(SWF_FIXTURE).unwrap();
+        let jobs = swf_jobs(&records, &cfg.mapping);
+        let stats = run_swf_point(
+            &jobs,
+            &cfg,
+            &[
+                OnlineStrategy::no_resize(),
+                OnlineStrategy::resizing(Heuristic::IteratedGreedyEndLocal),
+                OnlineStrategy::resizing(Heuristic::WarmGreedy),
+            ],
+        )
+        .unwrap();
+        assert_eq!(stats.len(), 3);
+        assert!((stats[0].stretch_ratio - 1.0).abs() < 1e-12, "baseline normalizes to 1");
+        for s in &stats {
+            assert!(s.mean_stretch >= 1.0 - 1e-9, "{}: stretch {}", s.name, s.mean_stretch);
+            assert!(s.mean_utilization > 0.0);
+        }
+    }
+
+    #[test]
+    fn swf_replay_is_deterministic() {
+        let records = parse_swf(SWF_FIXTURE).unwrap();
+        let jobs = swf_jobs(&records, &SwfMapping::default());
+        let cfg = SwfCampaignConfig { runs: 2, ..SwfCampaignConfig::default_point() };
+        let strategies = [OnlineStrategy::resizing(Heuristic::ShortestTasksFirstEndLocal)];
+        let a = run_swf_point(&jobs, &cfg, &strategies).unwrap();
+        let b = run_swf_point(&jobs, &cfg, &strategies).unwrap();
+        assert_eq!(a[0].stretch_ratio, b[0].stretch_ratio);
+        assert_eq!(a[0].makespan_ratio, b[0].makespan_ratio);
+    }
+
+    #[test]
+    fn swf_campaign_table_renders_and_rejects_garbage() {
+        let table = swf_campaign_table(SWF_FIXTURE, "tiny.swf", Some(2), 7).unwrap();
+        assert!(table.title.contains("SWF replay"));
+        assert!(table.rows.iter().any(|r| r[0] == "WarmGreedy+arrival"));
+        let err = swf_campaign_table("1 2 3", "bad.swf", Some(1), 0).unwrap_err();
+        assert!(err.contains("too few fields"), "{err}");
     }
 }

@@ -105,3 +105,46 @@ fn gap_extension_runs() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("optimality gap"));
 }
+
+#[test]
+fn warm_extension_measures_approximate_variant() {
+    let out = bin().args(["warm", "--runs", "2", "--seed", "5"]).output().expect("spawn");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("approximate WarmGreedy vs exact"), "missing title:\n{stdout}");
+    assert!(stdout.contains("WarmGreedy"));
+    assert!(stdout.contains("IteratedGreedy-EndGreedy"));
+}
+
+#[test]
+fn swf_target_replays_real_log() {
+    // The same Parallel Workloads Archive fixture the online crate's SWF
+    // parser tests use, replayed end to end through the Session API.
+    let fixture = include_str!("../../online/tests/fixtures/tiny.swf");
+    let dir = std::env::temp_dir().join(format!("redistrib-swf-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let log = dir.join("tiny.swf");
+    std::fs::write(&log, fixture).expect("write fixture");
+    let out = bin()
+        .args(["swf", "--runs", "2", "--seed", "9", "--log"])
+        .arg(&log)
+        .arg("--out")
+        .arg(&dir)
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("SWF replay: tiny.swf"), "missing title:\n{stdout}");
+    assert!(stdout.contains("WarmGreedy+arrival"), "approximate variant missing:\n{stdout}");
+    let csv = std::fs::read_to_string(dir.join("swf.csv")).expect("csv written");
+    assert!(csv.starts_with("strategy,"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn swf_target_without_log_fails_with_hint() {
+    let out = bin().arg("swf").output().expect("spawn");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--log"), "stderr: {stderr}");
+}

@@ -19,7 +19,6 @@
 use std::collections::{BTreeSet, VecDeque};
 use std::sync::Arc;
 
-use redistrib_core::policies::greedy_rebuild;
 use redistrib_core::{
     EligibleSet, EndPolicy, FaultPolicy, HeuristicCtx, PackState, PolicyScratch, ScheduleError,
 };
@@ -134,7 +133,8 @@ pub enum JobState {
 
 /// The static-engine policy entry point to invoke.
 enum PolicyCall {
-    /// `greedy_rebuild` over the eligible set (arrival rebalance).
+    /// The strategy-selected greedy rebuild over the eligible set
+    /// (arrival rebalance; see `Heuristic::arrival_rebuild`).
     Rebuild,
     /// The strategy's end policy (completion).
     End,
@@ -526,6 +526,13 @@ impl Session {
     fn start_job(&mut self, i: TaskId, t: f64, waiting: usize) {
         let grant = self.admission_grant(i, waiting);
         self.state.grow(i, grant);
+        if self.state.greedy_floors_ready() {
+            // The admission grant changes an allocation outside the policy
+            // commit path: refresh the greedy warm-start floor queue (the
+            // certificate's exactness contract, see `core::policies::greedy`).
+            let floor = redistrib_core::greedy_floor_key(self.calc.task_size(i), grant);
+            self.state.set_greedy_floor(i, floor);
+        }
         let remaining = self.calc.remaining(i, grant, 1.0);
         let rt = self.state.runtime_mut(i);
         rt.alpha = 1.0;
@@ -572,7 +579,10 @@ impl Session {
             redistributions: &mut self.redistributions,
         };
         match call {
-            PolicyCall::Rebuild => greedy_rebuild(&mut ctx, None),
+            // The arrival rebalance follows the strategy's greedy flavor
+            // (exact certified dispatch, or the approximate warm resume),
+            // selected by the heuristic exactly like end/fault policies.
+            PolicyCall::Rebuild => (self.strategy.heuristic.arrival_rebuild())(&mut ctx, None),
             PolicyCall::End => self.end_policy.on_task_end(&mut ctx),
             PolicyCall::Fault(f) => self.fault_policy.on_fault(&mut ctx, f),
         }
