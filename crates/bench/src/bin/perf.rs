@@ -20,11 +20,12 @@ use redistrib_experiments::online::campaign_strategies;
 use redistrib_experiments::runner::{run_point, PointConfig, Variant};
 use redistrib_experiments::workload::WorkloadParams;
 use redistrib_experiments::{run_online_point, OnlinePointConfig};
-use redistrib_model::{PaperModel, TimeCalc};
+use redistrib_model::{JobSpec, PaperModel, TaskSpec, TimeCalc};
 use redistrib_online::{
     generate_jobs, BurstyArrivals, JobSizeModel, OnlineConfig, OnlineStrategy, PackStaging,
     Scheduler,
 };
+use redistrib_service::{step_quantum, SessionStore, SpeedupSpec};
 
 /// Times `f` under a wall-clock budget: one warm-up call, then iterations
 /// until the budget elapses (at least one), returning `(mean_secs, iters)`.
@@ -40,6 +41,58 @@ fn time_budgeted<F: FnMut()>(budget_secs: f64, mut f: F) -> (f64, u64) {
         }
     }
     (start.elapsed().as_secs_f64() / iters as f64, iters)
+}
+
+/// The service load scenario: `sessions` concurrent sessions (4 jobs each
+/// on p = 8) registered in one `SessionStore`, drained by `workers`
+/// threads that shard the registry and advance each live session at most
+/// `quantum` events per visit — the batched-stepping loop of the session
+/// host. Returns the number of sessions completed.
+fn service_load(sessions: usize, workers: usize, quantum: u64) -> usize {
+    let store = SessionStore::new();
+    let platform = platform_with_mtbf(8, 100.0);
+    let scheduler = Scheduler::on(platform)
+        .speedup(std::sync::Arc::new(PaperModel::default()))
+        .strategy(OnlineStrategy::resizing(Heuristic::IteratedGreedyEndLocal));
+    for s in 0..sessions {
+        // Deterministic per-session variety: sizes and staggered releases
+        // differ across sessions, fault streams are per-session seeded.
+        let jobs: Vec<JobSpec> = (0..4)
+            .map(|j| JobSpec {
+                task: TaskSpec {
+                    size: 3_000.0 + 50.0 * ((s * 7 + j * 131) % 64) as f64,
+                    ckpt_unit: 1.0,
+                },
+                release: 150.0 * j as f64,
+            })
+            .collect();
+        let session = scheduler
+            .clone()
+            .faults(s as u64, platform.proc_mtbf)
+            .session(&jobs)
+            .expect("session builds");
+        store.insert(session, SpeedupSpec::Paper);
+    }
+    let handles = store.handles();
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let shard: Vec<_> =
+                handles.iter().skip(w).map(|(_, entry)| entry).step_by(workers).collect();
+            scope.spawn(move || {
+                let mut live = shard;
+                while !live.is_empty() {
+                    live.retain(|entry| {
+                        let (_, done) = step_quantum(entry, quantum).expect("step succeeds");
+                        !done
+                    });
+                }
+            });
+        }
+    });
+    let drained =
+        store.handles().iter().filter(|(_, e)| e.lock().unwrap().session.is_done()).count();
+    assert_eq!(drained, sessions, "every session must drain");
+    drained
 }
 
 /// One fault-aware engine run: the unit of work behind every figure point.
@@ -293,6 +346,20 @@ fn main() {
             std::hint::black_box((out.makespan, out.packs.len()));
         }),
     );
+
+    // Scheduler-as-a-service headline: 10k concurrent sessions in one
+    // SessionStore, drained by a worker pool advancing each session at
+    // most 8 events per visit (the host's batched-stepping loop). The
+    // mean converts straight into a sessions/second throughput.
+    let workers = std::thread::available_parallelism().map_or(4, std::num::NonZero::get).min(8);
+    let r = time_budgeted(budget.max(4.0), || {
+        std::hint::black_box(service_load(10_000, workers, 8));
+    });
+    eprintln!(
+        "service_sessions_10k: {:.0} sessions/s across {workers} workers",
+        10_000.0 / r.0
+    );
+    record("service_sessions_10k", r);
 
     // Online campaign throughput: 5 strategies × 16 runs of 24 jobs.
     record(

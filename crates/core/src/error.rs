@@ -3,7 +3,7 @@
 use std::fmt;
 
 /// Errors raised while building or executing a schedule.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ScheduleError {
     /// The platform is too small: buddy checkpointing requires at least two
     /// processors per task.
@@ -20,6 +20,21 @@ pub enum ScheduleError {
         /// The configured limit.
         limit: u64,
     },
+    /// A session snapshot failed validation on restore (inconsistent
+    /// lengths, processors owned twice, an impossible cursor, …).
+    CorruptSnapshot {
+        /// What failed to validate.
+        reason: &'static str,
+    },
+    /// A job was submitted into a running session with a release time
+    /// before the session's current simulation time — admitting it would
+    /// rewrite history the event loop has already committed.
+    ReleaseInPast {
+        /// The offending release time.
+        release: f64,
+        /// The session's current time.
+        now: f64,
+    },
 }
 
 impl fmt::Display for ScheduleError {
@@ -33,6 +48,13 @@ impl fmt::Display for ScheduleError {
             ScheduleError::EventLimitExceeded { limit } => {
                 write!(f, "simulation exceeded the event safety limit ({limit})")
             }
+            ScheduleError::CorruptSnapshot { reason } => {
+                write!(f, "corrupt session snapshot: {reason}")
+            }
+            ScheduleError::ReleaseInPast { release, now } => write!(
+                f,
+                "job release time {release} precedes the session's current time {now}"
+            ),
         }
     }
 }

@@ -185,6 +185,28 @@ impl<O: HeapOrder> LazyHeapCore<O> {
         self.current.len()
     }
 
+    /// Extends the index space to `new_len`; new indices start absent.
+    /// Crossing the small-n cutover populates the heap from the live
+    /// entries, so picks stay identical to the linear scan they replace
+    /// (the comparator is a total order — internal layout never matters).
+    ///
+    /// # Panics
+    /// Panics if `new_len` shrinks the queue.
+    pub fn grow_len(&mut self, new_len: usize) {
+        assert!(new_len >= self.current.len(), "queues never shrink");
+        self.current.resize(new_len, f64::NAN);
+        if self.small && new_len >= SMALL_N {
+            self.small = false;
+            self.heap.extend(
+                self.current
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, v)| !v.is_nan())
+                    .map(|(idx, &val)| Entry::new(idx, val)),
+            );
+        }
+    }
+
     /// Whether no index is present.
     #[must_use]
     pub fn is_empty(&self) -> bool {

@@ -45,4 +45,4 @@ pub use policies::{
     FaultPolicy, Heuristic, IteratedGreedy, IteratedGreedyWarm, NoEndRedistribution,
     NoFaultRedistribution, ShortestTasksFirst,
 };
-pub use state::{PackState, TaskRuntime};
+pub use state::{PackState, PackStateSnapshot, TaskRuntime};

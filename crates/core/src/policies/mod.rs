@@ -28,7 +28,11 @@ use redistrib_model::TaskId;
 use crate::ctx::HeuristicCtx;
 
 /// Policy applied when a task ends and releases processors.
-pub trait EndPolicy: std::fmt::Debug + Sync {
+///
+/// `Send + Sync` are supertraits so boxed policies (and the sessions that
+/// own them) can migrate across threads — the service layer pins sessions
+/// to worker shards and a `Box<dyn EndPolicy>` must travel with them.
+pub trait EndPolicy: std::fmt::Debug + Send + Sync {
     /// Redistributes the free processors (the ended task's processors are
     /// already back in the pool when this is called).
     fn on_task_end(&self, ctx: &mut HeuristicCtx<'_>);
@@ -42,7 +46,10 @@ pub trait EndPolicy: std::fmt::Debug + Sync {
 
 /// Policy applied when a failure strikes and the faulty task has become the
 /// longest of the pack.
-pub trait FaultPolicy: std::fmt::Debug + Sync {
+///
+/// `Send + Sync` are supertraits for the same reason as [`EndPolicy`]:
+/// sessions owning boxed policies must be movable across threads.
+pub trait FaultPolicy: std::fmt::Debug + Send + Sync {
     /// Rebalances processors toward the faulty task `faulty`.
     ///
     /// On entry the engine has already rolled the faulty task back to its

@@ -11,6 +11,7 @@
 use redistrib_model::TaskId;
 use redistrib_sim::stddev_population;
 
+use crate::error::ScheduleError;
 use crate::heap::{LazyMaxHeap, LazyMinHeap};
 
 /// The pool of free processor ids, as a fixed-size bitset with a
@@ -151,7 +152,147 @@ pub struct PackState {
     floors_ready: bool,
 }
 
+/// Serializable view of a [`PackState`] — the stable snapshot encoding the
+/// session snapshot/restore machinery round-trips through.
+///
+/// Only *logical* state is captured: the heap queues are represented by
+/// their authoritative value arrays (`NaN` = absent) and rebuilt
+/// canonically on restore. This is exact by construction: every queue pick
+/// is a pure function of the authoritative array under a total-order
+/// comparator, so the internal heap layout — the one thing a restore does
+/// not reproduce — can never change a decision.
+#[derive(Debug, Clone)]
+pub struct PackStateSnapshot {
+    /// Platform size `p`.
+    pub p: u32,
+    /// Per-task runtime records, verbatim.
+    pub runtimes: Vec<TaskRuntime>,
+    /// Ascending processor ids owned by each task.
+    pub task_procs: Vec<Vec<u32>>,
+    /// Monotone allocation-size high-water mark.
+    pub sigma_hi: u32,
+    /// End-event queue values (`NaN` = not started / completed).
+    pub ends: Vec<f64>,
+    /// Latest-finish queue values (same membership as `ends`).
+    pub tails: Vec<f64>,
+    /// Greedy warm-start floor queue values (`NaN` = absent).
+    pub floors: Vec<f64>,
+    /// Whether the floor queue has been initialized by the policy layer.
+    pub floors_ready: bool,
+}
+
 impl PackState {
+    /// Captures the logical state as a [`PackStateSnapshot`].
+    #[must_use]
+    pub fn snapshot(&self) -> PackStateSnapshot {
+        let n = self.runtimes.len();
+        PackStateSnapshot {
+            p: self.num_procs(),
+            runtimes: self.runtimes.clone(),
+            task_procs: self.task_procs.clone(),
+            sigma_hi: self.sigma_hi,
+            ends: (0..n).map(|i| self.ends.value(i)).collect(),
+            tails: (0..n).map(|i| self.tails.value(i)).collect(),
+            floors: (0..n).map(|i| self.floors.value(i)).collect(),
+            floors_ready: self.floors_ready,
+        }
+    }
+
+    /// Rebuilds a state from a snapshot, validating internal consistency.
+    ///
+    /// # Errors
+    /// [`ScheduleError::CorruptSnapshot`] on inconsistent lengths, processor
+    /// ids out of range or owned twice, completed tasks owning processors,
+    /// or queue membership contradicting the runtime records.
+    pub fn from_snapshot(snap: &PackStateSnapshot) -> Result<Self, ScheduleError> {
+        let n = snap.runtimes.len();
+        let corrupt = |reason| Err(ScheduleError::CorruptSnapshot { reason });
+        if snap.task_procs.len() != n
+            || snap.ends.len() != n
+            || snap.tails.len() != n
+            || snap.floors.len() != n
+        {
+            return corrupt("per-task arrays disagree on the task count");
+        }
+        let p = snap.p as usize;
+        let mut proc_owner: Vec<Option<TaskId>> = vec![None; p];
+        for (i, procs) in snap.task_procs.iter().enumerate() {
+            if snap.runtimes[i].done && !procs.is_empty() {
+                return corrupt("a completed task still owns processors");
+            }
+            for &k in procs {
+                if k as usize >= p {
+                    return corrupt("processor id out of range");
+                }
+                if proc_owner[k as usize].replace(i).is_some() {
+                    return corrupt("processor owned by two tasks");
+                }
+            }
+        }
+        let mut free = FreePool::new(snap.p);
+        for k in 0..snap.p {
+            if proc_owner[k as usize].is_none() {
+                free.insert(k);
+            }
+        }
+        let mut ends = LazyMinHeap::with_len(n);
+        let mut tails = LazyMaxHeap::with_len(n);
+        let mut floors = LazyMinHeap::with_len(n);
+        for i in 0..n {
+            if snap.ends[i].is_nan() != snap.tails[i].is_nan() {
+                return corrupt("end/latest queues disagree on membership");
+            }
+            if !snap.ends[i].is_nan() {
+                if snap.runtimes[i].done {
+                    return corrupt("a completed task is still queued");
+                }
+                ends.update(i, snap.ends[i]);
+                tails.update(i, snap.tails[i]);
+            }
+            if !snap.floors[i].is_nan() {
+                if !snap.floors_ready {
+                    return corrupt("floor entries present before initialization");
+                }
+                floors.update(i, snap.floors[i]);
+            }
+        }
+        let active_ids: Vec<TaskId> = (0..n).filter(|&i| !snap.runtimes[i].done).collect();
+        let state = Self {
+            runtimes: snap.runtimes.clone(),
+            proc_owner,
+            task_procs: snap.task_procs.clone(),
+            free,
+            active: active_ids.len(),
+            active_ids,
+            sigma_hi: snap.sigma_hi,
+            ends,
+            tails,
+            floors,
+            floors_ready: snap.floors_ready,
+        };
+        if !state.check_invariants() {
+            return corrupt("restored state fails the pack invariants");
+        }
+        Ok(state)
+    }
+
+    /// Appends `k` fresh, unstarted, unallocated tasks (ids continue from
+    /// the current count) — the growth path behind mid-run job submission.
+    /// New tasks own no processors and sit outside every queue until the
+    /// admission layer starts them, exactly like the tail of
+    /// [`PackState::unallocated`].
+    pub fn add_tasks(&mut self, k: usize) {
+        let old = self.runtimes.len();
+        let n = old + k;
+        self.runtimes.resize(n, TaskRuntime::initial());
+        self.task_procs.resize_with(n, Vec::new);
+        self.active += k;
+        self.active_ids.extend(old..n);
+        self.ends.grow_len(n);
+        self.tails.grow_len(n);
+        self.floors.grow_len(n);
+    }
+
     /// Creates the state for `p` processors with the given initial
     /// allocation sizes (task `0` receives the lowest ids, and so on).
     ///

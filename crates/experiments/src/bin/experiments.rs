@@ -25,6 +25,8 @@ struct Args {
     out: Option<PathBuf>,
     plot: bool,
     log: Option<PathBuf>,
+    addr: String,
+    workers: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -33,6 +35,8 @@ fn parse_args() -> Result<Args, String> {
     let mut out = None;
     let mut plot = false;
     let mut log = None;
+    let mut addr = "127.0.0.1:8079".to_string();
+    let mut workers = 4;
     let mut it = env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -41,6 +45,13 @@ fn parse_args() -> Result<Args, String> {
             "--log" => {
                 let v = it.next().ok_or("--log needs an SWF file path")?;
                 log = Some(PathBuf::from(v));
+            }
+            "--addr" => {
+                addr = it.next().ok_or("--addr needs host:port")?;
+            }
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a value")?;
+                workers = v.parse().map_err(|_| format!("bad --workers value: {v}"))?;
             }
             "--runs" => {
                 let v = it.next().ok_or("--runs needs a value")?;
@@ -64,17 +75,33 @@ fn parse_args() -> Result<Args, String> {
     if targets.is_empty() {
         return Err(usage());
     }
-    Ok(Args { targets, opts, out, plot, log })
+    Ok(Args { targets, opts, out, plot, log, addr, workers })
 }
 
 fn usage() -> String {
     format!(
         "usage: experiments <target…> [--quick] [--plot] [--runs N] [--seed S] [--out DIR]\n\
-         \x20      [--log FILE.swf]\n\
+         \x20      [--log FILE.swf] [--addr HOST:PORT] [--workers N]\n\
          targets: table1, all, {}, validation, ablation, gap, warm, profiles, silent, online,\n\
-         \x20        swf (replays --log through the Session API)",
+         \x20        swf (replays --log through the Session API),\n\
+         \x20        serve (hosts the scheduler as an HTTP service on --addr)",
         ALL_FIGURES.join(", ")
     )
+}
+
+/// Hosts the scheduler-as-a-service HTTP session host until killed.
+fn serve_forever(addr: &str, workers: usize) -> ExitCode {
+    let (server, _store) = match redistrib_service::serve(addr, workers) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("error binding {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("serving on http://{} ({workers} workers); Ctrl-C to stop", server.addr());
+    loop {
+        std::thread::park();
+    }
 }
 
 fn emit(report: &FigureReport, out: Option<&PathBuf>, plot: bool) -> std::io::Result<()> {
@@ -108,6 +135,14 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if args.targets.iter().any(|t| t == "serve") {
+        if args.targets.len() > 1 {
+            eprintln!("serve cannot be combined with other targets");
+            return ExitCode::FAILURE;
+        }
+        return serve_forever(&args.addr, args.workers);
+    }
 
     let mut targets: Vec<String> = Vec::new();
     for t in &args.targets {

@@ -267,13 +267,11 @@ impl Scheduler {
         Ok(Session::new(
             jobs.to_vec(),
             self.speedup.clone(),
-            p,
+            self.platform,
             self.strategy,
             calc,
             faults,
-            self.config.record_trace,
-            self.config.reference_policies,
-            self.config.max_events,
+            self.config,
             staging,
         ))
     }

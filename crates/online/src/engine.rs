@@ -5,9 +5,10 @@
 //! the monolithic [`run_online`] free function survives as a thin
 //! deprecated shim that builds a flat-FIFO session and drains it. The shim
 //! is *definitionally* byte-identical to the session path — it performs no
-//! work of its own — and the tests below pin its behavior (admission,
-//! queueing, fault handling, determinism) as a regression suite for the
-//! session underneath.
+//! work of its own — so the regression tests below (admission, queueing,
+//! fault handling, determinism) exercise the builder path directly; only
+//! `tests/session_equiv.rs` still calls the shim, on purpose, to pin the
+//! shim ≡ session equivalence itself.
 
 use std::sync::Arc;
 
@@ -50,7 +51,6 @@ pub fn run_online(
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::arrival::{generate_jobs, JobSizeModel, PoissonArrivals};
@@ -68,15 +68,25 @@ mod tests {
         Arc::new(PaperModel::default())
     }
 
+    /// The builder path the deprecated shim forwards to — every behavior
+    /// test below runs through it directly.
+    fn run(
+        jobs: &[JobSpec],
+        platform: Platform,
+        strategy: OnlineStrategy,
+        cfg: OnlineConfig,
+    ) -> Result<OnlineOutcome, ScheduleError> {
+        Scheduler::on(platform).speedup(speedup()).strategy(strategy).config(cfg).run(jobs)
+    }
+
     #[test]
     fn fault_free_run_completes_all_jobs() {
         let jobs = jobs(12, 20_000.0, 1);
-        let out = run_online(
+        let out = run(
             &jobs,
-            speedup(),
             Platform::new(32),
-            &OnlineStrategy::resizing(Heuristic::IteratedGreedyEndLocal),
-            &OnlineConfig::fault_free(),
+            OnlineStrategy::resizing(Heuristic::IteratedGreedyEndLocal),
+            OnlineConfig::fault_free(),
         )
         .unwrap();
         assert_eq!(out.jobs.len(), 12);
@@ -94,12 +104,11 @@ mod tests {
     fn faulty_run_completes_and_counts() {
         let jobs = jobs(8, 50_000.0, 2);
         let platform = Platform::with_mtbf(24, units::years(3.0));
-        let out = run_online(
+        let out = run(
             &jobs,
-            speedup(),
             platform,
-            &OnlineStrategy::resizing(Heuristic::ShortestTasksFirstEndLocal),
-            &OnlineConfig::with_faults(11, platform.proc_mtbf),
+            OnlineStrategy::resizing(Heuristic::ShortestTasksFirstEndLocal),
+            OnlineConfig::with_faults(11, platform.proc_mtbf),
         )
         .unwrap();
         assert!(out.handled_faults > 0, "3-year MTBF must produce faults");
@@ -113,8 +122,8 @@ mod tests {
         let platform = Platform::with_mtbf(16, units::years(4.0));
         let cfg = OnlineConfig::with_faults(5, platform.proc_mtbf).recording();
         let strategy = OnlineStrategy::resizing(Heuristic::IteratedGreedyEndGreedy);
-        let a = run_online(&jobs, speedup(), platform, &strategy, &cfg).unwrap();
-        let b = run_online(&jobs, speedup(), platform, &strategy, &cfg).unwrap();
+        let a = run(&jobs, platform, strategy, cfg).unwrap();
+        let b = run(&jobs, platform, strategy, cfg).unwrap();
         assert_eq!(a.trace.to_csv(), b.trace.to_csv());
         assert_eq!(a.makespan, b.makespan);
         assert_eq!(a.redistributions, b.redistributions);
@@ -128,12 +137,11 @@ mod tests {
                 JobSpec::new(redistrib_model::TaskSpec::new(1.5e6 + 1e5 * f64::from(k)), 0.0)
             })
             .collect();
-        let out = run_online(
+        let out = run(
             &burst,
-            speedup(),
             Platform::new(4),
-            &OnlineStrategy::no_resize(),
-            &OnlineConfig::fault_free().recording(),
+            OnlineStrategy::no_resize(),
+            OnlineConfig::fault_free().recording(),
         )
         .unwrap();
         assert!(out.metrics.max_queue_len >= 4, "queue: {}", out.metrics.max_queue_len);
@@ -157,14 +165,12 @@ mod tests {
         let jobs = jobs(10, 10_000.0, 7);
         let platform = Platform::with_mtbf(64, units::years(10.0));
         let cfg = OnlineConfig::with_faults(13, platform.proc_mtbf);
-        let base =
-            run_online(&jobs, speedup(), platform, &OnlineStrategy::no_resize(), &cfg).unwrap();
-        let resized = run_online(
+        let base = run(&jobs, platform, OnlineStrategy::no_resize(), cfg).unwrap();
+        let resized = run(
             &jobs,
-            speedup(),
             platform,
-            &OnlineStrategy::resizing(Heuristic::IteratedGreedyEndLocal),
-            &cfg,
+            OnlineStrategy::resizing(Heuristic::IteratedGreedyEndLocal),
+            cfg,
         )
         .unwrap();
         assert!(
@@ -179,12 +185,11 @@ mod tests {
     #[test]
     fn tiny_platform_is_rejected() {
         let jobs = jobs(2, 1000.0, 1);
-        let err = run_online(
+        let err = run(
             &jobs,
-            speedup(),
             Platform::new(1),
-            &OnlineStrategy::no_resize(),
-            &OnlineConfig::fault_free(),
+            OnlineStrategy::no_resize(),
+            OnlineConfig::fault_free(),
         )
         .unwrap_err();
         assert_eq!(err, ScheduleError::InsufficientProcessors { needed: 2, available: 1 });
@@ -194,9 +199,7 @@ mod tests {
     fn event_limit_guard() {
         let jobs = jobs(4, 10_000.0, 1);
         let cfg = OnlineConfig { max_events: 2, ..OnlineConfig::fault_free() };
-        let err =
-            run_online(&jobs, speedup(), Platform::new(16), &OnlineStrategy::no_resize(), &cfg)
-                .unwrap_err();
+        let err = run(&jobs, Platform::new(16), OnlineStrategy::no_resize(), cfg).unwrap_err();
         assert_eq!(err, ScheduleError::EventLimitExceeded { limit: 2 });
     }
 

@@ -73,6 +73,7 @@ pub mod engine;
 pub mod metrics;
 pub mod packset;
 pub mod session;
+pub mod snapshot;
 pub mod swf;
 
 pub use arrival::{
@@ -83,6 +84,10 @@ pub use builder::{OnlineConfig, OnlineStrategy, Scheduler};
 #[allow(deprecated)]
 pub use engine::run_online;
 pub use metrics::{JobStats, OnlineMetrics};
-pub use packset::{PackHandle, PackId, PackPartitioner, PackPhase, PackReport, PackStaging};
+pub use packset::{
+    PackHandle, PackId, PackPartitioner, PackPhase, PackReport, PackSetSnapshot, PackSnapshot,
+    PackStaging,
+};
 pub use session::{JobState, OnlineOutcome, Session, SessionEvent};
+pub use snapshot::SessionSnapshot;
 pub use swf::{parse_swf, swf_arrivals, swf_jobs, SwfError, SwfJob, SwfMapping};

@@ -155,6 +155,58 @@ pub(crate) struct StagedPack {
     pub opened_at: f64,
 }
 
+/// Serializable view of one staged pack (pending or active) inside a
+/// [`PackSetSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackSnapshot {
+    /// Pack id.
+    pub id: PackId,
+    /// Member job ids.
+    pub members: Vec<TaskId>,
+    /// Members not yet completed.
+    pub remaining: usize,
+    /// Time the pack opened (0 while pending).
+    pub opened_at: f64,
+}
+
+impl PackSnapshot {
+    fn of(pack: &StagedPack) -> Self {
+        Self {
+            id: pack.id,
+            members: pack.members.clone(),
+            remaining: pack.remaining,
+            opened_at: pack.opened_at,
+        }
+    }
+
+    fn into_staged(self) -> StagedPack {
+        StagedPack {
+            id: self.id,
+            members: self.members,
+            remaining: self.remaining,
+            opened_at: self.opened_at,
+        }
+    }
+}
+
+/// Serializable view of a session's multi-pack staging overlay — part of
+/// the stable session snapshot encoding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackSetSnapshot {
+    /// Partitioner applied when staging triggers.
+    pub partitioner: PackPartitioner,
+    /// Jobs waiting behind the current pack sequence, FIFO order.
+    pub backlog: Vec<TaskId>,
+    /// Staged packs not yet opened, opening order.
+    pub pending: Vec<PackSnapshot>,
+    /// The pack currently open for admission, if any.
+    pub active: Option<PackSnapshot>,
+    /// Next pack id to assign.
+    pub next_id: PackId,
+    /// Drained packs, closing order.
+    pub reports: Vec<PackReport>,
+}
+
 /// Mutable staging state of one session (absent in flat-FIFO mode).
 #[derive(Debug, Clone)]
 pub(crate) struct PackSetState {
@@ -218,6 +270,31 @@ impl PackSetState {
             jobs: p.members.clone(),
             remaining: p.remaining,
         })
+    }
+
+    /// Captures the staging overlay for a session snapshot.
+    pub(crate) fn snapshot(&self) -> PackSetSnapshot {
+        PackSetSnapshot {
+            partitioner: self.partitioner,
+            backlog: self.backlog.iter().copied().collect(),
+            pending: self.pending.iter().map(PackSnapshot::of).collect(),
+            active: self.active.as_ref().map(PackSnapshot::of),
+            next_id: self.next_id,
+            reports: self.reports.clone(),
+        }
+    }
+
+    /// Rebuilds the staging overlay from a snapshot (structural validation
+    /// — member-id ranges — happens at the session level, which knows `n`).
+    pub(crate) fn from_snapshot(snap: PackSetSnapshot) -> Self {
+        Self {
+            partitioner: snap.partitioner,
+            backlog: snap.backlog.into(),
+            pending: snap.pending.into_iter().map(PackSnapshot::into_staged).collect(),
+            active: snap.active.map(PackSnapshot::into_staged),
+            next_id: snap.next_id,
+            reports: snap.reports,
+        }
     }
 
     /// Handles over every pack staged so far, drained packs first.

@@ -22,13 +22,14 @@ use std::sync::Arc;
 use redistrib_core::{
     EligibleSet, EndPolicy, FaultPolicy, HeuristicCtx, PackState, PolicyScratch, ScheduleError,
 };
-use redistrib_model::{JobSpec, SpeedupModel, TaskId, TimeCalc};
+use redistrib_model::{JobSpec, Platform, SpeedupModel, TaskId, TimeCalc, Workload};
 use redistrib_sim::faults::FaultSource;
 use redistrib_sim::trace::{TraceEvent, TraceLog};
 
-use crate::builder::OnlineStrategy;
+use crate::builder::{OnlineConfig, OnlineStrategy};
 use crate::metrics::{JobStats, OnlineMetrics};
 use crate::packset::{PackHandle, PackId, PackReport, PackSetState, StagedPack};
+use crate::snapshot::SessionSnapshot;
 
 /// Result of one online run (returned by [`Session::run_to_completion`] and
 /// the legacy [`run_online`](crate::run_online) shim).
@@ -151,10 +152,10 @@ pub struct Session {
     // Immutable run inputs.
     jobs: Vec<JobSpec>,
     speedup: Arc<dyn SpeedupModel>,
+    platform: Platform,
     p: u32,
     strategy: OnlineStrategy,
-    reference_policies: bool,
-    max_events: u64,
+    config: OnlineConfig,
     // Simulation state (the PR 3 `OnlineSim`, field for field).
     calc: TimeCalc,
     state: PackState,
@@ -179,6 +180,9 @@ pub struct Session {
     scratch: PolicyScratch,
     // Event-loop cursor state.
     faults: Option<FaultSource>,
+    /// Faults drawn from the source so far (handled + discarded) — the
+    /// replay cursor a snapshot needs to fast-forward a fresh source.
+    faults_drawn: u64,
     order: Vec<usize>,
     next_arrival: usize,
     events: u64,
@@ -206,16 +210,15 @@ impl Session {
     pub(crate) fn new(
         jobs: Vec<JobSpec>,
         speedup: Arc<dyn SpeedupModel>,
-        p: u32,
+        platform: Platform,
         strategy: OnlineStrategy,
         calc: TimeCalc,
         faults: Option<FaultSource>,
-        record_trace: bool,
-        reference_policies: bool,
-        max_events: u64,
+        config: OnlineConfig,
         staging: Option<PackSetState>,
     ) -> Self {
         let n = jobs.len();
+        let p = platform.num_procs;
         // Release order, ties broken by submission index (stable sort).
         let mut order: Vec<usize> = (0..n).collect();
         order.sort_by(|&a, &b| {
@@ -223,13 +226,13 @@ impl Session {
         });
         Self {
             speedup,
+            platform,
             p,
             strategy,
-            reference_policies,
-            max_events,
             calc,
             state: PackState::unallocated(p, n),
-            trace: if record_trace { TraceLog::enabled() } else { TraceLog::disabled() },
+            trace: if config.record_trace { TraceLog::enabled() } else { TraceLog::disabled() },
+            config,
             running: BTreeSet::new(),
             queue: VecDeque::new(),
             released: vec![false; n],
@@ -248,6 +251,7 @@ impl Session {
             eligible_buf: Vec::new(),
             scratch: PolicyScratch::default(),
             faults,
+            faults_drawn: 0,
             order,
             next_arrival: 0,
             events: 0,
@@ -318,6 +322,25 @@ impl Session {
         }
     }
 
+    /// The event trace recorded so far (empty unless recording) — live
+    /// access between steps, e.g. for paging events out of a service.
+    #[must_use]
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
+    }
+
+    /// Total jobs known to the session (initial stream plus submissions).
+    #[must_use]
+    pub fn num_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// The platform the session runs on.
+    #[must_use]
+    pub fn platform(&self) -> Platform {
+        self.platform
+    }
+
     /// Handles over every pack staged so far (drained, active, pending).
     /// Empty on a flat-FIFO session or before the first staging trigger.
     #[must_use]
@@ -359,8 +382,8 @@ impl Session {
             return Ok(None);
         }
         self.events += 1;
-        if self.events > self.max_events {
-            return Err(ScheduleError::EventLimitExceeded { limit: self.max_events });
+        if self.events > self.config.max_events {
+            return Err(ScheduleError::EventLimitExceeded { limit: self.config.max_events });
         }
 
         let n = self.jobs.len();
@@ -392,6 +415,7 @@ impl Session {
                 .expect("a fault event was selected")
                 .next_fault()
                 .expect("fault streams are infinite");
+            self.faults_drawn += 1;
             let handled_before = self.handled_faults;
             let job = self.state.owner(fault.proc);
             self.handle_fault(fault.proc, fault.time);
@@ -405,6 +429,102 @@ impl Session {
         Ok(Some(event))
     }
 
+    /// Time of the next pending event (completion, arrival or fault),
+    /// without processing it. `None` once the run is complete — the
+    /// unbounded fault stream does not keep a finished session alive.
+    #[must_use]
+    pub fn next_event_time(&mut self) -> Option<f64> {
+        if self.is_done() {
+            return None;
+        }
+        let mut next = f64::INFINITY;
+        if let Some((_, te)) = self.earliest_end() {
+            next = next.min(te);
+        }
+        if self.next_arrival < self.jobs.len() {
+            next = next.min(self.jobs[self.order[self.next_arrival]].release);
+        }
+        if let Some(tf) = self.faults.as_ref().and_then(FaultSource::peek_time) {
+            next = next.min(tf);
+        }
+        Some(next)
+    }
+
+    /// Processes every event with time `≤ t` (virtual time, not wall
+    /// clock) and returns how many were handled. The session clock
+    /// afterwards sits at the last processed event; a later
+    /// [`submit`](Self::submit) or `run_to` continues seamlessly.
+    ///
+    /// # Errors
+    /// Propagates [`Session::step`] errors.
+    pub fn run_to(&mut self, t: f64) -> Result<u64, ScheduleError> {
+        let mut processed = 0;
+        while self.next_event_time().is_some_and(|te| te <= t) {
+            self.step()?;
+            processed += 1;
+        }
+        Ok(processed)
+    }
+
+    /// Submits additional jobs into a running (or even finished) session:
+    /// they join the arrival stream with ids continuing from the current
+    /// job count and are released at their `release` times.
+    ///
+    /// Submission keeps the replay guarantee: a session that received jobs
+    /// incrementally is indistinguishable from one built with the full job
+    /// list up front, because releases may not predate the current clock
+    /// and arrival order ties break by job id.
+    ///
+    /// # Errors
+    /// [`ScheduleError::ReleaseInPast`] if any release time is `NaN` or
+    /// precedes [`now`](Self::now) — admitting it would rewrite already
+    /// committed history. No job is added on error.
+    pub fn submit(&mut self, new_jobs: &[JobSpec]) -> Result<(), ScheduleError> {
+        for job in new_jobs {
+            // `NaN` releases must fail too, not just early ones.
+            if job.release < self.last_t || job.release.is_nan() {
+                return Err(ScheduleError::ReleaseInPast {
+                    release: job.release,
+                    now: self.last_t,
+                });
+            }
+        }
+        if new_jobs.is_empty() {
+            return Ok(());
+        }
+        let old = self.jobs.len();
+        self.jobs.extend_from_slice(new_jobs);
+        let n = self.jobs.len();
+        self.released.resize(n, false);
+        self.start.resize(n, 0.0);
+        self.completion.resize(n, 0.0);
+        self.recovery_until.resize(n, 0.0);
+        self.pack_of.resize(n, None);
+        self.state.add_tasks(n - old);
+        // Merge the newcomers into the pending arrival suffix. The stable
+        // sort keeps equal releases in id order (the suffix was already
+        // id-ordered per release, and the appended ids are the largest), so
+        // the whole `order` array stays exactly what a fresh session over
+        // the full job list would compute.
+        self.order.extend(old..n);
+        self.order[self.next_arrival..].sort_by(|&a, &b| {
+            self.jobs[a]
+                .release
+                .partial_cmp(&self.jobs[b].release)
+                .expect("releases are finite")
+        });
+        // Rebuild the time calculator over the grown workload. Its tables
+        // are pure memoization, so values for existing jobs are identical —
+        // only the capacity changes.
+        let workload = Workload::from_jobs(&self.jobs, self.speedup.clone());
+        self.calc = if self.config.faults.is_some() {
+            TimeCalc::new(workload, self.platform)
+        } else {
+            TimeCalc::fault_free(workload, self.platform)
+        };
+        Ok(())
+    }
+
     /// Drains the remaining events and assembles the outcome. Callable at
     /// any point, including after manual [`step`](Self::step)ping.
     ///
@@ -415,9 +535,37 @@ impl Session {
         Ok(self.into_outcome())
     }
 
+    /// Assembles the outcome of a finished session without consuming it —
+    /// the session stays inspectable and can accept further
+    /// [`submit`](Self::submit)ted jobs afterwards.
+    ///
+    /// # Panics
+    /// Panics unless [`is_done`](Self::is_done).
+    #[must_use]
+    pub fn outcome(&self) -> OnlineOutcome {
+        assert!(self.is_done(), "outcome() requires a finished session");
+        self.build_outcome(
+            self.queue_series.clone(),
+            self.staging.as_ref().map(|st| st.reports.clone()).unwrap_or_default(),
+            self.trace.clone(),
+        )
+    }
+
     /// Builds the outcome from a finished session.
     fn into_outcome(mut self) -> OnlineOutcome {
         debug_assert!(self.is_done());
+        let queue_series = std::mem::take(&mut self.queue_series);
+        let packs = self.staging.take().map(|st| st.reports).unwrap_or_default();
+        let trace = std::mem::take(&mut self.trace);
+        self.build_outcome(queue_series, packs, trace)
+    }
+
+    fn build_outcome(
+        &self,
+        queue_series: Vec<(f64, usize)>,
+        packs: Vec<PackReport>,
+        trace: TraceLog,
+    ) -> OnlineOutcome {
         let n = self.jobs.len();
         let makespan = self.completion.iter().copied().fold(0.0, f64::max);
         let stats: Vec<JobStats> = (0..n)
@@ -434,7 +582,7 @@ impl Session {
             makespan,
             self.p,
             self.busy_proc_seconds,
-            &self.queue_series,
+            &queue_series,
         );
         OnlineOutcome {
             makespan,
@@ -444,10 +592,197 @@ impl Session {
             discarded_faults: self.discarded_faults,
             fatal_risk_events: self.fatal_risk_events,
             redistributions: self.redistributions,
-            queue_series: self.queue_series,
-            packs: self.staging.take().map(|st| st.reports).unwrap_or_default(),
-            trace: self.trace,
+            queue_series,
+            packs,
+            trace,
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshot / restore.
+    // ------------------------------------------------------------------
+
+    /// Captures the complete logical state of the session. The companion
+    /// [`resume`](Self::resume) rebuilds a session that replays the
+    /// byte-identical remaining event sequence (see the
+    /// [`snapshot`](crate::snapshot) module for why this is exact).
+    #[must_use]
+    pub fn snapshot(&self) -> SessionSnapshot {
+        SessionSnapshot {
+            jobs: self.jobs.clone(),
+            platform: self.platform,
+            strategy: self.strategy,
+            config: self.config,
+            faults_drawn: self.faults_drawn,
+            state: self.state.snapshot(),
+            trace: self.trace.events().to_vec(),
+            queue: self.queue.iter().copied().collect(),
+            start: self.start.clone(),
+            completion: self.completion.clone(),
+            recovery_until: self.recovery_until.clone(),
+            queue_series: self.queue_series.clone(),
+            redistributions: self.redistributions,
+            handled_faults: self.handled_faults,
+            discarded_faults: self.discarded_faults,
+            fatal_risk_events: self.fatal_risk_events,
+            busy_proc_seconds: self.busy_proc_seconds,
+            last_t: self.last_t,
+            next_arrival: self.next_arrival,
+            events: self.events,
+            staging: self.staging.as_ref().map(PackSetState::snapshot),
+        }
+    }
+
+    /// Rebuilds a session from a snapshot. The speedup model is the one
+    /// piece a snapshot cannot carry (an opaque trait object): the caller
+    /// must supply the same model the snapshotted session used, or the
+    /// replay guarantee is void.
+    ///
+    /// # Errors
+    /// [`ScheduleError::CorruptSnapshot`] when the document is internally
+    /// inconsistent; [`ScheduleError::InsufficientProcessors`] on an
+    /// impossible platform.
+    pub fn resume(
+        snap: SessionSnapshot,
+        speedup: Arc<dyn SpeedupModel>,
+    ) -> Result<Self, ScheduleError> {
+        let corrupt = |reason: &'static str| ScheduleError::CorruptSnapshot { reason };
+        let n = snap.jobs.len();
+        if n == 0 {
+            return Err(corrupt("empty job list"));
+        }
+        let p = snap.platform.num_procs;
+        if p < 2 {
+            return Err(ScheduleError::InsufficientProcessors { needed: 2, available: p });
+        }
+        if snap.state.p != p {
+            return Err(corrupt("pack state disagrees with the platform size"));
+        }
+        if snap.state.runtimes.len() != n {
+            return Err(corrupt("pack state disagrees with the job count"));
+        }
+        if snap.start.len() != n || snap.completion.len() != n || snap.recovery_until.len() != n
+        {
+            return Err(corrupt("per-job arrays disagree on the job count"));
+        }
+        if snap.next_arrival > n {
+            return Err(corrupt("arrival cursor past the job list"));
+        }
+        if snap.jobs.iter().any(|j| !j.release.is_finite()) {
+            return Err(corrupt("non-finite job release time"));
+        }
+        if snap.config.faults.is_none() && snap.faults_drawn > 0 {
+            return Err(corrupt("fault cursor without a fault configuration"));
+        }
+        if !snap.config.record_trace && !snap.trace.is_empty() {
+            return Err(corrupt("trace events present while recording is off"));
+        }
+        let state = PackState::from_snapshot(&snap.state)?;
+
+        // Derived state: release order, release flags, the running set.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            snap.jobs[a].release.partial_cmp(&snap.jobs[b].release).expect("checked finite")
+        });
+        let mut released = vec![false; n];
+        for &i in &order[..snap.next_arrival] {
+            released[i] = true;
+        }
+        let running: BTreeSet<TaskId> =
+            (0..n).filter(|&i| !snap.state.ends[i].is_nan()).collect();
+        if running.iter().any(|&i| !released[i]) {
+            return Err(corrupt("a running job was never released"));
+        }
+        let mut queued = vec![false; n];
+        for &i in &snap.queue {
+            if i >= n {
+                return Err(corrupt("queued job id out of range"));
+            }
+            if !released[i] || running.contains(&i) || state.runtime(i).done || queued[i] {
+                return Err(corrupt("admission queue contradicts the job records"));
+            }
+            queued[i] = true;
+        }
+
+        // Staging overlay + the derived pack-membership index.
+        let mut pack_of: Vec<Option<PackId>> = vec![None; n];
+        let staging = match snap.staging {
+            None => None,
+            Some(st) => {
+                let packs = st
+                    .reports
+                    .iter()
+                    .map(|r| (r.pack, &r.jobs))
+                    .chain(st.active.iter().map(|a| (a.id, &a.members)))
+                    .chain(st.pending.iter().map(|pk| (pk.id, &pk.members)));
+                for (id, members) in packs {
+                    for &j in members {
+                        if j >= n {
+                            return Err(corrupt("staged pack member out of range"));
+                        }
+                        if pack_of[j].replace(id).is_some() {
+                            return Err(corrupt("a job is a member of two packs"));
+                        }
+                    }
+                }
+                if st.backlog.iter().any(|&j| j >= n) {
+                    return Err(corrupt("backlog job id out of range"));
+                }
+                Some(PackSetState::from_snapshot(st))
+            }
+        };
+
+        // Fresh fault source fast-forwarded to the replay cursor — exact
+        // because fault traces are policy-independent pure functions of
+        // (seed, p, law).
+        let faults = snap.config.faults.map(|fc| {
+            let mut src = FaultSource::new(fc.seed, p, fc.law);
+            for _ in 0..snap.faults_drawn {
+                src.next_fault();
+            }
+            src
+        });
+        let workload = Workload::from_jobs(&snap.jobs, speedup.clone());
+        let calc = if snap.config.faults.is_some() {
+            TimeCalc::new(workload, snap.platform)
+        } else {
+            TimeCalc::fault_free(workload, snap.platform)
+        };
+        Ok(Self {
+            speedup,
+            platform: snap.platform,
+            p,
+            strategy: snap.strategy,
+            calc,
+            state,
+            trace: TraceLog::from_events(snap.config.record_trace, snap.trace),
+            config: snap.config,
+            running,
+            queue: snap.queue.into_iter().collect(),
+            released,
+            start: snap.start,
+            completion: snap.completion,
+            recovery_until: snap.recovery_until,
+            queue_series: snap.queue_series,
+            redistributions: snap.redistributions,
+            handled_faults: snap.handled_faults,
+            discarded_faults: snap.discarded_faults,
+            fatal_risk_events: snap.fatal_risk_events,
+            busy_proc_seconds: snap.busy_proc_seconds,
+            last_t: snap.last_t,
+            end_policy: snap.strategy.heuristic.end_policy(),
+            fault_policy: snap.strategy.heuristic.fault_policy(),
+            eligible_buf: Vec::new(),
+            scratch: PolicyScratch::default(),
+            faults,
+            faults_drawn: snap.faults_drawn,
+            order,
+            next_arrival: snap.next_arrival,
+            events: snap.events,
+            staging,
+            pack_of,
+            jobs: snap.jobs,
+        })
     }
 
     // ------------------------------------------------------------------
@@ -592,7 +927,7 @@ impl Session {
     /// live view on the incremental path, or a materialized list on the
     /// reference path.
     fn run_policy_eligible(&mut self, t: f64, call: PolicyCall) {
-        if self.reference_policies {
+        if self.config.reference_policies {
             let mut eligible = std::mem::take(&mut self.eligible_buf);
             self.fill_eligible(t, None, &mut eligible);
             self.run_policy(t, EligibleSet::Listed(&eligible), call);
@@ -800,7 +1135,7 @@ impl Session {
         let tu_f = self.state.runtime(f).t_u;
         let is_longest = self.state.none_later_than(tu_f);
         if is_longest && !self.fault_policy.is_noop() {
-            if self.reference_policies {
+            if self.config.reference_policies {
                 let mut eligible = std::mem::take(&mut self.eligible_buf);
                 self.fill_eligible(t, Some(f), &mut eligible);
                 eligible.retain(|&i| self.state.runtime(i).t_u >= anchor);

@@ -1,0 +1,93 @@
+//! Serializable session snapshots.
+//!
+//! A [`SessionSnapshot`] captures the *logical* state of a
+//! [`Session`](crate::Session) mid-flight so it can be persisted, shipped
+//! to another host, and resumed with [`Session::resume`](crate::Session).
+//! The restore contract is exactness: the resumed session replays the
+//! byte-identical remaining event sequence of the uninterrupted run. Three
+//! design decisions make that possible:
+//!
+//! * **Queues by value, not by layout.** The lazy heaps inside
+//!   [`PackState`](redistrib_core::PackState) pick under a total order over
+//!   `(value, task id)`, so every pick is a pure function of the
+//!   authoritative value arrays. The snapshot stores those arrays
+//!   ([`PackStateSnapshot`]) and the restore rebuilds the heaps canonically
+//!   — internal layout differences cannot change a decision.
+//! * **Fault streams by replay cursor.** A fault trace is a pure function
+//!   of `(seed, p, law)` (policy independence, see
+//!   [`FaultSource`](redistrib_sim::FaultSource)), so the snapshot stores
+//!   the fault configuration plus the number of faults drawn; restore
+//!   recreates the source and fast-forwards.
+//! * **Derived state is rebuilt, never stored.** Processor ownership, the
+//!   free pool, the running set, release flags and the arrival order are
+//!   all recomputed from the authoritative fields, with cross-checks that
+//!   reject corrupt documents
+//!   ([`ScheduleError::CorruptSnapshot`](redistrib_core::ScheduleError)).
+//!
+//! The one thing a snapshot cannot carry is the speedup model (an opaque
+//! `Arc<dyn SpeedupModel>` trait object): [`Session::resume`](crate::Session)
+//! takes it as an argument, and service layers keep a serializable model
+//! spec alongside the snapshot document.
+
+use redistrib_core::PackStateSnapshot;
+use redistrib_model::{JobSpec, Platform, TaskId};
+use redistrib_sim::trace::TraceEvent;
+
+use crate::builder::{OnlineConfig, OnlineStrategy};
+use crate::packset::PackSetSnapshot;
+
+/// Complete logical state of one mid-flight session.
+///
+/// Produced by [`Session::snapshot`](crate::Session::snapshot), consumed by
+/// [`Session::resume`](crate::Session::resume). All fields are public: the
+/// encoding layer (e.g. the service crate's JSON codec) reads and writes
+/// them directly. Floating-point fields must round-trip bit-exactly for the
+/// replay guarantee to hold — encode them as IEEE-754 bit patterns, not as
+/// shortest decimal.
+#[derive(Debug, Clone)]
+pub struct SessionSnapshot {
+    /// The full job list, submission order (including jobs added by
+    /// [`Session::submit`](crate::Session::submit)).
+    pub jobs: Vec<JobSpec>,
+    /// The platform the session runs on.
+    pub platform: Platform,
+    /// Resizing strategy.
+    pub strategy: OnlineStrategy,
+    /// Engine configuration (fault injection, recording, policy path,
+    /// event cap).
+    pub config: OnlineConfig,
+    /// Faults drawn from the fault source so far (the replay cursor).
+    pub faults_drawn: u64,
+    /// Logical pack state (allocations, runtimes, queue value arrays).
+    pub state: PackStateSnapshot,
+    /// Recorded trace events (empty unless recording).
+    pub trace: Vec<TraceEvent>,
+    /// Admission queue, front first.
+    pub queue: Vec<TaskId>,
+    /// Per-job start times (0 where not started).
+    pub start: Vec<f64>,
+    /// Per-job completion times (0 where not completed).
+    pub completion: Vec<f64>,
+    /// Per-job post-fault recovery horizons.
+    pub recovery_until: Vec<f64>,
+    /// Admission-queue length after every queue change.
+    pub queue_series: Vec<(f64, usize)>,
+    /// Committed reallocations.
+    pub redistributions: u64,
+    /// Faults that caused a rollback.
+    pub handled_faults: u64,
+    /// Faults discarded (idle processor or protected window).
+    pub discarded_faults: u64,
+    /// Discarded faults inside a recovery window.
+    pub fatal_risk_events: u64,
+    /// Busy-processor integral up to the current clock.
+    pub busy_proc_seconds: f64,
+    /// Simulation time of the last processed event.
+    pub last_t: f64,
+    /// Arrivals processed so far (cursor into the release order).
+    pub next_arrival: usize,
+    /// Events processed so far (the safety-cap counter).
+    pub events: u64,
+    /// Multi-pack staging overlay (`None` on flat-FIFO sessions).
+    pub staging: Option<PackSetSnapshot>,
+}

@@ -97,7 +97,6 @@ pub fn execution_mode(fault_seed: Option<u64>) -> ExecutionMode {
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::partition::{chunk_by_capacity, dp_consecutive, single_pack};
@@ -117,13 +116,29 @@ mod tests {
         Platform::with_mtbf(p, units::years(5.0))
     }
 
+    /// The builder path the deprecated `run_partition` shim forwards to.
+    fn run_packs(
+        w: &Workload,
+        plat: Platform,
+        part: &PackPartition,
+        heuristic: Heuristic,
+        fault_seed: Option<u64>,
+    ) -> Result<MultiPackOutcome, ScheduleError> {
+        let mut runner =
+            PackRunner::new(w.clone(), plat).partition(part.clone()).heuristic(heuristic);
+        if let Some(seed) = fault_seed {
+            runner = runner.faults(seed);
+        }
+        runner.session().run_to_completion()
+    }
+
     #[test]
     fn single_pack_matches_direct_engine_run() {
         let w = workload(&[2e5, 1.5e5, 1.8e5]);
         let plat = platform(12);
         let part = single_pack(3);
         let multi =
-            run_partition(&w, plat, &part, Heuristic::IteratedGreedyEndLocal, Some(9)).unwrap();
+            run_packs(&w, plat, &part, Heuristic::IteratedGreedyEndLocal, Some(9)).unwrap();
         assert_eq!(multi.pack_outcomes.len(), 1);
         // Direct engine run with the derived pack-0 seed must agree.
         let pack_seed = SplitMix64::new(9u64).next_u64();
@@ -148,12 +163,10 @@ mod tests {
         let w = workload(&sizes);
         let plat = platform(8);
         assert!(!fits_single_pack(&w, plat));
-        let single =
-            run_partition(&w, plat, &single_pack(8), Heuristic::NoRedistribution, Some(1));
+        let single = run_packs(&w, plat, &single_pack(8), Heuristic::NoRedistribution, Some(1));
         assert!(single.is_err());
         let part = chunk_by_capacity(&w, 8);
-        let multi =
-            run_partition(&w, plat, &part, Heuristic::NoRedistribution, Some(1)).unwrap();
+        let multi = run_packs(&w, plat, &part, Heuristic::NoRedistribution, Some(1)).unwrap();
         assert!(multi.makespan > 0.0);
         assert_eq!(multi.pack_outcomes.len(), 2);
     }
@@ -162,7 +175,7 @@ mod tests {
     fn fault_free_partition_runs() {
         let w = workload(&[2e5, 1.5e5, 1.8e5, 1.2e5]);
         let part = chunk_by_capacity(&w, 4);
-        let out = run_partition(&w, platform(4), &part, Heuristic::EndLocalOnly, None).unwrap();
+        let out = run_packs(&w, platform(4), &part, Heuristic::EndLocalOnly, None).unwrap();
         assert!(out.makespan > 0.0);
         assert_eq!(out.handled_faults(), 0);
         assert_eq!(execution_mode(None), ExecutionMode::FaultFree);
@@ -173,8 +186,8 @@ mod tests {
     fn makespan_is_sum_of_pack_makespans() {
         let w = workload(&[2e5, 1.5e5, 1.8e5, 1.2e5]);
         let part = chunk_by_capacity(&w, 4);
-        let out = run_partition(&w, platform(4), &part, Heuristic::NoRedistribution, Some(3))
-            .unwrap();
+        let out =
+            run_packs(&w, platform(4), &part, Heuristic::NoRedistribution, Some(3)).unwrap();
         let sum: f64 = out.pack_outcomes.iter().map(|o| o.makespan).sum();
         assert!((out.makespan - sum).abs() < 1e-9);
     }
@@ -185,7 +198,7 @@ mod tests {
         let plat = platform(6);
         let part = dp_consecutive(&w, plat, 3, true).unwrap();
         let out =
-            run_partition(&w, plat, &part, Heuristic::IteratedGreedyEndLocal, Some(5)).unwrap();
+            run_packs(&w, plat, &part, Heuristic::IteratedGreedyEndLocal, Some(5)).unwrap();
         assert!(out.makespan.is_finite());
         assert_eq!(out.pack_outcomes.len(), part.len(), "one engine run per pack");
     }
@@ -195,10 +208,10 @@ mod tests {
         let w = workload(&[2e5, 1.5e5, 1.8e5, 1.2e5, 2.2e5]);
         let plat = platform(6);
         let part = chunk_by_capacity(&w, 6);
-        let a = run_partition(&w, plat, &part, Heuristic::ShortestTasksFirstEndLocal, Some(8))
-            .unwrap();
-        let b = run_partition(&w, plat, &part, Heuristic::ShortestTasksFirstEndLocal, Some(8))
-            .unwrap();
+        let a =
+            run_packs(&w, plat, &part, Heuristic::ShortestTasksFirstEndLocal, Some(8)).unwrap();
+        let b =
+            run_packs(&w, plat, &part, Heuristic::ShortestTasksFirstEndLocal, Some(8)).unwrap();
         assert_eq!(a.makespan, b.makespan);
     }
 
@@ -207,6 +220,6 @@ mod tests {
     fn rejects_incomplete_partition() {
         let w = workload(&[2e5, 1.5e5]);
         let bad = PackPartition { packs: vec![vec![0]] };
-        let _ = run_partition(&w, platform(4), &bad, Heuristic::NoRedistribution, None);
+        let _ = run_packs(&w, platform(4), &bad, Heuristic::NoRedistribution, None);
     }
 }

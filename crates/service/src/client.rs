@@ -1,0 +1,102 @@
+//! A minimal blocking HTTP/1.1 client for the service — one request per
+//! connection, mirroring the server's `Connection: close` contract. Used
+//! by the integration smoke tests and the CI HTTP check; small enough to
+//! double as a reference for driving the service from any language.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+const IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Sends one request and returns `(status, body)`.
+///
+/// # Errors
+/// Propagates socket errors; malformed responses surface as
+/// [`io::ErrorKind::InvalidData`].
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+
+    let payload = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        payload.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(payload.as_bytes())?;
+    stream.flush()?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+
+    let mut content_length: Option<usize> = None;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "truncated head"));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok();
+            }
+        }
+    }
+
+    let body = match content_length {
+        Some(n) => {
+            let mut buf = vec![0u8; n];
+            reader.read_exact(&mut buf)?;
+            buf
+        }
+        // `Connection: close` lets us read to EOF when no length is given.
+        None => {
+            let mut buf = Vec::new();
+            reader.read_to_end(&mut buf)?;
+            buf
+        }
+    };
+    String::from_utf8(body)
+        .map(|b| (status, b))
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 body"))
+}
+
+/// `GET path` → `(status, body)`.
+///
+/// # Errors
+/// See [`request`].
+pub fn get(addr: SocketAddr, path: &str) -> io::Result<(u16, String)> {
+    request(addr, "GET", path, None)
+}
+
+/// `POST path` with a body → `(status, body)`.
+///
+/// # Errors
+/// See [`request`].
+pub fn post(addr: SocketAddr, path: &str, body: &str) -> io::Result<(u16, String)> {
+    request(addr, "POST", path, Some(body))
+}
+
+/// `DELETE path` → `(status, body)`.
+///
+/// # Errors
+/// See [`request`].
+pub fn delete(addr: SocketAddr, path: &str) -> io::Result<(u16, String)> {
+    request(addr, "DELETE", path, None)
+}

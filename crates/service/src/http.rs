@@ -1,0 +1,340 @@
+//! A minimal HTTP/1.1 server on `std::net` — no async runtime, no
+//! external dependencies.
+//!
+//! Scope is deliberately narrow: the service speaks *one request per
+//! connection* (`Connection: close`), parses only what its own endpoints
+//! need (method, path, query string, `Content-Length` bodies), and runs a
+//! fixed thread pool — an acceptor thread feeding worker threads through
+//! an [`mpsc`] channel. That is enough for a local scheduling service and
+//! its load bench, and keeps the whole surface auditable.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::json::Json;
+use crate::spec::ApiError;
+
+/// Upper bound on the request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 64 * 1024;
+/// Upper bound on request bodies (snapshot documents are the largest).
+const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
+/// Per-connection socket timeout: a stalled client frees its worker.
+const IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-case method (`GET`, `POST`, `DELETE`, ...).
+    pub method: String,
+    /// Decoded path, without the query string.
+    pub path: String,
+    /// Query parameters in order of appearance (no percent-decoding —
+    /// the service's parameters are numeric or keyword-valued).
+    pub query: Vec<(String, String)>,
+    /// Raw body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a query parameter.
+    #[must_use]
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// Parses the body as JSON.
+    ///
+    /// # Errors
+    /// [`ApiError`] (400) on invalid UTF-8 or JSON.
+    pub fn json_body(&self) -> Result<Json, ApiError> {
+        let text = std::str::from_utf8(&self.body)
+            .map_err(|_| ApiError::bad_request("body is not valid UTF-8"))?;
+        Json::parse(text).map_err(|e| {
+            ApiError::bad_request(format!("invalid JSON at byte {}: {}", e.at, e.msg))
+        })
+    }
+}
+
+/// One response to write back.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    #[must_use]
+    pub fn json(status: u16, value: &Json) -> Self {
+        Self { status, content_type: "application/json", body: value.encode().into_bytes() }
+    }
+
+    /// A plain-text response.
+    #[must_use]
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A CSV response.
+    #[must_use]
+    pub fn csv(body: String) -> Self {
+        Self { status: 200, content_type: "text/csv; charset=utf-8", body: body.into_bytes() }
+    }
+}
+
+impl From<ApiError> for Response {
+    fn from(e: ApiError) -> Self {
+        Response::json(e.status, &Json::Obj(vec![("error".into(), Json::Str(e.message))]))
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        204 => "No Content",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        _ => "Internal Server Error",
+    }
+}
+
+fn parse_query(raw: &str) -> Vec<(String, String)> {
+    raw.split('&')
+        .filter(|s| !s.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (pair.to_string(), String::new()),
+        })
+        .collect()
+}
+
+/// Reads and parses one request off a connection. `Ok(None)` means the
+/// peer closed without sending anything (e.g. the shutdown self-connect).
+fn read_request(stream: &mut TcpStream) -> io::Result<Option<Request>> {
+    let mut reader = BufReader::new(stream);
+    let mut head = Vec::new();
+    // Read up to the blank line ending the head.
+    loop {
+        let mut line = Vec::new();
+        let n = reader
+            .by_ref()
+            .take((MAX_HEAD_BYTES - head.len()) as u64)
+            .read_until(b'\n', &mut line)?;
+        if n == 0 {
+            if head.is_empty() {
+                return Ok(None);
+            }
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "truncated request head"));
+        }
+        if line == b"\r\n" || line == b"\n" {
+            break;
+        }
+        head.extend_from_slice(&line);
+        if head.len() >= MAX_HEAD_BYTES {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "request head too large"));
+        }
+    }
+    let head = String::from_utf8(head)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 request head"))?;
+    let mut lines = head.lines();
+    let request_line = lines
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty request"))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing method"))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing path"))?;
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), parse_query(q)),
+        None => (target.to_string(), Vec::new()),
+    };
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
+                })?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "body too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Some(Request { method, path, query, body }))
+}
+
+fn write_response(stream: &mut TcpStream, resp: &Response) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        resp.status,
+        reason(resp.status),
+        resp.content_type,
+        resp.body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&resp.body)?;
+    stream.flush()
+}
+
+fn serve_connection<F>(mut stream: TcpStream, handler: &F)
+where
+    F: Fn(&Request) -> Response,
+{
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let resp = match read_request(&mut stream) {
+        Ok(Some(req)) => handler(&req),
+        Ok(None) => return,
+        Err(e) => Response::from(ApiError::bad_request(format!("malformed request: {e}"))),
+    };
+    let _ = write_response(&mut stream, &resp);
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// A running HTTP server: an acceptor thread plus a worker pool, stopped
+/// explicitly with [`HttpServer::shutdown`] (also invoked on drop).
+#[derive(Debug)]
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
+    /// `handler` on `workers` threads.
+    ///
+    /// # Errors
+    /// Propagates the bind failure.
+    pub fn bind<F>(addr: &str, workers: usize, handler: F) -> io::Result<Self>
+    where
+        F: Fn(&Request) -> Response + Send + Sync + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let workers = workers.max(1);
+
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let handler = Arc::new(handler);
+
+        let mut threads = Vec::with_capacity(workers + 1);
+        for _ in 0..workers {
+            let rx = Arc::clone(&rx);
+            let handler = Arc::clone(&handler);
+            threads.push(std::thread::spawn(move || loop {
+                // Hold the receiver lock only while dequeuing.
+                let next = rx.lock().unwrap().recv();
+                match next {
+                    Ok(stream) => serve_connection(stream, handler.as_ref()),
+                    Err(_) => break, // acceptor gone: shutdown
+                }
+            }));
+        }
+
+        let stop_accept = Arc::clone(&stop);
+        threads.push(std::thread::spawn(move || {
+            // `tx` moves in here; dropping it on exit stops the workers.
+            for stream in listener.incoming() {
+                if stop_accept.load(Ordering::SeqCst) {
+                    break;
+                }
+                match stream {
+                    Ok(s) => {
+                        if tx.send(s).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => continue,
+                }
+            }
+        }));
+
+        Ok(Self { addr, stop, threads })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains the workers and joins all threads.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the acceptor's blocking `accept`.
+        let _ = TcpStream::connect(self.addr);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client;
+
+    #[test]
+    fn serves_requests_and_shuts_down() {
+        let mut server = HttpServer::bind("127.0.0.1:0", 2, |req| {
+            assert_eq!(req.method, "POST");
+            assert_eq!(req.path, "/echo");
+            assert_eq!(req.query_param("x"), Some("1"));
+            Response::text(200, String::from_utf8(req.body.clone()).unwrap())
+        })
+        .unwrap();
+        let addr = server.addr();
+        for i in 0..4 {
+            let payload = format!("hello {i}");
+            let (status, body) = client::post(addr, "/echo?x=1", &payload).unwrap();
+            assert_eq!(status, 200);
+            assert_eq!(body, payload);
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_requests_get_a_400() {
+        let server =
+            HttpServer::bind("127.0.0.1:0", 1, |_| Response::text(200, "unreachable")).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.write_all(b"NONSENSE\r\n\r\n").unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 400"), "{out}");
+    }
+}

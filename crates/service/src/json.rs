@@ -1,0 +1,557 @@
+//! Hand-rolled JSON value, parser and writer.
+//!
+//! The vendor policy is offline and std-only, so the service carries its
+//! own minimal JSON codec instead of serde. Two departures from a generic
+//! JSON library, both driven by the snapshot replay guarantee:
+//!
+//! * **Integers are exact.** [`Json::Int`] holds an `i128`, so `u64` seeds
+//!   and IEEE-754 bit patterns round-trip without passing through `f64`
+//!   (which would corrupt values above 2^53). A numeric literal without
+//!   `.`/`e`/`E` parses as `Int`; everything else as [`Json::Num`].
+//! * **Objects preserve order.** An object is a `Vec<(String, Json)>`, so
+//!   encoding is deterministic — the same snapshot always serializes to the
+//!   same bytes.
+//!
+//! State floats are encoded as bit patterns (see [`Json::bits`] /
+//! [`Json::f64_bits`]); human-facing numbers use plain [`Json::Num`]
+//! (Rust's shortest-roundtrip `Display`).
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A numeric literal without fraction or exponent, kept exact.
+    Int(i128),
+    /// Any other numeric literal.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, field order preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+/// A parse error: byte offset plus a static description.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset the error was detected at.
+    pub at: usize,
+    /// What went wrong.
+    pub msg: &'static str,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Encodes an `f64` as its IEEE-754 bit pattern — the exact encoding
+    /// used for simulation state (round-trips `NaN`, infinities and every
+    /// payload bit).
+    #[must_use]
+    pub fn bits(x: f64) -> Json {
+        Json::Int(i128::from(x.to_bits()))
+    }
+
+    /// Decodes a bit-pattern integer back into an `f64`.
+    #[must_use]
+    pub fn f64_bits(&self) -> Option<f64> {
+        match *self {
+            Json::Int(i) => u64::try_from(i).ok().map(f64::from_bits),
+            _ => None,
+        }
+    }
+
+    /// The value as a plain number (`Int` widens lossily above 2^53).
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Json::Int(i) => Some(i as f64),
+            Json::Num(x) => Some(x),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, exact integers only.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::Int(i) => u64::try_from(i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a `usize`, exact integers only.
+    #[must_use]
+    pub fn as_usize(&self) -> Option<usize> {
+        match *self {
+            Json::Int(i) => usize::try_from(i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u32`, exact integers only.
+    #[must_use]
+    pub fn as_u32(&self) -> Option<u32> {
+        match *self {
+            Json::Int(i) => u32::try_from(i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Json::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as an object field list.
+    #[must_use]
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Field lookup on an object (first match).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.as_obj()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Whether the value is `null` (or the field was absent — combine with
+    /// `get(..).is_none_or(Json::is_null)` for optional fields).
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+
+    /// Serializes the value (compact, no whitespace, deterministic field
+    /// order).
+    #[must_use]
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Num(x) => {
+                // JSON has no NaN/Infinity literals; state floats travel as
+                // bit patterns, so a non-finite here is a caller bug — emit
+                // null rather than invalid JSON.
+                if x.is_finite() {
+                    let _ = write!(out, "{x}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(v) => {
+                out.push('[');
+                for (i, e) in v.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    e.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a complete JSON document (trailing whitespace allowed,
+    /// trailing garbage rejected).
+    ///
+    /// # Errors
+    /// [`JsonError`] with the offending byte offset.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos, 0)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(JsonError { at: pos, msg: "trailing characters after the document" });
+        }
+        Ok(value)
+    }
+}
+
+/// Convenience: builds an object from `(key, value)` pairs.
+#[must_use]
+pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+const MAX_DEPTH: u32 = 64;
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(
+    b: &[u8],
+    pos: &mut usize,
+    lit: &'static str,
+    msg: &'static str,
+) -> Result<(), JsonError> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(JsonError { at: *pos, msg })
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize, depth: u32) -> Result<Json, JsonError> {
+    if depth > MAX_DEPTH {
+        return Err(JsonError { at: *pos, msg: "nesting too deep" });
+    }
+    skip_ws(b, pos);
+    let Some(&c) = b.get(*pos) else {
+        return Err(JsonError { at: *pos, msg: "unexpected end of input" });
+    };
+    match c {
+        b'n' => expect(b, pos, "null", "expected null").map(|()| Json::Null),
+        b't' => expect(b, pos, "true", "expected true").map(|()| Json::Bool(true)),
+        b'f' => expect(b, pos, "false", "expected false").map(|()| Json::Bool(false)),
+        b'"' => parse_string(b, pos).map(Json::Str),
+        b'[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos, depth + 1)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(JsonError { at: *pos, msg: "expected ',' or ']'" }),
+                }
+            }
+        }
+        b'{' => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(JsonError { at: *pos, msg: "expected ':' after object key" });
+                }
+                *pos += 1;
+                let value = parse_value(b, pos, depth + 1)?;
+                fields.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(JsonError { at: *pos, msg: "expected ',' or '}'" }),
+                }
+            }
+        }
+        b'-' | b'0'..=b'9' => parse_number(b, pos),
+        _ => Err(JsonError { at: *pos, msg: "unexpected character" }),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(JsonError { at: *pos, msg: "expected string" });
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        let Some(&c) = b.get(*pos) else {
+            return Err(JsonError { at: *pos, msg: "unterminated string" });
+        };
+        *pos += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let Some(&esc) = b.get(*pos) else {
+                    return Err(JsonError { at: *pos, msg: "unterminated escape" });
+                };
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hi = parse_hex4(b, pos)?;
+                        let code = if (0xD800..0xDC00).contains(&hi) {
+                            // Surrogate pair.
+                            expect(b, pos, "\\u", "expected low surrogate")?;
+                            let lo = parse_hex4(b, pos)?;
+                            if !(0xDC00..0xE000).contains(&lo) {
+                                return Err(JsonError {
+                                    at: *pos,
+                                    msg: "invalid low surrogate",
+                                });
+                            }
+                            0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                        } else {
+                            hi
+                        };
+                        let Some(c) = char::from_u32(code) else {
+                            return Err(JsonError { at: *pos, msg: "invalid unicode escape" });
+                        };
+                        out.push(c);
+                    }
+                    _ => return Err(JsonError { at: *pos, msg: "invalid escape" }),
+                }
+            }
+            c if c < 0x20 => {
+                return Err(JsonError { at: *pos - 1, msg: "control character in string" })
+            }
+            _ => {
+                // Re-assemble UTF-8 sequences from the raw bytes.
+                let start = *pos - 1;
+                let len = utf8_len(c);
+                let end = start + len;
+                if end > b.len() {
+                    return Err(JsonError { at: start, msg: "truncated UTF-8 sequence" });
+                }
+                let Ok(s) = std::str::from_utf8(&b[start..end]) else {
+                    return Err(JsonError { at: start, msg: "invalid UTF-8" });
+                };
+                out.push_str(s);
+                *pos = end;
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+fn parse_hex4(b: &[u8], pos: &mut usize) -> Result<u32, JsonError> {
+    let mut v = 0u32;
+    for _ in 0..4 {
+        let Some(&c) = b.get(*pos) else {
+            return Err(JsonError { at: *pos, msg: "truncated \\u escape" });
+        };
+        let d = match c {
+            b'0'..=b'9' => u32::from(c - b'0'),
+            b'a'..=b'f' => u32::from(c - b'a') + 10,
+            b'A'..=b'F' => u32::from(c - b'A') + 10,
+            _ => return Err(JsonError { at: *pos, msg: "invalid hex digit" }),
+        };
+        v = v * 16 + d;
+        *pos += 1;
+    }
+    Ok(v)
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits_start = *pos;
+    while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+        *pos += 1;
+    }
+    if *pos == digits_start {
+        return Err(JsonError { at: *pos, msg: "expected digits" });
+    }
+    let mut is_int = true;
+    if b.get(*pos) == Some(&b'.') {
+        is_int = false;
+        *pos += 1;
+        let frac_start = *pos;
+        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+        if *pos == frac_start {
+            return Err(JsonError { at: *pos, msg: "expected fraction digits" });
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        is_int = false;
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        let exp_start = *pos;
+        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+        if *pos == exp_start {
+            return Err(JsonError { at: *pos, msg: "expected exponent digits" });
+        }
+    }
+    let text = std::str::from_utf8(&b[start..*pos])
+        .map_err(|_| JsonError { at: start, msg: "invalid number" })?;
+    if is_int {
+        if let Ok(i) = text.parse::<i128>() {
+            return Ok(Json::Int(i));
+        }
+        // Integer literal too large for i128: degrade to f64.
+    }
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| JsonError { at: start, msg: "invalid number" })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_roundtrip() {
+        for text in ["null", "true", "false", "0", "-7", "3.5", "\"hi\""] {
+            let v = Json::parse(text).unwrap();
+            assert_eq!(v.encode(), text);
+        }
+    }
+
+    #[test]
+    fn u64_and_bit_patterns_are_exact() {
+        let seed = u64::MAX - 1;
+        let v = Json::parse(&Json::Int(i128::from(seed)).encode()).unwrap();
+        assert_eq!(v.as_u64(), Some(seed));
+        for x in [0.1, -0.0, f64::NAN, f64::INFINITY, 1e-308, f64::MAX] {
+            let enc = Json::bits(x).encode();
+            let back = Json::parse(&enc).unwrap().f64_bits().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} corrupted");
+        }
+    }
+
+    #[test]
+    fn numbers_with_exponents_parse_as_num() {
+        assert_eq!(Json::parse("1e3").unwrap(), Json::Num(1000.0));
+        assert_eq!(Json::parse("2.5e-1").unwrap(), Json::Num(0.25));
+        assert_eq!(Json::parse("12").unwrap(), Json::Int(12));
+    }
+
+    #[test]
+    fn objects_preserve_field_order() {
+        let v = Json::parse(r#"{"b":1,"a":[2,{"c":null}]}"#).unwrap();
+        assert_eq!(v.encode(), r#"{"b":1,"a":[2,{"c":null}]}"#);
+        assert_eq!(v.get("b").unwrap().as_u64(), Some(1));
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let original = "line\nbreak \"quoted\" back\\slash \u{1F600} tab\t";
+        let enc = Json::Str(original.to_string()).encode();
+        assert_eq!(Json::parse(&enc).unwrap().as_str(), Some(original));
+        // Escaped-input forms decode too.
+        assert_eq!(
+            Json::parse(r#""\u00e9\ud83d\ude00""#).unwrap().as_str(),
+            Some("\u{e9}\u{1F600}")
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in ["", "{", "[1,", "tru", "1 2", "{\"a\"}", "\"\\q\"", "{\"a\":}", "nan"] {
+            assert!(Json::parse(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_bounded() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(Json::parse(&deep).is_err());
+    }
+}

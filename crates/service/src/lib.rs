@@ -1,0 +1,67 @@
+//! # redistrib-service
+//!
+//! Scheduler-as-a-service: a std-only HTTP host for many concurrent
+//! online co-scheduling [`Session`](redistrib_online::Session)s.
+//!
+//! The paper's engine — and the online extension layered on it in
+//! `redistrib-online` — is a library. This crate turns it into a long-
+//! running service: a [`SessionStore`] registry keyed by session id with
+//! mutex-per-entry locking, REST-ish endpoints to create sessions from a
+//! JSON spec, submit jobs mid-run, step them (one event, a bounded
+//! quantum, up to a deadline, or to completion), inspect queue depth /
+//! running jobs / staged packs, page through the event trace, and
+//! snapshot/restore sessions through a stable JSON document whose floats
+//! travel as IEEE-754 bit patterns so a restored session replays the
+//! *byte-identical* remaining run.
+//!
+//! Everything is `std`-only by design: a hand-rolled HTTP/1.1 layer over
+//! [`std::net`] ([`http`]), a hand-rolled JSON codec ([`json`]), and a
+//! small fixed thread pool. No async runtime, no serde — the service
+//! stays auditable end to end and adds zero dependencies to the
+//! workspace.
+//!
+//! * [`json`] — the JSON value type, parser and deterministic encoder;
+//! * [`spec`] — creation specs and the snapshot document codec;
+//! * [`store`] — the concurrent [`SessionStore`] registry;
+//! * [`http`] — the `std::net` HTTP server (acceptor + worker pool);
+//! * [`server`] — the route table ([`handle`]) and [`serve`] entry point;
+//! * [`client`] — a minimal blocking client for tests and smoke checks.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use redistrib_service::{client, serve};
+//!
+//! let (mut server, _store) = serve("127.0.0.1:0", 2).unwrap();
+//! let addr = server.addr();
+//! let (status, body) = client::post(
+//!     addr,
+//!     "/v1/sessions",
+//!     r#"{"platform":{"procs":8},"jobs":[{"size":5000},{"size":8000}]}"#,
+//! )
+//! .unwrap();
+//! assert_eq!(status, 201);
+//! assert!(body.contains("\"id\":1"));
+//! let (status, outcome) = client::post(addr, "/v1/sessions/1/run", "").unwrap();
+//! assert_eq!(status, 200);
+//! assert!(outcome.contains("\"makespan\""));
+//! server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod server;
+pub mod spec;
+pub mod store;
+
+pub use http::{HttpServer, Request, Response};
+pub use json::{Json, JsonError};
+pub use server::{handle, serve};
+pub use spec::{
+    snapshot_from_json, snapshot_to_json, ApiError, SessionSpec, SpeedupSpec, SNAPSHOT_VERSION,
+};
+pub use store::{step_quantum, SessionEntry, SessionStore};

@@ -1,0 +1,352 @@
+//! Route table of the scheduling service: REST-ish endpoints over a
+//! shared [`SessionStore`].
+//!
+//! | Method | Path | Action |
+//! |---|---|---|
+//! | GET | `/healthz` | liveness + session count |
+//! | POST | `/v1/sessions` | create a session from a [`SessionSpec`] |
+//! | GET | `/v1/sessions` | list session summaries |
+//! | GET | `/v1/sessions/{id}` | one session summary |
+//! | DELETE | `/v1/sessions/{id}` | drop a session |
+//! | POST | `/v1/sessions/{id}/jobs` | submit more jobs mid-run |
+//! | GET | `/v1/sessions/{id}/jobs/{j}` | one job's state |
+//! | POST | `/v1/sessions/{id}/step` | process up to `count` events |
+//! | POST | `/v1/sessions/{id}/run_to` | process events up to time `t` |
+//! | POST | `/v1/sessions/{id}/run` | drain to completion, return outcome |
+//! | GET | `/v1/sessions/{id}/packs` | staged-pack handles |
+//! | GET | `/v1/sessions/{id}/trace` | trace page (`?from=&limit=`) or CSV (`?format=csv`) |
+//! | POST | `/v1/sessions/{id}/snapshot` | snapshot document |
+//! | POST | `/v1/sessions/restore` | resume a snapshot document under a fresh id |
+//!
+//! Handlers lock exactly one session (never the whole store) while they
+//! work, so sessions progress independently under concurrent load.
+
+use std::io;
+use std::sync::Arc;
+
+use redistrib_online::{JobState, OnlineOutcome, PackPhase, Session};
+
+use crate::http::{HttpServer, Request, Response};
+use crate::json::{obj, Json};
+use crate::spec::{
+    job_from_json, snapshot_from_json, snapshot_to_json, trace_event_to_json, ApiError,
+    SessionSpec,
+};
+use crate::store::SessionStore;
+
+fn summary(id: u64, session: &Session) -> Json {
+    obj(vec![
+        ("id", Json::Int(i128::from(id))),
+        ("jobs", Json::Int(session.num_jobs() as i128)),
+        ("done", Json::Bool(session.is_done())),
+        ("now", Json::Num(session.now())),
+        ("events", Json::Int(i128::from(session.events_processed()))),
+        ("queue_depth", Json::Int(session.queue_depth() as i128)),
+        ("free_procs", Json::Int(i128::from(session.free_procs()))),
+        (
+            "running",
+            Json::Arr(
+                session
+                    .running_jobs()
+                    .into_iter()
+                    .map(|(job, alloc)| {
+                        Json::Arr(vec![Json::Int(job as i128), Json::Int(i128::from(alloc))])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn outcome_json(o: &OnlineOutcome) -> Json {
+    obj(vec![
+        ("makespan", Json::Num(o.makespan)),
+        ("jobs", Json::Int(o.jobs.len() as i128)),
+        ("handled_faults", Json::Int(i128::from(o.handled_faults))),
+        ("discarded_faults", Json::Int(i128::from(o.discarded_faults))),
+        ("fatal_risk_events", Json::Int(i128::from(o.fatal_risk_events))),
+        ("redistributions", Json::Int(i128::from(o.redistributions))),
+        ("packs", Json::Int(o.packs.len() as i128)),
+        (
+            "metrics",
+            obj(vec![
+                ("mean_stretch", Json::Num(o.metrics.mean_stretch)),
+                ("max_stretch", Json::Num(o.metrics.max_stretch)),
+                ("mean_flow", Json::Num(o.metrics.mean_flow)),
+                ("mean_wait", Json::Num(o.metrics.mean_wait)),
+                ("throughput", Json::Num(o.metrics.throughput)),
+                ("utilization", Json::Num(o.metrics.utilization)),
+                ("mean_queue_len", Json::Num(o.metrics.mean_queue_len)),
+                ("max_queue_len", Json::Int(o.metrics.max_queue_len as i128)),
+            ]),
+        ),
+    ])
+}
+
+fn job_state_json(job: usize, state: &JobState) -> Json {
+    let mut fields = vec![("job", Json::Int(job as i128))];
+    match *state {
+        JobState::NotReleased => fields.push(("state", Json::Str("not_released".into()))),
+        JobState::Waiting { pack } => {
+            fields.push(("state", Json::Str("waiting".into())));
+            fields.push(("pack", pack.map_or(Json::Null, |p| Json::Int(p as i128))));
+        }
+        JobState::Running { alloc } => {
+            fields.push(("state", Json::Str("running".into())));
+            fields.push(("alloc", Json::Int(i128::from(alloc))));
+        }
+        JobState::Completed { at } => {
+            fields.push(("state", Json::Str("completed".into())));
+            fields.push(("at", Json::Num(at)));
+        }
+    }
+    obj(fields)
+}
+
+fn phase_name(phase: PackPhase) -> &'static str {
+    match phase {
+        PackPhase::Pending => "pending",
+        PackPhase::Active => "active",
+        PackPhase::Drained => "drained",
+    }
+}
+
+/// Parses the body as JSON, treating an empty body as `{}` (for action
+/// endpoints whose parameters are all optional).
+fn body_or_empty(req: &Request) -> Result<Json, ApiError> {
+    if req.body.iter().all(u8::is_ascii_whitespace) {
+        Ok(Json::Obj(Vec::new()))
+    } else {
+        req.json_body()
+    }
+}
+
+fn engine_err(e: redistrib_core::ScheduleError) -> ApiError {
+    ApiError::conflict(e.to_string())
+}
+
+fn handle_create(store: &SessionStore, req: &Request) -> Result<Response, ApiError> {
+    let spec = SessionSpec::from_json(&req.json_body()?)?;
+    let id = store.create(&spec)?;
+    let entry = store.get(id)?;
+    let guard = entry.lock().unwrap();
+    Ok(Response::json(201, &summary(id, &guard.session)))
+}
+
+fn handle_restore(store: &SessionStore, req: &Request) -> Result<Response, ApiError> {
+    let (snap, speedup) = snapshot_from_json(&req.json_body()?)?;
+    let id = store.restore(snap, speedup)?;
+    let entry = store.get(id)?;
+    let guard = entry.lock().unwrap();
+    Ok(Response::json(201, &summary(id, &guard.session)))
+}
+
+fn handle_list(store: &SessionStore) -> Response {
+    let sessions: Vec<Json> = store
+        .handles()
+        .into_iter()
+        .map(|(id, entry)| {
+            let guard = entry.lock().unwrap();
+            summary(id, &guard.session)
+        })
+        .collect();
+    Response::json(200, &obj(vec![("sessions", Json::Arr(sessions))]))
+}
+
+fn handle_submit(store: &SessionStore, id: u64, req: &Request) -> Result<Response, ApiError> {
+    let body = req.json_body()?;
+    let jobs = body
+        .get("jobs")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ApiError::bad_request("body must be {\"jobs\": [...]}"))?
+        .iter()
+        .map(job_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    if jobs.is_empty() {
+        return Err(ApiError::bad_request("'jobs' must contain at least one job"));
+    }
+    let entry = store.get(id)?;
+    let mut guard = entry.lock().unwrap();
+    guard.session.submit(&jobs).map_err(|e| ApiError::bad_request(e.to_string()))?;
+    Ok(Response::json(200, &summary(id, &guard.session)))
+}
+
+fn handle_step(store: &SessionStore, id: u64, req: &Request) -> Result<Response, ApiError> {
+    let body = body_or_empty(req)?;
+    let count = match body.get("count") {
+        None => 1,
+        Some(c) => {
+            c.as_u64().ok_or_else(|| ApiError::bad_request("'count' must be an integer"))?
+        }
+    };
+    let entry = store.get(id)?;
+    let mut guard = entry.lock().unwrap();
+    let mut stepped = 0u64;
+    while stepped < count && !guard.session.is_done() {
+        guard.session.step().map_err(engine_err)?;
+        stepped += 1;
+    }
+    let mut out = summary(id, &guard.session);
+    if let Json::Obj(fields) = &mut out {
+        fields.insert(0, ("stepped".into(), Json::Int(i128::from(stepped))));
+    }
+    Ok(Response::json(200, &out))
+}
+
+fn handle_run_to(store: &SessionStore, id: u64, req: &Request) -> Result<Response, ApiError> {
+    let body = req.json_body()?;
+    let t = body
+        .get("t")
+        .and_then(Json::as_f64)
+        .filter(|t| !t.is_nan())
+        .ok_or_else(|| ApiError::bad_request("body must be {\"t\": <time>}"))?;
+    let entry = store.get(id)?;
+    let mut guard = entry.lock().unwrap();
+    let stepped = guard.session.run_to(t).map_err(engine_err)?;
+    let mut out = summary(id, &guard.session);
+    if let Json::Obj(fields) = &mut out {
+        fields.insert(0, ("stepped".into(), Json::Int(i128::from(stepped))));
+    }
+    Ok(Response::json(200, &out))
+}
+
+fn handle_run(store: &SessionStore, id: u64) -> Result<Response, ApiError> {
+    let entry = store.get(id)?;
+    let mut guard = entry.lock().unwrap();
+    guard.session.run_to(f64::INFINITY).map_err(engine_err)?;
+    // Drained in place: the session stays registered (trace, snapshot and
+    // job-state endpoints keep working); the outcome is computed here.
+    Ok(Response::json(200, &outcome_json(&guard.session.outcome())))
+}
+
+fn handle_trace(store: &SessionStore, id: u64, req: &Request) -> Result<Response, ApiError> {
+    let entry = store.get(id)?;
+    let guard = entry.lock().unwrap();
+    if req.query_param("format") == Some("csv") {
+        return Ok(Response::csv(guard.session.trace().to_csv()));
+    }
+    let events = guard.session.trace().events();
+    let from = match req.query_param("from") {
+        None => 0,
+        Some(f) => f.parse().map_err(|_| ApiError::bad_request("'from' must be an index"))?,
+    };
+    let limit = match req.query_param("limit") {
+        None => usize::MAX,
+        Some(l) => {
+            l.parse().map_err(|_| ApiError::bad_request("'limit' must be an integer"))?
+        }
+    };
+    let page: Vec<Json> =
+        events.iter().skip(from).take(limit).map(|e| trace_event_to_json(e, false)).collect();
+    Ok(Response::json(
+        200,
+        &obj(vec![
+            ("total", Json::Int(events.len() as i128)),
+            ("from", Json::Int(from.min(events.len()) as i128)),
+            ("events", Json::Arr(page)),
+        ]),
+    ))
+}
+
+fn handle_packs(store: &SessionStore, id: u64) -> Result<Response, ApiError> {
+    let entry = store.get(id)?;
+    let guard = entry.lock().unwrap();
+    let packs: Vec<Json> = guard
+        .session
+        .packs()
+        .into_iter()
+        .map(|p| {
+            obj(vec![
+                ("id", Json::Int(p.id as i128)),
+                ("phase", Json::Str(phase_name(p.phase).into())),
+                ("jobs", Json::Arr(p.jobs.iter().map(|&j| Json::Int(j as i128)).collect())),
+                ("remaining", Json::Int(p.remaining as i128)),
+            ])
+        })
+        .collect();
+    Ok(Response::json(200, &obj(vec![("packs", Json::Arr(packs))])))
+}
+
+fn handle_snapshot(store: &SessionStore, id: u64) -> Result<Response, ApiError> {
+    let entry = store.get(id)?;
+    let guard = entry.lock().unwrap();
+    let doc = snapshot_to_json(&guard.session.snapshot(), &guard.speedup);
+    Ok(Response::json(200, &doc))
+}
+
+fn handle_job(store: &SessionStore, id: u64, job: usize) -> Result<Response, ApiError> {
+    let entry = store.get(id)?;
+    let guard = entry.lock().unwrap();
+    if job >= guard.session.num_jobs() {
+        return Err(ApiError::not_found(format!("session {id} has no job {job}")));
+    }
+    Ok(Response::json(200, &job_state_json(job, &guard.session.job_state(job))))
+}
+
+fn method_not_allowed() -> Response {
+    Response::from(ApiError { status: 405, message: "method not allowed".into() })
+}
+
+/// Dispatches one request against the store. This is the pure routing
+/// core — [`serve`] wraps it in the HTTP server, tests can call it
+/// directly.
+pub fn handle(store: &SessionStore, req: &Request) -> Response {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    let result: Result<Response, ApiError> = match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => Ok(Response::json(
+            200,
+            &obj(vec![("ok", Json::Bool(true)), ("sessions", Json::Int(store.len() as i128))]),
+        )),
+        ("POST", ["v1", "sessions"]) => handle_create(store, req),
+        ("GET", ["v1", "sessions"]) => Ok(handle_list(store)),
+        ("POST", ["v1", "sessions", "restore"]) => handle_restore(store, req),
+        (method, ["v1", "sessions", id]) => match id.parse::<u64>() {
+            Err(_) => Err(ApiError::bad_request("session id must be an integer")),
+            Ok(id) => match method {
+                "GET" => store.get(id).map(|entry| {
+                    let guard = entry.lock().unwrap();
+                    Response::json(200, &summary(id, &guard.session))
+                }),
+                "DELETE" => store
+                    .remove(id)
+                    .map(|()| Response::json(200, &obj(vec![("deleted", Json::Bool(true))]))),
+                _ => return method_not_allowed(),
+            },
+        },
+        (method, ["v1", "sessions", id, rest @ ..]) => match id.parse::<u64>() {
+            Err(_) => Err(ApiError::bad_request("session id must be an integer")),
+            Ok(id) => match (method, rest) {
+                ("POST", ["jobs"]) => handle_submit(store, id, req),
+                ("POST", ["step"]) => handle_step(store, id, req),
+                ("POST", ["run_to"]) => handle_run_to(store, id, req),
+                ("POST", ["run"]) => handle_run(store, id),
+                ("POST", ["snapshot"]) => handle_snapshot(store, id),
+                ("GET", ["trace"]) => handle_trace(store, id, req),
+                ("GET", ["packs"]) => handle_packs(store, id),
+                ("GET", ["jobs", j]) => match j.parse::<usize>() {
+                    Ok(j) => handle_job(store, id, j),
+                    Err(_) => Err(ApiError::bad_request("job id must be an integer")),
+                },
+                (
+                    _,
+                    ["jobs" | "step" | "run_to" | "run" | "snapshot" | "trace" | "packs", ..],
+                ) => return method_not_allowed(),
+                _ => Err(ApiError::not_found(format!("no route for {}", req.path))),
+            },
+        },
+        _ => Err(ApiError::not_found(format!("no route for {}", req.path))),
+    };
+    result.unwrap_or_else(Response::from)
+}
+
+/// Binds the service on `addr` (port 0 for ephemeral) with `workers`
+/// handler threads, returning the running server and its store.
+///
+/// # Errors
+/// Propagates the bind failure.
+pub fn serve(addr: &str, workers: usize) -> io::Result<(HttpServer, Arc<SessionStore>)> {
+    let store = Arc::new(SessionStore::new());
+    let routed = Arc::clone(&store);
+    let server = HttpServer::bind(addr, workers, move |req| handle(&routed, req))?;
+    Ok((server, store))
+}

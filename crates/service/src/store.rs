@@ -1,0 +1,221 @@
+//! The session registry: many concurrent [`Session`]s behind one store.
+//!
+//! Concurrency model: a [`RwLock`] over the id → entry map (held only for
+//! registry operations — lookups, inserts, removals), with every session
+//! wrapped in its own [`Mutex`]. Request handlers clone the `Arc`, drop
+//! the map lock, and then lock just their session, so long-running
+//! operations (`run_to`, `run`) on one session never block traffic to the
+//! others. This is the mutex-per-entry layout the 10k-session load bench
+//! exercises: worker threads shard the registry and advance each session
+//! a bounded quantum of events per visit.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use redistrib_core::ScheduleError;
+use redistrib_online::{Session, SessionSnapshot};
+
+use crate::spec::{ApiError, SessionSpec, SpeedupSpec};
+
+/// One registered session plus the serializable description of its
+/// speedup model (needed to embed in snapshot documents, since the model
+/// itself is an opaque trait object).
+#[derive(Debug)]
+pub struct SessionEntry {
+    /// The live session.
+    pub session: Session,
+    /// How to rebuild `session`'s speedup model.
+    pub speedup: SpeedupSpec,
+}
+
+/// Thread-safe registry of concurrent sessions keyed by numeric id.
+#[derive(Debug, Default)]
+pub struct SessionStore {
+    sessions: RwLock<HashMap<u64, Arc<Mutex<SessionEntry>>>>,
+    next_id: AtomicU64,
+}
+
+fn sched_err(e: ScheduleError) -> ApiError {
+    ApiError::bad_request(e.to_string())
+}
+
+impl SessionStore {
+    /// Creates an empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a session from a creation spec and registers it.
+    ///
+    /// # Errors
+    /// [`ApiError`] (400) if the scheduler rejects the spec.
+    pub fn create(&self, spec: &SessionSpec) -> Result<u64, ApiError> {
+        let session = spec.scheduler().session(&spec.jobs).map_err(sched_err)?;
+        Ok(self.insert(session, spec.speedup.clone()))
+    }
+
+    /// Resumes a session from a snapshot and registers it under a fresh id.
+    ///
+    /// # Errors
+    /// [`ApiError`] (400) if the snapshot fails the resume validation.
+    pub fn restore(
+        &self,
+        snap: SessionSnapshot,
+        speedup: SpeedupSpec,
+    ) -> Result<u64, ApiError> {
+        let session = Session::resume(snap, speedup.build()).map_err(sched_err)?;
+        Ok(self.insert(session, speedup))
+    }
+
+    /// Registers an already-built session, returning its id.
+    pub fn insert(&self, session: Session, speedup: SpeedupSpec) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let entry = Arc::new(Mutex::new(SessionEntry { session, speedup }));
+        self.sessions.write().unwrap().insert(id, entry);
+        id
+    }
+
+    /// Looks a session up; the caller locks the returned entry.
+    ///
+    /// # Errors
+    /// [`ApiError`] (404) for unknown ids.
+    pub fn get(&self, id: u64) -> Result<Arc<Mutex<SessionEntry>>, ApiError> {
+        self.sessions
+            .read()
+            .unwrap()
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| ApiError::not_found(format!("no session {id}")))
+    }
+
+    /// Removes a session.
+    ///
+    /// # Errors
+    /// [`ApiError`] (404) for unknown ids.
+    pub fn remove(&self, id: u64) -> Result<(), ApiError> {
+        self.sessions
+            .write()
+            .unwrap()
+            .remove(&id)
+            .map(drop)
+            .ok_or_else(|| ApiError::not_found(format!("no session {id}")))
+    }
+
+    /// Registered ids, ascending.
+    #[must_use]
+    pub fn ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.sessions.read().unwrap().keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Number of registered sessions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sessions.read().unwrap().len()
+    }
+
+    /// Whether the store is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of all entries (id ascending) for shard-and-drive loops:
+    /// workers split this list and advance each session in bounded quanta
+    /// without ever touching the registry lock again.
+    #[must_use]
+    pub fn handles(&self) -> Vec<(u64, Arc<Mutex<SessionEntry>>)> {
+        let mut entries: Vec<_> =
+            self.sessions.read().unwrap().iter().map(|(&id, e)| (id, Arc::clone(e))).collect();
+        entries.sort_unstable_by_key(|&(id, _)| id);
+        entries
+    }
+}
+
+/// Advances one session by at most `quantum` events. Returns the number
+/// of events processed and whether the session is now done.
+///
+/// # Errors
+/// Propagates [`ScheduleError`] from the engine as a 409 — the session
+/// stays registered for inspection.
+pub fn step_quantum(
+    entry: &Mutex<SessionEntry>,
+    quantum: u64,
+) -> Result<(u64, bool), ApiError> {
+    let mut guard = entry.lock().unwrap();
+    let mut steps = 0;
+    while steps < quantum && !guard.session.is_done() {
+        guard.session.step().map_err(|e| ApiError::conflict(e.to_string()))?;
+        steps += 1;
+    }
+    Ok((steps, guard.session.is_done()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    fn demo_spec() -> SessionSpec {
+        let doc = Json::parse(
+            r#"{"platform":{"procs":8},
+                "jobs":[{"size":4000},{"size":6000,"release":50},{"size":3000,"release":90}]}"#,
+        )
+        .unwrap();
+        SessionSpec::from_json(&doc).unwrap()
+    }
+
+    #[test]
+    fn create_get_remove() {
+        let store = SessionStore::new();
+        let a = store.create(&demo_spec()).unwrap();
+        let b = store.create(&demo_spec()).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(store.ids(), vec![a, b]);
+        assert!(store.get(a).is_ok());
+        store.remove(a).unwrap();
+        assert_eq!(store.get(a).unwrap_err().status, 404);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn quantum_stepping_drains_a_session() {
+        let store = SessionStore::new();
+        let id = store.create(&demo_spec()).unwrap();
+        let entry = store.get(id).unwrap();
+        let mut total = 0;
+        loop {
+            let (steps, done) = step_quantum(&entry, 2).unwrap();
+            total += steps;
+            if done {
+                break;
+            }
+            assert_eq!(steps, 2);
+        }
+        assert!(total >= 3, "at least one event per job, got {total}");
+        assert!(entry.lock().unwrap().session.is_done());
+    }
+
+    #[test]
+    fn concurrent_creation_yields_unique_ids() {
+        let store = Arc::new(SessionStore::new());
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let store = Arc::clone(&store);
+                scope.spawn(move || {
+                    for _ in 0..4 {
+                        store.create(&demo_spec()).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(store.len(), 32);
+        let ids = store.ids();
+        let mut dedup = ids.clone();
+        dedup.dedup();
+        assert_eq!(ids, dedup);
+    }
+}

@@ -1,0 +1,188 @@
+//! End-to-end smoke test over real sockets: boot the service on an
+//! ephemeral port, drive sessions through the minimal client, and check
+//! the HTTP-run trace is *byte-identical* to the same scenario executed
+//! directly against the library. This is the test CI's service-smoke job
+//! runs.
+
+use redistrib_service::{client, serve, Json, SessionSpec};
+
+const SPEC: &str = r#"{
+    "platform": {"procs": 16},
+    "strategy": {"heuristic": "IteratedGreedy-EndLocal"},
+    "faults": {"seed": 42},
+    "record_trace": true,
+    "jobs": [
+        {"size": 5000},
+        {"size": 9000, "release": 200},
+        {"size": 4000, "release": 500},
+        {"size": 7000, "release": 500}
+    ]
+}"#;
+
+fn library_trace_csv() -> String {
+    let spec = SessionSpec::from_json(&Json::parse(SPEC).unwrap()).unwrap();
+    let outcome = spec.scheduler().session(&spec.jobs).unwrap().run_to_completion().unwrap();
+    outcome.trace.to_csv()
+}
+
+fn created_id(body: &str) -> u64 {
+    Json::parse(body).unwrap().get("id").and_then(Json::as_u64).unwrap()
+}
+
+#[test]
+fn http_run_trace_matches_library_run_byte_for_byte() {
+    let (mut server, _store) = serve("127.0.0.1:0", 4).unwrap();
+    let addr = server.addr();
+
+    let (status, body) = client::post(addr, "/v1/sessions", SPEC).unwrap();
+    assert_eq!(status, 201, "{body}");
+    let id = created_id(&body);
+
+    // Mixed driving: a few single steps, a deadline, then drain.
+    let (status, body) =
+        client::post(addr, &format!("/v1/sessions/{id}/step"), r#"{"count": 3}"#).unwrap();
+    assert_eq!(status, 200, "{body}");
+    let stepped = Json::parse(&body).unwrap().get("stepped").and_then(Json::as_u64).unwrap();
+    assert_eq!(stepped, 3);
+
+    let (status, body) =
+        client::post(addr, &format!("/v1/sessions/{id}/run_to"), r#"{"t": 600}"#).unwrap();
+    assert_eq!(status, 200, "{body}");
+
+    let (status, body) = client::post(addr, &format!("/v1/sessions/{id}/run"), "").unwrap();
+    assert_eq!(status, 200, "{body}");
+    let outcome = Json::parse(&body).unwrap();
+    assert!(outcome.get("makespan").and_then(Json::as_f64).unwrap() > 0.0);
+
+    let (status, csv) =
+        client::get(addr, &format!("/v1/sessions/{id}/trace?format=csv")).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(csv, library_trace_csv(), "HTTP-driven trace diverged from the library run");
+
+    server.shutdown();
+}
+
+#[test]
+fn snapshot_restore_over_http_replays_identically() {
+    let (mut server, _store) = serve("127.0.0.1:0", 4).unwrap();
+    let addr = server.addr();
+
+    let (status, body) = client::post(addr, "/v1/sessions", SPEC).unwrap();
+    assert_eq!(status, 201, "{body}");
+    let id = created_id(&body);
+
+    // Step mid-flight, snapshot, restore under a fresh id.
+    let (status, _) =
+        client::post(addr, &format!("/v1/sessions/{id}/step"), r#"{"count": 5}"#).unwrap();
+    assert_eq!(status, 200);
+    let (status, snapshot) =
+        client::post(addr, &format!("/v1/sessions/{id}/snapshot"), "").unwrap();
+    assert_eq!(status, 200, "{snapshot}");
+
+    let (status, body) = client::post(addr, "/v1/sessions/restore", &snapshot).unwrap();
+    assert_eq!(status, 201, "{body}");
+    let restored = created_id(&body);
+    assert_ne!(restored, id);
+
+    // Drain both; the restored session must replay the identical run.
+    for sid in [id, restored] {
+        let (status, body) =
+            client::post(addr, &format!("/v1/sessions/{sid}/run"), "").unwrap();
+        assert_eq!(status, 200, "{body}");
+    }
+    let (_, original_csv) =
+        client::get(addr, &format!("/v1/sessions/{id}/trace?format=csv")).unwrap();
+    let (_, restored_csv) =
+        client::get(addr, &format!("/v1/sessions/{restored}/trace?format=csv")).unwrap();
+    assert_eq!(restored_csv, original_csv);
+    assert_eq!(original_csv, library_trace_csv());
+
+    server.shutdown();
+}
+
+#[test]
+fn mid_run_submission_and_inspection_endpoints() {
+    let (mut server, _store) = serve("127.0.0.1:0", 2).unwrap();
+    let addr = server.addr();
+
+    let (status, body) = client::post(addr, "/v1/sessions", SPEC).unwrap();
+    assert_eq!(status, 201, "{body}");
+    let id = created_id(&body);
+
+    // Submit one more job while the session is still at t = 0.
+    let (status, body) = client::post(
+        addr,
+        &format!("/v1/sessions/{id}/jobs"),
+        r#"{"jobs": [{"size": 6000, "release": 900}]}"#,
+    )
+    .unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(Json::parse(&body).unwrap().get("jobs").and_then(Json::as_u64), Some(5));
+
+    // A submission in the past is rejected without killing the session.
+    let (status, body) = client::post(
+        addr,
+        &format!("/v1/sessions/{id}/jobs"),
+        r#"{"jobs": [{"size": 6000, "release": -1}]}"#,
+    )
+    .unwrap();
+    assert_eq!(status, 400, "{body}");
+
+    let (status, body) = client::post(addr, &format!("/v1/sessions/{id}/run"), "").unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(Json::parse(&body).unwrap().get("jobs").and_then(Json::as_u64), Some(5));
+
+    // Per-job state and trace paging.
+    let (status, body) = client::get(addr, &format!("/v1/sessions/{id}/jobs/4")).unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("\"state\":\"completed\""), "{body}");
+    let (status, body) = client::get(addr, &format!("/v1/sessions/{id}/jobs/5")).unwrap();
+    assert_eq!(status, 404, "{body}");
+    let (status, body) =
+        client::get(addr, &format!("/v1/sessions/{id}/trace?from=2&limit=3")).unwrap();
+    assert_eq!(status, 200);
+    let page = Json::parse(&body).unwrap();
+    assert_eq!(page.get("from").and_then(Json::as_u64), Some(2));
+    assert_eq!(page.get("events").and_then(Json::as_arr).map(<[Json]>::len), Some(3));
+
+    // Registry listing and deletion.
+    let (status, body) = client::get(addr, "/v1/sessions").unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("\"id\":1"), "{body}");
+    let (status, _) = client::delete(addr, &format!("/v1/sessions/{id}")).unwrap();
+    assert_eq!(status, 200);
+    let (status, _) = client::get(addr, &format!("/v1/sessions/{id}")).unwrap();
+    assert_eq!(status, 404);
+
+    let (status, body) = client::get(addr, "/healthz").unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("\"sessions\":0"), "{body}");
+
+    server.shutdown();
+}
+
+#[test]
+fn oversubscribed_staging_exposes_packs_over_http() {
+    let spec = r#"{
+        "platform": {"procs": 8},
+        "staging": {"mode": "oversubscribed", "partitioner": "lpt"},
+        "record_trace": true,
+        "jobs": [
+            {"size": 4000}, {"size": 5000}, {"size": 6000}, {"size": 7000},
+            {"size": 8000}, {"size": 9000}, {"size": 4000}, {"size": 5000}
+        ]
+    }"#;
+    let (mut server, _store) = serve("127.0.0.1:0", 2).unwrap();
+    let addr = server.addr();
+    let (status, body) = client::post(addr, "/v1/sessions", spec).unwrap();
+    assert_eq!(status, 201, "{body}");
+    let id = created_id(&body);
+    let (status, body) = client::post(addr, &format!("/v1/sessions/{id}/run"), "").unwrap();
+    assert_eq!(status, 200, "{body}");
+    let packs = Json::parse(&body).unwrap().get("packs").and_then(Json::as_u64).unwrap();
+    assert!(packs >= 2, "8 jobs on 8 procs must stage into multiple packs, got {packs}");
+    let (status, body) = client::get(addr, &format!("/v1/sessions/{id}/packs")).unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("\"phase\":\"drained\""), "{body}");
+    server.shutdown();
+}

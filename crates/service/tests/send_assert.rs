@@ -1,0 +1,52 @@
+//! Compile-time thread-safety assertions for the service stack.
+//!
+//! The session host moves sessions across worker threads (the HTTP pool,
+//! the load bench's shard-and-drive loops), so `Session` and everything
+//! the store wraps must be `Send`, and the store itself — shared behind
+//! one `Arc` by every worker — must be `Sync` too. These checks fail at
+//! compile time, which is the point: a regression (say, a policy trait
+//! object losing its `Send` supertrait, or an `Rc` sneaking into the
+//! session) breaks the build here instead of deadlocking a worker.
+
+use redistrib_online::{OnlineOutcome, PackHandle, Session, SessionSnapshot};
+use redistrib_service::{
+    HttpServer, Json, SessionEntry, SessionSpec, SessionStore, SpeedupSpec,
+};
+
+fn assert_send<T: Send>() {}
+fn assert_send_sync<T: Send + Sync>() {}
+
+#[test]
+fn session_stack_is_thread_safe() {
+    // The session and everything it carries (policy trait objects, the
+    // speedup model, the fault source, staged packs) cross threads.
+    assert_send::<Session>();
+    assert_send::<PackHandle>();
+    assert_send::<SessionSnapshot>();
+    assert_send::<OnlineOutcome>();
+    // The registry is shared by reference between all workers.
+    assert_send_sync::<SessionStore>();
+    assert_send::<SessionEntry>();
+    // Service plumbing that crosses threads alongside the store.
+    assert_send::<HttpServer>();
+    assert_send_sync::<Json>();
+    assert_send_sync::<SessionSpec>();
+    assert_send_sync::<SpeedupSpec>();
+}
+
+#[test]
+fn sessions_actually_move_between_threads() {
+    let doc = Json::parse(
+        r#"{"platform":{"procs":8},"record_trace":true,
+            "jobs":[{"size":4000},{"size":6000,"release":10}]}"#,
+    )
+    .unwrap();
+    let spec = SessionSpec::from_json(&doc).unwrap();
+    let mut session = spec.scheduler().session(&spec.jobs).unwrap();
+    session.step().unwrap();
+    // Move the stepped session (not just a fresh one) into another thread
+    // and finish it there.
+    let outcome =
+        std::thread::spawn(move || session.run_to_completion().unwrap()).join().unwrap();
+    assert_eq!(outcome.jobs.len(), 2);
+}

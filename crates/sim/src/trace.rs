@@ -143,6 +143,15 @@ impl TraceLog {
         Self { enabled: false, events: Vec::new() }
     }
 
+    /// Reassembles a log from previously recorded events — the restore half
+    /// of session snapshotting. The event vector is taken verbatim, so a
+    /// log rebuilt from [`TraceLog::events`] is indistinguishable from the
+    /// original (same CSV bytes, same counts).
+    #[must_use]
+    pub fn from_events(enabled: bool, events: Vec<TraceEvent>) -> Self {
+        Self { enabled, events }
+    }
+
     /// Whether records are being kept.
     #[must_use]
     pub fn is_enabled(&self) -> bool {

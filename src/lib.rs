@@ -26,7 +26,10 @@
 //!   queueing, multi-pack staging of oversubscribed backlogs, malleable
 //!   resizing on arrival/completion/fault events — [`online`];
 //! * the experiment harnesses regenerating every figure of the paper —
-//!   [`experiments`].
+//!   [`experiments`];
+//! * scheduler-as-a-service: a std-only HTTP host for many concurrent
+//!   sessions with a registry, batched stepping and snapshot/restore —
+//!   [`service`].
 //!
 //! ## Quickstart
 //!
@@ -68,6 +71,7 @@ pub use redistrib_graph as graph;
 pub use redistrib_model as model;
 pub use redistrib_online as online;
 pub use redistrib_packs as packs;
+pub use redistrib_service as service;
 pub use redistrib_sim as sim;
 
 /// The most common imports, re-exported flat.
