@@ -25,7 +25,9 @@ use redistrib_online::{
     generate_jobs, BurstyArrivals, JobSizeModel, OnlineConfig, OnlineStrategy, PackStaging,
     Scheduler,
 };
-use redistrib_service::{step_quantum, SessionStore, SpeedupSpec};
+use redistrib_service::{
+    step_quantum, SessionStore, SnapshotArchive, SpeedupSpec, StoreConfig,
+};
 
 /// Times `f` under a wall-clock budget: one warm-up call, then iterations
 /// until the budget elapses (at least one), returning `(mean_secs, iters)`.
@@ -43,13 +45,32 @@ fn time_budgeted<F: FnMut()>(budget_secs: f64, mut f: F) -> (f64, u64) {
     (start.elapsed().as_secs_f64() / iters as f64, iters)
 }
 
+/// A unique scratch directory for archive-enabled bench runs.
+fn bench_archive_dir() -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir()
+        .join(format!("redistrib-bench-archive-{}-{n}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("bench archive dir");
+    dir
+}
+
 /// The service load scenario: `sessions` concurrent sessions (4 jobs each
 /// on p = 8) registered in one `SessionStore`, drained by `workers`
 /// threads that shard the registry and advance each live session at most
 /// `quantum` events per visit — the batched-stepping loop of the session
-/// host. Returns the number of sessions completed.
+/// host. The store runs with the disk archive *enabled* (as a durable
+/// production host would) but no idle TTL, so checkpoint-on-evict stays
+/// off the stepping hot path. Returns the number of sessions completed.
 fn service_load(sessions: usize, workers: usize, quantum: u64) -> usize {
-    let store = SessionStore::new();
+    let dir = bench_archive_dir();
+    let (store, _report) = SessionStore::with_config(StoreConfig {
+        archive: Some(SnapshotArchive::open(&dir).expect("bench archive opens")),
+        idle_ttl: None,
+        max_sessions: None,
+    })
+    .expect("store builds");
     let platform = platform_with_mtbf(8, 100.0);
     let scheduler = Scheduler::on(platform)
         .speedup(std::sync::Arc::new(PaperModel::default()))
@@ -92,7 +113,61 @@ fn service_load(sessions: usize, workers: usize, quantum: u64) -> usize {
     let drained =
         store.handles().iter().filter(|(_, e)| e.lock().unwrap().session.is_done()).count();
     assert_eq!(drained, sessions, "every session must drain");
+    let _ = std::fs::remove_dir_all(&dir);
     drained
+}
+
+/// The durability scenario: checkpoint `sessions` mid-run sessions to
+/// the disk archive, then recover a fresh store from the same directory
+/// (startup scan + resume validation) — the crash/restart path end to
+/// end. Returns the number of sessions recovered.
+fn service_checkpoint_recover(sessions: usize) -> usize {
+    let dir = bench_archive_dir();
+    let open = || SnapshotArchive::open(&dir).expect("bench archive opens");
+    let (store, _) = SessionStore::with_config(StoreConfig {
+        archive: Some(open()),
+        idle_ttl: None,
+        max_sessions: None,
+    })
+    .expect("store builds");
+    let platform = platform_with_mtbf(8, 100.0);
+    let scheduler = Scheduler::on(platform)
+        .speedup(std::sync::Arc::new(PaperModel::default()))
+        .strategy(OnlineStrategy::resizing(Heuristic::IteratedGreedyEndLocal));
+    for s in 0..sessions {
+        let jobs: Vec<JobSpec> = (0..4)
+            .map(|j| JobSpec {
+                task: TaskSpec {
+                    size: 3_000.0 + 50.0 * ((s * 7 + j * 131) % 64) as f64,
+                    ckpt_unit: 1.0,
+                },
+                release: 150.0 * j as f64,
+            })
+            .collect();
+        let session = scheduler
+            .clone()
+            .faults(s as u64, platform.proc_mtbf)
+            .session(&jobs)
+            .expect("session builds");
+        let id = store.insert(session, SpeedupSpec::Paper);
+        let entry = store.get(id).expect("fresh session");
+        step_quantum(&entry, 4).expect("prefix steps");
+    }
+    let (ok, failures) = store.checkpoint_all();
+    assert_eq!(ok, sessions, "checkpoints: {failures:?}");
+    drop(store);
+
+    let (recovered, report) = SessionStore::with_config(StoreConfig {
+        archive: Some(open()),
+        idle_ttl: None,
+        max_sessions: None,
+    })
+    .expect("recovery succeeds");
+    assert!(report.quarantined.is_empty(), "{:?}", report.quarantined);
+    let n = recovered.len();
+    assert_eq!(n, sessions, "every session must recover");
+    let _ = std::fs::remove_dir_all(&dir);
+    n
 }
 
 /// One fault-aware engine run: the unit of work behind every figure point.
@@ -360,6 +435,14 @@ fn main() {
         10_000.0 / r.0
     );
     record("service_sessions_10k", r);
+
+    // Durability path: checkpoint 1k mid-run sessions to disk and recover
+    // a fresh store from the archive (the crash/restart drill).
+    let r = time_budgeted(budget.max(2.0), || {
+        std::hint::black_box(service_checkpoint_recover(1_000));
+    });
+    eprintln!("service_checkpoint_recover_1k: {:.0} sessions/s through disk", 1_000.0 / r.0);
+    record("service_checkpoint_recover_1k", r);
 
     // Online campaign throughput: 5 strategies × 16 runs of 24 jobs.
     record(

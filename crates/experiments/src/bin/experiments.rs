@@ -27,6 +27,10 @@ struct Args {
     log: Option<PathBuf>,
     addr: String,
     workers: usize,
+    archive_dir: Option<PathBuf>,
+    ttl_secs: Option<u64>,
+    max_sessions: Option<usize>,
+    checkpoint_secs: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -37,6 +41,10 @@ fn parse_args() -> Result<Args, String> {
     let mut log = None;
     let mut addr = "127.0.0.1:8079".to_string();
     let mut workers = 4;
+    let mut archive_dir = None;
+    let mut ttl_secs = None;
+    let mut max_sessions = None;
+    let mut checkpoint_secs = None;
     let mut it = env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -52,6 +60,25 @@ fn parse_args() -> Result<Args, String> {
             "--workers" => {
                 let v = it.next().ok_or("--workers needs a value")?;
                 workers = v.parse().map_err(|_| format!("bad --workers value: {v}"))?;
+            }
+            "--archive-dir" => {
+                let v = it.next().ok_or("--archive-dir needs a directory path")?;
+                archive_dir = Some(PathBuf::from(v));
+            }
+            "--ttl" => {
+                let v = it.next().ok_or("--ttl needs a value in seconds")?;
+                ttl_secs = Some(v.parse().map_err(|_| format!("bad --ttl value: {v}"))?);
+            }
+            "--max-sessions" => {
+                let v = it.next().ok_or("--max-sessions needs a value")?;
+                max_sessions =
+                    Some(v.parse().map_err(|_| format!("bad --max-sessions value: {v}"))?);
+            }
+            "--checkpoint-interval" => {
+                let v = it.next().ok_or("--checkpoint-interval needs a value in seconds")?;
+                checkpoint_secs = Some(
+                    v.parse().map_err(|_| format!("bad --checkpoint-interval value: {v}"))?,
+                );
             }
             "--runs" => {
                 let v = it.next().ok_or("--runs needs a value")?;
@@ -75,33 +102,94 @@ fn parse_args() -> Result<Args, String> {
     if targets.is_empty() {
         return Err(usage());
     }
-    Ok(Args { targets, opts, out, plot, log, addr, workers })
+    Ok(Args {
+        targets,
+        opts,
+        out,
+        plot,
+        log,
+        addr,
+        workers,
+        archive_dir,
+        ttl_secs,
+        max_sessions,
+        checkpoint_secs,
+    })
 }
 
 fn usage() -> String {
     format!(
         "usage: experiments <target…> [--quick] [--plot] [--runs N] [--seed S] [--out DIR]\n\
-         \x20      [--log FILE.swf] [--addr HOST:PORT] [--workers N]\n\
+         \x20      [--log FILE.swf] [--addr HOST:PORT] [--workers N] [--archive-dir DIR]\n\
+         \x20      [--ttl SECS] [--max-sessions N] [--checkpoint-interval SECS]\n\
          targets: table1, all, {}, validation, ablation, gap, warm, profiles, silent, online,\n\
          \x20        swf (replays --log through the Session API),\n\
-         \x20        serve (hosts the scheduler as an HTTP service on --addr)",
+         \x20        serve (hosts the scheduler as an HTTP service on --addr; --archive-dir\n\
+         \x20        enables durable checkpoints + crash recovery, --ttl idle eviction,\n\
+         \x20        --max-sessions admission shedding, --checkpoint-interval periodic sweeps)",
         ALL_FIGURES.join(", ")
     )
 }
 
-/// Hosts the scheduler-as-a-service HTTP session host until killed.
-fn serve_forever(addr: &str, workers: usize) -> ExitCode {
-    let (server, _store) = match redistrib_service::serve(addr, workers) {
-        Ok(pair) => pair,
+/// Hosts the scheduler-as-a-service HTTP session host until killed (or
+/// gracefully drained via `POST /v1/admin/drain`). With `--archive-dir`
+/// the host checkpoints sessions to disk and recovers them on restart.
+fn serve_forever(args: &Args) -> ExitCode {
+    use redistrib_service::{HttpConfig, ServiceConfig, SnapshotArchive, StoreConfig};
+    use std::time::Duration;
+
+    let archive = match &args.archive_dir {
+        None => None,
+        Some(dir) => match SnapshotArchive::open(dir) {
+            Ok(a) => Some(a),
+            Err(e) => {
+                eprintln!("error opening archive dir {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    if archive.is_none() && (args.ttl_secs.is_some() || args.checkpoint_secs.is_some()) {
+        eprintln!("--ttl and --checkpoint-interval require --archive-dir");
+        return ExitCode::FAILURE;
+    }
+    let cfg = ServiceConfig {
+        http: HttpConfig { workers: args.workers, ..HttpConfig::default() },
+        store: StoreConfig {
+            archive,
+            idle_ttl: args.ttl_secs.map(Duration::from_secs),
+            max_sessions: args.max_sessions,
+        },
+        checkpoint_interval: args.checkpoint_secs.map(Duration::from_secs),
+    };
+    let (mut host, _store, report) = match redistrib_service::serve_with(&args.addr, cfg) {
+        Ok(triple) => triple,
         Err(e) => {
-            eprintln!("error binding {addr}: {e}");
+            eprintln!("error binding {}: {e}", args.addr);
             return ExitCode::FAILURE;
         }
     };
-    println!("serving on http://{} ({workers} workers); Ctrl-C to stop", server.addr());
-    loop {
-        std::thread::park();
+    if let Some(dir) = &args.archive_dir {
+        println!(
+            "archive {}: recovered {} session(s), quarantined {} file(s)",
+            dir.display(),
+            report.restored.len(),
+            report.quarantined.len()
+        );
+        for (path, why) in &report.quarantined {
+            eprintln!("  quarantined {}: {why}", path.display());
+        }
     }
+    println!(
+        "serving on http://{} ({} workers); Ctrl-C to stop, POST /v1/admin/drain to drain",
+        host.addr(),
+        args.workers
+    );
+    while !host.is_draining() {
+        std::thread::sleep(Duration::from_millis(200));
+    }
+    println!("drain requested; finishing in-flight requests and checkpointing");
+    host.join();
+    ExitCode::SUCCESS
 }
 
 fn emit(report: &FigureReport, out: Option<&PathBuf>, plot: bool) -> std::io::Result<()> {
@@ -141,7 +229,7 @@ fn main() -> ExitCode {
             eprintln!("serve cannot be combined with other targets");
             return ExitCode::FAILURE;
         }
-        return serve_forever(&args.addr, args.workers);
+        return serve_forever(&args);
     }
 
     let mut targets: Vec<String> = Vec::new();

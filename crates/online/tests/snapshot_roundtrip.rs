@@ -17,10 +17,13 @@ use redistrib_online::{
 };
 use redistrib_sim::units;
 
-const STRATEGIES: [fn() -> OnlineStrategy; 5] = [
+const STRATEGIES: [fn() -> OnlineStrategy; 8] = [
     OnlineStrategy::no_resize,
+    || OnlineStrategy::resizing(Heuristic::IteratedGreedyEndGreedy),
     || OnlineStrategy::resizing(Heuristic::IteratedGreedyEndLocal),
     || OnlineStrategy::resizing(Heuristic::ShortestTasksFirstEndGreedy),
+    || OnlineStrategy::resizing(Heuristic::ShortestTasksFirstEndLocal),
+    || OnlineStrategy::resizing(Heuristic::EndLocalOnly),
     || OnlineStrategy::resizing(Heuristic::EndGreedyOnly),
     || OnlineStrategy::resizing(Heuristic::WarmGreedy),
 ];

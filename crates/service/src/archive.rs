@@ -1,0 +1,433 @@
+//! Disk-backed snapshot archive: the durability layer of the session host.
+//!
+//! The paper's applications survive processor failures through
+//! checkpoint/restart; this module applies the same idea to the host
+//! itself. Every session's snapshot document (the versioned, bit-exact
+//! JSON encoding from [`spec`](crate::spec)) can be checkpointed to a
+//! per-session file, and on startup the server scans the archive and
+//! restores every valid snapshot under its original id.
+//!
+//! **Framing.** Each file is one frame:
+//!
+//! ```text
+//! magic  "RSNA"            4 bytes
+//! version u32 LE           4 bytes   (archive framing version, currently 1)
+//! length  u64 LE           8 bytes   (payload length in bytes)
+//! crc32   u32 LE           4 bytes   (IEEE CRC-32 of the payload)
+//! payload                  length bytes (snapshot JSON document)
+//! ```
+//!
+//! **Atomicity.** Writes go to a `.tmp` sibling, are `fsync`ed, and then
+//! renamed over the target (plus a best-effort directory fsync), so a
+//! crash mid-checkpoint can tear at most the in-flight temp file — the
+//! previous checkpoint of that session, if any, survives intact.
+//!
+//! **Quarantine, never panic.** Torn, truncated, or corrupt files found
+//! by [`SnapshotArchive::scan`] are renamed into a `quarantine/`
+//! subdirectory for post-mortem inspection; recovery continues with the
+//! remaining sessions.
+//!
+//! File operations consult an optional [`FaultPlan`] so the chaos suite
+//! can deterministically tear writes at exact framing boundaries.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, ErrorKind, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use crate::faultio::{FaultPlan, FaultWriter};
+
+/// Magic bytes opening every archive frame.
+pub const ARCHIVE_MAGIC: [u8; 4] = *b"RSNA";
+/// Version tag of the archive framing (independent of the snapshot
+/// document's own `version` field).
+pub const ARCHIVE_VERSION: u32 = 1;
+/// Bytes of framing before the payload: magic + version + length + crc32.
+pub const FRAME_HEADER_LEN: usize = 4 + 4 + 8 + 4;
+
+/// IEEE CRC-32 (the zlib/PNG polynomial), table-driven, `std`-only.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = TABLE[((crc ^ u32::from(b)) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+/// Builds the full frame (header + payload) for a payload.
+#[must_use]
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    out.extend_from_slice(&ARCHIVE_MAGIC);
+    out.extend_from_slice(&ARCHIVE_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Validates a frame and returns its payload, or a description of the
+/// first problem found (used both for loads and for the recovery scan).
+pub fn unframe(bytes: &[u8]) -> Result<&[u8], String> {
+    if bytes.len() < FRAME_HEADER_LEN {
+        return Err(format!("truncated header ({} of {FRAME_HEADER_LEN} bytes)", bytes.len()));
+    }
+    if bytes[..4] != ARCHIVE_MAGIC {
+        return Err("bad magic".into());
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if version != ARCHIVE_VERSION {
+        return Err(format!("unsupported archive version {version}"));
+    }
+    let len = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    let expect_crc = u32::from_le_bytes(bytes[16..20].try_into().unwrap());
+    let body = &bytes[FRAME_HEADER_LEN..];
+    if (body.len() as u64) != len {
+        return Err(format!(
+            "payload length mismatch (header says {len}, have {})",
+            body.len()
+        ));
+    }
+    let got_crc = crc32(body);
+    if got_crc != expect_crc {
+        return Err(format!(
+            "crc mismatch (header {expect_crc:#010x}, payload {got_crc:#010x})"
+        ));
+    }
+    Ok(body)
+}
+
+/// What a recovery scan found.
+#[derive(Debug, Default)]
+pub struct ScanReport {
+    /// Valid frames, ascending by session id: `(id, payload bytes)`.
+    pub restored: Vec<(u64, Vec<u8>)>,
+    /// Files moved to quarantine, with the reason each was rejected.
+    pub quarantined: Vec<(PathBuf, String)>,
+}
+
+/// A directory of per-session snapshot frames.
+///
+/// Cloneable/shareable via `Arc`; all operations are whole-file and the
+/// write path is atomic (temp + fsync + rename), so concurrent
+/// checkpoints of *different* sessions never interfere. Checkpoints of
+/// the same session are serialized by the store's per-session mutex.
+#[derive(Debug)]
+pub struct SnapshotArchive {
+    dir: PathBuf,
+    plan: Option<Arc<FaultPlan>>,
+}
+
+fn session_file_name(id: u64) -> String {
+    format!("session-{id}.snap")
+}
+
+/// Parses `session-<id>.snap` back to the id.
+fn parse_session_file_name(name: &str) -> Option<u64> {
+    name.strip_prefix("session-")?.strip_suffix(".snap")?.parse().ok()
+}
+
+impl SnapshotArchive {
+    /// Opens (creating if needed) an archive directory.
+    ///
+    /// # Errors
+    /// Propagates directory-creation failures.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Self { dir, plan: None })
+    }
+
+    /// Opens an archive whose file writes consult `plan` — the chaos
+    /// suite's entry point for deterministic torn-write injection.
+    ///
+    /// # Errors
+    /// Propagates directory-creation failures.
+    pub fn open_with_faults(dir: impl Into<PathBuf>, plan: Arc<FaultPlan>) -> io::Result<Self> {
+        let mut archive = Self::open(dir)?;
+        archive.plan = Some(plan);
+        Ok(archive)
+    }
+
+    /// The archive directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of a session's snapshot file.
+    #[must_use]
+    pub fn path_for(&self, id: u64) -> PathBuf {
+        self.dir.join(session_file_name(id))
+    }
+
+    /// Atomically checkpoints `payload` as session `id`'s snapshot:
+    /// write temp, fsync, rename, best-effort directory fsync.
+    ///
+    /// # Errors
+    /// Any I/O failure (including injected faults). On error the previous
+    /// snapshot of `id`, if any, is left untouched; a torn temp file may
+    /// remain and is quarantined by the next [`SnapshotArchive::scan`].
+    pub fn store(&self, id: u64, payload: &[u8]) -> io::Result<()> {
+        let tmp = self.dir.join(format!("{}.tmp", session_file_name(id)));
+        let fault = self.plan.as_ref().and_then(|p| p.next_write_fault());
+        // On failure the torn temp file stays behind deliberately — the
+        // same debris a real mid-write crash leaves — and the next scan
+        // quarantines it. The committed name is only ever renamed onto.
+        let file = OpenOptions::new().write(true).create(true).truncate(true).open(&tmp)?;
+        let mut writer = FaultWriter::new(file, fault);
+        writer.write_all(&frame(payload))?;
+        writer.flush()?;
+        writer.into_inner().sync_all()?;
+        fs::rename(&tmp, self.path_for(id))?;
+        self.sync_dir();
+        Ok(())
+    }
+
+    /// Loads and validates session `id`'s snapshot payload. `Ok(None)`
+    /// means no snapshot exists.
+    ///
+    /// # Errors
+    /// I/O failures, or [`ErrorKind::InvalidData`] for corrupt frames
+    /// (the caller decides whether to quarantine).
+    pub fn load(&self, id: u64) -> io::Result<Option<Vec<u8>>> {
+        let path = self.path_for(id);
+        let mut bytes = Vec::new();
+        match File::open(&path) {
+            Ok(mut f) => {
+                f.read_to_end(&mut bytes)?;
+            }
+            Err(e) if e.kind() == ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        }
+        match unframe(&bytes) {
+            Ok(payload) => Ok(Some(payload.to_vec())),
+            Err(why) => Err(io::Error::new(
+                ErrorKind::InvalidData,
+                format!("corrupt snapshot {}: {why}", path.display()),
+            )),
+        }
+    }
+
+    /// Removes session `id`'s snapshot (missing files are fine).
+    ///
+    /// # Errors
+    /// Propagates unexpected I/O failures.
+    pub fn remove(&self, id: u64) -> io::Result<()> {
+        match fs::remove_file(self.path_for(id)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Moves session `id`'s snapshot file into quarantine (used when the
+    /// frame is valid but the document inside fails to parse or resume).
+    pub fn quarantine(&self, id: u64, why: &str) -> Option<PathBuf> {
+        self.quarantine_path(&self.path_for(id), why)
+    }
+
+    /// Scans the archive: every `*.snap` file with a valid frame is
+    /// returned (ascending by id); everything else — torn temp files,
+    /// truncated or corrupt frames, unparseable names — is renamed into
+    /// `quarantine/`. Never panics on file contents.
+    ///
+    /// # Errors
+    /// Propagates directory-read failures only.
+    pub fn scan(&self) -> io::Result<ScanReport> {
+        let mut report = ScanReport::default();
+        for entry in fs::read_dir(&self.dir)? {
+            let Ok(entry) = entry else { continue };
+            let path = entry.path();
+            if path.is_dir() {
+                continue; // quarantine/ itself
+            }
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.ends_with(".tmp") {
+                // A torn checkpoint the crash left behind.
+                if let Some(to) = self.quarantine_path(&path, "torn temp file") {
+                    report.quarantined.push((to, "torn temp file".into()));
+                }
+                continue;
+            }
+            if !name.ends_with(".snap") {
+                continue; // foreign file; leave it alone
+            }
+            let Some(id) = parse_session_file_name(&name) else {
+                if let Some(to) = self.quarantine_path(&path, "unparseable file name") {
+                    report.quarantined.push((to, "unparseable file name".into()));
+                }
+                continue;
+            };
+            let mut bytes = Vec::new();
+            let read = File::open(&path).and_then(|mut f| f.read_to_end(&mut bytes));
+            if let Err(e) = read {
+                if let Some(to) = self.quarantine_path(&path, &e.to_string()) {
+                    report.quarantined.push((to, e.to_string()));
+                }
+                continue;
+            }
+            match unframe(&bytes) {
+                Ok(payload) => report.restored.push((id, payload.to_vec())),
+                Err(why) => {
+                    if let Some(to) = self.quarantine_path(&path, &why) {
+                        report.quarantined.push((to, why));
+                    }
+                }
+            }
+        }
+        report.restored.sort_unstable_by_key(|&(id, _)| id);
+        Ok(report)
+    }
+
+    /// Best-effort fsync of the archive directory (ensures the rename is
+    /// on disk; ignored where directories cannot be opened).
+    fn sync_dir(&self) {
+        if let Ok(d) = File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+    }
+
+    /// Renames `path` into `quarantine/`, keeping the original name and
+    /// appending `.N` on collisions. Returns the destination, or `None`
+    /// if even the rename failed (the file is then left in place; it will
+    /// be re-quarantined on the next scan).
+    fn quarantine_path(&self, path: &Path, _why: &str) -> Option<PathBuf> {
+        let qdir = self.dir.join("quarantine");
+        fs::create_dir_all(&qdir).ok()?;
+        let name = path.file_name()?.to_string_lossy().into_owned();
+        let mut dest = qdir.join(&name);
+        let mut n = 0u32;
+        while dest.exists() {
+            n += 1;
+            dest = qdir.join(format!("{name}.{n}"));
+        }
+        fs::rename(path, &dest).ok()?;
+        Some(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "redistrib-archive-test-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed),
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 reference values.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn frame_roundtrip_and_boundaries() {
+        let payload = br#"{"version":1,"x":42}"#;
+        let framed = frame(payload);
+        assert_eq!(framed.len(), FRAME_HEADER_LEN + payload.len());
+        assert_eq!(unframe(&framed).unwrap(), payload);
+        // Every truncation is rejected, never a panic.
+        for cut in 0..framed.len() {
+            assert!(unframe(&framed[..cut]).is_err(), "cut at {cut} must fail");
+        }
+        // Any single-byte flip is rejected.
+        for i in 0..framed.len() {
+            let mut bad = framed.clone();
+            bad[i] ^= 0x40;
+            assert!(unframe(&bad).is_err(), "flip at {i} must fail");
+        }
+    }
+
+    #[test]
+    fn store_load_remove_roundtrip() {
+        let dir = temp_dir("roundtrip");
+        let archive = SnapshotArchive::open(&dir).unwrap();
+        assert_eq!(archive.load(7).unwrap(), None);
+        archive.store(7, b"seven").unwrap();
+        archive.store(9, b"nine").unwrap();
+        assert_eq!(archive.load(7).unwrap().unwrap(), b"seven");
+        // Overwrite is atomic and replaces the payload.
+        archive.store(7, b"seven-v2").unwrap();
+        assert_eq!(archive.load(7).unwrap().unwrap(), b"seven-v2");
+        archive.remove(7).unwrap();
+        archive.remove(7).unwrap(); // idempotent
+        assert_eq!(archive.load(7).unwrap(), None);
+        let report = archive.scan().unwrap();
+        assert_eq!(report.restored.len(), 1);
+        assert_eq!(report.restored[0].0, 9);
+        assert!(report.quarantined.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_write_leaves_previous_checkpoint_intact() {
+        let dir = temp_dir("torn");
+        let plan = Arc::new(FaultPlan::new().torn_write(1, FRAME_HEADER_LEN + 2));
+        let archive = SnapshotArchive::open_with_faults(&dir, plan).unwrap();
+        archive.store(3, b"generation-1").unwrap();
+        let err = archive.store(3, b"generation-2").unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::WriteZero);
+        // The committed file still holds generation 1.
+        assert_eq!(archive.load(3).unwrap().unwrap(), b"generation-1");
+        // And a fresh scan restores it while quarantining the torn temp.
+        let clean = SnapshotArchive::open(&dir).unwrap();
+        let report = clean.scan().unwrap();
+        assert_eq!(report.restored.len(), 1);
+        assert_eq!(report.restored[0].1, b"generation-1");
+        assert_eq!(report.quarantined.len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scan_quarantines_corrupt_files_and_restores_the_rest() {
+        let dir = temp_dir("scan");
+        let archive = SnapshotArchive::open(&dir).unwrap();
+        archive.store(1, b"one").unwrap();
+        archive.store(2, b"two").unwrap();
+        archive.store(3, b"three").unwrap();
+        // Corrupt session 2 in place: flip a payload byte.
+        let path = archive.path_for(2);
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        // And drop an unparseable name alongside.
+        fs::write(dir.join("session-abc.snap"), b"junk").unwrap();
+        let report = archive.scan().unwrap();
+        let ids: Vec<u64> = report.restored.iter().map(|&(id, _)| id).collect();
+        assert_eq!(ids, vec![1, 3]);
+        assert_eq!(report.quarantined.len(), 2);
+        // Quarantined files moved out of the way: a second scan is clean.
+        let again = archive.scan().unwrap();
+        assert_eq!(again.restored.len(), 2);
+        assert!(again.quarantined.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

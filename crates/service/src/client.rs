@@ -1,15 +1,25 @@
-//! A minimal blocking HTTP/1.1 client for the service — one request per
-//! connection, mirroring the server's `Connection: close` contract. Used
-//! by the integration smoke tests and the CI HTTP check; small enough to
-//! double as a reference for driving the service from any language.
+//! A minimal blocking HTTP/1.1 client for the service.
+//!
+//! Two tiers live here:
+//!
+//! * The free functions ([`request`], [`get`], [`post`], [`delete`]) send
+//!   one request per connection with `Connection: close` — small enough to
+//!   double as a reference for driving the service from any language.
+//! * [`Client`] holds a keep-alive connection open across requests,
+//!   applies a per-request deadline, and retries **idempotent GETs only**
+//!   with seeded exponential backoff plus jitter — so retry schedules in
+//!   tests and benches are reproducible.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
+use crate::faultio::XorShift64;
+
 const IO_TIMEOUT: Duration = Duration::from_secs(30);
 
-/// Sends one request and returns `(status, body)`.
+/// Sends one request on a fresh `Connection: close` connection and
+/// returns `(status, body)`.
 ///
 /// # Errors
 /// Propagates socket errors; malformed responses surface as
@@ -20,61 +30,13 @@ pub fn request(
     path: &str,
     body: Option<&str>,
 ) -> io::Result<(u16, String)> {
-    let mut stream = TcpStream::connect(addr)?;
+    let stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(IO_TIMEOUT))?;
     stream.set_write_timeout(Some(IO_TIMEOUT))?;
-
-    let payload = body.unwrap_or("");
-    let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        payload.len(),
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(payload.as_bytes())?;
-    stream.flush()?;
-
     let mut reader = BufReader::new(stream);
-    let mut status_line = String::new();
-    reader.read_line(&mut status_line)?;
-    let status: u16 = status_line
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
-
-    let mut content_length: Option<usize> = None;
-    loop {
-        let mut line = String::new();
-        if reader.read_line(&mut line)? == 0 {
-            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "truncated head"));
-        }
-        let line = line.trim_end();
-        if line.is_empty() {
-            break;
-        }
-        if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse().ok();
-            }
-        }
-    }
-
-    let body = match content_length {
-        Some(n) => {
-            let mut buf = vec![0u8; n];
-            reader.read_exact(&mut buf)?;
-            buf
-        }
-        // `Connection: close` lets us read to EOF when no length is given.
-        None => {
-            let mut buf = Vec::new();
-            reader.read_to_end(&mut buf)?;
-            buf
-        }
-    };
-    String::from_utf8(body)
-        .map(|b| (status, b))
-        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 body"))
+    send_request(reader.get_mut(), addr, method, path, body, true)?;
+    let (status, body, _close) = read_response(&mut reader)?;
+    Ok((status, body))
 }
 
 /// `GET path` → `(status, body)`.
@@ -99,4 +61,255 @@ pub fn post(addr: SocketAddr, path: &str, body: &str) -> io::Result<(u16, String
 /// See [`request`].
 pub fn delete(addr: SocketAddr, path: &str) -> io::Result<(u16, String)> {
     request(addr, "DELETE", path, None)
+}
+
+fn send_request(
+    stream: &mut TcpStream,
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    close: bool,
+) -> io::Result<()> {
+    let payload = body.unwrap_or("");
+    let connection = if close { "close" } else { "keep-alive" };
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+        payload.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(payload.as_bytes())?;
+    stream.flush()
+}
+
+/// Reads one response → `(status, body, server_will_close)`.
+fn read_response(reader: &mut BufReader<TcpStream>) -> io::Result<(u16, String, bool)> {
+    let mut status_line = String::new();
+    if reader.read_line(&mut status_line)? == 0 {
+        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "connection closed"));
+    }
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+
+    let mut content_length: Option<usize> = None;
+    let mut close = false;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "truncated head"));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            let name = name.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok();
+            } else if name.eq_ignore_ascii_case("connection")
+                && value.trim().eq_ignore_ascii_case("close")
+            {
+                close = true;
+            }
+        }
+    }
+
+    let body = match content_length {
+        Some(n) => {
+            let mut buf = vec![0u8; n];
+            reader.read_exact(&mut buf)?;
+            buf
+        }
+        // Only legal without keep-alive: read to EOF.
+        None => {
+            let mut buf = Vec::new();
+            reader.read_to_end(&mut buf)?;
+            buf
+        }
+    };
+    String::from_utf8(body)
+        .map(|b| (status, b, close))
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 body"))
+}
+
+/// Tunables for [`Client`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Per-request read/write deadline.
+    pub timeout: Duration,
+    /// Retry attempts (beyond the first try) for idempotent GETs.
+    pub retries: u32,
+    /// Base backoff; attempt `i` sleeps `base * 2^i` plus jitter in
+    /// `[0, base * 2^i)`.
+    pub backoff_base: Duration,
+    /// Seed for the jitter PRNG — fixed seed, reproducible schedule.
+    pub seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            timeout: Duration::from_secs(30),
+            retries: 3,
+            backoff_base: Duration::from_millis(20),
+            seed: 0x1ce_b00da,
+        }
+    }
+}
+
+/// A keep-alive HTTP client bound to one server address.
+///
+/// The connection is opened lazily, reused across requests, and
+/// re-established transparently when the server closes it (request caps,
+/// idle timeouts, restarts). [`Client::get`] retries on socket errors
+/// and `503` with seeded exponential backoff; non-idempotent verbs never
+/// retry.
+#[derive(Debug)]
+pub struct Client {
+    addr: SocketAddr,
+    cfg: ClientConfig,
+    conn: Option<BufReader<TcpStream>>,
+    opened: u64,
+    rng: XorShift64,
+}
+
+impl Client {
+    /// A client for `addr` with default settings.
+    #[must_use]
+    pub fn new(addr: SocketAddr) -> Self {
+        Self::with_config(addr, ClientConfig::default())
+    }
+
+    /// A client for `addr` with explicit settings.
+    #[must_use]
+    pub fn with_config(addr: SocketAddr, cfg: ClientConfig) -> Self {
+        let rng = XorShift64::new(cfg.seed);
+        Self { addr, cfg, conn: None, opened: 0, rng }
+    }
+
+    /// Connections this client has opened so far (observability for
+    /// tests asserting keep-alive reuse).
+    #[must_use]
+    pub fn connections_opened(&self) -> u64 {
+        self.opened
+    }
+
+    fn connect(&mut self) -> io::Result<&mut BufReader<TcpStream>> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect(self.addr)?;
+            stream.set_read_timeout(Some(self.cfg.timeout))?;
+            stream.set_write_timeout(Some(self.cfg.timeout))?;
+            self.opened += 1;
+            self.conn = Some(BufReader::new(stream));
+        }
+        Ok(self.conn.as_mut().unwrap())
+    }
+
+    /// One request on the kept-alive connection, no retries. A failure on
+    /// a *reused* connection for a GET is transparently resent once on a
+    /// fresh connection (the server may have closed the idle connection
+    /// under us); other methods surface the error.
+    fn request_once(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<(u16, String)> {
+        let reused = self.conn.is_some();
+        let result = self.request_on_conn(method, path, body);
+        match result {
+            Err(ref e) if reused && method == "GET" && is_stale(e) => {
+                self.conn = None;
+                self.request_on_conn(method, path, body)
+            }
+            other => other,
+        }
+    }
+
+    fn request_on_conn(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<(u16, String)> {
+        let addr = self.addr;
+        let reader = self.connect()?;
+        let sent = send_request(reader.get_mut(), addr, method, path, body, false)
+            .and_then(|()| read_response(reader));
+        match sent {
+            Ok((status, body, close)) => {
+                if close {
+                    self.conn = None;
+                }
+                Ok((status, body))
+            }
+            Err(e) => {
+                self.conn = None;
+                Err(e)
+            }
+        }
+    }
+
+    /// `GET path` with retries: socket failures and `503` answers back
+    /// off exponentially (seeded jitter) up to [`ClientConfig::retries`]
+    /// extra attempts. GET is idempotent, so resending is always safe.
+    ///
+    /// # Errors
+    /// The last attempt's socket error.
+    pub fn get(&mut self, path: &str) -> io::Result<(u16, String)> {
+        let mut attempt = 0u32;
+        loop {
+            match self.request_once("GET", path, None) {
+                Ok((status, body)) if status != 503 => return Ok((status, body)),
+                other => {
+                    if attempt >= self.cfg.retries {
+                        return other;
+                    }
+                    let base = self.cfg.backoff_base.saturating_mul(1 << attempt.min(16));
+                    let jitter_nanos = self.rng.below(base.as_nanos().max(1) as u64);
+                    std::thread::sleep(base + Duration::from_nanos(jitter_nanos));
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// `GET path` without retries.
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    pub fn get_once(&mut self, path: &str) -> io::Result<(u16, String)> {
+        self.request_once("GET", path, None)
+    }
+
+    /// `POST path` with a body — never retried (not idempotent).
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    pub fn post(&mut self, path: &str, body: &str) -> io::Result<(u16, String)> {
+        self.request_once("POST", path, Some(body))
+    }
+
+    /// `DELETE path` — never retried automatically.
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    pub fn delete(&mut self, path: &str) -> io::Result<(u16, String)> {
+        self.request_once("DELETE", path, None)
+    }
+}
+
+/// Errors consistent with "the server closed the idle keep-alive
+/// connection between our requests".
+fn is_stale(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe
+    )
 }

@@ -1,0 +1,384 @@
+//! Deterministic fault injection for the service's I/O paths.
+//!
+//! The simulator already injects *scheduler* faults from a seed; this
+//! module gives the service host the same discipline for *I/O* faults, so
+//! chaos tests are reproducible runs, not flaky ones. A [`FaultPlan`] is a
+//! deterministic schedule of injected failures — torn writes after `k`
+//! bytes, [`ErrorKind::Interrupted`] storms, truncated or reset reads —
+//! consulted by the archive's file operations (see
+//! [`SnapshotArchive`](crate::archive::SnapshotArchive)) and wrapped
+//! around readers/writers in tests via [`FaultWriter`] / [`FaultReader`].
+//!
+//! Plans are either *explicit* (pin fault X to operation index N, used to
+//! hit exact framing boundaries) or *seeded* (a [`XorShift64`] stream
+//! decides where faults land, used for storm tests); both replay
+//! identically for the same construction.
+
+use std::io::{self, ErrorKind, Read, Write};
+use std::sync::Mutex;
+
+/// A tiny deterministic PRNG (xorshift64*), good enough for fault
+/// placement and client backoff jitter, with no dependencies.
+#[derive(Debug, Clone)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Seeds the stream (a zero seed is remapped to a fixed constant).
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed } }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `0..bound` (`bound` = 0 yields 0).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+}
+
+/// One injected failure on a write operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFault {
+    /// Accept only `after` bytes, then fail every further write with
+    /// `kind` — a torn write, as if the process died mid-`write`.
+    Torn {
+        /// Bytes accepted before the failure.
+        after: usize,
+        /// Error kind reported once torn.
+        kind: ErrorKind,
+    },
+    /// Fail the next `count` write calls with [`ErrorKind::Interrupted`]
+    /// (which well-behaved callers retry through), then succeed.
+    InterruptedStorm {
+        /// Number of interrupted calls before writes succeed again.
+        count: u32,
+    },
+}
+
+/// One injected failure on a read operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadFault {
+    /// Yield only `after` bytes, then report end-of-file — a truncated
+    /// stream or file.
+    TruncateAfter {
+        /// Bytes served before the premature EOF.
+        after: usize,
+    },
+    /// Yield `after` bytes, then fail with `ConnectionReset` — the peer
+    /// vanished mid-body.
+    ResetAfter {
+        /// Bytes served before the reset.
+        after: usize,
+    },
+    /// Fail the next `count` read calls with [`ErrorKind::Interrupted`],
+    /// then pass through.
+    InterruptedStorm {
+        /// Number of interrupted calls before reads succeed again.
+        count: u32,
+    },
+}
+
+#[derive(Debug, Default)]
+struct PlanState {
+    /// Explicit write faults keyed by write-operation index.
+    write_schedule: Vec<(u64, WriteFault)>,
+    /// Seeded mode: every `period`-th write op is torn at a pseudo-random
+    /// offset below `max_offset`.
+    seeded_torn: Option<(u64, u64)>,
+    rng: Option<XorShift64>,
+    writes_seen: u64,
+}
+
+/// A deterministic, shareable schedule of I/O faults.
+///
+/// Thread-safe: the archive and several test threads may consult one plan
+/// concurrently; the operation counter advances under a mutex so a given
+/// construction always yields the same fault sequence for the same
+/// sequence of operations.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    state: Mutex<PlanState>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing until faults are added).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A seeded plan: every `period`-th write operation is torn after a
+    /// pseudo-random number of bytes below `max_offset`. The sequence is
+    /// a pure function of `(seed, period, max_offset)`.
+    #[must_use]
+    pub fn seeded(seed: u64, period: u64, max_offset: u64) -> Self {
+        let plan = Self::new();
+        {
+            let mut st = plan.state.lock().unwrap();
+            st.seeded_torn = Some((period.max(1), max_offset.max(1)));
+            st.rng = Some(XorShift64::new(seed));
+        }
+        plan
+    }
+
+    /// Pins a torn write (accept `after` bytes, then `WriteZero`) to the
+    /// `op`-th write operation (0-based).
+    #[must_use]
+    pub fn torn_write(self, op: u64, after: usize) -> Self {
+        self.state
+            .lock()
+            .unwrap()
+            .write_schedule
+            .push((op, WriteFault::Torn { after, kind: ErrorKind::WriteZero }));
+        self
+    }
+
+    /// Pins an [`ErrorKind::Interrupted`] storm of `count` failures to the
+    /// `op`-th write operation (0-based).
+    #[must_use]
+    pub fn interrupted_writes(self, op: u64, count: u32) -> Self {
+        self.state
+            .lock()
+            .unwrap()
+            .write_schedule
+            .push((op, WriteFault::InterruptedStorm { count }));
+        self
+    }
+
+    /// Consumes the fault (if any) scheduled for the next write operation
+    /// and advances the operation counter. Each archive file write is one
+    /// operation.
+    pub fn next_write_fault(&self) -> Option<WriteFault> {
+        let mut st = self.state.lock().unwrap();
+        let op = st.writes_seen;
+        st.writes_seen += 1;
+        if let Some(pos) = st.write_schedule.iter().position(|&(at, _)| at == op) {
+            return Some(st.write_schedule.remove(pos).1);
+        }
+        if let Some((period, max_offset)) = st.seeded_torn {
+            if op % period == period - 1 {
+                let after = st.rng.as_mut().map_or(0, |rng| rng.below(max_offset)) as usize;
+                return Some(WriteFault::Torn { after, kind: ErrorKind::WriteZero });
+            }
+        }
+        None
+    }
+
+    /// Number of write operations the plan has seen so far.
+    #[must_use]
+    pub fn writes_seen(&self) -> u64 {
+        self.state.lock().unwrap().writes_seen
+    }
+}
+
+/// A writer that applies one [`WriteFault`] to an inner writer.
+#[derive(Debug)]
+pub struct FaultWriter<W: Write> {
+    inner: W,
+    fault: Option<WriteFault>,
+    written: usize,
+    torn: bool,
+}
+
+impl<W: Write> FaultWriter<W> {
+    /// Wraps `inner`; `fault = None` passes everything through.
+    pub fn new(inner: W, fault: Option<WriteFault>) -> Self {
+        Self { inner, fault, written: 0, torn: false }
+    }
+
+    /// Total bytes actually forwarded to the inner writer.
+    #[must_use]
+    pub fn written(&self) -> usize {
+        self.written
+    }
+
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for FaultWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self.fault {
+            Some(WriteFault::Torn { after, kind }) => {
+                if self.torn {
+                    return Err(io::Error::new(kind, "torn write (injected)"));
+                }
+                let room = after.saturating_sub(self.written);
+                if room >= buf.len() {
+                    let n = self.inner.write(buf)?;
+                    self.written += n;
+                    Ok(n)
+                } else {
+                    // Forward the surviving prefix, then fail forever.
+                    if room > 0 {
+                        self.inner.write_all(&buf[..room])?;
+                        self.written += room;
+                    }
+                    let _ = self.inner.flush();
+                    self.torn = true;
+                    Err(io::Error::new(kind, "torn write (injected)"))
+                }
+            }
+            Some(WriteFault::InterruptedStorm { ref mut count }) => {
+                if *count > 0 {
+                    *count -= 1;
+                    return Err(io::Error::new(
+                        ErrorKind::Interrupted,
+                        "interrupted (injected)",
+                    ));
+                }
+                let n = self.inner.write(buf)?;
+                self.written += n;
+                Ok(n)
+            }
+            None => {
+                let n = self.inner.write(buf)?;
+                self.written += n;
+                Ok(n)
+            }
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// A reader that applies one [`ReadFault`] to an inner reader.
+#[derive(Debug)]
+pub struct FaultReader<R: Read> {
+    inner: R,
+    fault: Option<ReadFault>,
+    served: usize,
+}
+
+impl<R: Read> FaultReader<R> {
+    /// Wraps `inner`; `fault = None` passes everything through.
+    pub fn new(inner: R, fault: Option<ReadFault>) -> Self {
+        Self { inner, fault, served: 0 }
+    }
+}
+
+impl<R: Read> Read for FaultReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self.fault {
+            Some(ReadFault::TruncateAfter { after }) => {
+                let room = after.saturating_sub(self.served);
+                if room == 0 {
+                    return Ok(0);
+                }
+                let cap = room.min(buf.len());
+                let n = self.inner.read(&mut buf[..cap])?;
+                self.served += n;
+                Ok(n)
+            }
+            Some(ReadFault::ResetAfter { after }) => {
+                let room = after.saturating_sub(self.served);
+                if room == 0 {
+                    return Err(io::Error::new(
+                        ErrorKind::ConnectionReset,
+                        "connection reset (injected)",
+                    ));
+                }
+                let cap = room.min(buf.len());
+                let n = self.inner.read(&mut buf[..cap])?;
+                self.served += n;
+                Ok(n)
+            }
+            Some(ReadFault::InterruptedStorm { ref mut count }) => {
+                if *count > 0 {
+                    *count -= 1;
+                    return Err(io::Error::new(
+                        ErrorKind::Interrupted,
+                        "interrupted (injected)",
+                    ));
+                }
+                let n = self.inner.read(buf)?;
+                self.served += n;
+                Ok(n)
+            }
+            None => {
+                let n = self.inner.read(buf)?;
+                self.served += n;
+                Ok(n)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn torn_writer_keeps_exact_prefix() {
+        let mut w = FaultWriter::new(
+            Vec::new(),
+            Some(WriteFault::Torn { after: 5, kind: ErrorKind::WriteZero }),
+        );
+        let err = w.write_all(b"hello world").unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::WriteZero);
+        assert_eq!(w.written(), 5);
+        assert_eq!(w.into_inner(), b"hello".to_vec());
+    }
+
+    #[test]
+    fn interrupted_storms_pass_through_write_all() {
+        // `write_all` retries on Interrupted, so a storm must be survivable.
+        let mut w =
+            FaultWriter::new(Vec::new(), Some(WriteFault::InterruptedStorm { count: 7 }));
+        w.write_all(b"payload").unwrap();
+        assert_eq!(w.into_inner(), b"payload".to_vec());
+    }
+
+    #[test]
+    fn truncating_reader_stops_at_boundary() {
+        let mut r =
+            FaultReader::new(&b"0123456789"[..], Some(ReadFault::TruncateAfter { after: 4 }));
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out, b"0123".to_vec());
+    }
+
+    #[test]
+    fn reset_reader_fails_mid_body() {
+        let mut r =
+            FaultReader::new(&b"0123456789"[..], Some(ReadFault::ResetAfter { after: 3 }));
+        let mut out = Vec::new();
+        let err = r.read_to_end(&mut out).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::ConnectionReset);
+        assert_eq!(out, b"012".to_vec());
+    }
+
+    #[test]
+    fn plans_replay_identically() {
+        let collect = |plan: &FaultPlan| -> Vec<Option<WriteFault>> {
+            (0..12).map(|_| plan.next_write_fault()).collect()
+        };
+        let a = collect(&FaultPlan::seeded(42, 3, 100));
+        let b = collect(&FaultPlan::seeded(42, 3, 100));
+        assert_eq!(a, b);
+        assert!(a.iter().any(Option::is_some));
+        let c = collect(&FaultPlan::new().torn_write(2, 9).interrupted_writes(5, 2));
+        assert_eq!(c[2], Some(WriteFault::Torn { after: 9, kind: ErrorKind::WriteZero }));
+        assert_eq!(c[5], Some(WriteFault::InterruptedStorm { count: 2 }));
+        assert_eq!(c.iter().filter(|f| f.is_some()).count(), 2);
+    }
+}

@@ -1,29 +1,83 @@
 //! A minimal HTTP/1.1 server on `std::net` — no async runtime, no
 //! external dependencies.
 //!
-//! Scope is deliberately narrow: the service speaks *one request per
-//! connection* (`Connection: close`), parses only what its own endpoints
-//! need (method, path, query string, `Content-Length` bodies), and runs a
-//! fixed thread pool — an acceptor thread feeding worker threads through
-//! an [`mpsc`] channel. That is enough for a local scheduling service and
-//! its load bench, and keeps the whole surface auditable.
+//! Scope is deliberately narrow: the server parses only what the
+//! service's endpoints need (method, path, query string,
+//! `Content-Length` bodies, the `Connection` header) and runs a fixed
+//! thread pool — an acceptor thread feeding worker threads through a
+//! *bounded* channel. The connection lifecycle is explicit:
+//!
+//! * **keep-alive** — each connection serves up to
+//!   [`HttpConfig::max_requests_per_conn`] requests before the server
+//!   closes it (`Connection: close` on the final response);
+//! * **deadlines** — an idle deadline between requests
+//!   ([`HttpConfig::idle_timeout`]) and a read deadline once a request
+//!   has started arriving ([`HttpConfig::read_timeout`]); a stalled
+//!   mid-request read answers `408`, oversized heads answer `431`,
+//!   oversized bodies `413`;
+//! * **load shedding** — when all workers are busy and the accept
+//!   backlog ([`HttpConfig::backlog`]) is full, new connections get an
+//!   immediate `503` with `Retry-After` instead of waiting forever;
+//! * **graceful drain** — a shared drain flag stops the acceptor,
+//!   in-flight requests finish (their responses close the connection),
+//!   and [`HttpServer::join`] returns once the pool is empty.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::mpsc::{self, TrySendError};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::json::Json;
 use crate::spec::ApiError;
 
-/// Upper bound on the request head (request line + headers).
-const MAX_HEAD_BYTES: usize = 64 * 1024;
-/// Upper bound on request bodies (snapshot documents are the largest).
-const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
-/// Per-connection socket timeout: a stalled client frees its worker.
-const IO_TIMEOUT: Duration = Duration::from_secs(30);
+/// How often the (non-blocking) acceptor polls for stop/drain.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// Connection-lifecycle and parser limits of the HTTP server.
+#[derive(Debug, Clone)]
+pub struct HttpConfig {
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Upper bound on the request head (request line + headers); beyond
+    /// it the request is answered with `431`.
+    pub max_head_bytes: usize,
+    /// Upper bound on request bodies (snapshot documents are the
+    /// largest); beyond it the request is answered with `413`.
+    pub max_body_bytes: usize,
+    /// Deadline for reads once a request has started arriving; a stall
+    /// answers `408` and closes the connection.
+    pub read_timeout: Duration,
+    /// Deadline for writing a response; a stalled reader loses the
+    /// connection.
+    pub write_timeout: Duration,
+    /// Keep-alive idle deadline *between* requests; expiry closes the
+    /// connection silently (the client simply went away).
+    pub idle_timeout: Duration,
+    /// Requests served per connection before the server closes it
+    /// (bounds per-connection resource lifetime under keep-alive).
+    pub max_requests_per_conn: u64,
+    /// Accepted connections queued for workers before new arrivals are
+    /// shed with `503 Retry-After`.
+    pub backlog: usize,
+}
+
+impl Default for HttpConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            max_head_bytes: 64 * 1024,
+            max_body_bytes: 64 * 1024 * 1024,
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+            idle_timeout: Duration::from_secs(5),
+            max_requests_per_conn: 1000,
+            backlog: 1024,
+        }
+    }
+}
 
 /// One parsed request.
 #[derive(Debug, Clone)]
@@ -37,6 +91,9 @@ pub struct Request {
     pub query: Vec<(String, String)>,
     /// Raw body bytes.
     pub body: Vec<u8>,
+    /// Whether the client asked for the connection to close after this
+    /// request (`Connection: close`).
+    pub close: bool,
 }
 
 impl Request {
@@ -66,6 +123,8 @@ pub struct Response {
     pub status: u16,
     /// `Content-Type` header value.
     pub content_type: &'static str,
+    /// Extra headers (name, value) appended to the response head.
+    pub headers: Vec<(&'static str, String)>,
     /// Body bytes.
     pub body: Vec<u8>,
 }
@@ -74,7 +133,12 @@ impl Response {
     /// A JSON response.
     #[must_use]
     pub fn json(status: u16, value: &Json) -> Self {
-        Self { status, content_type: "application/json", body: value.encode().into_bytes() }
+        Self {
+            status,
+            content_type: "application/json",
+            headers: Vec::new(),
+            body: value.encode().into_bytes(),
+        }
     }
 
     /// A plain-text response.
@@ -83,6 +147,7 @@ impl Response {
         Self {
             status,
             content_type: "text/plain; charset=utf-8",
+            headers: Vec::new(),
             body: body.into().into_bytes(),
         }
     }
@@ -90,13 +155,31 @@ impl Response {
     /// A CSV response.
     #[must_use]
     pub fn csv(body: String) -> Self {
-        Self { status: 200, content_type: "text/csv; charset=utf-8", body: body.into_bytes() }
+        Self {
+            status: 200,
+            content_type: "text/csv; charset=utf-8",
+            headers: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+
+    /// Appends a header.
+    #[must_use]
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Self {
+        self.headers.push((name, value.into()));
+        self
     }
 }
 
 impl From<ApiError> for Response {
     fn from(e: ApiError) -> Self {
-        Response::json(e.status, &Json::Obj(vec![("error".into(), Json::Str(e.message))]))
+        let retry_after = e.retry_after;
+        let mut resp =
+            Response::json(e.status, &Json::Obj(vec![("error".into(), Json::Str(e.message))]));
+        if let Some(secs) = retry_after {
+            resp = resp.with_header("Retry-After", secs.to_string());
+        }
+        resp
     }
 }
 
@@ -108,8 +191,11 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         409 => "Conflict",
         413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        503 => "Service Unavailable",
         _ => "Internal Server Error",
     }
 }
@@ -124,99 +210,272 @@ fn parse_query(raw: &str) -> Vec<(String, String)> {
         .collect()
 }
 
-/// Reads and parses one request off a connection. `Ok(None)` means the
-/// peer closed without sending anything (e.g. the shutdown self-connect).
-fn read_request(stream: &mut TcpStream) -> io::Result<Option<Request>> {
-    let mut reader = BufReader::new(stream);
-    let mut head = Vec::new();
-    // Read up to the blank line ending the head.
+/// Why reading a request off a connection failed. Maps to a response
+/// status (`408`/`413`/`431`/`400`) or to silently closing the
+/// connection — stalled or vanished clients must never take a worker
+/// down, and protocol violations must be *told* their violation instead
+/// of being dropped without a trace.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Clean EOF (or reset) before any byte of a request: the peer is
+    /// done with the connection. Close silently.
+    Closed,
+    /// The keep-alive idle deadline expired with no request started.
+    /// Close silently.
+    IdleTimeout,
+    /// The read deadline expired mid-request (slow-loris) → `408`.
+    TimedOut,
+    /// The head exceeded [`HttpConfig::max_head_bytes`] → `431`.
+    HeadTooLarge,
+    /// The declared body exceeds [`HttpConfig::max_body_bytes`] → `413`.
+    BodyTooLarge,
+    /// The bytes were not a parseable request → `400`.
+    Malformed(String),
+    /// Some other socket error; nothing sensible to answer.
+    Io(io::Error),
+}
+
+impl ReadError {
+    /// The response owed for this failure, if any (`None` = just close).
+    #[must_use]
+    pub fn response(&self) -> Option<Response> {
+        match self {
+            ReadError::Closed | ReadError::IdleTimeout | ReadError::Io(_) => None,
+            ReadError::TimedOut => {
+                Some(Response::from(ApiError::new(408, "request read timed out")))
+            }
+            ReadError::HeadTooLarge => {
+                Some(Response::from(ApiError::new(431, "request head too large")))
+            }
+            ReadError::BodyTooLarge => {
+                Some(Response::from(ApiError::new(413, "request body too large")))
+            }
+            ReadError::Malformed(why) => {
+                Some(Response::from(ApiError::bad_request(format!("malformed request: {why}"))))
+            }
+        }
+    }
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+/// Reads and parses one request. Generic over the reader so the chaos
+/// suite can drive it with fault-injected streams; when `sock` is given,
+/// the socket deadline is tightened from the idle to the read timeout as
+/// soon as the first request line has arrived.
+///
+/// # Errors
+/// [`ReadError`] classifying how the connection misbehaved.
+pub fn read_request(
+    reader: &mut impl BufRead,
+    cfg: &HttpConfig,
+    sock: Option<&TcpStream>,
+) -> Result<Request, ReadError> {
+    // Request line first: its absence distinguishes "idle keep-alive
+    // connection went away" from "request torn mid-flight".
+    let mut request_line = Vec::new();
+    let n = reader
+        .by_ref()
+        .take(cfg.max_head_bytes as u64)
+        .read_until(b'\n', &mut request_line)
+        .map_err(|e| {
+            if is_timeout(&e) {
+                if request_line.is_empty() {
+                    ReadError::IdleTimeout
+                } else {
+                    ReadError::TimedOut
+                }
+            } else if e.kind() == io::ErrorKind::ConnectionReset && request_line.is_empty() {
+                ReadError::Closed
+            } else {
+                ReadError::Io(e)
+            }
+        })?;
+    if n == 0 {
+        return Err(ReadError::Closed);
+    }
+    if !request_line.ends_with(b"\n") {
+        return Err(if request_line.len() >= cfg.max_head_bytes {
+            ReadError::HeadTooLarge
+        } else {
+            ReadError::Malformed("truncated request line".into())
+        });
+    }
+    // A request is in flight: enforce the (longer) read deadline for the
+    // rest of the head and the body.
+    if let Some(s) = sock {
+        let _ = s.set_read_timeout(Some(cfg.read_timeout));
+    }
+
+    let mut head = request_line;
     loop {
         let mut line = Vec::new();
-        let n = reader
-            .by_ref()
-            .take((MAX_HEAD_BYTES - head.len()) as u64)
-            .read_until(b'\n', &mut line)?;
+        let budget = cfg.max_head_bytes.saturating_sub(head.len());
+        let n =
+            reader.by_ref().take(budget as u64).read_until(b'\n', &mut line).map_err(|e| {
+                if is_timeout(&e) {
+                    ReadError::TimedOut
+                } else {
+                    ReadError::Io(e)
+                }
+            })?;
         if n == 0 {
-            if head.is_empty() {
-                return Ok(None);
-            }
-            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "truncated request head"));
+            return Err(if budget == 0 {
+                ReadError::HeadTooLarge
+            } else {
+                ReadError::Malformed("truncated request head".into())
+            });
         }
         if line == b"\r\n" || line == b"\n" {
             break;
         }
         head.extend_from_slice(&line);
-        if head.len() >= MAX_HEAD_BYTES {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "request head too large"));
+        if head.len() >= cfg.max_head_bytes {
+            return Err(ReadError::HeadTooLarge);
         }
     }
+
     let head = String::from_utf8(head)
-        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 request head"))?;
+        .map_err(|_| ReadError::Malformed("non-UTF-8 request head".into()))?;
     let mut lines = head.lines();
-    let request_line = lines
-        .next()
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty request"))?;
+    let request_line =
+        lines.next().ok_or_else(|| ReadError::Malformed("empty request".into()))?;
     let mut parts = request_line.split_whitespace();
     let method = parts
         .next()
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing method"))?
+        .ok_or_else(|| ReadError::Malformed("missing method".into()))?
         .to_ascii_uppercase();
-    let target = parts
-        .next()
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing path"))?;
+    let target = parts.next().ok_or_else(|| ReadError::Malformed("missing path".into()))?;
     let (path, query) = match target.split_once('?') {
         Some((p, q)) => (p.to_string(), parse_query(q)),
         None => (target.to_string(), Vec::new()),
     };
 
     let mut content_length = 0usize;
+    let mut close = false;
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse().map_err(|_| {
-                    io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
-                })?;
+            let name = name.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| ReadError::Malformed("bad content-length".into()))?;
+            } else if name.eq_ignore_ascii_case("connection")
+                && value.trim().eq_ignore_ascii_case("close")
+            {
+                close = true;
             }
         }
     }
-    if content_length > MAX_BODY_BYTES {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "body too large"));
+    if content_length > cfg.max_body_bytes {
+        return Err(ReadError::BodyTooLarge);
     }
     let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
-    Ok(Some(Request { method, path, query, body }))
+    reader.read_exact(&mut body).map_err(|e| {
+        if is_timeout(&e) {
+            ReadError::TimedOut
+        } else if matches!(
+            e.kind(),
+            io::ErrorKind::UnexpectedEof | io::ErrorKind::ConnectionReset
+        ) {
+            // Peer reset or vanished mid-body; nobody is listening for an
+            // answer.
+            ReadError::Io(e)
+        } else {
+            ReadError::Io(e)
+        }
+    })?;
+    Ok(Request { method, path, query, body, close })
 }
 
-fn write_response(stream: &mut TcpStream, resp: &Response) -> io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+fn write_response(
+    stream: &mut impl Write,
+    resp: &Response,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
         resp.status,
         reason(resp.status),
         resp.content_type,
         resp.body.len(),
     );
+    for (name, value) in &resp.headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str(if keep_alive {
+        "Connection: keep-alive\r\n\r\n"
+    } else {
+        "Connection: close\r\n\r\n"
+    });
     stream.write_all(head.as_bytes())?;
     stream.write_all(&resp.body)?;
     stream.flush()
 }
 
-fn serve_connection<F>(mut stream: TcpStream, handler: &F)
+/// Serves one connection until it closes: a keep-alive loop over
+/// `read_request` → handler → `write_response`, bounded by the
+/// per-connection request cap and the drain flag.
+fn serve_connection<F>(stream: &TcpStream, cfg: &HttpConfig, closing: &AtomicBool, handler: &F)
 where
     F: Fn(&Request) -> Response,
 {
-    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
-    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
-    let resp = match read_request(&mut stream) {
-        Ok(Some(req)) => handler(&req),
-        Ok(None) => return,
-        Err(e) => Response::from(ApiError::bad_request(format!("malformed request: {e}"))),
-    };
-    let _ = write_response(&mut stream, &resp);
-    let _ = stream.shutdown(std::net::Shutdown::Both);
+    let _ = stream.set_write_timeout(Some(cfg.write_timeout));
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut served: u64 = 0;
+    loop {
+        // Between requests the connection is idle: use the idle deadline.
+        let _ = stream.set_read_timeout(Some(cfg.idle_timeout));
+        let (resp, keep) = match read_request(&mut reader, cfg, Some(stream)) {
+            Ok(req) => {
+                served += 1;
+                let keep = !req.close
+                    && served < cfg.max_requests_per_conn
+                    && !closing.load(Ordering::Relaxed);
+                (handler(&req), keep)
+            }
+            Err(e) => match e.response() {
+                Some(resp) => (resp, false),
+                None => break,
+            },
+        };
+        if write_response(&mut writer, &resp, keep).is_err() || !keep {
+            break;
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Both);
 }
 
-/// A running HTTP server: an acceptor thread plus a worker pool, stopped
-/// explicitly with [`HttpServer::shutdown`] (also invoked on drop).
+/// Sheds one connection with a canned `503 Retry-After` (used by the
+/// acceptor when the worker backlog is full). Best-effort and bounded by
+/// a short write timeout so a slow peer cannot stall accepting.
+fn shed(stream: &TcpStream) {
+    const BODY: &str = r#"{"error":"server overloaded, retry later"}"#;
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let resp = format!(
+        "HTTP/1.1 503 Service Unavailable\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nRetry-After: 1\r\nConnection: close\r\n\r\n{BODY}",
+        BODY.len(),
+    );
+    let mut stream = stream;
+    let _ = stream.write_all(resp.as_bytes());
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// A running HTTP server: an acceptor thread plus a worker pool.
+///
+/// Two ways down: [`HttpServer::shutdown`] stops accepting immediately
+/// and joins (also invoked on drop), or an external drain flag (see
+/// [`HttpServer::bind_with`]) stops the acceptor while letting queued
+/// and in-flight requests finish — pair it with [`HttpServer::join`].
 #[derive(Debug)]
 pub struct HttpServer {
     addr: SocketAddr,
@@ -226,7 +485,7 @@ pub struct HttpServer {
 
 impl HttpServer {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
-    /// `handler` on `workers` threads.
+    /// `handler` on `workers` threads with default limits.
     ///
     /// # Errors
     /// Propagates the bind failure.
@@ -234,41 +493,83 @@ impl HttpServer {
     where
         F: Fn(&Request) -> Response + Send + Sync + 'static,
     {
+        let cfg = HttpConfig { workers, ..HttpConfig::default() };
+        Self::bind_with(addr, cfg, Arc::new(AtomicBool::new(false)), handler)
+    }
+
+    /// Binds `addr` with explicit limits. `drain` is a shared flag the
+    /// owner (or a request handler) may set to initiate a graceful
+    /// drain: the acceptor exits, workers finish queued connections
+    /// (responses carry `Connection: close`), and [`HttpServer::join`]
+    /// returns once the pool is idle.
+    ///
+    /// # Errors
+    /// Propagates the bind failure.
+    pub fn bind_with<F>(
+        addr: &str,
+        cfg: HttpConfig,
+        drain: Arc<AtomicBool>,
+        handler: F,
+    ) -> io::Result<Self>
+    where
+        F: Fn(&Request) -> Response + Send + Sync + 'static,
+    {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        // Non-blocking accept so the acceptor can poll stop/drain flags.
+        listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
-        let workers = workers.max(1);
+        let workers = cfg.workers.max(1);
 
-        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(cfg.backlog.max(1));
         let rx = Arc::new(Mutex::new(rx));
         let handler = Arc::new(handler);
+        let cfg = Arc::new(cfg);
 
         let mut threads = Vec::with_capacity(workers + 1);
         for _ in 0..workers {
             let rx = Arc::clone(&rx);
             let handler = Arc::clone(&handler);
+            let cfg = Arc::clone(&cfg);
+            let closing = Arc::clone(&drain);
+            let stop_worker = Arc::clone(&stop);
             threads.push(std::thread::spawn(move || loop {
                 // Hold the receiver lock only while dequeuing.
                 let next = rx.lock().unwrap().recv();
                 match next {
-                    Ok(stream) => serve_connection(stream, handler.as_ref()),
-                    Err(_) => break, // acceptor gone: shutdown
+                    Ok(stream) => {
+                        if stop_worker.load(Ordering::SeqCst) {
+                            // Hard shutdown: drop queued connections.
+                            let _ = stream.shutdown(Shutdown::Both);
+                            continue;
+                        }
+                        serve_connection(&stream, &cfg, &closing, handler.as_ref());
+                    }
+                    Err(_) => break, // acceptor gone and queue drained
                 }
             }));
         }
 
         let stop_accept = Arc::clone(&stop);
+        let drain_accept = Arc::clone(&drain);
         threads.push(std::thread::spawn(move || {
-            // `tx` moves in here; dropping it on exit stops the workers.
-            for stream in listener.incoming() {
-                if stop_accept.load(Ordering::SeqCst) {
+            // `tx` moves in here; dropping it on exit stops the workers
+            // once the queue is drained.
+            loop {
+                if stop_accept.load(Ordering::SeqCst) || drain_accept.load(Ordering::SeqCst) {
                     break;
                 }
-                match stream {
-                    Ok(s) => {
-                        if tx.send(s).is_err() {
-                            break;
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let _ = stream.set_nonblocking(false);
+                        match tx.try_send(stream) {
+                            Ok(()) => {}
+                            Err(TrySendError::Full(stream)) => shed(&stream),
+                            Err(TrySendError::Disconnected(_)) => break,
                         }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(ACCEPT_POLL);
                     }
                     Err(_) => continue,
                 }
@@ -284,16 +585,19 @@ impl HttpServer {
         self.addr
     }
 
-    /// Stops accepting, drains the workers and joins all threads.
-    pub fn shutdown(&mut self) {
-        if self.stop.swap(true, Ordering::SeqCst) {
-            return;
-        }
-        // Unblock the acceptor's blocking `accept`.
-        let _ = TcpStream::connect(self.addr);
+    /// Waits for the server to wind down on its own — meaningful after
+    /// the drain flag passed to [`HttpServer::bind_with`] has been set.
+    /// In-flight and queued requests finish first.
+    pub fn join(&mut self) {
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
+    }
+
+    /// Stops accepting, drops queued connections, and joins all threads.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.join();
     }
 }
 
@@ -336,5 +640,37 @@ mod tests {
         let mut out = String::new();
         stream.read_to_string(&mut out).unwrap();
         assert!(out.starts_with("HTTP/1.1 400"), "{out}");
+    }
+
+    #[test]
+    fn keep_alive_serves_multiple_requests_on_one_connection() {
+        let server = HttpServer::bind("127.0.0.1:0", 1, |req| {
+            Response::text(200, format!("pong:{}", String::from_utf8_lossy(&req.body)))
+        })
+        .unwrap();
+        let mut c = client::Client::new(server.addr());
+        for i in 0..5 {
+            let (status, body) = c.post("/ping", &format!("{i}")).unwrap();
+            assert_eq!(status, 200);
+            assert_eq!(body, format!("pong:{i}"));
+        }
+        assert_eq!(c.connections_opened(), 1, "all requests must reuse one connection");
+    }
+
+    #[test]
+    fn request_cap_closes_the_connection() {
+        let cfg = HttpConfig { workers: 1, max_requests_per_conn: 3, ..HttpConfig::default() };
+        let server =
+            HttpServer::bind_with("127.0.0.1:0", cfg, Arc::new(AtomicBool::new(false)), |_| {
+                Response::text(200, "ok")
+            })
+            .unwrap();
+        let mut c = client::Client::new(server.addr());
+        for _ in 0..6 {
+            let (status, _) = c.get_once("/x").unwrap();
+            assert_eq!(status, 200);
+        }
+        // 3 requests per connection → 6 requests need 2 connections.
+        assert_eq!(c.connections_opened(), 2);
     }
 }

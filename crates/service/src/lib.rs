@@ -20,12 +20,29 @@
 //! stays auditable end to end and adds zero dependencies to the
 //! workspace.
 //!
+//! Since PR 7 the host is also **durable and degrade-graceful**: an
+//! optional disk-backed [`SnapshotArchive`] checkpoints every session's
+//! snapshot document atomically (temp + fsync + rename, CRC-framed), the
+//! store recovers all valid snapshots on startup and quarantines corrupt
+//! files, idle sessions are evicted to disk and lazily restored, a
+//! max-sessions admission cap sheds with `503 Retry-After`, the HTTP
+//! layer speaks keep-alive with per-connection deadlines/caps and a
+//! graceful drain path, and a deterministic fault-injection harness
+//! ([`faultio`]) makes crash and chaos tests reproducible from a seed.
+//!
 //! * [`json`] — the JSON value type, parser and deterministic encoder;
 //! * [`spec`] — creation specs and the snapshot document codec;
-//! * [`store`] — the concurrent [`SessionStore`] registry;
-//! * [`http`] — the `std::net` HTTP server (acceptor + worker pool);
-//! * [`server`] — the route table ([`handle`]) and [`serve`] entry point;
-//! * [`client`] — a minimal blocking client for tests and smoke checks.
+//! * [`store`] — the concurrent [`SessionStore`] registry (eviction,
+//!   admission, recovery);
+//! * [`archive`] — the disk-backed snapshot archive (CRC-framed files,
+//!   atomic writes, quarantining scan);
+//! * [`faultio`] — seeded fault injection for file and stream I/O;
+//! * [`http`] — the `std::net` HTTP server (keep-alive, deadlines,
+//!   bounded backlog with load shedding, drain);
+//! * [`server`] — the route table ([`handle`]) and [`serve`] /
+//!   [`serve_with`] entry points;
+//! * [`client`] — a blocking client: one-shot helpers plus a keep-alive
+//!   [`Client`] with seeded retry backoff.
 //!
 //! ## Quickstart
 //!
@@ -51,17 +68,24 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod archive;
 pub mod client;
+pub mod faultio;
 pub mod http;
 pub mod json;
 pub mod server;
 pub mod spec;
 pub mod store;
 
-pub use http::{HttpServer, Request, Response};
+pub use archive::{SnapshotArchive, ARCHIVE_VERSION};
+pub use client::{Client, ClientConfig};
+pub use faultio::{FaultPlan, FaultReader, FaultWriter, ReadFault, WriteFault};
+pub use http::{HttpConfig, HttpServer, Request, Response};
 pub use json::{Json, JsonError};
-pub use server::{handle, serve};
+pub use server::{handle, serve, serve_with, ServiceConfig, ServiceHost, ServiceState};
 pub use spec::{
     snapshot_from_json, snapshot_to_json, ApiError, SessionSpec, SpeedupSpec, SNAPSHOT_VERSION,
 };
-pub use store::{step_quantum, SessionEntry, SessionStore};
+pub use store::{
+    step_quantum, RecoveryReport, SessionEntry, SessionStore, SlotState, StoreConfig,
+};

@@ -3,36 +3,51 @@
 //!
 //! | Method | Path | Action |
 //! |---|---|---|
-//! | GET | `/healthz` | liveness + session count |
+//! | GET | `/healthz` | liveness, session counts, drain state |
 //! | POST | `/v1/sessions` | create a session from a [`SessionSpec`] |
 //! | GET | `/v1/sessions` | list session summaries |
 //! | GET | `/v1/sessions/{id}` | one session summary |
-//! | DELETE | `/v1/sessions/{id}` | drop a session |
+//! | DELETE | `/v1/sessions/{id}` | drop a session (memory + archive) |
 //! | POST | `/v1/sessions/{id}/jobs` | submit more jobs mid-run |
 //! | GET | `/v1/sessions/{id}/jobs/{j}` | one job's state |
 //! | POST | `/v1/sessions/{id}/step` | process up to `count` events |
 //! | POST | `/v1/sessions/{id}/run_to` | process events up to time `t` |
 //! | POST | `/v1/sessions/{id}/run` | drain to completion, return outcome |
+//! | POST | `/v1/sessions/{id}/checkpoint` | checkpoint this session to the archive |
 //! | GET | `/v1/sessions/{id}/packs` | staged-pack handles |
 //! | GET | `/v1/sessions/{id}/trace` | trace page (`?from=&limit=`) or CSV (`?format=csv`) |
 //! | POST | `/v1/sessions/{id}/snapshot` | snapshot document |
 //! | POST | `/v1/sessions/restore` | resume a snapshot document under a fresh id |
+//! | POST | `/v1/admin/checkpoint` | checkpoint every live session |
+//! | POST | `/v1/admin/drain` | graceful drain: checkpoint all, stop accepting |
 //!
 //! Handlers lock exactly one session (never the whole store) while they
 //! work, so sessions progress independently under concurrent load.
+//!
+//! [`serve_with`] wraps the routing core in an [`HttpServer`] plus a
+//! background sweeper that evicts idle sessions and runs periodic
+//! checkpoints; together with the [`SnapshotArchive`]'s
+//! startup recovery this makes the host itself checkpoint/restartable —
+//! the same resilience contract the scheduler offers its jobs.
+//!
+//! [`SnapshotArchive`]: crate::archive::SnapshotArchive
 
 use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use redistrib_online::{JobState, OnlineOutcome, PackPhase, Session};
 
-use crate::http::{HttpServer, Request, Response};
+use crate::http::{HttpConfig, HttpServer, Request, Response};
 use crate::json::{obj, Json};
 use crate::spec::{
     job_from_json, snapshot_from_json, snapshot_to_json, trace_event_to_json, ApiError,
     SessionSpec,
 };
-use crate::store::SessionStore;
+use crate::store::{RecoveryReport, SessionStore, StoreConfig};
 
 fn summary(id: u64, session: &Session) -> Json {
     obj(vec![
@@ -125,6 +140,41 @@ fn engine_err(e: redistrib_core::ScheduleError) -> ApiError {
     ApiError::conflict(e.to_string())
 }
 
+/// Shared context of every request handler: the store plus the drain
+/// flag (shared with the HTTP server's acceptor, settable from the
+/// `/v1/admin/drain` endpoint).
+#[derive(Debug, Clone)]
+pub struct ServiceState {
+    store: Arc<SessionStore>,
+    draining: Arc<AtomicBool>,
+}
+
+impl ServiceState {
+    /// Wraps a store with a fresh drain flag.
+    #[must_use]
+    pub fn new(store: Arc<SessionStore>) -> Self {
+        Self { store, draining: Arc::new(AtomicBool::new(false)) }
+    }
+
+    /// The underlying store.
+    #[must_use]
+    pub fn store(&self) -> &Arc<SessionStore> {
+        &self.store
+    }
+
+    /// The drain flag (shared with the HTTP acceptor).
+    #[must_use]
+    pub fn drain_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.draining)
+    }
+
+    /// Whether a graceful drain has been initiated.
+    #[must_use]
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+}
+
 fn handle_create(store: &SessionStore, req: &Request) -> Result<Response, ApiError> {
     let spec = SessionSpec::from_json(&req.json_body()?)?;
     let id = store.create(&spec)?;
@@ -150,7 +200,12 @@ fn handle_list(store: &SessionStore) -> Response {
             summary(id, &guard.session)
         })
         .collect();
-    Response::json(200, &obj(vec![("sessions", Json::Arr(sessions))]))
+    let evicted: Vec<Json> =
+        store.evicted_ids().into_iter().map(|id| Json::Int(i128::from(id))).collect();
+    Response::json(
+        200,
+        &obj(vec![("sessions", Json::Arr(sessions)), ("evicted", Json::Arr(evicted))]),
+    )
 }
 
 fn handle_submit(store: &SessionStore, id: u64, req: &Request) -> Result<Response, ApiError> {
@@ -274,32 +329,76 @@ fn handle_snapshot(store: &SessionStore, id: u64) -> Result<Response, ApiError> 
     Ok(Response::json(200, &doc))
 }
 
-fn handle_job(store: &SessionStore, id: u64, job: usize) -> Result<Response, ApiError> {
-    let entry = store.get(id)?;
-    let guard = entry.lock().unwrap();
-    if job >= guard.session.num_jobs() {
-        return Err(ApiError::not_found(format!("session {id} has no job {job}")));
+fn handle_checkpoint(store: &SessionStore, id: u64) -> Result<Response, ApiError> {
+    store.checkpoint(id)?;
+    Ok(Response::json(
+        200,
+        &obj(vec![("checkpointed", Json::Bool(true)), ("id", Json::Int(i128::from(id)))]),
+    ))
+}
+
+fn checkpoint_all_json(store: &SessionStore) -> Json {
+    let (ok, failures) = store.checkpoint_all();
+    obj(vec![
+        ("checkpointed", Json::Int(ok as i128)),
+        (
+            "failures",
+            Json::Arr(
+                failures
+                    .into_iter()
+                    .map(|(id, why)| {
+                        obj(vec![("id", Json::Int(i128::from(id))), ("error", Json::Str(why))])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn handle_admin_checkpoint(store: &SessionStore) -> Response {
+    Response::json(200, &checkpoint_all_json(store))
+}
+
+/// Initiates a graceful drain: checkpoint every session, then flip the
+/// drain flag so the acceptor stops and in-flight connections close
+/// after their current response.
+fn handle_admin_drain(state: &ServiceState) -> Response {
+    let mut doc = checkpoint_all_json(&state.store);
+    state.draining.store(true, Ordering::SeqCst);
+    if let Json::Obj(fields) = &mut doc {
+        fields.insert(0, ("draining".into(), Json::Bool(true)));
     }
-    Ok(Response::json(200, &job_state_json(job, &guard.session.job_state(job))))
+    Response::json(200, &doc)
 }
 
 fn method_not_allowed() -> Response {
-    Response::from(ApiError { status: 405, message: "method not allowed".into() })
+    Response::from(ApiError::new(405, "method not allowed"))
 }
 
-/// Dispatches one request against the store. This is the pure routing
-/// core — [`serve`] wraps it in the HTTP server, tests can call it
-/// directly.
-pub fn handle(store: &SessionStore, req: &Request) -> Response {
+/// Dispatches one request against the service state. This is the pure
+/// routing core — [`serve`] wraps it in the HTTP server, tests can call
+/// it directly.
+pub fn handle(state: &ServiceState, req: &Request) -> Response {
+    let store = state.store.as_ref();
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     let result: Result<Response, ApiError> = match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => Ok(Response::json(
             200,
-            &obj(vec![("ok", Json::Bool(true)), ("sessions", Json::Int(store.len() as i128))]),
+            &obj(vec![
+                ("ok", Json::Bool(true)),
+                ("sessions", Json::Int(store.len() as i128)),
+                ("live", Json::Int(store.live_len() as i128)),
+                ("evicted", Json::Int(store.evicted_ids().len() as i128)),
+                ("draining", Json::Bool(state.is_draining())),
+                ("archive", Json::Bool(store.archive().is_some())),
+            ]),
         )),
         ("POST", ["v1", "sessions"]) => handle_create(store, req),
         ("GET", ["v1", "sessions"]) => Ok(handle_list(store)),
         ("POST", ["v1", "sessions", "restore"]) => handle_restore(store, req),
+        ("POST", ["v1", "admin", "checkpoint"]) => Ok(handle_admin_checkpoint(store)),
+        ("POST", ["v1", "admin", "drain"]) => Ok(handle_admin_drain(state)),
+        (_, ["v1", "admin", "checkpoint" | "drain"]) => return method_not_allowed(),
         (method, ["v1", "sessions", id]) => match id.parse::<u64>() {
             Err(_) => Err(ApiError::bad_request("session id must be an integer")),
             Ok(id) => match method {
@@ -321,6 +420,7 @@ pub fn handle(store: &SessionStore, req: &Request) -> Response {
                 ("POST", ["run_to"]) => handle_run_to(store, id, req),
                 ("POST", ["run"]) => handle_run(store, id),
                 ("POST", ["snapshot"]) => handle_snapshot(store, id),
+                ("POST", ["checkpoint"]) => handle_checkpoint(store, id),
                 ("GET", ["trace"]) => handle_trace(store, id, req),
                 ("GET", ["packs"]) => handle_packs(store, id),
                 ("GET", ["jobs", j]) => match j.parse::<usize>() {
@@ -329,7 +429,8 @@ pub fn handle(store: &SessionStore, req: &Request) -> Response {
                 },
                 (
                     _,
-                    ["jobs" | "step" | "run_to" | "run" | "snapshot" | "trace" | "packs", ..],
+                    ["jobs" | "step" | "run_to" | "run" | "snapshot" | "checkpoint" | "trace"
+                    | "packs", ..],
                 ) => return method_not_allowed(),
                 _ => Err(ApiError::not_found(format!("no route for {}", req.path))),
             },
@@ -339,14 +440,170 @@ pub fn handle(store: &SessionStore, req: &Request) -> Response {
     result.unwrap_or_else(Response::from)
 }
 
+fn handle_job(store: &SessionStore, id: u64, job: usize) -> Result<Response, ApiError> {
+    let entry = store.get(id)?;
+    let guard = entry.lock().unwrap();
+    if job >= guard.session.num_jobs() {
+        return Err(ApiError::not_found(format!("session {id} has no job {job}")));
+    }
+    Ok(Response::json(200, &job_state_json(job, &guard.session.job_state(job))))
+}
+
+/// Full configuration of a service host.
+#[derive(Debug, Default)]
+pub struct ServiceConfig {
+    /// HTTP connection-lifecycle limits.
+    pub http: HttpConfig,
+    /// Store durability and admission settings.
+    pub store: StoreConfig,
+    /// Cadence of full-store checkpoints by the background sweeper
+    /// (requires an archive). `None` = on-demand/eviction/drain only.
+    pub checkpoint_interval: Option<Duration>,
+}
+
+/// How often the background sweeper wakes to check TTLs and checkpoint
+/// cadence.
+const SWEEP_TICK: Duration = Duration::from_millis(50);
+
+/// A running service: HTTP server + store + background sweeper (idle-TTL
+/// eviction and periodic checkpoints).
+///
+/// Ways down:
+/// * [`ServiceHost::shutdown`] (also on drop) — the kill switch: stop
+///   accepting now, drop queued connections, exit. **No** final
+///   checkpoint: whatever the last checkpoint captured is what a
+///   restart recovers, exactly like a crash.
+/// * graceful drain — `POST /v1/admin/drain` (or
+///   [`ServiceHost::drain`]), then [`ServiceHost::join`]: the acceptor
+///   stops, in-flight requests finish, and a final checkpoint captures
+///   any state mutated after the drain request.
+#[derive(Debug)]
+pub struct ServiceHost {
+    server: HttpServer,
+    state: ServiceState,
+    sweeper: Option<JoinHandle<()>>,
+    sweeper_stop: Arc<AtomicBool>,
+}
+
+impl ServiceHost {
+    /// The bound address (resolves ephemeral ports).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.server.addr()
+    }
+
+    /// The shared request-handling state.
+    #[must_use]
+    pub fn state(&self) -> &ServiceState {
+        &self.state
+    }
+
+    /// Whether a graceful drain has been initiated.
+    #[must_use]
+    pub fn is_draining(&self) -> bool {
+        self.state.is_draining()
+    }
+
+    /// Initiates a graceful drain (idempotent), as if
+    /// `POST /v1/admin/drain` had been received. Pair with
+    /// [`ServiceHost::join`].
+    pub fn drain(&self) {
+        self.state.draining.store(true, Ordering::SeqCst);
+    }
+
+    fn stop_sweeper(&mut self) {
+        self.sweeper_stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.sweeper.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Waits for a drain to complete: in-flight and queued requests
+    /// finish, then every session gets a final checkpoint (when an
+    /// archive is configured).
+    pub fn join(&mut self) {
+        self.server.join();
+        self.stop_sweeper();
+        if self.state.store.archive().is_some() {
+            let (_ok, _failures) = self.state.store.checkpoint_all();
+        }
+    }
+
+    /// The kill switch: stops accepting immediately, drops queued
+    /// connections, and joins all threads — **without** a final
+    /// checkpoint, so a restart recovers exactly the last checkpointed
+    /// state (the crash contract the recovery tests rely on).
+    pub fn shutdown(&mut self) {
+        self.server.shutdown();
+        self.stop_sweeper();
+    }
+}
+
+impl Drop for ServiceHost {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
 /// Binds the service on `addr` (port 0 for ephemeral) with `workers`
-/// handler threads, returning the running server and its store.
+/// handler threads and no durability (memory-only store).
 ///
 /// # Errors
 /// Propagates the bind failure.
-pub fn serve(addr: &str, workers: usize) -> io::Result<(HttpServer, Arc<SessionStore>)> {
-    let store = Arc::new(SessionStore::new());
-    let routed = Arc::clone(&store);
-    let server = HttpServer::bind(addr, workers, move |req| handle(&routed, req))?;
-    Ok((server, store))
+pub fn serve(addr: &str, workers: usize) -> io::Result<(ServiceHost, Arc<SessionStore>)> {
+    let cfg = ServiceConfig {
+        http: HttpConfig { workers, ..HttpConfig::default() },
+        ..ServiceConfig::default()
+    };
+    let (host, store, _report) = serve_with(addr, cfg)?;
+    Ok((host, store))
+}
+
+/// Binds the service with full durability configuration. Runs startup
+/// recovery from the archive (if configured) before accepting traffic
+/// and returns what it recovered.
+///
+/// # Errors
+/// Propagates bind and archive-directory failures.
+pub fn serve_with(
+    addr: &str,
+    cfg: ServiceConfig,
+) -> io::Result<(ServiceHost, Arc<SessionStore>, RecoveryReport)> {
+    let ttl_sweeps = cfg.store.idle_ttl.is_some() && cfg.store.archive.is_some();
+    let checkpoint_interval = cfg.checkpoint_interval;
+    let (store, report) = SessionStore::with_config(cfg.store)?;
+    let store = Arc::new(store);
+    let state = ServiceState::new(Arc::clone(&store));
+
+    let routed = state.clone();
+    let server = HttpServer::bind_with(addr, cfg.http, state.drain_flag(), move |req| {
+        handle(&routed, req)
+    })?;
+
+    // Background sweeper: idle-TTL eviction plus periodic checkpoints.
+    let sweeper_stop = Arc::new(AtomicBool::new(false));
+    let sweeper = if ttl_sweeps || checkpoint_interval.is_some() {
+        let stop = Arc::clone(&sweeper_stop);
+        let swept = Arc::clone(&store);
+        Some(std::thread::spawn(move || {
+            let mut last_checkpoint = Instant::now();
+            while !stop.load(Ordering::SeqCst) {
+                std::thread::sleep(SWEEP_TICK);
+                if ttl_sweeps {
+                    let _ = swept.evict_idle();
+                }
+                if let Some(every) = checkpoint_interval {
+                    if last_checkpoint.elapsed() >= every {
+                        let (_ok, _failures) = swept.checkpoint_all();
+                        last_checkpoint = Instant::now();
+                    }
+                }
+            }
+        }))
+    } else {
+        None
+    };
+
+    let host = ServiceHost { server, state, sweeper, sweeper_stop };
+    Ok((host, store, report))
 }

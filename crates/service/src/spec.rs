@@ -40,25 +40,40 @@ pub struct ApiError {
     pub status: u16,
     /// Problem description (returned as `{"error": ...}`).
     pub message: String,
+    /// Seconds the client should wait before retrying, emitted as a
+    /// `Retry-After` header (set on load-shedding 503s).
+    pub retry_after: Option<u64>,
 }
 
 impl ApiError {
+    /// An error with an arbitrary status and message.
+    #[must_use]
+    pub fn new(status: u16, message: impl Into<String>) -> Self {
+        Self { status, message: message.into(), retry_after: None }
+    }
+
     /// 400 with the given message.
     #[must_use]
     pub fn bad_request(message: impl Into<String>) -> Self {
-        Self { status: 400, message: message.into() }
+        Self::new(400, message)
     }
 
     /// 404 with the given message.
     #[must_use]
     pub fn not_found(message: impl Into<String>) -> Self {
-        Self { status: 404, message: message.into() }
+        Self::new(404, message)
     }
 
     /// 409 with the given message.
     #[must_use]
     pub fn conflict(message: impl Into<String>) -> Self {
-        Self { status: 409, message: message.into() }
+        Self::new(409, message)
+    }
+
+    /// 503 with a `Retry-After` hint — the load-shedding answer.
+    #[must_use]
+    pub fn unavailable(message: impl Into<String>, retry_after_secs: u64) -> Self {
+        Self { status: 503, message: message.into(), retry_after: Some(retry_after_secs) }
     }
 }
 

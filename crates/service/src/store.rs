@@ -1,22 +1,41 @@
-//! The session registry: many concurrent [`Session`]s behind one store.
+//! The session registry: many concurrent [`Session`]s behind one store,
+//! with optional durability and graceful degradation under memory
+//! pressure.
 //!
-//! Concurrency model: a [`RwLock`] over the id → entry map (held only for
-//! registry operations — lookups, inserts, removals), with every session
-//! wrapped in its own [`Mutex`]. Request handlers clone the `Arc`, drop
-//! the map lock, and then lock just their session, so long-running
-//! operations (`run_to`, `run`) on one session never block traffic to the
-//! others. This is the mutex-per-entry layout the 10k-session load bench
-//! exercises: worker threads shard the registry and advance each session
-//! a bounded quantum of events per visit.
+//! Concurrency model: a [`RwLock`] over the id → slot map (held only for
+//! registry operations — lookups, inserts, removals, evictions), with
+//! every live session wrapped in its own [`Mutex`]. Request handlers
+//! clone the `Arc`, drop the map lock, and then lock just their session,
+//! so long-running operations (`run_to`, `run`) on one session never
+//! block traffic to the others. This is the mutex-per-entry layout the
+//! 10k-session load bench exercises.
+//!
+//! Durability model (all opt-in via [`StoreConfig`]):
+//!
+//! * **checkpoint** — a session's snapshot document is framed and written
+//!   atomically to the [`SnapshotArchive`]; on startup
+//!   [`SessionStore::with_config`] scans the archive, restores every
+//!   valid snapshot under its original id, and quarantines corrupt files.
+//! * **eviction** — sessions idle past [`StoreConfig::idle_ttl`] are
+//!   checkpointed and dropped from memory ([`SlotState::Evicted`]); the
+//!   next access restores them transparently from disk. Eviction is
+//!   mutation-safe: a slot is only evicted while nobody else holds a
+//!   handle to it.
+//! * **admission** — beyond [`StoreConfig::max_sessions`] total sessions,
+//!   `create`/`restore` shed with `503 Retry-After` instead of growing
+//!   without bound.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
 
 use redistrib_core::ScheduleError;
 use redistrib_online::{Session, SessionSnapshot};
 
-use crate::spec::{ApiError, SessionSpec, SpeedupSpec};
+use crate::archive::SnapshotArchive;
+use crate::json::Json;
+use crate::spec::{snapshot_from_json, snapshot_to_json, ApiError, SessionSpec, SpeedupSpec};
 
 /// One registered session plus the serializable description of its
 /// speedup model (needed to embed in snapshot documents, since the model
@@ -29,29 +48,166 @@ pub struct SessionEntry {
     pub speedup: SpeedupSpec,
 }
 
+impl SessionEntry {
+    /// The session's snapshot document as archive payload bytes.
+    #[must_use]
+    pub fn snapshot_payload(&self) -> Vec<u8> {
+        snapshot_to_json(&self.session.snapshot(), &self.speedup).encode().into_bytes()
+    }
+}
+
+/// Where a registered session currently lives.
+#[derive(Debug)]
+pub enum SlotState {
+    /// In memory, directly lockable.
+    Live(Arc<Mutex<SessionEntry>>),
+    /// Checkpointed to the archive and dropped from memory; the next
+    /// access restores it.
+    Evicted,
+}
+
+#[derive(Debug)]
+struct Slot {
+    state: SlotState,
+    /// Milliseconds since the store's epoch at last access (atomic so
+    /// reads under the shared map lock can refresh it).
+    touched: AtomicU64,
+}
+
+/// Durability and admission settings for a [`SessionStore`].
+#[derive(Debug, Default)]
+pub struct StoreConfig {
+    /// Snapshot archive for checkpoints, eviction and startup recovery.
+    /// `None` disables all durability features.
+    pub archive: Option<SnapshotArchive>,
+    /// Sessions idle longer than this are checkpointed and evicted from
+    /// memory by [`SessionStore::evict_idle`]. Requires `archive`.
+    pub idle_ttl: Option<Duration>,
+    /// Admission cap: beyond this many registered sessions (live plus
+    /// evicted), `create`/`restore` answer `503 Retry-After`.
+    pub max_sessions: Option<usize>,
+}
+
+/// What [`SessionStore::with_config`] recovered from the archive.
+#[derive(Debug, Default)]
+pub struct RecoveryReport {
+    /// Session ids restored from disk, ascending.
+    pub restored: Vec<u64>,
+    /// Quarantined files with the reason each was rejected — framing
+    /// failures found by the scan plus semantically invalid documents.
+    pub quarantined: Vec<(std::path::PathBuf, String)>,
+}
+
 /// Thread-safe registry of concurrent sessions keyed by numeric id.
 #[derive(Debug, Default)]
 pub struct SessionStore {
-    sessions: RwLock<HashMap<u64, Arc<Mutex<SessionEntry>>>>,
+    sessions: RwLock<HashMap<u64, Slot>>,
     next_id: AtomicU64,
+    archive: Option<SnapshotArchive>,
+    idle_ttl: Option<Duration>,
+    max_sessions: Option<usize>,
+    epoch: Option<Instant>,
 }
 
 fn sched_err(e: ScheduleError) -> ApiError {
     ApiError::bad_request(e.to_string())
 }
 
+/// Decodes an archive payload back into a session entry.
+fn entry_from_payload(payload: &[u8]) -> Result<SessionEntry, String> {
+    let text = std::str::from_utf8(payload).map_err(|_| "payload is not UTF-8".to_string())?;
+    let doc = Json::parse(text).map_err(|e| format!("payload JSON error at byte {}", e.at))?;
+    let (snap, speedup) = snapshot_from_json(&doc).map_err(|e| e.message)?;
+    let session =
+        Session::resume(snap, speedup.build()).map_err(|e| format!("resume rejected: {e}"))?;
+    Ok(SessionEntry { session, speedup })
+}
+
 impl SessionStore {
-    /// Creates an empty store.
+    /// Creates an empty, memory-only store (no archive, no TTL, no cap).
     #[must_use]
     pub fn new() -> Self {
-        Self::default()
+        Self { epoch: Some(Instant::now()), ..Self::default() }
+    }
+
+    /// Creates a store with durability settings and runs startup
+    /// recovery: if an archive is configured, every valid snapshot on
+    /// disk is restored **under its original id**, corrupt or
+    /// semantically invalid files are quarantined, and the id counter
+    /// resumes past the highest recovered id.
+    ///
+    /// # Errors
+    /// Propagates archive directory I/O failures; individual bad
+    /// snapshot files never fail recovery — they are quarantined.
+    pub fn with_config(cfg: StoreConfig) -> std::io::Result<(Self, RecoveryReport)> {
+        let mut report = RecoveryReport::default();
+        let store = Self {
+            sessions: RwLock::new(HashMap::new()),
+            next_id: AtomicU64::new(0),
+            archive: cfg.archive,
+            idle_ttl: cfg.idle_ttl,
+            max_sessions: cfg.max_sessions,
+            epoch: Some(Instant::now()),
+        };
+        if let Some(archive) = &store.archive {
+            let scan = archive.scan()?;
+            report.quarantined = scan.quarantined;
+            let mut map = store.sessions.write().unwrap();
+            let mut max_id = 0;
+            for (id, payload) in scan.restored {
+                match entry_from_payload(&payload) {
+                    Ok(entry) => {
+                        map.insert(
+                            id,
+                            Slot {
+                                state: SlotState::Live(Arc::new(Mutex::new(entry))),
+                                touched: AtomicU64::new(0),
+                            },
+                        );
+                        report.restored.push(id);
+                        max_id = max_id.max(id);
+                    }
+                    Err(why) => {
+                        if let Some(path) = archive.quarantine(id, &why) {
+                            report.quarantined.push((path, why));
+                        }
+                    }
+                }
+            }
+            drop(map);
+            store.next_id.store(max_id, Ordering::Relaxed);
+        }
+        Ok((store, report))
+    }
+
+    /// The configured archive, if any.
+    #[must_use]
+    pub fn archive(&self) -> Option<&SnapshotArchive> {
+        self.archive.as_ref()
+    }
+
+    /// Milliseconds since the store was created.
+    fn now_ms(&self) -> u64 {
+        self.epoch.map_or(0, |e| u64::try_from(e.elapsed().as_millis()).unwrap_or(u64::MAX))
+    }
+
+    fn admit(&self) -> Result<(), ApiError> {
+        match self.max_sessions {
+            Some(cap) if self.len() >= cap => Err(ApiError::unavailable(
+                format!("session capacity ({cap}) reached, retry later"),
+                1,
+            )),
+            _ => Ok(()),
+        }
     }
 
     /// Builds a session from a creation spec and registers it.
     ///
     /// # Errors
-    /// [`ApiError`] (400) if the scheduler rejects the spec.
+    /// [`ApiError`] — 400 if the scheduler rejects the spec, 503 when the
+    /// admission cap is reached.
     pub fn create(&self, spec: &SessionSpec) -> Result<u64, ApiError> {
+        self.admit()?;
         let session = spec.scheduler().session(&spec.jobs).map_err(sched_err)?;
         Ok(self.insert(session, spec.speedup.clone()))
     }
@@ -59,38 +215,104 @@ impl SessionStore {
     /// Resumes a session from a snapshot and registers it under a fresh id.
     ///
     /// # Errors
-    /// [`ApiError`] (400) if the snapshot fails the resume validation.
+    /// [`ApiError`] — 400 if the snapshot fails the resume validation,
+    /// 503 when the admission cap is reached.
     pub fn restore(
         &self,
         snap: SessionSnapshot,
         speedup: SpeedupSpec,
     ) -> Result<u64, ApiError> {
+        self.admit()?;
         let session = Session::resume(snap, speedup.build()).map_err(sched_err)?;
         Ok(self.insert(session, speedup))
     }
 
-    /// Registers an already-built session, returning its id.
+    /// Registers an already-built session, returning its id. Not subject
+    /// to the admission cap (internal callers own their capacity).
     pub fn insert(&self, session: Session, speedup: SpeedupSpec) -> u64 {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
         let entry = Arc::new(Mutex::new(SessionEntry { session, speedup }));
-        self.sessions.write().unwrap().insert(id, entry);
+        self.sessions.write().unwrap().insert(
+            id,
+            Slot { state: SlotState::Live(entry), touched: AtomicU64::new(self.now_ms()) },
+        );
         id
     }
 
-    /// Looks a session up; the caller locks the returned entry.
+    /// Looks a session up; the caller locks the returned entry. An
+    /// evicted session is transparently restored from the archive first
+    /// (lazy un-eviction).
     ///
     /// # Errors
-    /// [`ApiError`] (404) for unknown ids.
+    /// [`ApiError`] — 404 for unknown ids, 500 if an evicted session's
+    /// archive file has gone missing or corrupt (the file is quarantined
+    /// and the id unregistered, so the failure is not sticky).
     pub fn get(&self, id: u64) -> Result<Arc<Mutex<SessionEntry>>, ApiError> {
-        self.sessions
-            .read()
-            .unwrap()
-            .get(&id)
-            .cloned()
-            .ok_or_else(|| ApiError::not_found(format!("no session {id}")))
+        {
+            let map = self.sessions.read().unwrap();
+            match map.get(&id) {
+                None => return Err(ApiError::not_found(format!("no session {id}"))),
+                Some(slot) => {
+                    slot.touched.store(self.now_ms(), Ordering::Relaxed);
+                    if let SlotState::Live(entry) = &slot.state {
+                        return Ok(Arc::clone(entry));
+                    }
+                }
+            }
+        }
+        self.restore_evicted(id)
     }
 
-    /// Removes a session.
+    /// Slow path of [`SessionStore::get`]: re-checks under the write lock
+    /// (another thread may have restored concurrently), then loads the
+    /// checkpoint from disk.
+    fn restore_evicted(&self, id: u64) -> Result<Arc<Mutex<SessionEntry>>, ApiError> {
+        let mut map = self.sessions.write().unwrap();
+        let slot =
+            map.get_mut(&id).ok_or_else(|| ApiError::not_found(format!("no session {id}")))?;
+        if let SlotState::Live(entry) = &slot.state {
+            return Ok(Arc::clone(entry));
+        }
+        let archive = self
+            .archive
+            .as_ref()
+            .ok_or_else(|| ApiError::new(500, "evicted session but no archive configured"))?;
+        let payload = match archive.load(id) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => {
+                map.remove(&id);
+                return Err(ApiError::new(
+                    500,
+                    format!("evicted session {id} is missing from the archive"),
+                ));
+            }
+            Err(e) => {
+                // Corrupt on disk: quarantine the file and unregister the
+                // id rather than failing this way forever.
+                archive.quarantine(id, &e.to_string());
+                map.remove(&id);
+                return Err(ApiError::new(
+                    500,
+                    format!("evicted session {id} could not be reloaded: {e}"),
+                ));
+            }
+        };
+        match entry_from_payload(&payload) {
+            Ok(entry) => {
+                let entry = Arc::new(Mutex::new(entry));
+                slot.state = SlotState::Live(Arc::clone(&entry));
+                slot.touched.store(self.now_ms(), Ordering::Relaxed);
+                Ok(entry)
+            }
+            Err(why) => {
+                archive.quarantine(id, &why);
+                map.remove(&id);
+                Err(ApiError::new(500, format!("evicted session {id} failed to resume: {why}")))
+            }
+        }
+    }
+
+    /// Removes a session from the registry and from the archive.
     ///
     /// # Errors
     /// [`ApiError`] (404) for unknown ids.
@@ -100,10 +322,14 @@ impl SessionStore {
             .unwrap()
             .remove(&id)
             .map(drop)
-            .ok_or_else(|| ApiError::not_found(format!("no session {id}")))
+            .ok_or_else(|| ApiError::not_found(format!("no session {id}")))?;
+        if let Some(archive) = &self.archive {
+            let _ = archive.remove(id);
+        }
+        Ok(())
     }
 
-    /// Registered ids, ascending.
+    /// Registered ids (live and evicted), ascending.
     #[must_use]
     pub fn ids(&self) -> Vec<u64> {
         let mut ids: Vec<u64> = self.sessions.read().unwrap().keys().copied().collect();
@@ -111,10 +337,36 @@ impl SessionStore {
         ids
     }
 
-    /// Number of registered sessions.
+    /// Number of registered sessions, live and evicted.
     #[must_use]
     pub fn len(&self) -> usize {
         self.sessions.read().unwrap().len()
+    }
+
+    /// Number of sessions currently resident in memory.
+    #[must_use]
+    pub fn live_len(&self) -> usize {
+        self.sessions
+            .read()
+            .unwrap()
+            .values()
+            .filter(|s| matches!(s.state, SlotState::Live(_)))
+            .count()
+    }
+
+    /// Ids of currently evicted sessions, ascending.
+    #[must_use]
+    pub fn evicted_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self
+            .sessions
+            .read()
+            .unwrap()
+            .iter()
+            .filter(|(_, s)| matches!(s.state, SlotState::Evicted))
+            .map(|(&id, _)| id)
+            .collect();
+        ids.sort_unstable();
+        ids
     }
 
     /// Whether the store is empty.
@@ -123,15 +375,124 @@ impl SessionStore {
         self.len() == 0
     }
 
-    /// Snapshot of all entries (id ascending) for shard-and-drive loops:
-    /// workers split this list and advance each session in bounded quanta
-    /// without ever touching the registry lock again.
+    /// Snapshot of all **live** entries (id ascending) for
+    /// shard-and-drive loops: workers split this list and advance each
+    /// session in bounded quanta without ever touching the registry lock
+    /// again.
     #[must_use]
     pub fn handles(&self) -> Vec<(u64, Arc<Mutex<SessionEntry>>)> {
-        let mut entries: Vec<_> =
-            self.sessions.read().unwrap().iter().map(|(&id, e)| (id, Arc::clone(e))).collect();
+        let mut entries: Vec<_> = self
+            .sessions
+            .read()
+            .unwrap()
+            .iter()
+            .filter_map(|(&id, slot)| match &slot.state {
+                SlotState::Live(entry) => Some((id, Arc::clone(entry))),
+                SlotState::Evicted => None,
+            })
+            .collect();
         entries.sort_unstable_by_key(|&(id, _)| id);
         entries
+    }
+
+    /// Checkpoints one session to the archive (on-demand durability).
+    /// Evicted sessions are already on disk, so this is a no-op for them.
+    ///
+    /// # Errors
+    /// [`ApiError`] — 409 when no archive is configured, 404 for unknown
+    /// ids, 500 when the disk write fails.
+    pub fn checkpoint(&self, id: u64) -> Result<(), ApiError> {
+        let archive =
+            self.archive.as_ref().ok_or_else(|| ApiError::conflict("no archive configured"))?;
+        let entry = {
+            let map = self.sessions.read().unwrap();
+            match map.get(&id) {
+                None => return Err(ApiError::not_found(format!("no session {id}"))),
+                Some(slot) => match &slot.state {
+                    SlotState::Live(entry) => Arc::clone(entry),
+                    SlotState::Evicted => return Ok(()),
+                },
+            }
+        };
+        let payload = entry.lock().unwrap().snapshot_payload();
+        archive
+            .store(id, &payload)
+            .map_err(|e| ApiError::new(500, format!("checkpoint of session {id} failed: {e}")))
+    }
+
+    /// Checkpoints every live session (periodic sweeps, graceful drain).
+    /// Best-effort: one bad disk write does not stop the rest. Returns
+    /// the number checkpointed plus per-session failures.
+    #[must_use]
+    pub fn checkpoint_all(&self) -> (usize, Vec<(u64, String)>) {
+        if self.archive.is_none() {
+            return (0, Vec::new());
+        }
+        let mut ok = 0;
+        let mut failures = Vec::new();
+        for (id, _) in self.handles() {
+            match self.checkpoint(id) {
+                Ok(()) => ok += 1,
+                Err(e) => failures.push((id, e.message)),
+            }
+        }
+        (ok, failures)
+    }
+
+    /// Evicts sessions idle past the TTL: checkpoint to the archive,
+    /// then drop from memory. A session is skipped (not evicted) when it
+    /// is locked, when another handler still holds a handle to it, or
+    /// when its checkpoint write fails — losing a mutation is never an
+    /// acceptable outcome of eviction. Returns the number evicted.
+    #[must_use]
+    pub fn evict_idle(&self) -> usize {
+        let (Some(archive), Some(ttl)) = (&self.archive, self.idle_ttl) else {
+            return 0;
+        };
+        let ttl_ms = u64::try_from(ttl.as_millis()).unwrap_or(u64::MAX);
+        let now = self.now_ms();
+        let stale =
+            |touched: &AtomicU64| now.saturating_sub(touched.load(Ordering::Relaxed)) >= ttl_ms;
+        let candidates: Vec<(u64, Arc<Mutex<SessionEntry>>)> = self
+            .sessions
+            .read()
+            .unwrap()
+            .iter()
+            .filter_map(|(&id, slot)| match &slot.state {
+                SlotState::Live(entry) if stale(&slot.touched) => Some((id, Arc::clone(entry))),
+                _ => None,
+            })
+            .collect();
+
+        let mut evicted = 0;
+        for (id, entry) in candidates {
+            // Holding the entry guard across the checkpoint write pins the
+            // exact state that lands on disk; only that session's traffic
+            // waits.
+            let Ok(guard) = entry.try_lock() else { continue };
+            if archive.store(id, &guard.snapshot_payload()).is_err() {
+                continue;
+            }
+            let mut map = self.sessions.write().unwrap();
+            if let Some(slot) = map.get_mut(&id) {
+                // Evict only if the slot still holds this exact entry,
+                // nobody else has a handle (map + ours = 2), and no access
+                // slipped in since the candidate scan.
+                let safe = match &slot.state {
+                    SlotState::Live(current) => {
+                        Arc::ptr_eq(current, &entry)
+                            && Arc::strong_count(&entry) == 2
+                            && stale(&slot.touched)
+                    }
+                    SlotState::Evicted => false,
+                };
+                if safe {
+                    slot.state = SlotState::Evicted;
+                    evicted += 1;
+                }
+            }
+        }
+        evicted
     }
 }
 
@@ -158,6 +519,7 @@ pub fn step_quantum(
 mod tests {
     use super::*;
     use crate::json::Json;
+    use std::path::PathBuf;
 
     fn demo_spec() -> SessionSpec {
         let doc = Json::parse(
@@ -166,6 +528,16 @@ mod tests {
         )
         .unwrap();
         SessionSpec::from_json(&doc).unwrap()
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        use std::sync::atomic::AtomicU64;
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir()
+            .join(format!("redistrib-store-{tag}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
     }
 
     #[test]
@@ -217,5 +589,121 @@ mod tests {
         let mut dedup = ids.clone();
         dedup.dedup();
         assert_eq!(ids, dedup);
+    }
+
+    #[test]
+    fn admission_cap_sheds_with_503_retry_after() {
+        let (store, _) = SessionStore::with_config(StoreConfig {
+            max_sessions: Some(2),
+            ..StoreConfig::default()
+        })
+        .unwrap();
+        store.create(&demo_spec()).unwrap();
+        store.create(&demo_spec()).unwrap();
+        let err = store.create(&demo_spec()).unwrap_err();
+        assert_eq!(err.status, 503);
+        assert_eq!(err.retry_after, Some(1));
+        // Freeing a slot restores admission.
+        store.remove(1).unwrap();
+        store.create(&demo_spec()).unwrap();
+    }
+
+    #[test]
+    fn eviction_checkpoints_and_lazily_restores() {
+        let dir = temp_dir("evict");
+        let (store, _) = SessionStore::with_config(StoreConfig {
+            archive: Some(SnapshotArchive::open(&dir).unwrap()),
+            idle_ttl: Some(Duration::from_millis(0)),
+            max_sessions: None,
+        })
+        .unwrap();
+        let id = store.create(&demo_spec()).unwrap();
+        // Advance a bit so the evicted state is distinguishable.
+        let entry = store.get(id).unwrap();
+        step_quantum(&entry, 2).unwrap();
+        let before = entry.lock().unwrap().snapshot_payload();
+        drop(entry);
+
+        // TTL of zero: immediately stale.
+        assert_eq!(store.evict_idle(), 1);
+        assert_eq!(store.live_len(), 0);
+        assert_eq!(store.evicted_ids(), vec![id]);
+        assert_eq!(store.len(), 1, "evicted sessions stay registered");
+
+        // Next access restores transparently with identical state.
+        let entry = store.get(id).unwrap();
+        assert_eq!(entry.lock().unwrap().snapshot_payload(), before);
+        assert_eq!(store.live_len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eviction_skips_sessions_with_outstanding_handles() {
+        let dir = temp_dir("evict-held");
+        let (store, _) = SessionStore::with_config(StoreConfig {
+            archive: Some(SnapshotArchive::open(&dir).unwrap()),
+            idle_ttl: Some(Duration::from_millis(0)),
+            max_sessions: None,
+        })
+        .unwrap();
+        let id = store.create(&demo_spec()).unwrap();
+        let held = store.get(id).unwrap();
+        assert_eq!(store.evict_idle(), 0, "a held handle must block eviction");
+        drop(held);
+        assert_eq!(store.evict_idle(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_restores_under_original_ids() {
+        let dir = temp_dir("recover");
+        let before;
+        {
+            let (store, report) = SessionStore::with_config(StoreConfig {
+                archive: Some(SnapshotArchive::open(&dir).unwrap()),
+                ..StoreConfig::default()
+            })
+            .unwrap();
+            assert!(report.restored.is_empty());
+            store.create(&demo_spec()).unwrap();
+            let id = store.create(&demo_spec()).unwrap();
+            let entry = store.get(id).unwrap();
+            step_quantum(&entry, 3).unwrap();
+            before = entry.lock().unwrap().snapshot_payload();
+            drop(entry);
+            let (ok, failures) = store.checkpoint_all();
+            assert_eq!(ok, 2);
+            assert!(failures.is_empty());
+        } // store dropped: simulated crash
+
+        let (store, report) = SessionStore::with_config(StoreConfig {
+            archive: Some(SnapshotArchive::open(&dir).unwrap()),
+            ..StoreConfig::default()
+        })
+        .unwrap();
+        assert_eq!(report.restored, vec![1, 2]);
+        assert!(report.quarantined.is_empty());
+        assert_eq!(store.ids(), vec![1, 2]);
+        let entry = store.get(2).unwrap();
+        assert_eq!(entry.lock().unwrap().snapshot_payload(), before);
+        // Fresh ids resume past the recovered ones.
+        assert_eq!(store.create(&demo_spec()).unwrap(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_quarantines_semantically_invalid_documents() {
+        let dir = temp_dir("recover-bad");
+        let archive = SnapshotArchive::open(&dir).unwrap();
+        archive.store(7, br#"{"version": 999}"#).unwrap();
+        let (store, report) = SessionStore::with_config(StoreConfig {
+            archive: Some(archive),
+            ..StoreConfig::default()
+        })
+        .unwrap();
+        assert!(store.is_empty());
+        assert_eq!(report.quarantined.len(), 1);
+        assert!(report.quarantined[0].1.contains("version"), "{:?}", report.quarantined);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

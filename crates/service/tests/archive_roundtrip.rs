@@ -1,0 +1,127 @@
+//! Crash-recovery property grid for the disk archive: checkpoint a
+//! mid-run (optionally faulty) session, drop the whole store — the
+//! in-process equivalent of a host crash — recover a fresh store from
+//! the same directory, and drive the recovered session to completion.
+//! The continued trace must be **byte-identical** to an uninterrupted
+//! run of the same spec, across the heuristic × faults × platform grid.
+//!
+//! This is the service-side companion of the online crate's
+//! `snapshot_roundtrip` grid: same replay contract, but the snapshot
+//! travels through the JSON document codec, the CRC frame, and a real
+//! filesystem round-trip instead of staying in memory.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use proptest::prelude::*;
+
+use redistrib_core::Heuristic;
+use redistrib_service::{
+    step_quantum, Json, SessionSpec, SessionStore, SnapshotArchive, StoreConfig,
+};
+
+const HEURISTICS: [Heuristic; 5] = [
+    Heuristic::NoRedistribution,
+    Heuristic::IteratedGreedyEndLocal,
+    Heuristic::ShortestTasksFirstEndGreedy,
+    Heuristic::EndGreedyOnly,
+    Heuristic::WarmGreedy,
+];
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir()
+        .join(format!("redistrib-archive-rt-{tag}-{}-{n}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A deterministic creation spec: job sizes/releases are a pure function
+/// of `seed`, so the baseline and the recovered run parse identical JSON.
+fn spec_json(seed: u64, n_jobs: usize, p: u32, heuristic: Heuristic, faulty: bool) -> String {
+    let mut x = seed | 1;
+    let mut next = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    let mut jobs = Vec::with_capacity(n_jobs);
+    let mut release = 0u64;
+    for _ in 0..n_jobs {
+        let size = 2_000 + next() % 8_000;
+        release += next() % 400;
+        jobs.push(format!("{{\"size\": {size}, \"release\": {release}}}"));
+    }
+    let faults = if faulty {
+        format!(",\"faults\":{{\"seed\":{}}}", seed ^ 0xFA17)
+    } else {
+        String::new()
+    };
+    format!(
+        "{{\"platform\":{{\"procs\":{p}}},\"strategy\":{{\"heuristic\":\"{}\"}}{faults},\
+         \"record_trace\":true,\"jobs\":[{}]}}",
+        heuristic.name(),
+        jobs.join(",")
+    )
+}
+
+fn parse(doc: &str) -> SessionSpec {
+    SessionSpec::from_json(&Json::parse(doc).unwrap()).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Checkpoint mid-run → crash (drop the store) → recover from disk →
+    /// continue: byte-identical to the uninterrupted run.
+    #[test]
+    fn recovered_checkpoint_continues_byte_identically(
+        seed in any::<u64>(),
+        n_jobs in 2usize..8,
+        p in 4u32..32,
+        heuristic_idx in 0usize..HEURISTICS.len(),
+        cut in 0u64..40,
+        faulty in any::<bool>(),
+    ) {
+        let doc = spec_json(seed, n_jobs, p, HEURISTICS[heuristic_idx], faulty);
+        let spec = parse(&doc);
+        let baseline =
+            spec.scheduler().session(&spec.jobs).unwrap().run_to_completion().unwrap();
+
+        let dir = temp_dir("grid");
+        let id;
+        {
+            let (store, _) = SessionStore::with_config(StoreConfig {
+                archive: Some(SnapshotArchive::open(&dir).unwrap()),
+                ..StoreConfig::default()
+            })
+            .unwrap();
+            id = store.create(&parse(&doc)).unwrap();
+            let entry = store.get(id).unwrap();
+            step_quantum(&entry, cut).unwrap();
+            drop(entry);
+            store.checkpoint(id).unwrap();
+        } // store dropped with no further checkpoint: the "crash"
+
+        let (store, report) = SessionStore::with_config(StoreConfig {
+            archive: Some(SnapshotArchive::open(&dir).unwrap()),
+            ..StoreConfig::default()
+        })
+        .unwrap();
+        prop_assert_eq!(report.restored, vec![id]);
+        prop_assert_eq!(report.quarantined.len(), 0);
+
+        let entry = store.get(id).unwrap();
+        let mut guard = entry.lock().unwrap();
+        guard.session.run_to(f64::INFINITY).unwrap();
+        prop_assert_eq!(guard.session.trace().to_csv(), baseline.trace.to_csv());
+        prop_assert_eq!(
+            guard.session.outcome().makespan.to_bits(),
+            baseline.makespan.to_bits()
+        );
+        drop(guard);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -10,7 +10,8 @@
 
 use redistrib_online::{OnlineOutcome, PackHandle, Session, SessionSnapshot};
 use redistrib_service::{
-    HttpServer, Json, SessionEntry, SessionSpec, SessionStore, SpeedupSpec,
+    Client, FaultPlan, HttpServer, Json, ServiceHost, ServiceState, SessionEntry, SessionSpec,
+    SessionStore, SnapshotArchive, SpeedupSpec,
 };
 
 fn assert_send<T: Send>() {}
@@ -32,6 +33,14 @@ fn session_stack_is_thread_safe() {
     assert_send_sync::<Json>();
     assert_send_sync::<SessionSpec>();
     assert_send_sync::<SpeedupSpec>();
+    // Durability layer: the archive is shared by handlers and the
+    // sweeper; fault plans are shared between the injector and the test;
+    // the service state is cloned into every worker closure.
+    assert_send_sync::<SnapshotArchive>();
+    assert_send_sync::<FaultPlan>();
+    assert_send_sync::<ServiceState>();
+    assert_send::<ServiceHost>();
+    assert_send::<Client>();
 }
 
 #[test]
