@@ -26,7 +26,8 @@ use redistrib_online::{
     Scheduler,
 };
 use redistrib_service::{
-    step_quantum, SessionStore, SnapshotArchive, SpeedupSpec, StoreConfig,
+    client, serve_router, step_quantum, BackendSpec, InProcessLauncher, Json, RouterConfig,
+    SessionStore, SnapshotArchive, SpeedupSpec, StoreConfig, SupervisorConfig,
 };
 
 /// Times `f` under a wall-clock budget: one warm-up call, then iterations
@@ -168,6 +169,96 @@ fn service_checkpoint_recover(sessions: usize) -> usize {
     assert_eq!(n, sessions, "every session must recover");
     let _ = std::fs::remove_dir_all(&dir);
     n
+}
+
+/// The failover scenario: a 2-backend fleet (in-process hosts, real
+/// sockets, disk archives) behind the supervising router. `sessions`
+/// sessions are created over HTTP and checkpointed; `workers` client
+/// threads then drive every session to completion through the router
+/// while one backend is killed mid-drain (`restart_attempts: 0`, so the
+/// supervisor migrates its checkpointed sessions onto the survivor).
+/// Clients retry through the 503-shed window; the measured time is
+/// create → checkpoint → kill → every session complete. Returns the
+/// number of sessions that completed.
+fn router_failover(sessions: usize, workers: usize) -> usize {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    let root = bench_archive_dir();
+    let cfg = RouterConfig {
+        supervisor: SupervisorConfig {
+            probe_interval: Duration::from_millis(25),
+            probe_timeout: Duration::from_millis(250),
+            failure_threshold: 1,
+            restart_attempts: 0,
+            restart_budget: Duration::from_secs(5),
+            drain_budget: Duration::from_secs(30),
+            migrate_timeout: Duration::from_secs(10),
+        },
+        ..RouterConfig::default()
+    };
+    let specs = vec![
+        BackendSpec { name: "b0".into(), archive_dir: root.join("b0") },
+        BackendSpec { name: "b1".into(), archive_dir: root.join("b1") },
+    ];
+    let mut router =
+        serve_router("127.0.0.1:0", cfg, Box::new(InProcessLauncher { workers: 2 }), specs)
+            .expect("fleet boots");
+    let addr = router.addr();
+    let supervisor = std::sync::Arc::clone(router.supervisor());
+
+    // Create over keep-alive connections; ids are globally sequential.
+    let spec = r#"{"platform":{"procs":8},"jobs":[{"size":3000},{"size":5000,"release":150}]}"#;
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            scope.spawn(move || {
+                let mut c = client::Client::new(addr);
+                for _ in (w..sessions).step_by(workers) {
+                    let (status, body) = c.post("/v1/sessions", spec).expect("create");
+                    assert_eq!(status, 201, "{body}");
+                }
+            });
+        }
+    });
+    let (status, body) = client::post(addr, "/v1/admin/checkpoint", "").expect("checkpoint");
+    assert_eq!(status, 200, "{body}");
+    let checkpointed =
+        Json::parse(&body).unwrap().get("checkpointed").and_then(Json::as_u64).unwrap();
+    assert_eq!(checkpointed as usize, sessions, "{body}");
+
+    // Drain through the router; kill b0 once a quarter of the fleet is
+    // done. Workers ride out the shed window on retries.
+    let done = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let done = &done;
+            scope.spawn(move || {
+                let mut c = client::Client::new(addr);
+                for id in ((w + 1)..=sessions).step_by(workers) {
+                    loop {
+                        match c.post(&format!("/v1/sessions/{id}/run"), "") {
+                            Ok((200, _)) => break,
+                            Ok(_) | Err(_) => std::thread::sleep(Duration::from_millis(2)),
+                        }
+                    }
+                    done.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        let done = &done;
+        let supervisor = &supervisor;
+        scope.spawn(move || {
+            while done.load(Ordering::Relaxed) < sessions / 4 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            supervisor.kill_backend("b0");
+        });
+    });
+    let completed = done.load(Ordering::Relaxed);
+    assert_eq!(completed, sessions, "every session must complete despite the kill");
+    router.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+    completed
 }
 
 /// One fault-aware engine run: the unit of work behind every figure point.
@@ -443,6 +534,18 @@ fn main() {
     });
     eprintln!("service_checkpoint_recover_1k: {:.0} sessions/s through disk", 1_000.0 / r.0);
     record("service_checkpoint_recover_1k", r);
+
+    // Fleet resilience headline: 1k sessions through the supervising
+    // router with one backend killed mid-drain — the measured time is
+    // until every session (including the migrated half) completes.
+    let r = time_budgeted(budget.max(2.0), || {
+        std::hint::black_box(router_failover(1_000, workers));
+    });
+    eprintln!(
+        "router_failover_1k: {:.3} s to all-complete with one backend killed mid-drain",
+        r.0
+    );
+    record("router_failover_1k", r);
 
     // Online campaign throughput: 5 strategies × 16 runs of 24 jobs.
     record(

@@ -31,6 +31,9 @@ struct Args {
     ttl_secs: Option<u64>,
     max_sessions: Option<usize>,
     checkpoint_secs: Option<u64>,
+    port_file: Option<PathBuf>,
+    backends: usize,
+    archive_root: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -45,6 +48,9 @@ fn parse_args() -> Result<Args, String> {
     let mut ttl_secs = None;
     let mut max_sessions = None;
     let mut checkpoint_secs = None;
+    let mut port_file = None;
+    let mut backends = 2;
+    let mut archive_root = None;
     let mut it = env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -80,6 +86,18 @@ fn parse_args() -> Result<Args, String> {
                     v.parse().map_err(|_| format!("bad --checkpoint-interval value: {v}"))?,
                 );
             }
+            "--port-file" => {
+                let v = it.next().ok_or("--port-file needs a file path")?;
+                port_file = Some(PathBuf::from(v));
+            }
+            "--backends" => {
+                let v = it.next().ok_or("--backends needs a value")?;
+                backends = v.parse().map_err(|_| format!("bad --backends value: {v}"))?;
+            }
+            "--archive-root" => {
+                let v = it.next().ok_or("--archive-root needs a directory path")?;
+                archive_root = Some(PathBuf::from(v));
+            }
             "--runs" => {
                 let v = it.next().ok_or("--runs needs a value")?;
                 opts.runs = Some(v.parse().map_err(|_| format!("bad --runs value: {v}"))?);
@@ -114,6 +132,9 @@ fn parse_args() -> Result<Args, String> {
         ttl_secs,
         max_sessions,
         checkpoint_secs,
+        port_file,
+        backends,
+        archive_root,
     })
 }
 
@@ -122,11 +143,17 @@ fn usage() -> String {
         "usage: experiments <target…> [--quick] [--plot] [--runs N] [--seed S] [--out DIR]\n\
          \x20      [--log FILE.swf] [--addr HOST:PORT] [--workers N] [--archive-dir DIR]\n\
          \x20      [--ttl SECS] [--max-sessions N] [--checkpoint-interval SECS]\n\
+         \x20      [--port-file FILE] [--backends N] [--archive-root DIR]\n\
          targets: table1, all, {}, validation, ablation, gap, warm, profiles, silent, online,\n\
          \x20        swf (replays --log through the Session API),\n\
          \x20        serve (hosts the scheduler as an HTTP service on --addr; --archive-dir\n\
          \x20        enables durable checkpoints + crash recovery, --ttl idle eviction,\n\
-         \x20        --max-sessions admission shedding, --checkpoint-interval periodic sweeps)",
+         \x20        --max-sessions admission shedding, --checkpoint-interval periodic sweeps),\n\
+         \x20        serve-backend (one fleet backend: requires --archive-dir, publishes its\n\
+         \x20        bound address to --port-file),\n\
+         \x20        serve-fleet (supervising router on --addr over --backends N child\n\
+         \x20        backends, archives under --archive-root/bK; failed backends restart in\n\
+         \x20        place or migrate their checkpointed sessions to survivors)",
         ALL_FIGURES.join(", ")
     )
 }
@@ -134,6 +161,9 @@ fn usage() -> String {
 /// Hosts the scheduler-as-a-service HTTP session host until killed (or
 /// gracefully drained via `POST /v1/admin/drain`). With `--archive-dir`
 /// the host checkpoints sessions to disk and recovers them on restart.
+/// With `--port-file` the bound address is published atomically (temp +
+/// rename) once the host is up — the `serve-backend` contract a fleet
+/// supervisor relies on.
 fn serve_forever(args: &Args) -> ExitCode {
     use redistrib_service::{HttpConfig, ServiceConfig, SnapshotArchive, StoreConfig};
     use std::time::Duration;
@@ -168,6 +198,15 @@ fn serve_forever(args: &Args) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(path) = &args.port_file {
+        let tmp = path.with_extension("tmp-addr");
+        let published =
+            fs::write(&tmp, format!("{}\n", host.addr())).and_then(|()| fs::rename(&tmp, path));
+        if let Err(e) = published {
+            eprintln!("error writing port file {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
     if let Some(dir) = &args.archive_dir {
         println!(
             "archive {}: recovered {} session(s), quarantined {} file(s)",
@@ -189,6 +228,72 @@ fn serve_forever(args: &Args) -> ExitCode {
     }
     println!("drain requested; finishing in-flight requests and checkpointing");
     host.join();
+    ExitCode::SUCCESS
+}
+
+/// Boots a supervised multi-backend fleet: `--backends N` child
+/// processes (this same binary, `serve-backend` mode), each durable on
+/// `--archive-root/bK`, behind a router on `--addr` that shards sessions
+/// by rendezvous hash, restarts dead backends in place, and migrates
+/// checkpointed sessions off backends that will not come back.
+fn serve_fleet(args: &Args) -> ExitCode {
+    use redistrib_service::{
+        serve_router, BackendSpec, HttpConfig, ProcessLauncher, RouterConfig,
+    };
+    use std::time::Duration;
+
+    let Some(root) = &args.archive_root else {
+        eprintln!("serve-fleet needs --archive-root DIR (one subdirectory per backend)");
+        return ExitCode::FAILURE;
+    };
+    if args.backends == 0 {
+        eprintln!("--backends must be at least 1");
+        return ExitCode::FAILURE;
+    }
+    let program = match env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error resolving own executable path: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut launcher = ProcessLauncher::new(program, vec!["serve-backend".into()]);
+    launcher.workers = args.workers;
+    let specs: Vec<BackendSpec> = (0..args.backends)
+        .map(|k| BackendSpec { name: format!("b{k}"), archive_dir: root.join(format!("b{k}")) })
+        .collect();
+    let cfg = RouterConfig {
+        http: HttpConfig { workers: args.workers, ..HttpConfig::default() },
+        ..RouterConfig::default()
+    };
+    let mut router = match serve_router(&args.addr, cfg, Box::new(launcher), specs) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error booting fleet on {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("fleet of {} backend(s) under {}:", args.backends, root.display());
+    for backend in router.supervisor().backends() {
+        let addr = backend.addr().map_or_else(|| "-".to_string(), |a| format!("http://{a}"));
+        println!(
+            "  {:<6} {:<24} {}",
+            backend.name(),
+            addr,
+            root.join(backend.name()).display()
+        );
+    }
+    println!(
+        "router on http://{} ({} workers); Ctrl-C to stop, POST /v1/admin/drain to drain,\n\
+         POST /v1/admin/retire/<backend> to decommission one backend",
+        router.addr(),
+        args.workers
+    );
+    while !router.is_draining() {
+        std::thread::sleep(Duration::from_millis(200));
+    }
+    println!("drain requested; backends checkpointed, finishing in-flight requests");
+    router.join();
     ExitCode::SUCCESS
 }
 
@@ -224,12 +329,24 @@ fn main() -> ExitCode {
         }
     };
 
-    if args.targets.iter().any(|t| t == "serve") {
-        if args.targets.len() > 1 {
-            eprintln!("serve cannot be combined with other targets");
-            return ExitCode::FAILURE;
+    for mode in ["serve", "serve-backend", "serve-fleet"] {
+        if args.targets.iter().any(|t| t == mode) {
+            if args.targets.len() > 1 {
+                eprintln!("{mode} cannot be combined with other targets");
+                return ExitCode::FAILURE;
+            }
+            if mode == "serve-backend" && args.archive_dir.is_none() {
+                eprintln!(
+                    "serve-backend needs --archive-dir DIR (its durable checkpoint home)"
+                );
+                return ExitCode::FAILURE;
+            }
+            return if mode == "serve-fleet" {
+                serve_fleet(&args)
+            } else {
+                serve_forever(&args)
+            };
         }
-        return serve_forever(&args);
     }
 
     let mut targets: Vec<String> = Vec::new();

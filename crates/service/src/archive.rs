@@ -430,4 +430,55 @@ mod tests {
         assert!(again.quarantined.is_empty());
         let _ = fs::remove_dir_all(&dir);
     }
+
+    #[test]
+    fn quarantine_name_collisions_never_clobber_earlier_evidence() {
+        let dir = temp_dir("quarantine-collide");
+        let archive = SnapshotArchive::open(&dir).unwrap();
+        // A quarantine/ directory already exists from an earlier
+        // incident, holding evidence under the same name this session's
+        // file would take.
+        let qdir = dir.join("quarantine");
+        fs::create_dir_all(&qdir).unwrap();
+        fs::write(qdir.join("session-5.snap"), b"evidence-gen-0").unwrap();
+
+        // Quarantining session 5 twice must produce two NEW files —
+        // `.1`, then `.2` — leaving every earlier generation intact.
+        archive.store(5, b"gen-1").unwrap();
+        let first = archive.quarantine(5, "corrupt gen 1").unwrap();
+        assert_eq!(first, qdir.join("session-5.snap.1"));
+        archive.store(5, b"gen-2").unwrap();
+        let second = archive.quarantine(5, "corrupt gen 2").unwrap();
+        assert_eq!(second, qdir.join("session-5.snap.2"));
+
+        assert_eq!(fs::read(qdir.join("session-5.snap")).unwrap(), b"evidence-gen-0");
+        assert_eq!(unframe(&fs::read(&first).unwrap()).unwrap(), b"gen-1");
+        assert_eq!(unframe(&fs::read(&second).unwrap()).unwrap(), b"gen-2");
+        // The live slot is empty again: quarantine moved, not copied.
+        assert_eq!(archive.load(5).unwrap(), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scan_tolerates_preexisting_quarantine_contents() {
+        let dir = temp_dir("quarantine-preexist");
+        let archive = SnapshotArchive::open(&dir).unwrap();
+        // Junk already sitting in quarantine/ — including names that
+        // look like snapshots — must be left alone and never restored.
+        let qdir = dir.join("quarantine");
+        fs::create_dir_all(&qdir).unwrap();
+        fs::write(qdir.join("session-1.snap"), b"old corrupt thing").unwrap();
+        fs::write(qdir.join("notes.txt"), b"incident writeup").unwrap();
+
+        archive.store(1, b"live-one").unwrap();
+        archive.store(2, b"live-two").unwrap();
+        let report = archive.scan().unwrap();
+        let ids: Vec<u64> = report.restored.iter().map(|&(id, _)| id).collect();
+        assert_eq!(ids, vec![1, 2]);
+        assert!(report.quarantined.is_empty());
+        // Quarantine contents untouched by the scan.
+        assert_eq!(fs::read(qdir.join("session-1.snap")).unwrap(), b"old corrupt thing");
+        assert_eq!(fs::read(qdir.join("notes.txt")).unwrap(), b"incident writeup");
+        let _ = fs::remove_dir_all(&dir);
+    }
 }

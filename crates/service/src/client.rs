@@ -5,10 +5,16 @@
 //! * The free functions ([`request`], [`get`], [`post`], [`delete`]) send
 //!   one request per connection with `Connection: close` — small enough to
 //!   double as a reference for driving the service from any language.
+//!   [`request_answer`] is the same one-shot call with an explicit
+//!   deadline and the full parsed [`HttpAnswer`]; the router's proxy and
+//!   the supervisor's health probes are built on it.
 //! * [`Client`] holds a keep-alive connection open across requests,
 //!   applies a per-request deadline, and retries **idempotent GETs only**
 //!   with seeded exponential backoff plus jitter — so retry schedules in
-//!   tests and benches are reproducible.
+//!   tests and benches are reproducible. When a `503`/`429` answer
+//!   carries a `Retry-After` header, the client honors the server's hint
+//!   instead of its own exponential schedule, capped at
+//!   [`ClientConfig::backoff_max`].
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -17,6 +23,22 @@ use std::time::Duration;
 use crate::faultio::XorShift64;
 
 const IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// One fully-parsed HTTP response: status, body, and the headers the
+/// service's clients act on.
+#[derive(Debug, Clone)]
+pub struct HttpAnswer {
+    /// HTTP status code.
+    pub status: u16,
+    /// UTF-8 body.
+    pub body: String,
+    /// `Content-Type` header value, if present.
+    pub content_type: Option<String>,
+    /// `Retry-After` header in whole seconds, if present and numeric.
+    pub retry_after: Option<u64>,
+    /// Whether the server announced it will close the connection.
+    pub close: bool,
+}
 
 /// Sends one request on a fresh `Connection: close` connection and
 /// returns `(status, body)`.
@@ -30,13 +52,33 @@ pub fn request(
     path: &str,
     body: Option<&str>,
 ) -> io::Result<(u16, String)> {
-    let stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(IO_TIMEOUT))?;
-    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    request_answer(addr, method, path, body, IO_TIMEOUT).map(|ans| (ans.status, ans.body))
+}
+
+/// Sends one request on a fresh `Connection: close` connection with an
+/// explicit deadline applied to connect, write, and read, and returns
+/// the parsed [`HttpAnswer`].
+///
+/// # Errors
+/// Propagates socket errors (including connect timeouts); malformed
+/// responses surface as [`io::ErrorKind::InvalidData`].
+pub fn request_answer(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    timeout: Duration,
+) -> io::Result<HttpAnswer> {
+    let stream = TcpStream::connect_timeout(&addr, timeout)?;
+    // The head and body go out as separate small writes; without nodelay
+    // Nagle parks the second behind the peer's delayed ACK (~40 ms per
+    // request, doubled through the router's proxy hop).
+    let _ = stream.set_nodelay(true);
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
     let mut reader = BufReader::new(stream);
     send_request(reader.get_mut(), addr, method, path, body, true)?;
-    let (status, body, _close) = read_response(&mut reader)?;
-    Ok((status, body))
+    read_response(&mut reader)
 }
 
 /// `GET path` → `(status, body)`.
@@ -82,8 +124,8 @@ fn send_request(
     stream.flush()
 }
 
-/// Reads one response → `(status, body, server_will_close)`.
-fn read_response(reader: &mut BufReader<TcpStream>) -> io::Result<(u16, String, bool)> {
+/// Reads one response off the wire.
+fn read_response(reader: &mut BufReader<TcpStream>) -> io::Result<HttpAnswer> {
     let mut status_line = String::new();
     if reader.read_line(&mut status_line)? == 0 {
         return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "connection closed"));
@@ -95,6 +137,8 @@ fn read_response(reader: &mut BufReader<TcpStream>) -> io::Result<(u16, String, 
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
 
     let mut content_length: Option<usize> = None;
+    let mut content_type: Option<String> = None;
+    let mut retry_after: Option<u64> = None;
     let mut close = false;
     loop {
         let mut line = String::new();
@@ -107,10 +151,15 @@ fn read_response(reader: &mut BufReader<TcpStream>) -> io::Result<(u16, String, 
         }
         if let Some((name, value)) = line.split_once(':') {
             let name = name.trim();
+            let value = value.trim();
             if name.eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse().ok();
+                content_length = value.parse().ok();
+            } else if name.eq_ignore_ascii_case("content-type") {
+                content_type = Some(value.to_string());
+            } else if name.eq_ignore_ascii_case("retry-after") {
+                retry_after = value.parse().ok();
             } else if name.eq_ignore_ascii_case("connection")
-                && value.trim().eq_ignore_ascii_case("close")
+                && value.eq_ignore_ascii_case("close")
             {
                 close = true;
             }
@@ -130,9 +179,9 @@ fn read_response(reader: &mut BufReader<TcpStream>) -> io::Result<(u16, String, 
             buf
         }
     };
-    String::from_utf8(body)
-        .map(|b| (status, b, close))
-        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 body"))
+    let body = String::from_utf8(body)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 body"))?;
+    Ok(HttpAnswer { status, body, content_type, retry_after, close })
 }
 
 /// Tunables for [`Client`].
@@ -143,8 +192,13 @@ pub struct ClientConfig {
     /// Retry attempts (beyond the first try) for idempotent GETs.
     pub retries: u32,
     /// Base backoff; attempt `i` sleeps `base * 2^i` plus jitter in
-    /// `[0, base * 2^i)`.
+    /// `[0, base * 2^i)` — unless the server sent a `Retry-After` hint,
+    /// which takes precedence.
     pub backoff_base: Duration,
+    /// Upper bound on any single retry sleep, whether computed from the
+    /// exponential schedule or taken from a `Retry-After` header (a
+    /// misbehaving server must not park the client for an hour).
+    pub backoff_max: Duration,
     /// Seed for the jitter PRNG — fixed seed, reproducible schedule.
     pub seed: u64,
 }
@@ -155,6 +209,7 @@ impl Default for ClientConfig {
             timeout: Duration::from_secs(30),
             retries: 3,
             backoff_base: Duration::from_millis(20),
+            backoff_max: Duration::from_secs(2),
             seed: 0x1ce_b00da,
         }
     }
@@ -164,9 +219,10 @@ impl Default for ClientConfig {
 ///
 /// The connection is opened lazily, reused across requests, and
 /// re-established transparently when the server closes it (request caps,
-/// idle timeouts, restarts). [`Client::get`] retries on socket errors
-/// and `503` with seeded exponential backoff; non-idempotent verbs never
-/// retry.
+/// idle timeouts, restarts). [`Client::get`] retries on socket errors,
+/// `503`, and `429` with seeded exponential backoff — honoring the
+/// server's `Retry-After` hint when one is sent; non-idempotent verbs
+/// never retry.
 #[derive(Debug)]
 pub struct Client {
     addr: SocketAddr,
@@ -200,6 +256,7 @@ impl Client {
     fn connect(&mut self) -> io::Result<&mut BufReader<TcpStream>> {
         if self.conn.is_none() {
             let stream = TcpStream::connect(self.addr)?;
+            let _ = stream.set_nodelay(true);
             stream.set_read_timeout(Some(self.cfg.timeout))?;
             stream.set_write_timeout(Some(self.cfg.timeout))?;
             self.opened += 1;
@@ -217,7 +274,7 @@ impl Client {
         method: &str,
         path: &str,
         body: Option<&str>,
-    ) -> io::Result<(u16, String)> {
+    ) -> io::Result<HttpAnswer> {
         let reused = self.conn.is_some();
         let result = self.request_on_conn(method, path, body);
         match result {
@@ -234,17 +291,17 @@ impl Client {
         method: &str,
         path: &str,
         body: Option<&str>,
-    ) -> io::Result<(u16, String)> {
+    ) -> io::Result<HttpAnswer> {
         let addr = self.addr;
         let reader = self.connect()?;
         let sent = send_request(reader.get_mut(), addr, method, path, body, false)
             .and_then(|()| read_response(reader));
         match sent {
-            Ok((status, body, close)) => {
-                if close {
+            Ok(ans) => {
+                if ans.close {
                     self.conn = None;
                 }
-                Ok((status, body))
+                Ok(ans)
             }
             Err(e) => {
                 self.conn = None;
@@ -253,9 +310,26 @@ impl Client {
         }
     }
 
-    /// `GET path` with retries: socket failures and `503` answers back
-    /// off exponentially (seeded jitter) up to [`ClientConfig::retries`]
-    /// extra attempts. GET is idempotent, so resending is always safe.
+    /// The sleep before retry number `attempt` (0-based): the server's
+    /// `Retry-After` hint when present, otherwise the seeded exponential
+    /// schedule; either way capped at [`ClientConfig::backoff_max`].
+    fn backoff_delay(&mut self, attempt: u32, retry_after: Option<u64>) -> Duration {
+        let delay = match retry_after {
+            Some(secs) => Duration::from_secs(secs),
+            None => {
+                let base = self.cfg.backoff_base.saturating_mul(1 << attempt.min(16));
+                let jitter_nanos = self.rng.below(base.as_nanos().max(1) as u64);
+                base.saturating_add(Duration::from_nanos(jitter_nanos))
+            }
+        };
+        delay.min(self.cfg.backoff_max)
+    }
+
+    /// `GET path` with retries: socket failures and `503`/`429` answers
+    /// back off up to [`ClientConfig::retries`] extra attempts — sleeping
+    /// the server's `Retry-After` hint when the answer carried one,
+    /// otherwise the seeded exponential schedule. GET is idempotent, so
+    /// resending is always safe.
     ///
     /// # Errors
     /// The last attempt's socket error.
@@ -263,14 +337,16 @@ impl Client {
         let mut attempt = 0u32;
         loop {
             match self.request_once("GET", path, None) {
-                Ok((status, body)) if status != 503 => return Ok((status, body)),
-                other => {
+                Ok(ans) if !matches!(ans.status, 429 | 503) => {
+                    return Ok((ans.status, ans.body))
+                }
+                outcome => {
                     if attempt >= self.cfg.retries {
-                        return other;
+                        return outcome.map(|ans| (ans.status, ans.body));
                     }
-                    let base = self.cfg.backoff_base.saturating_mul(1 << attempt.min(16));
-                    let jitter_nanos = self.rng.below(base.as_nanos().max(1) as u64);
-                    std::thread::sleep(base + Duration::from_nanos(jitter_nanos));
+                    let hint = outcome.as_ref().ok().and_then(|ans| ans.retry_after);
+                    let delay = self.backoff_delay(attempt, hint);
+                    std::thread::sleep(delay);
                     attempt += 1;
                 }
             }
@@ -282,7 +358,7 @@ impl Client {
     /// # Errors
     /// Propagates socket errors.
     pub fn get_once(&mut self, path: &str) -> io::Result<(u16, String)> {
-        self.request_once("GET", path, None)
+        self.request_once("GET", path, None).map(|ans| (ans.status, ans.body))
     }
 
     /// `POST path` with a body — never retried (not idempotent).
@@ -290,7 +366,7 @@ impl Client {
     /// # Errors
     /// Propagates socket errors.
     pub fn post(&mut self, path: &str, body: &str) -> io::Result<(u16, String)> {
-        self.request_once("POST", path, Some(body))
+        self.request_once("POST", path, Some(body)).map(|ans| (ans.status, ans.body))
     }
 
     /// `DELETE path` — never retried automatically.
@@ -298,7 +374,7 @@ impl Client {
     /// # Errors
     /// Propagates socket errors.
     pub fn delete(&mut self, path: &str) -> io::Result<(u16, String)> {
-        self.request_once("DELETE", path, None)
+        self.request_once("DELETE", path, None).map(|ans| (ans.status, ans.body))
     }
 }
 
@@ -312,4 +388,87 @@ fn is_stale(e: &io::Error) -> bool {
             | io::ErrorKind::ConnectionAborted
             | io::ErrorKind::BrokenPipe
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::{HttpConfig, HttpServer, Response};
+    use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+    use std::sync::Arc;
+
+    fn test_client(backoff_max: Duration) -> Client {
+        let cfg = ClientConfig {
+            backoff_base: Duration::from_millis(10),
+            backoff_max,
+            ..ClientConfig::default()
+        };
+        // The address is never dialed by backoff_delay.
+        Client::with_config("127.0.0.1:1".parse().unwrap(), cfg)
+    }
+
+    #[test]
+    fn backoff_honors_retry_after_hint() {
+        let mut c = test_client(Duration::from_secs(10));
+        assert_eq!(c.backoff_delay(0, Some(3)), Duration::from_secs(3));
+        // An early attempt's exponential delay would be ~10ms; the hint
+        // wins regardless of attempt number.
+        assert_eq!(c.backoff_delay(5, Some(2)), Duration::from_secs(2));
+        // Retry-After: 0 means "retry immediately".
+        assert_eq!(c.backoff_delay(0, Some(0)), Duration::ZERO);
+    }
+
+    #[test]
+    fn backoff_caps_retry_after_at_configured_max() {
+        let mut c = test_client(Duration::from_millis(50));
+        // A server asking for an hour must not park the client.
+        assert_eq!(c.backoff_delay(0, Some(3600)), Duration::from_millis(50));
+    }
+
+    #[test]
+    fn backoff_exponential_schedule_is_capped_too() {
+        let mut c = test_client(Duration::from_millis(80));
+        let mut last = Duration::ZERO;
+        for attempt in 0..8 {
+            let d = c.backoff_delay(attempt, None);
+            assert!(d <= Duration::from_millis(80), "attempt {attempt} slept {d:?}");
+            assert!(d >= last.min(Duration::from_millis(80)));
+            last = d;
+        }
+        // By attempt 8 the uncapped schedule would be 2.56s+jitter.
+        assert_eq!(c.backoff_delay(8, None), Duration::from_millis(80));
+    }
+
+    #[test]
+    fn get_retries_on_503_honoring_retry_after_zero() {
+        let attempts = Arc::new(AtomicU32::new(0));
+        let seen = Arc::clone(&attempts);
+        let server = HttpServer::bind_with(
+            "127.0.0.1:0",
+            HttpConfig { workers: 1, ..HttpConfig::default() },
+            Arc::new(AtomicBool::new(false)),
+            move |_req| {
+                if seen.fetch_add(1, Ordering::SeqCst) < 2 {
+                    Response::text(503, "overloaded").with_header("Retry-After", "0")
+                } else {
+                    Response::text(200, "ok")
+                }
+            },
+        )
+        .unwrap();
+        let cfg = ClientConfig {
+            retries: 3,
+            backoff_base: Duration::from_millis(5),
+            backoff_max: Duration::from_millis(20),
+            ..ClientConfig::default()
+        };
+        let mut client = Client::with_config(server.addr(), cfg);
+        let started = std::time::Instant::now();
+        let (status, body) = client.get("/anything").unwrap();
+        assert_eq!((status, body.as_str()), (200, "ok"));
+        assert_eq!(attempts.load(Ordering::SeqCst), 3, "two 503s then success");
+        // Retry-After: 0 → both sleeps were immediate, far under the
+        // exponential schedule's floor of ~15ms combined.
+        assert!(started.elapsed() < Duration::from_secs(2));
+    }
 }

@@ -562,6 +562,10 @@ impl HttpServer {
                 match listener.accept() {
                     Ok((stream, _)) => {
                         let _ = stream.set_nonblocking(false);
+                        // Responses are written head-then-body; nodelay
+                        // keeps Nagle from stalling the body behind the
+                        // client's delayed ACK.
+                        let _ = stream.set_nodelay(true);
                         match tx.try_send(stream) {
                             Ok(()) => {}
                             Err(TrySendError::Full(stream)) => shed(&stream),

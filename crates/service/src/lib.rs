@@ -42,7 +42,20 @@
 //! * [`server`] — the route table ([`handle`]) and [`serve`] /
 //!   [`serve_with`] entry points;
 //! * [`client`] — a blocking client: one-shot helpers plus a keep-alive
-//!   [`Client`] with seeded retry backoff.
+//!   [`Client`] with seeded retry backoff that honors `Retry-After`;
+//! * [`shard`] — rendezvous hashing and the session → backend shard map;
+//! * [`supervisor`] — fleet supervision: launchers, health probes,
+//!   per-backend circuit breakers, restart-in-place and archive-based
+//!   migration;
+//! * [`router`] — the fleet front-end proxying the REST surface over a
+//!   supervised multi-backend topology ([`serve_router`]).
+//!
+//! Since PR 8 the service also scales **out**: [`serve_router`] boots a
+//! fleet of backend hosts (child processes, each on its own archive
+//! directory), shards sessions across them by rendezvous hash, and
+//! survives backend loss by restarting the dead process on its archive
+//! — or, failing that, migrating its checkpointed sessions to the
+//! survivors. No acknowledged checkpoint is ever lost.
 //!
 //! ## Quickstart
 //!
@@ -73,19 +86,28 @@ pub mod client;
 pub mod faultio;
 pub mod http;
 pub mod json;
+pub mod router;
 pub mod server;
+pub mod shard;
 pub mod spec;
 pub mod store;
+pub mod supervisor;
 
 pub use archive::{SnapshotArchive, ARCHIVE_VERSION};
-pub use client::{Client, ClientConfig};
+pub use client::{Client, ClientConfig, HttpAnswer};
 pub use faultio::{FaultPlan, FaultReader, FaultWriter, ReadFault, WriteFault};
 pub use http::{HttpConfig, HttpServer, Request, Response};
 pub use json::{Json, JsonError};
+pub use router::{handle_router, serve_router, Router, RouterConfig, RouterState};
 pub use server::{handle, serve, serve_with, ServiceConfig, ServiceHost, ServiceState};
+pub use shard::{rendezvous, ShardMap};
 pub use spec::{
     snapshot_from_json, snapshot_to_json, ApiError, SessionSpec, SpeedupSpec, SNAPSHOT_VERSION,
 };
 pub use store::{
     step_quantum, RecoveryReport, SessionEntry, SessionStore, SlotState, StoreConfig,
+};
+pub use supervisor::{
+    BackendHandle, BackendLauncher, BackendSpec, Breaker, InProcessLauncher, MigrationReport,
+    Phase, ProcessLauncher, Supervisor, SupervisorConfig,
 };

@@ -3,8 +3,8 @@
 //!
 //! | Method | Path | Action |
 //! |---|---|---|
-//! | GET | `/healthz` | liveness, session counts, drain state |
-//! | POST | `/v1/sessions` | create a session from a [`SessionSpec`] |
+//! | GET | `/healthz` | liveness, session counts, uptime, drain state |
+//! | POST | `/v1/sessions` | create a session from a [`SessionSpec`] (`?id=N` pins the id) |
 //! | GET | `/v1/sessions` | list session summaries |
 //! | GET | `/v1/sessions/{id}` | one session summary |
 //! | DELETE | `/v1/sessions/{id}` | drop a session (memory + archive) |
@@ -17,9 +17,23 @@
 //! | GET | `/v1/sessions/{id}/packs` | staged-pack handles |
 //! | GET | `/v1/sessions/{id}/trace` | trace page (`?from=&limit=`) or CSV (`?format=csv`) |
 //! | POST | `/v1/sessions/{id}/snapshot` | snapshot document |
-//! | POST | `/v1/sessions/restore` | resume a snapshot document under a fresh id |
+//! | POST | `/v1/sessions/restore` | resume a snapshot document (fresh id, or `?id=N` to pin) |
 //! | POST | `/v1/admin/checkpoint` | checkpoint every live session |
 //! | POST | `/v1/admin/drain` | graceful drain: checkpoint all, stop accepting |
+//!
+//! `GET /healthz` answers with the JSON shape the fleet supervisor's
+//! probe decodes (see `crate::supervisor`):
+//!
+//! ```json
+//! {"ok": true, "sessions": 12, "live": 9, "evicted": 3,
+//!  "draining": false, "archive": true, "uptime_ms": 41503}
+//! ```
+//!
+//! `draining: true` with a healthy socket means "degraded but draining"
+//! — the probe keeps the backend out of new placements without tripping
+//! its circuit breaker; a refused or timed-out probe means "dead" and
+//! starts recovery. `uptime_ms` restarting from zero tells the
+//! supervisor a respawn it did not initiate has happened.
 //!
 //! Handlers lock exactly one session (never the whole store) while they
 //! work, so sessions progress independently under concurrent load.
@@ -147,13 +161,22 @@ fn engine_err(e: redistrib_core::ScheduleError) -> ApiError {
 pub struct ServiceState {
     store: Arc<SessionStore>,
     draining: Arc<AtomicBool>,
+    started: Instant,
 }
 
 impl ServiceState {
     /// Wraps a store with a fresh drain flag.
     #[must_use]
     pub fn new(store: Arc<SessionStore>) -> Self {
-        Self { store, draining: Arc::new(AtomicBool::new(false)) }
+        Self { store, draining: Arc::new(AtomicBool::new(false)), started: Instant::now() }
+    }
+
+    /// Milliseconds since this host started serving (`uptime_ms` in
+    /// `/healthz` — a restart resets it to zero, which is how an
+    /// external supervisor tells "respawned" from "still up").
+    #[must_use]
+    pub fn uptime_ms(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX)
     }
 
     /// The underlying store.
@@ -175,9 +198,21 @@ impl ServiceState {
     }
 }
 
+/// The optional `?id=N` query parameter of create/restore — the router
+/// pins its globally-allocated ids onto backends with it.
+fn pinned_id(req: &Request) -> Result<Option<u64>, ApiError> {
+    match req.query_param("id") {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| ApiError::bad_request("'id' must be an unsigned integer")),
+    }
+}
+
 fn handle_create(store: &SessionStore, req: &Request) -> Result<Response, ApiError> {
     let spec = SessionSpec::from_json(&req.json_body()?)?;
-    let id = store.create(&spec)?;
+    let id = store.create_at(pinned_id(req)?, &spec)?;
     let entry = store.get(id)?;
     let guard = entry.lock().unwrap();
     Ok(Response::json(201, &summary(id, &guard.session)))
@@ -185,7 +220,7 @@ fn handle_create(store: &SessionStore, req: &Request) -> Result<Response, ApiErr
 
 fn handle_restore(store: &SessionStore, req: &Request) -> Result<Response, ApiError> {
     let (snap, speedup) = snapshot_from_json(&req.json_body()?)?;
-    let id = store.restore(snap, speedup)?;
+    let id = store.restore_at(pinned_id(req)?, snap, speedup)?;
     let entry = store.get(id)?;
     let guard = entry.lock().unwrap();
     Ok(Response::json(201, &summary(id, &guard.session)))
@@ -391,6 +426,7 @@ pub fn handle(state: &ServiceState, req: &Request) -> Response {
                 ("evicted", Json::Int(store.evicted_ids().len() as i128)),
                 ("draining", Json::Bool(state.is_draining())),
                 ("archive", Json::Bool(store.archive().is_some())),
+                ("uptime_ms", Json::Int(i128::from(state.uptime_ms()))),
             ]),
         )),
         ("POST", ["v1", "sessions"]) => handle_create(store, req),

@@ -1,0 +1,213 @@
+//! Session → backend placement for the multi-backend topology:
+//! rendezvous hashing plus the router's authoritative shard map.
+//!
+//! Placement uses rendezvous (highest-random-weight) hashing: every
+//! `(backend, id)` pair gets a pseudo-random weight and the id goes to
+//! the backend with the highest weight. The properties the router's
+//! failover logic leans on (and the property tests in
+//! `tests/shard_props.rs` pin down):
+//!
+//! * **stable** — the weight is a pure function of the pair, so the same
+//!   id maps to the same backend on every call and across processes;
+//! * **minimal** — removing a backend only remaps the ids that lived on
+//!   it (every other pair's weight is unchanged), and adding one steals
+//!   roughly `1/N` of the ids in expectation.
+//!
+//! Placement answers "where *should* this id live"; the [`ShardMap`]
+//! records where each id *actually* lives. The two diverge exactly when
+//! the supervisor has migrated sessions off a dead backend — assignments
+//! are sticky until the supervisor rewrites them, so a recovered fleet
+//! keeps serving migrated sessions from their new home rather than
+//! bouncing them back.
+
+use std::collections::HashMap;
+
+/// FNV-1a over the backend name, giving each backend a well-mixed
+/// starting state even for short names like `"b0"`/`"b1"`.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// SplitMix64 finalizer: a full-avalanche mix so ids that differ in one
+/// bit land on independent weights.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The rendezvous weight of placing session `id` on `backend`. Pure and
+/// deterministic: callers on different machines agree on every weight.
+#[must_use]
+pub fn placement_weight(backend: &str, id: u64) -> u64 {
+    mix(fnv1a(backend.as_bytes()) ^ mix(id))
+}
+
+/// Index of the backend that wins the rendezvous election for `id`, or
+/// `None` when `backends` is empty. Ties (astronomically unlikely with a
+/// 64-bit weight) break toward the lexicographically-first name so the
+/// choice stays deterministic regardless of slice order.
+#[must_use]
+pub fn rendezvous<S: AsRef<str>>(backends: &[S], id: u64) -> Option<usize> {
+    backends
+        .iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| {
+            let (wa, wb) = (placement_weight(a.as_ref(), id), placement_weight(b.as_ref(), id));
+            wa.cmp(&wb).then_with(|| b.as_ref().cmp(a.as_ref()))
+        })
+        .map(|(i, _)| i)
+}
+
+/// The router's authoritative record of fleet membership and of which
+/// backend currently owns each session id.
+#[derive(Debug, Default, Clone)]
+pub struct ShardMap {
+    backends: Vec<String>,
+    assignments: HashMap<u64, String>,
+}
+
+impl ShardMap {
+    /// A map over the given fleet with no sessions assigned yet.
+    #[must_use]
+    pub fn new(backends: Vec<String>) -> Self {
+        Self { backends, assignments: HashMap::new() }
+    }
+
+    /// Current fleet members, in registration order.
+    #[must_use]
+    pub fn backends(&self) -> &[String] {
+        &self.backends
+    }
+
+    /// Where a *new* session `id` should be placed, restricted to the
+    /// `eligible` subset of the fleet (the supervisor passes the healthy
+    /// members). `None` when `eligible` is empty.
+    #[must_use]
+    pub fn place<S: AsRef<str>>(eligible: &[S], id: u64) -> Option<&str> {
+        rendezvous(eligible, id).map(|i| eligible[i].as_ref())
+    }
+
+    /// Records that `id` lives on `backend`.
+    pub fn assign(&mut self, id: u64, backend: &str) {
+        self.assignments.insert(id, backend.to_string());
+    }
+
+    /// The backend currently owning `id`, if any.
+    #[must_use]
+    pub fn lookup(&self, id: u64) -> Option<&str> {
+        self.assignments.get(&id).map(String::as_str)
+    }
+
+    /// Forgets `id` (session deleted, or lost with a dead backend).
+    pub fn unassign(&mut self, id: u64) {
+        self.assignments.remove(&id);
+    }
+
+    /// Ids currently assigned to `backend`, ascending.
+    #[must_use]
+    pub fn assigned_to(&self, backend: &str) -> Vec<u64> {
+        let mut ids: Vec<u64> = self
+            .assignments
+            .iter()
+            .filter(|(_, b)| b.as_str() == backend)
+            .map(|(&id, _)| id)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Drops a backend from the fleet, returning the ids that were still
+    /// assigned to it (the supervisor migrates or declares them lost).
+    pub fn remove_backend(&mut self, backend: &str) -> Vec<u64> {
+        self.backends.retain(|b| b != backend);
+        let orphaned = self.assigned_to(backend);
+        for id in &orphaned {
+            self.assignments.remove(id);
+        }
+        orphaned
+    }
+
+    /// Number of assigned sessions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Whether no sessions are assigned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.assignments.is_empty()
+    }
+
+    /// All assigned ids, ascending.
+    #[must_use]
+    pub fn ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.assignments.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendezvous_is_deterministic_and_total() {
+        let fleet = ["b0", "b1", "b2"];
+        for id in 0..500 {
+            let first = rendezvous(&fleet, id).unwrap();
+            assert_eq!(rendezvous(&fleet, id).unwrap(), first);
+            assert!(first < fleet.len());
+        }
+        assert_eq!(rendezvous::<&str>(&[], 7), None);
+    }
+
+    #[test]
+    fn rendezvous_spreads_load() {
+        let fleet = ["b0", "b1", "b2", "b3"];
+        let mut counts = [0usize; 4];
+        for id in 0..4000 {
+            counts[rendezvous(&fleet, id).unwrap()] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            // Each backend should get roughly 1000 of 4000 ids; a 2x
+            // band is far looser than any healthy hash will produce.
+            assert!((500..=2000).contains(&c), "backend {i} got {c} of 4000");
+        }
+    }
+
+    #[test]
+    fn shard_map_assignment_lifecycle() {
+        let mut map = ShardMap::new(vec!["b0".to_string(), "b1".to_string(), "b2".to_string()]);
+        assert!(map.is_empty());
+        map.assign(1, "b0");
+        map.assign(2, "b1");
+        map.assign(3, "b0");
+        assert_eq!(map.lookup(2), Some("b1"));
+        assert_eq!(map.assigned_to("b0"), vec![1, 3]);
+        assert_eq!(map.len(), 3);
+        map.unassign(3);
+        assert_eq!(map.assigned_to("b0"), vec![1]);
+        let orphaned = map.remove_backend("b0");
+        assert_eq!(orphaned, vec![1]);
+        assert_eq!(map.backends(), ["b1", "b2"]);
+        assert_eq!(map.lookup(1), None);
+        assert_eq!(map.ids(), vec![2]);
+    }
+
+    #[test]
+    fn place_restricts_to_eligible_subset() {
+        let eligible = ["b1".to_string()];
+        for id in 0..50 {
+            assert_eq!(ShardMap::place(&eligible, id), Some("b1"));
+        }
+    }
+}

@@ -207,9 +207,21 @@ impl SessionStore {
     /// [`ApiError`] — 400 if the scheduler rejects the spec, 503 when the
     /// admission cap is reached.
     pub fn create(&self, spec: &SessionSpec) -> Result<u64, ApiError> {
+        self.create_at(None, spec)
+    }
+
+    /// Like [`SessionStore::create`], but registers the session under a
+    /// caller-chosen id when `id` is `Some` (the router pins its global
+    /// ids onto backends this way, so archive file names agree with the
+    /// shard map across the fleet).
+    ///
+    /// # Errors
+    /// [`ApiError`] — 400 if the scheduler rejects the spec, 409 if the
+    /// requested id is taken, 503 when the admission cap is reached.
+    pub fn create_at(&self, id: Option<u64>, spec: &SessionSpec) -> Result<u64, ApiError> {
         self.admit()?;
         let session = spec.scheduler().session(&spec.jobs).map_err(sched_err)?;
-        Ok(self.insert(session, spec.speedup.clone()))
+        self.register(id, session, spec.speedup.clone())
     }
 
     /// Resumes a session from a snapshot and registers it under a fresh id.
@@ -222,9 +234,57 @@ impl SessionStore {
         snap: SessionSnapshot,
         speedup: SpeedupSpec,
     ) -> Result<u64, ApiError> {
+        self.restore_at(None, snap, speedup)
+    }
+
+    /// Like [`SessionStore::restore`], but under a caller-chosen id when
+    /// `id` is `Some` — the migration path: a snapshot that lived as
+    /// session `N` on a dead backend resumes as session `N` on a
+    /// survivor.
+    ///
+    /// # Errors
+    /// [`ApiError`] — 400 if the snapshot fails the resume validation,
+    /// 409 if the requested id is taken, 503 when the admission cap is
+    /// reached.
+    pub fn restore_at(
+        &self,
+        id: Option<u64>,
+        snap: SessionSnapshot,
+        speedup: SpeedupSpec,
+    ) -> Result<u64, ApiError> {
         self.admit()?;
         let session = Session::resume(snap, speedup.build()).map_err(sched_err)?;
-        Ok(self.insert(session, speedup))
+        self.register(id, session, speedup)
+    }
+
+    fn register(
+        &self,
+        id: Option<u64>,
+        session: Session,
+        speedup: SpeedupSpec,
+    ) -> Result<u64, ApiError> {
+        match id {
+            None => Ok(self.insert(session, speedup)),
+            Some(id) => {
+                let entry = Arc::new(Mutex::new(SessionEntry { session, speedup }));
+                let mut map = self.sessions.write().unwrap();
+                if map.contains_key(&id) {
+                    return Err(ApiError::conflict(format!("session {id} already exists")));
+                }
+                map.insert(
+                    id,
+                    Slot {
+                        state: SlotState::Live(entry),
+                        touched: AtomicU64::new(self.now_ms()),
+                    },
+                );
+                drop(map);
+                // Fresh auto-assigned ids must never collide with a
+                // pinned one.
+                self.next_id.fetch_max(id, Ordering::Relaxed);
+                Ok(id)
+            }
+        }
     }
 
     /// Registers an already-built session, returning its id. Not subject
@@ -606,6 +666,25 @@ mod tests {
         // Freeing a slot restores admission.
         store.remove(1).unwrap();
         store.create(&demo_spec()).unwrap();
+    }
+
+    #[test]
+    fn pinned_ids_register_conflict_and_advance_the_counter() {
+        let store = SessionStore::new();
+        assert_eq!(store.create_at(Some(40), &demo_spec()).unwrap(), 40);
+        // The pinned id is taken now.
+        let err = store.create_at(Some(40), &demo_spec()).unwrap_err();
+        assert_eq!(err.status, 409);
+        // Auto ids resume past the pinned one, never colliding.
+        assert_eq!(store.create(&demo_spec()).unwrap(), 41);
+        // Pinned restore round-trips under the same id.
+        let entry = store.get(40).unwrap();
+        let payload = entry.lock().unwrap().snapshot_payload();
+        drop(entry);
+        let doc = Json::parse(std::str::from_utf8(&payload).unwrap()).unwrap();
+        let (snap, speedup) = crate::spec::snapshot_from_json(&doc).unwrap();
+        store.remove(40).unwrap();
+        assert_eq!(store.restore_at(Some(40), snap, speedup).unwrap(), 40);
     }
 
     #[test]

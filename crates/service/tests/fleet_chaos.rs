@@ -1,0 +1,303 @@
+//! Fleet chaos drills over real processes and real sockets: a router
+//! fronting two `redistrib-backend` child processes is attacked with
+//! SIGKILL mid-load, and every acknowledged-checkpointed session must
+//! come back — byte-identical to an uninterrupted library run — through
+//! both recovery paths (restart-in-place and archive migration) plus the
+//! graceful retire path. This is the CI fleet-chaos-smoke job.
+//!
+//! Everything is pinned: the chaos seed, each session's fault seed, and
+//! the rendezvous placement (a pure function of backend names and ids),
+//! so the drill replays the same way every run.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use redistrib_service::{
+    client, rendezvous, serve_router, BackendSpec, Json, ProcessLauncher, Router, RouterConfig,
+    SessionSpec, SupervisorConfig,
+};
+
+/// Pinned chaos seed (same convention as `tests/chaos.rs`); each
+/// session's fault seed is derived from it so traces differ per session
+/// but never per run.
+const CHAOS_SEED: u64 = 0xC4A0_5EED;
+
+const SESSIONS: u64 = 6;
+
+fn spec_json(session: u64) -> String {
+    format!(
+        r#"{{
+            "platform": {{"procs": 16}},
+            "strategy": {{"heuristic": "IteratedGreedy-EndLocal"}},
+            "faults": {{"seed": {}}},
+            "record_trace": true,
+            "jobs": [
+                {{"size": 5000}},
+                {{"size": 9000, "release": 200}},
+                {{"size": 4000, "release": 500}},
+                {{"size": 7000, "release": 500}}
+            ]
+        }}"#,
+        CHAOS_SEED ^ session
+    )
+}
+
+/// The ground truth: the same spec executed directly against the
+/// library, no HTTP, no fleet, no faults injected into the service.
+fn library_trace_csv(session: u64) -> String {
+    let spec = SessionSpec::from_json(&Json::parse(&spec_json(session)).unwrap()).unwrap();
+    let outcome = spec.scheduler().session(&spec.jobs).unwrap().run_to_completion().unwrap();
+    outcome.trace.to_csv()
+}
+
+fn temp_root(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("redistrib-fleet-{tag}-{}-{n}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A 2-backend fleet config tuned for test time: probes every 50 ms,
+/// one failed probe trips the breaker.
+fn fast_config(restart_attempts: u32) -> RouterConfig {
+    RouterConfig {
+        supervisor: SupervisorConfig {
+            probe_interval: Duration::from_millis(50),
+            probe_timeout: Duration::from_millis(500),
+            failure_threshold: 1,
+            restart_attempts,
+            restart_budget: Duration::from_secs(10),
+            drain_budget: Duration::from_secs(20),
+            migrate_timeout: Duration::from_secs(10),
+        },
+        ..RouterConfig::default()
+    }
+}
+
+fn boot_fleet(tag: &str, restart_attempts: u32) -> (Router, PathBuf) {
+    let root = temp_root(tag);
+    let launcher = ProcessLauncher::new(
+        PathBuf::from(env!("CARGO_BIN_EXE_redistrib-backend")),
+        Vec::new(),
+    );
+    let specs = vec![
+        BackendSpec { name: "b0".into(), archive_dir: root.join("b0") },
+        BackendSpec { name: "b1".into(), archive_dir: root.join("b1") },
+    ];
+    let router =
+        serve_router("127.0.0.1:0", fast_config(restart_attempts), Box::new(launcher), specs)
+            .expect("fleet boots");
+    (router, root)
+}
+
+fn created_id(body: &str) -> u64 {
+    Json::parse(body).unwrap().get("id").and_then(Json::as_u64).unwrap()
+}
+
+/// Creates `SESSIONS` sessions through the router, steps each a few
+/// events, and checkpoints the whole fleet. Returns the session ids.
+fn load_and_checkpoint(addr: SocketAddr) -> Vec<u64> {
+    let mut ids = Vec::new();
+    for s in 0..SESSIONS {
+        let (status, body) = client::post(addr, "/v1/sessions", &spec_json(s)).unwrap();
+        assert_eq!(status, 201, "{body}");
+        ids.push(created_id(&body));
+    }
+    for &id in &ids {
+        let (status, body) =
+            client::post(addr, &format!("/v1/sessions/{id}/step"), r#"{"count": 3}"#).unwrap();
+        assert_eq!(status, 200, "{body}");
+    }
+    let (status, body) = client::post(addr, "/v1/admin/checkpoint", "").unwrap();
+    assert_eq!(status, 200, "{body}");
+    let report = Json::parse(&body).unwrap();
+    assert_eq!(
+        report.get("checkpointed").and_then(Json::as_u64),
+        Some(SESSIONS),
+        "every session must be acknowledged-checkpointed before chaos: {body}"
+    );
+    assert_eq!(
+        report.get("failures").and_then(Json::as_arr).map(<[Json]>::len),
+        Some(0),
+        "{body}"
+    );
+    ids
+}
+
+/// Which of `ids` the rendezvous hash pins to `name` in a b0/b1 fleet.
+/// Placement is deterministic, so tests can reason about who dies.
+fn pinned_to(ids: &[u64], name: &str) -> Vec<u64> {
+    let fleet = ["b0", "b1"];
+    ids.iter().copied().filter(|&id| fleet[rendezvous(&fleet, id).unwrap()] == name).collect()
+}
+
+/// POSTs until the fleet answers 200, retrying through 503-shed windows
+/// and socket errors while a backend recovers.
+fn post_until_ok(addr: SocketAddr, path: &str, deadline: Duration) -> String {
+    let until = Instant::now() + deadline;
+    let mut last = String::from("never answered");
+    while Instant::now() < until {
+        match client::post(addr, path, "") {
+            Ok((200, body)) => return body,
+            Ok((status, body)) => last = format!("{status}: {body}"),
+            Err(e) => last = format!("socket error: {e}"),
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    panic!("POST {path} never reached 200 within {deadline:?}; last answer: {last}");
+}
+
+/// Runs every session to completion through the router (with retries)
+/// and asserts each continued trace is byte-identical to the library.
+fn drain_and_compare(addr: SocketAddr, ids: &[u64]) {
+    for &id in ids {
+        post_until_ok(addr, &format!("/v1/sessions/{id}/run"), Duration::from_secs(30));
+    }
+    for (s, &id) in ids.iter().enumerate() {
+        let (status, csv) =
+            client::get(addr, &format!("/v1/sessions/{id}/trace?format=csv")).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(
+            csv,
+            library_trace_csv(s as u64),
+            "session {id} diverged from the uninterrupted library run"
+        );
+    }
+}
+
+/// Path 1 — restart-in-place: SIGKILL one backend mid-load. The router
+/// sheds its sessions with 503 while the breaker is open, the supervisor
+/// respawns the process on the same archive directory, PR 7's recovery
+/// scan restores every checkpointed session under its original id, and
+/// all sessions finish byte-identical.
+#[test]
+fn sigkill_mid_load_restart_in_place_completes_every_checkpointed_session() {
+    let (mut router, root) = boot_fleet("restart", 2);
+    let addr = router.addr();
+
+    let ids = load_and_checkpoint(addr);
+    let doomed = pinned_to(&ids, "b0");
+    let safe = pinned_to(&ids, "b1");
+    assert!(!doomed.is_empty() && !safe.is_empty(), "placement must use both backends");
+
+    assert!(router.supervisor().kill_backend("b0"), "b0 must be killable");
+
+    // Immediately after the kill the router must shed, not hang or 500:
+    // the proxy hits a dead socket and answers 503 + Retry-After.
+    let (status, body) = client::get(addr, &format!("/v1/sessions/{}", doomed[0])).unwrap();
+    assert_eq!(status, 503, "dead-backend route must shed with 503, got {status}: {body}");
+
+    // Survivor sessions keep answering throughout.
+    let (status, body) = client::get(addr, &format!("/v1/sessions/{}", safe[0])).unwrap();
+    assert_eq!(status, 200, "{body}");
+
+    drain_and_compare(addr, &ids);
+
+    // The recovery really was restart-in-place: same backend, respawned
+    // once, healthy again, no session migrated anywhere.
+    let b0 = router.supervisor().backend("b0").unwrap();
+    assert_eq!(b0.restarts(), 1, "b0 must have been respawned exactly once");
+    assert_eq!(b0.phase().name(), "active");
+    assert_eq!(pinned_to(&ids, "b0"), doomed, "placement must be unchanged");
+    assert_eq!(router.supervisor().session_count(), ids.len());
+
+    router.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Path 2 — migration: with restarts exhausted (`restart_attempts: 0`),
+/// killing a backend declares it dead and replays its archived
+/// checkpoints onto the survivor. No acknowledged checkpoint is lost,
+/// and the migrated sessions still finish byte-identical.
+#[test]
+fn sigkill_with_no_restarts_migrates_checkpoints_to_the_survivor() {
+    let (mut router, root) = boot_fleet("migrate", 0);
+    let addr = router.addr();
+
+    let ids = load_and_checkpoint(addr);
+    let doomed = pinned_to(&ids, "b0");
+    assert!(!doomed.is_empty(), "placement must use both backends");
+
+    assert!(router.supervisor().kill_backend("b0"));
+
+    // Wait for the supervisor to give up on b0 and finish the migration.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let b0 = router.supervisor().backend("b0").unwrap();
+    while b0.phase().name() != "dead" {
+        assert!(Instant::now() < deadline, "b0 was never declared dead");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // Every session — including the migrated ones — completes and
+    // matches the library byte for byte.
+    drain_and_compare(addr, &ids);
+    assert_eq!(
+        router.supervisor().session_count(),
+        ids.len(),
+        "migration must not lose any checkpointed session"
+    );
+    // The dead backend's archive still holds the evidence; the migrated
+    // copies live on the survivor.
+    for id in &doomed {
+        assert!(
+            root.join("b0").join(format!("session-{id}.snap")).exists(),
+            "migration must not destroy the source archive"
+        );
+    }
+
+    router.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Path 3 — graceful retire over the REST surface: `POST
+/// /v1/admin/retire/b0` drains the backend (final checkpoint included —
+/// steps taken *after* the last admin checkpoint survive), redistributes
+/// its sessions, and reports zero lost. A second retire is a 409.
+#[test]
+fn retire_endpoint_drains_and_redistributes_without_loss() {
+    let (mut router, root) = boot_fleet("retire", 1);
+    let addr = router.addr();
+
+    let ids = load_and_checkpoint(addr);
+    let doomed = pinned_to(&ids, "b0");
+    assert!(!doomed.is_empty(), "placement must use both backends");
+
+    // Step the doomed sessions again *after* the checkpoint: retire must
+    // carry this newer state across via the drain's final checkpoint.
+    for &id in &doomed {
+        let (status, body) =
+            client::post(addr, &format!("/v1/sessions/{id}/step"), r#"{"count": 2}"#).unwrap();
+        assert_eq!(status, 200, "{body}");
+    }
+
+    let (status, body) = client::post(addr, "/v1/admin/retire/b0", "").unwrap();
+    assert_eq!(status, 200, "{body}");
+    let outcome = Json::parse(&body).unwrap();
+    assert_eq!(outcome.get("drained").and_then(Json::as_bool), Some(true), "{body}");
+    let report = outcome.get("report").unwrap();
+    assert_eq!(
+        report.get("lost").and_then(Json::as_arr).map(<[Json]>::len),
+        Some(0),
+        "graceful retire must lose nothing: {body}"
+    );
+    assert_eq!(
+        report.get("migrated").and_then(Json::as_arr).map(<[Json]>::len),
+        Some(doomed.len()),
+        "{body}"
+    );
+
+    // Retiring again — or retiring the dead — is refused.
+    let (status, _) = client::post(addr, "/v1/admin/retire/b0", "").unwrap();
+    assert_eq!(status, 409);
+    let (status, _) = client::post(addr, "/v1/admin/retire/nope", "").unwrap();
+    assert_eq!(status, 404);
+
+    drain_and_compare(addr, &ids);
+
+    router.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}

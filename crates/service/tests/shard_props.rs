@@ -1,0 +1,112 @@
+//! Property tests for the rendezvous shard placement
+//! (`redistrib_service::shard`): the two guarantees the router's
+//! failover machinery is built on.
+//!
+//! * **Stability** — placement is a pure function of `(fleet, id)`:
+//!   the same id lands on the same backend across calls, across slice
+//!   orderings, and (because the hash is name-keyed, not index-keyed)
+//!   across processes.
+//! * **Minimality** — removing one backend remaps *only* the ids that
+//!   lived on it (survivor assignments never change), and adding one
+//!   steals about `1/N` of the ids in expectation, never more than a
+//!   loose constant factor of it.
+
+use proptest::prelude::*;
+
+use redistrib_service::rendezvous;
+
+/// A fleet of `n` distinct names, `b0..b{n-1}` with a seed-mixed prefix
+/// so different cases exercise different hash neighborhoods.
+fn fleet(seed: u64, n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("fleet{:x}-b{i}", seed & 0xFFFF)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Same id, same fleet → same backend, no matter how often asked or
+    /// how the fleet slice is ordered.
+    #[test]
+    fn placement_is_stable(
+        seed in any::<u64>(),
+        n in 1usize..8,
+        base in any::<u64>(),
+    ) {
+        let names = fleet(seed, n);
+        let mut reversed = names.clone();
+        reversed.reverse();
+        for k in 0..256u64 {
+            let id = base.wrapping_add(k);
+            let i = rendezvous(&names, id).unwrap();
+            prop_assert_eq!(rendezvous(&names, id).unwrap(), i, "repeat call moved id {}", id);
+            // Order-independence: the winner is the same *name*.
+            let j = rendezvous(&reversed, id).unwrap();
+            prop_assert_eq!(&reversed[j], &names[i], "slice order moved id {}", id);
+        }
+    }
+
+    /// Removing one backend remaps exactly the ids that lived on it:
+    /// every id placed on a survivor keeps its backend.
+    #[test]
+    fn removal_only_remaps_the_removed_backends_ids(
+        seed in any::<u64>(),
+        n in 2usize..8,
+        victim in 0usize..8,
+        base in any::<u64>(),
+    ) {
+        let names = fleet(seed, n);
+        let victim = victim % n;
+        let mut survivors = names.clone();
+        survivors.remove(victim);
+        for k in 0..512u64 {
+            let id = base.wrapping_add(k);
+            let before = &names[rendezvous(&names, id).unwrap()];
+            let after = &survivors[rendezvous(&survivors, id).unwrap()];
+            if before != &names[victim] {
+                prop_assert_eq!(after, before, "survivor id {} moved on removal", id);
+            }
+        }
+    }
+
+    /// Adding one backend steals roughly 1/N of the ids — and *only*
+    /// steals (an id either keeps its backend or moves to the newcomer;
+    /// it never moves between incumbents).
+    #[test]
+    fn addition_remaps_about_one_nth(
+        seed in any::<u64>(),
+        n in 2usize..8,
+        base in any::<u64>(),
+    ) {
+        let names = fleet(seed, n);
+        let mut grown = names.clone();
+        grown.push(format!("fleet{:x}-newcomer", seed & 0xFFFF));
+        const SAMPLES: u64 = 2048;
+        let mut moved = 0u64;
+        for k in 0..SAMPLES {
+            let id = base.wrapping_add(k);
+            let before = &names[rendezvous(&names, id).unwrap()];
+            let after = &grown[rendezvous(&grown, id).unwrap()];
+            if after != before {
+                prop_assert_eq!(
+                    after,
+                    grown.last().unwrap(),
+                    "id {} moved between incumbents on addition", id
+                );
+                moved += 1;
+            }
+        }
+        // Expectation is SAMPLES/(n+1); allow a generous band around it
+        // (binomial tails at 2048 samples are far tighter than 2x).
+        let expected = SAMPLES / (n as u64 + 1);
+        prop_assert!(
+            moved <= expected * 2,
+            "adding a backend remapped {} of {} ids (expected about {})",
+            moved, SAMPLES, expected
+        );
+        prop_assert!(
+            moved >= expected / 3,
+            "adding a backend remapped only {} of {} ids (expected about {})",
+            moved, SAMPLES, expected
+        );
+    }
+}
