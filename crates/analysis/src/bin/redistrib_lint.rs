@@ -1,0 +1,78 @@
+//! `redistrib-lint` — walk the workspace and enforce the project's
+//! concurrency and determinism invariants.
+//!
+//! ```text
+//! redistrib-lint [--root DIR]            lint the tree (default: cwd)
+//! redistrib-lint --list                  print the rule table
+//! redistrib-lint --file F --as VPATH     lint one file as if at VPATH
+//! ```
+//!
+//! Violations print `file:line rule message` on stdout; the exit code
+//! is 1 when anything fired, 0 on a clean tree. `--file/--as` exists
+//! for the fixture self-tests: path-scoped rules fire based on the
+//! virtual path, so a fixture stored under `tests/fixtures/` can be
+//! linted as if it lived in `crates/service/src/`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use redistrib_analysis::{lint_source, lint_workspace, RULES};
+
+fn usage() -> ! {
+    eprintln!("usage: redistrib-lint [--root DIR] | --list | --file FILE --as VIRTUAL_PATH");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root = PathBuf::from(".");
+    let mut file: Option<PathBuf> = None;
+    let mut virt: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--list" => {
+                for (name, what) in RULES {
+                    println!("{name}: {what}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--root" => root = PathBuf::from(it.next().unwrap_or_else(|| usage())),
+            "--file" => file = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
+            "--as" => virt = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            _ => usage(),
+        }
+    }
+
+    let violations = match (file, virt) {
+        (Some(file), virt) => {
+            let virt = virt.unwrap_or_else(|| file.to_string_lossy().into_owned());
+            match std::fs::read_to_string(&file) {
+                Ok(src) => lint_source(&virt, &src),
+                Err(e) => {
+                    eprintln!("redistrib-lint: cannot read {}: {e}", file.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        (None, Some(_)) => usage(),
+        (None, None) => match lint_workspace(&root) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("redistrib-lint: walk of {} failed: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        },
+    };
+
+    for v in &violations {
+        println!("{v}");
+    }
+    if violations.is_empty() {
+        eprintln!("redistrib-lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("redistrib-lint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}

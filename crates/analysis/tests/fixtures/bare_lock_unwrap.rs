@@ -1,0 +1,5 @@
+// Fixture: one deliberate `no-bare-lock-unwrap` violation (line 4).
+use std::sync::Mutex; // lint:allow(no-raw-sync-in-service)
+pub fn f(m: &Mutex<u32>) -> u32 {
+    *m.lock().unwrap()
+}

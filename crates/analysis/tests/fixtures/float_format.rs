@@ -1,0 +1,4 @@
+// Fixture: one deliberate `no-float-format-in-json` violation (line 3).
+pub fn f(x: f64) -> String {
+    format!("{:.17}", x)
+}

@@ -1,0 +1,4 @@
+// Fixture: one deliberate `fsync-discipline` violation (line 3).
+pub fn f(id: u64) -> std::io::Result<()> {
+    std::fs::write(format!("session-{id}.snap"), b"bytes")
+}

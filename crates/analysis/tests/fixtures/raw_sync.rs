@@ -1,0 +1,4 @@
+// Fixture: one deliberate `no-raw-sync-in-service` violation (line 3).
+pub fn f() -> std::sync::Mutex<u32> {
+    std::sync::Mutex::new(7)
+}

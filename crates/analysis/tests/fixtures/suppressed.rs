@@ -1,0 +1,6 @@
+// Fixture: every would-be violation carries a `lint:allow`, so the
+// lint must exit 0 on this file.
+pub fn f() -> std::time::Instant {
+    // lint:allow(no-wallclock-in-sim)
+    std::time::Instant::now()
+}

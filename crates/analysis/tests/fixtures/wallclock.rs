@@ -1,0 +1,4 @@
+// Fixture: one deliberate `no-wallclock-in-sim` violation (line 3).
+pub fn f() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -9,7 +9,11 @@
 //! merging the two outputs (see README "Performance").
 //!
 //! Usage: `cargo run --release -p redistrib-bench --bin perf [-- --out FILE]
-//! [--budget SECONDS]`
+//! [--budget SECONDS] [--only SUBSTRING]`
+//!
+//! `--only` keeps just the scenarios whose name contains the substring —
+//! for re-measuring one noisy scenario with many more samples without
+//! paying for the whole sweep.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -111,8 +115,11 @@ fn service_load(sessions: usize, workers: usize, quantum: u64) -> usize {
             });
         }
     });
-    let drained =
-        store.handles().iter().filter(|(_, e)| e.lock().unwrap().session.is_done()).count();
+    let drained = store
+        .handles()
+        .iter()
+        .filter(|(_, e)| e.lock().expect("no handler panicked").session.is_done())
+        .count();
     assert_eq!(drained, sessions, "every session must drain");
     let _ = std::fs::remove_dir_all(&dir);
     drained
@@ -278,6 +285,7 @@ fn engine_run(n: usize, p: u32, mtbf_years: f64, h: Heuristic) -> f64 {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut out_path: Option<String> = None;
+    let mut only: Option<String> = None;
     let mut budget = 2.0f64;
     let mut i = 1;
     while i < args.len() {
@@ -290,6 +298,10 @@ fn main() {
                 budget = args[i + 1].parse().expect("numeric budget");
                 i += 2;
             }
+            "--only" => {
+                only = Some(args[i + 1].clone());
+                i += 2;
+            }
             other => panic!("unknown argument {other}"),
         }
     }
@@ -299,11 +311,22 @@ fn main() {
         eprintln!("{name}: {:.6} s/iter ({} iters)", r.0, r.1);
         results.push((name, r.0, r.1));
     };
+    let enabled = |name: &str| only.as_deref().is_none_or(|f| name.contains(f));
+    // Times-and-records a scenario only when it passes the `--only`
+    // filter; macro expansion keeps the timing expression unevaluated
+    // for filtered-out scenarios (a closure argument would run it).
+    macro_rules! scenario {
+        ($name:expr, $r:expr $(,)?) => {
+            if enabled($name) {
+                record($name, $r);
+            }
+        };
+    }
 
     // Time-table construction: dense per-(task, allocation) parameter sweep
     // over every j ∈ 1..=p (both parities — the engine queries odd sizes
     // through `improvable_up_to` prefixes and the online admission scan).
-    record(
+    scenario!(
         "table_dense_n100_p400",
         time_budgeted(budget, || {
             let calc = TimeCalc::new(paper_workload(100, 3), platform_with_mtbf(400, 100.0));
@@ -323,7 +346,7 @@ fn main() {
         ("engine_loop_n100_p500", 100, 500),
         ("engine_loop_n1000_p5000", 1000, 5000),
     ] {
-        record(
+        scenario!(
             name,
             time_budgeted(budget, || {
                 std::hint::black_box(engine_run(n, p, 10.0, Heuristic::NoRedistribution));
@@ -332,13 +355,13 @@ fn main() {
     }
 
     // Engine with full redistribution heuristics (policy cost included).
-    record(
+    scenario!(
         "engine_igel_n100_p500",
         time_budgeted(budget, || {
             std::hint::black_box(engine_run(100, 500, 10.0, Heuristic::IteratedGreedyEndLocal));
         }),
     );
-    record(
+    scenario!(
         "engine_stfel_n1000_p5000",
         time_budgeted(budget, || {
             std::hint::black_box(engine_run(
@@ -352,13 +375,13 @@ fn main() {
 
     // Fault storms: a short MTBF makes fault-policy invocations (not the
     // bare event loop) the dominant cost — the incremental-policy target.
-    record(
+    scenario!(
         "engine_storm_igel_n100_p500",
         time_budgeted(budget, || {
             std::hint::black_box(engine_run(100, 500, 2.0, Heuristic::IteratedGreedyEndLocal));
         }),
     );
-    record(
+    scenario!(
         "engine_storm_stfeg_n100_p500",
         time_budgeted(budget, || {
             std::hint::black_box(engine_run(
@@ -369,7 +392,7 @@ fn main() {
             ));
         }),
     );
-    record(
+    scenario!(
         "engine_storm_stfel_n1000_p5000",
         time_budgeted(budget, || {
             std::hint::black_box(engine_run(
@@ -385,7 +408,7 @@ fn main() {
     // processors. The storm variant (2-year MTBF) makes IteratedGreedy
     // invocations dominate; the paper-MTBF variant runs the full greedy
     // combination (EndGreedy at ends + IteratedGreedy on faults).
-    record(
+    scenario!(
         "engine_storm_igel_n1000_p5000",
         time_budgeted(budget, || {
             std::hint::black_box(engine_run(
@@ -396,7 +419,7 @@ fn main() {
             ));
         }),
     );
-    record(
+    scenario!(
         "engine_ig_n1000_p5000",
         time_budgeted(budget, || {
             std::hint::black_box(engine_run(
@@ -412,7 +435,7 @@ fn main() {
     // resetting every participant, so its per-event cost scales with the
     // affected set — compare against engine_storm_igel_n1000_p5000 for the
     // exact-path counterpart.
-    record(
+    scenario!(
         "engine_storm_warmgreedy_n1000_p5000",
         time_budgeted(budget, || {
             std::hint::black_box(engine_run(1000, 5000, 2.0, Heuristic::WarmGreedy));
@@ -421,7 +444,7 @@ fn main() {
 
     // Static campaign throughput: one (n, p, MTBF) figure point, 32 runs,
     // baseline + two heuristics per run.
-    record(
+    scenario!(
         "campaign_static_n10_p60_x32",
         time_budgeted(budget.max(4.0), || {
             let cfg = PointConfig {
@@ -448,7 +471,7 @@ fn main() {
 
     // Paper-scale campaign point: n = 100 tasks on 500 processors, 8 runs
     // (each full figure point is 50 of these per curve).
-    record(
+    scenario!(
         "campaign_static_n100_p500_x8",
         time_budgeted(budget.max(4.0), || {
             let cfg = PointConfig {
@@ -475,7 +498,7 @@ fn main() {
 
     // Arrival-heavy online run: a deep admission backlog makes the
     // arrival/rebalance path (not the steady event loop) the dominant cost.
-    record(
+    scenario!(
         "campaign_online_heavy_j64_p64_x8",
         time_budgeted(budget.max(4.0), || {
             let cfg = OnlinePointConfig {
@@ -496,7 +519,7 @@ fn main() {
     // Multi-pack oversubscription: bursts of 16 jobs on p = 16 processors
     // (2·waiting > p) force the session to stage consecutive packs, so the
     // staging/partitioning/pack-rotation path dominates.
-    record(
+    scenario!(
         "session_multipack_j64_p16",
         time_budgeted(budget, || {
             let mut arrivals = BurstyArrivals::new(5, 16, 50_000.0);
@@ -518,37 +541,46 @@ fn main() {
     // most 8 events per visit (the host's batched-stepping loop). The
     // mean converts straight into a sessions/second throughput.
     let workers = std::thread::available_parallelism().map_or(4, std::num::NonZero::get).min(8);
-    let r = time_budgeted(budget.max(4.0), || {
-        std::hint::black_box(service_load(10_000, workers, 8));
-    });
-    eprintln!(
-        "service_sessions_10k: {:.0} sessions/s across {workers} workers",
-        10_000.0 / r.0
-    );
-    record("service_sessions_10k", r);
+    if enabled("service_sessions_10k") {
+        let r = time_budgeted(budget.max(4.0), || {
+            std::hint::black_box(service_load(10_000, workers, 8));
+        });
+        eprintln!(
+            "service_sessions_10k: {:.0} sessions/s across {workers} workers",
+            10_000.0 / r.0
+        );
+        record("service_sessions_10k", r);
+    }
 
     // Durability path: checkpoint 1k mid-run sessions to disk and recover
     // a fresh store from the archive (the crash/restart drill).
-    let r = time_budgeted(budget.max(2.0), || {
-        std::hint::black_box(service_checkpoint_recover(1_000));
-    });
-    eprintln!("service_checkpoint_recover_1k: {:.0} sessions/s through disk", 1_000.0 / r.0);
-    record("service_checkpoint_recover_1k", r);
+    if enabled("service_checkpoint_recover_1k") {
+        let r = time_budgeted(budget.max(2.0), || {
+            std::hint::black_box(service_checkpoint_recover(1_000));
+        });
+        eprintln!(
+            "service_checkpoint_recover_1k: {:.0} sessions/s through disk",
+            1_000.0 / r.0
+        );
+        record("service_checkpoint_recover_1k", r);
+    }
 
     // Fleet resilience headline: 1k sessions through the supervising
     // router with one backend killed mid-drain — the measured time is
     // until every session (including the migrated half) completes.
-    let r = time_budgeted(budget.max(2.0), || {
-        std::hint::black_box(router_failover(1_000, workers));
-    });
-    eprintln!(
-        "router_failover_1k: {:.3} s to all-complete with one backend killed mid-drain",
-        r.0
-    );
-    record("router_failover_1k", r);
+    if enabled("router_failover_1k") {
+        let r = time_budgeted(budget.max(2.0), || {
+            std::hint::black_box(router_failover(1_000, workers));
+        });
+        eprintln!(
+            "router_failover_1k: {:.3} s to all-complete with one backend killed mid-drain",
+            r.0
+        );
+        record("router_failover_1k", r);
+    }
 
     // Online campaign throughput: 5 strategies × 16 runs of 24 jobs.
-    record(
+    scenario!(
         "campaign_online_j24_p48_x16",
         time_budgeted(budget.max(4.0), || {
             let cfg = OnlinePointConfig {

@@ -15,7 +15,8 @@
 //! identically for the same construction.
 
 use std::io::{self, ErrorKind, Read, Write};
-use std::sync::Mutex;
+
+use crate::sync::{rank, OrderedMutex};
 
 /// A tiny deterministic PRNG (xorshift64*), good enough for fault
 /// placement and client backoff jitter, with no dependencies.
@@ -110,9 +111,15 @@ struct PlanState {
 /// concurrently; the operation counter advances under a mutex so a given
 /// construction always yields the same fault sequence for the same
 /// sequence of operations.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct FaultPlan {
-    state: Mutex<PlanState>,
+    state: OrderedMutex<PlanState>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self { state: OrderedMutex::new(rank::FAULT_PLAN, PlanState::default()) }
+    }
 }
 
 impl FaultPlan {
@@ -129,7 +136,7 @@ impl FaultPlan {
     pub fn seeded(seed: u64, period: u64, max_offset: u64) -> Self {
         let plan = Self::new();
         {
-            let mut st = plan.state.lock().unwrap();
+            let mut st = plan.state.lock_recover();
             st.seeded_torn = Some((period.max(1), max_offset.max(1)));
             st.rng = Some(XorShift64::new(seed));
         }
@@ -141,8 +148,7 @@ impl FaultPlan {
     #[must_use]
     pub fn torn_write(self, op: u64, after: usize) -> Self {
         self.state
-            .lock()
-            .unwrap()
+            .lock_recover()
             .write_schedule
             .push((op, WriteFault::Torn { after, kind: ErrorKind::WriteZero }));
         self
@@ -153,8 +159,7 @@ impl FaultPlan {
     #[must_use]
     pub fn interrupted_writes(self, op: u64, count: u32) -> Self {
         self.state
-            .lock()
-            .unwrap()
+            .lock_recover()
             .write_schedule
             .push((op, WriteFault::InterruptedStorm { count }));
         self
@@ -164,7 +169,7 @@ impl FaultPlan {
     /// and advances the operation counter. Each archive file write is one
     /// operation.
     pub fn next_write_fault(&self) -> Option<WriteFault> {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.state.lock_recover();
         let op = st.writes_seen;
         st.writes_seen += 1;
         if let Some(pos) = st.write_schedule.iter().position(|&(at, _)| at == op) {
@@ -182,7 +187,7 @@ impl FaultPlan {
     /// Number of write operations the plan has seen so far.
     #[must_use]
     pub fn writes_seen(&self) -> u64 {
-        self.state.lock().unwrap().writes_seen
+        self.state.lock_recover().writes_seen
     }
 }
 

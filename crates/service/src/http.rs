@@ -26,12 +26,13 @@ use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::json::Json;
 use crate::spec::ApiError;
+use crate::sync::{rank, OrderedMutex};
 
 /// How often the (non-blocking) acceptor polls for stop/drain.
 const ACCEPT_POLL: Duration = Duration::from_millis(10);
@@ -522,7 +523,7 @@ impl HttpServer {
         let workers = cfg.workers.max(1);
 
         let (tx, rx) = mpsc::sync_channel::<TcpStream>(cfg.backlog.max(1));
-        let rx = Arc::new(Mutex::new(rx));
+        let rx = Arc::new(OrderedMutex::new(rank::HTTP_CONN_QUEUE, rx));
         let handler = Arc::new(handler);
         let cfg = Arc::new(cfg);
 
@@ -534,8 +535,10 @@ impl HttpServer {
             let closing = Arc::clone(&drain);
             let stop_worker = Arc::clone(&stop);
             threads.push(std::thread::spawn(move || loop {
-                // Hold the receiver lock only while dequeuing.
-                let next = rx.lock().unwrap().recv();
+                // Hold the receiver lock only while dequeuing. Recovery
+                // acquisition: a worker that panicked while *dequeuing*
+                // cannot have corrupted the receiver.
+                let next = rx.lock_recover().recv();
                 match next {
                     Ok(stream) => {
                         if stop_worker.load(Ordering::SeqCst) {

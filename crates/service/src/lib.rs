@@ -37,6 +37,9 @@
 //! * [`archive`] — the disk-backed snapshot archive (CRC-framed files,
 //!   atomic writes, quarantining scan);
 //! * [`faultio`] — seeded fault injection for file and stream I/O;
+//! * [`sync`] — lockdep-instrumented [`OrderedMutex`]/[`OrderedRwLock`]
+//!   wrappers: static lock ranks, a debug/feature-gated acquisition-
+//!   graph cycle detector, and typed poison recovery;
 //! * [`http`] — the `std::net` HTTP server (keep-alive, deadlines,
 //!   bounded backlog with load shedding, drain);
 //! * [`server`] — the route table ([`handle`]) and [`serve`] /
@@ -92,6 +95,7 @@ pub mod shard;
 pub mod spec;
 pub mod store;
 pub mod supervisor;
+pub mod sync;
 
 pub use archive::{SnapshotArchive, ARCHIVE_VERSION};
 pub use client::{Client, ClientConfig, HttpAnswer};
@@ -111,3 +115,4 @@ pub use supervisor::{
     BackendHandle, BackendLauncher, BackendSpec, Breaker, InProcessLauncher, MigrationReport,
     Phase, ProcessLauncher, Supervisor, SupervisorConfig,
 };
+pub use sync::{OrderedMutex, OrderedRwLock, Poisoned};

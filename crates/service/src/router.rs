@@ -154,7 +154,10 @@ fn answer_to_response(ans: &HttpAnswer) -> Response {
 
 /// One proxied call to a backend. A socket-level failure is reported to
 /// the supervisor (counts toward the breaker) and answered `503
-/// Retry-After` — the client retries into a recovered fleet.
+/// Retry-After` — the client retries into a recovered fleet. A `500`
+/// naming a poisoned session also counts toward the breaker: the
+/// backend just quarantined a session after a handler panic, and a
+/// panicking backend is one the supervisor should be watching.
 fn proxy(
     state: &RouterState,
     backend: &str,
@@ -164,7 +167,12 @@ fn proxy(
     body: Option<&str>,
 ) -> Response {
     match client::request_answer(addr, method, path_q, body, state.proxy_timeout) {
-        Ok(ans) => answer_to_response(&ans),
+        Ok(ans) => {
+            if ans.status == 500 && ans.body.contains("poisoned") {
+                state.supervisor.report_failure(backend);
+            }
+            answer_to_response(&ans)
+        }
         Err(_) => {
             state.supervisor.report_failure(backend);
             Response::from(ApiError::unavailable(

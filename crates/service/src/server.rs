@@ -214,7 +214,7 @@ fn handle_create(store: &SessionStore, req: &Request) -> Result<Response, ApiErr
     let spec = SessionSpec::from_json(&req.json_body()?)?;
     let id = store.create_at(pinned_id(req)?, &spec)?;
     let entry = store.get(id)?;
-    let guard = entry.lock().unwrap();
+    let guard = store.lock_entry(id, &entry)?;
     Ok(Response::json(201, &summary(id, &guard.session)))
 }
 
@@ -222,7 +222,7 @@ fn handle_restore(store: &SessionStore, req: &Request) -> Result<Response, ApiEr
     let (snap, speedup) = snapshot_from_json(&req.json_body()?)?;
     let id = store.restore_at(pinned_id(req)?, snap, speedup)?;
     let entry = store.get(id)?;
-    let guard = entry.lock().unwrap();
+    let guard = store.lock_entry(id, &entry)?;
     Ok(Response::json(201, &summary(id, &guard.session)))
 }
 
@@ -230,9 +230,11 @@ fn handle_list(store: &SessionStore) -> Response {
     let sessions: Vec<Json> = store
         .handles()
         .into_iter()
-        .map(|(id, entry)| {
-            let guard = entry.lock().unwrap();
-            summary(id, &guard.session)
+        .filter_map(|(id, entry)| {
+            // A poisoned entry is quarantined (dropping it from the
+            // listing) rather than failing the whole list request.
+            let guard = store.lock_entry(id, &entry).ok()?;
+            Some(summary(id, &guard.session))
         })
         .collect();
     let evicted: Vec<Json> =
@@ -256,7 +258,7 @@ fn handle_submit(store: &SessionStore, id: u64, req: &Request) -> Result<Respons
         return Err(ApiError::bad_request("'jobs' must contain at least one job"));
     }
     let entry = store.get(id)?;
-    let mut guard = entry.lock().unwrap();
+    let mut guard = store.lock_entry(id, &entry)?;
     guard.session.submit(&jobs).map_err(|e| ApiError::bad_request(e.to_string()))?;
     Ok(Response::json(200, &summary(id, &guard.session)))
 }
@@ -270,7 +272,7 @@ fn handle_step(store: &SessionStore, id: u64, req: &Request) -> Result<Response,
         }
     };
     let entry = store.get(id)?;
-    let mut guard = entry.lock().unwrap();
+    let mut guard = store.lock_entry(id, &entry)?;
     let mut stepped = 0u64;
     while stepped < count && !guard.session.is_done() {
         guard.session.step().map_err(engine_err)?;
@@ -291,7 +293,7 @@ fn handle_run_to(store: &SessionStore, id: u64, req: &Request) -> Result<Respons
         .filter(|t| !t.is_nan())
         .ok_or_else(|| ApiError::bad_request("body must be {\"t\": <time>}"))?;
     let entry = store.get(id)?;
-    let mut guard = entry.lock().unwrap();
+    let mut guard = store.lock_entry(id, &entry)?;
     let stepped = guard.session.run_to(t).map_err(engine_err)?;
     let mut out = summary(id, &guard.session);
     if let Json::Obj(fields) = &mut out {
@@ -302,7 +304,7 @@ fn handle_run_to(store: &SessionStore, id: u64, req: &Request) -> Result<Respons
 
 fn handle_run(store: &SessionStore, id: u64) -> Result<Response, ApiError> {
     let entry = store.get(id)?;
-    let mut guard = entry.lock().unwrap();
+    let mut guard = store.lock_entry(id, &entry)?;
     guard.session.run_to(f64::INFINITY).map_err(engine_err)?;
     // Drained in place: the session stays registered (trace, snapshot and
     // job-state endpoints keep working); the outcome is computed here.
@@ -311,7 +313,7 @@ fn handle_run(store: &SessionStore, id: u64) -> Result<Response, ApiError> {
 
 fn handle_trace(store: &SessionStore, id: u64, req: &Request) -> Result<Response, ApiError> {
     let entry = store.get(id)?;
-    let guard = entry.lock().unwrap();
+    let guard = store.lock_entry(id, &entry)?;
     if req.query_param("format") == Some("csv") {
         return Ok(Response::csv(guard.session.trace().to_csv()));
     }
@@ -340,7 +342,7 @@ fn handle_trace(store: &SessionStore, id: u64, req: &Request) -> Result<Response
 
 fn handle_packs(store: &SessionStore, id: u64) -> Result<Response, ApiError> {
     let entry = store.get(id)?;
-    let guard = entry.lock().unwrap();
+    let guard = store.lock_entry(id, &entry)?;
     let packs: Vec<Json> = guard
         .session
         .packs()
@@ -359,7 +361,7 @@ fn handle_packs(store: &SessionStore, id: u64) -> Result<Response, ApiError> {
 
 fn handle_snapshot(store: &SessionStore, id: u64) -> Result<Response, ApiError> {
     let entry = store.get(id)?;
-    let guard = entry.lock().unwrap();
+    let guard = store.lock_entry(id, &entry)?;
     let doc = snapshot_to_json(&guard.session.snapshot(), &guard.speedup);
     Ok(Response::json(200, &doc))
 }
@@ -438,9 +440,9 @@ pub fn handle(state: &ServiceState, req: &Request) -> Response {
         (method, ["v1", "sessions", id]) => match id.parse::<u64>() {
             Err(_) => Err(ApiError::bad_request("session id must be an integer")),
             Ok(id) => match method {
-                "GET" => store.get(id).map(|entry| {
-                    let guard = entry.lock().unwrap();
-                    Response::json(200, &summary(id, &guard.session))
+                "GET" => store.get(id).and_then(|entry| {
+                    let guard = store.lock_entry(id, &entry)?;
+                    Ok(Response::json(200, &summary(id, &guard.session)))
                 }),
                 "DELETE" => store
                     .remove(id)
@@ -478,7 +480,7 @@ pub fn handle(state: &ServiceState, req: &Request) -> Response {
 
 fn handle_job(store: &SessionStore, id: u64, job: usize) -> Result<Response, ApiError> {
     let entry = store.get(id)?;
-    let guard = entry.lock().unwrap();
+    let guard = store.lock_entry(id, &entry)?;
     if job >= guard.session.num_jobs() {
         return Err(ApiError::not_found(format!("session {id} has no job {job}")));
     }

@@ -2,13 +2,40 @@
 //! with optional durability and graceful degradation under memory
 //! pressure.
 //!
-//! Concurrency model: a [`RwLock`] over the id → slot map (held only for
-//! registry operations — lookups, inserts, removals, evictions), with
-//! every live session wrapped in its own [`Mutex`]. Request handlers
-//! clone the `Arc`, drop the map lock, and then lock just their session,
-//! so long-running operations (`run_to`, `run`) on one session never
-//! block traffic to the others. This is the mutex-per-entry layout the
-//! 10k-session load bench exercises.
+//! Concurrency model: an [`OrderedRwLock`] over the id → slot map (held
+//! only for registry operations — lookups, inserts, removals,
+//! evictions), with every live session wrapped in its own
+//! [`OrderedMutex`]. Request handlers clone the `Arc`, drop the map
+//! lock, and then lock just their session, so long-running operations
+//! (`run_to`, `run`) on one session never block traffic to the others.
+//! This is the mutex-per-entry layout the 10k-session load bench
+//! exercises.
+//!
+//! ## Lock ordering
+//!
+//! Every lock in the service carries a rank ([`crate::sync::rank`]) and
+//! the lockdep tracker ([`crate::sync::lockdep`]) verifies at runtime
+//! that no two threads ever *observe* an inverted order. The store's
+//! slice of the global order, acquired strictly downward:
+//!
+//! 1. `store-registry` (rank 20) — the map `OrderedRwLock`. Held only
+//!    for registry surgery; never held across a blocking session lock…
+//!    with one deliberate exception that goes the *other* way:
+//! 2. `session` (rank 30) — one entry's `OrderedMutex`. Handlers block
+//!    on it with the registry lock already released. [`evict_idle`]
+//!    holds a session guard while it re-takes the registry write lock,
+//!    but only via **try-lock** — a try-acquisition backs off instead
+//!    of waiting, cannot deadlock, and therefore adds no
+//!    registry→session blocking edge to the graph.
+//! 3. `archive-fault-plan` (rank 40) — taken inside [`SnapshotArchive`]
+//!    writes (checkpoints run under the session guard so the bytes on
+//!    disk are exactly the state that was pinned).
+//!
+//! Two sessions are never locked at once (the tracker reports
+//! same-rank nesting as a cycle), which is what makes the per-entry
+//! layout deadlock-free by construction.
+//!
+//! [`evict_idle`]: SessionStore::evict_idle
 //!
 //! Durability model (all opt-in via [`StoreConfig`]):
 //!
@@ -27,7 +54,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use redistrib_core::ScheduleError;
@@ -36,6 +63,7 @@ use redistrib_online::{Session, SessionSnapshot};
 use crate::archive::SnapshotArchive;
 use crate::json::Json;
 use crate::spec::{snapshot_from_json, snapshot_to_json, ApiError, SessionSpec, SpeedupSpec};
+use crate::sync::{rank, OrderedMutex, OrderedMutexGuard, OrderedRwLock};
 
 /// One registered session plus the serializable description of its
 /// speedup model (needed to embed in snapshot documents, since the model
@@ -60,7 +88,7 @@ impl SessionEntry {
 #[derive(Debug)]
 pub enum SlotState {
     /// In memory, directly lockable.
-    Live(Arc<Mutex<SessionEntry>>),
+    Live(Arc<OrderedMutex<SessionEntry>>),
     /// Checkpointed to the archive and dropped from memory; the next
     /// access restores it.
     Evicted,
@@ -99,14 +127,32 @@ pub struct RecoveryReport {
 }
 
 /// Thread-safe registry of concurrent sessions keyed by numeric id.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SessionStore {
-    sessions: RwLock<HashMap<u64, Slot>>,
+    sessions: OrderedRwLock<HashMap<u64, Slot>>,
     next_id: AtomicU64,
     archive: Option<SnapshotArchive>,
     idle_ttl: Option<Duration>,
     max_sessions: Option<usize>,
     epoch: Option<Instant>,
+}
+
+impl Default for SessionStore {
+    fn default() -> Self {
+        Self {
+            sessions: OrderedRwLock::new(rank::STORE_REGISTRY, HashMap::new()),
+            next_id: AtomicU64::new(0),
+            archive: None,
+            idle_ttl: None,
+            max_sessions: None,
+            epoch: None,
+        }
+    }
+}
+
+/// Wraps one session entry for registration.
+fn live_entry(entry: SessionEntry) -> Arc<OrderedMutex<SessionEntry>> {
+    Arc::new(OrderedMutex::new(rank::SESSION, entry))
 }
 
 fn sched_err(e: ScheduleError) -> ApiError {
@@ -142,17 +188,16 @@ impl SessionStore {
     pub fn with_config(cfg: StoreConfig) -> std::io::Result<(Self, RecoveryReport)> {
         let mut report = RecoveryReport::default();
         let store = Self {
-            sessions: RwLock::new(HashMap::new()),
-            next_id: AtomicU64::new(0),
             archive: cfg.archive,
             idle_ttl: cfg.idle_ttl,
             max_sessions: cfg.max_sessions,
             epoch: Some(Instant::now()),
+            ..Self::default()
         };
         if let Some(archive) = &store.archive {
             let scan = archive.scan()?;
             report.quarantined = scan.quarantined;
-            let mut map = store.sessions.write().unwrap();
+            let mut map = store.sessions.write_recover();
             let mut max_id = 0;
             for (id, payload) in scan.restored {
                 match entry_from_payload(&payload) {
@@ -160,7 +205,7 @@ impl SessionStore {
                         map.insert(
                             id,
                             Slot {
-                                state: SlotState::Live(Arc::new(Mutex::new(entry))),
+                                state: SlotState::Live(live_entry(entry)),
                                 touched: AtomicU64::new(0),
                             },
                         );
@@ -266,8 +311,8 @@ impl SessionStore {
         match id {
             None => Ok(self.insert(session, speedup)),
             Some(id) => {
-                let entry = Arc::new(Mutex::new(SessionEntry { session, speedup }));
-                let mut map = self.sessions.write().unwrap();
+                let entry = live_entry(SessionEntry { session, speedup });
+                let mut map = self.sessions.write_recover();
                 if map.contains_key(&id) {
                     return Err(ApiError::conflict(format!("session {id} already exists")));
                 }
@@ -291,8 +336,8 @@ impl SessionStore {
     /// to the admission cap (internal callers own their capacity).
     pub fn insert(&self, session: Session, speedup: SpeedupSpec) -> u64 {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
-        let entry = Arc::new(Mutex::new(SessionEntry { session, speedup }));
-        self.sessions.write().unwrap().insert(
+        let entry = live_entry(SessionEntry { session, speedup });
+        self.sessions.write_recover().insert(
             id,
             Slot { state: SlotState::Live(entry), touched: AtomicU64::new(self.now_ms()) },
         );
@@ -307,9 +352,9 @@ impl SessionStore {
     /// [`ApiError`] — 404 for unknown ids, 500 if an evicted session's
     /// archive file has gone missing or corrupt (the file is quarantined
     /// and the id unregistered, so the failure is not sticky).
-    pub fn get(&self, id: u64) -> Result<Arc<Mutex<SessionEntry>>, ApiError> {
+    pub fn get(&self, id: u64) -> Result<Arc<OrderedMutex<SessionEntry>>, ApiError> {
         {
-            let map = self.sessions.read().unwrap();
+            let map = self.sessions.read_recover();
             match map.get(&id) {
                 None => return Err(ApiError::not_found(format!("no session {id}"))),
                 Some(slot) => {
@@ -326,8 +371,8 @@ impl SessionStore {
     /// Slow path of [`SessionStore::get`]: re-checks under the write lock
     /// (another thread may have restored concurrently), then loads the
     /// checkpoint from disk.
-    fn restore_evicted(&self, id: u64) -> Result<Arc<Mutex<SessionEntry>>, ApiError> {
-        let mut map = self.sessions.write().unwrap();
+    fn restore_evicted(&self, id: u64) -> Result<Arc<OrderedMutex<SessionEntry>>, ApiError> {
+        let mut map = self.sessions.write_recover();
         let slot =
             map.get_mut(&id).ok_or_else(|| ApiError::not_found(format!("no session {id}")))?;
         if let SlotState::Live(entry) = &slot.state {
@@ -359,7 +404,7 @@ impl SessionStore {
         };
         match entry_from_payload(&payload) {
             Ok(entry) => {
-                let entry = Arc::new(Mutex::new(entry));
+                let entry = live_entry(entry);
                 slot.state = SlotState::Live(Arc::clone(&entry));
                 slot.touched.store(self.now_ms(), Ordering::Relaxed);
                 Ok(entry)
@@ -378,8 +423,7 @@ impl SessionStore {
     /// [`ApiError`] (404) for unknown ids.
     pub fn remove(&self, id: u64) -> Result<(), ApiError> {
         self.sessions
-            .write()
-            .unwrap()
+            .write_recover()
             .remove(&id)
             .map(drop)
             .ok_or_else(|| ApiError::not_found(format!("no session {id}")))?;
@@ -392,7 +436,7 @@ impl SessionStore {
     /// Registered ids (live and evicted), ascending.
     #[must_use]
     pub fn ids(&self) -> Vec<u64> {
-        let mut ids: Vec<u64> = self.sessions.read().unwrap().keys().copied().collect();
+        let mut ids: Vec<u64> = self.sessions.read_recover().keys().copied().collect();
         ids.sort_unstable();
         ids
     }
@@ -400,15 +444,14 @@ impl SessionStore {
     /// Number of registered sessions, live and evicted.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.sessions.read().unwrap().len()
+        self.sessions.read_recover().len()
     }
 
     /// Number of sessions currently resident in memory.
     #[must_use]
     pub fn live_len(&self) -> usize {
         self.sessions
-            .read()
-            .unwrap()
+            .read_recover()
             .values()
             .filter(|s| matches!(s.state, SlotState::Live(_)))
             .count()
@@ -419,8 +462,7 @@ impl SessionStore {
     pub fn evicted_ids(&self) -> Vec<u64> {
         let mut ids: Vec<u64> = self
             .sessions
-            .read()
-            .unwrap()
+            .read_recover()
             .iter()
             .filter(|(_, s)| matches!(s.state, SlotState::Evicted))
             .map(|(&id, _)| id)
@@ -440,11 +482,10 @@ impl SessionStore {
     /// session in bounded quanta without ever touching the registry lock
     /// again.
     #[must_use]
-    pub fn handles(&self) -> Vec<(u64, Arc<Mutex<SessionEntry>>)> {
+    pub fn handles(&self) -> Vec<(u64, Arc<OrderedMutex<SessionEntry>>)> {
         let mut entries: Vec<_> = self
             .sessions
-            .read()
-            .unwrap()
+            .read_recover()
             .iter()
             .filter_map(|(&id, slot)| match &slot.state {
                 SlotState::Live(entry) => Some((id, Arc::clone(entry))),
@@ -465,7 +506,7 @@ impl SessionStore {
         let archive =
             self.archive.as_ref().ok_or_else(|| ApiError::conflict("no archive configured"))?;
         let entry = {
-            let map = self.sessions.read().unwrap();
+            let map = self.sessions.read_recover();
             match map.get(&id) {
                 None => return Err(ApiError::not_found(format!("no session {id}"))),
                 Some(slot) => match &slot.state {
@@ -474,7 +515,7 @@ impl SessionStore {
                 },
             }
         };
-        let payload = entry.lock().unwrap().snapshot_payload();
+        let payload = self.lock_entry(id, &entry)?.snapshot_payload();
         archive
             .store(id, &payload)
             .map_err(|e| ApiError::new(500, format!("checkpoint of session {id} failed: {e}")))
@@ -513,10 +554,9 @@ impl SessionStore {
         let now = self.now_ms();
         let stale =
             |touched: &AtomicU64| now.saturating_sub(touched.load(Ordering::Relaxed)) >= ttl_ms;
-        let candidates: Vec<(u64, Arc<Mutex<SessionEntry>>)> = self
+        let candidates: Vec<(u64, Arc<OrderedMutex<SessionEntry>>)> = self
             .sessions
-            .read()
-            .unwrap()
+            .read_recover()
             .iter()
             .filter_map(|(&id, slot)| match &slot.state {
                 SlotState::Live(entry) if stale(&slot.touched) => Some((id, Arc::clone(entry))),
@@ -528,12 +568,16 @@ impl SessionStore {
         for (id, entry) in candidates {
             // Holding the entry guard across the checkpoint write pins the
             // exact state that lands on disk; only that session's traffic
-            // waits.
-            let Ok(guard) = entry.try_lock() else { continue };
+            // waits. A try-lock (never blocking) is what keeps the
+            // session-held → registry-write acquisition below legal: no
+            // waiting edge back into rank `session` can exist. Poisoned
+            // entries are skipped — quarantining is the request path's
+            // call, not the sweeper's.
+            let Ok(Some(guard)) = entry.try_lock() else { continue };
             if archive.store(id, &guard.snapshot_payload()).is_err() {
                 continue;
             }
-            let mut map = self.sessions.write().unwrap();
+            let mut map = self.sessions.write_recover();
             if let Some(slot) = map.get_mut(&id) {
                 // Evict only if the slot still holds this exact entry,
                 // nobody else has a handle (map + ours = 2), and no access
@@ -554,6 +598,35 @@ impl SessionStore {
         }
         evicted
     }
+
+    /// Locks a session entry for a request handler, converting a
+    /// poisoned mutex — some earlier holder panicked mid-mutation — into
+    /// quarantine-and-`500` instead of a worker-thread panic cascade.
+    ///
+    /// # Errors
+    /// A `500` [`ApiError`] mentioning "poisoned" (the router's breaker
+    /// heuristic keys on it) after [`SessionStore::quarantine_poisoned`]
+    /// has pulled the session out of service.
+    pub fn lock_entry<'a>(
+        &self,
+        id: u64,
+        entry: &'a OrderedMutex<SessionEntry>,
+    ) -> Result<OrderedMutexGuard<'a, SessionEntry>, ApiError> {
+        entry.lock().map_err(|_| self.quarantine_poisoned(id))
+    }
+
+    /// Pulls a poisoned session out of service: unregisters the id and
+    /// quarantines its archive file (its in-memory state is suspect
+    /// mid-mutation, so the last *acknowledged* checkpoint on disk is
+    /// preserved under the quarantine name for inspection). Returns the
+    /// `500` error the request path answers with.
+    pub fn quarantine_poisoned(&self, id: u64) -> ApiError {
+        self.sessions.write_recover().remove(&id);
+        if let Some(archive) = &self.archive {
+            let _ = archive.quarantine(id, "session mutex poisoned by a panicked handler");
+        }
+        ApiError::new(500, format!("session {id} poisoned by a panicked handler; quarantined"))
+    }
 }
 
 /// Advances one session by at most `quantum` events. Returns the number
@@ -561,12 +634,16 @@ impl SessionStore {
 ///
 /// # Errors
 /// Propagates [`ScheduleError`] from the engine as a 409 — the session
-/// stays registered for inspection.
+/// stays registered for inspection. A poisoned entry yields a `500`
+/// (callers with store access quarantine via
+/// [`SessionStore::lock_entry`] instead).
 pub fn step_quantum(
-    entry: &Mutex<SessionEntry>,
+    entry: &OrderedMutex<SessionEntry>,
     quantum: u64,
 ) -> Result<(u64, bool), ApiError> {
-    let mut guard = entry.lock().unwrap();
+    let mut guard = entry.lock().map_err(|p| {
+        ApiError::new(500, format!("session poisoned by a panicked handler: {p}"))
+    })?;
     let mut steps = 0;
     while steps < quantum && !guard.session.is_done() {
         guard.session.step().map_err(|e| ApiError::conflict(e.to_string()))?;

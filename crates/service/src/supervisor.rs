@@ -37,7 +37,7 @@ use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::archive::SnapshotArchive;
@@ -48,6 +48,7 @@ use crate::server::{serve_with, ServiceConfig, ServiceHost};
 use crate::shard::{rendezvous, ShardMap};
 use crate::spec::ApiError;
 use crate::store::StoreConfig;
+use crate::sync::{rank, OrderedMutex};
 
 /// What a backend is: a stable name (the rendezvous-hash key) and the
 /// archive directory its durability lives in. The directory outlives the
@@ -314,8 +315,8 @@ pub struct Backend {
     draining: AtomicBool,
     failures: AtomicU32,
     restarts: AtomicU32,
-    addr: Mutex<Option<SocketAddr>>,
-    handle: Mutex<Option<Box<dyn BackendHandle>>>,
+    addr: OrderedMutex<Option<SocketAddr>>,
+    handle: OrderedMutex<Option<Box<dyn BackendHandle>>>,
 }
 
 impl Backend {
@@ -328,7 +329,7 @@ impl Backend {
     /// Current serving address, if the backend is up.
     #[must_use]
     pub fn addr(&self) -> Option<SocketAddr> {
-        *self.addr.lock().unwrap()
+        *self.addr.lock_recover()
     }
 
     /// Current breaker state.
@@ -465,7 +466,7 @@ pub struct Supervisor {
     cfg: SupervisorConfig,
     launcher: Box<dyn BackendLauncher>,
     backends: Vec<Arc<Backend>>,
-    shard: Mutex<ShardMap>,
+    shard: OrderedMutex<ShardMap>,
     next_id: AtomicU64,
 }
 
@@ -505,12 +506,12 @@ impl Supervisor {
                     draining: AtomicBool::new(false),
                     failures: AtomicU32::new(0),
                     restarts: AtomicU32::new(0),
-                    addr: Mutex::new(Some(handle.addr())),
-                    handle: Mutex::new(Some(handle)),
+                    addr: OrderedMutex::new(rank::BACKEND_ADDR, Some(handle.addr())),
+                    handle: OrderedMutex::new(rank::BACKEND_HANDLE, Some(handle)),
                 })),
                 Err(e) => {
                     for b in &backends {
-                        if let Some(h) = b.handle.lock().unwrap().as_mut() {
+                        if let Some(h) = b.handle.lock_recover().as_mut() {
                             h.kill();
                         }
                     }
@@ -524,7 +525,7 @@ impl Supervisor {
             cfg,
             launcher,
             backends,
-            shard: Mutex::new(shard),
+            shard: OrderedMutex::new(rank::FLEET_SHARD, shard),
             next_id: AtomicU64::new(0),
         };
         for b in &sup.backends {
@@ -559,7 +560,7 @@ impl Supervisor {
             };
             let Ok(doc) = Json::parse(&ans.body) else { continue };
             let mut adopt = |id: u64| {
-                self.shard.lock().unwrap().assign(id, b.name());
+                self.shard.lock_recover().assign(id, b.name());
                 max_id = max_id.max(id);
             };
             if let Some(sessions) = doc.get("sessions").and_then(Json::as_arr) {
@@ -608,13 +609,13 @@ impl Supervisor {
     /// Number of sessions currently in the shard map.
     #[must_use]
     pub fn session_count(&self) -> usize {
-        self.shard.lock().unwrap().len()
+        self.shard.lock_recover().len()
     }
 
     /// All assigned session ids, ascending.
     #[must_use]
     pub fn session_ids(&self) -> Vec<u64> {
-        self.shard.lock().unwrap().ids()
+        self.shard.lock_recover().ids()
     }
 
     /// Chooses a backend for a new session `id` by rendezvous hash over
@@ -638,12 +639,12 @@ impl Supervisor {
 
     /// Records that `id` now lives on `backend` (after a 201 from it).
     pub fn commit(&self, id: u64, backend: &str) {
-        self.shard.lock().unwrap().assign(id, backend);
+        self.shard.lock_recover().assign(id, backend);
     }
 
     /// Forgets `id` (session deleted).
     pub fn unassign(&self, id: u64) {
-        self.shard.lock().unwrap().unassign(id);
+        self.shard.lock_recover().unassign(id);
     }
 
     /// Resolves the backend serving session `id`.
@@ -652,7 +653,7 @@ impl Supervisor {
     /// 404 for ids the shard map does not know; `503 Retry-After` while
     /// the owning backend's breaker is open or it has no address.
     pub fn route(&self, id: u64) -> Result<(String, SocketAddr), ApiError> {
-        let owner = self.shard.lock().unwrap().lookup(id).map(str::to_string);
+        let owner = self.shard.lock_recover().lookup(id).map(str::to_string);
         let Some(name) = owner else {
             return Err(ApiError::not_found(format!("no session {id}")));
         };
@@ -753,7 +754,7 @@ impl Supervisor {
     /// session), and if the budget runs out, migrate its archive to the
     /// survivors.
     fn recover(&self, b: &Arc<Backend>) {
-        let mut handle = b.handle.lock().unwrap();
+        let mut handle = b.handle.lock_recover();
         if b.breaker() != Breaker::Open || b.phase() != Phase::Active {
             return;
         }
@@ -761,12 +762,12 @@ impl Supervisor {
             h.kill();
         }
         *handle = None;
-        *b.addr.lock().unwrap() = None;
+        *b.addr.lock_recover() = None;
         for _ in 0..self.cfg.restart_attempts {
             if let Ok(mut h) = self.launcher.launch(&b.spec) {
                 let addr = h.addr();
                 if self.await_healthy(addr) {
-                    *b.addr.lock().unwrap() = Some(addr);
+                    *b.addr.lock_recover() = Some(addr);
                     *handle = Some(h);
                     b.restarts.fetch_add(1, Ordering::SeqCst);
                     b.failures.store(0, Ordering::SeqCst);
@@ -822,7 +823,7 @@ impl Supervisor {
                 // 201: restored. 409: the survivor already has this id
                 // (an earlier partial migration) — equally safe.
                 Ok(ans) if ans.status == 201 || ans.status == 409 => {
-                    self.shard.lock().unwrap().assign(id, target);
+                    self.shard.lock_recover().assign(id, target);
                     report.migrated.push(id);
                 }
                 Ok(ans) => report.failed.push((id, format!("restore answered {}", ans.status))),
@@ -830,7 +831,7 @@ impl Supervisor {
             }
         }
 
-        let orphaned = self.shard.lock().unwrap().remove_backend(b.name());
+        let orphaned = self.shard.lock_recover().remove_backend(b.name());
         for id in orphaned {
             if !report.migrated.contains(&id) && !report.failed.iter().any(|(f, _)| *f == id) {
                 report.lost.push(id);
@@ -876,7 +877,7 @@ impl Supervisor {
             .unwrap_or(false)
         });
         {
-            let mut handle = b.handle.lock().unwrap();
+            let mut handle = b.handle.lock_recover();
             if let Some(h) = handle.as_mut() {
                 if !h.wait_exit(self.cfg.drain_budget) {
                     // Refused to exit in time: cut it off. Its last
@@ -885,7 +886,7 @@ impl Supervisor {
                 }
             }
             *handle = None;
-            *b.addr.lock().unwrap() = None;
+            *b.addr.lock_recover() = None;
         }
         let report = self.migrate(&b);
         Ok(RetireOutcome { name: name.to_string(), drained, report })
@@ -897,7 +898,7 @@ impl Supervisor {
     /// killed.
     pub fn kill_backend(&self, name: &str) -> bool {
         self.backend(name).is_some_and(|b| {
-            let mut handle = b.handle.lock().unwrap();
+            let mut handle = b.handle.lock_recover();
             match handle.as_mut() {
                 Some(h) => {
                     h.kill();
@@ -912,7 +913,7 @@ impl Supervisor {
     /// outlive its supervisor).
     pub fn kill_all(&self) {
         for b in &self.backends {
-            if let Some(h) = b.handle.lock().unwrap().as_mut() {
+            if let Some(h) = b.handle.lock_recover().as_mut() {
                 h.kill();
             }
         }
@@ -945,7 +946,7 @@ impl Supervisor {
     /// checkpoint stands).
     pub fn reap_all(&self) {
         for b in &self.backends {
-            let mut handle = b.handle.lock().unwrap();
+            let mut handle = b.handle.lock_recover();
             if let Some(h) = handle.as_mut() {
                 if !h.wait_exit(self.cfg.drain_budget) {
                     h.kill();
@@ -958,7 +959,7 @@ impl Supervisor {
     /// Per-backend status array for the router's `/healthz`.
     #[must_use]
     pub fn status_json(&self) -> Json {
-        let shard = self.shard.lock().unwrap();
+        let shard = self.shard.lock_recover();
         Json::Arr(
             self.backends
                 .iter()

@@ -27,6 +27,18 @@ use redistrib_service::{
 /// only together with the CI workflow.
 const CHAOS_SEED: u64 = 0xC4A0_5EED;
 
+/// The lockdep invariant every chaos scenario re-checks on its way out:
+/// across everything the test exercised — handlers, sweepers, archive
+/// writes, shedding — the global lock-acquisition graph stayed acyclic.
+fn assert_no_lock_cycles() {
+    assert_eq!(
+        redistrib_service::sync::lockdep::global_cycle_count(),
+        0,
+        "lock-order cycles observed: {:?}",
+        redistrib_service::sync::lockdep::global_cycles()
+    );
+}
+
 const SPEC: &str = r#"{
     "platform": {"procs": 16},
     "strategy": {"heuristic": "IteratedGreedy-EndLocal"},
@@ -187,6 +199,7 @@ fn seeded_torn_write_chaos_recovers_last_good_checkpoint() {
         fault_ops_per_run[0], fault_ops_per_run[1],
         "same seed must produce the identical fault schedule"
     );
+    assert_no_lock_cycles();
 }
 
 fn tight_http(workers: usize) -> HttpConfig {
@@ -350,6 +363,7 @@ fn session_capacity_sheds_with_503_retry_after() {
     let (status, body) = client::post(addr, "/v1/sessions", SPEC).unwrap();
     assert_eq!(status, 201, "{body}");
     host.shutdown();
+    assert_no_lock_cycles();
 }
 
 /// The keep-alive client's seeded backoff retries idempotent GETs
@@ -386,4 +400,5 @@ fn client_backoff_retries_gets_through_transient_503() {
     let (status, _) = c.post("/x", "payload").unwrap();
     assert_eq!(status, 503);
     assert_eq!(hits.load(Ordering::SeqCst), 1, "non-idempotent verbs never retry");
+    assert_no_lock_cycles();
 }

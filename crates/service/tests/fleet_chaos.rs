@@ -26,6 +26,18 @@ const CHAOS_SEED: u64 = 0xC4A0_5EED;
 
 const SESSIONS: u64 = 6;
 
+/// Lockdep invariant checked on every fleet scenario's way out: router,
+/// supervisor, probe threads and both backends' in-process state never
+/// observed an inverted lock order.
+fn assert_no_lock_cycles() {
+    assert_eq!(
+        redistrib_service::sync::lockdep::global_cycle_count(),
+        0,
+        "lock-order cycles observed: {:?}",
+        redistrib_service::sync::lockdep::global_cycles()
+    );
+}
+
 fn spec_json(session: u64) -> String {
     format!(
         r#"{{
@@ -206,6 +218,7 @@ fn sigkill_mid_load_restart_in_place_completes_every_checkpointed_session() {
     assert_eq!(router.supervisor().session_count(), ids.len());
 
     router.shutdown();
+    assert_no_lock_cycles();
     let _ = std::fs::remove_dir_all(&root);
 }
 
@@ -250,6 +263,7 @@ fn sigkill_with_no_restarts_migrates_checkpoints_to_the_survivor() {
     }
 
     router.shutdown();
+    assert_no_lock_cycles();
     let _ = std::fs::remove_dir_all(&root);
 }
 
@@ -299,5 +313,6 @@ fn retire_endpoint_drains_and_redistributes_without_loss() {
     drain_and_compare(addr, &ids);
 
     router.shutdown();
+    assert_no_lock_cycles();
     let _ = std::fs::remove_dir_all(&root);
 }
