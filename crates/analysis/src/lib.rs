@@ -56,6 +56,11 @@ pub const RULES: &[(&str, &str)] = &[
         "float format specifiers ({:.N}, {:e}) are banned in crates/service/src outside json.rs \
          — f64 serialization routes through Json::bits() to stay byte-identical",
     ),
+    (
+        "no-raw-connect-in-router",
+        "TcpStream::connect/connect_timeout are banned in router.rs and supervisor.rs — the data \
+         plane dials backends only through the pool.rs connection pool",
+    ),
 ];
 
 /// One lint finding, displayed as `file:line rule message`.
@@ -532,6 +537,31 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Violation> {
                                 "float format string \"{s}\" — serialize f64 through \
                                  `Json::bits()`; decimal formatting loses bits and breaks \
                                  byte-identical snapshot replay"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    if in_service_src(path) && matches!(file_name(&norm(path)), "router.rs" | "supervisor.rs") {
+        // `TcpStream::connect(` / `TcpStream::connect_timeout(`.
+        const DIALS: &[&str] = &["connect", "connect_timeout"];
+        for seg in &segs {
+            for w in seg.windows(5) {
+                if punct(&w[1], ':') && punct(&w[2], ':') && punct(&w[4], '(') {
+                    if let (Some(_), Some(d)) =
+                        (ident_in(&w[0], &["TcpStream"]), ident_in(&w[3], DIALS))
+                    {
+                        out.push(Violation {
+                            file: norm(path),
+                            line: w[0].line,
+                            rule: "no-raw-connect-in-router",
+                            message: format!(
+                                "raw `TcpStream::{d}` in the router data plane — dial backends \
+                                 through `ConnectionPool` (pool.rs) so connections are reused, \
+                                 bounded, and flushed on backend death"
                             ),
                         });
                     }

@@ -1,0 +1,11 @@
+//! Fixture: one raw dial in the router data plane (one violation), plus
+//! a suppressed dial that must stay silent.
+
+fn dial(addr: std::net::SocketAddr) -> std::io::Result<std::net::TcpStream> {
+    std::net::TcpStream::connect(addr)
+}
+
+fn dial_with_deadline(addr: std::net::SocketAddr) -> std::io::Result<std::net::TcpStream> {
+    // lint:allow(no-raw-connect-in-router)
+    std::net::TcpStream::connect_timeout(&addr, std::time::Duration::from_secs(1))
+}

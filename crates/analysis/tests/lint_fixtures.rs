@@ -75,6 +75,16 @@ fn fixture_float_format_in_json() {
 }
 
 #[test]
+fn fixture_raw_connect_in_router() {
+    assert_one_violation(
+        "raw_connect.rs",
+        "crates/service/src/router.rs",
+        5,
+        "no-raw-connect-in-router",
+    );
+}
+
+#[test]
 fn fixture_suppressed_is_clean() {
     let out = run_lint(&[
         "--file",
@@ -105,6 +115,7 @@ fn list_prints_every_rule() {
         "fsync-discipline",
         "no-wallclock-in-sim",
         "no-float-format-in-json",
+        "no-raw-connect-in-router",
     ] {
         assert!(stdout.contains(rule), "--list must mention {rule}");
     }

@@ -31,9 +31,12 @@ struct Args {
     ttl_secs: Option<u64>,
     max_sessions: Option<usize>,
     checkpoint_secs: Option<u64>,
+    compact_secs: Option<u64>,
     port_file: Option<PathBuf>,
     backends: usize,
     archive_root: Option<PathBuf>,
+    pool_capacity: Option<usize>,
+    pool_idle_secs: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -48,9 +51,12 @@ fn parse_args() -> Result<Args, String> {
     let mut ttl_secs = None;
     let mut max_sessions = None;
     let mut checkpoint_secs = None;
+    let mut compact_secs = None;
     let mut port_file = None;
     let mut backends = 2;
     let mut archive_root = None;
+    let mut pool_capacity = None;
+    let mut pool_idle_secs = None;
     let mut it = env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -85,6 +91,21 @@ fn parse_args() -> Result<Args, String> {
                 checkpoint_secs = Some(
                     v.parse().map_err(|_| format!("bad --checkpoint-interval value: {v}"))?,
                 );
+            }
+            "--compact-interval" => {
+                let v = it.next().ok_or("--compact-interval needs a value in seconds")?;
+                compact_secs =
+                    Some(v.parse().map_err(|_| format!("bad --compact-interval value: {v}"))?);
+            }
+            "--pool-capacity" => {
+                let v = it.next().ok_or("--pool-capacity needs a value")?;
+                pool_capacity =
+                    Some(v.parse().map_err(|_| format!("bad --pool-capacity value: {v}"))?);
+            }
+            "--pool-idle" => {
+                let v = it.next().ok_or("--pool-idle needs a value in seconds")?;
+                pool_idle_secs =
+                    Some(v.parse().map_err(|_| format!("bad --pool-idle value: {v}"))?);
             }
             "--port-file" => {
                 let v = it.next().ok_or("--port-file needs a file path")?;
@@ -132,9 +153,12 @@ fn parse_args() -> Result<Args, String> {
         ttl_secs,
         max_sessions,
         checkpoint_secs,
+        compact_secs,
         port_file,
         backends,
         archive_root,
+        pool_capacity,
+        pool_idle_secs,
     })
 }
 
@@ -143,7 +167,8 @@ fn usage() -> String {
         "usage: experiments <target…> [--quick] [--plot] [--runs N] [--seed S] [--out DIR]\n\
          \x20      [--log FILE.swf] [--addr HOST:PORT] [--workers N] [--archive-dir DIR]\n\
          \x20      [--ttl SECS] [--max-sessions N] [--checkpoint-interval SECS]\n\
-         \x20      [--port-file FILE] [--backends N] [--archive-root DIR]\n\
+         \x20      [--compact-interval SECS] [--port-file FILE] [--backends N]\n\
+         \x20      [--archive-root DIR] [--pool-capacity N] [--pool-idle SECS]\n\
          targets: table1, all, {}, validation, ablation, gap, warm, profiles, silent, online,\n\
          \x20        swf (replays --log through the Session API),\n\
          \x20        serve (hosts the scheduler as an HTTP service on --addr; --archive-dir\n\
@@ -178,8 +203,12 @@ fn serve_forever(args: &Args) -> ExitCode {
             }
         },
     };
-    if archive.is_none() && (args.ttl_secs.is_some() || args.checkpoint_secs.is_some()) {
-        eprintln!("--ttl and --checkpoint-interval require --archive-dir");
+    if archive.is_none()
+        && (args.ttl_secs.is_some()
+            || args.checkpoint_secs.is_some()
+            || args.compact_secs.is_some())
+    {
+        eprintln!("--ttl, --checkpoint-interval and --compact-interval require --archive-dir");
         return ExitCode::FAILURE;
     }
     let cfg = ServiceConfig {
@@ -190,6 +219,7 @@ fn serve_forever(args: &Args) -> ExitCode {
             max_sessions: args.max_sessions,
         },
         checkpoint_interval: args.checkpoint_secs.map(Duration::from_secs),
+        compact_interval: args.compact_secs.map(Duration::from_secs),
     };
     let (mut host, _store, report) = match redistrib_service::serve_with(&args.addr, cfg) {
         Ok(triple) => triple,
@@ -238,7 +268,7 @@ fn serve_forever(args: &Args) -> ExitCode {
 /// checkpointed sessions off backends that will not come back.
 fn serve_fleet(args: &Args) -> ExitCode {
     use redistrib_service::{
-        serve_router, BackendSpec, HttpConfig, ProcessLauncher, RouterConfig,
+        serve_router, BackendSpec, HttpConfig, PoolConfig, ProcessLauncher, RouterConfig,
     };
     use std::time::Duration;
 
@@ -262,8 +292,16 @@ fn serve_fleet(args: &Args) -> ExitCode {
     let specs: Vec<BackendSpec> = (0..args.backends)
         .map(|k| BackendSpec { name: format!("b{k}"), archive_dir: root.join(format!("b{k}")) })
         .collect();
+    let mut pool = PoolConfig::default();
+    if let Some(capacity) = args.pool_capacity {
+        pool.capacity = capacity;
+    }
+    if let Some(secs) = args.pool_idle_secs {
+        pool.idle_max = Duration::from_secs(secs);
+    }
     let cfg = RouterConfig {
         http: HttpConfig { workers: args.workers, ..HttpConfig::default() },
+        pool,
         ..RouterConfig::default()
     };
     let mut router = match serve_router(&args.addr, cfg, Box::new(launcher), specs) {

@@ -27,15 +27,41 @@
 //! subdirectory for post-mortem inspection; recovery continues with the
 //! remaining sessions.
 //!
+//! **Manifest.** The archive keeps a `manifest` file — itself a CRC
+//! frame whose payload is one text line per live snapshot:
+//! `<id> <generation> <frame_len> <crc_hex>`. It is maintained
+//! write-behind from an in-memory cache (every checkpoint, removal, and
+//! quarantine updates the cache; the file is rewritten atomically once
+//! enough operations accumulate, or on [`SnapshotArchive::flush_manifest`]).
+//! A [`SnapshotArchive::scan`] that finds a valid manifest only *stats*
+//! the named files — a snapshot whose size matches its manifest entry is
+//! trusted without reading it, which turns restart recovery over a large
+//! archive from O(bytes) into O(files). Content corruption that
+//! preserves the size is still caught, at [`SnapshotArchive::load`]
+//! time, by the frame CRC. A missing or torn manifest degrades to the
+//! full directory walk — byte-for-byte the pre-manifest recovery path.
+//!
+//! **Compaction.** [`SnapshotArchive::compact`] (sweeper-scheduled on
+//! the server, or `POST /v1/admin/compact`) deletes `.snap` files the
+//! manifest does not know (superseded or foreign generations — only
+//! once a scan has made the manifest authoritative, and only after a
+//! debris age so an in-flight checkpoint is never raced), quarantines
+//! aged `.tmp` debris, and ages evidence out of `quarantine/`.
+//!
 //! File operations consult an optional [`FaultPlan`] so the chaos suite
-//! can deterministically tear writes at exact framing boundaries.
+//! can deterministically tear writes at exact framing boundaries. The
+//! manifest is pure write-behind metadata and **never** consults the
+//! plan — fault schedules stay identical with or without it.
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, ErrorKind, Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::{Duration, SystemTime};
 
 use crate::faultio::{FaultPlan, FaultWriter};
+use crate::sync::{rank, OrderedMutex};
 
 /// Magic bytes opening every archive frame.
 pub const ARCHIVE_MAGIC: [u8; 4] = *b"RSNA";
@@ -116,10 +142,54 @@ pub fn unframe(bytes: &[u8]) -> Result<&[u8], String> {
 /// What a recovery scan found.
 #[derive(Debug, Default)]
 pub struct ScanReport {
-    /// Valid frames, ascending by session id: `(id, payload bytes)`.
-    pub restored: Vec<(u64, Vec<u8>)>,
+    /// Ids with a live, valid snapshot, ascending. Payloads are loaded
+    /// (and CRC-verified) individually via [`SnapshotArchive::load`] —
+    /// a manifest-trusting scan does not read snapshot contents at all.
+    pub restored: Vec<u64>,
     /// Files moved to quarantine, with the reason each was rejected.
     pub quarantined: Vec<(PathBuf, String)>,
+}
+
+/// What a compaction pass did.
+#[derive(Debug, Default)]
+pub struct CompactReport {
+    /// Files deleted: unmanifested `.snap` generations plus aged-out
+    /// quarantine evidence.
+    pub removed: usize,
+    /// Aged `.tmp` debris newly moved into `quarantine/`.
+    pub quarantined: usize,
+}
+
+/// Name of the manifest file inside the archive directory. The scan
+/// skips it naturally (not a `.snap` file).
+const MANIFEST_FILE: &str = "manifest";
+/// Temp sibling the manifest is staged in before the atomic rename.
+const MANIFEST_TMP: &str = "manifest.tmp";
+/// How old a stray `.tmp` or unmanifested `.snap` file must be before
+/// compaction touches it — an in-flight checkpoint is never this old.
+const DEBRIS_AGE: Duration = Duration::from_secs(10);
+
+/// One live snapshot as the manifest records it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ManifestEntry {
+    /// Monotonic per-id checkpoint counter (starts at 1, rebuilt scans
+    /// restart it).
+    generation: u64,
+    /// Full file length: frame header + payload.
+    frame_len: u64,
+    /// CRC-32 of the payload, as the frame header records it.
+    crc: u32,
+}
+
+/// The in-memory manifest cache behind [`rank::ARCHIVE_MANIFEST`].
+#[derive(Debug, Default)]
+struct ManifestState {
+    entries: BTreeMap<u64, ManifestEntry>,
+    /// Updates since the manifest file was last rewritten.
+    dirty_ops: usize,
+    /// Set by a completed scan: the cache provably covers every live
+    /// snapshot, so compaction may delete `.snap` files it lacks.
+    authoritative: bool,
 }
 
 /// A directory of per-session snapshot frames.
@@ -132,6 +202,7 @@ pub struct ScanReport {
 pub struct SnapshotArchive {
     dir: PathBuf,
     plan: Option<Arc<FaultPlan>>,
+    manifest: OrderedMutex<ManifestState>,
 }
 
 fn session_file_name(id: u64) -> String {
@@ -151,7 +222,11 @@ impl SnapshotArchive {
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
-        Ok(Self { dir, plan: None })
+        Ok(Self {
+            dir,
+            plan: None,
+            manifest: OrderedMutex::new(rank::ARCHIVE_MANIFEST, ManifestState::default()),
+        })
     }
 
     /// Opens an archive whose file writes consult `plan` — the chaos
@@ -192,12 +267,89 @@ impl SnapshotArchive {
         // quarantines it. The committed name is only ever renamed onto.
         let file = OpenOptions::new().write(true).create(true).truncate(true).open(&tmp)?;
         let mut writer = FaultWriter::new(file, fault);
-        writer.write_all(&frame(payload))?;
+        let framed = frame(payload);
+        writer.write_all(&framed)?;
         writer.flush()?;
         writer.into_inner().sync_all()?;
         fs::rename(&tmp, self.path_for(id))?;
         self.sync_dir();
+        // The checkpoint is durable; record it in the manifest cache
+        // (write-behind — only updated after a *successful* rename, so
+        // a torn store never dirties the index).
+        let crc = u32::from_le_bytes(framed[16..20].try_into().unwrap());
+        let mut state = self.manifest.lock_recover();
+        let generation = state.entries.get(&id).map_or(1, |e| e.generation.saturating_add(1));
+        state
+            .entries
+            .insert(id, ManifestEntry { generation, frame_len: framed.len() as u64, crc });
+        self.note_dirty(&mut state);
         Ok(())
+    }
+
+    /// Records one manifest mutation and rewrites the manifest file once
+    /// enough have accumulated. The threshold scales with the archive
+    /// (every op for small fleets, every ~entries/16 ops at scale) so
+    /// the hot checkpoint path amortizes the rewrite.
+    fn note_dirty(&self, state: &mut ManifestState) {
+        state.dirty_ops += 1;
+        if state.dirty_ops > state.entries.len() / 16
+            && self.write_manifest(&state.entries).is_ok()
+        {
+            state.dirty_ops = 0;
+        }
+    }
+
+    /// Forces the manifest file to match the in-memory cache now (the
+    /// store calls this after `checkpoint_all`, compaction always starts
+    /// with it).
+    ///
+    /// # Errors
+    /// Propagates manifest write failures; the cache stays dirty and the
+    /// next scan simply falls back to the full walk.
+    pub fn flush_manifest(&self) -> io::Result<()> {
+        let mut state = self.manifest.lock_recover();
+        self.write_manifest(&state.entries)?;
+        state.dirty_ops = 0;
+        Ok(())
+    }
+
+    /// Atomically rewrites the manifest file. Deliberately plain I/O —
+    /// no [`FaultPlan`] — so manifest maintenance never perturbs the
+    /// chaos suite's seeded fault schedules.
+    fn write_manifest(&self, entries: &BTreeMap<u64, ManifestEntry>) -> io::Result<()> {
+        let mut text = String::new();
+        for (id, e) in entries {
+            text.push_str(&format!("{id} {} {} {:08x}\n", e.generation, e.frame_len, e.crc));
+        }
+        let tmp = self.dir.join(MANIFEST_TMP);
+        let mut file = OpenOptions::new().write(true).create(true).truncate(true).open(&tmp)?;
+        file.write_all(&frame(text.as_bytes()))?;
+        file.sync_all()?;
+        fs::rename(&tmp, self.dir.join(MANIFEST_FILE))?;
+        self.sync_dir();
+        Ok(())
+    }
+
+    /// Reads and validates the on-disk manifest. `None` for anything
+    /// short of a perfectly framed, perfectly parseable file — the
+    /// caller then walks the directory instead.
+    fn read_manifest(&self) -> Option<BTreeMap<u64, ManifestEntry>> {
+        let bytes = fs::read(self.dir.join(MANIFEST_FILE)).ok()?;
+        let payload = unframe(&bytes).ok()?;
+        let text = std::str::from_utf8(payload).ok()?;
+        let mut entries = BTreeMap::new();
+        for line in text.lines() {
+            let mut parts = line.split_whitespace();
+            let id: u64 = parts.next()?.parse().ok()?;
+            let generation: u64 = parts.next()?.parse().ok()?;
+            let frame_len: u64 = parts.next()?.parse().ok()?;
+            let crc = u32::from_str_radix(parts.next()?, 16).ok()?;
+            if parts.next().is_some() {
+                return None;
+            }
+            entries.insert(id, ManifestEntry { generation, frame_len, crc });
+        }
+        Some(entries)
     }
 
     /// Loads and validates session `id`'s snapshot payload. `Ok(None)`
@@ -231,7 +383,13 @@ impl SnapshotArchive {
     /// Propagates unexpected I/O failures.
     pub fn remove(&self, id: u64) -> io::Result<()> {
         match fs::remove_file(self.path_for(id)) {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                let mut state = self.manifest.lock_recover();
+                if state.entries.remove(&id).is_some() {
+                    self.note_dirty(&mut state);
+                }
+                Ok(())
+            }
             Err(e) if e.kind() == ErrorKind::NotFound => Ok(()),
             Err(e) => Err(e),
         }
@@ -240,18 +398,56 @@ impl SnapshotArchive {
     /// Moves session `id`'s snapshot file into quarantine (used when the
     /// frame is valid but the document inside fails to parse or resume).
     pub fn quarantine(&self, id: u64, why: &str) -> Option<PathBuf> {
-        self.quarantine_path(&self.path_for(id), why)
+        let dest = self.quarantine_path(&self.path_for(id), why);
+        if dest.is_some() {
+            let mut state = self.manifest.lock_recover();
+            if state.entries.remove(&id).is_some() {
+                self.note_dirty(&mut state);
+            }
+        }
+        dest
     }
 
-    /// Scans the archive: every `*.snap` file with a valid frame is
-    /// returned (ascending by id); everything else — torn temp files,
-    /// truncated or corrupt frames, unparseable names — is renamed into
-    /// `quarantine/`. Never panics on file contents.
+    /// Scans the archive for recovery. With a valid manifest this only
+    /// *stats* the manifested files (size match ⇒ trusted, no read —
+    /// content damage is caught by the CRC at load time) and reads just
+    /// the strays; without one it reads and verifies every `*.snap`
+    /// frame exactly as before the manifest existed. Either way, torn
+    /// temp files, corrupt frames, and unparseable names are renamed
+    /// into `quarantine/`, ids come back ascending, and the scan leaves
+    /// behind a freshly written, authoritative manifest. Never panics
+    /// on file contents.
     ///
     /// # Errors
     /// Propagates directory-read failures only.
     pub fn scan(&self) -> io::Result<ScanReport> {
         let mut report = ScanReport::default();
+        let mut live: BTreeMap<u64, ManifestEntry> = BTreeMap::new();
+        let trusted = self.read_manifest();
+        if let Some(entries) = &trusted {
+            // Manifest-indexed pass: stat each named file. A size match
+            // is trusted outright; anything else is verified in full.
+            for (&id, entry) in entries {
+                let path = self.path_for(id);
+                match fs::metadata(&path) {
+                    Ok(md) if md.len() == entry.frame_len => {
+                        live.insert(id, *entry);
+                    }
+                    Ok(_) => self.verify_file(id, &path, &mut live, &mut report),
+                    Err(e) if e.kind() == ErrorKind::NotFound => {
+                        // Manifest entry without a file: the write-behind
+                        // index outlived a removal. Drop it.
+                    }
+                    Err(e) => {
+                        if let Some(to) = self.quarantine_path(&path, &e.to_string()) {
+                            report.quarantined.push((to, e.to_string()));
+                        }
+                    }
+                }
+            }
+        }
+        // Directory sweep: everything the manifest did not vouch for.
+        // With no (valid) manifest this is the complete recovery walk.
         for entry in fs::read_dir(&self.dir)? {
             let Ok(entry) = entry else { continue };
             let path = entry.path();
@@ -267,7 +463,7 @@ impl SnapshotArchive {
                 continue;
             }
             if !name.ends_with(".snap") {
-                continue; // foreign file; leave it alone
+                continue; // foreign file (manifest, port file); leave it alone
             }
             let Some(id) = parse_session_file_name(&name) else {
                 if let Some(to) = self.quarantine_path(&path, "unparseable file name") {
@@ -275,25 +471,138 @@ impl SnapshotArchive {
                 }
                 continue;
             };
-            let mut bytes = Vec::new();
-            let read = File::open(&path).and_then(|mut f| f.read_to_end(&mut bytes));
-            if let Err(e) = read {
-                if let Some(to) = self.quarantine_path(&path, &e.to_string()) {
-                    report.quarantined.push((to, e.to_string()));
-                }
-                continue;
+            if live.contains_key(&id) || trusted.as_ref().is_some_and(|t| t.contains_key(&id)) {
+                continue; // already settled by the manifest pass
             }
-            match unframe(&bytes) {
-                Ok(payload) => report.restored.push((id, payload.to_vec())),
-                Err(why) => {
-                    if let Some(to) = self.quarantine_path(&path, &why) {
-                        report.quarantined.push((to, why));
-                    }
+            self.verify_file(id, &path, &mut live, &mut report);
+        }
+        report.restored = live.keys().copied().collect();
+        // The scan just enumerated every live snapshot: adopt the result
+        // as the in-memory cache, persist it, and unlock compaction.
+        let mut state = self.manifest.lock_recover();
+        state.entries = live;
+        state.dirty_ops = 0;
+        state.authoritative = true;
+        let _ = self.write_manifest(&state.entries);
+        Ok(report)
+    }
+
+    /// Full verification of one snapshot file during a scan: read,
+    /// unframe, and either admit it to `live` or quarantine it.
+    fn verify_file(
+        &self,
+        id: u64,
+        path: &Path,
+        live: &mut BTreeMap<u64, ManifestEntry>,
+        report: &mut ScanReport,
+    ) {
+        let mut bytes = Vec::new();
+        let read = File::open(path).and_then(|mut f| f.read_to_end(&mut bytes));
+        if let Err(e) = read {
+            if let Some(to) = self.quarantine_path(path, &e.to_string()) {
+                report.quarantined.push((to, e.to_string()));
+            }
+            return;
+        }
+        match unframe(&bytes) {
+            Ok(payload) => {
+                live.insert(
+                    id,
+                    ManifestEntry {
+                        generation: 1,
+                        frame_len: bytes.len() as u64,
+                        crc: crc32(payload),
+                    },
+                );
+            }
+            Err(why) => {
+                if let Some(to) = self.quarantine_path(path, &why) {
+                    report.quarantined.push((to, why));
                 }
             }
         }
-        report.restored.sort_unstable_by_key(|&(id, _)| id);
-        Ok(report)
+    }
+
+    /// Compacts the archive: flushes the manifest, deletes aged `.snap`
+    /// files the (authoritative) manifest does not know, quarantines
+    /// aged `.tmp` debris, and deletes quarantine evidence older than
+    /// `quarantine_age`. Live snapshots keep their `session-<id>.snap`
+    /// names — compaction never rewrites or renames a manifested file,
+    /// so migration and restart recovery are unaffected by when it runs.
+    ///
+    /// Without a prior [`SnapshotArchive::scan`] the manifest is not
+    /// authoritative and unmanifested `.snap` files are left alone (they
+    /// might be live snapshots this process never enumerated).
+    ///
+    /// # Errors
+    /// Propagates directory-read failures only; per-file failures are
+    /// skipped (the next pass retries them).
+    pub fn compact(&self, quarantine_age: Duration) -> io::Result<CompactReport> {
+        let mut out = CompactReport::default();
+        let (manifested, authoritative): (BTreeSet<u64>, bool) = {
+            let mut state = self.manifest.lock_recover();
+            if self.write_manifest(&state.entries).is_ok() {
+                state.dirty_ops = 0;
+            }
+            (state.entries.keys().copied().collect(), state.authoritative)
+        };
+        let now = SystemTime::now();
+        // Evidence quarantined by this very pass (rename keeps the old
+        // mtime) must survive until a later compact can age it out.
+        let mut captured: BTreeSet<PathBuf> = BTreeSet::new();
+        let aged = |path: &Path, age: Duration| {
+            fs::metadata(path)
+                .and_then(|md| md.modified())
+                .ok()
+                .and_then(|m| now.duration_since(m).ok())
+                .is_some_and(|elapsed| elapsed >= age)
+        };
+        for entry in fs::read_dir(&self.dir)? {
+            let Ok(entry) = entry else { continue };
+            let path = entry.path();
+            if path.is_dir() {
+                continue;
+            }
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.ends_with(".tmp") {
+                // An in-flight checkpoint also lives under .tmp for a
+                // moment — only crash debris is old enough to touch.
+                if aged(&path, DEBRIS_AGE) {
+                    if let Some(dest) = self.quarantine_path(&path, "aged temp debris") {
+                        out.quarantined += 1;
+                        captured.insert(dest);
+                    }
+                }
+                continue;
+            }
+            if !name.ends_with(".snap") {
+                continue;
+            }
+            let Some(id) = parse_session_file_name(&name) else {
+                continue; // the next scan quarantines these
+            };
+            if authoritative && !manifested.contains(&id) && aged(&path, DEBRIS_AGE) {
+                // A superseded or foreign generation: the manifest — made
+                // complete by a scan and maintained since — does not know
+                // it, and it is too old to be a checkpoint racing us.
+                if fs::remove_file(&path).is_ok() {
+                    out.removed += 1;
+                }
+            }
+        }
+        if let Ok(entries) = fs::read_dir(self.dir.join("quarantine")) {
+            for entry in entries.flatten() {
+                let path = entry.path();
+                if !path.is_dir()
+                    && !captured.contains(&path)
+                    && aged(&path, quarantine_age)
+                    && fs::remove_file(&path).is_ok()
+                {
+                    out.removed += 1;
+                }
+            }
+        }
+        Ok(out)
     }
 
     /// Best-effort fsync of the archive directory (ensures the rename is
@@ -380,8 +689,7 @@ mod tests {
         archive.remove(7).unwrap(); // idempotent
         assert_eq!(archive.load(7).unwrap(), None);
         let report = archive.scan().unwrap();
-        assert_eq!(report.restored.len(), 1);
-        assert_eq!(report.restored[0].0, 9);
+        assert_eq!(report.restored, vec![9]);
         assert!(report.quarantined.is_empty());
         let _ = fs::remove_dir_all(&dir);
     }
@@ -399,8 +707,8 @@ mod tests {
         // And a fresh scan restores it while quarantining the torn temp.
         let clean = SnapshotArchive::open(&dir).unwrap();
         let report = clean.scan().unwrap();
-        assert_eq!(report.restored.len(), 1);
-        assert_eq!(report.restored[0].1, b"generation-1");
+        assert_eq!(report.restored, vec![3]);
+        assert_eq!(clean.load(3).unwrap().unwrap(), b"generation-1");
         assert_eq!(report.quarantined.len(), 1);
         let _ = fs::remove_dir_all(&dir);
     }
@@ -418,16 +726,132 @@ mod tests {
         let last = bytes.len() - 1;
         bytes[last] ^= 0xFF;
         fs::write(&path, &bytes).unwrap();
-        // And drop an unparseable name alongside.
+        // And drop an unparseable name alongside. Delete the manifest so
+        // this exercises the full recovery walk (with a manifest the
+        // size-preserving flip is deliberately deferred to load time).
         fs::write(dir.join("session-abc.snap"), b"junk").unwrap();
+        fs::remove_file(dir.join(MANIFEST_FILE)).unwrap();
         let report = archive.scan().unwrap();
-        let ids: Vec<u64> = report.restored.iter().map(|&(id, _)| id).collect();
-        assert_eq!(ids, vec![1, 3]);
+        assert_eq!(report.restored, vec![1, 3]);
         assert_eq!(report.quarantined.len(), 2);
         // Quarantined files moved out of the way: a second scan is clean.
         let again = archive.scan().unwrap();
-        assert_eq!(again.restored.len(), 2);
+        assert_eq!(again.restored, vec![1, 3]);
         assert!(again.quarantined.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_scan_trusts_sizes_and_load_catches_corruption() {
+        let dir = temp_dir("manifest-trust");
+        {
+            let archive = SnapshotArchive::open(&dir).unwrap();
+            archive.store(1, b"payload-one").unwrap();
+            archive.store(2, b"payload-two").unwrap();
+            archive.store(3, b"payload-three").unwrap();
+        }
+        // Size-preserving corruption of session 2.
+        let path = dir.join(session_file_name(2));
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        // A fresh archive trusts the manifest: the stat check passes, so
+        // the scan restores all three ids without reading their bytes…
+        let fresh = SnapshotArchive::open(&dir).unwrap();
+        let report = fresh.scan().unwrap();
+        assert_eq!(report.restored, vec![1, 2, 3]);
+        assert!(report.quarantined.is_empty());
+        // …and the deferred CRC check rejects the damage at load time.
+        assert_eq!(fresh.load(1).unwrap().unwrap(), b"payload-one");
+        let err = fresh.load(2).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::InvalidData);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_or_missing_manifest_falls_back_to_the_full_walk() {
+        let dir = temp_dir("manifest-torn");
+        {
+            let archive = SnapshotArchive::open(&dir).unwrap();
+            for id in 1..=4 {
+                archive.store(id, format!("payload-{id}").as_bytes()).unwrap();
+            }
+        }
+        // Tear the manifest mid-frame: the scan must not trust it.
+        let manifest = dir.join(MANIFEST_FILE);
+        let bytes = fs::read(&manifest).unwrap();
+        fs::write(&manifest, &bytes[..bytes.len() / 2]).unwrap();
+        let fresh = SnapshotArchive::open(&dir).unwrap();
+        assert!(fresh.read_manifest().is_none(), "torn manifest must not parse");
+        let report = fresh.scan().unwrap();
+        assert_eq!(report.restored, vec![1, 2, 3, 4]);
+        assert!(report.quarantined.is_empty());
+        // The scan healed the manifest: the next archive trusts it again.
+        let healed = SnapshotArchive::open(&dir).unwrap();
+        assert!(healed.read_manifest().is_some());
+        assert_eq!(healed.scan().unwrap().restored, vec![1, 2, 3, 4]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compact_drops_unmanifested_debris_and_aged_quarantine_only() {
+        let dir = temp_dir("compact");
+        let archive = SnapshotArchive::open(&dir).unwrap();
+        archive.store(1, b"live-one").unwrap();
+        archive.store(2, b"live-two").unwrap();
+        let report = archive.scan().unwrap();
+        assert_eq!(report.restored, vec![1, 2]);
+
+        let age = |path: &PathBuf| {
+            let f = OpenOptions::new().write(true).open(path).unwrap();
+            f.set_modified(SystemTime::now() - Duration::from_secs(3600)).unwrap();
+        };
+        // Debris: an old foreign generation, an old torn temp, and aged
+        // quarantine evidence — plus a *fresh* unmanifested snapshot
+        // that must survive (it could be a checkpoint racing us).
+        fs::write(dir.join("session-77.snap"), frame(b"superseded")).unwrap();
+        age(&dir.join("session-77.snap"));
+        fs::write(dir.join("session-5.snap.tmp"), b"torn").unwrap();
+        age(&dir.join("session-5.snap.tmp"));
+        let qdir = dir.join("quarantine");
+        fs::create_dir_all(&qdir).unwrap();
+        fs::write(qdir.join("session-9.snap"), b"old evidence").unwrap();
+        age(&qdir.join("session-9.snap"));
+        fs::write(dir.join("session-88.snap"), frame(b"in-flight")).unwrap();
+
+        let out = archive.compact(Duration::from_secs(60)).unwrap();
+        // Removed: session-77.snap + the aged quarantine file.
+        assert_eq!(out.removed, 2);
+        // Quarantined: the aged torn temp.
+        assert_eq!(out.quarantined, 1);
+        assert!(!dir.join("session-77.snap").exists());
+        assert!(!dir.join("session-5.snap.tmp").exists());
+        assert!(!qdir.join("session-9.snap").exists());
+        assert!(dir.join("session-88.snap").exists(), "fresh strays are left alone");
+        // Live snapshots keep their names and contents.
+        assert_eq!(archive.load(1).unwrap().unwrap(), b"live-one");
+        assert_eq!(archive.load(2).unwrap().unwrap(), b"live-two");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compact_without_authoritative_manifest_leaves_snapshots_alone() {
+        let dir = temp_dir("compact-timid");
+        {
+            let seeder = SnapshotArchive::open(&dir).unwrap();
+            seeder.store(1, b"one").unwrap();
+        }
+        // A foreign snapshot this fresh archive never enumerated: no
+        // scan ran, so compaction must not touch any .snap file.
+        fs::write(dir.join("session-42.snap"), frame(b"unknown")).unwrap();
+        let f = OpenOptions::new().write(true).open(dir.join("session-42.snap")).unwrap();
+        f.set_modified(SystemTime::now() - Duration::from_secs(3600)).unwrap();
+        let archive = SnapshotArchive::open(&dir).unwrap();
+        let out = archive.compact(Duration::from_secs(60)).unwrap();
+        assert_eq!(out.removed, 0);
+        assert!(dir.join("session-42.snap").exists());
+        assert!(dir.join("session-1.snap").exists());
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -473,8 +897,7 @@ mod tests {
         archive.store(1, b"live-one").unwrap();
         archive.store(2, b"live-two").unwrap();
         let report = archive.scan().unwrap();
-        let ids: Vec<u64> = report.restored.iter().map(|&(id, _)| id).collect();
-        assert_eq!(ids, vec![1, 2]);
+        assert_eq!(report.restored, vec![1, 2]);
         assert!(report.quarantined.is_empty());
         // Quarantine contents untouched by the scan.
         assert_eq!(fs::read(qdir.join("session-1.snap")).unwrap(), b"old corrupt thing");

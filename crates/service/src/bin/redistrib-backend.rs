@@ -3,7 +3,7 @@
 //! ```text
 //! redistrib-backend --archive-dir DIR [--addr HOST:PORT] [--port-file FILE]
 //!                   [--workers N] [--ttl SECS] [--max-sessions N]
-//!                   [--checkpoint-interval SECS]
+//!                   [--checkpoint-interval SECS] [--compact-interval SECS]
 //! ```
 //!
 //! This is the process a [`ProcessLauncher`] spawns: it binds (usually
@@ -37,11 +37,13 @@ struct Args {
     ttl_secs: Option<u64>,
     max_sessions: Option<usize>,
     checkpoint_secs: Option<u64>,
+    compact_secs: Option<u64>,
 }
 
 fn usage() -> String {
     "usage: redistrib-backend --archive-dir DIR [--addr HOST:PORT] [--port-file FILE]\n\
-     \x20      [--workers N] [--ttl SECS] [--max-sessions N] [--checkpoint-interval SECS]"
+     \x20      [--workers N] [--ttl SECS] [--max-sessions N] [--checkpoint-interval SECS]\n\
+     \x20      [--compact-interval SECS]"
         .to_string()
 }
 
@@ -53,6 +55,7 @@ fn parse_args() -> Result<Args, String> {
     let mut ttl_secs = None;
     let mut max_sessions = None;
     let mut checkpoint_secs = None;
+    let mut compact_secs = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
@@ -75,12 +78,28 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|_| "bad --checkpoint-interval")?,
                 );
             }
+            "--compact-interval" => {
+                compact_secs = Some(
+                    value("--compact-interval")?
+                        .parse()
+                        .map_err(|_| "bad --compact-interval")?,
+                );
+            }
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown argument {other}\n{}", usage())),
         }
     }
     let archive_dir = archive_dir.ok_or(format!("--archive-dir is required\n{}", usage()))?;
-    Ok(Args { addr, archive_dir, port_file, workers, ttl_secs, max_sessions, checkpoint_secs })
+    Ok(Args {
+        addr,
+        archive_dir,
+        port_file,
+        workers,
+        ttl_secs,
+        max_sessions,
+        checkpoint_secs,
+        compact_secs,
+    })
 }
 
 /// Atomic publish: write to a temp file, then rename — a reader never
@@ -114,6 +133,7 @@ fn main() -> ExitCode {
             max_sessions: args.max_sessions,
         },
         checkpoint_interval: args.checkpoint_secs.map(Duration::from_secs),
+        compact_interval: args.compact_secs.map(Duration::from_secs),
     };
     let (mut host, _store, report) = match redistrib_service::serve_with(&args.addr, cfg) {
         Ok(triple) => triple,

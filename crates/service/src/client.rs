@@ -105,7 +105,7 @@ pub fn delete(addr: SocketAddr, path: &str) -> io::Result<(u16, String)> {
     request(addr, "DELETE", path, None)
 }
 
-fn send_request(
+pub(crate) fn send_request(
     stream: &mut TcpStream,
     addr: SocketAddr,
     method: &str,
@@ -124,8 +124,35 @@ fn send_request(
     stream.flush()
 }
 
+/// Reads one response off the wire, reporting whether *any* response
+/// bytes arrived before the outcome was decided. The distinction drives
+/// resend safety on pooled connections: a keep-alive connection the
+/// server closed while idle yields zero bytes (the request was never
+/// processed — resending is safe even for a POST), whereas a connection
+/// that died mid-response may have committed the request's effects.
+pub(crate) fn read_response_probed(
+    reader: &mut BufReader<TcpStream>,
+) -> (bool, io::Result<HttpAnswer>) {
+    match reader.fill_buf() {
+        Ok([]) => {
+            (false, Err(io::Error::new(io::ErrorKind::UnexpectedEof, "connection closed")))
+        }
+        Ok(_) => (true, read_response(reader)),
+        Err(e) => (false, Err(e)),
+    }
+}
+
+/// Whether resending `method` after a stale-connection failure is safe.
+/// GET and DELETE are idempotent — always safe. POST (create,
+/// checkpoint, admin actions) is safe only when the failure arrived
+/// before any response byte: the server either never saw the request or
+/// closed the connection without starting to answer it.
+pub(crate) fn resend_safe(method: &str, got_response_bytes: bool) -> bool {
+    matches!(method, "GET" | "DELETE") || !got_response_bytes
+}
+
 /// Reads one response off the wire.
-fn read_response(reader: &mut BufReader<TcpStream>) -> io::Result<HttpAnswer> {
+pub(crate) fn read_response(reader: &mut BufReader<TcpStream>) -> io::Result<HttpAnswer> {
     let mut status_line = String::new();
     if reader.read_line(&mut status_line)? == 0 {
         return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "connection closed"));
@@ -265,10 +292,14 @@ impl Client {
         Ok(self.conn.as_mut().unwrap())
     }
 
-    /// One request on the kept-alive connection, no retries. A failure on
-    /// a *reused* connection for a GET is transparently resent once on a
-    /// fresh connection (the server may have closed the idle connection
-    /// under us); other methods surface the error.
+    /// One request on the kept-alive connection, no retries. A stale
+    /// failure on a *reused* connection is transparently resent once on a
+    /// fresh connection when resending is safe ([`resend_safe`]): always
+    /// for idempotent GET/DELETE, and for POST only when the failure
+    /// arrived before any response byte — the server closed the idle
+    /// connection under us without processing the request. A POST that
+    /// died mid-response surfaces the error instead (its effects may have
+    /// been committed).
     fn request_once(
         &mut self,
         method: &str,
@@ -276,11 +307,11 @@ impl Client {
         body: Option<&str>,
     ) -> io::Result<HttpAnswer> {
         let reused = self.conn.is_some();
-        let result = self.request_on_conn(method, path, body);
+        let (got_bytes, result) = self.request_on_conn(method, path, body);
         match result {
-            Err(ref e) if reused && method == "GET" && is_stale(e) => {
+            Err(ref e) if reused && is_stale(e) && resend_safe(method, got_bytes) => {
                 self.conn = None;
-                self.request_on_conn(method, path, body)
+                self.request_on_conn(method, path, body).1
             }
             other => other,
         }
@@ -291,12 +322,18 @@ impl Client {
         method: &str,
         path: &str,
         body: Option<&str>,
-    ) -> io::Result<HttpAnswer> {
+    ) -> (bool, io::Result<HttpAnswer>) {
         let addr = self.addr;
-        let reader = self.connect()?;
-        let sent = send_request(reader.get_mut(), addr, method, path, body, false)
-            .and_then(|()| read_response(reader));
-        match sent {
+        let reader = match self.connect() {
+            Ok(reader) => reader,
+            Err(e) => return (false, Err(e)),
+        };
+        let (got_bytes, sent) =
+            match send_request(reader.get_mut(), addr, method, path, body, false) {
+                Ok(()) => read_response_probed(reader),
+                Err(e) => (false, Err(e)),
+            };
+        let outcome = match sent {
             Ok(ans) => {
                 if ans.close {
                     self.conn = None;
@@ -307,7 +344,8 @@ impl Client {
                 self.conn = None;
                 Err(e)
             }
-        }
+        };
+        (got_bytes, outcome)
     }
 
     /// The sleep before retry number `attempt` (0-based): the server's
@@ -380,7 +418,7 @@ impl Client {
 
 /// Errors consistent with "the server closed the idle keep-alive
 /// connection between our requests".
-fn is_stale(e: &io::Error) -> bool {
+pub(crate) fn is_stale(e: &io::Error) -> bool {
     matches!(
         e.kind(),
         io::ErrorKind::UnexpectedEof
@@ -437,6 +475,100 @@ mod tests {
         }
         // By attempt 8 the uncapped schedule would be 2.56s+jitter.
         assert_eq!(c.backoff_delay(8, None), Duration::from_millis(80));
+    }
+
+    /// Reads one HTTP request off a test connection (head + body).
+    fn read_request(reader: &mut BufReader<std::net::TcpStream>) -> io::Result<()> {
+        let mut content_length = 0usize;
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if reader.read_line(&mut line)? == 0 {
+                return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "peer went away"));
+            }
+            let t = line.trim_end();
+            if t.is_empty() {
+                break;
+            }
+            if let Some((k, v)) = t.split_once(':') {
+                if k.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = v.trim().parse().unwrap_or(0);
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body)
+    }
+
+    #[test]
+    fn resend_safety_is_method_and_bytes_aware() {
+        // Idempotent verbs are always safe to resend.
+        assert!(resend_safe("GET", true));
+        assert!(resend_safe("GET", false));
+        assert!(resend_safe("DELETE", true));
+        // POST is safe only before the first response byte.
+        assert!(resend_safe("POST", false));
+        assert!(!resend_safe("POST", true));
+    }
+
+    #[test]
+    fn stale_idle_connection_resends_post_when_no_bytes_received() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            // First connection: answer one request, then close it while
+            // the client believes it is still good.
+            let (a, _) = listener.accept().unwrap();
+            let mut a = BufReader::new(a);
+            read_request(&mut a).unwrap();
+            a.get_mut()
+                .write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 5\r\n\r\nfirst")
+                .unwrap();
+            drop(a);
+            // Second connection: the transparently resent POST.
+            let (b, _) = listener.accept().unwrap();
+            let mut b = BufReader::new(b);
+            read_request(&mut b).unwrap();
+            b.get_mut()
+                .write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 6\r\n\r\nsecond")
+                .unwrap();
+        });
+        let mut client = Client::new(addr);
+        let (s1, b1) = client.post("/one", "{}").unwrap();
+        assert_eq!((s1, b1.as_str()), (200, "first"));
+        // The server closed the idle connection without reading this
+        // request: zero response bytes → safe to resend, even as a POST.
+        let (s2, b2) = client.post("/two", "{}").unwrap();
+        assert_eq!((s2, b2.as_str()), (200, "second"));
+        assert_eq!(client.connections_opened(), 2, "exactly one transparent reconnect");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn post_that_died_mid_response_surfaces_the_error() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (a, _) = listener.accept().unwrap();
+            let mut a = BufReader::new(a);
+            read_request(&mut a).unwrap();
+            a.get_mut()
+                .write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 5\r\n\r\nfirst")
+                .unwrap();
+            // Second request on the same connection: start answering,
+            // then die mid-head — the request's effects may have landed.
+            read_request(&mut a).unwrap();
+            a.get_mut().write_all(b"HTTP/1.1 500 Inter").unwrap();
+        });
+        let mut client = Client::new(addr);
+        let (s1, _) = client.post("/one", "{}").unwrap();
+        assert_eq!(s1, 200);
+        // Response bytes arrived before the connection died: resending
+        // the POST could double-apply it, so the error must surface.
+        let err = client.post("/two", "{}").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        assert_eq!(client.connections_opened(), 1, "no transparent resend");
+        server.join().unwrap();
     }
 
     #[test]

@@ -455,6 +455,47 @@ where
     let _ = stream.shutdown(Shutdown::Both);
 }
 
+/// Active connections, severed on [`HttpServer::shutdown`] so a hard
+/// kill is a crash, not a drain: without this, a keep-alive peer (the
+/// router's connection pool pumping probes and proxied requests) keeps a
+/// worker serving long after `stop` is set, and `shutdown` blocks in
+/// `join` while the supposedly-dead server answers. Slots are reused so
+/// the vec stays bounded by peak concurrency.
+#[derive(Debug, Default)]
+struct ConnRegistry {
+    conns: Vec<Option<TcpStream>>,
+}
+
+impl ConnRegistry {
+    fn register(&mut self, stream: &TcpStream) -> Option<usize> {
+        let clone = stream.try_clone().ok()?;
+        match self.conns.iter_mut().enumerate().find(|(_, slot)| slot.is_none()) {
+            Some((i, slot)) => {
+                *slot = Some(clone);
+                Some(i)
+            }
+            None => {
+                self.conns.push(Some(clone));
+                Some(self.conns.len() - 1)
+            }
+        }
+    }
+
+    fn deregister(&mut self, slot: Option<usize>) {
+        if let Some(i) = slot {
+            self.conns[i] = None;
+        }
+    }
+
+    fn sever_all(&mut self) {
+        for slot in &mut self.conns {
+            if let Some(stream) = slot.take() {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+        }
+    }
+}
+
 /// Sheds one connection with a canned `503 Retry-After` (used by the
 /// acceptor when the worker backlog is full). Best-effort and bounded by
 /// a short write timeout so a slow peer cannot stall accepting.
@@ -481,6 +522,7 @@ fn shed(stream: &TcpStream) {
 pub struct HttpServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    active: Arc<OrderedMutex<ConnRegistry>>,
     threads: Vec<JoinHandle<()>>,
 }
 
@@ -524,6 +566,8 @@ impl HttpServer {
 
         let (tx, rx) = mpsc::sync_channel::<TcpStream>(cfg.backlog.max(1));
         let rx = Arc::new(OrderedMutex::new(rank::HTTP_CONN_QUEUE, rx));
+        let active =
+            Arc::new(OrderedMutex::new(rank::HTTP_ACTIVE_CONNS, ConnRegistry::default()));
         let handler = Arc::new(handler);
         let cfg = Arc::new(cfg);
 
@@ -534,6 +578,7 @@ impl HttpServer {
             let cfg = Arc::clone(&cfg);
             let closing = Arc::clone(&drain);
             let stop_worker = Arc::clone(&stop);
+            let active = Arc::clone(&active);
             threads.push(std::thread::spawn(move || loop {
                 // Hold the receiver lock only while dequeuing. Recovery
                 // acquisition: a worker that panicked while *dequeuing*
@@ -541,12 +586,18 @@ impl HttpServer {
                 let next = rx.lock_recover().recv();
                 match next {
                     Ok(stream) => {
+                        let slot = active.lock_recover().register(&stream);
+                        // Re-check stop *after* registering: a shutdown
+                        // that ran its sever pass before this insert has
+                        // already set the flag, so the connection cannot
+                        // slip through unsevered.
                         if stop_worker.load(Ordering::SeqCst) {
                             // Hard shutdown: drop queued connections.
                             let _ = stream.shutdown(Shutdown::Both);
-                            continue;
+                        } else {
+                            serve_connection(&stream, &cfg, &closing, handler.as_ref());
                         }
-                        serve_connection(&stream, &cfg, &closing, handler.as_ref());
+                        active.lock_recover().deregister(slot);
                     }
                     Err(_) => break, // acceptor gone and queue drained
                 }
@@ -583,7 +634,7 @@ impl HttpServer {
             }
         }));
 
-        Ok(Self { addr, stop, threads })
+        Ok(Self { addr, stop, active, threads })
     }
 
     /// The bound address (resolves ephemeral ports).
@@ -601,9 +652,14 @@ impl HttpServer {
         }
     }
 
-    /// Stops accepting, drops queued connections, and joins all threads.
+    /// Stops accepting, drops queued connections, severs every active
+    /// connection mid-exchange, and joins all threads. This is the crash
+    /// contract: keep-alive peers see a reset, not a drained reply —
+    /// without the sever, a connection pool pumping requests would keep
+    /// workers serving for up to `max_requests_per_conn` more exchanges.
     pub fn shutdown(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
+        self.active.lock_recover().sever_all();
         self.join();
     }
 }
@@ -662,6 +718,52 @@ mod tests {
             assert_eq!(body, format!("pong:{i}"));
         }
         assert_eq!(c.connections_opened(), 1, "all requests must reuse one connection");
+    }
+
+    #[test]
+    fn shutdown_severs_parked_keep_alive_connections_promptly() {
+        let mut server =
+            HttpServer::bind("127.0.0.1:0", 2, |_| Response::text(200, "ok")).unwrap();
+        let addr = server.addr();
+        // Park a keep-alive conversation in every worker: one exchange
+        // each, then leave the connections open so both workers sit in
+        // the between-requests read with the full idle deadline ahead.
+        let mut parked: Vec<TcpStream> = (0..2)
+            .map(|_| {
+                let mut s = TcpStream::connect(addr).unwrap();
+                s.write_all(
+                    b"GET /x HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\
+                      Connection: keep-alive\r\n\r\n",
+                )
+                .unwrap();
+                s.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+                let mut got = Vec::new();
+                let mut buf = [0u8; 256];
+                while !got.ends_with(b"ok") {
+                    let n = s.read(&mut buf).unwrap();
+                    assert!(n > 0, "response must arrive before EOF");
+                    got.extend_from_slice(&buf[..n]);
+                }
+                s
+            })
+            .collect();
+        // The crash contract: shutdown severs the parked conversations
+        // instead of waiting out their idle deadlines (or, with a pumping
+        // peer, their request caps).
+        let t0 = std::time::Instant::now();
+        server.shutdown();
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "shutdown blocked {:?} on parked keep-alive peers",
+            t0.elapsed()
+        );
+        for s in &mut parked {
+            let mut buf = [0u8; 64];
+            match s.read(&mut buf) {
+                Ok(0) | Err(_) => {}
+                Ok(n) => panic!("severed connection still delivered {n} bytes"),
+            }
+        }
     }
 
     #[test]

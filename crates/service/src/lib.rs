@@ -47,6 +47,9 @@
 //! * [`client`] — a blocking client: one-shot helpers plus a keep-alive
 //!   [`Client`] with seeded retry backoff that honors `Retry-After`;
 //! * [`shard`] — rendezvous hashing and the session → backend shard map;
+//! * [`pool`] — the bounded per-backend keep-alive connection pool the
+//!   router's proxying, the supervisor's probes, and fleet fan-out draw
+//!   from;
 //! * [`supervisor`] — fleet supervision: launchers, health probes,
 //!   per-backend circuit breakers, restart-in-place and archive-based
 //!   migration;
@@ -89,6 +92,7 @@ pub mod client;
 pub mod faultio;
 pub mod http;
 pub mod json;
+pub mod pool;
 pub mod router;
 pub mod server;
 pub mod shard;
@@ -102,6 +106,7 @@ pub use client::{Client, ClientConfig, HttpAnswer};
 pub use faultio::{FaultPlan, FaultReader, FaultWriter, ReadFault, WriteFault};
 pub use http::{HttpConfig, HttpServer, Request, Response};
 pub use json::{Json, JsonError};
+pub use pool::{ConnectionPool, PoolConfig};
 pub use router::{handle_router, serve_router, Router, RouterConfig, RouterState};
 pub use server::{handle, serve, serve_with, ServiceConfig, ServiceHost, ServiceState};
 pub use shard::{rendezvous, ShardMap};

@@ -25,8 +25,9 @@
 //!   While the owning backend's breaker is open the request is shed with
 //!   `503 Retry-After` — by the time the client retries, the backend has
 //!   either been restarted in place or its sessions have been migrated.
-//! * `GET /v1/sessions` and `POST /v1/admin/checkpoint` fan out to every
-//!   active backend and merge.
+//! * `GET /v1/sessions`, `POST /v1/admin/checkpoint`, and
+//!   `POST /v1/admin/compact` fan out to every active backend
+//!   concurrently over pooled connections and merge the answers.
 //! * `POST /v1/admin/retire/{backend}` gracefully removes one backend:
 //!   drain, wait for exit, redistribute its final checkpoints.
 //! * `POST /v1/admin/drain` drains the whole fleet and then the router.
@@ -41,9 +42,10 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crate::client::{self, HttpAnswer};
+use crate::client::HttpAnswer;
 use crate::http::{HttpConfig, HttpServer, Request, Response};
 use crate::json::{obj, Json};
+use crate::pool::PoolConfig;
 use crate::spec::ApiError;
 use crate::supervisor::{BackendLauncher, BackendSpec, Supervisor, SupervisorConfig};
 
@@ -56,6 +58,9 @@ pub struct RouterConfig {
     pub supervisor: SupervisorConfig,
     /// Deadline on each proxied backend call (connect + write + read).
     pub proxy_timeout: Duration,
+    /// Per-backend keep-alive connection pool limits, shared by
+    /// proxying, probes, and fleet fan-out.
+    pub pool: PoolConfig,
 }
 
 impl Default for RouterConfig {
@@ -64,6 +69,7 @@ impl Default for RouterConfig {
             http: HttpConfig::default(),
             supervisor: SupervisorConfig::default(),
             proxy_timeout: Duration::from_secs(30),
+            pool: PoolConfig::default(),
         }
     }
 }
@@ -166,13 +172,19 @@ fn proxy(
     path_q: &str,
     body: Option<&str>,
 ) -> Response {
-    match client::request_answer(addr, method, path_q, body, state.proxy_timeout) {
+    match state.supervisor.pool().request(addr, method, path_q, body, state.proxy_timeout) {
         Ok(ans) => {
             if ans.status == 500 && ans.body.contains("poisoned") {
                 state.supervisor.report_failure(backend);
             }
             answer_to_response(&ans)
         }
+        // Pool at capacity: the backend is alive but every connection
+        // is busy. Shed without counting toward the breaker — tripping
+        // it would turn an overload blip into a spurious failover.
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock => Response::from(
+            ApiError::unavailable(format!("backend {backend} is saturated, retry shortly"), 1),
+        ),
         Err(_) => {
             state.supervisor.report_failure(backend);
             Response::from(ApiError::unavailable(
@@ -207,17 +219,48 @@ fn handle_create_like(state: &RouterState, req: &Request) -> Response {
     resp
 }
 
+/// Issues the same request to every active backend **concurrently**
+/// over pooled connections and returns each backend's answer in fleet
+/// order (`None` for socket-level failures). Fan-out endpoints pay one
+/// slowest-backend round trip instead of the sum of all of them.
+fn fan_out(
+    state: &RouterState,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Vec<(String, Option<HttpAnswer>)> {
+    let targets = state.supervisor.active_backends();
+    std::thread::scope(|scope| {
+        let answers: Vec<_> = targets
+            .iter()
+            .map(|(_, addr)| {
+                let addr = *addr;
+                scope.spawn(move || {
+                    state
+                        .supervisor
+                        .pool()
+                        .request(addr, method, path, body, state.proxy_timeout)
+                        .ok()
+                })
+            })
+            .collect();
+        targets
+            .into_iter()
+            .zip(answers)
+            .map(|((name, _), answer)| (name, answer.join().ok().flatten()))
+            .collect()
+    })
+}
+
 /// `GET /v1/sessions` fan-out: merged summaries from every active
 /// backend, plus the names of backends that could not answer.
 fn handle_list(state: &RouterState) -> Response {
     let mut sessions: Vec<Json> = Vec::new();
     let mut evicted: Vec<Json> = Vec::new();
     let mut unreachable: Vec<Json> = Vec::new();
-    for (name, addr) in state.supervisor.active_backends() {
-        let answered =
-            client::request_answer(addr, "GET", "/v1/sessions", None, state.proxy_timeout);
+    for (name, answered) in fan_out(state, "GET", "/v1/sessions", None) {
         match answered {
-            Ok(ans) if ans.status == 200 => {
+            Some(ans) if ans.status == 200 => {
                 if let Ok(doc) = Json::parse(&ans.body) {
                     if let Some(arr) = doc.get("sessions").and_then(Json::as_arr) {
                         sessions.extend(arr.iter().cloned());
@@ -248,16 +291,9 @@ fn handle_admin_checkpoint(state: &RouterState) -> Response {
     let mut total: i128 = 0;
     let mut failures: Vec<Json> = Vec::new();
     let mut unreachable: Vec<Json> = Vec::new();
-    for (name, addr) in state.supervisor.active_backends() {
-        let answered = client::request_answer(
-            addr,
-            "POST",
-            "/v1/admin/checkpoint",
-            Some("{}"),
-            state.proxy_timeout,
-        );
+    for (name, answered) in fan_out(state, "POST", "/v1/admin/checkpoint", Some("{}")) {
         match answered {
-            Ok(ans) if ans.status == 200 => {
+            Some(ans) if ans.status == 200 => {
                 if let Ok(doc) = Json::parse(&ans.body) {
                     if let Some(n) = doc.get("checkpointed").and_then(Json::as_u64) {
                         total += i128::from(n);
@@ -275,6 +311,38 @@ fn handle_admin_checkpoint(state: &RouterState) -> Response {
         &obj(vec![
             ("checkpointed", Json::Int(total)),
             ("failures", Json::Arr(failures)),
+            ("unreachable", Json::Arr(unreachable)),
+        ]),
+    )
+}
+
+/// `POST /v1/admin/compact` fan-out: every active backend compacts its
+/// snapshot archive (drop superseded files, age out quarantine debris);
+/// counts are summed.
+fn handle_admin_compact(state: &RouterState) -> Response {
+    let mut removed: i128 = 0;
+    let mut quarantined: i128 = 0;
+    let mut unreachable: Vec<Json> = Vec::new();
+    for (name, answered) in fan_out(state, "POST", "/v1/admin/compact", Some("{}")) {
+        match answered {
+            Some(ans) if ans.status == 200 => {
+                if let Ok(doc) = Json::parse(&ans.body) {
+                    if let Some(n) = doc.get("removed").and_then(Json::as_u64) {
+                        removed += i128::from(n);
+                    }
+                    if let Some(n) = doc.get("quarantined").and_then(Json::as_u64) {
+                        quarantined += i128::from(n);
+                    }
+                }
+            }
+            _ => unreachable.push(Json::Str(name)),
+        }
+    }
+    Response::json(
+        200,
+        &obj(vec![
+            ("removed", Json::Int(removed)),
+            ("quarantined", Json::Int(quarantined)),
             ("unreachable", Json::Arr(unreachable)),
         ]),
     )
@@ -369,11 +437,11 @@ pub fn handle_router(state: &RouterState, req: &Request) -> Response {
         }
         ("GET", ["v1", "sessions"]) => handle_list(state),
         ("POST", ["v1", "admin", "checkpoint"]) => handle_admin_checkpoint(state),
+        ("POST", ["v1", "admin", "compact"]) => handle_admin_compact(state),
         ("POST", ["v1", "admin", "drain"]) => handle_admin_drain(state),
         ("POST", ["v1", "admin", "retire", name]) => handle_retire(state, name),
-        (_, ["v1", "admin", "checkpoint" | "drain"]) | (_, ["v1", "admin", "retire", _]) => {
-            method_not_allowed()
-        }
+        (_, ["v1", "admin", "checkpoint" | "compact" | "drain"])
+        | (_, ["v1", "admin", "retire", _]) => method_not_allowed(),
         (_, ["v1", "sessions", id, ..]) => match id.parse::<u64>() {
             Ok(id) => handle_session_route(state, id, req),
             Err(_) => Response::from(ApiError::bad_request("session id must be an integer")),
@@ -468,7 +536,8 @@ pub fn serve_router(
     launcher: Box<dyn BackendLauncher>,
     specs: Vec<BackendSpec>,
 ) -> io::Result<Router> {
-    let supervisor = Arc::new(Supervisor::boot(launcher, cfg.supervisor, specs)?);
+    let supervisor =
+        Arc::new(Supervisor::boot_pooled(launcher, cfg.supervisor, cfg.pool, specs)?);
     let state = RouterState::new(Arc::clone(&supervisor), cfg.proxy_timeout);
 
     let routed = state.clone();
@@ -485,6 +554,7 @@ pub fn serve_router(
         std::thread::spawn(move || {
             while !stop.load(Ordering::SeqCst) && !drain.load(Ordering::SeqCst) {
                 sup.tick();
+                sup.pool().reap_idle();
                 std::thread::sleep(interval);
             }
         })

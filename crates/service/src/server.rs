@@ -19,6 +19,7 @@
 //! | POST | `/v1/sessions/{id}/snapshot` | snapshot document |
 //! | POST | `/v1/sessions/restore` | resume a snapshot document (fresh id, or `?id=N` to pin) |
 //! | POST | `/v1/admin/checkpoint` | checkpoint every live session |
+//! | POST | `/v1/admin/compact` | compact the snapshot archive |
 //! | POST | `/v1/admin/drain` | graceful drain: checkpoint all, stop accepting |
 //!
 //! `GET /healthz` answers with the JSON shape the fleet supervisor's
@@ -396,6 +397,23 @@ fn handle_admin_checkpoint(store: &SessionStore) -> Response {
     Response::json(200, &checkpoint_all_json(store))
 }
 
+/// Compacts the snapshot archive on demand: drop superseded snapshot
+/// generations, quarantine aged temp debris, delete quarantine evidence
+/// older than [`QUARANTINE_AGE`].
+fn handle_admin_compact(store: &SessionStore) -> Result<Response, ApiError> {
+    match store.compact_archive(QUARANTINE_AGE) {
+        None => Err(ApiError::conflict("no archive configured")),
+        Some(Err(e)) => Err(ApiError::new(500, format!("compaction failed: {e}"))),
+        Some(Ok(report)) => Ok(Response::json(
+            200,
+            &obj(vec![
+                ("removed", Json::Int(report.removed as i128)),
+                ("quarantined", Json::Int(report.quarantined as i128)),
+            ]),
+        )),
+    }
+}
+
 /// Initiates a graceful drain: checkpoint every session, then flip the
 /// drain flag so the acceptor stops and in-flight connections close
 /// after their current response.
@@ -435,8 +453,11 @@ pub fn handle(state: &ServiceState, req: &Request) -> Response {
         ("GET", ["v1", "sessions"]) => Ok(handle_list(store)),
         ("POST", ["v1", "sessions", "restore"]) => handle_restore(store, req),
         ("POST", ["v1", "admin", "checkpoint"]) => Ok(handle_admin_checkpoint(store)),
+        ("POST", ["v1", "admin", "compact"]) => handle_admin_compact(store),
         ("POST", ["v1", "admin", "drain"]) => Ok(handle_admin_drain(state)),
-        (_, ["v1", "admin", "checkpoint" | "drain"]) => return method_not_allowed(),
+        (_, ["v1", "admin", "checkpoint" | "compact" | "drain"]) => {
+            return method_not_allowed()
+        }
         (method, ["v1", "sessions", id]) => match id.parse::<u64>() {
             Err(_) => Err(ApiError::bad_request("session id must be an integer")),
             Ok(id) => match method {
@@ -497,11 +518,19 @@ pub struct ServiceConfig {
     /// Cadence of full-store checkpoints by the background sweeper
     /// (requires an archive). `None` = on-demand/eviction/drain only.
     pub checkpoint_interval: Option<Duration>,
+    /// Cadence of archive compaction by the background sweeper
+    /// (requires an archive). `None` = on-demand only
+    /// (`POST /v1/admin/compact`).
+    pub compact_interval: Option<Duration>,
 }
 
 /// How often the background sweeper wakes to check TTLs and checkpoint
 /// cadence.
 const SWEEP_TICK: Duration = Duration::from_millis(50);
+
+/// How long quarantine evidence is kept before sweeper-scheduled or
+/// admin-triggered compaction deletes it.
+const QUARANTINE_AGE: Duration = Duration::from_secs(24 * 3600);
 
 /// A running service: HTTP server + store + background sweeper (idle-TTL
 /// eviction and periodic checkpoints).
@@ -609,6 +638,8 @@ pub fn serve_with(
 ) -> io::Result<(ServiceHost, Arc<SessionStore>, RecoveryReport)> {
     let ttl_sweeps = cfg.store.idle_ttl.is_some() && cfg.store.archive.is_some();
     let checkpoint_interval = cfg.checkpoint_interval;
+    let compact_interval =
+        if cfg.store.archive.is_some() { cfg.compact_interval } else { None };
     let (store, report) = SessionStore::with_config(cfg.store)?;
     let store = Arc::new(store);
     let state = ServiceState::new(Arc::clone(&store));
@@ -620,11 +651,12 @@ pub fn serve_with(
 
     // Background sweeper: idle-TTL eviction plus periodic checkpoints.
     let sweeper_stop = Arc::new(AtomicBool::new(false));
-    let sweeper = if ttl_sweeps || checkpoint_interval.is_some() {
+    let sweeper = if ttl_sweeps || checkpoint_interval.is_some() || compact_interval.is_some() {
         let stop = Arc::clone(&sweeper_stop);
         let swept = Arc::clone(&store);
         Some(std::thread::spawn(move || {
             let mut last_checkpoint = Instant::now();
+            let mut last_compact = Instant::now();
             while !stop.load(Ordering::SeqCst) {
                 std::thread::sleep(SWEEP_TICK);
                 if ttl_sweeps {
@@ -634,6 +666,12 @@ pub fn serve_with(
                     if last_checkpoint.elapsed() >= every {
                         let (_ok, _failures) = swept.checkpoint_all();
                         last_checkpoint = Instant::now();
+                    }
+                }
+                if let Some(every) = compact_interval {
+                    if last_compact.elapsed() >= every {
+                        let _ = swept.compact_archive(QUARANTINE_AGE);
+                        last_compact = Instant::now();
                     }
                 }
             }

@@ -27,7 +27,10 @@
 //!    but only via **try-lock** — a try-acquisition backs off instead
 //!    of waiting, cannot deadlock, and therefore adds no
 //!    registry→session blocking edge to the graph.
-//! 3. `archive-fault-plan` (rank 40) — taken inside [`SnapshotArchive`]
+//! 3. `archive-manifest` (rank 35) — the archive's in-memory manifest
+//!    cache, updated after every checkpoint/removal (checkpoints run
+//!    under the session guard, so this sits strictly below it).
+//! 4. `archive-fault-plan` (rank 40) — taken inside [`SnapshotArchive`]
 //!    writes (checkpoints run under the session guard so the bytes on
 //!    disk are exactly the state that was pinned).
 //!
@@ -199,7 +202,21 @@ impl SessionStore {
             report.quarantined = scan.quarantined;
             let mut map = store.sessions.write_recover();
             let mut max_id = 0;
-            for (id, payload) in scan.restored {
+            for id in scan.restored {
+                // Load each payload individually: a manifest-trusting
+                // scan defers content verification to this read, so a
+                // corrupt-in-place file is quarantined right here.
+                let payload = match archive.load(id) {
+                    Ok(Some(payload)) => payload,
+                    Ok(None) => continue, // vanished between scan and load
+                    Err(e) => {
+                        let why = e.to_string();
+                        if let Some(path) = archive.quarantine(id, &why) {
+                            report.quarantined.push((path, why));
+                        }
+                        continue;
+                    }
+                };
                 match entry_from_payload(&payload) {
                     Ok(entry) => {
                         map.insert(
@@ -537,7 +554,24 @@ impl SessionStore {
                 Err(e) => failures.push((id, e.message)),
             }
         }
+        // A full sweep is the natural barrier to also persist the
+        // manifest, so a restart right after it takes the fast scan.
+        if let Some(archive) = &self.archive {
+            let _ = archive.flush_manifest();
+        }
         (ok, failures)
+    }
+
+    /// Compacts the archive (see [`SnapshotArchive::compact`]): drops
+    /// superseded snapshot generations and ages out quarantine debris
+    /// older than `quarantine_age`. `None` when no archive is
+    /// configured.
+    #[must_use]
+    pub fn compact_archive(
+        &self,
+        quarantine_age: Duration,
+    ) -> Option<std::io::Result<crate::archive::CompactReport>> {
+        self.archive.as_ref().map(|a| a.compact(quarantine_age))
     }
 
     /// Evicts sessions idle past the TTL: checkpoint to the archive,

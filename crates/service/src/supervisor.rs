@@ -41,9 +41,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::archive::SnapshotArchive;
-use crate::client;
 use crate::http::HttpConfig;
 use crate::json::{obj, Json};
+use crate::pool::{ConnectionPool, PoolConfig};
 use crate::server::{serve_with, ServiceConfig, ServiceHost};
 use crate::shard::{rendezvous, ShardMap};
 use crate::spec::ApiError;
@@ -208,6 +208,7 @@ impl BackendLauncher for InProcessLauncher {
                 ..StoreConfig::default()
             },
             checkpoint_interval: None,
+            compact_interval: None,
         };
         let (host, _store, _report) = serve_with("127.0.0.1:0", cfg)?;
         Ok(Box::new(InProcessHandle { addr: host.addr(), host: Some(host) }))
@@ -468,6 +469,7 @@ pub struct Supervisor {
     backends: Vec<Arc<Backend>>,
     shard: OrderedMutex<ShardMap>,
     next_id: AtomicU64,
+    pool: Arc<ConnectionPool>,
 }
 
 impl Supervisor {
@@ -483,6 +485,21 @@ impl Supervisor {
     pub fn boot(
         launcher: Box<dyn BackendLauncher>,
         cfg: SupervisorConfig,
+        specs: Vec<BackendSpec>,
+    ) -> io::Result<Self> {
+        Self::boot_pooled(launcher, cfg, PoolConfig::default(), specs)
+    }
+
+    /// [`Supervisor::boot`] with an explicit connection-pool
+    /// configuration (the router passes its `pool` settings through
+    /// here so probes, drains and proxied requests share one pool).
+    ///
+    /// # Errors
+    /// Same failure modes as [`Supervisor::boot`].
+    pub fn boot_pooled(
+        launcher: Box<dyn BackendLauncher>,
+        cfg: SupervisorConfig,
+        pool_cfg: PoolConfig,
         specs: Vec<BackendSpec>,
     ) -> io::Result<Self> {
         let mut names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
@@ -527,6 +544,7 @@ impl Supervisor {
             backends,
             shard: OrderedMutex::new(rank::FLEET_SHARD, shard),
             next_id: AtomicU64::new(0),
+            pool: Arc::new(ConnectionPool::new(pool_cfg)),
         };
         for b in &sup.backends {
             let addr = b.addr().expect("freshly launched backend has an address");
@@ -549,13 +567,9 @@ impl Supervisor {
         let mut max_id = 0u64;
         for b in &self.backends {
             let Some(addr) = b.addr() else { continue };
-            let Ok(ans) = client::request_answer(
-                addr,
-                "GET",
-                "/v1/sessions",
-                None,
-                self.cfg.probe_timeout,
-            ) else {
+            let Ok(ans) =
+                self.pool.request(addr, "GET", "/v1/sessions", None, self.cfg.probe_timeout)
+            else {
                 continue;
             };
             let Ok(doc) = Json::parse(&ans.body) else { continue };
@@ -586,6 +600,14 @@ impl Supervisor {
     #[must_use]
     pub fn probe_interval(&self) -> Duration {
         self.cfg.probe_interval
+    }
+
+    /// The shared per-backend connection pool. The router proxies
+    /// through it; probes, drains and migrations reuse the same
+    /// keep-alive connections.
+    #[must_use]
+    pub fn pool(&self) -> &Arc<ConnectionPool> {
+        &self.pool
     }
 
     /// All supervised backends.
@@ -688,14 +710,23 @@ impl Supervisor {
                 let f = b.failures.fetch_add(1, Ordering::SeqCst) + 1;
                 if f >= self.cfg.failure_threshold {
                     b.set_breaker(Breaker::Open);
+                    // A tripped backend's pooled connections are dead
+                    // weight: drop them so recovery dials fresh.
+                    if let Some(addr) = b.addr() {
+                        self.pool.flush(addr);
+                    }
                 }
             }
         }
     }
 
     fn probe(&self, addr: SocketAddr) -> Option<Json> {
-        let ans = client::request_answer(addr, "GET", "/healthz", None, self.cfg.probe_timeout)
-            .ok()?;
+        // One pooled request per probe tick; any error — refused
+        // checkout, dial failure, or a dead keep-alive connection that
+        // could not be transparently replayed — counts as exactly one
+        // failed probe (the pool itself never reports failures).
+        let ans =
+            self.pool.request(addr, "GET", "/healthz", None, self.cfg.probe_timeout).ok()?;
         if ans.status != 200 {
             return None;
         }
@@ -762,7 +793,10 @@ impl Supervisor {
             h.kill();
         }
         *handle = None;
-        *b.addr.lock_recover() = None;
+        let old_addr = b.addr.lock_recover().take();
+        if let Some(addr) = old_addr {
+            self.pool.flush(addr);
+        }
         for _ in 0..self.cfg.restart_attempts {
             if let Ok(mut h) = self.launcher.launch(&b.spec) {
                 let addr = h.addr();
@@ -789,8 +823,13 @@ impl Supervisor {
         b.phase.store(Phase::Dead as u8, Ordering::SeqCst);
         b.draining.store(false, Ordering::SeqCst);
 
-        let snapshots = SnapshotArchive::open(&b.spec.archive_dir)
-            .and_then(|a| a.scan())
+        // The scan names the live snapshot ids; each payload is loaded
+        // (and CRC-verified) individually right before its restore call,
+        // so migration never compacts or rewrites the source archive.
+        let archive = SnapshotArchive::open(&b.spec.archive_dir).ok();
+        let snapshot_ids = archive
+            .as_ref()
+            .and_then(|a| a.scan().ok())
             .map(|scan| scan.restored)
             .unwrap_or_default();
         let survivors: Vec<(String, SocketAddr)> = self
@@ -802,24 +841,30 @@ impl Supervisor {
             .collect();
         let names: Vec<&str> = survivors.iter().map(|(n, _)| n.as_str()).collect();
 
-        for (id, payload) in snapshots {
+        for id in snapshot_ids {
             let Some(i) = rendezvous(&names, id) else {
                 report.lost.push(id);
                 continue;
             };
             let (target, addr) = &survivors[i];
+            let payload = match archive.as_ref().map(|a| a.load(id)) {
+                Some(Ok(Some(payload))) => payload,
+                Some(Ok(None)) | None => {
+                    report.lost.push(id);
+                    continue;
+                }
+                Some(Err(e)) => {
+                    report.failed.push((id, format!("snapshot unreadable: {e}")));
+                    continue;
+                }
+            };
             let Ok(body) = std::str::from_utf8(&payload) else {
                 report.failed.push((id, "snapshot payload is not UTF-8".into()));
                 continue;
             };
             let path = format!("/v1/sessions/restore?id={id}");
-            match client::request_answer(
-                *addr,
-                "POST",
-                &path,
-                Some(body),
-                self.cfg.migrate_timeout,
-            ) {
+            match self.pool.request(*addr, "POST", &path, Some(body), self.cfg.migrate_timeout)
+            {
                 // 201: restored. 409: the survivor already has this id
                 // (an earlier partial migration) — equally safe.
                 Ok(ans) if ans.status == 201 || ans.status == 409 => {
@@ -866,15 +911,10 @@ impl Supervisor {
             return Err(ApiError::conflict(format!("backend {name} is not active")));
         }
         let drained = b.addr().is_some_and(|addr| {
-            client::request_answer(
-                addr,
-                "POST",
-                "/v1/admin/drain",
-                Some("{}"),
-                self.cfg.drain_budget,
-            )
-            .map(|ans| ans.status == 200)
-            .unwrap_or(false)
+            self.pool
+                .request(addr, "POST", "/v1/admin/drain", Some("{}"), self.cfg.drain_budget)
+                .map(|ans| ans.status == 200)
+                .unwrap_or(false)
         });
         {
             let mut handle = b.handle.lock_recover();
@@ -886,7 +926,9 @@ impl Supervisor {
                 }
             }
             *handle = None;
-            *b.addr.lock_recover() = None;
+            if let Some(addr) = b.addr.lock_recover().take() {
+                self.pool.flush(addr);
+            }
         }
         let report = self.migrate(&b);
         Ok(RetireOutcome { name: name.to_string(), drained, report })
@@ -916,6 +958,9 @@ impl Supervisor {
             if let Some(h) = b.handle.lock_recover().as_mut() {
                 h.kill();
             }
+            if let Some(addr) = b.addr() {
+                self.pool.flush(addr);
+            }
         }
     }
 
@@ -924,21 +969,35 @@ impl Supervisor {
     /// answering. Returns `(name, acknowledged)` per active backend;
     /// pair with [`Supervisor::reap_all`] to wait for the exits.
     pub fn drain_all(&self) -> Vec<(String, bool)> {
-        self.active_backends()
-            .into_iter()
-            .map(|(name, addr)| {
-                let acked = client::request_answer(
-                    addr,
-                    "POST",
-                    "/v1/admin/drain",
-                    Some("{}"),
-                    self.cfg.drain_budget,
-                )
-                .map(|ans| ans.status == 200)
-                .unwrap_or(false);
-                (name, acked)
-            })
-            .collect()
+        let targets = self.active_backends();
+        // Each backend checkpoints everything before acknowledging its
+        // drain, so fan the requests out concurrently: fleet shutdown
+        // takes one slowest-backend drain, not the sum of all of them.
+        std::thread::scope(|scope| {
+            let acks: Vec<_> = targets
+                .iter()
+                .map(|(_, addr)| {
+                    let addr = *addr;
+                    scope.spawn(move || {
+                        self.pool
+                            .request(
+                                addr,
+                                "POST",
+                                "/v1/admin/drain",
+                                Some("{}"),
+                                self.cfg.drain_budget,
+                            )
+                            .map(|ans| ans.status == 200)
+                            .unwrap_or(false)
+                    })
+                })
+                .collect();
+            targets
+                .iter()
+                .zip(acks)
+                .map(|((name, _), ack)| (name.clone(), ack.join().unwrap_or(false)))
+                .collect()
+        })
     }
 
     /// Waits for every backend to exit after [`Supervisor::drain_all`];
@@ -988,6 +1047,7 @@ impl Drop for Supervisor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::client;
 
     const SPEC: &str = r#"{"platform":{"procs":8},
         "jobs":[{"size":4000},{"size":6000,"release":50},{"size":3000,"release":90}]}"#;
@@ -1035,6 +1095,22 @@ mod tests {
         assert_eq!(status, 201);
         sup.commit(id, &name);
         (name, addr)
+    }
+
+    #[test]
+    fn one_failed_probe_counts_exactly_once_toward_the_breaker() {
+        let (sup, root) = boot_pair("singlecount", 1);
+        let (name, _) = create_on(&sup, sup.allocate_id());
+        assert!(sup.kill_backend(&name));
+        // One tick = one pooled probe = one failure, even though the
+        // pool internally sees both the dead keep-alive connection and
+        // the failed fresh dial. Threshold is 2, so the breaker must
+        // still be closed after a single tick.
+        sup.tick();
+        let b = sup.backend(&name).unwrap();
+        assert_eq!(b.failures.load(Ordering::SeqCst), 1);
+        assert_eq!(b.breaker(), Breaker::Closed);
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

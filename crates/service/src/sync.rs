@@ -74,9 +74,23 @@ pub mod rank {
     /// A backend's serving-address cell; leaf under the shard map and
     /// the process handle.
     pub const BACKEND_ADDR: Rank = Rank { order: 26, name: "backend-addr" };
+    /// The backend connection pool's shelf map
+    /// ([`crate::pool::ConnectionPool`]). Taken after the supervisor's
+    /// handle/addr locks (recovery flushes a dead backend's pool while
+    /// holding them) and never while a session lock is held.
+    pub const BACKEND_POOL: Rank = Rank { order: 28, name: "backend-pool" };
+    /// An HTTP server's active-connection registry, severed on hard
+    /// shutdown so `kill` is a crash, not a drain. Workers take it
+    /// briefly holding nothing; the kill path takes it while holding a
+    /// backend's handle lock (24), so it must rank above that.
+    pub const HTTP_ACTIVE_CONNS: Rank = Rank { order: 29, name: "http-active-conns" };
     /// One session's entry mutex. After the registry; before the
     /// archive's fault plan (checkpoints write under the session lock).
     pub const SESSION: Rank = Rank { order: 30, name: "session" };
+    /// The archive's in-memory manifest cache, updated after every
+    /// checkpoint/evict/delete (checkpoints run under the session lock,
+    /// so this sits below it; never co-held with the fault plan).
+    pub const ARCHIVE_MANIFEST: Rank = Rank { order: 35, name: "archive-manifest" };
     /// The deterministic I/O fault plan consulted by archive writes —
     /// the terminal rank.
     pub const FAULT_PLAN: Rank = Rank { order: 40, name: "archive-fault-plan" };

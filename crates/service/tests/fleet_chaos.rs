@@ -222,6 +222,65 @@ fn sigkill_mid_load_restart_in_place_completes_every_checkpointed_session() {
     let _ = std::fs::remove_dir_all(&root);
 }
 
+/// Path 1b — SIGKILL landing *mid pooled request*: a hammer thread keeps
+/// reads flowing through the router's keep-alive connection pool while
+/// b0 is killed, so the kill catches connections both in flight and
+/// shelved. The next checkout finds a dead socket: the pool's
+/// stale-connection path (one transparent re-dial for idempotent
+/// requests) either completes the read or surfaces a clean 503 shed —
+/// never a hang or a 500 — and once the backend restarts in place,
+/// every session still finishes byte-identical to the library.
+#[test]
+fn sigkill_mid_pooled_request_recovers_through_the_stale_connection_path() {
+    let (mut router, root) = boot_fleet("stale", 2);
+    let addr = router.addr();
+
+    let ids = load_and_checkpoint(addr);
+    let doomed = pinned_to(&ids, "b0");
+    assert!(!doomed.is_empty(), "placement must use both backends");
+
+    // Warm the pool on b0's route, then keep requests flowing over the
+    // pooled connections while the SIGKILL lands.
+    let target = doomed[0];
+    let (status, body) = client::get(addr, &format!("/v1/sessions/{target}")).unwrap();
+    assert_eq!(status, 200, "{body}");
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let hammer = {
+        let stop = std::sync::Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut answers = [0u64; 3]; // [200s, 503-sheds, socket errors]
+            while !stop.load(Ordering::Relaxed) {
+                match client::get(addr, &format!("/v1/sessions/{target}")) {
+                    Ok((200, _)) => answers[0] += 1,
+                    Ok((503, _)) => answers[1] += 1,
+                    Ok((status, body)) => {
+                        panic!("mid-kill read must shed or answer, got {status}: {body}")
+                    }
+                    Err(_) => answers[2] += 1,
+                }
+            }
+            answers
+        })
+    };
+    std::thread::sleep(Duration::from_millis(100));
+    assert!(router.supervisor().kill_backend("b0"), "b0 must be killable");
+    std::thread::sleep(Duration::from_millis(300));
+    stop.store(true, Ordering::Relaxed);
+    let answers = hammer.join().expect("hammer thread must not panic");
+    assert!(answers[0] > 0, "pooled reads must succeed before the kill: {answers:?}");
+
+    // The stale path never lies: after recovery the continued traces are
+    // byte-identical to the uninterrupted library run.
+    drain_and_compare(addr, &ids);
+    let b0 = router.supervisor().backend("b0").unwrap();
+    assert_eq!(b0.restarts(), 1, "b0 must have been respawned exactly once");
+    assert_eq!(router.supervisor().session_count(), ids.len());
+
+    router.shutdown();
+    assert_no_lock_cycles();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
 /// Path 2 — migration: with restarts exhausted (`restart_attempts: 0`),
 /// killing a backend declares it dead and replays its archived
 /// checkpoints onto the survivor. No acknowledged checkpoint is lost,

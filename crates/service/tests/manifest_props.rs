@@ -1,0 +1,166 @@
+//! Property grid for the archive manifest and compaction: over arbitrary
+//! checkpoint / evict / compact histories, a manifest-trusting scan
+//! restores exactly what the full directory walk restores; a manifest
+//! torn at any byte falls back to the walk with the same result; and
+//! compaction — even with every file aged into deletion eligibility —
+//! never deletes the newest valid generation of a live snapshot.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, SystemTime};
+
+use proptest::prelude::*;
+
+use redistrib_service::SnapshotArchive;
+
+const MANIFEST_FILE: &str = "manifest";
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir()
+        .join(format!("redistrib-manifest-props-{tag}-{}-{n}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A history is a vector of drawn words; each word decodes into one op:
+/// the low bits select store / remove / mid-history compact, the rest
+/// pick the session id from a small domain so ops collide and
+/// generations actually supersede each other.
+fn ops() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(any::<u64>(), 1..24)
+}
+
+fn decode(word: u64) -> (u8, u64) {
+    ((word % 4) as u8, 1 + (word >> 2) % 5)
+}
+
+/// Applies a history and returns the model: the payload each live id
+/// must come back with. `kind` 0/1 store, 2 remove, 3 compact (with a
+/// generous quarantine age — nothing is old enough to matter mid-run).
+fn apply(archive: &SnapshotArchive, history: &[u64]) -> BTreeMap<u64, Vec<u8>> {
+    let mut expected = BTreeMap::new();
+    for (step, &word) in history.iter().enumerate() {
+        let (kind, id) = decode(word);
+        match kind {
+            0 | 1 => {
+                let payload = format!("payload-{id}-step{step}").into_bytes();
+                archive.store(id, &payload).unwrap();
+                expected.insert(id, payload);
+            }
+            2 => {
+                archive.remove(id).unwrap();
+                expected.remove(&id);
+            }
+            _ => {
+                archive.compact(Duration::from_secs(3600)).unwrap();
+            }
+        }
+    }
+    expected
+}
+
+fn assert_scan_matches(dir: &PathBuf, expected: &BTreeMap<u64, Vec<u8>>) -> Result<(), String> {
+    let archive = SnapshotArchive::open(dir).unwrap();
+    let report = archive.scan().unwrap();
+    let want: Vec<u64> = expected.keys().copied().collect();
+    prop_assert_eq!(&report.restored, &want);
+    prop_assert_eq!(report.quarantined.len(), 0, "clean history must quarantine nothing");
+    for (id, payload) in expected {
+        prop_assert_eq!(&archive.load(*id).unwrap().unwrap(), payload);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The manifest is an index, not a second source of truth: a scan
+    /// that trusts it restores exactly what the full walk (manifest
+    /// deleted) restores, payloads included.
+    #[test]
+    fn manifest_scan_equals_full_walk(history in ops()) {
+        let dir = temp_dir("equiv");
+        let expected = {
+            let archive = SnapshotArchive::open(&dir).unwrap();
+            let expected = apply(&archive, &history);
+            archive.flush_manifest().unwrap();
+            expected
+        };
+        // Manifest-trusting pass.
+        assert_scan_matches(&dir, &expected)?;
+        // Full-walk pass: same directory, no manifest.
+        fs::remove_file(dir.join(MANIFEST_FILE)).unwrap();
+        assert_scan_matches(&dir, &expected)?;
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// A manifest torn at any byte offset must not change what comes
+    /// back: the scan falls back to the full walk and restores the same
+    /// live set.
+    #[test]
+    fn torn_manifest_falls_back_to_the_walk(history in ops(), cut_pct in 0usize..100) {
+        let dir = temp_dir("torn");
+        let expected = {
+            let archive = SnapshotArchive::open(&dir).unwrap();
+            let expected = apply(&archive, &history);
+            archive.flush_manifest().unwrap();
+            expected
+        };
+        let manifest = dir.join(MANIFEST_FILE);
+        let bytes = fs::read(&manifest).unwrap();
+        fs::write(&manifest, &bytes[..bytes.len() * cut_pct / 100]).unwrap();
+        assert_scan_matches(&dir, &expected)?;
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Age every file into deletion eligibility, seed foreign-generation
+    /// debris, and compact with a zero quarantine age: the newest valid
+    /// generation of every live snapshot survives; the debris does not.
+    #[test]
+    fn compact_never_deletes_the_newest_valid_generation(history in ops()) {
+        let dir = temp_dir("compact");
+        let archive = SnapshotArchive::open(&dir).unwrap();
+        let expected = apply(&archive, &history);
+        // The scan makes the manifest authoritative — the precondition
+        // for compaction to delete unmanifested snapshots at all.
+        let report = archive.scan().unwrap();
+        let want: Vec<u64> = expected.keys().copied().collect();
+        prop_assert_eq!(&report.restored, &want);
+        // Superseded-generation debris: valid frames under ids the
+        // manifest does not know.
+        let mut debris = Vec::new();
+        if let Some(id) = expected.keys().next() {
+            for k in 0..2u64 {
+                let stray = dir.join(format!("session-{}.snap", 90 + k));
+                fs::copy(dir.join(format!("session-{id}.snap")), &stray).unwrap();
+                debris.push(stray);
+            }
+        }
+        // Age everything: nothing is protected by recency any more.
+        let old = SystemTime::now() - Duration::from_secs(3600);
+        for entry in fs::read_dir(&dir).unwrap().flatten() {
+            if entry.path().is_file() {
+                let f = fs::OpenOptions::new().write(true).open(entry.path()).unwrap();
+                f.set_modified(old).unwrap();
+            }
+        }
+        let out = archive.compact(Duration::ZERO).unwrap();
+        prop_assert_eq!(out.removed, debris.len(), "exactly the debris goes");
+        for stray in &debris {
+            prop_assert!(!stray.exists());
+        }
+        for (id, payload) in &expected {
+            prop_assert_eq!(
+                &archive.load(*id).unwrap().unwrap(),
+                payload,
+                "compact deleted or damaged live snapshot {}", id
+            );
+        }
+        assert_scan_matches(&dir, &expected)?;
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,157 @@
+//! Property grid for the router data plane's connection pool: under
+//! arbitrary concurrent load the per-backend bound is never exceeded,
+//! `flush` empties exactly the victim backend's shelf, and keep-alive
+//! reuse never smears request/response framing — every echoed body
+//! matches its request byte for byte across connection reuse.
+
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use redistrib_service::{ConnectionPool, HttpConfig, HttpServer, PoolConfig, Response};
+
+const TIMEOUT: Duration = Duration::from_secs(5);
+
+/// A server that echoes enough of the request to detect any framing
+/// smear: method, path, and the exact body bytes.
+fn echo_server(workers: usize) -> HttpServer {
+    HttpServer::bind_with(
+        "127.0.0.1:0",
+        HttpConfig { workers, ..HttpConfig::default() },
+        Arc::new(AtomicBool::new(false)),
+        |req| {
+            Response::text(
+                200,
+                format!("{} {} [{}]", req.method, req.path, String::from_utf8_lossy(&req.body)),
+            )
+        },
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// N threads fire requests at one backend through a shared pool
+    /// while the main thread samples the shelf: `idle + outstanding`
+    /// never exceeds `capacity`, refusals (if any) are `WouldBlock`,
+    /// and after the dust settles the shelf still respects the bound.
+    #[test]
+    fn checkout_checkin_never_exceeds_the_bound(
+        capacity in 1usize..5,
+        threads in 1usize..6,
+        per_thread in 1usize..8,
+    ) {
+        let server = echo_server(4);
+        let addr = server.addr();
+        let pool = Arc::new(ConnectionPool::new(PoolConfig {
+            capacity,
+            ..PoolConfig::default()
+        }));
+        let workers: Vec<_> = (0..threads)
+            .map(|t| {
+                let pool = Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        match pool.request(addr, "GET", &format!("/t{t}/r{i}"), None, TIMEOUT) {
+                            Ok(ans) => assert_eq!(ans.status, 200),
+                            // At capacity the pool refuses — it must be
+                            // the shed signal, never a hang or a panic.
+                            Err(e) => {
+                                assert_eq!(e.kind(), std::io::ErrorKind::WouldBlock, "{e}");
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..50 {
+            let held = pool.idle_count(addr) + pool.outstanding_count(addr);
+            prop_assert!(held <= capacity, "shelf held {} > capacity {}", held, capacity);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        for w in workers {
+            w.join().unwrap();
+        }
+        let held = pool.idle_count(addr) + pool.outstanding_count(addr);
+        prop_assert!(held <= capacity, "post-load shelf held {} > capacity {}", held, capacity);
+        prop_assert_eq!(pool.outstanding_count(addr), 0);
+    }
+
+    /// Warm pools against several backends, then flush one: the victim's
+    /// shelf reports exactly its idle count and drains to zero while
+    /// every other backend's shelf is untouched.
+    #[test]
+    fn flush_empties_exactly_the_victim_backend(
+        backends in 2usize..4,
+        warm in 1usize..4,
+        victim_idx in 0usize..4,
+    ) {
+        let servers: Vec<_> = (0..backends).map(|_| echo_server(4)).collect();
+        let pool = Arc::new(ConnectionPool::new(PoolConfig {
+            capacity: warm + 1,
+            ..PoolConfig::default()
+        }));
+        // `warm` concurrent requests per backend park up to `warm` idle
+        // connections on each shelf.
+        std::thread::scope(|scope| {
+            for server in &servers {
+                let addr = server.addr();
+                for i in 0..warm {
+                    let pool = Arc::clone(&pool);
+                    scope.spawn(move || {
+                        let ans =
+                            pool.request(addr, "GET", &format!("/warm/{i}"), None, TIMEOUT);
+                        assert_eq!(ans.unwrap().status, 200);
+                    });
+                }
+            }
+        });
+        let before: Vec<usize> =
+            servers.iter().map(|s| pool.idle_count(s.addr())).collect();
+        let victim = victim_idx % backends;
+        let flushed = pool.flush(servers[victim].addr());
+        prop_assert_eq!(flushed, before[victim], "flush must report the victim's idle count");
+        for (k, server) in servers.iter().enumerate() {
+            if k == victim {
+                prop_assert_eq!(pool.idle_count(server.addr()), 0);
+            } else {
+                prop_assert_eq!(pool.idle_count(server.addr()), before[k],
+                    "flush must not touch backend {}", k);
+            }
+        }
+    }
+
+    /// An arbitrary request series over one kept-alive connection: every
+    /// response carries exactly its own request's method, path, and body
+    /// — reuse never bleeds one exchange into the next — and the whole
+    /// series rides a single dialed connection.
+    #[test]
+    fn keep_alive_reuse_preserves_framing(
+        series in prop::collection::vec(any::<u64>(), 1..12),
+    ) {
+        let server = echo_server(1);
+        let pool = ConnectionPool::new(PoolConfig { capacity: 1, ..PoolConfig::default() });
+        for (i, &word) in series.iter().enumerate() {
+            // Decode each drawn word into an exchange: GET or POST, a
+            // distinct path, and a body of word-derived length/content.
+            let body_text;
+            let (method, body) = if word & 1 == 0 {
+                ("GET", None)
+            } else {
+                let len = (word >> 1) as usize % 64;
+                body_text = format!("{word:016x}").repeat(1 + len / 16);
+                ("POST", Some(body_text.as_str()))
+            };
+            let path = format!("/echo/{i}/{:x}", word >> 8);
+            let ans = pool.request(server.addr(), method, &path, body, TIMEOUT).unwrap();
+            prop_assert_eq!(ans.status, 200);
+            let expect = format!("{} {} [{}]", method, path, body.unwrap_or(""));
+            prop_assert_eq!(&ans.body, &expect, "framing smeared across keep-alive reuse");
+        }
+        prop_assert_eq!(pool.connections_opened(), 1, "the series must reuse one connection");
+        prop_assert_eq!(pool.requests_reused(), series.len() as u64 - 1);
+    }
+}
